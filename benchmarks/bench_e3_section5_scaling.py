@@ -1,0 +1,145 @@
+"""E3 — the Section 5 performance experiment: query time vs rule count.
+
+Paper claim (on the authors' testbed): "for one till four rules, query
+times are still acceptable (query time less than 1 second).  Five to
+six rules take 4-20 seconds, but as we arrive at seven rules, our
+query did not finish within half an hour."
+
+Reproduction: the same naive view-based evaluation on the same
+~11,000-tuple database, on this machine.  Absolute numbers differ; the
+asserted *shape* is (a) the naive cost grows geometrically (close to
+the paper's per-rule doubling), (b) the factorised scorer does not,
+and (c) at 7 rules the naive implementation loses by well over an
+order of magnitude.  The fitted growth curve extrapolates where the
+paper's 30-minute wall lands on this machine.
+"""
+
+import pytest
+
+from repro.core import ContextAwareScorer, naive_scores_python, naive_scores_sqlite
+from repro.core.problem import bind_problem
+from repro.reporting import TextTable, fit_growth, timed
+from repro.storage import SqliteBackend
+from repro.workloads import generate_rule_series
+
+KS = list(range(1, 8))
+WALL_SECONDS = 30 * 60
+
+
+_SWEEP_CACHE: dict[int, list] = {}
+
+
+def _run_sweep(world):
+    """Time all three implementations for k = 1..7 (cached per world)."""
+    cached = _SWEEP_CACHE.get(id(world))
+    if cached is not None:
+        return cached
+    backend = SqliteBackend(world.space)
+    backend.load_abox(world.abox)
+
+    rows = []
+    for k in KS:
+        repository = generate_rule_series(world, k, seed=13)
+        problem = bind_problem(world.abox, world.tbox, world.user, repository, [], world.space)
+        bindings = list(problem.bindings)
+
+        python_scores, python_seconds = timed(
+            lambda: naive_scores_python(
+                world.database, world.tbox, world.target, bindings, world.space
+            )
+        )
+        sqlite_scores, sqlite_seconds = timed(
+            lambda: naive_scores_sqlite(backend, world.tbox, world.target, bindings)
+        )
+        scorer = ContextAwareScorer(
+            abox=world.abox, tbox=world.tbox, user=world.user,
+            repository=repository, space=world.space,
+        )
+        factorised_scores, factorised_seconds = timed(
+            lambda: scorer.score_map(world.programs)
+        )
+        rows.append(
+            {
+                "k": k,
+                "python": python_seconds,
+                "sqlite": sqlite_seconds,
+                "factorised": factorised_seconds,
+                "python_scores": python_scores,
+                "sqlite_scores": sqlite_scores,
+                "factorised_scores": factorised_scores,
+            }
+        )
+    backend.close()
+    _SWEEP_CACHE[id(world)] = rows
+    return rows
+
+
+def test_e3_scaling_table(benchmark, save_result, section5_world):
+    sweep = benchmark.pedantic(lambda: _run_sweep(section5_world), rounds=1, iterations=1)
+    table = TextTable(
+        ["rules", "naive python (s)", "naive sqlite (s)", "factorised (s)", "paper (authors' testbed)"]
+    )
+    paper = {1: "< 1 s", 2: "< 1 s", 3: "< 1 s", 4: "< 1 s", 5: "4-20 s", 6: "4-20 s", 7: "> 30 min (DNF)"}
+    for row in sweep:
+        table.add_row(
+            [row["k"], row["python"], row["sqlite"], row["factorised"], paper[row["k"]]]
+        )
+
+    python_fit = fit_growth(KS, [row["python"] for row in sweep])
+    wall_k = KS[-1]
+    predicted = sweep[-1]["python"]
+    while predicted < WALL_SECONDS and wall_k < 40:
+        wall_k += 1
+        predicted = python_fit.predict(wall_k)
+    footer = (
+        f"\nnaive growth per extra rule: x{python_fit.ratio:.2f} (paper: combinations double)"
+        f"\nextrapolated 30-minute wall on this machine: ~{wall_k} rules"
+        f"\n(database: {len(section5_world.abox)} tuples)"
+    )
+    save_result("e3_section5_scaling", table.render() + footer)
+
+    # Shape assertions.
+    assert python_fit.ratio > 1.6, "naive cost must grow near-geometrically per rule"
+    sqlite_fit = fit_growth(KS, [row["sqlite"] for row in sweep])
+    assert sqlite_fit.ratio > 1.6
+    final = sweep[-1]
+    assert final["python"] > 10 * final["factorised"], "naive must lose by >10x at 7 rules"
+    factorised_times = [row["factorised"] for row in sweep]
+    assert max(factorised_times) < 4 * max(factorised_times[0], 1e-4) + 0.5, (
+        "the factorised scorer must stay near-flat over the rule count"
+    )
+
+
+def test_e3_implementations_agree(benchmark, section5_world):
+    """All three implementations compute the same scores (k = 1..7)."""
+    sweep = benchmark.pedantic(lambda: _run_sweep(section5_world), rounds=1, iterations=1)
+    for row in sweep:
+        python_scores = row["python_scores"]
+        for doc, value in row["factorised_scores"].items():
+            assert python_scores.get(doc, 0.0) == pytest.approx(value, abs=1e-6)
+        for doc, value in row["sqlite_scores"].items():
+            assert python_scores.get(doc, 0.0) == pytest.approx(value, abs=1e-6)
+
+
+def test_e3_benchmark_naive_four_rules(benchmark, section5_world):
+    """pytest-benchmark point measurement: the paper's 'still acceptable' k=4."""
+    world = section5_world
+    repository = generate_rule_series(world, 4, seed=13)
+    problem = bind_problem(world.abox, world.tbox, world.user, repository, [], world.space)
+    bindings = list(problem.bindings)
+    benchmark.pedantic(
+        lambda: naive_scores_python(world.database, world.tbox, world.target, bindings, world.space),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e3_benchmark_factorised_seven_rules(benchmark, section5_world):
+    """pytest-benchmark point measurement: factorised at the paper's wall."""
+    world = section5_world
+    repository = generate_rule_series(world, 7, seed=13)
+    scorer = ContextAwareScorer(
+        abox=world.abox, tbox=world.tbox, user=world.user,
+        repository=repository, space=world.space,
+    )
+    benchmark.pedantic(lambda: scorer.score_map(world.programs), rounds=3, iterations=1)

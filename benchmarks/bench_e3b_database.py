@@ -1,0 +1,37 @@
+"""E3b — the Section 5 test database census.
+
+Paper claim: "a test database of context and documents containing
+around 11000 tuples; around 1000 persons, 300 TV programs, 12 genres,
+6 subjects, 4 activities, 5 rooms and their relations."
+"""
+
+import pytest
+
+from repro.reporting import TextTable
+from repro.workloads import generate_test_database
+
+
+def test_e3b_census(benchmark, save_result):
+    world = benchmark.pedantic(lambda: generate_test_database(seed=7), rounds=1, iterations=1)
+    census = world.census()
+
+    assert census["concept Person"] == 1000
+    assert census["concept TvProgram"] == 300
+    assert census["concept Genre"] == 12
+    assert census["concept Subject"] == 6
+    assert census["concept Activity"] == 4
+    assert census["concept Room"] == 5
+    assert 10000 <= census["TOTAL"] <= 12500, "paper: around 11000 tuples"
+
+    table = TextTable(["table", "tuples"])
+    for key in sorted(census):
+        if key != "TOTAL":
+            table.add_row([key, census[key]])
+    table.add_row(["TOTAL", census["TOTAL"]])
+    save_result("e3b_database_census", table.render() + "\npaper: around 11000 tuples")
+
+
+def test_e3b_generation_deterministic(benchmark):
+    first = generate_test_database(seed=7)
+    second = benchmark.pedantic(lambda: generate_test_database(seed=7), rounds=1, iterations=1)
+    assert first.census() == second.census()

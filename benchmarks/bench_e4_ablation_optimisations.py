@@ -1,0 +1,144 @@
+"""E4 — ablation of the Section 6 performance levers.
+
+The paper names the escape from the exponential blow-up: "prune the
+amount of applicable rules and candidate documents in early stages".
+This bench quantifies each lever on the Section 5 database:
+
+* factorised vs enumerated expectation (the algorithmic fix);
+* lossless rule pruning (dropping impossible-context rules);
+* document pruning (sharing the all-miss score);
+* the exact probability engines behind the events (Shannon vs BDD).
+"""
+
+import pytest
+
+from repro.core import ContextAwareScorer
+from repro.events import probability_by_bdd, probability_by_shannon
+from repro.dl import membership_event
+from repro.reporting import TextTable, timed
+from repro.rules import PreferenceRule, RuleRepository
+from repro.workloads import generate_rule_series
+
+
+def _with_unmatched_rules(repository: RuleRepository, extra: int) -> RuleRepository:
+    """Add rules whose context never holds (prunable losslessly)."""
+    combined = RuleRepository(list(repository))
+    for index in range(extra):
+        combined.add(
+            PreferenceRule.parse(f"dead{index}", f"NeverContext_{index}", "TvProgram", 0.7)
+        )
+    return combined
+
+
+def test_e4_factorised_vs_enumeration(benchmark, section5_world, save_result):
+    """The core fix: O(n) factorisation vs the paper's 4^n enumeration."""
+    world = section5_world
+    repository = generate_rule_series(world, 10, seed=13)
+
+    def run(method):
+        scorer = ContextAwareScorer(
+            abox=world.abox, tbox=world.tbox, user=world.user,
+            repository=repository, space=world.space, method=method,
+        )
+        return scorer.score_map(world.programs[:50])
+
+    enumerated, enumeration_seconds = timed(lambda: run("enumeration"))
+    factorised = benchmark.pedantic(lambda: run("factorised"), rounds=1, iterations=1)
+    _scores, factorised_seconds = timed(lambda: run("factorised"))
+
+    for doc, value in factorised.items():
+        assert enumerated[doc] == pytest.approx(value, abs=1e-9)
+    assert enumeration_seconds > 2 * factorised_seconds, (
+        "enumeration must be much slower at 10 rules"
+    )
+    table = TextTable(["method", "seconds (50 docs, 10 rules)"])
+    table.add_row(["enumeration (paper's math)", enumeration_seconds])
+    table.add_row(["factorised (Section 6 fix)", factorised_seconds])
+    save_result("e4_factorised_vs_enumeration", table.render())
+
+
+def test_e4_rule_pruning(benchmark, section5_world, save_result):
+    """Dead rules cost nothing once pruned, and pruning is lossless."""
+    world = section5_world
+    live = generate_rule_series(world, 4, seed=13)
+    padded = _with_unmatched_rules(live, extra=12)
+
+    def run(repository, threshold=0.0):
+        scorer = ContextAwareScorer(
+            abox=world.abox, tbox=world.tbox, user=world.user,
+            repository=repository, space=world.space, rule_threshold=threshold,
+        )
+        return scorer.score_map(world.programs)
+
+    baseline = benchmark.pedantic(lambda: run(live), rounds=1, iterations=1)
+    padded_scores, padded_seconds = timed(lambda: run(padded))
+    _baseline2, live_seconds = timed(lambda: run(live))
+
+    for doc, value in baseline.items():
+        assert padded_scores[doc] == pytest.approx(value, abs=1e-9), (
+            "pruning impossible-context rules must not change scores"
+        )
+    table = TextTable(["repository", "rules", "seconds"])
+    table.add_row(["live rules only", len(live), live_seconds])
+    table.add_row(["with 12 dead rules (pruned)", len(padded), padded_seconds])
+    save_result("e4_rule_pruning", table.render())
+
+
+def test_e4_document_pruning(benchmark, section5_world, save_result):
+    """Sharing the all-miss score across non-matching candidates."""
+    world = section5_world
+    repository = generate_rule_series(world, 3, seed=13)
+
+    def run(prune: bool):
+        scorer = ContextAwareScorer(
+            abox=world.abox, tbox=world.tbox, user=world.user,
+            repository=repository, space=world.space, prune_documents=prune,
+        )
+        scores = scorer.score_map(world.programs)
+        return scores, scorer.last_prune_report
+
+    (pruned_scores, report) = benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+    (full_scores, _), unpruned_seconds = timed(lambda: run(False))
+    (_, _), pruned_seconds = timed(lambda: run(True))
+
+    for doc, value in full_scores.items():
+        assert pruned_scores[doc] == pytest.approx(value, abs=1e-9)
+    table = TextTable(["document pruning", "seconds", "docs scored individually"])
+    table.add_row(["off", unpruned_seconds, len(world.programs)])
+    table.add_row(["on", pruned_seconds, report.scored_documents])
+    save_result("e4_document_pruning", table.render())
+    assert report.trivial_documents > 0, "some programs match no rule's genre"
+
+
+def test_e4_event_engines(benchmark, section5_world, save_result):
+    """Shannon vs BDD on the membership events the views produce.
+
+    Program metadata is certain in this workload, so the uncertain
+    events come from dynamic context: "has a friend who is (probably)
+    doing activity X" composes each friend's uncertain doing-event
+    through the view machinery (OR of ANDs).
+    """
+    from repro.dl.concepts import one_of, some
+
+    world = section5_world
+    events = []
+    for activity in world.activities:
+        concept = some("friendsWith", some("doing", one_of(activity)))
+        for person in world.persons[:120]:
+            event = membership_event(world.abox, world.tbox, person, concept)
+            if not event.is_impossible and not event.is_certain:
+                events.append(event)
+    assert events
+
+    def run(engine):
+        return [engine(event, world.space) for event in events]
+
+    shannon_values = benchmark.pedantic(lambda: run(probability_by_shannon), rounds=1, iterations=1)
+    _values, shannon_seconds = timed(lambda: run(probability_by_shannon))
+    bdd_values, bdd_seconds = timed(lambda: run(probability_by_bdd))
+    for left, right in zip(shannon_values, bdd_values):
+        assert left == pytest.approx(right, abs=1e-9)
+    table = TextTable(["engine", f"seconds ({len(events)} events)"])
+    table.add_row(["shannon", shannon_seconds])
+    table.add_row(["bdd", bdd_seconds])
+    save_result("e4_event_engines", table.render())

@@ -1,0 +1,143 @@
+"""E5 — Section 6 "Evaluation of ranking": a simulated user study.
+
+The paper defers evaluation to user studies; the reproduction replaces
+humans with simulated users whose ground-truth rules are known.  Per
+trial a context activates, the user's simulated choice follows the
+generative sigma model, and each ranker is scored by how highly it
+placed what the user actually picked (NDCG@5, MRR).
+
+Rankers compared:
+
+* **context-aware** — the paper's model with the user's true rules;
+* **context-free LM** — query likelihood with a generic query (no
+  context, the Section 2 baseline);
+* **mixed (lambda sweep)** — the Section 6 weighting of the
+  query-dependent and query-independent parts, with the query naming a
+  genre the user likes.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ContextAwareScorer
+from repro.dl import Individual, RoleName
+from repro.dl.concepts import atomic, one_of, some
+from repro.history.episodes import Candidate
+from repro.ir import Corpus, LanguageModelRanker, combined_ranking, ndcg_at_k, reciprocal_rank
+from repro.reporting import TextTable
+from repro.workloads import Section5Counts, generate_population, generate_test_database, simulate_choice
+
+CONTEXTS = ["CtxMorning", "CtxEvening", "CtxWeekend"]
+LAMBDAS = [0.0, 0.25, 0.5, 0.75, 1.0]
+TRIALS_PER_USER = 12
+USERS = 8
+
+
+def _preference_key(genre: str) -> str:
+    return str(atomic("TvProgram") & some("hasGenre", one_of(genre)))
+
+
+def _program_genres(world, program: str) -> list[str]:
+    return [
+        assertion.target.name
+        for assertion in world.abox.role_successors(RoleName("hasGenre"), Individual(program))
+    ]
+
+
+def _build_study():
+    world = generate_test_database(
+        seed=21,
+        counts=Section5Counts(persons=5, programs=40, genres=8, subjects=4, activities=2, rooms=2),
+    )
+    users = generate_population(CONTEXTS, world.genres, size=USERS, rules_per_user=3, seed=33)
+    slate = [
+        Candidate(program, frozenset(_preference_key(g) for g in _program_genres(world, program)))
+        for program in world.programs
+    ]
+    corpus = Corpus()
+    for program in world.programs:
+        genres = " ".join(_program_genres(world, program))
+        corpus.add_text(program, f"tv program {genres}")
+    return world, users, slate, corpus
+
+
+def _run_study():
+    world, users, slate, corpus = _build_study()
+    lm = LanguageModelRanker(corpus)
+    rng = random.Random(91)
+
+    quality = {"context": [], "lm": [], "mrr_context": [], "mrr_lm": []}
+    mixed_quality = {lam: [] for lam in LAMBDAS}
+
+    for user in users:
+        scorer = ContextAwareScorer(
+            abox=world.abox, tbox=world.tbox, user=world.user,
+            repository=user.repository, space=world.space,
+        )
+        for _trial in range(TRIALS_PER_USER):
+            rule = rng.choice(user.rules)
+            active_context = rule.context_key
+            world.abox.clear_dynamic()
+            world.abox.assert_concept(active_context, world.user, dynamic=True)
+
+            chosen = simulate_choice(user, {active_context}, slate, rng)
+            if not chosen:
+                continue
+            gains = {doc: 1.0 for doc in chosen}
+
+            context_scores = scorer.score_map(world.programs)
+            context_ranking = sorted(context_scores, key=lambda d: (-context_scores[d], d))
+            quality["context"].append(ndcg_at_k(context_ranking, gains, 5))
+            quality["mrr_context"].append(reciprocal_rank(context_ranking, chosen))
+
+            lm_scores = lm.score_all("tv program")
+            lm_ranking = sorted(lm_scores, key=lambda d: (-lm_scores[d], d))
+            quality["lm"].append(ndcg_at_k(lm_ranking, gains, 5))
+            quality["mrr_lm"].append(reciprocal_rank(lm_ranking, chosen))
+
+            # Mixed: the user queried a genre they actually like.
+            genre_query = sorted(rule.preference.individuals())[0].name
+            query_scores = lm.score_all(genre_query)
+            for lam in LAMBDAS:
+                mixed = combined_ranking(query_scores, context_scores, mixing_weight=lam)
+                mixed_ranking = [score.doc_id for score in mixed]
+                mixed_quality[lam].append(ndcg_at_k(mixed_ranking, gains, 5))
+    return quality, mixed_quality
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_e5_simulated_user_study(benchmark, save_result):
+    quality, mixed_quality = benchmark.pedantic(_run_study, rounds=1, iterations=1)
+
+    context_ndcg = _mean(quality["context"])
+    lm_ndcg = _mean(quality["lm"])
+    assert len(quality["context"]) >= 40, "enough effective trials"
+    assert context_ndcg > lm_ndcg + 0.15, (
+        "context-aware ranking must clearly beat the context-free baseline"
+    )
+    assert _mean(quality["mrr_context"]) > _mean(quality["mrr_lm"])
+
+    table = TextTable(["ranker", "mean NDCG@5", "mean MRR"])
+    table.add_row(["context-aware (true rules)", context_ndcg, _mean(quality["mrr_context"])])
+    table.add_row(["context-free LM (generic query)", lm_ndcg, _mean(quality["mrr_lm"])])
+
+    sweep = TextTable(["lambda (query weight)", "mean NDCG@5"])
+    for lam in LAMBDAS:
+        sweep.add_row([lam, _mean(mixed_quality[lam])])
+
+    save_result(
+        "e5_ranking_quality",
+        f"{USERS} simulated users x {TRIALS_PER_USER} trials\n"
+        + table.render()
+        + "\n\nSection 6 weighting sweep (genre query):\n"
+        + sweep.render(),
+    )
+
+    # The context component must help even when a query is present:
+    # pure-IR (lambda=1) must not dominate the mixed rankings.
+    best_lambda = max(LAMBDAS, key=lambda lam: _mean(mixed_quality[lam]))
+    assert best_lambda < 1.0, "some context weighting must beat pure IR"

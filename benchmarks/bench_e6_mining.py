@@ -1,0 +1,79 @@
+"""E6 — Section 6 "Mining/learning preferences".
+
+"A legitimate question to ask is, how well the actual user preferences
+would be predicted by mining the history of the user using exactly
+these semantics."
+
+Plant rules, sample histories of increasing length with the generative
+sigma model, mine them back, and measure sigma recovery error and rule
+recall.  The estimator is unbiased, so the error must fall towards 0.
+"""
+
+import pytest
+
+from repro.history.episodes import Candidate
+from repro.mining import MiningConfig, evaluate_mining, mine_rules
+from repro.reporting import TextTable
+from repro.rules import PreferenceRule
+from repro.workloads import ContextPattern, PlantedRule, sample_history
+
+TRUE_RULES = [
+    PlantedRule("WorkdayMorning", "TrafficBulletin", 0.80),
+    PlantedRule("WorkdayMorning", "WeatherBulletin", 0.60),
+    PlantedRule("WeekendEvening", "Movie", 0.70),
+    PlantedRule("WeekendEvening", "Documentary", 0.30),
+]
+
+CATALOGUE = [
+    Candidate.of("traffic_today", "TrafficBulletin"),
+    Candidate.of("weather_today", "WeatherBulletin"),
+    Candidate.of("blockbuster", "Movie"),
+    Candidate.of("nature_film", "Documentary"),
+    Candidate.of("quiz_show", "QuizShow"),
+]
+
+PATTERNS = [
+    ContextPattern(frozenset({"WorkdayMorning"}), weight=5.0),
+    ContextPattern(frozenset({"WeekendEvening"}), weight=2.0),
+]
+
+EPISODE_COUNTS = [25, 100, 400, 1600, 6400]
+
+
+def _truth_rules():
+    return [
+        PreferenceRule.parse(f"t{i}", rule.context_feature, rule.preference_feature, rule.sigma)
+        for i, rule in enumerate(TRUE_RULES)
+    ]
+
+
+def test_e6_sigma_recovery_curve(benchmark, save_result):
+    def sweep():
+        rows = []
+        for episodes in EPISODE_COUNTS:
+            log = sample_history(TRUE_RULES, CATALOGUE, PATTERNS, episodes, seed=17)
+            mined = mine_rules(log, MiningConfig(min_support=5, min_lift=0.0))
+            report = evaluate_mining(_truth_rules(), mined)
+            rows.append((episodes, report))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = TextTable(["episodes", "mined", "recall", "precision", "sigma MAE"])
+    for episodes, report in rows:
+        table.add_row(
+            [episodes, report.mined, f"{report.recall:.2f}", f"{report.precision:.2f}", f"{report.sigma_mae:.4f}"]
+        )
+    save_result("e6_mining", table.render())
+
+    final_report = rows[-1][1]
+    assert final_report.recall == pytest.approx(1.0), "all planted rules recovered"
+    assert final_report.sigma_mae < 0.03, "sigma converges to the planted values"
+    first_defined = next(report.sigma_mae for _e, report in rows if report.matched)
+    assert final_report.sigma_mae <= first_defined, "error shrinks with history length"
+
+
+def test_e6_mining_runtime(benchmark):
+    log = sample_history(TRUE_RULES, CATALOGUE, PATTERNS, 2000, seed=17)
+    mined = benchmark(lambda: mine_rules(log, MiningConfig(min_support=5, min_lift=0.0)))
+    assert mined

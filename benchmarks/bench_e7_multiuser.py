@@ -1,0 +1,68 @@
+"""E7 — Section 6 "Modeling multiple users".
+
+The conjectured group extension, measured: Peter (weekend human
+interest) and Mary (breakfast news) share a Saturday breakfast; the
+aggregation strategies must converge on the compromise program
+(Channel 5 news carries both a human-interest genre and a news
+subject), except most-pleasure which follows the single happiest
+member.
+"""
+
+import pytest
+
+from repro.core import ContextAwareScorer
+from repro.multiuser import GroupMember, GroupRanker
+from repro.reporting import TextTable
+from repro.rules import RuleRepository, parse_rule
+
+
+def _member(name, world, line):
+    repository = RuleRepository([parse_rule(line)])
+    return GroupMember(
+        name,
+        ContextAwareScorer(
+            abox=world.abox, tbox=world.tbox, user=world.user,
+            repository=repository, space=world.space,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def group(tvtouch_world):
+    peter = _member(
+        "peter",
+        tvtouch_world,
+        "RULE p1: WHEN Weekend PREFER TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST} WITH 0.9",
+    )
+    mary = _member(
+        "mary",
+        tvtouch_world,
+        "RULE m1: WHEN Breakfast PREFER TvProgram AND EXISTS hasSubject.NewsSubject WITH 0.9",
+    )
+    return [peter, mary]
+
+
+def test_e7_group_strategies(benchmark, group, tvtouch_world, save_result):
+    def run():
+        results = {}
+        for strategy in GroupRanker.available_strategies():
+            ranker = GroupRanker(group, strategy=strategy)
+            results[strategy] = ranker.rank(tvtouch_world.program_ids)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for strategy in ("average", "product", "least_misery"):
+        assert results[strategy][0].document == "channel5_news", strategy
+    assert results["most_pleasure"][0].document == "bbc_news"
+
+    table = TextTable(["strategy", "winner", "group score"])
+    for strategy, ranking in sorted(results.items()):
+        table.add_row([strategy, ranking[0].document, ranking[0].value])
+    save_result("e7_multiuser", table.render())
+
+
+def test_e7_group_scoring_runtime(benchmark, group, tvtouch_world):
+    ranker = GroupRanker(group, strategy="average")
+    scores = benchmark(lambda: ranker.rank(tvtouch_world.program_ids))
+    assert len(scores) == 4

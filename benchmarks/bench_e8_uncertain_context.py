@@ -1,0 +1,86 @@
+"""E8 — Section 3.3: scoring under *uncertain* context.
+
+The worked example assumes a certain context; the model's full form
+sums over context feature vectors weighted by their probabilities.
+This bench sweeps the probability that Peter is having breakfast from
+0 to 1 and tracks the four programs' scores:
+
+* all three scorers (enumeration / factorised / exact) agree at every
+  level — the Section 3.3 expectation is computed consistently;
+* the ranking *flips*: with no breakfast evidence Oprah (weekend human
+  interest) beats BBC news; as breakfast becomes certain the news
+  programs take over — context uncertainty degrades gracefully instead
+  of switching behaviour abruptly.
+"""
+
+import pytest
+
+from repro.core import ContextAwareScorer
+from repro.reporting import TextTable
+from repro.workloads import build_tvtouch, set_breakfast_weekend_context
+
+LEVELS = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def _scores_at(world, probability_level, method):
+    set_breakfast_weekend_context(
+        world, breakfast_probability=probability_level, tick=f"p{probability_level}"
+    )
+    scorer = ContextAwareScorer(
+        abox=world.abox, tbox=world.tbox, user=world.user,
+        repository=world.repository, space=world.space, method=method,
+    )
+    return scorer.score_map(world.program_ids)
+
+
+def test_e8_uncertain_breakfast_sweep(benchmark, save_result):
+    world = build_tvtouch()
+
+    def sweep():
+        return {
+            level: {
+                method: _scores_at(world, level, method)
+                for method in ("factorised", "enumeration", "exact")
+            }
+            for level in LEVELS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Cross-method agreement at every uncertainty level.
+    for level, by_method in results.items():
+        for program, value in by_method["factorised"].items():
+            assert by_method["enumeration"][program] == pytest.approx(value, abs=1e-9)
+            assert by_method["exact"][program] == pytest.approx(value, abs=1e-9)
+
+    table = TextTable(["P(Breakfast)"] + world.program_ids)
+    for level in LEVELS:
+        scores = results[level]["factorised"]
+        table.add_row([level] + [scores[program] for program in world.program_ids])
+    save_result("e8_uncertain_context", table.render())
+
+    # Ranking flip: weekend-only vs full breakfast-and-weekend context.
+    no_breakfast = results[0.0]["factorised"]
+    full_breakfast = results[1.0]["factorised"]
+    assert no_breakfast["oprah"] > no_breakfast["bbc_news"]
+    assert full_breakfast["bbc_news"] > full_breakfast["oprah"]
+    # The certain end reproduces Table 1 exactly.
+    assert full_breakfast["channel5_news"] == pytest.approx(0.6006, abs=1e-9)
+
+    # Scores move monotonically in the context probability (each rule's
+    # factor is linear in P(g)).
+    for program in world.program_ids:
+        series = [results[level]["factorised"][program] for level in LEVELS]
+        deltas = [b - a for a, b in zip(series, series[1:])]
+        assert all(d <= 1e-12 for d in deltas) or all(d >= -1e-12 for d in deltas)
+
+
+def test_e8_exact_scorer_runtime(benchmark):
+    world = build_tvtouch()
+    set_breakfast_weekend_context(world, breakfast_probability=0.7, weekend_probability=0.8)
+    scorer = ContextAwareScorer(
+        abox=world.abox, tbox=world.tbox, user=world.user,
+        repository=world.repository, space=world.space, method="exact",
+    )
+    scores = benchmark(lambda: scorer.score_map(world.program_ids))
+    assert all(0.0 <= value <= 1.0 for value in scores.values())

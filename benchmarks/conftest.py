@@ -1,0 +1,47 @@
+"""Shared fixtures and result persistence for the benchmark harness.
+
+Every benchmark writes the table(s) it regenerates to
+``benchmarks/results/<experiment>.txt`` — the same rows EXPERIMENTS.md
+quotes — in addition to asserting the claims.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a named result table under benchmarks/results/."""
+
+    def _save(name: str, text: str) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def tvtouch_world():
+    """The Table 1 world with the Section 4.2 context installed."""
+    from repro.workloads import build_tvtouch, set_breakfast_weekend_context
+
+    world = build_tvtouch()
+    set_breakfast_weekend_context(world)
+    return world
+
+
+@pytest.fixture(scope="session")
+def section5_world():
+    """The full-size Section 5 test database (~11,000 tuples)."""
+    from repro.workloads import generate_test_database, install_context_series
+
+    world = generate_test_database(seed=7)
+    install_context_series(world, k=12, seed=11)
+    return world

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Mining preferences from history — the Section 6 proposal, end to end.
+
+1. Plant ground-truth rules (a user who watches traffic bulletins on
+   80 % of workday mornings, weather on 60 %, movies on 70 % of
+   weekend evenings).
+2. Sample a viewing history with the generative sigma model.
+3. Mine scored preference rules back "using exactly these semantics".
+4. Compare mined sigmas against the planted ones and show how the
+   estimate sharpens with history length.
+
+Run:  python examples/preference_mining.py
+"""
+
+from repro.history.episodes import Candidate
+from repro.mining import MiningConfig, evaluate_mining, mine_rules
+from repro.reporting import TextTable
+from repro.rules import PreferenceRule
+from repro.workloads import ContextPattern, PlantedRule, sample_history
+
+TRUE_RULES = [
+    PlantedRule("WorkdayMorning", "TrafficBulletin", 0.80),
+    PlantedRule("WorkdayMorning", "WeatherBulletin", 0.60),
+    PlantedRule("WeekendEvening", "Movie", 0.70),
+]
+
+CATALOGUE = [
+    Candidate.of("traffic_today", "TrafficBulletin"),
+    Candidate.of("weather_today", "WeatherBulletin"),
+    Candidate.of("blockbuster", "Movie"),
+    Candidate.of("documentary", "Documentary"),
+]
+
+PATTERNS = [
+    ContextPattern(frozenset({"WorkdayMorning"}), weight=5.0),
+    ContextPattern(frozenset({"WeekendEvening"}), weight=2.0),
+]
+
+
+def main() -> None:
+    print("Planted rules:")
+    for rule in TRUE_RULES:
+        print(f"  when {rule.context_feature:<15} prefer {rule.preference_feature:<16} sigma={rule.sigma}")
+
+    table = TextTable(["episodes", "mined rules", "recall", "sigma MAE"])
+    for episodes in (20, 100, 500, 2500):
+        log = sample_history(TRUE_RULES, CATALOGUE, PATTERNS, episodes, seed=17)
+        mined = mine_rules(log, MiningConfig(min_support=5, min_lift=0.05))
+        truth_as_rules = [
+            PreferenceRule.parse(f"t{i}", r.context_feature, r.preference_feature, r.sigma)
+            for i, r in enumerate(TRUE_RULES)
+        ]
+        report = evaluate_mining(truth_as_rules, mined)
+        table.add_row([episodes, report.mined, f"{report.recall:.2f}", f"{report.sigma_mae:.4f}"])
+
+    print("\nRecovery vs history length:")
+    print(table.render())
+
+    log = sample_history(TRUE_RULES, CATALOGUE, PATTERNS, 2500, seed=17)
+    mined = mine_rules(log, MiningConfig(min_support=5, min_lift=0.05))
+    print("\nRules mined from 2500 episodes:")
+    for mined_rule in mined:
+        print(f"  {mined_rule.rule}   [support {mined_rule.support}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The Section 5 bottleneck, live: naive views double, factorised stays flat.
+
+Generates a scaled-down Section 5 database (so the walk-through runs in
+seconds), installs rule series of increasing size, and times three
+implementations of the same scores:
+
+* the paper's naive view evaluation (pure-Python algebra);
+* the same naive views inside sqlite3;
+* the factorised scorer (the Section 6 fix).
+
+Benchmark benchmarks/bench_e3_section5_scaling.py runs the full-size
+version with assertions; this script is the narrated tour.
+
+Run:  python examples/scaling_walkthrough.py
+"""
+
+from repro.core import ContextAwareScorer, naive_scores_python, naive_scores_sqlite
+from repro.core.problem import bind_problem
+from repro.reporting import TextTable, fit_growth, timed
+from repro.storage import SqliteBackend
+from repro.workloads import (
+    Section5Counts,
+    generate_rule_series,
+    generate_test_database,
+    install_context_series,
+)
+
+
+def main() -> None:
+    counts = Section5Counts(persons=100, programs=60, genres=12, subjects=6, activities=4, rooms=5)
+    world = generate_test_database(seed=7, counts=counts)
+    print(f"test database: {len(world.abox)} tuples "
+          f"({counts.persons} persons, {counts.programs} programs)")
+    install_context_series(world, k=8, seed=11)
+
+    table = TextTable(["rules", "naive python (s)", "naive sqlite (s)", "factorised (s)"])
+    naive_times = []
+    ks = list(range(1, 8))
+    for k in ks:
+        repository = generate_rule_series(world, k, seed=13)
+        problem = bind_problem(world.abox, world.tbox, world.user, repository, [], world.space)
+        bindings = list(problem.bindings)
+
+        _scores, python_seconds = timed(
+            lambda: naive_scores_python(world.database, world.tbox, world.target, bindings, world.space)
+        )
+
+        with SqliteBackend(world.space) as backend:
+            backend.load_abox(world.abox)
+            _scores2, sqlite_seconds = timed(
+                lambda: naive_scores_sqlite(backend, world.tbox, world.target, bindings)
+            )
+
+        scorer = ContextAwareScorer(
+            abox=world.abox, tbox=world.tbox, user=world.user,
+            repository=repository, space=world.space,
+        )
+        _scores3, fact_seconds = timed(lambda: scorer.score_map(world.programs))
+
+        naive_times.append(python_seconds)
+        table.add_row([k, python_seconds, sqlite_seconds, fact_seconds])
+
+    print()
+    print(table.render())
+
+    fit = fit_growth(ks, naive_times)
+    print(f"\nnaive growth: x{fit.ratio:.2f} per extra rule (the paper's doubling)")
+    wall = 30 * 60
+    k = ks[-1]
+    predicted = naive_times[-1]
+    while predicted < wall:
+        k += 1
+        predicted = fit.predict(k)
+    print(f"extrapolated: the paper's 30-minute wall lands at ~{k} rules on this machine")
+    print("the factorised scorer is linear in the rule count — no wall.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical project metadata lives in ``pyproject.toml``; this file
+only enables legacy editable installs (``pip install -e . --no-use-pep517``)
+on machines where PEP 517 editable builds are unavailable offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,94 @@
+"""repro — reproduction of "Ranking Query Results using Context-Aware Preferences".
+
+A from-scratch Python implementation of van Bunningen, Fokkinga, Apers
+and Feng's ICDE 2007 context-aware preference ranking system, including
+every substrate it depends on: a probabilistic event-expression engine,
+a Description Logic layer, a probabilistic relational store with a mini
+SQL front end, context/sensor simulation, user history with the paper's
+sigma semantics, scored preference rules, the context-aware scorer and
+ranker, a language-model IR baseline, preference mining, and multi-user
+ranking.
+
+Quickstart::
+
+    from repro import (ContextAwareScorer, PreferenceView,
+                       build_tvtouch, set_breakfast_weekend_context)
+
+    world = build_tvtouch()
+    set_breakfast_weekend_context(world)
+    scorer = ContextAwareScorer(abox=world.abox, tbox=world.tbox,
+                                user=world.user, repository=world.repository,
+                                space=world.space)
+    for score in scorer.rank(world.program_ids):
+        print(score)   # channel5_news: 0.6006 ...
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from repro.core import (
+    ContextAwareRanker,
+    ContextAwareScorer,
+    DocumentScore,
+    PreferenceView,
+    explain_ranking,
+    explain_score,
+)
+from repro.dl import ABox, Concept, Individual, TBox, parse_concept
+from repro.events import ALWAYS, NEVER, EventExpr, EventSpace, probability
+from repro.history import Candidate, Episode, HistoryLog, estimate_sigma
+from repro.ir import Corpus, LanguageModelRanker, combined_ranking
+from repro.mining import MiningConfig, mine_rules
+from repro.multiuser import GroupMember, GroupRanker
+from repro.rules import PreferenceRule, RuleRepository, load_rules, parse_rules
+from repro.storage import Database, SqliteBackend, SqlSession
+from repro.workloads import (
+    build_tvtouch,
+    generate_test_database,
+    sample_workday_mornings,
+    set_breakfast_weekend_context,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABox",
+    "ALWAYS",
+    "Candidate",
+    "Concept",
+    "ContextAwareRanker",
+    "ContextAwareScorer",
+    "Corpus",
+    "Database",
+    "DocumentScore",
+    "Episode",
+    "EventExpr",
+    "EventSpace",
+    "GroupMember",
+    "GroupRanker",
+    "HistoryLog",
+    "Individual",
+    "LanguageModelRanker",
+    "MiningConfig",
+    "NEVER",
+    "PreferenceRule",
+    "PreferenceView",
+    "RuleRepository",
+    "SqlSession",
+    "SqliteBackend",
+    "TBox",
+    "__version__",
+    "build_tvtouch",
+    "combined_ranking",
+    "estimate_sigma",
+    "explain_ranking",
+    "explain_score",
+    "generate_test_database",
+    "load_rules",
+    "mine_rules",
+    "parse_concept",
+    "parse_rules",
+    "probability",
+    "sample_workday_mornings",
+    "set_breakfast_weekend_context",
+]

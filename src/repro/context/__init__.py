@@ -1,0 +1,46 @@
+"""Context management substrate (S4).
+
+Simulated sensors produce uncertain measurements (value, probability,
+basic event); snapshots replace the dynamic part of the ABox; the
+context manager mirrors everything into relational tables so that
+virtual preference views always reflect the newest context.
+"""
+
+from repro.context.clock import PART_OF_DAY_HOURS, SimClock
+from repro.context.derived import define_activity_conjunction, define_context, define_location_concept
+from repro.context.manager import ContextManager
+from repro.context.model import (
+    ConceptMeasurement,
+    ContextSnapshot,
+    Measurement,
+    RoleMeasurement,
+    SituatedUser,
+)
+from repro.context.sensors import (
+    ActivitySensor,
+    CalendarSensor,
+    CompanionSensor,
+    GroundTruth,
+    LocationSensor,
+    Sensor,
+)
+
+__all__ = [
+    "ActivitySensor",
+    "CalendarSensor",
+    "CompanionSensor",
+    "ConceptMeasurement",
+    "ContextManager",
+    "ContextSnapshot",
+    "GroundTruth",
+    "LocationSensor",
+    "Measurement",
+    "PART_OF_DAY_HOURS",
+    "RoleMeasurement",
+    "Sensor",
+    "SimClock",
+    "SituatedUser",
+    "define_activity_conjunction",
+    "define_context",
+    "define_location_concept",
+]

@@ -1,0 +1,82 @@
+"""A simulated wall clock for context scenarios.
+
+Calendar context (weekend/weekday, part of day) is the one context
+source the paper treats as certain; the clock provides it.  The clock
+is plain simulated time — no dependence on the machine's real clock —
+so scenarios and benchmarks are fully reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from repro.errors import ContextError
+
+__all__ = ["SimClock", "PART_OF_DAY_HOURS"]
+
+#: Part-of-day boundaries: name -> (first hour, last hour inclusive).
+PART_OF_DAY_HOURS: dict[str, tuple[int, int]] = {
+    "Morning": (6, 11),
+    "Afternoon": (12, 17),
+    "Evening": (18, 22),
+    "Night": (23, 5),
+}
+
+
+@dataclass
+class SimClock:
+    """A settable, advanceable simulated clock.
+
+    Examples
+    --------
+    >>> clock = SimClock(datetime(2007, 4, 14, 8, 0))  # a Saturday
+    >>> clock.is_weekend, clock.part_of_day
+    (True, 'Morning')
+    """
+
+    now: datetime
+
+    @staticmethod
+    def at(year: int, month: int, day: int, hour: int = 0, minute: int = 0) -> "SimClock":
+        return SimClock(datetime(year, month, day, hour, minute))
+
+    def advance(self, minutes: int = 0, hours: int = 0, days: int = 0) -> "SimClock":
+        """Move the clock forward (in place); returns self for chaining."""
+        delta = timedelta(minutes=minutes, hours=hours, days=days)
+        if delta < timedelta(0):
+            raise ContextError("the simulated clock only moves forward")
+        self.now = self.now + delta
+        return self
+
+    @property
+    def weekday_name(self) -> str:
+        return self.now.strftime("%A")
+
+    @property
+    def is_weekend(self) -> bool:
+        return self.now.weekday() >= 5
+
+    @property
+    def is_workday(self) -> bool:
+        return not self.is_weekend
+
+    @property
+    def part_of_day(self) -> str:
+        hour = self.now.hour
+        for name, (start, end) in PART_OF_DAY_HOURS.items():
+            if start <= end:
+                if start <= hour <= end:
+                    return name
+            elif hour >= start or hour <= end:
+                return name
+        raise ContextError(f"hour {hour} not covered by PART_OF_DAY_HOURS")  # pragma: no cover
+
+    @property
+    def calendar_concepts(self) -> tuple[str, ...]:
+        """The certain calendar concepts holding right now."""
+        day_kind = "Weekend" if self.is_weekend else "Workday"
+        return (day_kind, self.part_of_day)
+
+    def __str__(self) -> str:
+        return self.now.strftime("%Y-%m-%d %H:%M (%A)")

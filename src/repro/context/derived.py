@@ -1,0 +1,58 @@
+"""Derived (high-level) context concepts.
+
+"Calculation of the probability of high level context events (e.g., a
+certain activity) can be done by combining event expressions from
+measurements attributing to this event" (Section 4.1).  In this
+implementation the combination happens declaratively: a high-level
+context is a TBox *definition* over sensed concepts and roles, and the
+instance checker combines the measurement events automatically when the
+definition is unfolded.
+
+Example: ``HavingBreakfast ≡ InKitchen ⊓ Morning`` with
+``InKitchen ≡ ∃locatedIn.{kitchen}`` — the membership event for
+``HavingBreakfast`` is then the conjunction of the location
+measurement's event and the (certain) calendar event.
+"""
+
+from __future__ import annotations
+
+from repro.dl.concepts import Concept, atomic, has_value, intersect
+from repro.dl.parser import parse_concept
+from repro.dl.tbox import TBox
+
+__all__ = ["define_location_concept", "define_activity_conjunction", "define_context"]
+
+
+def define_location_concept(tbox: TBox, name: str, room: str, role: str = "locatedIn") -> Concept:
+    """Define ``name ≡ ∃role.{room}`` and return the defined concept.
+
+    >>> tbox = TBox()
+    >>> _ = define_location_concept(tbox, "InKitchen", "kitchen")
+    >>> str(tbox.expand(atomic("InKitchen")))
+    'locatedIn VALUE kitchen'
+    """
+    definition = has_value(role, room)
+    tbox.define(name, definition)
+    return atomic(name)
+
+
+def define_activity_conjunction(tbox: TBox, name: str, parts: list[str]) -> Concept:
+    """Define a high-level activity as a conjunction of sensed concepts.
+
+    ``parts`` are concept names (e.g. ``["InKitchen", "Morning"]``).
+    """
+    definition = intersect(atomic(part) for part in parts)
+    tbox.define(name, definition)
+    return atomic(name)
+
+
+def define_context(tbox: TBox, name: str, expression: str) -> Concept:
+    """Define a high-level context from textual concept syntax.
+
+    >>> tbox = TBox()
+    >>> concept = define_context(tbox, "RelaxedEvening", "Evening AND NOT Working")
+    >>> str(concept)
+    'RelaxedEvening'
+    """
+    tbox.define(name, parse_concept(expression))
+    return atomic(name)

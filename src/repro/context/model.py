@@ -1,0 +1,131 @@
+"""Context model: situated users, measurements and snapshots.
+
+"We assign each context measurement a probability and a basic event
+expression" (Section 4.1, citing the authors' context uncertainty
+model).  A measurement is a single sensed fact — a concept membership
+("Peter is having breakfast") or a role pair ("Peter is located in the
+kitchen") — with the probability the sensor attaches to it and the
+basic event that witnesses it.
+
+A :class:`ContextSnapshot` is the set of measurements taken at one
+instant; loading it into an ABox (tagged ``dynamic``) gives the
+"uniform tabular view towards both static and dynamic contexts" of
+Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import ContextError
+from repro.events.atoms import validate_probability
+from repro.events.expr import EventExpr
+from repro.dl.abox import ABox
+from repro.dl.vocabulary import ConceptName, Individual, RoleName
+
+__all__ = ["ConceptMeasurement", "RoleMeasurement", "Measurement", "ContextSnapshot", "SituatedUser"]
+
+
+@dataclass(frozen=True)
+class ConceptMeasurement:
+    """A sensed concept membership, e.g. ``Breakfast(peter)`` at p=0.9."""
+
+    concept: ConceptName
+    individual: Individual
+    probability: float
+    event: EventExpr
+    sensor: str = "unknown"
+
+    def __post_init__(self) -> None:
+        validate_probability(self.probability, "measurement probability")
+
+    def apply(self, abox: ABox) -> None:
+        abox.assert_concept(self.concept, self.individual, self.event, dynamic=True)
+
+    def __str__(self) -> str:
+        return f"{self.concept}({self.individual}) p={self.probability:g} [{self.sensor}]"
+
+
+@dataclass(frozen=True)
+class RoleMeasurement:
+    """A sensed role pair, e.g. ``locatedIn(peter, kitchen)`` at p=0.7."""
+
+    role: RoleName
+    source: Individual
+    target: Individual
+    probability: float
+    event: EventExpr
+    sensor: str = "unknown"
+
+    def __post_init__(self) -> None:
+        validate_probability(self.probability, "measurement probability")
+
+    def apply(self, abox: ABox) -> None:
+        abox.assert_role(self.role, self.source, self.target, self.event, dynamic=True)
+
+    def __str__(self) -> str:
+        return f"{self.role}({self.source}, {self.target}) p={self.probability:g} [{self.sensor}]"
+
+
+Measurement = ConceptMeasurement | RoleMeasurement
+
+
+@dataclass(frozen=True)
+class SituatedUser:
+    """The user whose context the system tracks (``u_sit`` in the paper)."""
+
+    individual: Individual
+
+    @staticmethod
+    def named(name: str) -> "SituatedUser":
+        return SituatedUser(Individual(name))
+
+    def __str__(self) -> str:
+        return self.individual.name
+
+
+@dataclass
+class ContextSnapshot:
+    """All measurements taken at one instant.
+
+    Parameters
+    ----------
+    instant:
+        A monotone tick counter or timestamp label for tracing.
+    measurements:
+        The sensed facts.
+    """
+
+    instant: str
+    measurements: list[Measurement] = field(default_factory=list)
+
+    def add(self, measurement: Measurement) -> None:
+        if not isinstance(measurement, (ConceptMeasurement, RoleMeasurement)):
+            raise ContextError(f"not a measurement: {measurement!r}")
+        self.measurements.append(measurement)
+
+    def extend(self, measurements: Iterable[Measurement]) -> None:
+        for measurement in measurements:
+            self.add(measurement)
+
+    def apply(self, abox: ABox) -> int:
+        """Replace the ABox's dynamic assertions with this snapshot's.
+
+        Returns the number of assertions written.
+        """
+        abox.clear_dynamic()
+        for measurement in self.measurements:
+            measurement.apply(abox)
+        return len(self.measurements)
+
+    def __iter__(self) -> Iterator[Measurement]:
+        return iter(self.measurements)
+
+    def __len__(self) -> int:
+        return len(self.measurements)
+
+    def __str__(self) -> str:
+        lines = [f"context @ {self.instant}:"]
+        lines.extend(f"  {measurement}" for measurement in self.measurements)
+        return "\n".join(lines)

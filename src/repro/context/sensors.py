@@ -1,0 +1,185 @@
+"""Simulated sensors producing uncertain measurements.
+
+The paper's context information "results from sensors and is therefore
+uncertain".  With no hardware in a reproduction, each sensor here reads
+a *ground truth* (what is actually the case in the simulated world) and
+emits noisy measurements: a distribution over values in which the true
+value receives the sensor's accuracy and the remaining mass spreads
+over confusable alternatives.  Mutually exclusive value families
+(location, activity) register their per-tick measurements as a mutex
+group in the event space — "a person can only be at a single place at
+one moment".
+
+Determinism: sensors draw nothing at read time; noise is a fixed
+confusion model, so a scenario's event space is identical across runs.
+Stochastic *scenarios* (which ground truths occur) belong to the
+workload generators, which take explicit seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ContextError
+from repro.events.space import EventSpace
+from repro.dl.vocabulary import ConceptName, Individual, RoleName
+from repro.context.clock import SimClock
+from repro.context.model import ConceptMeasurement, Measurement, RoleMeasurement
+
+__all__ = [
+    "GroundTruth",
+    "Sensor",
+    "CalendarSensor",
+    "LocationSensor",
+    "ActivitySensor",
+    "CompanionSensor",
+]
+
+
+@dataclass
+class GroundTruth:
+    """What is actually the case in the simulated world at one instant."""
+
+    location: str | None = None
+    activity: str | None = None
+    companions: tuple[str, ...] = ()
+
+
+@dataclass
+class Sensor:
+    """Base class: reads the world, emits measurements for one user."""
+
+    user: Individual
+    name: str = "sensor"
+
+    def read(
+        self,
+        clock: SimClock,
+        truth: GroundTruth,
+        space: EventSpace,
+        tick: str,
+    ) -> list[Measurement]:
+        raise NotImplementedError
+
+
+@dataclass
+class CalendarSensor(Sensor):
+    """Emits the certain calendar concepts (Weekend/Workday, part of day)."""
+
+    name: str = "calendar"
+
+    def read(self, clock: SimClock, truth: GroundTruth, space: EventSpace, tick: str) -> list[Measurement]:
+        measurements: list[Measurement] = []
+        for concept in clock.calendar_concepts:
+            event = space.atom(f"{self.name}:{tick}:{concept}", 1.0)
+            measurements.append(
+                ConceptMeasurement(ConceptName(concept), self.user, 1.0, event, self.name)
+            )
+        return measurements
+
+
+def _confusion(values: Sequence[str], true_value: str, accuracy: float) -> dict[str, float]:
+    """True value gets ``accuracy``; the rest share the remainder."""
+    if true_value not in values:
+        raise ContextError(f"ground truth {true_value!r} not among sensor values {list(values)}")
+    if not 0.0 < accuracy <= 1.0:
+        raise ContextError(f"sensor accuracy must be in (0, 1], got {accuracy!r}")
+    others = [value for value in values if value != true_value]
+    if not others:
+        return {true_value: accuracy}
+    residual = (1.0 - accuracy) / len(others)
+    distribution = {value: residual for value in others}
+    distribution[true_value] = accuracy
+    return {value: p for value, p in distribution.items() if p > 0.0}
+
+
+@dataclass
+class LocationSensor(Sensor):
+    """Senses ``locatedIn(user, room)`` over a fixed set of rooms."""
+
+    rooms: tuple[str, ...] = ()
+    accuracy: float = 0.9
+    role: str = "locatedIn"
+    name: str = "location"
+
+    def read(self, clock: SimClock, truth: GroundTruth, space: EventSpace, tick: str) -> list[Measurement]:
+        if truth.location is None:
+            return []
+        distribution = _confusion(self.rooms, truth.location, self.accuracy)
+        atoms = space.mutex_choice(
+            f"{self.name}:{tick}",
+            distribution,
+            prefix=f"{self.name}:{tick}:",
+        ) if len(distribution) > 1 else {
+            value: space.atom(f"{self.name}:{tick}:{value}", p) for value, p in distribution.items()
+        }
+        measurements: list[Measurement] = []
+        for room, probability in sorted(distribution.items()):
+            measurements.append(
+                RoleMeasurement(
+                    RoleName(self.role),
+                    self.user,
+                    Individual(room),
+                    probability,
+                    atoms[room],
+                    self.name,
+                )
+            )
+        return measurements
+
+
+@dataclass
+class ActivitySensor(Sensor):
+    """Senses the user's activity as mutually exclusive concepts."""
+
+    activities: tuple[str, ...] = ()
+    accuracy: float = 0.85
+    name: str = "activity"
+
+    def read(self, clock: SimClock, truth: GroundTruth, space: EventSpace, tick: str) -> list[Measurement]:
+        if truth.activity is None:
+            return []
+        distribution = _confusion(self.activities, truth.activity, self.accuracy)
+        atoms = space.mutex_choice(
+            f"{self.name}:{tick}",
+            distribution,
+            prefix=f"{self.name}:{tick}:",
+        ) if len(distribution) > 1 else {
+            value: space.atom(f"{self.name}:{tick}:{value}", p) for value, p in distribution.items()
+        }
+        measurements: list[Measurement] = []
+        for activity, probability in sorted(distribution.items()):
+            measurements.append(
+                ConceptMeasurement(
+                    ConceptName(activity), self.user, probability, atoms[activity], self.name
+                )
+            )
+        return measurements
+
+
+@dataclass
+class CompanionSensor(Sensor):
+    """Senses which other persons are with the user (independent facts)."""
+
+    detection_probability: float = 0.95
+    role: str = "isWith"
+    name: str = "companions"
+
+    def read(self, clock: SimClock, truth: GroundTruth, space: EventSpace, tick: str) -> list[Measurement]:
+        measurements: list[Measurement] = []
+        for companion in truth.companions:
+            event = space.atom(
+                f"{self.name}:{tick}:{companion}", self.detection_probability
+            )
+            measurements.append(
+                RoleMeasurement(
+                    RoleName(self.role),
+                    self.user,
+                    Individual(companion),
+                    self.detection_probability,
+                    event,
+                    self.name,
+                )
+            )
+        return measurements

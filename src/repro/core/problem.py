@@ -1,0 +1,136 @@
+"""Scoring problems: rules bound to a concrete situation and candidates.
+
+Following Section 4.1 — "we consider only those features important for
+relevance that are mentioned in the preference rules" — the feature
+space of a scoring problem is exactly the rule set:
+
+* per rule ``r``, the *context feature* is the event under which the
+  situated user satisfies ``r.context`` (one event for the whole
+  problem);
+* per rule ``r`` and candidate document ``d``, the *document feature*
+  is the event under which ``d`` satisfies ``r.preference``.
+
+:func:`bind_problem` computes all of these through the probabilistic
+instance checker and packages them for the scorers in
+:mod:`repro.core.scoring`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ScoringError
+from repro.events.expr import EventExpr
+from repro.events.probability import probability
+from repro.events.space import EventSpace
+from repro.dl.abox import ABox
+from repro.dl.instances import membership_event
+from repro.dl.tbox import TBox
+from repro.dl.vocabulary import Individual
+from repro.rules.repository import RuleRepository
+from repro.rules.rule import PreferenceRule
+
+__all__ = ["RuleBinding", "DocumentBinding", "ScoringProblem", "bind_problem"]
+
+
+@dataclass(frozen=True)
+class RuleBinding:
+    """One rule with its context event in the current situation."""
+
+    rule: PreferenceRule
+    context_event: EventExpr
+    context_probability: float
+
+    @property
+    def sigma(self) -> float:
+        return self.rule.sigma
+
+
+@dataclass(frozen=True)
+class DocumentBinding:
+    """One candidate with its per-rule preference events.
+
+    ``preference_events[i]`` / ``preference_probabilities[i]`` line up
+    with the problem's ``bindings[i]``.
+    """
+
+    document: Individual
+    preference_events: tuple[EventExpr, ...]
+    preference_probabilities: tuple[float, ...]
+
+
+@dataclass
+class ScoringProblem:
+    """Everything the scorers need for one ranking round.
+
+    Attributes
+    ----------
+    bindings:
+        The rules (with context events), in repository order.
+    documents:
+        Per-candidate bindings, in candidate order.
+    space:
+        The event space (mutex groups) behind all events.
+    """
+
+    bindings: tuple[RuleBinding, ...]
+    documents: tuple[DocumentBinding, ...] = ()
+    space: EventSpace | None = None
+
+    def __post_init__(self) -> None:
+        width = len(self.bindings)
+        for document in self.documents:
+            if len(document.preference_events) != width:
+                raise ScoringError(
+                    f"document {document.document} has {len(document.preference_events)} "
+                    f"preference events for {width} rules"
+                )
+
+    @property
+    def rule_count(self) -> int:
+        return len(self.bindings)
+
+    @property
+    def covered(self) -> bool:
+        """Is any rule's context possible?  (Section 4.1's coverage check.)"""
+        return any(not binding.context_event.is_impossible for binding in self.bindings)
+
+    def document(self, individual: Individual) -> DocumentBinding:
+        for binding in self.documents:
+            if binding.document == individual:
+                return binding
+        raise ScoringError(f"document {individual} is not part of this problem")
+
+
+def bind_problem(
+    abox: ABox,
+    tbox: TBox,
+    user: Individual,
+    repository: RuleRepository | Sequence[PreferenceRule],
+    documents: Iterable[Individual | str],
+    space: EventSpace | None = None,
+    engine: str = "shannon",
+) -> ScoringProblem:
+    """Bind a repository to the current context and candidate documents.
+
+    Examples
+    --------
+    >>> # See repro.workloads.tvtouch for a fully worked binding.
+    """
+    rules = list(repository)
+    bindings = []
+    for rule in rules:
+        event = membership_event(abox, tbox, user, rule.context)
+        bindings.append(RuleBinding(rule, event, probability(event, space, engine)))
+
+    document_bindings = []
+    for document in documents:
+        individual = Individual(document) if isinstance(document, str) else document
+        events = tuple(
+            membership_event(abox, tbox, individual, rule.preference) for rule in rules
+        )
+        probabilities = tuple(probability(event, space, engine) for event in events)
+        document_bindings.append(DocumentBinding(individual, events, probabilities))
+
+    return ScoringProblem(tuple(bindings), tuple(document_bindings), space)

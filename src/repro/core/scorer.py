@@ -1,0 +1,159 @@
+"""The context-aware scorer: the library's main entry point.
+
+Wraps problem binding, pruning and the scoring methods into one object
+that answers "what is ``P(D=d | U=u_sit)`` for these candidates, right
+now?" — recomputing as the context develops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ScoringError
+from repro.events.space import EventSpace
+from repro.dl.abox import ABox
+from repro.dl.concepts import Concept
+from repro.dl.instances import retrieve
+from repro.dl.tbox import TBox
+from repro.dl.vocabulary import Individual
+from repro.rules.repository import RuleRepository
+from repro.rules.rule import PreferenceRule
+from repro.core.problem import ScoringProblem, bind_problem
+from repro.core.pruning import PruneReport, all_miss_score, prune_rules, split_trivial_documents
+from repro.core.scoring import SCORING_METHODS, DocumentScore, score_document
+
+__all__ = ["ContextAwareScorer"]
+
+
+@dataclass
+class ContextAwareScorer:
+    """Scores documents against the user's current context.
+
+    Parameters
+    ----------
+    abox / tbox / space:
+        The knowledge base (static facts plus dynamic context).
+    user:
+        The situated user individual.
+    repository:
+        The scored preference rules.
+    method:
+        ``"factorised"`` (default), ``"enumeration"`` (the paper's
+        naive math) or ``"exact"`` (correlation-aware).
+    rule_threshold:
+        Context-probability threshold for rule pruning (0 = lossless).
+    prune_documents:
+        Share the all-miss score across candidates that satisfy no
+        preference instead of scoring them individually.
+
+    Examples
+    --------
+    >>> # See repro.workloads.tvtouch.build_tvtouch for a ready-made setup.
+    """
+
+    abox: ABox
+    tbox: TBox
+    user: Individual
+    repository: RuleRepository
+    space: EventSpace | None = None
+    method: str = "factorised"
+    rule_threshold: float = 0.0
+    prune_documents: bool = True
+    _last_report: PruneReport | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.method not in SCORING_METHODS:
+            raise ScoringError(
+                f"unknown scoring method {self.method!r}; choose from {sorted(SCORING_METHODS)}"
+            )
+
+    # -- problem construction ---------------------------------------------
+    def bind(self, documents: Iterable[Individual | str]) -> ScoringProblem:
+        """Bind the repository and candidates to the current context."""
+        problem = bind_problem(
+            self.abox, self.tbox, self.user, self.repository, documents, self.space
+        )
+        return prune_rules(problem, self.rule_threshold)
+
+    def context_covered(self) -> bool:
+        """Does any rule apply in the current context? (Section 4.1.)"""
+        return self.repository.covers_context(self.abox, self.tbox, self.user)
+
+    @property
+    def last_prune_report(self) -> PruneReport | None:
+        return self._last_report
+
+    # -- scoring ----------------------------------------------------------
+    def score(self, documents: Iterable[Individual | str]) -> list[DocumentScore]:
+        """Score candidates; order follows the input."""
+        documents = list(documents)
+        problem = self.bind(documents)
+        dropped = len(self.repository) - problem.rule_count
+
+        results: dict[str, DocumentScore] = {}
+        if self.prune_documents:
+            interesting, trivial = split_trivial_documents(problem)
+            shared = all_miss_score(problem.bindings)
+            for document in trivial:
+                results[document.document.name] = DocumentScore(
+                    document.document.name, shared, (), self.method
+                )
+        else:
+            interesting, trivial = list(problem.documents), []
+
+        for document in interesting:
+            results[document.document.name] = score_document(problem, document, self.method)
+
+        self._last_report = PruneReport(
+            kept_rules=problem.rule_count,
+            dropped_rules=dropped,
+            trivial_documents=len(trivial),
+            scored_documents=len(interesting),
+        )
+
+        ordered = []
+        for document in documents:
+            name = document.name if isinstance(document, Individual) else document
+            ordered.append(results[name])
+        return ordered
+
+    def score_map(self, documents: Iterable[Individual | str]) -> dict[str, float]:
+        """Scores keyed by document name."""
+        return {score.document: score.value for score in self.score(documents)}
+
+    def rank(self, documents: Iterable[Individual | str]) -> list[DocumentScore]:
+        """Scores sorted by decreasing probability (ties by name)."""
+        scores = self.score(documents)
+        return sorted(scores, key=lambda s: (-s.value, s.document))
+
+    def score_concept_members(self, concept: Concept) -> list[DocumentScore]:
+        """Rank every ABox individual that (possibly) satisfies ``concept``.
+
+        The common "rank all TvPrograms" call: candidates come from
+        instance retrieval over the target concept.
+        """
+        members = retrieve(self.abox, self.tbox, concept)
+        return self.rank(sorted(members, key=lambda individual: individual.name))
+
+    # -- maintenance ------------------------------------------------------
+    def add_rule(self, rule: PreferenceRule) -> None:
+        self.repository.add(rule)
+
+    def with_method(self, method: str) -> "ContextAwareScorer":
+        """A scorer sharing this knowledge base but using another method."""
+        return ContextAwareScorer(
+            abox=self.abox,
+            tbox=self.tbox,
+            user=self.user,
+            repository=self.repository,
+            space=self.space,
+            method=method,
+            rule_threshold=self.rule_threshold,
+            prune_documents=self.prune_documents,
+        )
+
+
+def as_individuals(documents: Sequence[Individual | str]) -> list[Individual]:
+    """Normalise a mixed document list to individuals."""
+    return [doc if isinstance(doc, Individual) else Individual(doc) for doc in documents]

@@ -1,0 +1,96 @@
+"""Description Logic substrate (S2).
+
+Contexts and preferences in the paper are Description Logic concept
+expressions.  This package provides the vocabulary (concept names,
+roles, individuals), ALC(O)-style concept expressions with a text
+parser, TBox classification and structural subsumption, an ABox whose
+assertions are weighted by event expressions, and probabilistic
+instance checking that maps an (individual, concept) pair to the event
+expression under which membership holds.
+"""
+
+from repro.dl.abox import ABox, ConceptAssertion, RoleAssertion
+from repro.dl.concepts import (
+    BOTTOM,
+    TOP,
+    And,
+    AtLeast,
+    Atomic,
+    Bottom,
+    Concept,
+    Exists,
+    ForAll,
+    HasValue,
+    Not,
+    OneOf,
+    Or,
+    Top,
+    at_least,
+    at_most,
+    atomic,
+    complement,
+    every,
+    has_value,
+    intersect,
+    one_of,
+    some,
+    union,
+)
+from repro.dl.instances import (
+    membership_event,
+    membership_probability,
+    retrieve,
+    retrieve_probabilities,
+)
+from repro.dl.parser import parse_concept
+from repro.dl.tbox import (
+    Definition,
+    DisjointnessAxiom,
+    RoleSubsumptionAxiom,
+    SubsumptionAxiom,
+    TBox,
+)
+from repro.dl.vocabulary import ConceptName, Individual, RoleName
+
+__all__ = [
+    "ABox",
+    "AtLeast",
+    "BOTTOM",
+    "TOP",
+    "And",
+    "Atomic",
+    "Bottom",
+    "Concept",
+    "ConceptAssertion",
+    "ConceptName",
+    "Definition",
+    "DisjointnessAxiom",
+    "Exists",
+    "ForAll",
+    "HasValue",
+    "Individual",
+    "Not",
+    "OneOf",
+    "Or",
+    "RoleAssertion",
+    "RoleName",
+    "RoleSubsumptionAxiom",
+    "SubsumptionAxiom",
+    "TBox",
+    "Top",
+    "at_least",
+    "at_most",
+    "atomic",
+    "complement",
+    "every",
+    "has_value",
+    "intersect",
+    "membership_event",
+    "membership_probability",
+    "one_of",
+    "parse_concept",
+    "retrieve",
+    "retrieve_probabilities",
+    "some",
+    "union",
+]

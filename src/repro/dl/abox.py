@@ -1,0 +1,219 @@
+"""ABox: assertional knowledge weighted by event expressions.
+
+Following the paper's naive implementation, "we view each concept as a
+table, which uses the concept name as the table name and has an ID
+attribute and an event expression attribute. Similarly, we view each
+role as a table [...] containing three attributes; SOURCE, DESTINATION,
+and an event expression."
+
+The ABox is the in-memory form of exactly those tables: each concept
+assertion ``A(i)`` and role assertion ``R(i, j)`` carries the event
+expression under which it holds.  Certain facts carry :data:`ALWAYS`.
+Dynamic context (sensor-fed) assertions are ordinary assertions whose
+events come from fresh sensor measurements; they are replaced wholesale
+on every context refresh through the ``dynamic`` tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import ABoxError
+from repro.events.expr import ALWAYS, EventExpr, disj
+from repro.dl.vocabulary import ConceptName, Individual, RoleName
+
+__all__ = ["ConceptAssertion", "RoleAssertion", "ABox"]
+
+
+@dataclass(frozen=True)
+class ConceptAssertion:
+    """``A(individual)`` holding under ``event``."""
+
+    concept: ConceptName
+    individual: Individual
+    event: EventExpr
+    dynamic: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.concept}({self.individual}) [{self.event}]"
+
+
+@dataclass(frozen=True)
+class RoleAssertion:
+    """``R(source, target)`` holding under ``event``."""
+
+    role: RoleName
+    source: Individual
+    target: Individual
+    event: EventExpr
+    dynamic: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.role}({self.source}, {self.target}) [{self.event}]"
+
+
+class ABox:
+    """A set of event-weighted concept and role assertions.
+
+    Assertions about the same fact accumulate disjunctively: asserting
+    ``A(i)`` twice with events ``e1`` and ``e2`` means ``A(i)`` holds
+    under ``e1 OR e2`` (two independent reasons to believe the fact).
+
+    Examples
+    --------
+    >>> from repro.events import EventSpace
+    >>> box = ABox()
+    >>> space = EventSpace()
+    >>> _ = box.assert_concept("TvProgram", "oprah")
+    >>> _ = box.assert_role("hasGenre", "oprah", "HUMAN-INTEREST",
+    ...                     space.atom("genre:oprah", 0.85))
+    >>> len(list(box.role_assertions()))
+    1
+    """
+
+    def __init__(self) -> None:
+        self._concepts: dict[ConceptName, dict[Individual, ConceptAssertion]] = {}
+        self._roles: dict[RoleName, dict[tuple[Individual, Individual], RoleAssertion]] = {}
+        self._individuals: set[Individual] = set()
+
+    # -- assertion entry --------------------------------------------------
+    def register_individual(self, individual: str | Individual) -> Individual:
+        """Add an individual to the domain (idempotent)."""
+        individual = Individual(individual) if isinstance(individual, str) else individual
+        self._individuals.add(individual)
+        return individual
+
+    def assert_concept(
+        self,
+        concept: str | ConceptName,
+        individual: str | Individual,
+        event: EventExpr = ALWAYS,
+        dynamic: bool = False,
+    ) -> ConceptAssertion:
+        """Assert ``concept(individual)`` under ``event``."""
+        concept = ConceptName(concept) if isinstance(concept, str) else concept
+        individual = self.register_individual(individual)
+        if not isinstance(event, EventExpr):
+            raise ABoxError(f"assertion event must be an EventExpr, got {event!r}")
+        table = self._concepts.setdefault(concept, {})
+        existing = table.get(individual)
+        if existing is not None:
+            event = disj([existing.event, event])
+            dynamic = dynamic or existing.dynamic
+        assertion = ConceptAssertion(concept, individual, event, dynamic)
+        table[individual] = assertion
+        return assertion
+
+    def assert_role(
+        self,
+        role: str | RoleName,
+        source: str | Individual,
+        target: str | Individual,
+        event: EventExpr = ALWAYS,
+        dynamic: bool = False,
+    ) -> RoleAssertion:
+        """Assert ``role(source, target)`` under ``event``."""
+        role = RoleName(role) if isinstance(role, str) else role
+        source = self.register_individual(source)
+        target = self.register_individual(target)
+        if not isinstance(event, EventExpr):
+            raise ABoxError(f"assertion event must be an EventExpr, got {event!r}")
+        table = self._roles.setdefault(role, {})
+        key = (source, target)
+        existing = table.get(key)
+        if existing is not None:
+            event = disj([existing.event, event])
+            dynamic = dynamic or existing.dynamic
+        assertion = RoleAssertion(role, source, target, event, dynamic)
+        table[key] = assertion
+        return assertion
+
+    # -- retraction ----------------------------------------------------
+    def clear_dynamic(self) -> int:
+        """Drop every assertion tagged dynamic; returns how many.
+
+        Called by the context refresh cycle before loading the new
+        snapshot's assertions.
+        """
+        removed = 0
+        for table in self._concepts.values():
+            stale = [key for key, assertion in table.items() if assertion.dynamic]
+            for key in stale:
+                del table[key]
+            removed += len(stale)
+        for role_table in self._roles.values():
+            stale_pairs = [key for key, assertion in role_table.items() if assertion.dynamic]
+            for key in stale_pairs:
+                del role_table[key]
+            removed += len(stale_pairs)
+        return removed
+
+    # -- lookups ----------------------------------------------------------
+    @property
+    def individuals(self) -> frozenset[Individual]:
+        return frozenset(self._individuals)
+
+    @property
+    def concept_names(self) -> frozenset[ConceptName]:
+        return frozenset(self._concepts)
+
+    @property
+    def role_names(self) -> frozenset[RoleName]:
+        return frozenset(self._roles)
+
+    def concept_event(self, concept: ConceptName, individual: Individual) -> EventExpr | None:
+        """Event of the direct assertion ``concept(individual)``, if any."""
+        assertion = self._concepts.get(concept, {}).get(individual)
+        return assertion.event if assertion is not None else None
+
+    def concept_members(self, concept: ConceptName) -> Iterator[ConceptAssertion]:
+        """All direct assertions of one concept name."""
+        return iter(self._concepts.get(concept, {}).values())
+
+    def role_event(self, role: RoleName, source: Individual, target: Individual) -> EventExpr | None:
+        assertion = self._roles.get(role, {}).get((source, target))
+        return assertion.event if assertion is not None else None
+
+    def role_successors(self, role: RoleName, source: Individual) -> Iterator[RoleAssertion]:
+        """All role assertions leaving ``source`` via ``role``."""
+        for (src, _dst), assertion in self._roles.get(role, {}).items():
+            if src == source:
+                yield assertion
+
+    def role_pairs(self, role: RoleName) -> Iterator[RoleAssertion]:
+        """All assertions of one role."""
+        return iter(self._roles.get(role, {}).values())
+
+    def concept_assertions(self) -> Iterator[ConceptAssertion]:
+        """Every concept assertion in the ABox."""
+        for table in self._concepts.values():
+            yield from table.values()
+
+    def role_assertions(self) -> Iterator[RoleAssertion]:
+        """Every role assertion in the ABox."""
+        for table in self._roles.values():
+            yield from table.values()
+
+    def __len__(self) -> int:
+        """Total number of assertions (the paper's "tuple" count)."""
+        concept_count = sum(len(table) for table in self._concepts.values())
+        role_count = sum(len(table) for table in self._roles.values())
+        return concept_count + role_count
+
+    def __repr__(self) -> str:
+        return (
+            f"ABox(individuals={len(self._individuals)}, "
+            f"concepts={len(self._concepts)}, roles={len(self._roles)}, assertions={len(self)})"
+        )
+
+    # -- bulk load ------------------------------------------------------
+    def update(self, assertions: Iterable[ConceptAssertion | RoleAssertion]) -> None:
+        """Re-play a stream of assertions into this ABox."""
+        for assertion in assertions:
+            if isinstance(assertion, ConceptAssertion):
+                self.assert_concept(assertion.concept, assertion.individual, assertion.event, assertion.dynamic)
+            elif isinstance(assertion, RoleAssertion):
+                self.assert_role(assertion.role, assertion.source, assertion.target, assertion.event, assertion.dynamic)
+            else:
+                raise ABoxError(f"cannot load {assertion!r} into an ABox")

@@ -1,0 +1,490 @@
+"""Concept expressions: the ALC(O) fragment used by preference rules.
+
+Both the *Context* and the *Preference* part of a scored preference rule
+are concept expressions (Section 4.1 of the paper), e.g.::
+
+    TvProgram ⊓ ∃hasGenre.{HUMAN-INTEREST}
+
+The constructors here mirror :mod:`repro.events.expr`: immutable nodes,
+structural equality, canonicalised n-ary connectives, and light local
+simplification (⊤/⊥ absorption, double negation, idempotence).  The
+supported constructors:
+
+===============  =========================  ============================
+constructor      DL syntax                  meaning
+===============  =========================  ============================
+``TOP``          ⊤                          everything
+``BOTTOM``       ⊥                          nothing
+``Atomic``       A                          named concept
+``Not``          ¬C                         complement
+``And``          C ⊓ D                      intersection
+``Or``           C ⊔ D                      union
+``Exists``       ∃R.C                       some R-successor in C
+``ForAll``       ∀R.C                       every R-successor in C
+``OneOf``        {a, b}                     enumerated individuals
+``HasValue``     ∃R.{a}                     R-successor equal to a
+===============  =========================  ============================
+
+``HasValue`` is kept as its own node (rather than desugaring) because
+the paper writes rules in that form and explanations read better, but
+it is semantically identical to ``Exists(R, OneOf({a}))`` and the
+instance checker treats it so.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import DLError
+from repro.dl.vocabulary import ConceptName, Individual, RoleName
+
+__all__ = [
+    "Concept",
+    "Top",
+    "Bottom",
+    "Atomic",
+    "Not",
+    "And",
+    "Or",
+    "Exists",
+    "ForAll",
+    "OneOf",
+    "HasValue",
+    "AtLeast",
+    "TOP",
+    "BOTTOM",
+    "atomic",
+    "intersect",
+    "union",
+    "complement",
+    "some",
+    "every",
+    "one_of",
+    "has_value",
+    "at_least",
+    "at_most",
+]
+
+
+class Concept:
+    """Abstract base class of concept-expression nodes."""
+
+    __slots__ = ("_key", "_hash")
+
+    _key: tuple
+    _hash: int
+
+    def _init_node(self, key: tuple) -> None:
+        self._key = key
+        self._hash = hash(key)
+
+    # -- structure ------------------------------------------------------
+    def concept_names(self) -> frozenset[ConceptName]:
+        """All atomic concept names mentioned in the expression."""
+        names: set[ConceptName] = set()
+        _collect(self, names, set(), set())
+        return frozenset(names)
+
+    def role_names(self) -> frozenset[RoleName]:
+        """All role names mentioned in the expression."""
+        roles: set[RoleName] = set()
+        _collect(self, set(), roles, set())
+        return frozenset(roles)
+
+    def individuals(self) -> frozenset[Individual]:
+        """All individuals mentioned in nominals / has-value fillers."""
+        individuals: set[Individual] = set()
+        _collect(self, set(), set(), individuals)
+        return frozenset(individuals)
+
+    # -- operators ------------------------------------------------------
+    def __and__(self, other: "Concept") -> "Concept":
+        return intersect([self, other])
+
+    def __or__(self, other: "Concept") -> "Concept":
+        return union([self, other])
+
+    def __invert__(self) -> "Concept":
+        return complement(self)
+
+    # -- identity ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Concept):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def sort_key(self) -> tuple:
+        return self._key
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self})"
+
+
+class Top(Concept):
+    """⊤ — the universal concept; a rule context of ⊤ is a default rule."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        self._init_node(("T",))
+
+    def __str__(self) -> str:
+        return "TOP"
+
+
+class Bottom(Concept):
+    """⊥ — the empty concept."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        self._init_node(("B",))
+
+    def __str__(self) -> str:
+        return "BOTTOM"
+
+
+TOP = Top()
+BOTTOM = Bottom()
+
+
+class Atomic(Concept):
+    """A named concept, e.g. ``TvProgram`` or ``Weekend``."""
+
+    __slots__ = ("concept",)
+
+    def __init__(self, concept: ConceptName):
+        if not isinstance(concept, ConceptName):
+            raise DLError(f"Atomic requires a ConceptName, got {concept!r}")
+        self.concept = concept
+        self._init_node(("a", concept.name))
+
+    @property
+    def name(self) -> str:
+        return self.concept.name
+
+    def __str__(self) -> str:
+        return self.concept.name
+
+
+class Not(Concept):
+    """¬C — complement (use :func:`complement`)."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Concept):
+        self.child = child
+        self._init_node(("n", child._key))
+
+    def __str__(self) -> str:
+        if isinstance(self.child, (Atomic, Top, Bottom, OneOf)):
+            return f"NOT {self.child}"
+        return f"NOT ({self.child})"
+
+
+class _Nary(Concept):
+    __slots__ = ("children",)
+
+    _tag = "?"
+    _word = "?"
+
+    def __init__(self, children: tuple[Concept, ...]):
+        self.children = children
+        self._init_node((self._tag,) + tuple(child._key for child in children))
+
+    def __iter__(self) -> Iterator[Concept]:
+        return iter(self.children)
+
+    def __str__(self) -> str:
+        parts = []
+        for child in self.children:
+            text = str(child)
+            if isinstance(child, _Nary):
+                text = f"({text})"
+            parts.append(text)
+        return f" {self._word} ".join(parts)
+
+
+class And(_Nary):
+    """C ⊓ D — intersection (use :func:`intersect`)."""
+
+    __slots__ = ()
+    _tag = "&"
+    _word = "AND"
+
+
+class Or(_Nary):
+    """C ⊔ D — union (use :func:`union`)."""
+
+    __slots__ = ()
+    _tag = "|"
+    _word = "OR"
+
+
+class Exists(Concept):
+    """∃R.C — individuals with some R-successor in C."""
+
+    __slots__ = ("role", "filler")
+
+    def __init__(self, role: RoleName, filler: Concept):
+        if not isinstance(role, RoleName):
+            raise DLError(f"Exists requires a RoleName, got {role!r}")
+        self.role = role
+        self.filler = filler
+        self._init_node(("e", role.name, filler._key))
+
+    def __str__(self) -> str:
+        filler = str(self.filler)
+        if isinstance(self.filler, (_Nary, Not)):
+            filler = f"({filler})"
+        return f"EXISTS {self.role.name}.{filler}"
+
+
+class ForAll(Concept):
+    """∀R.C — individuals all of whose R-successors are in C."""
+
+    __slots__ = ("role", "filler")
+
+    def __init__(self, role: RoleName, filler: Concept):
+        if not isinstance(role, RoleName):
+            raise DLError(f"ForAll requires a RoleName, got {role!r}")
+        self.role = role
+        self.filler = filler
+        self._init_node(("f", role.name, filler._key))
+
+    def __str__(self) -> str:
+        filler = str(self.filler)
+        if isinstance(self.filler, (_Nary, Not)):
+            filler = f"({filler})"
+        return f"ALL {self.role.name}.{filler}"
+
+
+class OneOf(Concept):
+    """{a, b, ...} — an enumerated (nominal) concept."""
+
+    __slots__ = ("members",)
+
+    def __init__(self, members: frozenset[Individual]):
+        if not members:
+            raise DLError("OneOf requires at least one individual (use BOTTOM for none)")
+        for member in members:
+            if not isinstance(member, Individual):
+                raise DLError(f"OneOf members must be Individuals, got {member!r}")
+        self.members = members
+        self._init_node(("o",) + tuple(sorted(member.name for member in members)))
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(sorted(member.name for member in self.members)) + "}"
+
+
+class AtLeast(Concept):
+    """≥n R.C — individuals with at least n distinct R-successors in C.
+
+    A qualified number restriction (the paper's DL background supports
+    these; they let preferences say "programs with at least two genres
+    I like").  ``AtLeast(1, R, C)`` is semantically ``Exists(R, C)``;
+    the constructor :func:`at_least` normalises that case.
+    """
+
+    __slots__ = ("count", "role", "filler")
+
+    def __init__(self, count: int, role: RoleName, filler: Concept):
+        if not isinstance(count, int) or count < 1:
+            raise DLError(f"AtLeast requires a positive integer count, got {count!r}")
+        if not isinstance(role, RoleName):
+            raise DLError(f"AtLeast requires a RoleName, got {role!r}")
+        self.count = count
+        self.role = role
+        self.filler = filler
+        self._init_node(("g", count, role.name, filler._key))
+
+    def __str__(self) -> str:
+        filler = str(self.filler)
+        if isinstance(self.filler, (_Nary, Not)):
+            filler = f"({filler})"
+        return f"ATLEAST {self.count} {self.role.name}.{filler}"
+
+
+class HasValue(Concept):
+    """R VALUE a — sugar for ∃R.{a}, kept explicit for readability."""
+
+    __slots__ = ("role", "value")
+
+    def __init__(self, role: RoleName, value: Individual):
+        if not isinstance(role, RoleName):
+            raise DLError(f"HasValue requires a RoleName, got {role!r}")
+        if not isinstance(value, Individual):
+            raise DLError(f"HasValue requires an Individual, got {value!r}")
+        self.role = role
+        self.value = value
+        # Same key as the desugared form so equal meanings compare equal.
+        self._init_node(("e", role.name, ("o", value.name)))
+
+    def desugar(self) -> Exists:
+        """The equivalent ∃R.{a} form."""
+        return Exists(self.role, OneOf(frozenset({self.value})))
+
+    def __str__(self) -> str:
+        return f"{self.role.name} VALUE {self.value.name}"
+
+
+# -- public constructors -------------------------------------------------
+
+def atomic(name: str | ConceptName) -> Atomic:
+    """Build an atomic concept from a name."""
+    if isinstance(name, str):
+        name = ConceptName(name)
+    return Atomic(name)
+
+
+def complement(child: Concept) -> Concept:
+    """¬C with ⊤/⊥ and double-negation simplification."""
+    if not isinstance(child, Concept):
+        raise DLError(f"complement() requires a Concept, got {child!r}")
+    if isinstance(child, Top):
+        return BOTTOM
+    if isinstance(child, Bottom):
+        return TOP
+    if isinstance(child, Not):
+        return child.child
+    return Not(child)
+
+
+def _flatten(children: Iterable[Concept], klass: type) -> list[Concept]:
+    flat: list[Concept] = []
+    for child in children:
+        if not isinstance(child, Concept):
+            raise DLError(f"connective requires Concept children, got {child!r}")
+        if isinstance(child, klass):
+            flat.extend(child.children)  # type: ignore[attr-defined]
+        else:
+            flat.append(child)
+    return flat
+
+
+def _canonical(children: list[Concept]) -> tuple[Concept, ...]:
+    unique: dict[tuple, Concept] = {}
+    for child in children:
+        unique.setdefault(child._key, child)
+    return tuple(sorted(unique.values(), key=Concept.sort_key))
+
+
+def _has_complementary_pair(children: tuple[Concept, ...]) -> bool:
+    keys = {child._key for child in children}
+    for child in children:
+        if isinstance(child, Not) and child.child._key in keys:
+            return True
+    return False
+
+
+def intersect(children: Iterable[Concept]) -> Concept:
+    """C ⊓ D ⊓ ... with flattening and simplification; empty = ⊤."""
+    flat = _flatten(children, And)
+    kept = [child for child in flat if not isinstance(child, Top)]
+    if any(isinstance(child, Bottom) for child in kept):
+        return BOTTOM
+    ordered = _canonical(kept)
+    if not ordered:
+        return TOP
+    if len(ordered) == 1:
+        return ordered[0]
+    if _has_complementary_pair(ordered):
+        return BOTTOM
+    return And(ordered)
+
+
+def union(children: Iterable[Concept]) -> Concept:
+    """C ⊔ D ⊔ ... with flattening and simplification; empty = ⊥."""
+    flat = _flatten(children, Or)
+    kept = [child for child in flat if not isinstance(child, Bottom)]
+    if any(isinstance(child, Top) for child in kept):
+        return TOP
+    ordered = _canonical(kept)
+    if not ordered:
+        return BOTTOM
+    if len(ordered) == 1:
+        return ordered[0]
+    if _has_complementary_pair(ordered):
+        return TOP
+    return Or(ordered)
+
+
+def some(role: str | RoleName, filler: Concept) -> Concept:
+    """∃R.C; collapses to ⊥ when the filler is ⊥."""
+    if isinstance(role, str):
+        role = RoleName(role)
+    if isinstance(filler, Bottom):
+        return BOTTOM
+    return Exists(role, filler)
+
+
+def every(role: str | RoleName, filler: Concept) -> Concept:
+    """∀R.C; collapses to ⊤ when the filler is ⊤."""
+    if isinstance(role, str):
+        role = RoleName(role)
+    if isinstance(filler, Top):
+        return TOP
+    return ForAll(role, filler)
+
+
+def one_of(*members: str | Individual) -> OneOf:
+    """{a, b, ...} from names or individuals."""
+    resolved = frozenset(
+        member if isinstance(member, Individual) else Individual(member) for member in members
+    )
+    return OneOf(resolved)
+
+
+def has_value(role: str | RoleName, value: str | Individual) -> HasValue:
+    """R VALUE a from names."""
+    if isinstance(role, str):
+        role = RoleName(role)
+    if isinstance(value, str):
+        value = Individual(value)
+    return HasValue(role, value)
+
+
+def at_least(count: int, role: str | RoleName, filler: Concept) -> Concept:
+    """≥n R.C; ``n=1`` collapses to ∃R.C, ⊥ filler collapses to ⊥."""
+    if isinstance(role, str):
+        role = RoleName(role)
+    if isinstance(filler, Bottom):
+        return BOTTOM
+    if count == 1:
+        return Exists(role, filler)
+    return AtLeast(count, role, filler)
+
+
+def at_most(count: int, role: str | RoleName, filler: Concept) -> Concept:
+    """≤n R.C, as ¬(≥n+1 R.C) (the classical rewriting)."""
+    if not isinstance(count, int) or count < 0:
+        raise DLError(f"at_most requires a non-negative integer count, got {count!r}")
+    return complement(at_least(count + 1, role, filler))
+
+
+def _collect(
+    concept: Concept,
+    names: set[ConceptName],
+    roles: set[RoleName],
+    individuals: set[Individual],
+) -> None:
+    if isinstance(concept, Atomic):
+        names.add(concept.concept)
+    elif isinstance(concept, Not):
+        _collect(concept.child, names, roles, individuals)
+    elif isinstance(concept, (And, Or)):
+        for child in concept.children:
+            _collect(child, names, roles, individuals)
+    elif isinstance(concept, (Exists, ForAll, AtLeast)):
+        roles.add(concept.role)
+        _collect(concept.filler, names, roles, individuals)
+    elif isinstance(concept, OneOf):
+        individuals.update(concept.members)
+    elif isinstance(concept, HasValue):
+        roles.add(concept.role)
+        individuals.add(concept.value)

@@ -1,0 +1,213 @@
+"""Probabilistic instance checking: from concept expressions to events.
+
+The bridge between the DL layer and the uncertainty layer: for an
+individual ``i`` and concept expression ``C``, :func:`membership_event`
+computes the *event expression* under which ``i ∈ C`` holds, given the
+ABox assertions and the TBox name hierarchy.  The probability of that
+event (via :func:`repro.events.probability`) is then the probability
+the paper's model needs — e.g. "the probability that Channel 5 news has
+a human-interest genre is 0.95".
+
+Semantics (closed-world over the ABox, as in any database-backed
+implementation, including the paper's):
+
+* ``A`` (atomic): the disjunction of the events of the assertions
+  ``B(i)`` for every ``B ⊑ A`` in the TBox closure.  Defined names are
+  unfolded first.
+* ``¬C``: the negation of the membership event of ``C`` (absence of
+  evidence is evidence of absence — the database view).
+* ``C ⊓ D`` / ``C ⊔ D``: conjunction / disjunction of the events.
+* ``{a, b}``: certain if ``i`` is one of the named individuals.
+* ``∃R.C``: the disjunction over asserted ``R(i, j)`` of
+  ``event(R(i,j)) AND event(j ∈ C)``.
+* ``∀R.C``: the conjunction over asserted ``R(i, j)`` of
+  ``NOT event(R(i,j)) OR event(j ∈ C)`` (every potential successor is
+  either absent or in ``C``).
+* ``R VALUE a``: the event of the assertion ``R(i, a)``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import ComplexityLimitError, DLError
+from repro.events.expr import ALWAYS, NEVER, EventExpr, conj, disj, neg
+from repro.events.probability import probability
+from repro.events.space import EventSpace
+from repro.dl.abox import ABox
+from repro.dl.concepts import (
+    And,
+    AtLeast,
+    Atomic,
+    Bottom,
+    Concept,
+    Exists,
+    ForAll,
+    HasValue,
+    Not,
+    OneOf,
+    Or,
+    Top,
+)
+from repro.dl.tbox import TBox
+from repro.dl.vocabulary import Individual, RoleName
+
+#: Guard for qualified number restrictions: C(successors, n) subsets.
+MAX_AT_LEAST_SUBSETS = 50000
+
+__all__ = ["membership_event", "membership_probability", "retrieve", "retrieve_probabilities"]
+
+
+def membership_event(
+    abox: ABox,
+    tbox: TBox,
+    individual: str | Individual,
+    concept: Concept,
+) -> EventExpr:
+    """Event expression under which ``individual`` is an instance of ``concept``.
+
+    Examples
+    --------
+    >>> from repro.events import EventSpace, probability
+    >>> from repro.dl import ABox, TBox, parse_concept
+    >>> box, tbox, space = ABox(), TBox(), EventSpace()
+    >>> _ = box.assert_concept("TvProgram", "oprah")
+    >>> _ = box.assert_role("hasGenre", "oprah", "HUMAN-INTEREST",
+    ...                     space.atom("g", 0.85))
+    >>> event = membership_event(box, tbox, "oprah",
+    ...     parse_concept("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}"))
+    >>> probability(event, space)
+    0.85
+    """
+    individual = Individual(individual) if isinstance(individual, str) else individual
+    expanded = tbox.expand(concept)
+    return _event(abox, tbox, individual, expanded)
+
+
+def _event(abox: ABox, tbox: TBox, individual: Individual, concept: Concept) -> EventExpr:
+    if isinstance(concept, Top):
+        return ALWAYS
+    if isinstance(concept, Bottom):
+        return NEVER
+    if isinstance(concept, Atomic):
+        alternatives = []
+        for sub_name in sorted(tbox.descendants(concept.concept), key=lambda n: n.name):
+            event = abox.concept_event(sub_name, individual)
+            if event is not None:
+                alternatives.append(event)
+        return disj(alternatives)
+    if isinstance(concept, Not):
+        return neg(_event(abox, tbox, individual, concept.child))
+    if isinstance(concept, And):
+        return conj(_event(abox, tbox, individual, child) for child in concept.children)
+    if isinstance(concept, Or):
+        return disj(_event(abox, tbox, individual, child) for child in concept.children)
+    if isinstance(concept, OneOf):
+        return ALWAYS if individual in concept.members else NEVER
+    if isinstance(concept, HasValue):
+        alternatives = []
+        for sub_role in sorted(tbox.role_descendants(concept.role), key=lambda r: r.name):
+            event = abox.role_event(sub_role, individual, concept.value)
+            if event is not None:
+                alternatives.append(event)
+        return disj(alternatives)
+    if isinstance(concept, Exists):
+        alternatives = []
+        for _target, edge_event, filler_event in _successors(abox, tbox, individual, concept.role, concept.filler):
+            alternatives.append(conj([edge_event, filler_event]))
+        return disj(alternatives)
+    if isinstance(concept, ForAll):
+        obligations = []
+        for _target, edge_event, filler_event in _successors(abox, tbox, individual, concept.role, concept.filler):
+            obligations.append(disj([neg(edge_event), filler_event]))
+        return conj(obligations)
+    if isinstance(concept, AtLeast):
+        # "Has at least n distinct successors in C": the disjunction
+        # over n-subsets of distinct targets of the conjunction of their
+        # membership events.
+        per_target = [
+            conj([edge_event, filler_event])
+            for _target, edge_event, filler_event in _successors(
+                abox, tbox, individual, concept.role, concept.filler
+            )
+            if not conj([edge_event, filler_event]).is_impossible
+        ]
+        if len(per_target) < concept.count:
+            return NEVER
+        subset_count = 1
+        for step in range(concept.count):
+            subset_count = subset_count * (len(per_target) - step) // (step + 1)
+        if subset_count > MAX_AT_LEAST_SUBSETS:
+            raise ComplexityLimitError(
+                f"AtLeast({concept.count}) over {len(per_target)} successors needs "
+                f"{subset_count} subsets (> limit {MAX_AT_LEAST_SUBSETS})"
+            )
+        return disj(
+            conj(subset) for subset in combinations(per_target, concept.count)
+        )
+    raise DLError(f"cannot evaluate unknown concept node {concept!r}")
+
+
+def _successors(
+    abox: ABox,
+    tbox: TBox,
+    individual: Individual,
+    role: RoleName,
+    filler: Concept,
+) -> list[tuple[Individual, EventExpr, EventExpr]]:
+    """Distinct targets reachable via the role (or any sub-role).
+
+    Returns ``(target, edge event, filler membership event)`` with the
+    edge event OR-merged across the contributing sub-roles.
+    """
+    edges: dict[Individual, list[EventExpr]] = {}
+    for sub_role in sorted(tbox.role_descendants(role), key=lambda r: r.name):
+        for assertion in abox.role_successors(sub_role, individual):
+            edges.setdefault(assertion.target, []).append(assertion.event)
+    result = []
+    for target in sorted(edges, key=lambda t: t.name):
+        edge_event = disj(edges[target])
+        filler_event = _event(abox, tbox, target, filler)
+        result.append((target, edge_event, filler_event))
+    return result
+
+
+def membership_probability(
+    abox: ABox,
+    tbox: TBox,
+    individual: str | Individual,
+    concept: Concept,
+    space: EventSpace | None = None,
+    engine: str = "shannon",
+) -> float:
+    """Probability that ``individual`` is an instance of ``concept``."""
+    return probability(membership_event(abox, tbox, individual, concept), space, engine)
+
+
+def retrieve(abox: ABox, tbox: TBox, concept: Concept) -> dict[Individual, EventExpr]:
+    """Instance retrieval: every individual with a non-impossible event.
+
+    This is the set-at-a-time counterpart of :func:`membership_event`
+    and the reference semantics the relational view compiler
+    (:mod:`repro.storage.mapping`) is tested against.
+    """
+    result: dict[Individual, EventExpr] = {}
+    for individual in sorted(abox.individuals, key=lambda ind: ind.name):
+        event = membership_event(abox, tbox, individual, concept)
+        if not event.is_impossible:
+            result[individual] = event
+    return result
+
+
+def retrieve_probabilities(
+    abox: ABox,
+    tbox: TBox,
+    concept: Concept,
+    space: EventSpace | None = None,
+    engine: str = "shannon",
+) -> dict[Individual, float]:
+    """Instance retrieval with probabilities instead of raw events."""
+    return {
+        individual: probability(event, space, engine)
+        for individual, event in retrieve(abox, tbox, concept).items()
+    }

@@ -1,0 +1,229 @@
+"""Parser for the textual concept-expression syntax.
+
+Grammar (case of keywords is significant, identifiers are free)::
+
+    concept    := disjunct
+    disjunct   := conjunct ("OR" conjunct)*
+    conjunct   := unary ("AND" unary)*
+    unary      := "NOT" unary
+                | "EXISTS" role "." unary
+                | "ALL" role "." unary
+                | "ATLEAST" int role "." unary
+                | "ATMOST" int role "." unary
+                | primary
+    primary    := "TOP" | "BOTTOM"
+                | "{" ident ("," ident)* "}"
+                | ident "VALUE" ident          -- role VALUE individual
+                | ident                        -- atomic concept
+                | "(" concept ")"
+
+Examples::
+
+    TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}
+    NOT (Weekend OR Holiday)
+    ALL hasChannel.PublicChannel
+    hasSubject VALUE News
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.dl.concepts import (
+    BOTTOM,
+    TOP,
+    Concept,
+    at_least,
+    at_most,
+    atomic,
+    complement,
+    every,
+    has_value,
+    intersect,
+    one_of,
+    some,
+    union,
+)
+
+__all__ = ["parse_concept"]
+
+_KEYWORDS = {"AND", "OR", "NOT", "EXISTS", "ALL", "TOP", "BOTTOM", "VALUE", "ATLEAST", "ATMOST"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "punct" | "ident" | "eof"
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
+        ch = text[pos]
+        if ch in "(){},.":
+            tokens.append(_Token("punct", ch, pos))
+            pos += 1
+            continue
+        number = re.match(r"[0-9]+", text[pos:])
+        if number:
+            tokens.append(_Token("number", number.group(0), pos))
+            pos += len(number.group(0))
+            continue
+        match = re.match(r"[A-Za-z][A-Za-z0-9_\-]*", text[pos:])
+        if not match:
+            raise ParseError(f"unexpected character {ch!r}", text, pos)
+        tokens.append(_Token("ident", match.group(0), pos))
+        pos += len(match.group(0))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- cursor helpers ---------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect_punct(self, char: str) -> None:
+        token = self.peek()
+        if token.kind != "punct" or token.text != char:
+            raise ParseError(f"expected {char!r}, found {token.text or 'end of input'!r}", self.text, token.position)
+        self.advance()
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token.kind == "ident" and token.text == word
+
+    # -- grammar ------------------------------------------------------
+    def parse(self) -> Concept:
+        concept = self.disjunct()
+        token = self.peek()
+        if token.kind != "eof":
+            raise ParseError(f"unexpected trailing input {token.text!r}", self.text, token.position)
+        return concept
+
+    def disjunct(self) -> Concept:
+        parts = [self.conjunct()]
+        while self.at_keyword("OR"):
+            self.advance()
+            parts.append(self.conjunct())
+        return union(parts) if len(parts) > 1 else parts[0]
+
+    def conjunct(self) -> Concept:
+        parts = [self.unary()]
+        while self.at_keyword("AND"):
+            self.advance()
+            parts.append(self.unary())
+        return intersect(parts) if len(parts) > 1 else parts[0]
+
+    def unary(self) -> Concept:
+        if self.at_keyword("NOT"):
+            self.advance()
+            return complement(self.unary())
+        if self.at_keyword("EXISTS") or self.at_keyword("ALL"):
+            keyword = self.advance().text
+            role_token = self.peek()
+            if role_token.kind != "ident" or role_token.text in _KEYWORDS:
+                raise ParseError("expected role name after quantifier", self.text, role_token.position)
+            self.advance()
+            self.expect_punct(".")
+            filler = self.unary()
+            return some(role_token.text, filler) if keyword == "EXISTS" else every(role_token.text, filler)
+        if self.at_keyword("ATLEAST") or self.at_keyword("ATMOST"):
+            keyword = self.advance().text
+            count_token = self.peek()
+            if count_token.kind != "number":
+                raise ParseError(f"expected a count after {keyword}", self.text, count_token.position)
+            self.advance()
+            count = int(count_token.text)
+            role_token = self.peek()
+            if role_token.kind != "ident" or role_token.text in _KEYWORDS:
+                raise ParseError("expected role name after count", self.text, role_token.position)
+            self.advance()
+            self.expect_punct(".")
+            filler = self.unary()
+            if keyword == "ATLEAST":
+                if count < 1:
+                    raise ParseError("ATLEAST requires a count of at least 1", self.text, count_token.position)
+                return at_least(count, role_token.text, filler)
+            return at_most(count, role_token.text, filler)
+        return self.primary()
+
+    def primary(self) -> Concept:
+        token = self.peek()
+        if token.kind == "punct" and token.text == "(":
+            self.advance()
+            inner = self.disjunct()
+            self.expect_punct(")")
+            return inner
+        if token.kind == "punct" and token.text == "{":
+            return self.nominal()
+        if token.kind == "ident":
+            if token.text == "TOP":
+                self.advance()
+                return TOP
+            if token.text == "BOTTOM":
+                self.advance()
+                return BOTTOM
+            if token.text in _KEYWORDS:
+                raise ParseError(f"unexpected keyword {token.text!r}", self.text, token.position)
+            self.advance()
+            if self.at_keyword("VALUE"):
+                self.advance()
+                value_token = self.peek()
+                if value_token.kind != "ident" or value_token.text in _KEYWORDS:
+                    raise ParseError("expected individual after VALUE", self.text, value_token.position)
+                self.advance()
+                return has_value(token.text, value_token.text)
+            return atomic(token.text)
+        raise ParseError(
+            f"expected a concept, found {token.text or 'end of input'!r}", self.text, token.position
+        )
+
+    def nominal(self) -> Concept:
+        self.expect_punct("{")
+        members: list[str] = []
+        while True:
+            token = self.peek()
+            if token.kind != "ident" or token.text in _KEYWORDS:
+                raise ParseError("expected individual name in nominal", self.text, token.position)
+            members.append(self.advance().text)
+            token = self.peek()
+            if token.kind == "punct" and token.text == ",":
+                self.advance()
+                continue
+            break
+        self.expect_punct("}")
+        return one_of(*members)
+
+
+def parse_concept(text: str) -> Concept:
+    """Parse textual concept syntax into a :class:`~repro.dl.concepts.Concept`.
+
+    Raises
+    ------
+    ParseError
+        With position information on malformed input.
+
+    Examples
+    --------
+    >>> parse_concept("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}")
+    And(TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST})
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,76 @@
+"""The Description Logic vocabulary: concept names, role names, individuals.
+
+The paper models contextual features and preferences "as concept
+expressions in Description Logics" (following the authors' DEXA 2006
+preference model).  The vocabulary layer gives the three kinds of names
+those expressions are built from:
+
+* **concept names** — unary predicates ("TvProgram", "Weekend");
+* **role names** — binary predicates ("hasGenre", "locatedIn");
+* **individuals** — constants ("PETER", "HUMAN-INTEREST").
+
+Names are plain frozen value objects so they can live in sets, dict
+keys, database rows and serialised text without ceremony.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import DLError
+
+__all__ = ["ConceptName", "RoleName", "Individual"]
+
+#: Identifiers: a letter, then letters/digits and ``_ - .`` separators.
+_NAME_PATTERN = re.compile(r"^[A-Za-z][A-Za-z0-9_\-.]*$")
+
+
+def _validate_name(name: str, kind: str) -> str:
+    if not isinstance(name, str):
+        raise DLError(f"{kind} name must be a string, got {name!r}")
+    if not _NAME_PATTERN.match(name):
+        raise DLError(
+            f"invalid {kind} name {name!r}: must start with a letter and "
+            "contain only letters, digits, '_', '-' and '.'"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class ConceptName:
+    """The name of an atomic concept (a unary predicate)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        _validate_name(self.name, "concept")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class RoleName:
+    """The name of a role (a binary predicate)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        _validate_name(self.name, "role")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Individual:
+    """A named individual (a constant in the domain)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        _validate_name(self.name, "individual")
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,99 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while still being able to distinguish fine-grained
+failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class EventError(ReproError):
+    """Base class for errors in the event-expression subsystem."""
+
+
+class EventSpaceError(EventError):
+    """Raised for invalid event registrations or mutex declarations."""
+
+
+class UnknownEventError(EventError):
+    """Raised when an event name is not registered in an event space."""
+
+
+class ComplexityLimitError(ReproError):
+    """Raised when an exact computation would exceed its complexity budget.
+
+    The naive engines (world enumeration, DNF inclusion-exclusion) are
+    exponential; this error signals that a request was refused rather
+    than silently running forever.
+    """
+
+
+class ParseError(ReproError):
+    """Raised when parsing a concept expression, rule DSL or SQL text fails.
+
+    Attributes
+    ----------
+    text:
+        The full input text being parsed.
+    position:
+        Character offset at which the failure was detected, if known.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class DLError(ReproError):
+    """Base class for Description Logic errors."""
+
+
+class TBoxError(DLError):
+    """Raised for invalid TBox axioms (e.g. definitional cycles)."""
+
+
+class ABoxError(DLError):
+    """Raised for invalid ABox assertions."""
+
+
+class StorageError(ReproError):
+    """Base class for errors in the relational storage subsystem."""
+
+
+class SchemaError(StorageError):
+    """Raised when a schema is malformed or a row violates its schema."""
+
+
+class UnknownTableError(StorageError):
+    """Raised when a table or view name cannot be resolved."""
+
+
+class QueryError(StorageError):
+    """Raised when a relational-algebra or SQL query is invalid."""
+
+
+class ContextError(ReproError):
+    """Raised for invalid context measurements or snapshots."""
+
+
+class HistoryError(ReproError):
+    """Raised for malformed history episodes or impossible estimates."""
+
+
+class RuleError(ReproError):
+    """Raised for invalid scored preference rules."""
+
+
+class ScoringError(ReproError):
+    """Raised when a scoring problem is ill-formed."""
+
+
+class MiningError(ReproError):
+    """Raised when preference mining is given unusable inputs."""

@@ -1,0 +1,84 @@
+"""Probabilistic event expressions — the uncertainty substrate (S1).
+
+This package implements the "event expression datatype" the paper adds
+to PostgreSQL in its naive implementation (Section 5), following the
+probabilistic relational algebra of Fuhr & Roelleke and the context
+uncertainty model of van Bunningen et al.:
+
+* :class:`~repro.events.atoms.BasicEvent` — atomic Bernoulli variables;
+* :class:`~repro.events.space.EventSpace` — registry with
+  mutual-exclusion groups ("a person is at a single place at a time");
+* :mod:`~repro.events.expr` — Boolean event expressions with lineage;
+* four exact probability engines (Shannon expansion, BDD weighted model
+  counting, possible-world enumeration, DNF inclusion-exclusion);
+* serialisation to TEXT for the sqlite backend, and lineage rendering.
+"""
+
+from repro.events.atoms import BasicEvent, validate_probability
+from repro.events.bdd import Bdd, probability_by_bdd
+from repro.events.dnf import DnfTerm, Literal, probability_by_dnf, to_dnf
+from repro.events.expr import (
+    ALWAYS,
+    NEVER,
+    And,
+    Atom,
+    EventExpr,
+    FalseEvent,
+    Not,
+    Or,
+    TrueEvent,
+    atom,
+    conj,
+    disj,
+    neg,
+)
+from repro.events.lineage import Derivation, derivations, explain_probability, render_tree
+from repro.events.montecarlo import MonteCarloEstimate, probability_by_sampling
+from repro.events.probability import DEFAULT_ENGINE, ENGINES, conditional_probability, probability
+from repro.events.serialize import dumps, loads
+from repro.events.shannon import ShannonEngine, probability_by_shannon
+from repro.events.space import EventSpace, MutexGroup, chain_encode
+from repro.events.worlds import enumerate_worlds, probability_by_enumeration
+
+__all__ = [
+    "ALWAYS",
+    "NEVER",
+    "And",
+    "Atom",
+    "BasicEvent",
+    "Bdd",
+    "DEFAULT_ENGINE",
+    "Derivation",
+    "DnfTerm",
+    "ENGINES",
+    "EventExpr",
+    "EventSpace",
+    "FalseEvent",
+    "Literal",
+    "MonteCarloEstimate",
+    "MutexGroup",
+    "Not",
+    "Or",
+    "ShannonEngine",
+    "TrueEvent",
+    "atom",
+    "chain_encode",
+    "conditional_probability",
+    "conj",
+    "derivations",
+    "disj",
+    "dumps",
+    "enumerate_worlds",
+    "explain_probability",
+    "loads",
+    "neg",
+    "probability",
+    "probability_by_bdd",
+    "probability_by_dnf",
+    "probability_by_enumeration",
+    "probability_by_sampling",
+    "probability_by_shannon",
+    "render_tree",
+    "to_dnf",
+    "validate_probability",
+]

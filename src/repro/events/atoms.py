@@ -1,0 +1,74 @@
+"""Basic events: the atomic random variables of the uncertainty model.
+
+The paper's naive implementation (Section 5) extends the database with an
+*event expression* datatype following van Bunningen et al.'s context
+uncertainty model and Fuhr & Roelleke's probabilistic relational algebra.
+Every uncertain fact in the system — a sensor reading, an uncertain
+document feature — is witnessed by a *basic event*: an atomic Bernoulli
+variable with a fixed marginal probability.
+
+Basic events are independent unless they are placed in a mutual-exclusion
+group by an :class:`~repro.events.space.EventSpace` (for example, "Peter
+is in the kitchen" and "Peter is in the living room" cannot both hold;
+a person can only be at a single place at one moment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EventSpaceError
+
+__all__ = ["BasicEvent", "validate_probability"]
+
+
+def validate_probability(value: float, what: str = "probability") -> float:
+    """Return ``value`` if it is a number in ``[0, 1]``, else raise.
+
+    Raises
+    ------
+    EventSpaceError
+        If ``value`` is not a real number in the closed unit interval.
+    """
+    try:
+        number = float(value)
+    except (TypeError, ValueError) as exc:
+        raise EventSpaceError(f"{what} must be a number, got {value!r}") from exc
+    if number != number:  # NaN
+        raise EventSpaceError(f"{what} must not be NaN")
+    if not 0.0 <= number <= 1.0:
+        raise EventSpaceError(f"{what} must be in [0, 1], got {number!r}")
+    return number
+
+
+@dataclass(frozen=True)
+class BasicEvent:
+    """An atomic Bernoulli event with a name and a marginal probability.
+
+    Two basic events with the same name denote the *same* random
+    variable; it is an error (detected by the event space) to register
+    the same name twice with different probabilities.
+
+    Parameters
+    ----------
+    name:
+        Globally unique identifier of the event, e.g. ``"loc:peter:kitchen"``.
+    probability:
+        Marginal probability that the event occurs, in ``[0, 1]``.
+    """
+
+    name: str
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise EventSpaceError(f"event name must be a non-empty string, got {self.name!r}")
+        object.__setattr__(self, "probability", validate_probability(self.probability, f"probability of event {self.name!r}"))
+
+    @property
+    def complement_probability(self) -> float:
+        """Probability that the event does *not* occur."""
+        return 1.0 - self.probability
+
+    def __str__(self) -> str:
+        return f"{self.name}[p={self.probability:g}]"

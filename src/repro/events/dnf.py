@@ -1,0 +1,221 @@
+"""Disjunctive normal form and inclusion-exclusion probability.
+
+A fourth, independent way to compute exact probabilities, used to
+cross-check the other engines and to present lineage as a flat list of
+alternative "proofs" (each DNF term is one way the derived event can
+come about).  Both the DNF conversion and inclusion-exclusion are
+exponential; both refuse inputs beyond a budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.errors import ComplexityLimitError, EventError
+from repro.events.atoms import BasicEvent
+from repro.events.expr import ALWAYS, And, Atom, EventExpr, FalseEvent, Not, Or, TrueEvent
+from repro.events.space import EventSpace
+
+__all__ = ["Literal", "DnfTerm", "to_dnf", "probability_by_dnf", "DEFAULT_TERM_LIMIT"]
+
+#: Refuse inclusion-exclusion beyond this many DNF terms (2**n subsets).
+DEFAULT_TERM_LIMIT = 18
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A possibly negated basic event."""
+
+    event: BasicEvent
+    positive: bool = True
+
+    def negated(self) -> "Literal":
+        return Literal(self.event, not self.positive)
+
+    def __str__(self) -> str:
+        return self.event.name if self.positive else f"NOT {self.event.name}"
+
+
+@dataclass(frozen=True)
+class DnfTerm:
+    """A conjunction of literals; ``None`` result of conjoining = ⊥.
+
+    Terms are stored as a mapping from event to sign to make
+    contradiction detection O(1) per literal.
+    """
+
+    literals: frozenset[Literal]
+
+    @staticmethod
+    def true() -> "DnfTerm":
+        return DnfTerm(frozenset())
+
+    def conjoin(self, other: "DnfTerm", space: EventSpace | None = None) -> "DnfTerm | None":
+        """Conjunction of two terms, or ``None`` if contradictory.
+
+        With a ``space``, two *positive* literals over distinct members
+        of one mutex group also contradict.
+        """
+        signs: dict[BasicEvent, bool] = {lit.event: lit.positive for lit in self.literals}
+        for lit in other.literals:
+            existing = signs.get(lit.event)
+            if existing is None:
+                signs[lit.event] = lit.positive
+            elif existing != lit.positive:
+                return None
+        if space is not None:
+            positive = [event for event, sign in signs.items() if sign]
+            for first, second in combinations(positive, 2):
+                if space.are_exclusive(first.name, second.name):
+                    return None
+        return DnfTerm(frozenset(Literal(event, sign) for event, sign in signs.items()))
+
+    def probability(self, space: EventSpace | None = None) -> float:
+        """Exact probability of the conjunction under mutex semantics.
+
+        Literals over independent events multiply.  Within one mutex
+        group: one positive member (probability ``p_i``) forces every
+        other member false, so extra negative literals of that group are
+        free; with only negative literals the probability is
+        ``1 - sum of the negated members' probabilities``.
+        """
+        if space is None:
+            value = 1.0
+            for lit in self.literals:
+                value *= lit.event.probability if lit.positive else lit.event.complement_probability
+            return value
+
+        independent, grouped = space.partition_atoms(lit.event for lit in self.literals)
+        signs = {lit.event: lit.positive for lit in self.literals}
+        value = 1.0
+        for event in independent:
+            value *= event.probability if signs[event] else event.complement_probability
+        for _group, members in grouped:
+            positives = [event for event in members if signs[event]]
+            if len(positives) > 1:
+                return 0.0
+            if len(positives) == 1:
+                value *= positives[0].probability
+            else:
+                value *= max(0.0, 1.0 - sum(event.probability for event in members))
+        return value
+
+    def __str__(self) -> str:
+        if not self.literals:
+            return "TRUE"
+        return " AND ".join(sorted(str(lit) for lit in self.literals))
+
+
+def to_dnf(expr: EventExpr, term_limit: int = 4096) -> list[DnfTerm]:
+    """Convert an expression to a list of DNF terms.
+
+    The empty list denotes ⊥; a list containing the empty term denotes ⊤.
+    Contradictory terms (``x AND NOT x``) are dropped during expansion.
+
+    Raises
+    ------
+    ComplexityLimitError
+        If the intermediate term count exceeds ``term_limit``.
+    """
+    terms = _expand(_push_negations(expr, negate=False), term_limit)
+    return terms
+
+
+def _push_negations(expr: EventExpr, negate: bool) -> EventExpr:
+    """Rewrite to negation normal form (negations only on atoms)."""
+    if isinstance(expr, TrueEvent):
+        return FalseEvent() if negate else expr
+    if isinstance(expr, FalseEvent):
+        return ALWAYS if negate else expr
+    if isinstance(expr, Atom):
+        return Not(expr) if negate else expr
+    if isinstance(expr, Not):
+        return _push_negations(expr.child, not negate)
+    if isinstance(expr, And):
+        children = [_push_negations(child, negate) for child in expr.children]
+        from repro.events.expr import conj, disj
+
+        return disj(children) if negate else conj(children)
+    if isinstance(expr, Or):
+        children = [_push_negations(child, negate) for child in expr.children]
+        from repro.events.expr import conj, disj
+
+        return conj(children) if negate else disj(children)
+    raise EventError(f"cannot normalise unknown expression node {expr!r}")
+
+
+def _expand(expr: EventExpr, term_limit: int) -> list[DnfTerm]:
+    """Distribute AND over OR on a negation-normal-form expression."""
+    if isinstance(expr, TrueEvent):
+        return [DnfTerm.true()]
+    if isinstance(expr, FalseEvent):
+        return []
+    if isinstance(expr, Atom):
+        return [DnfTerm(frozenset({Literal(expr.event, True)}))]
+    if isinstance(expr, Not):
+        if not isinstance(expr.child, Atom):  # pragma: no cover - NNF guarantees
+            raise EventError("negation below non-atom after NNF")
+        return [DnfTerm(frozenset({Literal(expr.child.event, False)}))]
+    if isinstance(expr, Or):
+        terms: list[DnfTerm] = []
+        seen: set[frozenset[Literal]] = set()
+        for child in expr.children:
+            for term in _expand(child, term_limit):
+                if term.literals not in seen:
+                    seen.add(term.literals)
+                    terms.append(term)
+            if len(terms) > term_limit:
+                raise ComplexityLimitError(f"DNF expansion exceeds {term_limit} terms")
+        return terms
+    if isinstance(expr, And):
+        terms = [DnfTerm.true()]
+        for child in expr.children:
+            child_terms = _expand(child, term_limit)
+            next_terms: list[DnfTerm] = []
+            seen = set()
+            for left in terms:
+                for right in child_terms:
+                    merged = left.conjoin(right)
+                    if merged is not None and merged.literals not in seen:
+                        seen.add(merged.literals)
+                        next_terms.append(merged)
+            if len(next_terms) > term_limit:
+                raise ComplexityLimitError(f"DNF expansion exceeds {term_limit} terms")
+            terms = next_terms
+        return terms
+    raise EventError(f"cannot expand unknown expression node {expr!r}")
+
+
+def probability_by_dnf(
+    expr: EventExpr,
+    space: EventSpace | None = None,
+    term_limit: int = DEFAULT_TERM_LIMIT,
+) -> float:
+    """Exact probability via DNF + inclusion-exclusion.
+
+    ``P(t1 or ... or tn) = sum over non-empty subsets S of
+    (-1)^(|S|+1) * P(conjunction of S)``.  Exponential in the number of
+    DNF terms; refuses inputs with more than ``term_limit`` terms.
+    """
+    terms = to_dnf(expr)
+    if not terms:
+        return 0.0
+    if any(not term.literals for term in terms):
+        return 1.0
+    if len(terms) > term_limit:
+        raise ComplexityLimitError(
+            f"inclusion-exclusion over {len(terms)} terms exceeds limit {term_limit}"
+        )
+    total = 0.0
+    for size in range(1, len(terms) + 1):
+        sign = 1.0 if size % 2 == 1 else -1.0
+        for subset in combinations(terms, size):
+            merged: DnfTerm | None = DnfTerm.true()
+            for term in subset:
+                merged = merged.conjoin(term, space)
+                if merged is None:
+                    break
+            if merged is not None:
+                total += sign * merged.probability(space)
+    return min(1.0, max(0.0, total))

@@ -1,0 +1,367 @@
+"""Event expressions: Boolean combinations of basic events.
+
+An event expression denotes a derived event in the style of Fuhr &
+Roelleke's probabilistic relational algebra: the event under which a
+derived tuple exists is a Boolean combination (``AND`` for joins,
+``OR`` for duplicate-eliminating projections and unions, ``NOT`` for
+differences) of the basic events of the contributing base tuples.
+
+Expressions are immutable, hash-consed-by-value trees with light
+algebraic simplification applied at construction time:
+
+* ``AND``/``OR`` are flattened, sorted canonically and deduplicated;
+* identity and annihilator elements are removed (``x AND TRUE = x``,
+  ``x AND FALSE = FALSE``, dually for ``OR``);
+* complementary literals collapse (``x AND NOT x = FALSE``);
+* double negation cancels.
+
+Simplification is deliberately *local* — expressions are not converted
+to a canonical normal form, because the probability engines (Shannon
+expansion, BDD) do the heavy lifting and the un-normalised tree is the
+data lineage shown to users.
+
+The public constructors are :func:`conj`, :func:`disj`, :func:`neg`,
+:func:`atom` and the constants :data:`ALWAYS` / :data:`NEVER`; the
+operators ``&``, ``|`` and ``~`` are provided on every node.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import EventError
+from repro.events.atoms import BasicEvent
+
+__all__ = [
+    "EventExpr",
+    "TrueEvent",
+    "FalseEvent",
+    "Atom",
+    "Not",
+    "And",
+    "Or",
+    "ALWAYS",
+    "NEVER",
+    "atom",
+    "conj",
+    "disj",
+    "neg",
+]
+
+
+class EventExpr:
+    """Abstract base class of all event-expression nodes.
+
+    Nodes compare and hash by structure, support the Boolean operators
+    ``&``, ``|`` and ``~``, and know the set of basic events they
+    mention (:meth:`atoms`).
+    """
+
+    __slots__ = ("_key", "_hash", "_atoms")
+
+    _key: tuple
+    _hash: int
+    _atoms: frozenset[BasicEvent]
+
+    def _init_node(self, key: tuple, atoms: frozenset[BasicEvent]) -> None:
+        self._key = key
+        self._hash = hash(key)
+        self._atoms = atoms
+
+    # -- structure -----------------------------------------------------
+    def atoms(self) -> frozenset[BasicEvent]:
+        """Return the set of basic events mentioned in this expression."""
+        return self._atoms
+
+    def atom_names(self) -> frozenset[str]:
+        """Return the names of the basic events mentioned here."""
+        return frozenset(event.name for event in self._atoms)
+
+    @property
+    def is_certain(self) -> bool:
+        """True when the expression is the constant TRUE."""
+        return self is ALWAYS or isinstance(self, TrueEvent)
+
+    @property
+    def is_impossible(self) -> bool:
+        """True when the expression is the constant FALSE."""
+        return self is NEVER or isinstance(self, FalseEvent)
+
+    # -- evaluation ----------------------------------------------------
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate under a *complete* truth assignment of atom names.
+
+        Raises
+        ------
+        EventError
+            If an atom mentioned in the expression is missing from the
+            assignment.
+        """
+        raise NotImplementedError
+
+    def substitute(self, assignment: Mapping[str, bool]) -> "EventExpr":
+        """Partially evaluate under a (possibly partial) assignment.
+
+        Returns a simplified expression in which every atom named in
+        ``assignment`` is replaced by the corresponding constant.
+        """
+        raise NotImplementedError
+
+    # -- operators -----------------------------------------------------
+    def __and__(self, other: "EventExpr") -> "EventExpr":
+        return conj([self, other])
+
+    def __or__(self, other: "EventExpr") -> "EventExpr":
+        return disj([self, other])
+
+    def __invert__(self) -> "EventExpr":
+        return neg(self)
+
+    # -- identity ------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, EventExpr):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def sort_key(self) -> tuple:
+        """A total-order key used to canonicalise child order."""
+        return self._key
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self})"
+
+
+class TrueEvent(EventExpr):
+    """The certain event (probability 1)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        self._init_node(("T",), frozenset())
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return True
+
+    def substitute(self, assignment: Mapping[str, bool]) -> EventExpr:
+        return self
+
+    def __str__(self) -> str:
+        return "TRUE"
+
+
+class FalseEvent(EventExpr):
+    """The impossible event (probability 0)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        self._init_node(("F",), frozenset())
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return False
+
+    def substitute(self, assignment: Mapping[str, bool]) -> EventExpr:
+        return self
+
+    def __str__(self) -> str:
+        return "FALSE"
+
+
+ALWAYS = TrueEvent()
+NEVER = FalseEvent()
+
+
+class Atom(EventExpr):
+    """A reference to a single basic event."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: BasicEvent):
+        if not isinstance(event, BasicEvent):
+            raise EventError(f"Atom requires a BasicEvent, got {event!r}")
+        self.event = event
+        self._init_node(("a", event.name), frozenset({event}))
+
+    @property
+    def name(self) -> str:
+        """Name of the underlying basic event."""
+        return self.event.name
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        try:
+            return bool(assignment[self.event.name])
+        except KeyError as exc:
+            raise EventError(f"no truth value assigned to atom {self.event.name!r}") from exc
+
+    def substitute(self, assignment: Mapping[str, bool]) -> EventExpr:
+        if self.event.name in assignment:
+            return ALWAYS if assignment[self.event.name] else NEVER
+        return self
+
+    def __str__(self) -> str:
+        return self.event.name
+
+
+class Not(EventExpr):
+    """Negation of an event expression.
+
+    Use :func:`neg` (or the ``~`` operator) instead of instantiating
+    directly: the constructor function applies simplification.
+    """
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: EventExpr):
+        self.child = child
+        self._init_node(("n", child._key), child._atoms)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return not self.child.evaluate(assignment)
+
+    def substitute(self, assignment: Mapping[str, bool]) -> EventExpr:
+        return neg(self.child.substitute(assignment))
+
+    def __str__(self) -> str:
+        return f"NOT {self.child}" if isinstance(self.child, Atom) else f"NOT ({self.child})"
+
+
+class _Nary(EventExpr):
+    """Shared implementation of the n-ary connectives."""
+
+    __slots__ = ("children",)
+
+    _tag = "?"
+    _word = "?"
+
+    def __init__(self, children: tuple[EventExpr, ...]):
+        self.children = children
+        atoms: frozenset[BasicEvent] = frozenset().union(*(c._atoms for c in children)) if children else frozenset()
+        self._init_node((self._tag,) + tuple(c._key for c in children), atoms)
+
+    def __iter__(self) -> Iterator[EventExpr]:
+        return iter(self.children)
+
+    def __str__(self) -> str:
+        parts = []
+        for child in self.children:
+            text = str(child)
+            if isinstance(child, _Nary):
+                text = f"({text})"
+            parts.append(text)
+        return f" {self._word} ".join(parts)
+
+
+class And(_Nary):
+    """Conjunction of two or more event expressions (use :func:`conj`)."""
+
+    __slots__ = ()
+    _tag = "&"
+    _word = "AND"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return all(child.evaluate(assignment) for child in self.children)
+
+    def substitute(self, assignment: Mapping[str, bool]) -> EventExpr:
+        return conj(child.substitute(assignment) for child in self.children)
+
+
+class Or(_Nary):
+    """Disjunction of two or more event expressions (use :func:`disj`)."""
+
+    __slots__ = ()
+    _tag = "|"
+    _word = "OR"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return any(child.evaluate(assignment) for child in self.children)
+
+    def substitute(self, assignment: Mapping[str, bool]) -> EventExpr:
+        return disj(child.substitute(assignment) for child in self.children)
+
+
+def atom(event: BasicEvent) -> Atom:
+    """Wrap a :class:`BasicEvent` in an expression node."""
+    return Atom(event)
+
+
+def neg(child: EventExpr) -> EventExpr:
+    """Build the negation of ``child``, simplifying constants and ¬¬."""
+    if not isinstance(child, EventExpr):
+        raise EventError(f"neg() requires an EventExpr, got {child!r}")
+    if child.is_certain:
+        return NEVER
+    if child.is_impossible:
+        return ALWAYS
+    if isinstance(child, Not):
+        return child.child
+    return Not(child)
+
+
+def _flatten(children: Iterable[EventExpr], klass: type) -> list[EventExpr]:
+    flat: list[EventExpr] = []
+    for child in children:
+        if not isinstance(child, EventExpr):
+            raise EventError(f"connective requires EventExpr children, got {child!r}")
+        if isinstance(child, klass):
+            flat.extend(child.children)  # type: ignore[attr-defined]
+        else:
+            flat.append(child)
+    return flat
+
+
+def _canonical(children: list[EventExpr]) -> tuple[EventExpr, ...]:
+    unique: dict[tuple, EventExpr] = {}
+    for child in children:
+        unique.setdefault(child._key, child)
+    return tuple(sorted(unique.values(), key=EventExpr.sort_key))
+
+
+def _has_complementary_pair(children: tuple[EventExpr, ...]) -> bool:
+    keys = {child._key for child in children}
+    for child in children:
+        if isinstance(child, Not) and child.child._key in keys:
+            return True
+    return False
+
+
+def conj(children: Iterable[EventExpr]) -> EventExpr:
+    """Conjunction with flattening, canonical ordering and simplification.
+
+    ``conj([])`` is :data:`ALWAYS` (the empty conjunction is true).
+    """
+    flat = _flatten(children, And)
+    kept = [child for child in flat if not child.is_certain]
+    if any(child.is_impossible for child in kept):
+        return NEVER
+    ordered = _canonical(kept)
+    if not ordered:
+        return ALWAYS
+    if len(ordered) == 1:
+        return ordered[0]
+    if _has_complementary_pair(ordered):
+        return NEVER
+    return And(ordered)
+
+
+def disj(children: Iterable[EventExpr]) -> EventExpr:
+    """Disjunction with flattening, canonical ordering and simplification.
+
+    ``disj([])`` is :data:`NEVER` (the empty disjunction is false).
+    """
+    flat = _flatten(children, Or)
+    kept = [child for child in flat if not child.is_impossible]
+    if any(child.is_certain for child in kept):
+        return ALWAYS
+    ordered = _canonical(kept)
+    if not ordered:
+        return NEVER
+    if len(ordered) == 1:
+        return ordered[0]
+    if _has_complementary_pair(ordered):
+        return ALWAYS
+    return Or(ordered)

@@ -1,0 +1,98 @@
+"""Lineage: human-readable provenance of derived events.
+
+One of the paper's arguments for event expressions is that "they provide
+data lineage which could help making the system more traceable".  This
+module renders an event expression as an explanation tree, and as the
+flat list of alternative derivations (DNF terms) with their
+probabilities, for use by the explanation layer of the ranker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.events.dnf import DnfTerm, to_dnf
+from repro.events.expr import And, Atom, EventExpr, FalseEvent, Not, Or, TrueEvent
+from repro.events.probability import probability
+from repro.events.space import EventSpace
+
+__all__ = ["render_tree", "Derivation", "derivations", "explain_probability"]
+
+
+def render_tree(expr: EventExpr, indent: str = "  ") -> str:
+    """Render the expression as an indented tree.
+
+    Atoms show their marginal probabilities; connectives are spelled
+    out, so a user can trace which base facts contribute to a derived
+    tuple's existence.
+    """
+    lines: list[str] = []
+
+    def walk(node: EventExpr, depth: int) -> None:
+        pad = indent * depth
+        if isinstance(node, TrueEvent):
+            lines.append(f"{pad}TRUE")
+        elif isinstance(node, FalseEvent):
+            lines.append(f"{pad}FALSE")
+        elif isinstance(node, Atom):
+            lines.append(f"{pad}{node.event.name}  (p={node.event.probability:g})")
+        elif isinstance(node, Not):
+            lines.append(f"{pad}NOT")
+            walk(node.child, depth + 1)
+        elif isinstance(node, And):
+            lines.append(f"{pad}AND")
+            for child in node.children:
+                walk(child, depth + 1)
+        elif isinstance(node, Or):
+            lines.append(f"{pad}OR")
+            for child in node.children:
+                walk(child, depth + 1)
+        else:  # pragma: no cover - exhaustive over node types
+            lines.append(f"{pad}{node}")
+
+    walk(expr, 0)
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One alternative way a derived event can occur (a DNF term)."""
+
+    term: DnfTerm
+    probability: float
+
+    def __str__(self) -> str:
+        return f"{self.term}  (p={self.probability:g})"
+
+
+def derivations(expr: EventExpr, space: EventSpace | None = None, term_limit: int = 256) -> list[Derivation]:
+    """The alternative derivations of ``expr``, most probable first.
+
+    Each DNF term of the expression is one conjunction of base facts
+    (and absences) under which the event occurs.
+    """
+    terms = to_dnf(expr, term_limit=term_limit)
+    result = [Derivation(term, term.probability(space)) for term in terms]
+    result.sort(key=lambda d: (-d.probability, str(d.term)))
+    return result
+
+
+def explain_probability(expr: EventExpr, space: EventSpace | None = None) -> str:
+    """A multi-line textual explanation of ``P(expr)``.
+
+    Shows the overall probability, the expression tree, and the top
+    alternative derivations.
+    """
+    lines = [f"P = {probability(expr, space):.6g}", "lineage:"]
+    lines.append(render_tree(expr, indent="  "))
+    try:
+        alternatives = derivations(expr, space)
+    except Exception:  # noqa: BLE001 - lineage display must never fail hard
+        alternatives = []
+    if alternatives:
+        lines.append("derivations (alternative proofs):")
+        for derivation in alternatives[:8]:
+            lines.append(f"  - {derivation}")
+        if len(alternatives) > 8:
+            lines.append(f"  ... and {len(alternatives) - 8} more")
+    return "\n".join(lines)

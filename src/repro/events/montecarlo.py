@@ -1,0 +1,114 @@
+"""Monte Carlo estimation of event probabilities.
+
+The exact engines cover every expression the reproduction produces, but
+a database-backed deployment eventually meets events too wide for exact
+inference (hundreds of atoms from long-lived context histories).  This
+module provides the standard fallback: sample possible worlds, count
+satisfying ones.  Sampling honours mutex groups (one categorical draw
+per group) and is seeded, so estimates are reproducible.
+
+The estimator is unbiased; the returned object carries a normal-
+approximation confidence half-width so callers can decide whether the
+sample size sufficed.  Agreement with the exact engines (within the
+confidence interval) is a property-tested invariant.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import EventError
+from repro.events.atoms import BasicEvent
+from repro.events.expr import EventExpr
+from repro.events.space import EventSpace, MutexGroup
+
+__all__ = ["MonteCarloEstimate", "probability_by_sampling"]
+
+#: 97.5 % standard-normal quantile, for 95 % confidence half-widths.
+_Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class MonteCarloEstimate:
+    """A sampled probability with its sampling error."""
+
+    value: float
+    samples: int
+
+    @property
+    def half_width_95(self) -> float:
+        """Half-width of the 95 % normal-approximation interval."""
+        if self.samples == 0:
+            return 1.0
+        variance = self.value * (1.0 - self.value) / self.samples
+        return _Z_95 * variance**0.5
+
+    def agrees_with(self, exact: float, slack: float = 3.0) -> bool:
+        """Is the exact value within ``slack`` half-widths (min 0.01)?"""
+        tolerance = max(0.01, slack * self.half_width_95)
+        return abs(self.value - exact) <= tolerance
+
+    def __str__(self) -> str:
+        return f"{self.value:.4f} ± {self.half_width_95:.4f} (n={self.samples})"
+
+
+def _sample_world(
+    independent: list[BasicEvent],
+    grouped: list[tuple[MutexGroup, list[BasicEvent]]],
+    rng: random.Random,
+) -> dict[str, bool]:
+    assignment: dict[str, bool] = {}
+    for event in independent:
+        assignment[event.name] = rng.random() < event.probability
+    for _group, members in grouped:
+        draw = rng.random()
+        cumulative = 0.0
+        chosen: str | None = None
+        for member in members:
+            cumulative += member.probability
+            if draw < cumulative:
+                chosen = member.name
+                break
+        for member in members:
+            assignment[member.name] = member.name == chosen
+    return assignment
+
+
+def probability_by_sampling(
+    expr: EventExpr,
+    space: EventSpace | None = None,
+    samples: int = 10000,
+    seed: int = 0,
+) -> MonteCarloEstimate:
+    """Estimate ``P(expr)`` from seeded possible-world samples.
+
+    Examples
+    --------
+    >>> from repro.events import EventSpace
+    >>> space = EventSpace()
+    >>> a = space.atom("a", 0.5)
+    >>> estimate = probability_by_sampling(a, space, samples=2000, seed=1)
+    >>> abs(estimate.value - 0.5) < 0.05
+    True
+    """
+    if samples < 1:
+        raise EventError(f"samples must be >= 1, got {samples}")
+    if expr.is_certain:
+        return MonteCarloEstimate(1.0, samples)
+    if expr.is_impossible:
+        return MonteCarloEstimate(0.0, samples)
+
+    atoms = expr.atoms()
+    if space is None:
+        independent = sorted(atoms, key=lambda e: e.name)
+        grouped: list[tuple[MutexGroup, list[BasicEvent]]] = []
+    else:
+        independent, grouped = space.partition_atoms(atoms)
+
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(samples):
+        if expr.evaluate(_sample_world(independent, grouped, rng)):
+            hits += 1
+    return MonteCarloEstimate(hits / samples, samples)

@@ -1,0 +1,82 @@
+"""Facade over the exact probability engines.
+
+Four engines compute the same value in different ways:
+
+========== ============================================  ==================
+engine     algorithm                                     complexity
+========== ============================================  ==================
+"shannon"  Shannon expansion with memoisation (default)  good in practice
+"bdd"      ROBDD weighted model counting                 good in practice
+"worlds"   possible-world enumeration                    2^atoms (guarded)
+"dnf"      DNF + inclusion-exclusion                     2^terms (guarded)
+========== ============================================  ==================
+
+All are exact; the exponential two exist as independent oracles for the
+test-suite and for lineage display.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import EventError
+from repro.events.bdd import probability_by_bdd
+from repro.events.dnf import probability_by_dnf
+from repro.events.expr import EventExpr
+from repro.events.shannon import probability_by_shannon
+from repro.events.space import EventSpace
+from repro.events.worlds import probability_by_enumeration
+
+__all__ = ["probability", "conditional_probability", "ENGINES", "DEFAULT_ENGINE"]
+
+ENGINES: dict[str, Callable[[EventExpr, EventSpace | None], float]] = {
+    "shannon": probability_by_shannon,
+    "bdd": probability_by_bdd,
+    "worlds": probability_by_enumeration,
+    "dnf": probability_by_dnf,
+}
+
+DEFAULT_ENGINE = "shannon"
+
+
+def probability(expr: EventExpr, space: EventSpace | None = None, engine: str = DEFAULT_ENGINE) -> float:
+    """Exact probability of an event expression.
+
+    Parameters
+    ----------
+    expr:
+        The event expression to evaluate.
+    space:
+        Event space carrying mutex-group declarations.  ``None`` treats
+        every atom as independent.
+    engine:
+        One of ``"shannon"``, ``"bdd"``, ``"worlds"``, ``"dnf"``.
+
+    Examples
+    --------
+    >>> from repro.events import EventSpace
+    >>> space = EventSpace()
+    >>> a = space.atom("a", 0.5)
+    >>> b = space.atom("b", 0.5)
+    >>> probability(a | b, space)
+    0.75
+    """
+    try:
+        compute = ENGINES[engine]
+    except KeyError as exc:
+        raise EventError(f"unknown probability engine {engine!r}; choose from {sorted(ENGINES)}") from exc
+    return compute(expr, space)
+
+
+def conditional_probability(
+    expr: EventExpr,
+    given: EventExpr,
+    space: EventSpace | None = None,
+    engine: str = DEFAULT_ENGINE,
+) -> float:
+    """``P(expr | given)``; raises if the condition is impossible."""
+    denominator = probability(given, space, engine)
+    if denominator <= 0.0:
+        raise EventError("conditional probability on an impossible event")
+    joint = probability(expr & given, space, engine)
+    return min(1.0, joint / denominator)

@@ -1,0 +1,115 @@
+"""Serialisation of event expressions to and from s-expression text.
+
+The sqlite backend stores event expressions in ordinary TEXT columns
+(the stand-in for the paper's PostgreSQL event-expression datatype), so
+expressions must round-trip through a compact, unambiguous text form:
+
+* ``T`` / ``F`` — the constants;
+* ``(a <name> <probability>)`` — an atom;
+* ``(n <expr>)`` — negation;
+* ``(& <expr> <expr> ...)`` / ``(| <expr> <expr> ...)`` — connectives.
+
+Atom names are quoted with URL-style escaping so arbitrary identifiers
+(including spaces and parentheses) survive the round trip.
+"""
+
+from __future__ import annotations
+
+from urllib.parse import quote, unquote
+
+from repro.errors import ParseError
+from repro.events.atoms import BasicEvent
+from repro.events.expr import ALWAYS, NEVER, And, Atom, EventExpr, FalseEvent, Not, Or, TrueEvent, conj, disj, neg
+
+__all__ = ["dumps", "loads"]
+
+
+def dumps(expr: EventExpr) -> str:
+    """Serialise an event expression to s-expression text."""
+    if isinstance(expr, TrueEvent):
+        return "T"
+    if isinstance(expr, FalseEvent):
+        return "F"
+    if isinstance(expr, Atom):
+        return f"(a {quote(expr.event.name, safe='')} {expr.event.probability!r})"
+    if isinstance(expr, Not):
+        return f"(n {dumps(expr.child)})"
+    if isinstance(expr, And):
+        return "(& " + " ".join(dumps(child) for child in expr.children) + ")"
+    if isinstance(expr, Or):
+        return "(| " + " ".join(dumps(child) for child in expr.children) + ")"
+    raise ParseError(f"cannot serialise unknown expression node {expr!r}")
+
+
+def loads(text: str) -> EventExpr:
+    """Parse s-expression text back into an event expression.
+
+    The inverse of :func:`dumps`; reconstruction re-applies the
+    constructor simplifications, so ``loads(dumps(e)) == e`` for every
+    expression ``e`` built through the public constructors.
+    """
+    tokens = _tokenize(text)
+    expr, rest = _parse(tokens, 0, text)
+    if rest != len(tokens):
+        raise ParseError("trailing tokens after event expression", text, rest)
+    return expr
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "()":
+            tokens.append(ch)
+            i += 1
+        else:
+            j = i
+            while j < len(text) and not text[j].isspace() and text[j] not in "()":
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+def _parse(tokens: list[str], pos: int, text: str) -> tuple[EventExpr, int]:
+    if pos >= len(tokens):
+        raise ParseError("unexpected end of event expression", text, pos)
+    token = tokens[pos]
+    if token == "T":
+        return ALWAYS, pos + 1
+    if token == "F":
+        return NEVER, pos + 1
+    if token != "(":
+        raise ParseError(f"unexpected token {token!r} in event expression", text, pos)
+    if pos + 1 >= len(tokens):
+        raise ParseError("unexpected end after '('", text, pos)
+    head = tokens[pos + 1]
+    if head == "a":
+        if pos + 4 >= len(tokens) or tokens[pos + 4] != ")":
+            raise ParseError("malformed atom serialisation", text, pos)
+        name = unquote(tokens[pos + 2])
+        try:
+            prob = float(tokens[pos + 3])
+        except ValueError as exc:
+            raise ParseError(f"bad probability literal {tokens[pos + 3]!r}", text, pos) from exc
+        return Atom(BasicEvent(name, prob)), pos + 5
+    if head == "n":
+        child, next_pos = _parse(tokens, pos + 2, text)
+        if next_pos >= len(tokens) or tokens[next_pos] != ")":
+            raise ParseError("missing ')' after negation", text, next_pos)
+        return neg(child), next_pos + 1
+    if head in ("&", "|"):
+        children: list[EventExpr] = []
+        cursor = pos + 2
+        while cursor < len(tokens) and tokens[cursor] != ")":
+            child, cursor = _parse(tokens, cursor, text)
+            children.append(child)
+        if cursor >= len(tokens):
+            raise ParseError("missing ')' after connective", text, cursor)
+        if not children:
+            raise ParseError("empty connective in event expression", text, pos)
+        return (conj if head == "&" else disj)(children), cursor + 1
+    raise ParseError(f"unknown s-expression head {head!r}", text, pos)

@@ -1,0 +1,106 @@
+"""Possible-world enumeration: the brute-force reference engine.
+
+Enumerates every possible world (joint outcome of all mentioned basic
+events, honouring mutex groups) and sums the probabilities of the worlds
+in which the expression is true.  Exponential in the number of atoms —
+this engine exists as the ground truth the cleverer engines are tested
+against, and refuses inputs beyond a configurable budget.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+from repro.errors import ComplexityLimitError
+from repro.events.atoms import BasicEvent
+from repro.events.expr import EventExpr
+from repro.events.space import EventSpace, MutexGroup
+
+__all__ = ["enumerate_worlds", "probability_by_enumeration", "DEFAULT_WORLD_LIMIT"]
+
+#: Refuse enumeration beyond this many possible worlds.
+DEFAULT_WORLD_LIMIT = 1 << 20
+
+
+def _outcome_count(independent: list[BasicEvent], grouped: list[tuple[MutexGroup, list[BasicEvent]]]) -> int:
+    count = 1 << len(independent)
+    for _group, members in grouped:
+        count *= len(members) + 1
+    return count
+
+
+def enumerate_worlds(
+    expr: EventExpr,
+    space: EventSpace | None = None,
+    limit: int = DEFAULT_WORLD_LIMIT,
+) -> Iterator[tuple[dict[str, bool], float]]:
+    """Yield ``(assignment, probability)`` for every possible world.
+
+    Only the atoms mentioned in ``expr`` are assigned.  Within a mutex
+    group the outcomes are "exactly member *i* occurs" (for the members
+    that appear in the expression) plus a single "none of the appearing
+    members occurs" outcome carrying the residual probability mass.
+
+    Raises
+    ------
+    ComplexityLimitError
+        If the number of worlds would exceed ``limit``.
+    """
+    atoms = expr.atoms()
+    if space is None:
+        independent: list[BasicEvent] = sorted(atoms, key=lambda e: e.name)
+        grouped: list[tuple[MutexGroup, list[BasicEvent]]] = []
+    else:
+        independent, grouped = space.partition_atoms(atoms)
+
+    worlds = _outcome_count(independent, grouped)
+    if worlds > limit:
+        raise ComplexityLimitError(
+            f"world enumeration would visit {worlds} worlds (> limit {limit})"
+        )
+
+    # Branch choices: for an independent atom, (True, p) / (False, 1-p).
+    # For a group cluster, one branch per appearing member plus "none".
+    branch_sets: list[list[tuple[dict[str, bool], float]]] = []
+    for event in independent:
+        branch_sets.append(
+            [
+                ({event.name: True}, event.probability),
+                ({event.name: False}, event.complement_probability),
+            ]
+        )
+    for _group, members in grouped:
+        cluster: list[tuple[dict[str, bool], float]] = []
+        member_names = [event.name for event in members]
+        for chosen in members:
+            assignment = {name: name == chosen.name for name in member_names}
+            cluster.append((assignment, chosen.probability))
+        none_probability = max(0.0, 1.0 - sum(event.probability for event in members))
+        cluster.append(({name: False for name in member_names}, none_probability))
+        branch_sets.append(cluster)
+
+    if not branch_sets:
+        yield {}, 1.0
+        return
+
+    for combo in product(*branch_sets):
+        assignment: dict[str, bool] = {}
+        weight = 1.0
+        for partial, partial_weight in combo:
+            assignment.update(partial)
+            weight *= partial_weight
+        yield assignment, weight
+
+
+def probability_by_enumeration(
+    expr: EventExpr,
+    space: EventSpace | None = None,
+    limit: int = DEFAULT_WORLD_LIMIT,
+) -> float:
+    """Exact probability of ``expr`` by summing over possible worlds."""
+    total = 0.0
+    for assignment, weight in enumerate_worlds(expr, space, limit):
+        if weight and expr.evaluate(assignment):
+            total += weight
+    return min(1.0, max(0.0, total))

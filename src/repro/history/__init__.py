@@ -1,0 +1,19 @@
+"""User history and the sigma semantics (S5).
+
+Episodes record which document features were choosable and chosen in
+which contexts (group choices included); the sigma estimator implements
+the paper's availability-conditioned score semantics over the log.
+"""
+
+from repro.history.episodes import Candidate, Episode
+from repro.history.log import HistoryLog
+from repro.history.sigma import SigmaEstimate, estimate_sigma, sigma_table
+
+__all__ = [
+    "Candidate",
+    "Episode",
+    "HistoryLog",
+    "SigmaEstimate",
+    "estimate_sigma",
+    "sigma_table",
+]

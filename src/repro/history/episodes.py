@@ -1,0 +1,136 @@
+"""History episodes: what was choosable and what the user chose, when.
+
+Section 3 defines the ideal document through the user's history: "a
+relation H ('History'), which indicates which document features in the
+past have been chosen in which context".  An :class:`Episode` is one
+choice situation:
+
+* the *context features* that held (e.g. ``{"Workday", "Morning"}``);
+* the *candidates* the user could choose among, each with its document
+  features;
+* the *chosen* documents — possibly several, since "one should take the
+  whole workday morning as one context where the user chose two
+  documents" (Section 3.2).
+
+Features are opaque string keys at this layer; the rule layer maps DL
+concepts to keys.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import HistoryError
+
+__all__ = ["Candidate", "Episode"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A choosable document and its features."""
+
+    doc_id: str
+    features: frozenset[str] = frozenset()
+
+    @staticmethod
+    def of(doc_id: str, *features: str) -> "Candidate":
+        return Candidate(doc_id, frozenset(features))
+
+    def has(self, feature: str) -> bool:
+        return feature in self.features
+
+    def to_json(self) -> dict:
+        return {"doc": self.doc_id, "features": sorted(self.features)}
+
+    @staticmethod
+    def from_json(data: dict) -> "Candidate":
+        return Candidate(data["doc"], frozenset(data["features"]))
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One recorded choice situation.
+
+    Raises
+    ------
+    HistoryError
+        If a chosen id is not among the candidates, or ids repeat.
+    """
+
+    context_features: frozenset[str]
+    candidates: tuple[Candidate, ...]
+    chosen: frozenset[str] = frozenset()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        ids = [candidate.doc_id for candidate in self.candidates]
+        if len(set(ids)) != len(ids):
+            raise HistoryError(f"duplicate candidate ids in episode {self.label!r}")
+        missing = self.chosen - set(ids)
+        if missing:
+            raise HistoryError(
+                f"chosen documents {sorted(missing)} are not candidates in episode {self.label!r}"
+            )
+
+    # -- feature queries ----------------------------------------------
+    def has_context(self, feature: str) -> bool:
+        return feature in self.context_features
+
+    def offered(self, doc_feature: str) -> bool:
+        """Was some candidate with this document feature available?"""
+        return any(candidate.has(doc_feature) for candidate in self.candidates)
+
+    def chose(self, doc_feature: str) -> bool:
+        """Did a chosen document carry this feature?"""
+        chosen_ids = self.chosen
+        return any(
+            candidate.has(doc_feature)
+            for candidate in self.candidates
+            if candidate.doc_id in chosen_ids
+        )
+
+    def chosen_candidates(self) -> tuple[Candidate, ...]:
+        return tuple(c for c in self.candidates if c.doc_id in self.chosen)
+
+    @property
+    def document_features(self) -> frozenset[str]:
+        """Every document feature appearing among the candidates."""
+        if not self.candidates:
+            return frozenset()
+        return frozenset().union(*(candidate.features for candidate in self.candidates))
+
+    # -- serialisation ----------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "context": sorted(self.context_features),
+            "candidates": [candidate.to_json() for candidate in self.candidates],
+            "chosen": sorted(self.chosen),
+            "label": self.label,
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "Episode":
+        return Episode(
+            context_features=frozenset(data["context"]),
+            candidates=tuple(Candidate.from_json(c) for c in data["candidates"]),
+            chosen=frozenset(data["chosen"]),
+            label=data.get("label", ""),
+        )
+
+    @staticmethod
+    def build(
+        context: Iterable[str],
+        candidates: Iterable[Candidate],
+        chosen: Iterable[str],
+        label: str = "",
+    ) -> "Episode":
+        return Episode(frozenset(context), tuple(candidates), frozenset(chosen), label)
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.to_json(), sort_keys=True)
+
+    @staticmethod
+    def from_json_line(line: str) -> "Episode":
+        return Episode.from_json(json.loads(line))

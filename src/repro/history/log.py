@@ -1,0 +1,111 @@
+"""The history log: an append-only store of episodes.
+
+Supports the queries the sigma estimator and the preference miner need
+(filter by context feature, enumerate observed feature pairs) and a
+JSON-lines serialisation so example scenarios can persist histories.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import HistoryError
+from repro.history.episodes import Episode
+
+__all__ = ["HistoryLog"]
+
+
+class HistoryLog:
+    """An ordered collection of :class:`~repro.history.episodes.Episode`.
+
+    Examples
+    --------
+    >>> from repro.history import Candidate, Episode
+    >>> log = HistoryLog()
+    >>> log.record(Episode.build(
+    ...     context=["Workday", "Morning"],
+    ...     candidates=[Candidate.of("t1", "traffic"), Candidate.of("w1", "weather")],
+    ...     chosen=["t1"]))
+    >>> len(log)
+    1
+    """
+
+    def __init__(self, episodes: Iterable[Episode] = ()):
+        self._episodes: list[Episode] = []
+        for episode in episodes:
+            self.record(episode)
+
+    def record(self, episode: Episode) -> None:
+        if not isinstance(episode, Episode):
+            raise HistoryError(f"can only record Episode objects, got {episode!r}")
+        self._episodes.append(episode)
+
+    def extend(self, episodes: Iterable[Episode]) -> None:
+        for episode in episodes:
+            self.record(episode)
+
+    def __len__(self) -> int:
+        return len(self._episodes)
+
+    def __iter__(self) -> Iterator[Episode]:
+        return iter(self._episodes)
+
+    def __getitem__(self, index: int) -> Episode:
+        return self._episodes[index]
+
+    # -- queries ----------------------------------------------------------
+    def with_context(self, feature: str) -> list[Episode]:
+        """Episodes whose context carried the feature."""
+        return [episode for episode in self._episodes if episode.has_context(feature)]
+
+    def context_features(self) -> frozenset[str]:
+        """Every context feature observed anywhere in the log."""
+        features: set[str] = set()
+        for episode in self._episodes:
+            features.update(episode.context_features)
+        return frozenset(features)
+
+    def document_features(self) -> frozenset[str]:
+        """Every document feature observed anywhere in the log."""
+        features: set[str] = set()
+        for episode in self._episodes:
+            features.update(episode.document_features)
+        return frozenset(features)
+
+    def observed_pairs(self) -> frozenset[tuple[str, str]]:
+        """All (context feature, document feature) pairs co-occurring.
+
+        This is the support of the relation H that can be estimated
+        from this log.
+        """
+        pairs: set[tuple[str, str]] = set()
+        for episode in self._episodes:
+            for g in episode.context_features:
+                for f in episode.document_features:
+                    pairs.add((g, f))
+        return frozenset(pairs)
+
+    # -- persistence ------------------------------------------------------
+    def save(self, path: str | Path) -> int:
+        """Write the log as JSON lines; returns the episode count."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for episode in self._episodes:
+                handle.write(episode.to_json_line())
+                handle.write("\n")
+        return len(self._episodes)
+
+    @staticmethod
+    def load(path: str | Path) -> "HistoryLog":
+        """Read a JSON-lines log written by :meth:`save`."""
+        log = HistoryLog()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    log.record(Episode.from_json_line(line))
+        return log
+
+    def __repr__(self) -> str:
+        return f"HistoryLog(episodes={len(self._episodes)})"

@@ -1,0 +1,119 @@
+"""The sigma score: the paper's probabilistic semantics for preferences.
+
+Section 3.2: "the score function σ(g, f) is defined as the probability
+that if we take a random context in history with feature g, the user
+chose a document with feature f" — refined, for disjoint features, to
+condition on the user having been *able* to choose an f-document:
+"if we take a random context in history with feature g **and the user
+was able to choose a document with feature f** given the other features
+of the document, the user actually chose a document with feature f".
+
+:func:`estimate_sigma` implements the refined (availability-
+conditioned) estimator:
+
+* denominator — episodes whose context has ``g`` and where at least one
+  candidate carries ``f`` (the choice was possible);
+* numerator — those episodes in which a *chosen* document carries ``f``.
+
+This is exactly the semantics the generative history sampler
+(:mod:`repro.workloads.history_gen`) uses, so mining recovers planted
+sigmas in the limit — the paper's "legitimate question" in Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HistoryError
+from repro.history.log import HistoryLog
+
+__all__ = ["SigmaEstimate", "estimate_sigma", "sigma_table"]
+
+
+@dataclass(frozen=True)
+class SigmaEstimate:
+    """An empirical sigma with its supporting counts.
+
+    ``numerator`` / ``denominator`` are episode counts; ``value`` is
+    their ratio.  A zero denominator means the pair was never choosable
+    in the log — ``value`` raises, use :attr:`defined` or
+    :meth:`smoothed` instead.
+    """
+
+    context_feature: str
+    document_feature: str
+    numerator: int
+    denominator: int
+
+    @property
+    def defined(self) -> bool:
+        return self.denominator > 0
+
+    @property
+    def value(self) -> float:
+        if not self.defined:
+            raise HistoryError(
+                f"sigma({self.context_feature!r}, {self.document_feature!r}) is undefined: "
+                "the pair never co-occurred choosably in the history"
+            )
+        return self.numerator / self.denominator
+
+    def smoothed(self, alpha: float = 1.0) -> float:
+        """Laplace-smoothed value ``(n + α) / (d + 2α)`` (defined always)."""
+        return (self.numerator + alpha) / (self.denominator + 2.0 * alpha)
+
+    def __str__(self) -> str:
+        shown = f"{self.value:.3f}" if self.defined else "undefined"
+        return (
+            f"sigma({self.context_feature}, {self.document_feature}) = {shown} "
+            f"[{self.numerator}/{self.denominator}]"
+        )
+
+
+def estimate_sigma(log: HistoryLog, context_feature: str, document_feature: str) -> SigmaEstimate:
+    """Estimate σ(g, f) from a history log (availability-conditioned).
+
+    Examples
+    --------
+    >>> from repro.history import Candidate, Episode, HistoryLog
+    >>> log = HistoryLog()
+    >>> for i in range(4):
+    ...     log.record(Episode.build(
+    ...         context=["Morning"],
+    ...         candidates=[Candidate.of("t", "traffic"), Candidate.of("w", "weather")],
+    ...         chosen=["t"] if i < 3 else ["w"]))
+    >>> estimate_sigma(log, "Morning", "traffic").value
+    0.75
+    """
+    numerator = 0
+    denominator = 0
+    for episode in log.with_context(context_feature):
+        if not episode.offered(document_feature):
+            continue
+        denominator += 1
+        if episode.chose(document_feature):
+            numerator += 1
+    return SigmaEstimate(context_feature, document_feature, numerator, denominator)
+
+
+def sigma_table(
+    log: HistoryLog,
+    min_support: int = 1,
+) -> dict[tuple[str, str], SigmaEstimate]:
+    """Estimate σ for every observed (g, f) pair — the mined relation H.
+
+    Parameters
+    ----------
+    log:
+        The history to mine.
+    min_support:
+        Keep only estimates whose denominator reaches this count.
+    """
+    if min_support < 1:
+        raise HistoryError(f"min_support must be at least 1, got {min_support}")
+    table: dict[tuple[str, str], SigmaEstimate] = {}
+    for g, f in sorted(log.observed_pairs()):
+        estimate = estimate_sigma(log, g, f)
+        if estimate.denominator >= min_support:
+            table[(g, f)] = estimate
+    return table

@@ -1,0 +1,48 @@
+"""Traditional IR baseline and evaluation machinery (S8).
+
+Ponte–Croft query-likelihood retrieval with Jelinek–Mercer / Dirichlet /
+Laplace smoothing, the equation-(3) score combination, and the ranking
+metrics used by the simulated user studies.
+"""
+
+from repro.ir.combine import CombinedScore, combine_log_linear, combined_ranking
+from repro.ir.documents import Corpus, Document, tokenize
+from repro.ir.language_model import (
+    Dirichlet,
+    JelinekMercer,
+    LanguageModelRanker,
+    Laplace,
+    QueryScore,
+    Smoothing,
+)
+from repro.ir.metrics import (
+    average_precision,
+    dcg_at_k,
+    kendall_tau,
+    ndcg_at_k,
+    precision_at_k,
+    reciprocal_rank,
+    spearman_rho,
+)
+
+__all__ = [
+    "CombinedScore",
+    "Corpus",
+    "Dirichlet",
+    "Document",
+    "JelinekMercer",
+    "LanguageModelRanker",
+    "Laplace",
+    "QueryScore",
+    "Smoothing",
+    "average_precision",
+    "combine_log_linear",
+    "combined_ranking",
+    "dcg_at_k",
+    "kendall_tau",
+    "ndcg_at_k",
+    "precision_at_k",
+    "reciprocal_rank",
+    "spearman_rho",
+    "tokenize",
+]

@@ -1,0 +1,142 @@
+"""Query-likelihood retrieval: Ponte & Croft with standard smoothing.
+
+Section 2.2 reduces ranking to ``P(Q=q | D=d, U=u) = prod over query
+features f of P(f in F(d))`` under feature independence; for text, the
+features are terms and ``P(.|d)`` is the document language model.  The
+query-likelihood ranker here supports the classical smoothing methods
+(the paper's Section 6 points at "smoothing methods" for weighting):
+
+* **Jelinek–Mercer**: ``(1-λ)·P_ml(t|d) + λ·P(t|C)``;
+* **Dirichlet**: ``(count + μ·P(t|C)) / (|d| + μ)``;
+* **Laplace**: ``(count + α) / (|d| + α·|V|)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.ir.documents import Corpus, Document, tokenize
+
+__all__ = [
+    "Smoothing",
+    "JelinekMercer",
+    "Dirichlet",
+    "Laplace",
+    "LanguageModelRanker",
+    "QueryScore",
+]
+
+
+class Smoothing:
+    """Strategy interface: smoothed ``P(term | document)``."""
+
+    def probability(self, corpus: Corpus, document: Document, term: str) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class JelinekMercer(Smoothing):
+    """Linear interpolation with the collection model."""
+
+    interpolation: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.interpolation <= 1.0:
+            raise ReproError(f"interpolation must be in [0, 1], got {self.interpolation!r}")
+
+    def probability(self, corpus: Corpus, document: Document, term: str) -> float:
+        maximum_likelihood = document.count(term) / document.length if document.length else 0.0
+        collection = corpus.collection_probability(term)
+        return (1.0 - self.interpolation) * maximum_likelihood + self.interpolation * collection
+
+
+@dataclass(frozen=True)
+class Dirichlet(Smoothing):
+    """Bayesian smoothing with a Dirichlet prior of mass ``mu``."""
+
+    mu: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.mu <= 0:
+            raise ReproError(f"mu must be positive, got {self.mu!r}")
+
+    def probability(self, corpus: Corpus, document: Document, term: str) -> float:
+        collection = corpus.collection_probability(term)
+        return (document.count(term) + self.mu * collection) / (document.length + self.mu)
+
+
+@dataclass(frozen=True)
+class Laplace(Smoothing):
+    """Add-``alpha`` smoothing over the corpus vocabulary."""
+
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ReproError(f"alpha must be positive, got {self.alpha!r}")
+
+    def probability(self, corpus: Corpus, document: Document, term: str) -> float:
+        vocabulary_size = max(1, len(corpus.vocabulary))
+        return (document.count(term) + self.alpha) / (
+            document.length + self.alpha * vocabulary_size
+        )
+
+
+@dataclass(frozen=True)
+class QueryScore:
+    """A document's query likelihood (log and linear)."""
+
+    doc_id: str
+    log_likelihood: float
+
+    @property
+    def likelihood(self) -> float:
+        return math.exp(self.log_likelihood)
+
+
+class LanguageModelRanker:
+    """Ranks corpus documents by smoothed query likelihood.
+
+    Examples
+    --------
+    >>> corpus = Corpus()
+    >>> _ = corpus.add_text("traffic", "traffic bulletin roads accidents")
+    >>> _ = corpus.add_text("cooking", "recipes kitchen baking")
+    >>> ranker = LanguageModelRanker(corpus)
+    >>> ranker.rank("traffic roads")[0].doc_id
+    'traffic'
+    """
+
+    def __init__(self, corpus: Corpus, smoothing: Smoothing | None = None):
+        self.corpus = corpus
+        self.smoothing = smoothing if smoothing is not None else JelinekMercer(0.1)
+
+    def log_likelihood(self, query: str, doc_id: str) -> float:
+        """``log P(q | d)`` under the smoothed document model."""
+        document = self.corpus.get(doc_id)
+        total = 0.0
+        for term in tokenize(query):
+            p = self.smoothing.probability(self.corpus, document, term)
+            if p <= 0.0:
+                return -math.inf
+            total += math.log(p)
+        return total
+
+    def score_all(self, query: str) -> dict[str, float]:
+        """Linear-space query likelihood for every document."""
+        return {
+            doc_id: math.exp(self.log_likelihood(query, doc_id))
+            for doc_id in self.corpus.doc_ids
+        }
+
+    def rank(self, query: str, limit: int | None = None) -> list[QueryScore]:
+        """Documents by decreasing query likelihood."""
+        scores = [
+            QueryScore(doc_id, self.log_likelihood(query, doc_id))
+            for doc_id in self.corpus.doc_ids
+        ]
+        scores.sort(key=lambda s: (-s.log_likelihood, s.doc_id))
+        return scores[:limit] if limit is not None else scores

@@ -1,0 +1,160 @@
+"""Ranking-quality metrics for the simulated user studies (E5).
+
+Section 6 calls for "conducting user studies" to evaluate the ranking;
+the reproduction replaces humans with simulated users, and these
+metrics quantify how well a ranking matches the simulated user's actual
+choices: precision@k, MRR, average precision, NDCG@k, Kendall's tau and
+Spearman's rho.
+
+All implementations are self-contained (no scipy dependency), and the
+correlation coefficients are cross-checked against scipy in the test
+suite when scipy is available.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "precision_at_k",
+    "reciprocal_rank",
+    "average_precision",
+    "dcg_at_k",
+    "ndcg_at_k",
+    "kendall_tau",
+    "spearman_rho",
+]
+
+
+def _check_k(k: int) -> None:
+    if k < 1:
+        raise ReproError(f"k must be at least 1, got {k}")
+
+
+def precision_at_k(ranking: Sequence[str], relevant: set[str], k: int) -> float:
+    """Fraction of the top-k that is relevant."""
+    _check_k(k)
+    top = ranking[:k]
+    if not top:
+        return 0.0
+    return sum(1 for doc in top if doc in relevant) / len(top)
+
+
+def reciprocal_rank(ranking: Sequence[str], relevant: set[str]) -> float:
+    """1 / rank of the first relevant document (0 if none)."""
+    for position, doc in enumerate(ranking, start=1):
+        if doc in relevant:
+            return 1.0 / position
+    return 0.0
+
+
+def average_precision(ranking: Sequence[str], relevant: set[str]) -> float:
+    """Mean of precision@hit over the relevant documents."""
+    if not relevant:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for position, doc in enumerate(ranking, start=1):
+        if doc in relevant:
+            hits += 1
+            total += hits / position
+    return total / len(relevant)
+
+
+def dcg_at_k(ranking: Sequence[str], gains: Mapping[str, float], k: int) -> float:
+    """Discounted cumulative gain with log2 position discounting."""
+    _check_k(k)
+    total = 0.0
+    for position, doc in enumerate(ranking[:k], start=1):
+        gain = gains.get(doc, 0.0)
+        if gain:
+            total += gain / math.log2(position + 1)
+    return total
+
+
+def ndcg_at_k(ranking: Sequence[str], gains: Mapping[str, float], k: int) -> float:
+    """DCG normalised by the ideal ordering's DCG (0 when no gains)."""
+    _check_k(k)
+    ideal = sorted(gains, key=lambda doc: -gains[doc])
+    ideal_dcg = dcg_at_k(ideal, gains, k)
+    if ideal_dcg == 0.0:
+        return 0.0
+    return dcg_at_k(ranking, gains, k) / ideal_dcg
+
+
+def _ranks(values: Sequence[float]) -> list[float]:
+    """Average ranks (1-based) with tie handling."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    index = 0
+    while index < len(order):
+        tied_end = index
+        while (
+            tied_end + 1 < len(order)
+            and values[order[tied_end + 1]] == values[order[index]]
+        ):
+            tied_end += 1
+        average_rank = (index + tied_end) / 2.0 + 1.0
+        for position in range(index, tied_end + 1):
+            ranks[order[position]] = average_rank
+        index = tied_end + 1
+    return ranks
+
+
+def kendall_tau(first: Sequence[float], second: Sequence[float]) -> float:
+    """Kendall's tau-b between two paired score vectors.
+
+    Returns values in ``[-1, 1]``; 1 means identical orderings.
+    """
+    if len(first) != len(second):
+        raise ReproError("kendall_tau requires vectors of equal length")
+    n = len(first)
+    if n < 2:
+        raise ReproError("kendall_tau requires at least two items")
+    concordant = discordant = 0
+    ties_first = ties_second = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            a = first[i] - first[j]
+            b = second[i] - second[j]
+            if a == 0 and b == 0:
+                ties_first += 1
+                ties_second += 1
+            elif a == 0:
+                ties_first += 1
+            elif b == 0:
+                ties_second += 1
+            elif (a > 0) == (b > 0):
+                concordant += 1
+            else:
+                discordant += 1
+    pairs = n * (n - 1) / 2.0
+    denominator = math.sqrt((pairs - ties_first) * (pairs - ties_second))
+    if denominator == 0.0:
+        return 0.0
+    return (concordant - discordant) / denominator
+
+
+def spearman_rho(first: Sequence[float], second: Sequence[float]) -> float:
+    """Spearman rank correlation (Pearson over average ranks)."""
+    if len(first) != len(second):
+        raise ReproError("spearman_rho requires vectors of equal length")
+    n = len(first)
+    if n < 2:
+        raise ReproError("spearman_rho requires at least two items")
+    ranks_first = _ranks(first)
+    ranks_second = _ranks(second)
+    mean_first = sum(ranks_first) / n
+    mean_second = sum(ranks_second) / n
+    covariance = sum(
+        (a - mean_first) * (b - mean_second) for a, b in zip(ranks_first, ranks_second)
+    )
+    variance_first = sum((a - mean_first) ** 2 for a in ranks_first)
+    variance_second = sum((b - mean_second) ** 2 for b in ranks_second)
+    denominator = math.sqrt(variance_first * variance_second)
+    if denominator == 0.0:
+        return 0.0
+    return covariance / denominator

@@ -1,0 +1,22 @@
+"""Preference mining (S9): history -> scored preference rules.
+
+Candidates come from the observed feature keys; sigmas are estimated
+with exactly the paper's semantics; evaluation measures recovery of
+planted rules (experiment E6).
+"""
+
+from repro.mining.candidates import CandidatePair, enumerate_candidates
+from repro.mining.evaluation import MiningReport, evaluate_mining, ranking_agreement
+from repro.mining.miner import MinedRule, MiningConfig, mine_rules, to_repository
+
+__all__ = [
+    "CandidatePair",
+    "MinedRule",
+    "MiningConfig",
+    "MiningReport",
+    "enumerate_candidates",
+    "evaluate_mining",
+    "mine_rules",
+    "ranking_agreement",
+    "to_repository",
+]

@@ -1,0 +1,68 @@
+"""Candidate rule enumeration for preference mining.
+
+Section 6 ("Mining/learning preferences"): "a legitimate question to
+ask is, how well the actual user preferences would be predicted by
+mining the history of the user using exactly these semantics".
+
+A mined rule needs a candidate (context, preference) pair.  The
+candidate space here is deliberately the same one the history log can
+speak about: the observed context feature keys and document feature
+keys.  Each feature key is parsed back into the DL concept it denotes
+(the rule layer stringifies concepts canonically, so keys round-trip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.dl.concepts import TOP, Concept
+from repro.dl.parser import parse_concept
+from repro.errors import MiningError
+from repro.history.log import HistoryLog
+
+__all__ = ["CandidatePair", "enumerate_candidates"]
+
+
+@dataclass(frozen=True)
+class CandidatePair:
+    """A candidate (context, preference) pair with its feature keys."""
+
+    context_key: str
+    preference_key: str
+
+    def concepts(self) -> tuple[Concept, Concept]:
+        """Parse the keys back into concepts (``TOP`` for the default key)."""
+        context = TOP if self.context_key == "TOP" else parse_concept(self.context_key)
+        preference = parse_concept(self.preference_key)
+        return context, preference
+
+
+def enumerate_candidates(
+    log: HistoryLog,
+    include_default: bool = True,
+    max_candidates: int = 10000,
+) -> Iterator[CandidatePair]:
+    """All (observed context feature, observed document feature) pairs.
+
+    With ``include_default`` a ``TOP`` context is paired with every
+    document feature, producing candidate default rules.
+
+    Raises
+    ------
+    MiningError
+        If the candidate space exceeds ``max_candidates`` (guard against
+        degenerate logs).
+    """
+    context_keys = sorted(log.context_features())
+    document_keys = sorted(log.document_features())
+    if include_default:
+        context_keys = ["TOP"] + context_keys
+    total = len(context_keys) * len(document_keys)
+    if total > max_candidates:
+        raise MiningError(
+            f"candidate space of {total} pairs exceeds max_candidates={max_candidates}"
+        )
+    for context_key in context_keys:
+        for document_key in document_keys:
+            yield CandidatePair(context_key, document_key)

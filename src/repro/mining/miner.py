@@ -1,0 +1,157 @@
+"""The preference miner: history -> scored preference rules.
+
+Implements the Section 6 proposal literally: candidate (context,
+preference) pairs are scored with *exactly* the sigma semantics of
+Section 3.2 (availability-conditioned choice frequency), filtered by
+support, and emitted as :class:`~repro.rules.rule.PreferenceRule`s.
+
+Because the generative history sampler of
+:mod:`repro.workloads.history_gen` simulates choices with the same
+semantics, mining a sampled history recovers the planted sigmas up to
+sampling noise — experiment E6 quantifies the convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MiningError
+from repro.history.episodes import Episode
+from repro.history.log import HistoryLog
+from repro.history.sigma import SigmaEstimate
+from repro.rules.repository import RuleRepository
+from repro.rules.rule import PreferenceRule
+from repro.mining.candidates import CandidatePair, enumerate_candidates
+
+__all__ = ["MinedRule", "MiningConfig", "mine_rules"]
+
+#: Key under which a default (context = TOP) candidate is counted.
+DEFAULT_CONTEXT_KEY = "TOP"
+
+
+@dataclass(frozen=True)
+class MinedRule:
+    """A mined rule with its supporting evidence."""
+
+    rule: PreferenceRule
+    estimate: SigmaEstimate
+
+    @property
+    def support(self) -> int:
+        return self.estimate.denominator
+
+
+@dataclass(frozen=True)
+class MiningConfig:
+    """Mining thresholds.
+
+    Parameters
+    ----------
+    min_support:
+        Minimum number of episodes in which the pair was choosable.
+    min_lift:
+        Minimum absolute difference between the pair's sigma and the
+        *default* sigma of the same preference (how much the context
+        changes behaviour).  Default-context candidates skip this test.
+    smoothing:
+        Laplace smoothing mass applied to the emitted sigma (0 keeps the
+        raw ratio).
+    include_default:
+        Also emit default rules (context = ⊤) for preferences the user
+        consistently (dis)favours regardless of context.
+    """
+
+    min_support: int = 5
+    min_lift: float = 0.1
+    smoothing: float = 0.0
+    include_default: bool = False
+
+    def __post_init__(self) -> None:
+        if self.min_support < 1:
+            raise MiningError(f"min_support must be >= 1, got {self.min_support}")
+        if self.min_lift < 0.0:
+            raise MiningError(f"min_lift must be >= 0, got {self.min_lift}")
+        if self.smoothing < 0.0:
+            raise MiningError(f"smoothing must be >= 0, got {self.smoothing}")
+
+
+def _count_pair(log: HistoryLog, candidate: CandidatePair) -> SigmaEstimate:
+    """Sigma counts for one candidate; TOP context matches every episode."""
+    numerator = 0
+    denominator = 0
+    episodes: list[Episode] | HistoryLog
+    if candidate.context_key == DEFAULT_CONTEXT_KEY:
+        episodes = log
+    else:
+        episodes = log.with_context(candidate.context_key)
+    for episode in episodes:
+        if not episode.offered(candidate.preference_key):
+            continue
+        denominator += 1
+        if episode.chose(candidate.preference_key):
+            numerator += 1
+    return SigmaEstimate(candidate.context_key, candidate.preference_key, numerator, denominator)
+
+
+def mine_rules(log: HistoryLog, config: MiningConfig | None = None) -> list[MinedRule]:
+    """Mine scored preference rules from a history log.
+
+    Returns rules sorted by decreasing support, then rule id.  Rule ids
+    are generated as ``m1``, ``m2``, ... in that order.
+
+    Examples
+    --------
+    >>> from repro.history import Candidate, Episode, HistoryLog
+    >>> log = HistoryLog()
+    >>> for _ in range(10):
+    ...     log.record(Episode.build(
+    ...         context=["Morning"],
+    ...         candidates=[Candidate.of("t", "TrafficBulletin"), Candidate.of("m", "Movie")],
+    ...         chosen=["t"]))
+    >>> mined = mine_rules(log, MiningConfig(min_support=5, min_lift=0.0))
+    >>> any(r.rule.context_key == "Morning" and r.rule.preference_key == "TrafficBulletin"
+    ...     for r in mined)
+    True
+    """
+    config = config if config is not None else MiningConfig()
+
+    # Default sigmas per preference serve as the lift baseline.
+    default_estimates: dict[str, SigmaEstimate] = {}
+    for preference_key in sorted(log.document_features()):
+        default_estimates[preference_key] = _count_pair(
+            log, CandidatePair(DEFAULT_CONTEXT_KEY, preference_key)
+        )
+
+    mined: list[MinedRule] = []
+    for candidate in enumerate_candidates(log, include_default=True):
+        is_default = candidate.context_key == DEFAULT_CONTEXT_KEY
+        if is_default and not config.include_default:
+            continue
+        estimate = (
+            default_estimates[candidate.preference_key]
+            if is_default
+            else _count_pair(log, candidate)
+        )
+        if estimate.denominator < config.min_support:
+            continue
+        if not is_default:
+            baseline = default_estimates[candidate.preference_key]
+            if baseline.defined and abs(estimate.value - baseline.value) < config.min_lift:
+                continue
+        sigma = (
+            estimate.smoothed(config.smoothing) if config.smoothing > 0.0 else estimate.value
+        )
+        context, preference = candidate.concepts()
+        mined.append(
+            MinedRule(
+                PreferenceRule(f"m{len(mined) + 1}", context, preference, sigma),
+                estimate,
+            )
+        )
+    mined.sort(key=lambda m: (-m.support, m.rule.rule_id))
+    return mined
+
+
+def to_repository(mined: list[MinedRule]) -> RuleRepository:
+    """Collect mined rules into a repository (ids kept)."""
+    return RuleRepository(m.rule for m in mined)

@@ -1,0 +1,25 @@
+"""Multi-user (group) ranking (S10) — the Section 6 extension."""
+
+from repro.multiuser.group import GroupMember, GroupRanker, GroupScore
+from repro.multiuser.strategies import (
+    STRATEGIES,
+    AggregationStrategy,
+    Average,
+    LeastMisery,
+    MostPleasure,
+    Product,
+    resolve_strategy,
+)
+
+__all__ = [
+    "AggregationStrategy",
+    "Average",
+    "GroupMember",
+    "GroupRanker",
+    "GroupScore",
+    "LeastMisery",
+    "MostPleasure",
+    "Product",
+    "STRATEGIES",
+    "resolve_strategy",
+]

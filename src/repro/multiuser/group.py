@@ -1,0 +1,101 @@
+"""Multi-user ranking: the Section 6 group extension.
+
+"In some cases we might have to deal with ranking results for multiple
+users (for example if multiple users want to watch TV together).  We
+conjecture that this could be naturally addressed with the model
+presented here."
+
+The natural reading implemented here: each member has their own scorer
+(their own rules and, via the shared ABox, the shared context); a group
+score aggregates the members' per-document ideal-document probabilities
+under a chosen strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ScoringError
+from repro.core.scorer import ContextAwareScorer
+from repro.multiuser.strategies import STRATEGIES, AggregationStrategy, resolve_strategy
+
+__all__ = ["GroupMember", "GroupScore", "GroupRanker"]
+
+
+@dataclass(frozen=True)
+class GroupMember:
+    """One member: a display name plus their personal scorer."""
+
+    name: str
+    scorer: ContextAwareScorer
+
+
+@dataclass(frozen=True)
+class GroupScore:
+    """A document's group score with the per-member breakdown."""
+
+    document: str
+    value: float
+    per_member: tuple[tuple[str, float], ...]
+
+    def member_score(self, name: str) -> float:
+        for member, value in self.per_member:
+            if member == name:
+                return value
+        raise ScoringError(f"no member named {name!r} in this group score")
+
+
+@dataclass
+class GroupRanker:
+    """Ranks documents for a group of situated users.
+
+    Parameters
+    ----------
+    members:
+        The group (at least one member).
+    strategy:
+        Aggregation: ``"average"``, ``"product"``, ``"least_misery"``,
+        ``"most_pleasure"`` or any :class:`AggregationStrategy`.
+
+    Examples
+    --------
+    >>> # See examples/group_watching.py for an end-to-end group session.
+    """
+
+    members: Sequence[GroupMember]
+    strategy: AggregationStrategy | str = "average"
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ScoringError("a group needs at least one member")
+        names = [member.name for member in self.members]
+        if len(set(names)) != len(names):
+            raise ScoringError(f"duplicate member names in group: {names}")
+        self.strategy = resolve_strategy(self.strategy)
+
+    def score(self, documents: Iterable[str]) -> list[GroupScore]:
+        """Score documents for every member and aggregate."""
+        documents = list(documents)
+        per_member_scores = {
+            member.name: member.scorer.score_map(documents) for member in self.members
+        }
+        results = []
+        for document in documents:
+            member_values = tuple(
+                (member.name, per_member_scores[member.name][document])
+                for member in self.members
+            )
+            value = self.strategy.aggregate([v for _name, v in member_values])
+            results.append(GroupScore(document, value, member_values))
+        return results
+
+    def rank(self, documents: Iterable[str]) -> list[GroupScore]:
+        """Group scores, best first (ties by document name)."""
+        scores = self.score(documents)
+        scores.sort(key=lambda score: (-score.value, score.document))
+        return scores
+
+    @staticmethod
+    def available_strategies() -> tuple[str, ...]:
+        return tuple(sorted(STRATEGIES))

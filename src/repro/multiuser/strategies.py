@@ -1,0 +1,103 @@
+"""Group aggregation strategies.
+
+Standard choices from the group-recommendation literature, all mapping
+a vector of member probabilities to one group score in ``[0, 1]``:
+
+* **average** — utilitarian mean;
+* **product** — joint "everyone considers it ideal" (independent
+  members), the direct probabilistic reading of the paper's model;
+* **least misery** — the unhappiest member decides (min);
+* **most pleasure** — the happiest member decides (max).
+
+All strategies satisfy unanimity (identical inputs aggregate to that
+value) and monotonicity (raising one member's score never lowers the
+group score) — property-tested invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ScoringError
+
+__all__ = [
+    "AggregationStrategy",
+    "Average",
+    "Product",
+    "LeastMisery",
+    "MostPleasure",
+    "STRATEGIES",
+    "resolve_strategy",
+]
+
+
+class AggregationStrategy:
+    """Maps member probabilities to a group score."""
+
+    name = "abstract"
+
+    def aggregate(self, values: Sequence[float]) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Average(AggregationStrategy):
+    name = "average"
+
+    def aggregate(self, values: Sequence[float]) -> float:
+        _check(values)
+        return sum(values) / len(values)
+
+
+@dataclass(frozen=True)
+class Product(AggregationStrategy):
+    name = "product"
+
+    def aggregate(self, values: Sequence[float]) -> float:
+        _check(values)
+        result = 1.0
+        for value in values:
+            result *= value
+        return result
+
+
+@dataclass(frozen=True)
+class LeastMisery(AggregationStrategy):
+    name = "least_misery"
+
+    def aggregate(self, values: Sequence[float]) -> float:
+        _check(values)
+        return min(values)
+
+
+@dataclass(frozen=True)
+class MostPleasure(AggregationStrategy):
+    name = "most_pleasure"
+
+    def aggregate(self, values: Sequence[float]) -> float:
+        _check(values)
+        return max(values)
+
+
+def _check(values: Sequence[float]) -> None:
+    if not values:
+        raise ScoringError("cannot aggregate an empty score vector")
+
+
+STRATEGIES: dict[str, AggregationStrategy] = {
+    strategy.name: strategy
+    for strategy in (Average(), Product(), LeastMisery(), MostPleasure())
+}
+
+
+def resolve_strategy(strategy: AggregationStrategy | str) -> AggregationStrategy:
+    """Accept either a strategy object or its name."""
+    if isinstance(strategy, AggregationStrategy):
+        return strategy
+    try:
+        return STRATEGIES[strategy]
+    except KeyError as exc:
+        raise ScoringError(
+            f"unknown aggregation strategy {strategy!r}; choose from {sorted(STRATEGIES)}"
+        ) from exc

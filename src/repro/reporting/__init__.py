@@ -1,0 +1,16 @@
+"""Bench/report harness (S12): tables, budgeted timing, experiment records."""
+
+from repro.reporting.records import ExperimentRecord, render_records
+from repro.reporting.tables import TextTable
+from repro.reporting.timing import GrowthFit, TimedRun, fit_growth, run_with_budget, timed
+
+__all__ = [
+    "ExperimentRecord",
+    "GrowthFit",
+    "TextTable",
+    "TimedRun",
+    "fit_growth",
+    "render_records",
+    "run_with_budget",
+    "timed",
+]

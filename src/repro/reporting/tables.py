@@ -1,0 +1,70 @@
+"""Plain-text tables for benchmark output.
+
+Benchmarks print the same rows the paper reports; a tiny aligned-text
+renderer keeps that output readable in a terminal and diffable in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["TextTable"]
+
+
+class TextTable:
+    """An aligned text table.
+
+    Examples
+    --------
+    >>> table = TextTable(["rules", "time (s)"])
+    >>> table.add_row([1, 0.01])
+    >>> print(table.render())
+    rules  time (s)
+    -----  --------
+    1      0.01
+    """
+
+    def __init__(self, headers: Sequence[str]):
+        self.headers = [str(header) for header in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Sequence[object]) -> None:
+        """Append a row; floats are shown with 4 significant digits."""
+        rendered = []
+        for value in values:
+            if isinstance(value, float):
+                rendered.append(f"{value:.4g}")
+            else:
+                rendered.append(str(value))
+        if len(rendered) != len(self.headers):
+            raise ValueError(
+                f"row width {len(rendered)} does not match header width {len(self.headers)}"
+            )
+        self.rows.append(rendered)
+
+    def render(self, markdown: bool = False) -> str:
+        """Render aligned text (or a GitHub-flavoured markdown table)."""
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        if markdown:
+            lines = [
+                "| " + " | ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers)) + " |",
+                "| " + " | ".join("-" * widths[i] for i in range(len(widths))) + " |",
+            ]
+            for row in self.rows:
+                lines.append(
+                    "| " + " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) + " |"
+                )
+            return "\n".join(lines)
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers)),
+            "  ".join("-" * widths[i] for i in range(len(widths))),
+        ]
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

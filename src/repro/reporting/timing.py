@@ -1,0 +1,116 @@
+"""Timing with budgets and growth-curve extrapolation.
+
+The paper's scaling experiment hits a wall ("as we arrive at seven
+rules, our query did not finish within half an hour").  The harness
+reproduces that honestly on a time budget: runs that exceed the budget
+are recorded as timed out, and the exponential growth fitted on the
+completed points extrapolates the infeasible ones — so the bench can
+*assert* the wall without waiting thirty minutes.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["timed", "TimedRun", "run_with_budget", "GrowthFit", "fit_growth"]
+
+
+def timed(fn: Callable[[], object]) -> tuple[object, float]:
+    """Run ``fn`` and return ``(result, elapsed seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class TimedRun:
+    """One measured run (possibly skipped over budget)."""
+
+    parameter: int
+    seconds: float | None  # None = not run (predicted over budget)
+    completed: bool
+
+    @property
+    def display(self) -> str:
+        if self.seconds is None:
+            return "skipped"
+        return f"{self.seconds:.3f}"
+
+
+def run_with_budget(
+    parameters: Sequence[int],
+    make_run: Callable[[int], Callable[[], object]],
+    budget_seconds: float,
+    growth_guard: float = 1.5,
+) -> list[TimedRun]:
+    """Run a parameter sweep, skipping points predicted to bust the budget.
+
+    After each completed run, the growth rate over the completed points
+    predicts the next point's cost; once the prediction exceeds
+    ``budget_seconds`` (or a run actually does), the remaining points
+    are recorded as skipped — mirroring the paper's "did not finish
+    within half an hour".
+    """
+    runs: list[TimedRun] = []
+    completed: list[tuple[int, float]] = []
+    exceeded = False
+    for parameter in parameters:
+        if exceeded:
+            runs.append(TimedRun(parameter, None, False))
+            continue
+        if len(completed) >= 2:
+            fit = fit_growth([p for p, _ in completed], [s for _, s in completed])
+            predicted = fit.predict(parameter)
+            if predicted > budget_seconds and fit.ratio > growth_guard:
+                runs.append(TimedRun(parameter, None, False))
+                exceeded = True
+                continue
+        _result, seconds = timed(make_run(parameter))
+        runs.append(TimedRun(parameter, seconds, True))
+        completed.append((parameter, seconds))
+        if seconds > budget_seconds:
+            exceeded = True
+    return runs
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """A fitted exponential ``time ≈ a * ratio^parameter``."""
+
+    ratio: float
+    scale: float
+    base_parameter: int
+
+    def predict(self, parameter: int) -> float:
+        return self.scale * (self.ratio ** (parameter - self.base_parameter))
+
+
+def fit_growth(parameters: Sequence[int], seconds: Sequence[float]) -> GrowthFit:
+    """Least-squares fit of log-time against the parameter.
+
+    With two points this reduces to the observed ratio; with more it is
+    the standard linear regression in log space.  Raises ``ValueError``
+    with fewer than two positive measurements.
+    """
+    points = [(p, s) for p, s in zip(parameters, seconds) if s > 0.0]
+    if len(points) < 2:
+        raise ValueError("fit_growth needs at least two positive measurements")
+    xs = [float(p) for p, _ in points]
+    ys = [math.log(s) for _, s in points]
+    n = len(points)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0.0:
+        raise ValueError("fit_growth needs at least two distinct parameters")
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denominator
+    intercept = mean_y - slope * mean_x
+    base = int(xs[-1])
+    return GrowthFit(
+        ratio=math.exp(slope),
+        scale=math.exp(intercept + slope * base),
+        base_parameter=base,
+    )

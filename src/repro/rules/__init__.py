@@ -1,0 +1,21 @@
+"""Scored preference rules (S6).
+
+``(Context, Preference, sigma)`` triples over DL concepts, a repository
+with context-applicability pruning and relational materialisation, and
+a text DSL for rule files.
+"""
+
+from repro.rules.dsl import load_rules, parse_rule, parse_rules, render_rules
+from repro.rules.repository import REPOSITORY_TABLE, ApplicableRule, RuleRepository
+from repro.rules.rule import PreferenceRule
+
+__all__ = [
+    "ApplicableRule",
+    "PreferenceRule",
+    "REPOSITORY_TABLE",
+    "RuleRepository",
+    "load_rules",
+    "parse_rule",
+    "parse_rules",
+    "render_rules",
+]

@@ -1,0 +1,98 @@
+"""A small text DSL for scored preference rules.
+
+Rule files look like::
+
+    # Peter's TVTouch preferences
+    RULE r1: WHEN Weekend PREFER TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST} WITH 0.8
+    RULE r2: WHEN Breakfast PREFER TvProgram AND EXISTS hasSubject.NewsSubject WITH 0.9
+    RULE d0: ALWAYS PREFER TvProgram WITH 0.5
+
+One rule per line; ``#`` starts a comment; blank lines are ignored.
+``ALWAYS`` marks a default rule (context ⊤).  The ``WHEN``/``PREFER``/
+``WITH`` markers must appear in upper case exactly once each (concept
+syntax keywords such as ``AND`` or ``EXISTS`` do not collide with
+them).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.errors import ParseError
+from repro.dl.concepts import TOP, Concept
+from repro.dl.parser import parse_concept
+from repro.rules.rule import PreferenceRule
+from repro.rules.repository import RuleRepository
+
+__all__ = ["parse_rule", "parse_rules", "load_rules", "render_rules"]
+
+_HEADER = re.compile(r"^RULE\s+(?P<id>[A-Za-z0-9_\-.]+)\s*:\s*(?P<body>.+)$")
+
+
+def parse_rule(line: str) -> PreferenceRule:
+    """Parse a single ``RULE ...`` line.
+
+    Raises
+    ------
+    ParseError
+        On malformed headers, missing markers or bad concept syntax.
+    """
+    text = line.strip()
+    match = _HEADER.match(text)
+    if match is None:
+        raise ParseError(f"not a rule line: {line!r}", line)
+    rule_id = match.group("id")
+    body = match.group("body").strip()
+
+    if " WITH " not in body:
+        raise ParseError(f"rule {rule_id!r}: missing WITH <sigma>", line)
+    head, sigma_text = body.rsplit(" WITH ", 1)
+    try:
+        sigma = float(sigma_text.strip())
+    except ValueError as exc:
+        raise ParseError(f"rule {rule_id!r}: bad sigma {sigma_text.strip()!r}", line) from exc
+
+    head = head.strip()
+    context: Concept
+    if head.startswith("ALWAYS "):
+        context = TOP
+        preference_text = head[len("ALWAYS ") :].strip()
+        if not preference_text.startswith("PREFER "):
+            raise ParseError(f"rule {rule_id!r}: expected PREFER after ALWAYS", line)
+        preference_text = preference_text[len("PREFER ") :]
+    elif head.startswith("WHEN "):
+        rest = head[len("WHEN ") :]
+        if " PREFER " not in rest:
+            raise ParseError(f"rule {rule_id!r}: missing PREFER", line)
+        context_text, preference_text = rest.split(" PREFER ", 1)
+        context = parse_concept(context_text.strip())
+    else:
+        raise ParseError(f"rule {rule_id!r}: expected WHEN <context> or ALWAYS", line)
+
+    preference = parse_concept(preference_text.strip())
+    return PreferenceRule(rule_id, context, preference, sigma)
+
+
+def parse_rules(text: str) -> RuleRepository:
+    """Parse a whole rule file into a repository."""
+    repository = RuleRepository()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            repository.add(parse_rule(line))
+        except ParseError as exc:
+            raise ParseError(f"line {line_number}: {exc}", text, line_number) from exc
+    return repository
+
+
+def load_rules(path: str | Path) -> RuleRepository:
+    """Read a rule file from disk."""
+    return parse_rules(Path(path).read_text(encoding="utf-8"))
+
+
+def render_rules(repository: RuleRepository) -> str:
+    """Render a repository back to DSL text (round-trips)."""
+    return "\n".join(rule.to_dsl() for rule in repository)

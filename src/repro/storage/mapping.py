@@ -1,0 +1,196 @@
+"""Compiling DL concept expressions to relational-algebra views.
+
+The paper (following Borgida & Brachman's "Loading data into description
+reasoners") "express[es] DL concept expressions using SQL queries and
+add[s] support for the propagation of event expressions" and can then
+"construct a database view for each concept expression containing all
+tuples that are included in the concept expression, together with an
+event expression as a measure of the probability by which they are
+included".
+
+:func:`compile_concept` produces an operator tree of schema
+``(id, event)`` over the concept/role tables of a
+:class:`~repro.storage.database.Database`:
+
+==================  =====================================================
+concept             algebra
+==================  =====================================================
+``A`` (atomic)      union of the concept tables of A and its TBox
+                    descendants (missing tables contribute nothing)
+``¬C``              Individuals − compile(C)   (event: ``AND NOT``)
+``C ⊓ D``           join on id                 (event: ``AND``)
+``C ⊔ D``           union                      (event: ``OR``-merged)
+``∃R.C``            role R ⋈ compile(C) on destination=id, projected to
+                    source (event: ``AND`` then ``OR``-merged)
+``R VALUE a``       role R filtered on destination = a
+``∀R.C``            rewritten to ¬∃R.¬C (equivalent under the closed
+                    world, and exactly what the instance checker computes)
+``{a, b}``          inline constant with certain events
+==================  =====================================================
+
+The correspondence with :func:`repro.dl.instances.retrieve` — same
+individuals, same event probabilities — is a tested invariant.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.events.expr import ALWAYS
+from repro.dl.concepts import (
+    And,
+    AtLeast,
+    Atomic,
+    Bottom,
+    Concept,
+    Exists,
+    ForAll,
+    HasValue,
+    Not,
+    OneOf,
+    Or,
+    Top,
+    complement,
+    some,
+)
+from repro.dl.tbox import TBox
+from repro.dl.vocabulary import RoleName
+from repro.storage.algebra import (
+    AlgebraNode,
+    ColumnComparison,
+    Comparison,
+    Constant,
+    Difference,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.storage.database import (
+    INDIVIDUALS_TABLE,
+    Database,
+    concept_schema,
+    concept_table_name,
+    role_table_name,
+)
+
+__all__ = ["compile_concept", "create_concept_view"]
+
+
+def _empty() -> Constant:
+    return Constant(concept_schema(), ())
+
+
+def _role_union(role: RoleName, tbox: TBox, database: Database) -> AlgebraNode | None:
+    """Union of the role's table and its sub-roles' tables, or None.
+
+    Duplicate (source, destination) pairs across sub-roles OR-merge
+    their events through the union semantics.
+    """
+    scans = []
+    for sub_role in sorted(tbox.role_descendants(role), key=lambda r: r.name):
+        table = role_table_name(sub_role)
+        if database.has_base_table(table):
+            scans.append(Scan(table))
+    if not scans:
+        return None
+    tree: AlgebraNode = scans[0]
+    for scan in scans[1:]:
+        tree = Union(tree, scan)
+    return tree
+
+
+def _successor_view(role: RoleName, filler: Concept, tbox: TBox, database: Database) -> AlgebraNode | None:
+    """``(source, destination, event)`` of role successors in the filler."""
+    roles = _role_union(role, tbox, database)
+    if roles is None:
+        return None
+    filler_view = _compile(filler, tbox, database)
+    joined = Join(roles, filler_view, on=(("destination", "id"),))
+    return Project(joined, ("source", "destination", "event"))
+
+
+def compile_concept(concept: Concept, tbox: TBox, database: Database) -> AlgebraNode:
+    """Compile a concept expression into an ``(id, event)`` operator tree."""
+    return _compile(tbox.expand(concept), tbox, database)
+
+
+def _compile(concept: Concept, tbox: TBox, database: Database) -> AlgebraNode:
+    if isinstance(concept, Top):
+        return Scan(INDIVIDUALS_TABLE)
+    if isinstance(concept, Bottom):
+        return _empty()
+    if isinstance(concept, Atomic):
+        scans = []
+        for name in sorted(tbox.descendants(concept.concept), key=lambda n: n.name):
+            table = concept_table_name(name)
+            if database.has_base_table(table):
+                scans.append(Scan(table))
+        if not scans:
+            return _empty()
+        tree: AlgebraNode = scans[0]
+        for scan in scans[1:]:
+            tree = Union(tree, scan)
+        return tree
+    if isinstance(concept, Not):
+        return Difference(Scan(INDIVIDUALS_TABLE), _compile(concept.child, tbox, database))
+    if isinstance(concept, And):
+        parts = [_compile(child, tbox, database) for child in concept.children]
+        tree = parts[0]
+        for part in parts[1:]:
+            tree = Join(tree, part, on=(("id", "id"),))
+        return tree
+    if isinstance(concept, Or):
+        parts = [_compile(child, tbox, database) for child in concept.children]
+        tree = parts[0]
+        for part in parts[1:]:
+            tree = Union(tree, part)
+        return tree
+    if isinstance(concept, OneOf):
+        rows = tuple((member.name, ALWAYS) for member in sorted(concept.members, key=lambda m: m.name))
+        return Constant(concept_schema(), rows)
+    if isinstance(concept, HasValue):
+        roles = _role_union(concept.role, tbox, database)
+        if roles is None:
+            return _empty()
+        filtered = Select(roles, Comparison("destination", "=", concept.value.name))
+        projected = Project(filtered, ("source", "event"))
+        return Rename(projected, (("source", "id"),))
+    if isinstance(concept, Exists):
+        successors = _successor_view(concept.role, concept.filler, tbox, database)
+        if successors is None:
+            return _empty()
+        projected = Project(successors, ("source", "event"))
+        return Rename(projected, (("source", "id"),))
+    if isinstance(concept, ForAll):
+        # Closed world: ∀R.C ≡ ¬∃R.¬C, matching the instance checker.
+        rewritten = complement(some(concept.role, complement(concept.filler)))
+        return _compile(rewritten, tbox, database)
+    if isinstance(concept, AtLeast):
+        # n-way self-join over the successor view with an ordering
+        # predicate on the destinations, so each n-subset of distinct
+        # successors contributes exactly once; events conjoin through
+        # the joins and alternatives OR-merge in the final projection.
+        successors = _successor_view(concept.role, concept.filler, tbox, database)
+        if successors is None:
+            return _empty()
+        tree: AlgebraNode = Rename(successors, (("destination", "dest_0"),))
+        for index in range(1, concept.count):
+            copy = Rename(successors, (("source", "src"), ("destination", f"dest_{index}")))
+            tree = Join(tree, copy, on=(("source", "src"),))
+            tree = Select(tree, ColumnComparison(f"dest_{index - 1}", "<", f"dest_{index}"))
+        projected = Project(tree, ("source", "event"))
+        return Rename(projected, (("source", "id"),))
+    raise QueryError(f"cannot compile unknown concept node {concept!r}")
+
+
+def create_concept_view(
+    database: Database,
+    name: str,
+    concept: Concept,
+    tbox: TBox,
+) -> str:
+    """Register the compiled concept as a named view; returns the name."""
+    database.create_view(name, compile_concept(concept, tbox, database))
+    return name

@@ -1,0 +1,158 @@
+"""Relational schemas with an EVENT column type.
+
+The paper's naive implementation "extended PostgreSQL with a datatype
+for event expressions".  In this engine the extension is the ``EVENT``
+column type, whose values are :class:`~repro.events.expr.EventExpr`
+objects; the relational algebra combines them when tuples are joined,
+merged or subtracted.
+
+By convention (and enforced by the concept/role table constructors in
+:mod:`repro.storage.database`), a probabilistic table's event column is
+named ``event`` — the same convention the SQL view generator of the
+sqlite backend relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+from repro.events.expr import EventExpr
+
+__all__ = ["ColumnType", "Column", "Schema", "EVENT_COLUMN"]
+
+#: Conventional name of the event-expression column.
+EVENT_COLUMN = "event"
+
+
+class ColumnType(Enum):
+    """The value domains supported by the engine."""
+
+    INT = "int"
+    REAL = "real"
+    TEXT = "text"
+    EVENT = "event"
+
+    def accepts(self, value: object) -> bool:
+        """Whether a Python value is admissible in this column."""
+        if value is None:
+            return True
+        if self is ColumnType.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ColumnType.REAL:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is ColumnType.TEXT:
+            return isinstance(value, str)
+        return isinstance(value, EventExpr)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    type: ColumnType
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise SchemaError(f"column name must be a non-empty string, got {self.name!r}")
+        if not isinstance(self.type, ColumnType):
+            raise SchemaError(f"column type must be a ColumnType, got {self.type!r}")
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.type.value.upper()}"
+
+
+class Schema:
+    """An ordered list of uniquely named columns.
+
+    Examples
+    --------
+    >>> schema = Schema([Column("id", ColumnType.TEXT), Column("event", ColumnType.EVENT)])
+    >>> schema.index_of("id")
+    0
+    >>> schema.has_event_column
+    True
+    """
+
+    __slots__ = ("columns", "_index")
+
+    def __init__(self, columns: Iterable[Column]):
+        self.columns = tuple(columns)
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        if not self.columns:
+            raise SchemaError("a schema needs at least one column")
+        self._index = {column.name: position for position, column in enumerate(self.columns)}
+
+    # -- lookups ----------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError as exc:
+            raise SchemaError(f"no column {name!r} in schema {self.names}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    @property
+    def has_event_column(self) -> bool:
+        return EVENT_COLUMN in self._index and self.column(EVENT_COLUMN).type is ColumnType.EVENT
+
+    @property
+    def data_names(self) -> tuple[str, ...]:
+        """Column names excluding the event column (the dedup key)."""
+        return tuple(name for name in self.names if name != EVENT_COLUMN)
+
+    # -- derivation -----------------------------------------------------
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Schema restricted to the given columns, in the given order."""
+        return Schema([self.column(name) for name in names])
+
+    def rename(self, mapping: Mapping[str, str]) -> "Schema":
+        """Schema with columns renamed per ``mapping`` (others unchanged)."""
+        for old in mapping:
+            self.index_of(old)  # raises on unknown names
+        return Schema(
+            [Column(mapping.get(column.name, column.name), column.type) for column in self.columns]
+        )
+
+    def validate_row(self, row: tuple) -> None:
+        """Raise :class:`SchemaError` unless ``row`` fits this schema."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row width {len(row)} does not match schema width {len(self.columns)}"
+            )
+        for value, column in zip(row, self.columns):
+            if not column.type.accepts(value):
+                raise SchemaError(
+                    f"value {value!r} is not admissible in column {column}"
+                )
+
+    # -- identity ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash(self.columns)
+
+    def __repr__(self) -> str:
+        return "Schema(" + ", ".join(str(column) for column in self.columns) + ")"

@@ -1,0 +1,347 @@
+"""sqlite3 backend: the paper's "extended PostgreSQL", reproduced.
+
+The paper's naive implementation "extended PostgreSQL with a datatype
+for event expressions" and compiled concept expressions into SQL views
+with event propagation.  This backend does the same against sqlite3
+(in the Python standard library):
+
+* concept/role tables are real SQL tables whose ``event`` column holds
+  the s-expression serialisation of the event expression
+  (:mod:`repro.events.serialize`);
+* event propagation happens inside SQL through registered scalar
+  functions ``ev_and`` / ``ev_not`` and the aggregate ``ev_or_agg``;
+* ``ev_prob`` computes the exact probability of a serialised event
+  (through the Shannon engine, honouring the backend's event space);
+* concept expressions compile to nested ``SELECT`` text and can be
+  installed as actual ``CREATE VIEW`` views.
+
+The per-rule doubling of work that the paper measures (Section 5) shows
+up here as the doubling of the naive preference view's SQL, which is
+what benchmark E3 exercises end to end.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable
+
+from repro.errors import StorageError
+from repro.events.expr import EventExpr, conj, disj, neg
+from repro.events.serialize import dumps, loads
+from repro.events.shannon import ShannonEngine
+from repro.events.space import EventSpace
+from repro.dl.abox import ABox
+from repro.dl.concepts import (
+    And,
+    AtLeast,
+    Atomic,
+    Bottom,
+    Concept,
+    Exists,
+    ForAll,
+    HasValue,
+    Not,
+    OneOf,
+    Or,
+    Top,
+    complement,
+    some,
+)
+from repro.dl.tbox import TBox
+from repro.dl.vocabulary import RoleName
+
+__all__ = ["SqliteBackend"]
+
+_FALSE_TEXT = "F"
+
+
+def _quote_identifier(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _quote_literal(value: str) -> str:
+    return "'" + value.replace("'", "''") + "'"
+
+
+class _EvOrAggregate:
+    """SQL aggregate: disjunction of serialised event expressions."""
+
+    def __init__(self) -> None:
+        self._parts: list[EventExpr] = []
+
+    def step(self, text: str | None) -> None:
+        if text is not None:
+            self._parts.append(loads(text))
+
+    def finalize(self) -> str:
+        return dumps(disj(self._parts))
+
+
+class SqliteBackend:
+    """An sqlite3 database holding concept/role tables with event columns.
+
+    Parameters
+    ----------
+    space:
+        The event space used for probability computation (mutex groups
+        and marginals).  Serialize atom marginals also travel inside the
+        event text, so expressions survive the round trip even for atoms
+        the space has not seen.
+    path:
+        Database path; defaults to in-memory.
+    """
+
+    def __init__(self, space: EventSpace | None = None, path: str = ":memory:"):
+        self.space = space
+        self.connection = sqlite3.connect(path)
+        self._engine = ShannonEngine(space)
+        self._register_functions()
+        self._concept_tables: set[str] = set()
+        self._role_tables: set[str] = set()
+        self._alias_counter = 0
+
+    # -- setup ------------------------------------------------------------
+    def _register_functions(self) -> None:
+        def ev_and(left: str | None, right: str | None) -> str:
+            parts = [loads(text) for text in (left, right) if text is not None]
+            return dumps(conj(parts))
+
+        def ev_not(text: str | None) -> str:
+            if text is None:
+                return "T"
+            return dumps(neg(loads(text)))
+
+        def ev_prob(text: str | None) -> float:
+            if text is None:
+                return 0.0
+            return self._engine.probability(loads(text))
+
+        self.connection.create_function("ev_and", 2, ev_and, deterministic=True)
+        self.connection.create_function("ev_not", 1, ev_not, deterministic=True)
+        self.connection.create_function("ev_prob", 1, ev_prob, deterministic=True)
+        self.connection.create_aggregate("ev_or_agg", 1, _EvOrAggregate)
+
+    # -- loading ----------------------------------------------------------
+    def load_abox(self, abox: ABox) -> None:
+        """Create and fill the individuals/concept/role tables."""
+        cursor = self.connection.cursor()
+        cursor.execute("CREATE TABLE IF NOT EXISTS individuals (id TEXT PRIMARY KEY, event TEXT NOT NULL)")
+        cursor.executemany(
+            "INSERT OR IGNORE INTO individuals (id, event) VALUES (?, 'T')",
+            [(individual.name,) for individual in sorted(abox.individuals, key=lambda i: i.name)],
+        )
+        for concept_name in sorted(abox.concept_names, key=lambda n: n.name):
+            table = f"concept_{concept_name.name}"
+            cursor.execute(
+                f"CREATE TABLE IF NOT EXISTS {_quote_identifier(table)} "
+                "(id TEXT PRIMARY KEY, event TEXT NOT NULL)"
+            )
+            self._concept_tables.add(concept_name.name)
+            cursor.executemany(
+                f"INSERT OR REPLACE INTO {_quote_identifier(table)} (id, event) VALUES (?, ?)",
+                [
+                    (assertion.individual.name, dumps(assertion.event))
+                    for assertion in abox.concept_members(concept_name)
+                ],
+            )
+        for role_name in sorted(abox.role_names, key=lambda n: n.name):
+            table = f"role_{role_name.name}"
+            cursor.execute(
+                f"CREATE TABLE IF NOT EXISTS {_quote_identifier(table)} "
+                "(source TEXT NOT NULL, destination TEXT NOT NULL, event TEXT NOT NULL, "
+                "PRIMARY KEY (source, destination))"
+            )
+            self._role_tables.add(role_name.name)
+            cursor.executemany(
+                f"INSERT OR REPLACE INTO {_quote_identifier(table)} (source, destination, event) VALUES (?, ?, ?)",
+                [
+                    (assertion.source.name, assertion.target.name, dumps(assertion.event))
+                    for assertion in abox.role_pairs(role_name)
+                ],
+            )
+        self.connection.commit()
+
+    # -- concept compilation ---------------------------------------------
+    def _alias(self) -> str:
+        self._alias_counter += 1
+        return f"t{self._alias_counter}"
+
+    def concept_sql(self, concept: Concept, tbox: TBox) -> str:
+        """SQL text producing ``(id, event)`` for a concept expression."""
+        return self._sql(tbox.expand(concept), tbox)
+
+    def _empty_sql(self) -> str:
+        return "SELECT id, event FROM individuals WHERE 1 = 0"
+
+    def _role_union_sql(self, role: RoleName, tbox: TBox) -> str | None:
+        """``(source, destination, event)`` over the role and its sub-roles."""
+        tables = [
+            f"role_{sub_role.name}"
+            for sub_role in sorted(tbox.role_descendants(role), key=lambda r: r.name)
+            if sub_role.name in self._role_tables
+        ]
+        if not tables:
+            return None
+        selects = [
+            f"SELECT source, destination, event FROM {_quote_identifier(table)}" for table in tables
+        ]
+        if len(selects) == 1:
+            return selects[0]
+        alias = self._alias()
+        union = " UNION ALL ".join(selects)
+        return (
+            f"SELECT source, destination, ev_or_agg(event) AS event "
+            f"FROM ({union}) {alias} GROUP BY source, destination"
+        )
+
+    def _successor_sql(self, role: RoleName, filler: Concept, tbox: TBox) -> str | None:
+        """``(src, dst, event)`` of role successors inside the filler."""
+        roles = self._role_union_sql(role, tbox)
+        if roles is None:
+            return None
+        filler_sql = self._sql(filler, tbox)
+        r, c = self._alias(), self._alias()
+        return (
+            f"SELECT {r}.source AS src, {r}.destination AS dst, "
+            f"ev_or_agg(ev_and({r}.event, {c}.event)) AS event "
+            f"FROM ({roles}) {r} JOIN ({filler_sql}) {c} ON {r}.destination = {c}.id "
+            f"GROUP BY {r}.source, {r}.destination"
+        )
+
+    def _sql(self, concept: Concept, tbox: TBox) -> str:
+        if isinstance(concept, Top):
+            return "SELECT id, event FROM individuals"
+        if isinstance(concept, Bottom):
+            return self._empty_sql()
+        if isinstance(concept, Atomic):
+            tables = [
+                f"concept_{name.name}"
+                for name in sorted(tbox.descendants(concept.concept), key=lambda n: n.name)
+                if name.name in self._concept_tables
+            ]
+            if not tables:
+                return self._empty_sql()
+            if len(tables) == 1:
+                return f"SELECT id, event FROM {_quote_identifier(tables[0])}"
+            union = " UNION ALL ".join(
+                f"SELECT id, event FROM {_quote_identifier(table)}" for table in tables
+            )
+            alias = self._alias()
+            return (
+                f"SELECT id, ev_or_agg(event) AS event FROM ({union}) {alias} GROUP BY id"
+            )
+        if isinstance(concept, Not):
+            child = self._sql(concept.child, tbox)
+            d, c, outer = self._alias(), self._alias(), self._alias()
+            inner = (
+                f"SELECT {d}.id AS id, "
+                f"CASE WHEN {c}.event IS NULL THEN {d}.event "
+                f"ELSE ev_and({d}.event, ev_not({c}.event)) END AS event "
+                f"FROM individuals {d} LEFT JOIN ({child}) {c} ON {d}.id = {c}.id"
+            )
+            return f"SELECT id, event FROM ({inner}) {outer} WHERE event <> {_quote_literal(_FALSE_TEXT)}"
+        if isinstance(concept, And):
+            parts = [self._sql(child, tbox) for child in concept.children]
+            sql = parts[0]
+            for part in parts[1:]:
+                left, right = self._alias(), self._alias()
+                sql = (
+                    f"SELECT {left}.id AS id, ev_and({left}.event, {right}.event) AS event "
+                    f"FROM ({sql}) {left} JOIN ({part}) {right} ON {left}.id = {right}.id"
+                )
+            return sql
+        if isinstance(concept, Or):
+            parts = [self._sql(child, tbox) for child in concept.children]
+            union = " UNION ALL ".join(f"SELECT id, event FROM ({part}) {self._alias()}" for part in parts)
+            alias = self._alias()
+            return f"SELECT id, ev_or_agg(event) AS event FROM ({union}) {alias} GROUP BY id"
+        if isinstance(concept, OneOf):
+            members = ", ".join(
+                _quote_literal(member.name) for member in sorted(concept.members, key=lambda m: m.name)
+            )
+            return f"SELECT id, event FROM individuals WHERE id IN ({members})"
+        if isinstance(concept, HasValue):
+            roles = self._role_union_sql(concept.role, tbox)
+            if roles is None:
+                return self._empty_sql()
+            alias = self._alias()
+            return (
+                f"SELECT source AS id, ev_or_agg(event) AS event FROM ({roles}) {alias} "
+                f"WHERE destination = {_quote_literal(concept.value.name)} GROUP BY source"
+            )
+        if isinstance(concept, Exists):
+            successors = self._successor_sql(concept.role, concept.filler, tbox)
+            if successors is None:
+                return self._empty_sql()
+            alias = self._alias()
+            return (
+                f"SELECT src AS id, ev_or_agg(event) AS event FROM ({successors}) {alias} "
+                f"GROUP BY src"
+            )
+        if isinstance(concept, ForAll):
+            rewritten = complement(some(concept.role, complement(concept.filler)))
+            return self._sql(rewritten, tbox)
+        if isinstance(concept, AtLeast):
+            successors = self._successor_sql(concept.role, concept.filler, tbox)
+            if successors is None:
+                return self._empty_sql()
+            aliases = [self._alias() for _ in range(concept.count)]
+            event_sql = f"{aliases[0]}.event"
+            joins = [f"({successors}) {aliases[0]}"]
+            conditions = []
+            for index in range(1, concept.count):
+                a, b = aliases[index - 1], aliases[index]
+                joins.append(f"({successors}) {b}")
+                conditions.append(f"{aliases[0]}.src = {b}.src")
+                conditions.append(f"{a}.dst < {b}.dst")
+                event_sql = f"ev_and({event_sql}, {b}.event)"
+            where = f" WHERE {' AND '.join(conditions)}" if conditions else ""
+            return (
+                f"SELECT {aliases[0]}.src AS id, ev_or_agg({event_sql}) AS event "
+                f"FROM {', '.join(joins)}{where} GROUP BY {aliases[0]}.src"
+            )
+        raise StorageError(f"cannot compile unknown concept node {concept!r}")
+
+    # -- views & queries ------------------------------------------------
+    def create_concept_view(self, name: str, concept: Concept, tbox: TBox) -> str:
+        """Install ``CREATE VIEW name AS <concept sql>``; returns the name."""
+        sql = self.concept_sql(concept, tbox)
+        self.connection.execute(f"CREATE VIEW {_quote_identifier(name)} AS {sql}")
+        self.connection.commit()
+        return name
+
+    def drop_view(self, name: str) -> None:
+        self.connection.execute(f"DROP VIEW IF EXISTS {_quote_identifier(name)}")
+        self.connection.commit()
+
+    def query_events(self, sql: str) -> dict[str, EventExpr]:
+        """Run ``(id, event)`` SQL and parse the event column."""
+        cursor = self.connection.execute(sql)
+        return {row[0]: loads(row[1]) for row in cursor.fetchall()}
+
+    def query_probabilities(self, sql: str) -> dict[str, float]:
+        """Run ``(id, event)`` SQL and compute each tuple's probability."""
+        wrapped = f"SELECT id, ev_prob(event) FROM ({sql}) prob_wrapper"
+        cursor = self.connection.execute(wrapped)
+        return {row[0]: row[1] for row in cursor.fetchall()}
+
+    def concept_probabilities(self, concept: Concept, tbox: TBox) -> dict[str, float]:
+        """Retrieve a concept's members with probabilities, via real SQL."""
+        return self.query_probabilities(self.concept_sql(concept, tbox))
+
+    def executescript(self, script: str) -> None:
+        """Run raw SQL (escape hatch for benchmarks and tests)."""
+        self.connection.executescript(script)
+
+    def execute(self, sql: str, parameters: Iterable = ()) -> sqlite3.Cursor:
+        """Run one raw SQL statement."""
+        return self.connection.execute(sql, tuple(parameters))
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SqliteBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,43 @@
+"""Workloads and synthetic data (S11).
+
+The TVTouch running example (Table 1 exactly), the Section 5 test
+database generator, rule-series generation, history sampling from
+ground-truth rules, and synthetic user populations.
+"""
+
+from repro.workloads.generator import Section5World, Section5Counts, generate_test_database
+from repro.workloads.history_gen import (
+    ContextPattern,
+    PlantedRule,
+    sample_history,
+    sample_workday_mornings,
+)
+from repro.workloads.rules_series import generate_rule_series, install_context_series
+from repro.workloads.tvtouch import (
+    EXPECTED_TABLE1_SCORES,
+    PROGRAMS,
+    TvTouchWorld,
+    build_tvtouch,
+    set_breakfast_weekend_context,
+)
+from repro.workloads.users import SyntheticUser, generate_population, simulate_choice
+
+__all__ = [
+    "ContextPattern",
+    "EXPECTED_TABLE1_SCORES",
+    "PROGRAMS",
+    "PlantedRule",
+    "SyntheticUser",
+    "Section5World",
+    "Section5Counts",
+    "TvTouchWorld",
+    "build_tvtouch",
+    "generate_population",
+    "generate_rule_series",
+    "generate_test_database",
+    "install_context_series",
+    "sample_history",
+    "sample_workday_mornings",
+    "set_breakfast_weekend_context",
+    "simulate_choice",
+]

@@ -1,0 +1,173 @@
+"""The Section 5 test database: ~11,000 tuples, seeded and reproducible.
+
+"We generated a test database of context and documents containing
+around 11000 tuples; around 1000 persons, 300 TV programs, 12 genres,
+6 subjects, 4 activities, 5 rooms and their relations."
+
+:func:`generate_test_database` reproduces that census with a seeded
+RNG.  Entities become concept assertions; relations become role
+assertions; per-person location and activity carry uncertain events
+(they are "dynamic context" in the paper's sense).  The focal user
+(the first person) is the situated user the rule series of
+:mod:`repro.workloads.rules_series` applies to.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.events.space import EventSpace
+from repro.dl.abox import ABox
+from repro.dl.concepts import Concept, atomic
+from repro.dl.tbox import TBox
+from repro.dl.vocabulary import Individual
+from repro.storage.database import Database
+
+__all__ = ["Section5Counts", "Section5World", "generate_test_database"]
+
+
+@dataclass(frozen=True)
+class Section5Counts:
+    """Entity counts, defaulting to the paper's census."""
+
+    persons: int = 1000
+    programs: int = 300
+    genres: int = 12
+    subjects: int = 6
+    activities: int = 4
+    rooms: int = 5
+
+    def scaled(self, factor: float) -> "Section5Counts":
+        """A proportionally smaller census (for quick tests)."""
+        return Section5Counts(
+            persons=max(1, int(self.persons * factor)),
+            programs=max(1, int(self.programs * factor)),
+            genres=max(1, int(self.genres * factor)),
+            subjects=max(1, int(self.subjects * factor)),
+            activities=max(1, int(self.activities * factor)),
+            rooms=max(1, int(self.rooms * factor)),
+        )
+
+
+@dataclass
+class Section5World:
+    """The generated world plus its census for reporting (E3b)."""
+
+    space: EventSpace
+    abox: ABox
+    tbox: TBox
+    database: Database
+    user: Individual
+    counts: Section5Counts
+    genres: list[str] = field(default_factory=list)
+    subjects: list[str] = field(default_factory=list)
+    activities: list[str] = field(default_factory=list)
+    rooms: list[str] = field(default_factory=list)
+    programs: list[str] = field(default_factory=list)
+    persons: list[str] = field(default_factory=list)
+    target: Concept = field(default_factory=lambda: atomic("TvProgram"))
+
+    def census(self) -> dict[str, int]:
+        """Tuple counts by table kind (concept + role assertions)."""
+        concept_rows: dict[str, int] = {}
+        for assertion in self.abox.concept_assertions():
+            key = f"concept {assertion.concept.name}"
+            concept_rows[key] = concept_rows.get(key, 0) + 1
+        for assertion in self.abox.role_assertions():
+            key = f"role {assertion.role.name}"
+            concept_rows[key] = concept_rows.get(key, 0) + 1
+        concept_rows["TOTAL"] = len(self.abox)
+        return concept_rows
+
+
+def generate_test_database(
+    seed: int = 7,
+    counts: Section5Counts | None = None,
+) -> Section5World:
+    """Generate the Section 5 synthetic database.
+
+    Deterministic for a fixed ``seed`` and ``counts``.
+
+    Examples
+    --------
+    >>> world = generate_test_database(seed=1, counts=Section5Counts().scaled(0.01))
+    >>> len(world.programs)
+    3
+    """
+    counts = counts if counts is not None else Section5Counts()
+    rng = random.Random(seed)
+    space = EventSpace("section5")
+    abox = ABox()
+    tbox = TBox()
+
+    genres = [f"genre_{index:02d}" for index in range(counts.genres)]
+    subjects = [f"subject_{index:02d}" for index in range(counts.subjects)]
+    activities = [f"activity_{index:02d}" for index in range(counts.activities)]
+    rooms = [f"room_{index:02d}" for index in range(counts.rooms)]
+    programs = [f"prog_{index:04d}" for index in range(counts.programs)]
+    persons = [f"person_{index:04d}" for index in range(counts.persons)]
+
+    for genre in genres:
+        abox.assert_concept("Genre", genre)
+    for subject in subjects:
+        abox.assert_concept("Subject", subject)
+    for activity in activities:
+        abox.assert_concept("Activity", activity)
+    for room in rooms:
+        abox.assert_concept("Room", room)
+    for program in programs:
+        abox.assert_concept("TvProgram", program)
+    for person in persons:
+        abox.assert_concept("Person", person)
+
+    # Program metadata: 1-3 genres, 0-2 subjects per program.
+    for program in programs:
+        for genre in rng.sample(genres, k=rng.randint(1, min(3, len(genres)))):
+            abox.assert_role("hasGenre", program, genre)
+        subject_count = rng.randint(0, min(2, len(subjects)))
+        for subject in rng.sample(subjects, k=subject_count):
+            abox.assert_role("hasSubject", program, subject)
+
+    # Person relations: tastes, friendships, viewing history.
+    for person in persons:
+        for genre in rng.sample(genres, k=min(3, len(genres))):
+            abox.assert_role("likes", person, genre)
+        for friend in rng.sample(persons, k=min(2, len(persons))):
+            if friend != person:
+                abox.assert_role("friendsWith", person, friend)
+        for program in rng.sample(programs, k=min(2, len(programs))):
+            abox.assert_role("watched", person, program)
+
+    # Dynamic context: one uncertain location and activity per person.
+    for index, person in enumerate(persons):
+        room = rooms[rng.randrange(len(rooms))]
+        abox.assert_role(
+            "locatedIn", person, room,
+            space.atom(f"loc:{person}", round(rng.uniform(0.6, 0.99), 3)),
+            dynamic=True,
+        )
+        activity = activities[rng.randrange(len(activities))]
+        abox.assert_role(
+            "doing", person, activity,
+            space.atom(f"act:{person}", round(rng.uniform(0.6, 0.99), 3)),
+            dynamic=True,
+        )
+
+    database = Database("section5")
+    database.load_abox(abox)
+
+    return Section5World(
+        space=space,
+        abox=abox,
+        tbox=tbox,
+        database=database,
+        user=Individual(persons[0]),
+        counts=counts,
+        genres=genres,
+        subjects=subjects,
+        activities=activities,
+        rooms=rooms,
+        programs=programs,
+        persons=persons,
+    )

@@ -1,0 +1,68 @@
+"""Rule series for the Section 5 scaling experiment.
+
+"We created a series of rules on this test database where we measured
+query times for an increasing number of rules."
+
+:func:`install_context_series` gives the focal user ``k`` uncertain
+context features; :func:`generate_rule_series` emits ``k`` rules whose
+contexts are those features and whose preferences select programs by
+genre — so every rule is *applicable* (context probability in (0, 1))
+and *selective* (a real subset of the 300 programs matches), exactly
+the situation whose cost the paper measures.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dl.concepts import atomic, one_of, some
+from repro.rules.repository import RuleRepository
+from repro.rules.rule import PreferenceRule
+from repro.workloads.generator import Section5World
+
+__all__ = ["install_context_series", "generate_rule_series"]
+
+
+def install_context_series(world: Section5World, k: int, seed: int = 11) -> list[float]:
+    """Assert ``k`` uncertain context concepts on the focal user.
+
+    Context concept ``CtxScenario_i`` holds with a probability drawn
+    from (0.55, 0.95); returns the probabilities.  Existing dynamic
+    assertions of the focal user are left in place (they model the rest
+    of the world), the scenario concepts are simply added.
+    """
+    rng = random.Random(seed)
+    probabilities = []
+    for index in range(k):
+        probability = round(rng.uniform(0.55, 0.95), 3)
+        probabilities.append(probability)
+        world.abox.assert_concept(
+            f"CtxScenario_{index:02d}",
+            world.user,
+            world.space.atom(f"ctx:{world.user.name}:{index}", probability),
+            dynamic=True,
+        )
+    world.database.load_abox(world.abox, refresh=True)
+    return probabilities
+
+
+def generate_rule_series(world: Section5World, k: int, seed: int = 13) -> RuleRepository:
+    """``k`` rules: WHEN CtxScenario_i PREFER TvProgram ⊓ ∃hasGenre.{g}.
+
+    Genres cycle through the generated genre list, sigmas are drawn
+    from (0.55, 0.95) — scores stay informative without saturating.
+    """
+    rng = random.Random(seed)
+    repository = RuleRepository()
+    for index in range(k):
+        genre = world.genres[index % len(world.genres)]
+        sigma = round(rng.uniform(0.55, 0.95), 3)
+        repository.add(
+            PreferenceRule(
+                f"r{index + 1}",
+                atomic(f"CtxScenario_{index:02d}"),
+                atomic("TvProgram") & some("hasGenre", one_of(genre)),
+                sigma,
+            )
+        )
+    return repository

@@ -1,0 +1,155 @@
+"""Unit tests for clock, sensors, snapshots and the context manager."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.errors import ContextError
+from repro.events import EventSpace
+from repro.dl import ABox, Individual, TBox, atomic, parse_concept
+from repro.context import (
+    ActivitySensor,
+    CalendarSensor,
+    CompanionSensor,
+    ContextManager,
+    GroundTruth,
+    LocationSensor,
+    SimClock,
+    SituatedUser,
+    define_context,
+    define_location_concept,
+)
+from repro.storage import Database
+
+
+@pytest.fixture()
+def peter():
+    return Individual("peter")
+
+
+@pytest.fixture()
+def saturday_morning():
+    return SimClock(datetime(2007, 4, 14, 8, 30))  # Saturday
+
+
+class TestSimClock:
+    def test_weekend_detection(self, saturday_morning):
+        assert saturday_morning.is_weekend
+        assert not saturday_morning.is_workday
+        assert saturday_morning.weekday_name == "Saturday"
+
+    def test_part_of_day(self):
+        assert SimClock(datetime(2007, 4, 16, 8, 0)).part_of_day == "Morning"
+        assert SimClock(datetime(2007, 4, 16, 14, 0)).part_of_day == "Afternoon"
+        assert SimClock(datetime(2007, 4, 16, 20, 0)).part_of_day == "Evening"
+        assert SimClock(datetime(2007, 4, 16, 2, 0)).part_of_day == "Night"
+        assert SimClock(datetime(2007, 4, 16, 23, 30)).part_of_day == "Night"
+
+    def test_calendar_concepts(self, saturday_morning):
+        assert saturday_morning.calendar_concepts == ("Weekend", "Morning")
+
+    def test_advance(self, saturday_morning):
+        saturday_morning.advance(hours=5)
+        assert saturday_morning.part_of_day == "Afternoon"
+
+    def test_clock_cannot_rewind(self, saturday_morning):
+        with pytest.raises(ContextError):
+            saturday_morning.advance(minutes=-10)
+
+
+class TestSensors:
+    def test_calendar_sensor_certain(self, peter, saturday_morning):
+        space = EventSpace()
+        sensor = CalendarSensor(peter)
+        measurements = sensor.read(saturday_morning, GroundTruth(), space, "t1")
+        assert {str(m.concept) for m in measurements} == {"Weekend", "Morning"}
+        assert all(m.probability == 1.0 for m in measurements)
+
+    def test_location_sensor_confusion(self, peter, saturday_morning):
+        space = EventSpace()
+        sensor = LocationSensor(peter, rooms=("kitchen", "living", "study"), accuracy=0.8)
+        measurements = sensor.read(
+            saturday_morning, GroundTruth(location="kitchen"), space, "t1"
+        )
+        by_room = {m.target.name: m.probability for m in measurements}
+        assert by_room["kitchen"] == pytest.approx(0.8)
+        assert by_room["living"] == pytest.approx(0.1)
+        assert sum(by_room.values()) == pytest.approx(1.0)
+
+    def test_location_measurements_are_mutex(self, peter, saturday_morning):
+        space = EventSpace()
+        sensor = LocationSensor(peter, rooms=("kitchen", "living"), accuracy=0.7)
+        measurements = sensor.read(
+            saturday_morning, GroundTruth(location="kitchen"), space, "t1"
+        )
+        names = [m.event.atom_names() for m in measurements]
+        flat = [next(iter(n)) for n in names]
+        assert space.are_exclusive(flat[0], flat[1])
+
+    def test_unknown_ground_truth_rejected(self, peter, saturday_morning):
+        space = EventSpace()
+        sensor = LocationSensor(peter, rooms=("kitchen",), accuracy=0.9)
+        with pytest.raises(ContextError):
+            sensor.read(saturday_morning, GroundTruth(location="garage"), space, "t1")
+
+    def test_no_truth_no_measurements(self, peter, saturday_morning):
+        space = EventSpace()
+        sensor = ActivitySensor(peter, activities=("Breakfast", "Working"))
+        assert sensor.read(saturday_morning, GroundTruth(), space, "t1") == []
+
+    def test_companion_sensor_independent(self, peter, saturday_morning):
+        space = EventSpace()
+        sensor = CompanionSensor(peter, detection_probability=0.9)
+        measurements = sensor.read(
+            saturday_morning, GroundTruth(companions=("mary", "paul")), space, "t1"
+        )
+        assert len(measurements) == 2
+        names = [next(iter(m.event.atom_names())) for m in measurements]
+        assert not space.are_exclusive(names[0], names[1])
+
+
+class TestContextManager:
+    @pytest.fixture()
+    def manager(self, peter, saturday_morning):
+        space = EventSpace()
+        abox = ABox()
+        tbox = TBox()
+        define_location_concept(tbox, "InKitchen", "kitchen")
+        define_context(tbox, "BreakfastTime", "InKitchen AND Morning")
+        manager = ContextManager(
+            user=SituatedUser(peter),
+            clock=saturday_morning,
+            abox=abox,
+            tbox=tbox,
+            space=space,
+            database=Database(),
+        )
+        manager.add_sensor(CalendarSensor(peter))
+        manager.add_sensor(LocationSensor(peter, rooms=("kitchen", "living"), accuracy=0.7))
+        return manager
+
+    def test_refresh_installs_snapshot(self, manager):
+        snapshot = manager.refresh(GroundTruth(location="kitchen"))
+        assert len(snapshot) == 4  # 2 calendar + 2 location
+        assert manager.last_snapshot is snapshot
+
+    def test_context_probability_combines_measurements(self, manager):
+        manager.refresh(GroundTruth(location="kitchen"))
+        assert manager.context_probability(atomic("Weekend")) == pytest.approx(1.0)
+        assert manager.context_probability(atomic("InKitchen")) == pytest.approx(0.7)
+        assert manager.context_probability(atomic("BreakfastTime")) == pytest.approx(0.7)
+
+    def test_refresh_replaces_dynamic_context(self, manager):
+        manager.refresh(GroundTruth(location="kitchen"))
+        manager.refresh(GroundTruth(location="living"))
+        assert manager.context_probability(atomic("InKitchen")) == pytest.approx(0.3)
+
+    def test_database_mirrors_context(self, manager):
+        manager.refresh(GroundTruth(location="kitchen"))
+        role_table = manager.database.table("role_locatedIn")
+        assert len(role_table) == 2
+
+    def test_derived_context_through_parse(self, manager):
+        manager.refresh(GroundTruth(location="kitchen"))
+        probability = manager.context_probability(parse_concept("Weekend AND InKitchen"))
+        assert probability == pytest.approx(0.7)

@@ -1,0 +1,163 @@
+"""Unit tests for equation (4) and the three Section 3.3 scorers."""
+
+import pytest
+
+from repro.errors import ComplexityLimitError, ScoringError
+from repro.events import ALWAYS, EventSpace
+from repro.dl import parse_concept
+from repro.rules import PreferenceRule
+from repro.core import (
+    DocumentBinding,
+    RuleBinding,
+    ScoringProblem,
+    enumeration_score,
+    exact_event_score,
+    factorised_score,
+    score_certain,
+    score_document,
+)
+from repro.dl.vocabulary import Individual
+
+
+def make_binding(rule_id: str, sigma: float, p_context: float, space: EventSpace) -> RuleBinding:
+    rule = PreferenceRule.parse(rule_id, "TOP", "TvProgram", sigma)
+    if p_context >= 1.0:
+        event = ALWAYS
+    else:
+        event = space.atom(f"ctx:{rule_id}", p_context)
+    return RuleBinding(rule, event, p_context)
+
+
+def make_document(name: str, probabilities: list[float], space: EventSpace) -> DocumentBinding:
+    events = []
+    for index, p in enumerate(probabilities):
+        if p >= 1.0:
+            events.append(ALWAYS)
+        elif p <= 0.0:
+            from repro.events import NEVER
+
+            events.append(NEVER)
+        else:
+            events.append(space.atom(f"doc:{name}:{index}", p))
+    return DocumentBinding(Individual(name), tuple(events), tuple(probabilities))
+
+
+@pytest.fixture()
+def space():
+    return EventSpace()
+
+
+class TestEquationFour:
+    def test_inactive_rule_contributes_one(self, space):
+        bindings = [make_binding("r", 0.8, 1.0, space)]
+        assert score_certain(bindings, [False], [False]) == pytest.approx(1.0)
+        assert score_certain(bindings, [False], [True]) == pytest.approx(1.0)
+
+    def test_active_matching_rule_contributes_sigma(self, space):
+        bindings = [make_binding("r", 0.8, 1.0, space)]
+        assert score_certain(bindings, [True], [True]) == pytest.approx(0.8)
+
+    def test_active_missing_rule_contributes_one_minus_sigma(self, space):
+        bindings = [make_binding("r", 0.8, 1.0, space)]
+        assert score_certain(bindings, [True], [False]) == pytest.approx(0.2)
+
+    def test_product_over_rules(self, space):
+        bindings = [make_binding("r1", 0.8, 1.0, space), make_binding("r2", 0.9, 1.0, space)]
+        assert score_certain(bindings, [True, True], [True, False]) == pytest.approx(0.8 * 0.1)
+
+    def test_figure1_neither(self, space):
+        """Figure 1: (1-0.8)*(1-0.6) = 0.08 for a program with no bulletin."""
+        bindings = [make_binding("traffic", 0.8, 1.0, space), make_binding("weather", 0.6, 1.0, space)]
+        assert score_certain(bindings, [True, True], [False, False]) == pytest.approx(0.08)
+
+    def test_vector_length_validation(self, space):
+        bindings = [make_binding("r", 0.8, 1.0, space)]
+        with pytest.raises(ScoringError):
+            score_certain(bindings, [True, False], [True])
+
+
+class TestScorerAgreement:
+    @pytest.mark.parametrize(
+        "p_contexts,p_features,sigmas",
+        [
+            ([1.0, 1.0], [0.95, 0.85], [0.8, 0.9]),  # Channel 5 news
+            ([1.0], [0.0], [0.7]),
+            ([0.5, 0.25, 0.75], [0.1, 0.9, 0.5], [0.2, 0.6, 0.99]),
+            ([0.0, 1.0], [0.5, 0.5], [0.5, 0.5]),
+            ([1.0, 1.0, 1.0, 1.0], [1.0, 0.0, 0.3, 0.7], [0.9, 0.1, 0.4, 0.6]),
+        ],
+    )
+    def test_enumeration_equals_factorised_equals_exact(self, space, p_contexts, p_features, sigmas):
+        bindings = [
+            make_binding(f"r{i}", sigma, p, space)
+            for i, (sigma, p) in enumerate(zip(sigmas, p_contexts))
+        ]
+        document = make_document("d", p_features, space)
+        by_enumeration = enumeration_score(bindings, document)
+        by_factorisation = factorised_score(bindings, document)
+        by_events = exact_event_score(bindings, document, space)
+        assert by_factorisation == pytest.approx(by_enumeration, abs=1e-12)
+        assert by_events == pytest.approx(by_enumeration, abs=1e-9)
+
+    def test_enumeration_rule_limit(self, space):
+        bindings = [make_binding(f"r{i}", 0.5, 0.5, space) for i in range(15)]
+        document = make_document("d", [0.5] * 15, space)
+        with pytest.raises(ComplexityLimitError):
+            enumeration_score(bindings, document)
+        # The factorised scorer handles the same input fine.
+        assert 0.0 <= factorised_score(bindings, document) <= 1.0
+
+
+class TestExactScorerCorrelations:
+    def test_shared_atom_between_context_and_feature(self, space):
+        """When the same basic event drives context and feature, the
+        independence-assuming scorers are wrong and the exact one right."""
+        shared = space.atom("shared", 0.5)
+        rule = PreferenceRule.parse("r", "TOP", "TvProgram", 0.9)
+        binding = RuleBinding(rule, shared, 0.5)
+        document = DocumentBinding(Individual("d"), (shared,), (0.5,))
+        # Exact: with p=0.5 the worlds are (g=f=1) -> 0.9 and (g=f=0) -> 1.
+        assert exact_event_score([binding], document, space) == pytest.approx(0.5 * 0.9 + 0.5 * 1.0)
+        # Factorised (wrongly) mixes in the g=1,f=0 case.
+        assert factorised_score([binding], document) == pytest.approx(
+            0.5 + 0.5 * (0.5 * 0.9 + 0.5 * 0.1)
+        )
+
+    def test_mutex_features_between_rules(self, space):
+        """Two rules preferring mutually exclusive features."""
+        a = space.atom("fa", 0.5)
+        b = space.atom("fb", 0.5)
+        space.declare_mutex("g", ["fa", "fb"])
+        bindings = [
+            RuleBinding(PreferenceRule.parse("r1", "TOP", "A", 0.8), ALWAYS, 1.0),
+            RuleBinding(PreferenceRule.parse("r2", "TOP", "B", 0.6), ALWAYS, 1.0),
+        ]
+        document = DocumentBinding(Individual("d"), (a, b), (0.5, 0.5))
+        # Worlds: fa (p .5) -> 0.8*0.4; fb (p .5) -> 0.2*0.6 ; never both.
+        expected = 0.5 * (0.8 * 0.4) + 0.5 * (0.2 * 0.6)
+        assert exact_event_score(bindings, document, space) == pytest.approx(expected)
+
+
+class TestScoreDocument:
+    def test_breakdown_matches_factorised(self, space):
+        bindings = [make_binding("r1", 0.8, 1.0, space), make_binding("r2", 0.9, 0.5, space)]
+        document = make_document("d", [0.95, 0.85], space)
+        problem = ScoringProblem(tuple(bindings), (document,), space)
+        result = score_document(problem, document, "factorised")
+        product = 1.0
+        for contribution in result.contributions:
+            product *= contribution.factor
+        assert result.value == pytest.approx(product)
+
+    def test_unknown_method_rejected(self, space):
+        bindings = [make_binding("r1", 0.8, 1.0, space)]
+        document = make_document("d", [0.5], space)
+        problem = ScoringProblem(tuple(bindings), (document,), space)
+        with pytest.raises(ScoringError):
+            score_document(problem, document, "magic")
+
+    def test_problem_width_validation(self, space):
+        bindings = (make_binding("r1", 0.8, 1.0, space),)
+        document = make_document("d", [0.5, 0.5], space)
+        with pytest.raises(ScoringError):
+            ScoringProblem(bindings, (document,), space)

@@ -1,0 +1,161 @@
+"""Unit tests for the ABox and probabilistic instance checking."""
+
+import pytest
+
+from repro.errors import ABoxError
+from repro.events import ALWAYS, NEVER, EventSpace, probability
+from repro.dl import (
+    ABox,
+    Individual,
+    TBox,
+    atomic,
+    complement,
+    every,
+    has_value,
+    membership_event,
+    membership_probability,
+    one_of,
+    parse_concept,
+    retrieve,
+    retrieve_probabilities,
+    some,
+)
+
+
+@pytest.fixture()
+def space():
+    return EventSpace()
+
+
+@pytest.fixture()
+def tbox():
+    tbox = TBox()
+    tbox.add_subsumption("WeatherBulletinSubject", "NewsSubject")
+    return tbox
+
+
+@pytest.fixture()
+def abox(space):
+    """A miniature TVTouch-flavoured ABox."""
+    box = ABox()
+    box.assert_concept("TvProgram", "oprah")
+    box.assert_concept("TvProgram", "bbc_news")
+    box.assert_role("hasGenre", "oprah", "HUMAN-INTEREST", space.atom("g:oprah", 0.85))
+    box.assert_role("hasSubject", "bbc_news", "weather_topic")
+    box.assert_concept("WeatherBulletinSubject", "weather_topic")
+    return box
+
+
+class TestABox:
+    def test_assertion_counts(self, abox):
+        assert len(abox) == 5
+
+    def test_duplicate_assertion_disjoins_events(self, space):
+        box = ABox()
+        box.assert_concept("A", "x", space.atom("e1", 0.5))
+        box.assert_concept("A", "x", space.atom("e2", 0.5))
+        event = box.concept_event(
+            next(iter(box.concept_names)), Individual("x")
+        )
+        assert probability(event, space) == pytest.approx(0.75)
+
+    def test_non_event_rejected(self):
+        with pytest.raises(ABoxError):
+            ABox().assert_concept("A", "x", 0.5)
+
+    def test_clear_dynamic_removes_only_dynamic(self, space):
+        box = ABox()
+        box.assert_concept("Static", "x")
+        box.assert_concept("Sensed", "x", space.atom("s", 0.5), dynamic=True)
+        box.assert_role("near", "x", "y", space.atom("n", 0.5), dynamic=True)
+        removed = box.clear_dynamic()
+        assert removed == 2
+        assert len(box) == 1
+
+    def test_update_replays_assertions(self, abox):
+        clone = ABox()
+        clone.update(abox.concept_assertions())
+        clone.update(abox.role_assertions())
+        assert len(clone) == len(abox)
+        assert clone.individuals == abox.individuals
+
+
+class TestMembershipEvent:
+    def test_atomic_certain(self, abox, tbox):
+        event = membership_event(abox, tbox, "oprah", atomic("TvProgram"))
+        assert event is ALWAYS or event.is_certain
+
+    def test_atomic_absent_is_never(self, abox, tbox):
+        event = membership_event(abox, tbox, "oprah", atomic("Person"))
+        assert event.is_impossible
+
+    def test_exists_with_nominal(self, abox, tbox, space):
+        concept = some("hasGenre", one_of("HUMAN-INTEREST"))
+        event = membership_event(abox, tbox, "oprah", concept)
+        assert probability(event, space) == pytest.approx(0.85)
+
+    def test_has_value_matches_role_assertion(self, abox, tbox, space):
+        concept = has_value("hasGenre", "HUMAN-INTEREST")
+        assert probability(membership_event(abox, tbox, "oprah", concept), space) == pytest.approx(0.85)
+
+    def test_subsumption_lifts_assertions(self, abox, tbox, space):
+        """weather_topic is a WeatherBulletinSubject, hence a NewsSubject."""
+        concept = some("hasSubject", atomic("NewsSubject"))
+        event = membership_event(abox, tbox, "bbc_news", concept)
+        assert probability(event, space) == pytest.approx(1.0)
+
+    def test_conjunction_multiplies_independent(self, abox, tbox, space):
+        concept = parse_concept("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}")
+        assert membership_probability(abox, tbox, "oprah", concept, space) == pytest.approx(0.85)
+
+    def test_negation_complements(self, abox, tbox, space):
+        concept = complement(some("hasGenre", one_of("HUMAN-INTEREST")))
+        assert membership_probability(abox, tbox, "oprah", concept, space) == pytest.approx(0.15)
+
+    def test_one_of_membership(self, abox, tbox):
+        assert membership_event(abox, tbox, "oprah", one_of("oprah", "x")).is_certain
+        assert membership_event(abox, tbox, "oprah", one_of("x")).is_impossible
+
+    def test_forall_vacuously_true_without_successors(self, abox, tbox):
+        concept = every("hasGenre", atomic("Nonexistent"))
+        event = membership_event(abox, tbox, "bbc_news", concept)
+        assert event.is_certain
+
+    def test_forall_requires_all_successors(self, space, tbox):
+        box = ABox()
+        box.assert_role("hasGenre", "show", "COMEDY", space.atom("e1", 0.5))
+        box.assert_concept("Genre", "COMEDY")
+        # ∀hasGenre.Genre: the only successor is in Genre with certainty,
+        # so the obligation holds regardless of the edge event.
+        event = membership_event(box, tbox, "show", every("hasGenre", atomic("Genre")))
+        assert event.is_certain
+        # ∀hasGenre.Other fails exactly when the edge exists.
+        event = membership_event(box, tbox, "show", every("hasGenre", atomic("Other")))
+        assert probability(event, space) == pytest.approx(0.5)
+
+    def test_uncertain_chain_through_exists(self, space, tbox):
+        box = ABox()
+        box.assert_role("likes", "peter", "show", space.atom("edge", 0.5))
+        box.assert_concept("Comedy", "show", space.atom("genre", 0.4))
+        event = membership_event(box, tbox, "peter", some("likes", atomic("Comedy")))
+        assert probability(event, space) == pytest.approx(0.2)
+
+
+class TestRetrieve:
+    def test_retrieve_skips_impossible(self, abox, tbox):
+        result = retrieve(abox, tbox, some("hasGenre", one_of("HUMAN-INTEREST")))
+        assert set(result) == {Individual("oprah")}
+
+    def test_retrieve_probabilities(self, abox, tbox, space):
+        result = retrieve_probabilities(abox, tbox, atomic("TvProgram"), space)
+        assert result == {
+            Individual("oprah"): pytest.approx(1.0),
+            Individual("bbc_news"): pytest.approx(1.0),
+        }
+
+    def test_retrieve_negation_includes_non_members(self, abox, tbox):
+        result = retrieve(abox, tbox, complement(atomic("TvProgram")))
+        names = {ind.name for ind in result}
+        # Genre/topic individuals are not TvPrograms (closed world).
+        assert "HUMAN-INTEREST" in names
+        assert "oprah" not in names

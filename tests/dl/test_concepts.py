@@ -1,0 +1,126 @@
+"""Unit tests for concept-expression construction and simplification."""
+
+import pytest
+
+from repro.errors import DLError
+from repro.dl import (
+    BOTTOM,
+    TOP,
+    And,
+    ConceptName,
+    Individual,
+    Or,
+    RoleName,
+    atomic,
+    complement,
+    every,
+    has_value,
+    intersect,
+    one_of,
+    some,
+    union,
+)
+
+
+class TestVocabulary:
+    def test_valid_names(self):
+        assert ConceptName("TvProgram").name == "TvProgram"
+        assert RoleName("hasGenre").name == "hasGenre"
+        assert Individual("HUMAN-INTEREST").name == "HUMAN-INTEREST"
+
+    @pytest.mark.parametrize("bad", ["", "9abc", "with space", "semi;colon", None])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(DLError):
+            ConceptName(bad)
+
+    def test_names_are_value_objects(self):
+        assert ConceptName("A") == ConceptName("A")
+        assert hash(RoleName("r")) == hash(RoleName("r"))
+
+
+class TestConstructors:
+    def test_intersection_simplification(self):
+        a, b = atomic("A"), atomic("B")
+        assert intersect([a, TOP]) == a
+        assert intersect([a, BOTTOM]) == BOTTOM
+        assert intersect([]) == TOP
+        assert intersect([a, b]) == intersect([b, a])
+        assert intersect([a, a]) == a
+
+    def test_union_simplification(self):
+        a, b = atomic("A"), atomic("B")
+        assert union([a, BOTTOM]) == a
+        assert union([a, TOP]) == TOP
+        assert union([]) == BOTTOM
+        assert union([a, b]) == union([b, a])
+
+    def test_complement_simplification(self):
+        a = atomic("A")
+        assert complement(TOP) == BOTTOM
+        assert complement(BOTTOM) == TOP
+        assert complement(complement(a)) == a
+
+    def test_complementary_pair_collapse(self):
+        a = atomic("A")
+        assert intersect([a, complement(a)]) == BOTTOM
+        assert union([a, complement(a)]) == TOP
+
+    def test_flattening(self):
+        a, b, c = atomic("A"), atomic("B"), atomic("C")
+        nested = intersect([a, intersect([b, c])])
+        assert isinstance(nested, And)
+        assert len(nested.children) == 3
+        nested_or = union([a, union([b, c])])
+        assert isinstance(nested_or, Or)
+        assert len(nested_or.children) == 3
+
+    def test_quantifier_simplification(self):
+        assert some("r", BOTTOM) == BOTTOM
+        assert every("r", TOP) == TOP
+
+    def test_operators(self):
+        a, b = atomic("A"), atomic("B")
+        assert (a & b) == intersect([a, b])
+        assert (a | b) == union([a, b])
+        assert ~a == complement(a)
+
+    def test_one_of_requires_members(self):
+        with pytest.raises(DLError):
+            one_of()
+
+    def test_has_value_equals_desugared_exists(self):
+        hv = has_value("hasGenre", "HUMAN-INTEREST")
+        assert hv == some("hasGenre", one_of("HUMAN-INTEREST"))
+        assert hash(hv) == hash(hv.desugar())
+
+
+class TestAccessors:
+    def test_collected_vocabulary(self):
+        concept = atomic("TvProgram") & some("hasGenre", one_of("COMEDY")) & every(
+            "hasChannel", atomic("PublicChannel")
+        )
+        assert {c.name for c in concept.concept_names()} == {"TvProgram", "PublicChannel"}
+        assert {r.name for r in concept.role_names()} == {"hasGenre", "hasChannel"}
+        assert {i.name for i in concept.individuals()} == {"COMEDY"}
+
+    def test_has_value_vocabulary(self):
+        concept = has_value("hasSubject", "News")
+        assert {r.name for r in concept.role_names()} == {"hasSubject"}
+        assert {i.name for i in concept.individuals()} == {"News"}
+
+
+class TestRendering:
+    def test_atomic_str(self):
+        assert str(atomic("TvProgram")) == "TvProgram"
+
+    def test_nested_str_round_trippable(self):
+        concept = atomic("TvProgram") & some("hasGenre", one_of("COMEDY", "DRAMA"))
+        text = str(concept)
+        assert "TvProgram" in text
+        assert "EXISTS hasGenre" in text
+        assert "{COMEDY, DRAMA}" in text
+
+    def test_not_str(self):
+        assert str(~atomic("A")) == "NOT A"
+        text = str(~(atomic("A") & atomic("B")))
+        assert text.startswith("NOT (")

@@ -1,0 +1,200 @@
+"""Tests for the DL extensions: role hierarchies and number restrictions,
+verified consistently across the instance checker, the relational view
+compiler and the sqlite backend."""
+
+import pytest
+
+from repro.errors import ComplexityLimitError, DLError, TBoxError
+from repro.events import EventSpace, probability
+from repro.dl import (
+    ABox,
+    RoleName,
+    TBox,
+    at_least,
+    at_most,
+    atomic,
+    membership_event,
+    membership_probability,
+    one_of,
+    parse_concept,
+    retrieve,
+    some,
+)
+from repro.storage import Database, SqliteBackend, compile_concept
+
+
+@pytest.fixture()
+def space():
+    return EventSpace()
+
+
+@pytest.fixture()
+def tbox():
+    tbox = TBox()
+    tbox.add_role_subsumption("hasMainGenre", "hasGenre")
+    return tbox
+
+
+@pytest.fixture()
+def abox(space):
+    box = ABox()
+    box.assert_concept("TvProgram", "show_a")
+    box.assert_concept("TvProgram", "show_b")
+    box.assert_concept("TvProgram", "show_c")
+    box.assert_concept("Genre", "comedy")
+    box.assert_concept("Genre", "drama")
+    box.assert_concept("Genre", "news")
+    # show_a: two certain genres, one via the sub-role.
+    box.assert_role("hasMainGenre", "show_a", "comedy")
+    box.assert_role("hasGenre", "show_a", "drama")
+    # show_b: two uncertain genres.
+    box.assert_role("hasGenre", "show_b", "comedy", space.atom("b:comedy", 0.5))
+    box.assert_role("hasGenre", "show_b", "news", space.atom("b:news", 0.4))
+    # show_c: a single genre.
+    box.assert_role("hasGenre", "show_c", "news")
+    return box
+
+
+class TestRoleHierarchy:
+    def test_role_classification(self, tbox):
+        assert tbox.subsumes_role("hasGenre", "hasMainGenre")
+        assert not tbox.subsumes_role("hasMainGenre", "hasGenre")
+        names = {r.name for r in tbox.role_descendants("hasGenre")}
+        assert names == {"hasGenre", "hasMainGenre"}
+
+    def test_role_cycle_detected(self):
+        tbox = TBox()
+        tbox.add_role_subsumption("a", "b")
+        tbox.add_role_subsumption("b", "a")
+        with pytest.raises(TBoxError):
+            tbox.role_ancestors("a")
+
+    def test_role_self_subsumption_rejected(self):
+        with pytest.raises(TBoxError):
+            TBox().add_role_subsumption("r", "r")
+
+    def test_exists_sees_sub_role_edges(self, abox, tbox):
+        event = membership_event(abox, tbox, "show_a", some("hasGenre", one_of("comedy")))
+        assert event.is_certain
+
+    def test_sub_role_does_not_see_super_role_edges(self, abox, tbox):
+        event = membership_event(abox, tbox, "show_a", some("hasMainGenre", one_of("drama")))
+        assert event.is_impossible
+
+    def test_entailment_through_role_hierarchy(self, tbox):
+        sub = some("hasMainGenre", one_of("comedy"))
+        sup = some("hasGenre", one_of("comedy"))
+        assert tbox.entails(sub, sup)
+        assert not tbox.entails(sup, sub)
+
+
+class TestAtLeastSemantics:
+    def test_constructor_normalisation(self):
+        from repro.dl import Exists
+
+        assert isinstance(at_least(1, "r", atomic("C")), Exists)
+        with pytest.raises(DLError):
+            at_least(0, "r", atomic("C"))
+        with pytest.raises(DLError):
+            at_most(-1, "r", atomic("C"))
+
+    def test_certain_counts(self, abox, tbox, space):
+        two_genres = at_least(2, "hasGenre", atomic("Genre"))
+        assert membership_event(abox, tbox, "show_a", two_genres).is_certain
+        assert membership_event(abox, tbox, "show_c", two_genres).is_impossible
+
+    def test_uncertain_counts(self, abox, tbox, space):
+        two_genres = at_least(2, "hasGenre", atomic("Genre"))
+        # show_b needs both uncertain edges: 0.5 * 0.4.
+        assert membership_probability(abox, tbox, "show_b", two_genres, space) == pytest.approx(0.2)
+
+    def test_at_most_is_complement(self, abox, tbox, space):
+        at_most_one = at_most(1, "hasGenre", atomic("Genre"))
+        p_at_most = membership_probability(abox, tbox, "show_b", at_most_one, space)
+        assert p_at_most == pytest.approx(1.0 - 0.2)
+
+    def test_exactly_via_conjunction(self, abox, tbox, space):
+        exactly_one = at_least(1, "hasGenre", atomic("Genre")) & at_most(1, "hasGenre", atomic("Genre"))
+        p = membership_probability(abox, tbox, "show_b", exactly_one, space)
+        # exactly one of two independent edges: .5*.6 + .5*.4
+        assert p == pytest.approx(0.5 * 0.6 + 0.5 * 0.4)
+
+    def test_parser_round_trip(self):
+        concept = parse_concept("ATLEAST 2 hasGenre.Genre")
+        assert concept == at_least(2, "hasGenre", atomic("Genre"))
+        assert parse_concept(str(concept)) == concept
+        at_most_parsed = parse_concept("ATMOST 1 hasGenre.Genre")
+        assert at_most_parsed == at_most(1, "hasGenre", atomic("Genre"))
+
+    def test_parser_rejects_bad_counts(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_concept("ATLEAST hasGenre.Genre")
+        with pytest.raises(ParseError):
+            parse_concept("ATLEAST 0 hasGenre.Genre")
+
+    def test_subset_explosion_guarded(self, tbox, space):
+        box = ABox()
+        for index in range(40):
+            box.assert_role("r", "hub", f"t{index}", space.atom(f"e{index}", 0.5))
+            box.assert_concept("C", f"t{index}")
+        with pytest.raises(ComplexityLimitError):
+            membership_event(box, tbox, "hub", at_least(5, "r", atomic("C")))
+
+    def test_entailment_with_counts(self, tbox):
+        stronger = at_least(3, "hasGenre", atomic("Genre"))
+        weaker = at_least(2, "hasGenre", atomic("Genre"))
+        assert tbox.entails(stronger, weaker)
+        assert not tbox.entails(weaker, stronger)
+        assert tbox.entails(stronger, some("hasGenre", atomic("Genre")))
+
+
+EXTENSION_CONCEPTS = [
+    "EXISTS hasGenre.Genre",
+    "ATLEAST 2 hasGenre.Genre",
+    "ATMOST 1 hasGenre.Genre",
+    "TvProgram AND ATLEAST 2 hasGenre.Genre",
+    "EXISTS hasMainGenre.Genre",
+    "hasGenre VALUE comedy",
+]
+
+
+class TestBackendEquivalence:
+    """Instance checker ≡ algebra views ≡ sqlite views, extensions included."""
+
+    @pytest.mark.parametrize("text", EXTENSION_CONCEPTS)
+    def test_algebra_matches_instances(self, abox, tbox, space, text):
+        concept = parse_concept(text)
+        db = Database()
+        db.load_abox(abox)
+        table = db.evaluate(compile_concept(concept, tbox, db))
+        via_views = {
+            row[0]: probability(row[1], space)
+            for row in table
+        }
+        via_instances = {
+            individual.name: probability(event, space)
+            for individual, event in retrieve(abox, tbox, concept).items()
+        }
+        positive_views = {k: v for k, v in via_views.items() if v > 1e-12}
+        positive_instances = {k: v for k, v in via_instances.items() if v > 1e-12}
+        assert positive_views.keys() == positive_instances.keys()
+        for key, value in positive_views.items():
+            assert value == pytest.approx(positive_instances[key], abs=1e-9)
+
+    @pytest.mark.parametrize("text", EXTENSION_CONCEPTS)
+    def test_sqlite_matches_instances(self, abox, tbox, space, text):
+        concept = parse_concept(text)
+        with SqliteBackend(space) as backend:
+            backend.load_abox(abox)
+            via_sql = backend.concept_probabilities(concept, tbox)
+        via_instances = {
+            individual.name: probability(event, space)
+            for individual, event in retrieve(abox, tbox, concept).items()
+        }
+        positive_sql = {k: v for k, v in via_sql.items() if v > 1e-12}
+        positive_instances = {k: v for k, v in via_instances.items() if v > 1e-12}
+        assert positive_sql.keys() == positive_instances.keys()
+        for key, value in positive_sql.items():
+            assert value == pytest.approx(positive_instances[key], abs=1e-9)

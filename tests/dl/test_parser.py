@@ -1,0 +1,122 @@
+"""Unit tests for the concept-expression parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.dl import (
+    BOTTOM,
+    TOP,
+    atomic,
+    complement,
+    every,
+    has_value,
+    one_of,
+    parse_concept,
+    some,
+)
+
+
+class TestBasicForms:
+    def test_atomic(self):
+        assert parse_concept("TvProgram") == atomic("TvProgram")
+
+    def test_top_bottom(self):
+        assert parse_concept("TOP") == TOP
+        assert parse_concept("BOTTOM") == BOTTOM
+
+    def test_nominal(self):
+        assert parse_concept("{PETER, MARY}") == one_of("PETER", "MARY")
+
+    def test_has_value(self):
+        assert parse_concept("hasSubject VALUE News") == has_value("hasSubject", "News")
+
+    def test_exists(self):
+        expected = some("hasGenre", one_of("HUMAN-INTEREST"))
+        assert parse_concept("EXISTS hasGenre.{HUMAN-INTEREST}") == expected
+
+    def test_forall(self):
+        assert parse_concept("ALL hasChannel.Public") == every("hasChannel", atomic("Public"))
+
+    def test_not(self):
+        assert parse_concept("NOT Weekend") == complement(atomic("Weekend"))
+
+
+class TestPrecedenceAndGrouping:
+    def test_and_binds_tighter_than_or(self):
+        parsed = parse_concept("A AND B OR C")
+        expected = (atomic("A") & atomic("B")) | atomic("C")
+        assert parsed == expected
+
+    def test_parentheses_override(self):
+        parsed = parse_concept("A AND (B OR C)")
+        expected = atomic("A") & (atomic("B") | atomic("C"))
+        assert parsed == expected
+
+    def test_not_binds_tightest(self):
+        parsed = parse_concept("NOT A AND B")
+        assert parsed == (complement(atomic("A")) & atomic("B"))
+
+    def test_quantifier_scopes_over_unary(self):
+        parsed = parse_concept("EXISTS r.NOT A")
+        assert parsed == some("r", complement(atomic("A")))
+
+    def test_nested_quantifiers(self):
+        parsed = parse_concept("EXISTS r.EXISTS s.{X}")
+        assert parsed == some("r", some("s", one_of("X")))
+
+    def test_paper_rule_r1(self):
+        parsed = parse_concept("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}")
+        expected = atomic("TvProgram") & some("hasGenre", one_of("HUMAN-INTEREST"))
+        assert parsed == expected
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "TvProgram",
+            "TOP",
+            "A AND B",
+            "A OR (B AND C)",
+            "NOT (A OR B)",
+            "EXISTS hasGenre.{COMEDY}",
+            "ALL hasChannel.(Public OR Regional)",
+            "hasSubject VALUE News",
+            "{PETER}",
+            "TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}",
+        ],
+    )
+    def test_str_reparses_to_same_concept(self, text):
+        concept = parse_concept(text)
+        assert parse_concept(str(concept)) == concept
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "AND",
+            "A AND",
+            "A B",
+            "(A",
+            "{}",
+            "{A,}",
+            "EXISTS .C",
+            "EXISTS r C",
+            "hasSubject VALUE",
+            "NOT",
+            "A %% B",
+        ],
+    )
+    def test_malformed_input_raises(self, text):
+        with pytest.raises(ParseError):
+            parse_concept(text)
+
+    def test_error_carries_position(self):
+        try:
+            parse_concept("A AND (B")
+        except ParseError as exc:
+            assert exc.position is not None
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")

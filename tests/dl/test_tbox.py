@@ -1,0 +1,165 @@
+"""Unit tests for TBox classification, definitions and subsumption."""
+
+import pytest
+
+from repro.errors import TBoxError
+from repro.dl import (
+    BOTTOM,
+    TOP,
+    ConceptName,
+    TBox,
+    atomic,
+    complement,
+    every,
+    has_value,
+    one_of,
+    parse_concept,
+    some,
+)
+
+
+@pytest.fixture()
+def taxonomy():
+    """Bulletin ⊑ Program; Traffic/Weather ⊑ Bulletin; Weather ⊑ NewsItem."""
+    tbox = TBox()
+    tbox.add_subsumption("Bulletin", "Program")
+    tbox.add_subsumption("TrafficBulletin", "Bulletin")
+    tbox.add_subsumption("WeatherBulletin", "Bulletin")
+    tbox.add_subsumption("WeatherBulletin", "NewsItem")
+    return tbox
+
+
+class TestClassification:
+    def test_ancestors_include_self(self, taxonomy):
+        names = {n.name for n in taxonomy.ancestors("TrafficBulletin")}
+        assert names == {"TrafficBulletin", "Bulletin", "Program"}
+
+    def test_descendants_include_self(self, taxonomy):
+        names = {n.name for n in taxonomy.descendants("Bulletin")}
+        assert names == {"Bulletin", "TrafficBulletin", "WeatherBulletin"}
+
+    def test_multiple_parents(self, taxonomy):
+        names = {n.name for n in taxonomy.ancestors("WeatherBulletin")}
+        assert "NewsItem" in names and "Program" in names
+
+    def test_subsumes_name(self, taxonomy):
+        assert taxonomy.subsumes_name("Program", "TrafficBulletin")
+        assert not taxonomy.subsumes_name("TrafficBulletin", "Program")
+        assert taxonomy.subsumes_name("NewsItem", "WeatherBulletin")
+
+    def test_unknown_name_is_its_own_hierarchy(self, taxonomy):
+        assert taxonomy.ancestors("Unseen") == frozenset({ConceptName("Unseen")})
+
+    def test_cycle_detection(self):
+        tbox = TBox()
+        tbox.add_subsumption("A", "B")
+        tbox.add_subsumption("B", "C")
+        tbox.add_subsumption("C", "A")
+        with pytest.raises(TBoxError):
+            tbox.ancestors("A")
+
+    def test_self_subsumption_rejected(self):
+        with pytest.raises(TBoxError):
+            TBox().add_subsumption("A", "A")
+
+
+class TestDefinitions:
+    def test_expand_unfolds_definitions(self):
+        tbox = TBox()
+        tbox.define("HavingBreakfast", parse_concept("InKitchen AND Morning"))
+        expanded = tbox.expand(parse_concept("HavingBreakfast OR Weekend"))
+        assert expanded == parse_concept("(InKitchen AND Morning) OR Weekend")
+
+    def test_nested_definitions_unfold(self):
+        tbox = TBox()
+        tbox.define("B", parse_concept("C AND D"))
+        tbox.define("A", parse_concept("B OR E"))
+        assert tbox.expand(atomic("A")) == parse_concept("(C AND D) OR E")
+
+    def test_duplicate_definition_rejected(self):
+        tbox = TBox()
+        tbox.define("A", atomic("B"))
+        with pytest.raises(TBoxError):
+            tbox.define("A", atomic("C"))
+
+    def test_definitional_cycle_rejected(self):
+        tbox = TBox()
+        tbox.define("A", atomic("B"))
+        with pytest.raises(TBoxError):
+            tbox.define("B", parse_concept("A AND C"))
+
+    def test_expand_inside_quantifier(self):
+        tbox = TBox()
+        tbox.define("Nice", parse_concept("Comedy OR Drama"))
+        assert tbox.expand(some("hasGenre", atomic("Nice"))) == some(
+            "hasGenre", parse_concept("Comedy OR Drama")
+        )
+
+
+class TestDisjointness:
+    def test_declared_disjointness(self):
+        tbox = TBox()
+        tbox.declare_disjoint(["TrafficBulletin", "WeatherBulletin"])
+        assert tbox.disjoint_names(ConceptName("TrafficBulletin"), ConceptName("WeatherBulletin"))
+        assert not tbox.disjoint_names(ConceptName("TrafficBulletin"), ConceptName("TrafficBulletin"))
+
+    def test_inherited_disjointness(self):
+        tbox = TBox()
+        tbox.add_subsumption("LocalTraffic", "TrafficBulletin")
+        tbox.declare_disjoint(["TrafficBulletin", "WeatherBulletin"])
+        assert tbox.disjoint_names(ConceptName("LocalTraffic"), ConceptName("WeatherBulletin"))
+
+    def test_disjointness_needs_two_names(self):
+        with pytest.raises(TBoxError):
+            TBox().declare_disjoint(["OnlyOne"])
+
+
+class TestStructuralEntailment:
+    def test_reflexive(self, taxonomy):
+        concept = parse_concept("A AND EXISTS r.{X}")
+        assert taxonomy.entails(concept, concept)
+
+    def test_top_bottom(self, taxonomy):
+        assert taxonomy.entails(atomic("Anything"), TOP)
+        assert taxonomy.entails(BOTTOM, atomic("Anything"))
+        assert not taxonomy.entails(TOP, atomic("Anything"))
+
+    def test_name_hierarchy_lifts_to_expressions(self, taxonomy):
+        assert taxonomy.entails(atomic("TrafficBulletin"), atomic("Program"))
+
+    def test_conjunction_weakening(self, taxonomy):
+        assert taxonomy.entails(parse_concept("A AND B"), atomic("A"))
+        assert not taxonomy.entails(atomic("A"), parse_concept("A AND B"))
+
+    def test_disjunction_strengthening(self, taxonomy):
+        assert taxonomy.entails(atomic("A"), parse_concept("A OR B"))
+        assert not taxonomy.entails(parse_concept("A OR B"), atomic("A"))
+
+    def test_exists_monotone_in_filler(self, taxonomy):
+        sub = some("hasKind", atomic("TrafficBulletin"))
+        sup = some("hasKind", atomic("Program"))
+        assert taxonomy.entails(sub, sup)
+        assert not taxonomy.entails(sup, sub)
+
+    def test_nominal_subset(self, taxonomy):
+        assert taxonomy.entails(one_of("A"), one_of("A", "B"))
+        assert not taxonomy.entails(one_of("A", "B"), one_of("A"))
+
+    def test_has_value_entails_exists(self, taxonomy):
+        assert taxonomy.entails(
+            has_value("hasGenre", "COMEDY"), some("hasGenre", one_of("COMEDY", "DRAMA"))
+        )
+
+    def test_negation_antitone(self, taxonomy):
+        sub = complement(atomic("Program"))
+        sup = complement(atomic("TrafficBulletin"))
+        assert taxonomy.entails(sub, sup)
+
+    def test_definitions_expanded_before_check(self):
+        tbox = TBox()
+        tbox.define("NewsLike", parse_concept("News OR WeatherBulletin"))
+        assert tbox.entails(atomic("News"), atomic("NewsLike"))
+
+    def test_transitivity_through_expressions(self, taxonomy):
+        sub = parse_concept("TrafficBulletin AND Recent")
+        assert taxonomy.entails(sub, every("noRole", TOP))  # ∀r.⊤ == ⊤

@@ -1,0 +1,177 @@
+"""Unit tests for event-expression construction and simplification."""
+
+import pytest
+
+from repro.errors import EventError
+from repro.events import ALWAYS, NEVER, And, Atom, BasicEvent, Not, Or, atom, conj, disj, neg
+
+
+@pytest.fixture()
+def a():
+    return atom(BasicEvent("a", 0.5))
+
+
+@pytest.fixture()
+def b():
+    return atom(BasicEvent("b", 0.25))
+
+
+@pytest.fixture()
+def c():
+    return atom(BasicEvent("c", 0.75))
+
+
+class TestConstants:
+    def test_always_is_certain(self):
+        assert ALWAYS.is_certain
+        assert not ALWAYS.is_impossible
+
+    def test_never_is_impossible(self):
+        assert NEVER.is_impossible
+        assert not NEVER.is_certain
+
+    def test_constants_evaluate(self):
+        assert ALWAYS.evaluate({}) is True
+        assert NEVER.evaluate({}) is False
+
+    def test_constants_have_no_atoms(self):
+        assert ALWAYS.atoms() == frozenset()
+        assert NEVER.atoms() == frozenset()
+
+
+class TestAtom:
+    def test_atom_requires_basic_event(self):
+        with pytest.raises(EventError):
+            Atom("not-an-event")
+
+    def test_atom_name_and_atoms(self, a):
+        assert a.name == "a"
+        assert a.atom_names() == frozenset({"a"})
+
+    def test_atom_evaluate(self, a):
+        assert a.evaluate({"a": True}) is True
+        assert a.evaluate({"a": False}) is False
+
+    def test_atom_evaluate_missing_assignment(self, a):
+        with pytest.raises(EventError):
+            a.evaluate({})
+
+    def test_atom_substitute(self, a):
+        assert a.substitute({"a": True}) is ALWAYS
+        assert a.substitute({"a": False}) is NEVER
+        assert a.substitute({"b": True}) == a
+
+
+class TestNegation:
+    def test_double_negation_cancels(self, a):
+        assert neg(neg(a)) == a
+
+    def test_negation_of_constants(self):
+        assert neg(ALWAYS) is NEVER
+        assert neg(NEVER) is ALWAYS
+
+    def test_invert_operator(self, a):
+        assert ~a == neg(a)
+
+    def test_negation_evaluate(self, a):
+        assert (~a).evaluate({"a": True}) is False
+
+
+class TestConjunction:
+    def test_identity_element(self, a):
+        assert conj([a, ALWAYS]) == a
+
+    def test_annihilator(self, a):
+        assert conj([a, NEVER]) is NEVER
+
+    def test_empty_conjunction_is_true(self):
+        assert conj([]) is ALWAYS
+
+    def test_single_child_collapses(self, a):
+        assert conj([a]) == a
+
+    def test_flattening(self, a, b, c):
+        nested = conj([a, conj([b, c])])
+        flat = conj([a, b, c])
+        assert nested == flat
+        assert isinstance(nested, And)
+        assert len(nested.children) == 3
+
+    def test_deduplication(self, a, b):
+        assert conj([a, a, b]) == conj([a, b])
+
+    def test_complementary_pair_collapses_to_never(self, a, b):
+        assert conj([a, ~a]) is NEVER
+        assert conj([a, b, ~a]) is NEVER
+
+    def test_order_does_not_matter(self, a, b, c):
+        assert conj([a, b, c]) == conj([c, b, a])
+
+    def test_and_operator(self, a, b):
+        assert (a & b) == conj([a, b])
+
+    def test_evaluate(self, a, b):
+        expr = a & b
+        assert expr.evaluate({"a": True, "b": True}) is True
+        assert expr.evaluate({"a": True, "b": False}) is False
+
+
+class TestDisjunction:
+    def test_identity_element(self, a):
+        assert disj([a, NEVER]) == a
+
+    def test_annihilator(self, a):
+        assert disj([a, ALWAYS]) is ALWAYS
+
+    def test_empty_disjunction_is_false(self):
+        assert disj([]) is NEVER
+
+    def test_flattening_and_dedup(self, a, b, c):
+        assert disj([a, disj([b, c]), b]) == disj([a, b, c])
+
+    def test_complementary_pair_collapses_to_always(self, a):
+        assert disj([a, ~a]) is ALWAYS
+
+    def test_or_operator(self, a, b):
+        assert (a | b) == disj([a, b])
+
+    def test_evaluate(self, a, b):
+        expr = a | b
+        assert expr.evaluate({"a": False, "b": False}) is False
+        assert expr.evaluate({"a": False, "b": True}) is True
+
+
+class TestStructuralIdentity:
+    def test_equal_structures_hash_equal(self, a, b):
+        assert hash(a & b) == hash(b & a)
+        assert (a & b) == (b & a)
+
+    def test_distinct_structures_differ(self, a, b):
+        assert (a & b) != (a | b)
+
+    def test_atoms_union(self, a, b, c):
+        assert ((a & b) | c).atom_names() == {"a", "b", "c"}
+
+
+class TestSubstitute:
+    def test_partial_substitution_simplifies(self, a, b):
+        expr = (a & b) | (~a & ~b)
+        assert expr.substitute({"a": True}) == b
+        assert expr.substitute({"a": False}) == ~b
+
+    def test_full_substitution_gives_constant(self, a, b):
+        expr = a & b
+        assert expr.substitute({"a": True, "b": True}) is ALWAYS
+        assert expr.substitute({"a": True, "b": False}) is NEVER
+
+
+class TestStringRendering:
+    def test_atom_str(self, a):
+        assert str(a) == "a"
+
+    def test_not_str(self, a):
+        assert str(~a) == "NOT a"
+
+    def test_nested_parenthesisation(self, a, b, c):
+        text = str((a | b) & c)
+        assert "(" in text and "AND" in text and "OR" in text

@@ -1,0 +1,107 @@
+"""Tests for the Monte Carlo engine and lineage rendering."""
+
+import pytest
+
+from repro.errors import EventError
+from repro.events import (
+    ALWAYS,
+    NEVER,
+    BasicEvent,
+    EventSpace,
+    atom,
+    derivations,
+    explain_probability,
+    probability,
+    probability_by_sampling,
+    render_tree,
+)
+
+
+@pytest.fixture()
+def space():
+    return EventSpace()
+
+
+class TestMonteCarlo:
+    def test_constants(self, space):
+        assert probability_by_sampling(ALWAYS, space, samples=10).value == 1.0
+        assert probability_by_sampling(NEVER, space, samples=10).value == 0.0
+
+    def test_single_atom_estimate(self, space):
+        a = space.atom("a", 0.3)
+        estimate = probability_by_sampling(a, space, samples=20000, seed=1)
+        assert estimate.value == pytest.approx(0.3, abs=0.02)
+        assert estimate.agrees_with(0.3)
+
+    def test_matches_exact_on_compound(self, space):
+        a = space.atom("a", 0.5)
+        b = space.atom("b", 0.4)
+        c = space.atom("c", 0.7)
+        expr = (a & ~b) | (c & b)
+        exact = probability(expr, space)
+        estimate = probability_by_sampling(expr, space, samples=40000, seed=2)
+        assert estimate.agrees_with(exact)
+
+    def test_respects_mutex_groups(self, space):
+        a = space.atom("a", 0.6)
+        b = space.atom("b", 0.3)
+        space.declare_mutex("g", ["a", "b"])
+        joint = probability_by_sampling(a & b, space, samples=5000, seed=3)
+        assert joint.value == 0.0
+        either = probability_by_sampling(a | b, space, samples=40000, seed=4)
+        assert either.value == pytest.approx(0.9, abs=0.02)
+
+    def test_deterministic_by_seed(self, space):
+        a = space.atom("a", 0.5)
+        first = probability_by_sampling(a, space, samples=1000, seed=9)
+        second = probability_by_sampling(a, space, samples=1000, seed=9)
+        assert first.value == second.value
+
+    def test_half_width_shrinks_with_samples(self, space):
+        a = space.atom("a", 0.5)
+        small = probability_by_sampling(a, space, samples=100, seed=1)
+        large = probability_by_sampling(a, space, samples=10000, seed=1)
+        assert large.half_width_95 < small.half_width_95
+
+    def test_sample_count_validated(self, space):
+        with pytest.raises(EventError):
+            probability_by_sampling(space.atom("a", 0.5), space, samples=0)
+
+
+class TestLineage:
+    def test_render_tree_shows_atoms_and_connectives(self, space):
+        a = space.atom("sensor:loc", 0.7)
+        b = space.atom("sensor:act", 0.6)
+        text = render_tree((a & b) | ~a)
+        assert "OR" in text and "AND" in text and "NOT" in text
+        assert "sensor:loc  (p=0.7)" in text
+
+    def test_render_constants(self):
+        assert render_tree(ALWAYS) == "TRUE"
+        assert render_tree(NEVER) == "FALSE"
+
+    def test_derivations_sorted_by_probability(self, space):
+        strong = space.atom("strong", 0.9)
+        weak = space.atom("weak", 0.1)
+        result = derivations(strong | weak, space)
+        assert len(result) == 2
+        assert result[0].probability >= result[1].probability
+        assert "strong" in str(result[0])
+
+    def test_derivations_of_conjunction(self, space):
+        a = space.atom("a", 0.5)
+        b = space.atom("b", 0.5)
+        result = derivations(a & b, space)
+        assert len(result) == 1
+        assert result[0].probability == pytest.approx(0.25)
+
+    def test_explain_probability_text(self, space):
+        a = space.atom("a", 0.25)
+        text = explain_probability(a | ~a & atom(BasicEvent("b", 0.5)), space)
+        assert text.startswith("P = ")
+        assert "lineage:" in text
+        assert "derivations" in text
+
+    def test_explain_probability_constant(self):
+        text = explain_probability(ALWAYS)
+        assert text.startswith("P = 1")

@@ -1,0 +1,58 @@
+"""Unit tests for event-expression serialisation."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.events import ALWAYS, NEVER, BasicEvent, atom, dumps, loads
+
+
+@pytest.fixture()
+def a():
+    return atom(BasicEvent("sensor:loc a/b", 0.25))
+
+
+@pytest.fixture()
+def b():
+    return atom(BasicEvent("b", 0.5))
+
+
+class TestRoundTrip:
+    def test_constants(self):
+        assert loads(dumps(ALWAYS)) is ALWAYS
+        assert loads(dumps(NEVER)) is NEVER
+
+    def test_atom_with_awkward_name(self, a):
+        assert loads(dumps(a)) == a
+
+    def test_nested_expression(self, a, b):
+        expr = (a & ~b) | (~a & b)
+        assert loads(dumps(expr)) == expr
+
+    def test_probability_preserved(self, a):
+        restored = loads(dumps(a))
+        (event,) = restored.atoms()
+        assert event.probability == pytest.approx(0.25)
+
+    def test_name_with_parentheses(self):
+        tricky = atom(BasicEvent("fact(x, y)", 0.5))
+        assert loads(dumps(tricky)) == tricky
+
+
+class TestParseFailures:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "(",
+            "(a name)",
+            "(a name notaprob )",
+            "(z x)",
+            "(n T",
+            "(&)",
+            "T extra",
+            ")",
+        ],
+    )
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(ParseError):
+            loads(text)

@@ -1,0 +1,147 @@
+"""Unit tests for episodes, the log and the sigma estimator."""
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.history import Candidate, Episode, HistoryLog, estimate_sigma, sigma_table
+
+
+def make_morning_episode(choose_traffic: bool, choose_weather: bool, label: str = "") -> Episode:
+    return Episode.build(
+        context=["Workday", "Morning"],
+        candidates=[
+            Candidate.of("t", "traffic"),
+            Candidate.of("w", "weather"),
+            Candidate.of("m", "movie"),
+        ],
+        chosen=(["t"] if choose_traffic else []) + (["w"] if choose_weather else []),
+        label=label,
+    )
+
+
+class TestEpisode:
+    def test_chosen_must_be_candidates(self):
+        with pytest.raises(HistoryError):
+            Episode.build(context=["C"], candidates=[Candidate.of("a")], chosen=["b"])
+
+    def test_duplicate_candidates_rejected(self):
+        with pytest.raises(HistoryError):
+            Episode.build(
+                context=["C"],
+                candidates=[Candidate.of("a"), Candidate.of("a")],
+                chosen=[],
+            )
+
+    def test_group_choice_supported(self):
+        episode = make_morning_episode(True, True)
+        assert episode.chose("traffic") and episode.chose("weather")
+        assert len(episode.chosen_candidates()) == 2
+
+    def test_offered_vs_chosen(self):
+        episode = make_morning_episode(True, False)
+        assert episode.offered("weather")
+        assert not episode.chose("weather")
+        assert not episode.offered("sports")
+
+    def test_document_features(self):
+        episode = make_morning_episode(False, False)
+        assert episode.document_features == {"traffic", "weather", "movie"}
+
+    def test_json_round_trip(self):
+        episode = make_morning_episode(True, False, label="mon")
+        assert Episode.from_json_line(episode.to_json_line()) == episode
+
+
+class TestHistoryLog:
+    def test_record_and_query(self):
+        log = HistoryLog([make_morning_episode(True, False)])
+        log.record(make_morning_episode(False, True))
+        assert len(log) == 2
+        assert len(log.with_context("Morning")) == 2
+        assert len(log.with_context("Evening")) == 0
+
+    def test_only_episodes_accepted(self):
+        with pytest.raises(HistoryError):
+            HistoryLog().record("not an episode")
+
+    def test_feature_enumeration(self):
+        log = HistoryLog([make_morning_episode(True, False)])
+        assert log.context_features() == {"Workday", "Morning"}
+        assert "traffic" in log.document_features()
+        assert ("Morning", "traffic") in log.observed_pairs()
+
+    def test_save_and_load(self, tmp_path):
+        log = HistoryLog([make_morning_episode(True, True), make_morning_episode(False, False)])
+        path = tmp_path / "history.jsonl"
+        assert log.save(path) == 2
+        restored = HistoryLog.load(path)
+        assert len(restored) == 2
+        assert restored[0] == log[0]
+
+
+class TestSigmaEstimation:
+    def test_figure1_distribution(self):
+        """Figure 1: traffic chosen 80% of workday mornings, weather 60%."""
+        log = HistoryLog()
+        for index in range(10):
+            log.record(
+                make_morning_episode(choose_traffic=index < 8, choose_weather=index % 10 < 6)
+            )
+        traffic = estimate_sigma(log, "Morning", "traffic")
+        weather = estimate_sigma(log, "Morning", "weather")
+        assert traffic.value == pytest.approx(0.8)
+        assert weather.value == pytest.approx(0.6)
+        # The paper's derived number: P(neither featured) = 0.2 * 0.4 = 0.08.
+        assert (1 - traffic.value) * (1 - weather.value) == pytest.approx(0.08)
+
+    def test_availability_conditioning(self):
+        """Episodes without an f-candidate don't count against sigma."""
+        log = HistoryLog()
+        log.record(
+            Episode.build(
+                context=["Morning"],
+                candidates=[Candidate.of("m", "movie")],  # no traffic available
+                chosen=["m"],
+            )
+        )
+        log.record(make_morning_episode(True, False))
+        estimate = estimate_sigma(log, "Morning", "traffic")
+        assert estimate.denominator == 1
+        assert estimate.value == pytest.approx(1.0)
+
+    def test_undefined_sigma(self):
+        log = HistoryLog([make_morning_episode(True, False)])
+        estimate = estimate_sigma(log, "Evening", "traffic")
+        assert not estimate.defined
+        with pytest.raises(HistoryError):
+            _ = estimate.value
+
+    def test_smoothed_value_always_defined(self):
+        log = HistoryLog()
+        estimate = estimate_sigma(log, "Evening", "traffic")
+        assert estimate.smoothed() == pytest.approx(0.5)
+
+    def test_sigma_table_support_filter(self):
+        log = HistoryLog([make_morning_episode(True, False)])
+        table = sigma_table(log, min_support=1)
+        assert ("Morning", "traffic") in table
+        assert all(estimate.denominator >= 1 for estimate in table.values())
+        with pytest.raises(HistoryError):
+            sigma_table(log, min_support=0)
+
+    def test_sigma_counts_episodes_not_documents(self):
+        """A group choice of two traffic docs still counts once."""
+        log = HistoryLog()
+        log.record(
+            Episode.build(
+                context=["Morning"],
+                candidates=[
+                    Candidate.of("t1", "traffic"),
+                    Candidate.of("t2", "traffic"),
+                ],
+                chosen=["t1", "t2"],
+            )
+        )
+        estimate = estimate_sigma(log, "Morning", "traffic")
+        assert estimate.numerator == 1
+        assert estimate.denominator == 1

@@ -1,0 +1,112 @@
+"""Unit tests for the query-likelihood baseline and smoothing."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ir import (
+    Corpus,
+    Dirichlet,
+    Document,
+    JelinekMercer,
+    LanguageModelRanker,
+    Laplace,
+    tokenize,
+)
+
+
+@pytest.fixture()
+def corpus():
+    corpus = Corpus()
+    corpus.add_text("traffic", "traffic bulletin roads jams traffic commute")
+    corpus.add_text("weather", "weather bulletin rain sunshine forecast")
+    corpus.add_text("cooking", "recipes kitchen pasta dinner")
+    return corpus
+
+
+class TestTokenizeAndDocuments:
+    def test_tokenize_lowercases_and_splits(self):
+        assert tokenize("Channel 5 News!") == ["channel", "5", "news"]
+
+    def test_document_from_text_counts(self):
+        document = Document.from_text("d", "news news weather")
+        assert document.count("news") == 2
+        assert document.length == 3
+        assert "weather" in document
+
+    def test_duplicate_ids_rejected(self, corpus):
+        with pytest.raises(ReproError):
+            corpus.add_text("traffic", "again")
+
+    def test_collection_statistics(self, corpus):
+        assert corpus.collection_count("bulletin") == 2
+        assert corpus.collection_probability("bulletin") == pytest.approx(2 / 15)
+        assert "pasta" in corpus.vocabulary
+        assert len(corpus) == 3
+
+
+class TestSmoothing:
+    def test_jelinek_mercer_interpolates(self, corpus):
+        document = corpus.get("traffic")
+        smoothing = JelinekMercer(0.5)
+        p = smoothing.probability(corpus, document, "traffic")
+        ml = 2 / 6
+        collection = 2 / 15
+        assert p == pytest.approx(0.5 * ml + 0.5 * collection)
+
+    def test_unseen_term_gets_collection_mass(self, corpus):
+        smoothing = JelinekMercer(0.5)
+        p = smoothing.probability(corpus, corpus.get("cooking"), "weather")
+        assert p > 0.0
+
+    def test_dirichlet_shrinks_with_mu(self, corpus):
+        document = corpus.get("traffic")
+        near_ml = Dirichlet(mu=0.001).probability(corpus, document, "traffic")
+        heavy = Dirichlet(mu=10000.0).probability(corpus, document, "traffic")
+        assert near_ml == pytest.approx(2 / 6, abs=1e-3)
+        assert heavy == pytest.approx(corpus.collection_probability("traffic"), abs=1e-3)
+
+    def test_laplace_is_a_distribution_over_vocabulary(self, corpus):
+        document = corpus.get("weather")
+        smoothing = Laplace(1.0)
+        total = sum(
+            smoothing.probability(corpus, document, term) for term in corpus.vocabulary
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            JelinekMercer(1.5)
+        with pytest.raises(ReproError):
+            Dirichlet(0.0)
+        with pytest.raises(ReproError):
+            Laplace(0.0)
+
+
+class TestRanker:
+    def test_on_topic_document_wins(self, corpus):
+        ranker = LanguageModelRanker(corpus)
+        assert ranker.rank("traffic roads")[0].doc_id == "traffic"
+        assert ranker.rank("rain forecast")[0].doc_id == "weather"
+
+    def test_scores_are_probabilities(self, corpus):
+        ranker = LanguageModelRanker(corpus)
+        scores = ranker.score_all("bulletin")
+        assert all(0.0 <= value <= 1.0 for value in scores.values())
+        assert scores["traffic"] > scores["cooking"]
+
+    def test_limit(self, corpus):
+        ranker = LanguageModelRanker(corpus)
+        assert len(ranker.rank("bulletin", limit=2)) == 2
+
+    def test_log_likelihood_sums_terms(self, corpus):
+        ranker = LanguageModelRanker(corpus, JelinekMercer(0.5))
+        single = ranker.log_likelihood("traffic", "traffic")
+        double = ranker.log_likelihood("traffic traffic", "traffic")
+        assert double == pytest.approx(2 * single)
+
+    def test_impossible_query_is_minus_infinity(self, corpus):
+        # Laplace over vocabulary gives no mass to out-of-vocabulary terms.
+        ranker = LanguageModelRanker(corpus, JelinekMercer(0.0))
+        assert ranker.log_likelihood("zeppelin", "cooking") == -math.inf

@@ -1,0 +1,117 @@
+"""Unit tests for ranking metrics and score combination."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ir import (
+    average_precision,
+    combine_log_linear,
+    combined_ranking,
+    dcg_at_k,
+    kendall_tau,
+    ndcg_at_k,
+    precision_at_k,
+    reciprocal_rank,
+    spearman_rho,
+)
+
+
+class TestPrecisionStyleMetrics:
+    def test_precision_at_k(self):
+        ranking = ["a", "b", "c", "d"]
+        assert precision_at_k(ranking, {"a", "c"}, 2) == pytest.approx(0.5)
+        assert precision_at_k(ranking, {"a", "c"}, 4) == pytest.approx(0.5)
+        assert precision_at_k(ranking, set(), 4) == 0.0
+        with pytest.raises(ReproError):
+            precision_at_k(ranking, {"a"}, 0)
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(["x", "y", "hit"], {"hit"}) == pytest.approx(1 / 3)
+        assert reciprocal_rank(["x"], {"hit"}) == 0.0
+
+    def test_average_precision(self):
+        ranking = ["rel", "non", "rel2"]
+        # hits at ranks 1 and 3: (1/1 + 2/3) / 2
+        assert average_precision(ranking, {"rel", "rel2"}) == pytest.approx((1.0 + 2 / 3) / 2)
+        assert average_precision(ranking, set()) == 0.0
+
+
+class TestNdcg:
+    def test_perfect_ranking_is_one(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["a", "b", "c"], gains, 3) == pytest.approx(1.0)
+
+    def test_reversed_ranking_is_less(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["c", "b", "a"], gains, 3) < 1.0
+
+    def test_no_gains_is_zero(self):
+        assert ndcg_at_k(["a"], {}, 1) == 0.0
+
+    def test_dcg_discounting(self):
+        gains = {"a": 1.0, "b": 1.0}
+        assert dcg_at_k(["a", "b"], gains, 2) == pytest.approx(1.0 + 1.0 / math.log2(3))
+
+
+class TestCorrelations:
+    def test_identical_orderings(self):
+        assert kendall_tau([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+        assert spearman_rho([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_reversed_orderings(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+        assert spearman_rho([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_ties_handled(self):
+        value = kendall_tau([1, 1, 2], [1, 2, 3])
+        assert -1.0 <= value <= 1.0
+
+    def test_length_validation(self):
+        with pytest.raises(ReproError):
+            kendall_tau([1], [1, 2])
+        with pytest.raises(ReproError):
+            spearman_rho([1], [1])
+
+    def test_against_scipy_when_available(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        first = [0.1, 0.5, 0.3, 0.9, 0.2]
+        second = [0.2, 0.4, 0.1, 0.8, 0.3]
+        assert kendall_tau(first, second) == pytest.approx(
+            scipy_stats.kendalltau(first, second).statistic
+        )
+        assert spearman_rho(first, second) == pytest.approx(
+            scipy_stats.spearmanr(first, second).statistic
+        )
+
+
+class TestCombination:
+    def test_lambda_extremes(self):
+        pure_ir = combine_log_linear(0.5, 0.9, 1.0)
+        pure_context = combine_log_linear(0.5, 0.9, 0.0)
+        assert pure_ir == pytest.approx(math.log(0.5))
+        assert pure_context == pytest.approx(math.log(0.9))
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ReproError):
+            combine_log_linear(0.5, 0.5, 1.5)
+
+    def test_combined_ranking_merges_maps(self):
+        ranking = combined_ranking(
+            query_scores={"a": 0.9, "b": 0.1},
+            preference_scores={"a": 0.2, "b": 0.8, "c": 0.99},
+            mixing_weight=0.5,
+        )
+        docs = [score.doc_id for score in ranking]
+        assert set(docs) == {"a", "b", "c"}
+        # c has no query score at all; with the floor it ranks last.
+        assert docs[-1] == "c"
+
+    def test_mixing_weight_shifts_winner(self):
+        query_scores = {"ir_doc": 0.9, "ctx_doc": 0.1}
+        preference_scores = {"ir_doc": 0.1, "ctx_doc": 0.9}
+        ir_heavy = combined_ranking(query_scores, preference_scores, 0.95)
+        ctx_heavy = combined_ranking(query_scores, preference_scores, 0.05)
+        assert ir_heavy[0].doc_id == "ir_doc"
+        assert ctx_heavy[0].doc_id == "ctx_doc"

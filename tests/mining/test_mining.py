@@ -1,0 +1,141 @@
+"""Unit tests for candidate enumeration and the preference miner."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.history import Candidate, Episode, HistoryLog
+from repro.mining import (
+    CandidatePair,
+    MiningConfig,
+    enumerate_candidates,
+    evaluate_mining,
+    mine_rules,
+    ranking_agreement,
+    to_repository,
+)
+from repro.rules import PreferenceRule
+
+
+def build_log(n: int = 20, traffic_rate: float = 0.8) -> HistoryLog:
+    """Workday-morning episodes: traffic chosen at ``traffic_rate``."""
+    log = HistoryLog()
+    threshold = int(n * traffic_rate)
+    for index in range(n):
+        log.record(
+            Episode.build(
+                context=["Morning"],
+                candidates=[
+                    Candidate.of("t", "TrafficBulletin"),
+                    Candidate.of("m", "Movie"),
+                ],
+                chosen=["t"] if index < threshold else ["m"],
+            )
+        )
+    return log
+
+
+class TestCandidates:
+    def test_candidates_cover_observed_pairs(self):
+        log = build_log(5)
+        pairs = set(enumerate_candidates(log, include_default=False))
+        assert CandidatePair("Morning", "TrafficBulletin") in pairs
+        assert CandidatePair("Morning", "Movie") in pairs
+
+    def test_default_candidates_included(self):
+        log = build_log(5)
+        pairs = set(enumerate_candidates(log, include_default=True))
+        assert CandidatePair("TOP", "Movie") in pairs
+
+    def test_candidate_limit(self):
+        log = build_log(5)
+        with pytest.raises(MiningError):
+            list(enumerate_candidates(log, max_candidates=1))
+
+    def test_concepts_round_trip(self):
+        pair = CandidatePair("Morning", "TvProgram AND EXISTS hasGenre.{COMEDY}")
+        context, preference = pair.concepts()
+        assert str(context) == "Morning"
+        assert "COMEDY" in str(preference)
+
+
+class TestMiner:
+    def test_recovers_sigma(self):
+        log = build_log(20, traffic_rate=0.8)
+        mined = mine_rules(log, MiningConfig(min_support=5, min_lift=0.0))
+        by_pair = {m.rule.feature_pair: m for m in mined}
+        traffic = by_pair[("Morning", "TrafficBulletin")]
+        assert traffic.rule.sigma == pytest.approx(0.8)
+        assert traffic.support == 20
+
+    def test_min_support_filters(self):
+        log = build_log(3)
+        assert mine_rules(log, MiningConfig(min_support=5, min_lift=0.0)) == []
+
+    def test_min_lift_drops_context_free_behaviour(self):
+        """A feature chosen equally in all contexts has zero lift."""
+        log = HistoryLog()
+        for context in (["Morning"], ["Evening"]):
+            for index in range(10):
+                log.record(
+                    Episode.build(
+                        context=context,
+                        candidates=[Candidate.of("t", "News"), Candidate.of("m", "Movie")],
+                        chosen=["t"] if index % 2 == 0 else ["m"],
+                    )
+                )
+        mined = mine_rules(log, MiningConfig(min_support=5, min_lift=0.2))
+        assert mined == []
+
+    def test_default_rules_emitted_when_requested(self):
+        log = build_log(20)
+        mined = mine_rules(
+            log, MiningConfig(min_support=5, min_lift=0.0, include_default=True)
+        )
+        assert any(m.rule.is_default for m in mined)
+
+    def test_smoothing_moves_extreme_sigmas_inward(self):
+        log = build_log(10, traffic_rate=1.0)
+        raw = mine_rules(log, MiningConfig(min_support=5, min_lift=0.0))
+        smoothed = mine_rules(log, MiningConfig(min_support=5, min_lift=0.0, smoothing=1.0))
+        raw_sigma = {m.rule.feature_pair: m.rule.sigma for m in raw}[("Morning", "TrafficBulletin")]
+        smoothed_sigma = {m.rule.feature_pair: m.rule.sigma for m in smoothed}[
+            ("Morning", "TrafficBulletin")
+        ]
+        assert raw_sigma == pytest.approx(1.0)
+        assert smoothed_sigma == pytest.approx(11 / 12)
+
+    def test_config_validation(self):
+        with pytest.raises(MiningError):
+            MiningConfig(min_support=0)
+        with pytest.raises(MiningError):
+            MiningConfig(min_lift=-0.1)
+        with pytest.raises(MiningError):
+            MiningConfig(smoothing=-1.0)
+
+    def test_to_repository(self):
+        log = build_log(20)
+        mined = mine_rules(log, MiningConfig(min_support=5, min_lift=0.0))
+        repository = to_repository(mined)
+        assert len(repository) == len(mined)
+
+
+class TestEvaluation:
+    def test_report_counts(self):
+        true_rules = [
+            PreferenceRule.parse("r1", "Morning", "TrafficBulletin", 0.8),
+            PreferenceRule.parse("r2", "Evening", "Movie", 0.7),
+        ]
+        log = build_log(20, traffic_rate=0.8)
+        mined = mine_rules(log, MiningConfig(min_support=5, min_lift=0.0))
+        report = evaluate_mining(true_rules, mined)
+        assert report.planted == 2
+        assert report.matched == 1
+        assert report.recall == pytest.approx(0.5)
+        assert report.sigma_mae == pytest.approx(0.0, abs=1e-9)
+
+    def test_ranking_agreement(self):
+        true_scores = {"a": 0.9, "b": 0.5, "c": 0.1}
+        assert ranking_agreement(true_scores, true_scores) == pytest.approx(1.0)
+        reversed_scores = {"a": 0.1, "b": 0.5, "c": 0.9}
+        assert ranking_agreement(true_scores, reversed_scores) == pytest.approx(-1.0)
+        assert ranking_agreement({"a": 1.0}, {"a": 1.0}) == 0.0

@@ -1,0 +1,121 @@
+"""Unit tests for group ranking strategies and the group ranker."""
+
+import pytest
+
+from repro.errors import ScoringError
+from repro.core import ContextAwareScorer
+from repro.multiuser import (
+    Average,
+    GroupMember,
+    GroupRanker,
+    LeastMisery,
+    MostPleasure,
+    Product,
+    resolve_strategy,
+)
+from repro.rules import RuleRepository, parse_rule
+from repro.workloads import build_tvtouch, set_breakfast_weekend_context
+
+
+class TestStrategies:
+    @pytest.mark.parametrize(
+        "strategy,expected",
+        [
+            (Average(), 0.5),
+            (Product(), 0.9 * 0.1),
+            (LeastMisery(), 0.1),
+            (MostPleasure(), 0.9),
+        ],
+    )
+    def test_aggregation_values(self, strategy, expected):
+        assert strategy.aggregate([0.9, 0.1]) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("name", ["average", "product", "least_misery", "most_pleasure"])
+    def test_unanimity(self, name):
+        strategy = resolve_strategy(name)
+        if name == "product":
+            assert strategy.aggregate([0.7]) == pytest.approx(0.7)
+        else:
+            assert strategy.aggregate([0.7, 0.7, 0.7]) == pytest.approx(0.7)
+
+    def test_resolve_by_name_and_object(self):
+        assert resolve_strategy("average").name == "average"
+        assert resolve_strategy(Product()).name == "product"
+        with pytest.raises(ScoringError):
+            resolve_strategy("dictatorship")
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(ScoringError):
+            Average().aggregate([])
+
+
+def _member(name: str, world, rules_text: list[str]) -> GroupMember:
+    repository = RuleRepository([parse_rule(text) for text in rules_text])
+    scorer = ContextAwareScorer(
+        abox=world.abox, tbox=world.tbox, user=world.user,
+        repository=repository, space=world.space,
+    )
+    return GroupMember(name, scorer)
+
+
+@pytest.fixture()
+def world():
+    world = build_tvtouch()
+    set_breakfast_weekend_context(world)
+    return world
+
+
+@pytest.fixture()
+def group(world):
+    """Peter likes human interest at weekends; Mary wants news at breakfast."""
+    peter = _member(
+        "peter",
+        world,
+        ["RULE p1: WHEN Weekend PREFER TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST} WITH 0.9"],
+    )
+    mary = _member(
+        "mary",
+        world,
+        ["RULE m1: WHEN Breakfast PREFER TvProgram AND EXISTS hasSubject.NewsSubject WITH 0.9"],
+    )
+    return GroupRanker([peter, mary], strategy="average")
+
+
+class TestGroupRanker:
+    def test_group_needs_members(self):
+        with pytest.raises(ScoringError):
+            GroupRanker([])
+
+    def test_duplicate_names_rejected(self, world):
+        member = _member("peter", world, ["RULE x: ALWAYS PREFER TvProgram WITH 0.5"])
+        with pytest.raises(ScoringError):
+            GroupRanker([member, member])
+
+    def test_scores_have_member_breakdown(self, group, world):
+        scores = group.score(world.program_ids)
+        for score in scores:
+            assert len(score.per_member) == 2
+            assert 0.0 <= score.value <= 1.0
+        oprah = next(score for score in scores if score.document == "oprah")
+        assert oprah.member_score("peter") > oprah.member_score("mary")
+        with pytest.raises(ScoringError):
+            oprah.member_score("nobody")
+
+    def test_compromise_program_wins_on_average(self, group, world):
+        """Channel 5 news satisfies both members; it should top the group."""
+        ranked = group.rank(world.program_ids)
+        assert ranked[0].document == "channel5_news"
+
+    def test_least_misery_changes_order(self, world, group):
+        misery = GroupRanker(list(group.members), strategy="least_misery")
+        averaged = {score.document: score.value for score in group.rank(world.program_ids)}
+        misered = {score.document: score.value for score in misery.rank(world.program_ids)}
+        assert all(misered[doc] <= averaged[doc] + 1e-12 for doc in misered)
+
+    def test_available_strategies(self):
+        assert set(GroupRanker.available_strategies()) == {
+            "average",
+            "product",
+            "least_misery",
+            "most_pleasure",
+        }

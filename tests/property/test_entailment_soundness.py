@@ -1,0 +1,98 @@
+"""Soundness of structural subsumption against the probabilistic semantics.
+
+If the TBox derives ``C ⊑ D`` structurally, then in *every* random
+probabilistic world each individual's membership event for C must imply
+its membership event for D — i.e. ``P(C(x) AND NOT D(x)) = 0``.  This
+ties the symbolic layer (used for pruning and mining dedup) to the
+model-level semantics the scorer runs on.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import EventSpace, conj, neg, probability
+from repro.dl import ABox, TBox, atomic, complement, intersect, membership_event, one_of, some, union
+
+CONCEPT_NAMES = ["A", "B", "C"]
+ROLE_NAMES = ["r"]
+INDIVIDUALS = ["x", "y", "z"]
+
+
+@st.composite
+def world_and_concept_pair(draw):
+    space = EventSpace("prop")
+    abox = ABox()
+    tbox = TBox()
+    tbox.add_subsumption("A", "B")  # a fixed hierarchy edge to exercise
+    for individual in INDIVIDUALS:
+        abox.register_individual(individual)
+
+    counter = [0]
+
+    def random_event():
+        counter[0] += 1
+        p = draw(st.floats(min_value=0.05, max_value=0.95, allow_nan=False))
+        return space.atom(f"e{counter[0]}", p)
+
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        abox.assert_concept(
+            draw(st.sampled_from(CONCEPT_NAMES)),
+            draw(st.sampled_from(INDIVIDUALS)),
+            random_event(),
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        abox.assert_role(
+            "r",
+            draw(st.sampled_from(INDIVIDUALS)),
+            draw(st.sampled_from(INDIVIDUALS)),
+            random_event(),
+        )
+
+    def concept_strategy(depth: int):
+        leaves = [
+            st.sampled_from([atomic(name) for name in CONCEPT_NAMES]),
+            st.builds(lambda i: one_of(i), st.sampled_from(INDIVIDUALS)),
+        ]
+        if depth <= 0:
+            return st.one_of(*leaves)
+        sub = concept_strategy(depth - 1)
+        return st.one_of(
+            *leaves,
+            st.builds(lambda c: complement(c), sub),
+            st.builds(lambda a, b: intersect([a, b]), sub, sub),
+            st.builds(lambda a, b: union([a, b]), sub, sub),
+            st.builds(lambda c: some("r", c), sub),
+        )
+
+    left = draw(concept_strategy(2))
+    right = draw(concept_strategy(2))
+    return space, abox, tbox, left, right
+
+
+@settings(max_examples=100, deadline=None)
+@given(world_and_concept_pair())
+def test_structural_entailment_is_sound(world):
+    space, abox, tbox, left, right = world
+    if not tbox.entails(left, right):
+        return  # only a claim when subsumption is derived
+    for individual in INDIVIDUALS:
+        in_left = membership_event(abox, tbox, individual, left)
+        in_right = membership_event(abox, tbox, individual, right)
+        violation = conj([in_left, neg(in_right)])
+        assert math.isclose(probability(violation, space), 0.0, abs_tol=1e-9), (
+            f"{left} ⊑ {right} derived, but {individual} violates it"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(world_and_concept_pair())
+def test_conjunction_always_entails_conjuncts_semantically(world):
+    """Even without the symbolic check: P((C ⊓ D)(x)) <= P(C(x))."""
+    space, abox, tbox, left, right = world
+    both = intersect([left, right])
+    for individual in INDIVIDUALS:
+        p_both = probability(membership_event(abox, tbox, individual, both), space)
+        p_left = probability(membership_event(abox, tbox, individual, left), space)
+        assert p_both <= p_left + 1e-9

@@ -1,0 +1,107 @@
+"""Property-based tests for the scoring model.
+
+The load-bearing invariant: on independent features, the paper's naive
+enumeration, the O(n) factorisation and the event-level exact scorer
+compute the same probability — and the naive view-based implementation
+agrees with all three.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import ALWAYS, NEVER, EventSpace
+from repro.rules import PreferenceRule
+from repro.core import (
+    DocumentBinding,
+    RuleBinding,
+    all_miss_score,
+    enumeration_score,
+    exact_event_score,
+    factorised_score,
+)
+from repro.dl.vocabulary import Individual
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def scoring_inputs(draw):
+    """Random independent-feature scoring problems (1-6 rules)."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    sigmas = draw(st.lists(probabilities, min_size=n, max_size=n))
+    p_contexts = draw(st.lists(probabilities, min_size=n, max_size=n))
+    p_features = draw(st.lists(probabilities, min_size=n, max_size=n))
+    space = EventSpace("prop")
+    bindings = []
+    for index, (sigma, p_g) in enumerate(zip(sigmas, p_contexts)):
+        rule = PreferenceRule.parse(f"r{index}", "TOP", "TvProgram", sigma)
+        if p_g >= 1.0:
+            event = ALWAYS
+        elif p_g <= 0.0:
+            event = NEVER
+        else:
+            event = space.atom(f"g{index}", p_g)
+        bindings.append(RuleBinding(rule, event, p_g))
+    events = []
+    for index, p_f in enumerate(p_features):
+        if p_f >= 1.0:
+            events.append(ALWAYS)
+        elif p_f <= 0.0:
+            events.append(NEVER)
+        else:
+            events.append(space.atom(f"f{index}", p_f))
+    document = DocumentBinding(Individual("doc"), tuple(events), tuple(p_features))
+    return space, bindings, document
+
+
+@settings(max_examples=120, deadline=None)
+@given(scoring_inputs())
+def test_three_scorers_agree_on_independent_features(inputs):
+    space, bindings, document = inputs
+    by_enumeration = enumeration_score(bindings, document)
+    by_factorisation = factorised_score(bindings, document)
+    by_events = exact_event_score(bindings, document, space)
+    assert math.isclose(by_factorisation, by_enumeration, abs_tol=1e-9)
+    assert math.isclose(by_events, by_enumeration, abs_tol=1e-9)
+
+
+@settings(max_examples=120, deadline=None)
+@given(scoring_inputs())
+def test_score_is_a_probability(inputs):
+    _space, bindings, document = inputs
+    value = factorised_score(bindings, document)
+    assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=120, deadline=None)
+@given(scoring_inputs())
+def test_all_miss_is_the_zero_feature_score(inputs):
+    space, bindings, document = inputs
+    zero_doc = DocumentBinding(
+        document.document,
+        tuple(NEVER for _ in bindings),
+        tuple(0.0 for _ in bindings),
+    )
+    assert math.isclose(
+        all_miss_score(bindings), factorised_score(bindings, zero_doc), abs_tol=1e-12
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(scoring_inputs(), probabilities)
+def test_monotone_in_feature_probability_when_sigma_high(inputs, bump):
+    """With sigma > 0.5, increasing P(f) never lowers the score."""
+    space, bindings, document = inputs
+    high_sigma_bindings = [
+        RuleBinding(binding.rule.with_sigma(0.5 + binding.sigma / 2.0), binding.context_event, binding.context_probability)
+        for binding in bindings
+    ]
+    raised = tuple(
+        min(1.0, p + bump * (1.0 - p)) for p in document.preference_probabilities
+    )
+    raised_doc = DocumentBinding(document.document, document.preference_events, raised)
+    low = factorised_score(high_sigma_bindings, document)
+    high = factorised_score(high_sigma_bindings, raised_doc)
+    assert high >= low - 1e-9

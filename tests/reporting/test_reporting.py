@@ -1,0 +1,87 @@
+"""Tests for tables, budgeted timing and growth fitting."""
+
+import pytest
+
+from repro.reporting import (
+    ExperimentRecord,
+    TextTable,
+    fit_growth,
+    render_records,
+    run_with_budget,
+    timed,
+)
+
+
+class TestTextTable:
+    def test_render_aligned(self):
+        table = TextTable(["rules", "time"])
+        table.add_row([1, 0.5])
+        table.add_row([10, 123.456])
+        text = table.render()
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("rules")
+        assert "123.5" in text  # 4 significant digits
+
+    def test_render_markdown(self):
+        table = TextTable(["a"])
+        table.add_row(["x"])
+        assert table.render(markdown=True).startswith("| a")
+
+    def test_row_width_checked(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+
+class TestTiming:
+    def test_timed_returns_result_and_elapsed(self):
+        result, seconds = timed(lambda: 41 + 1)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_fit_growth_recovers_doubling(self):
+        times = [0.01 * (2.0**k) for k in range(1, 6)]
+        fit = fit_growth(list(range(1, 6)), times)
+        assert fit.ratio == pytest.approx(2.0, rel=1e-6)
+        assert fit.predict(6) == pytest.approx(0.01 * 64, rel=1e-6)
+
+    def test_fit_growth_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_growth([1], [0.5])
+        with pytest.raises(ValueError):
+            fit_growth([1, 1], [0.5, 0.5])
+
+    def test_run_with_budget_skips_predicted_blowup(self):
+        import time
+
+        def make_run(parameter):
+            def run():
+                time.sleep(0.001 * (4**parameter))
+
+            return run
+
+        runs = run_with_budget([1, 2, 3, 4, 5, 6, 7, 8], make_run, budget_seconds=0.3)
+        completed = [run for run in runs if run.completed]
+        skipped = [run for run in runs if not run.completed]
+        assert completed, "some parameters must complete"
+        assert skipped, "the blow-up must eventually be skipped"
+        # Skips only at the tail, never in the middle.
+        flags = [run.completed for run in runs]
+        assert flags == sorted(flags, reverse=True)
+
+    def test_run_with_budget_all_fast(self):
+        runs = run_with_budget([1, 2, 3], lambda p: (lambda: None), budget_seconds=10.0)
+        assert all(run.completed for run in runs)
+
+
+class TestRecords:
+    def test_render_records(self):
+        records = [
+            ExperimentRecord("E1", "Table 1", "0.6006", "0.6006", "reproduced"),
+            ExperimentRecord("E3", "scaling", "blow-up at 7", "blow-up at 7", "shape holds"),
+        ]
+        text = render_records(records)
+        assert "E1" in text and "shape holds" in text
+        markdown = render_records(records, markdown=True)
+        assert markdown.startswith("| id")

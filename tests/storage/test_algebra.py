@@ -1,0 +1,207 @@
+"""Unit tests for the probabilistic relational algebra."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.events import ALWAYS, EventSpace, probability
+from repro.storage import (
+    Column,
+    ColumnType,
+    Comparison,
+    Constant,
+    Database,
+    Difference,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Schema,
+    Select,
+    Table,
+    Union,
+)
+from repro.storage.algebra import AndPredicate, ColumnComparison, NotPredicate, OrPredicate
+
+
+@pytest.fixture()
+def space():
+    return EventSpace()
+
+
+@pytest.fixture()
+def db(space):
+    """Two concept-style tables plus a plain data table."""
+    db = Database()
+    a = db.create_concept_table("A")
+    a.insert(("x", space.atom("ax", 0.8)))
+    a.insert(("y", space.atom("ay", 0.5)))
+    b = db.create_concept_table("B")
+    b.insert(("x", space.atom("bx", 0.5)))
+    b.insert(("z", ALWAYS))
+    individuals = db.ensure_individuals_table()
+    for name in ("x", "y", "z"):
+        individuals.insert((name, ALWAYS))
+    plain = db.create_table(
+        "People",
+        Schema([Column("name", ColumnType.TEXT), Column("age", ColumnType.INT)]),
+    )
+    plain.insert_many([("ann", 30), ("bob", 40), ("cey", 40)])
+    return db
+
+
+class TestScanSelect:
+    def test_scan_returns_copy(self, db):
+        result = db.evaluate(Scan("concept_A"))
+        assert len(result) == 2
+        result.insert(("w", ALWAYS))
+        assert len(db.table("concept_A")) == 2
+
+    def test_scan_unknown_table(self, db):
+        from repro.errors import UnknownTableError
+
+        with pytest.raises(UnknownTableError):
+            db.evaluate(Scan("missing"))
+
+    def test_select_literal(self, db):
+        result = db.evaluate(Select(Scan("People"), Comparison("age", ">", 35)))
+        assert {row[0] for row in result} == {"bob", "cey"}
+
+    def test_select_column_comparison(self, db):
+        result = db.evaluate(Select(Scan("People"), ColumnComparison("name", "=", "name")))
+        assert len(result) == 3
+
+    def test_select_compound_predicates(self, db):
+        predicate = AndPredicate(
+            (
+                Comparison("age", ">=", 30),
+                NotPredicate(Comparison("name", "=", "bob")),
+            )
+        )
+        result = db.evaluate(Select(Scan("People"), predicate))
+        assert {row[0] for row in result} == {"ann", "cey"}
+        predicate = OrPredicate((Comparison("name", "=", "ann"), Comparison("age", "=", 40)))
+        assert len(db.evaluate(Select(Scan("People"), predicate))) == 3
+
+    def test_select_unknown_column(self, db):
+        with pytest.raises(QueryError):
+            db.evaluate(Select(Scan("People"), Comparison("salary", ">", 1)))
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(QueryError):
+            Comparison("a", "~", 1)
+
+
+class TestProject:
+    def test_project_plain_distinct(self, db):
+        result = db.evaluate(Project(Scan("People"), ("age",)))
+        assert sorted(row[0] for row in result) == [30, 40]
+
+    def test_project_keeps_duplicates_when_not_distinct(self, db):
+        result = db.evaluate(Project(Scan("People"), ("age",), distinct=False))
+        assert sorted(row[0] for row in result) == [30, 40, 40]
+
+    def test_project_merges_events(self, db, space):
+        # Duplicate ids after projecting a role-like table OR their events.
+        role = db.create_role_table("r")
+        role.insert(("s", "d1", space.atom("e1", 0.5)))
+        role.insert(("s", "d2", space.atom("e2", 0.5)))
+        result = db.evaluate(Project(Scan("role_r"), ("source", "event")))
+        assert len(result) == 1
+        assert probability(result.rows[0][1], space) == pytest.approx(0.75)
+
+
+class TestJoin:
+    def test_join_conjoins_events(self, db, space):
+        result = db.evaluate(Join(Scan("concept_A"), Scan("concept_B"), on=(("id", "id"),)))
+        assert {row[0] for row in result} == {"x"}
+        assert probability(result.rows[0][1], space) == pytest.approx(0.4)
+
+    def test_join_schema_is_id_event(self, db):
+        result = db.evaluate(Join(Scan("concept_A"), Scan("concept_B"), on=(("id", "id"),)))
+        assert result.schema.names == ("id", "event")
+
+    def test_join_role_with_concept(self, db, space):
+        role = db.create_role_table("has")
+        role.insert(("p", "x", space.atom("edge", 0.5)))
+        joined = Join(Scan("role_has"), Scan("concept_A"), on=(("destination", "id"),))
+        result = db.evaluate(joined)
+        assert result.schema.names == ("source", "destination", "event")
+        assert probability(result.rows[0][2], space) == pytest.approx(0.4)
+
+    def test_join_name_collision_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.evaluate(Join(Scan("People"), Scan("People"), on=(("name", "name"),)))
+
+    def test_join_unknown_column(self, db):
+        with pytest.raises(Exception):
+            db.evaluate(Join(Scan("concept_A"), Scan("concept_B"), on=(("nope", "id"),)))
+
+
+class TestUnion:
+    def test_union_merges_duplicates(self, db, space):
+        result = db.evaluate(Union(Scan("concept_A"), Scan("concept_B")))
+        assert len(result) == 3  # x merged, y, z
+        x_event = result.event_of(id="x")
+        assert probability(x_event, space) == pytest.approx(1 - 0.2 * 0.5)
+
+    def test_union_requires_compatible_schemas(self, db):
+        with pytest.raises(QueryError):
+            db.evaluate(Union(Scan("concept_A"), Scan("People")))
+
+
+class TestDifference:
+    def test_certain_difference(self, db):
+        result = db.evaluate(Difference(Scan("Individuals"), Scan("concept_B")))
+        # z is certainly in B, so only x and y can survive.
+        ids = {row[0] for row in result}
+        assert "z" not in ids
+        assert {"x", "y"} <= ids
+
+    def test_difference_event_semantics(self, db, space):
+        result = db.evaluate(Difference(Scan("Individuals"), Scan("concept_A")))
+        # x in A with p=0.8: survives complement with p=0.2.
+        assert probability(result.event_of(id="x"), space) == pytest.approx(0.2)
+        # z not in A at all: survives certainly.
+        assert probability(result.event_of(id="z"), space) == pytest.approx(1.0)
+
+    def test_difference_incompatible_schemas(self, db):
+        with pytest.raises(QueryError):
+            db.evaluate(Difference(Scan("People"), Scan("concept_A")))
+
+
+class TestRenameConstant:
+    def test_rename(self, db):
+        result = db.evaluate(Rename(Scan("concept_A"), (("id", "pid"),)))
+        assert result.schema.names == ("pid", "event")
+
+    def test_constant(self, db):
+        from repro.storage import concept_schema
+
+        node = Constant(concept_schema(), (("q", ALWAYS),))
+        result = db.evaluate(node)
+        assert result.rows == [("q", ALWAYS)]
+
+
+class TestViews:
+    def test_view_reevaluates_on_base_change(self, db, space):
+        db.create_view("a_and_b", Join(Scan("concept_A"), Scan("concept_B"), on=(("id", "id"),)))
+        assert len(db.table("a_and_b")) == 1
+        db.table("concept_B").insert(("y", space.atom("by", 0.5)))
+        assert len(db.table("a_and_b")) == 2
+
+    def test_view_name_clash_rejected(self, db):
+        from repro.errors import StorageError
+
+        db.create_view("v", Scan("concept_A"))
+        with pytest.raises(StorageError):
+            db.create_view("v", Scan("concept_B"))
+        with pytest.raises(StorageError):
+            db.create_table("v", db.table("concept_A").schema)
+
+    def test_drop_view(self, db):
+        from repro.errors import UnknownTableError
+
+        db.create_view("v", Scan("concept_A"))
+        db.drop_view("v")
+        with pytest.raises(UnknownTableError):
+            db.table("v")

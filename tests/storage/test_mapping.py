@@ -1,0 +1,124 @@
+"""Tests for the DL-to-algebra compiler, incl. equivalence with the
+reference instance checker."""
+
+import pytest
+
+from repro.events import EventSpace, probability
+from repro.dl import ABox, TBox, atomic, complement, every, has_value, one_of, parse_concept, retrieve, some
+from repro.storage import Database, compile_concept, create_concept_view
+
+
+@pytest.fixture()
+def space():
+    return EventSpace()
+
+
+@pytest.fixture()
+def tbox():
+    tbox = TBox()
+    tbox.add_subsumption("WeatherBulletinSubject", "NewsSubject")
+    return tbox
+
+
+@pytest.fixture()
+def abox(space):
+    box = ABox()
+    box.assert_concept("TvProgram", "oprah")
+    box.assert_concept("TvProgram", "bbc")
+    box.assert_concept("TvProgram", "ch5")
+    box.assert_role("hasGenre", "oprah", "HUMAN-INTEREST", space.atom("g:oprah", 0.85))
+    box.assert_role("hasGenre", "ch5", "HUMAN-INTEREST", space.atom("g:ch5", 0.95))
+    box.assert_role("hasSubject", "bbc", "weather_topic")
+    box.assert_role("hasSubject", "ch5", "weather_topic", space.atom("s:ch5", 0.85))
+    box.assert_concept("WeatherBulletinSubject", "weather_topic")
+    return box
+
+
+@pytest.fixture()
+def db(abox):
+    db = Database()
+    db.load_abox(abox)
+    return db
+
+
+def _probabilities(db, tbox, concept, space):
+    table = db.evaluate(compile_concept(concept, tbox, db))
+    return {row[0]: probability(row[1], space) for row in table}
+
+
+CONCEPT_TEXTS = [
+    "TvProgram",
+    "NewsSubject",
+    "TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}",
+    "TvProgram AND EXISTS hasSubject.NewsSubject",
+    "EXISTS hasSubject.NewsSubject OR EXISTS hasGenre.{HUMAN-INTEREST}",
+    "NOT TvProgram",
+    "TvProgram AND NOT EXISTS hasGenre.{HUMAN-INTEREST}",
+    "{oprah, bbc}",
+    "hasSubject VALUE weather_topic",
+    "ALL hasGenre.{HUMAN-INTEREST}",
+    "TOP",
+    "BOTTOM",
+]
+
+
+class TestEquivalenceWithInstanceChecker:
+    @pytest.mark.parametrize("text", CONCEPT_TEXTS)
+    def test_same_members_and_probabilities(self, db, abox, tbox, space, text):
+        concept = parse_concept(text)
+        via_views = _probabilities(db, tbox, concept, space)
+        via_instances = {
+            individual.name: probability(event, space)
+            for individual, event in retrieve(abox, tbox, concept).items()
+        }
+        # The view result may carry zero-probability tuples the instance
+        # checker drops (or vice versa); compare the positive supports.
+        positive_views = {k: v for k, v in via_views.items() if v > 1e-12}
+        positive_instances = {k: v for k, v in via_instances.items() if v > 1e-12}
+        assert positive_views.keys() == positive_instances.keys()
+        for key, value in positive_views.items():
+            assert value == pytest.approx(positive_instances[key], abs=1e-9)
+
+
+class TestMappingSpecifics:
+    def test_atomic_includes_descendant_tables(self, db, tbox, space):
+        result = _probabilities(db, tbox, atomic("NewsSubject"), space)
+        assert result == {"weather_topic": pytest.approx(1.0)}
+
+    def test_missing_tables_give_empty(self, db, tbox, space):
+        assert _probabilities(db, tbox, atomic("NoSuchConcept"), space) == {}
+        assert _probabilities(db, tbox, some("noSuchRole", atomic("TvProgram")), space) == {}
+
+    def test_exists_merges_alternative_successors(self, space, tbox):
+        box = ABox()
+        box.assert_role("likes", "p", "a", space.atom("e1", 0.5))
+        box.assert_role("likes", "p", "b", space.atom("e2", 0.5))
+        box.assert_concept("Good", "a")
+        box.assert_concept("Good", "b")
+        db = Database()
+        db.load_abox(box)
+        result = _probabilities(db, tbox, some("likes", atomic("Good")), space)
+        assert result["p"] == pytest.approx(0.75)
+
+    def test_negation_against_domain(self, db, tbox, space):
+        result = _probabilities(db, tbox, complement(atomic("TvProgram")), space)
+        assert "weather_topic" in result
+        assert "oprah" not in result
+
+    def test_forall_equals_not_exists_not(self, db, tbox, space):
+        direct = _probabilities(db, tbox, every("hasGenre", one_of("HUMAN-INTEREST")), space)
+        rewritten = _probabilities(
+            db, tbox, complement(some("hasGenre", complement(one_of("HUMAN-INTEREST")))), space
+        )
+        assert direct == rewritten
+
+    def test_has_value(self, db, tbox, space):
+        result = _probabilities(db, tbox, has_value("hasSubject", "weather_topic"), space)
+        assert result["bbc"] == pytest.approx(1.0)
+        assert result["ch5"] == pytest.approx(0.85)
+
+    def test_create_concept_view_registers_and_refreshes(self, db, abox, tbox, space):
+        create_concept_view(db, "v_programs", atomic("TvProgram"), tbox)
+        assert len(db.table("v_programs")) == 3
+        db.table("concept_TvProgram").insert(("new_show", space.atom("n", 0.5)))
+        assert len(db.table("v_programs")) == 4

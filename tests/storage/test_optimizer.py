@@ -1,0 +1,176 @@
+"""Tests for schema inference and the algebra optimiser."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.events import ALWAYS, EventSpace, probability
+from repro.storage import (
+    Column,
+    ColumnType,
+    Comparison,
+    Database,
+    Difference,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Schema,
+    Select,
+    Union,
+    explain_plan,
+    optimize,
+    schema_of,
+)
+from repro.storage.algebra import AndPredicate, ColumnComparison
+
+
+@pytest.fixture()
+def space():
+    return EventSpace()
+
+
+@pytest.fixture()
+def db(space):
+    db = Database()
+    a = db.create_concept_table("A")
+    a.insert(("x", space.atom("ax", 0.8)))
+    a.insert(("y", space.atom("ay", 0.5)))
+    b = db.create_concept_table("B")
+    b.insert(("x", space.atom("bx", 0.5)))
+    b.insert(("z", ALWAYS))
+    individuals = db.ensure_individuals_table()
+    for name in ("x", "y", "z"):
+        individuals.insert((name, ALWAYS))
+    people = db.create_table(
+        "People",
+        Schema([Column("name", ColumnType.TEXT), Column("age", ColumnType.INT)]),
+    )
+    people.insert_many([("ann", 30), ("bob", 40)])
+    pets = db.create_table(
+        "Pets",
+        Schema([Column("owner", ColumnType.TEXT), Column("species", ColumnType.TEXT)]),
+    )
+    pets.insert_many([("ann", "cat"), ("bob", "dog"), ("bob", "fish")])
+    return db
+
+
+def _rows(db, node):
+    table = db.evaluate(node)
+    return sorted(
+        tuple(value if not hasattr(value, "atoms") else "<event>" for value in row)
+        for row in table
+    )
+
+
+def _assert_equivalent(db, node):
+    optimized = optimize(db, node)
+    assert _rows(db, node) == _rows(db, optimized)
+    return optimized
+
+
+class TestSchemaInference:
+    def test_scan_and_constant(self, db):
+        assert schema_of(db, Scan("People")).names == ("name", "age")
+
+    def test_view_schema(self, db):
+        db.create_view("v", Project(Scan("People"), ("name",)))
+        assert schema_of(db, Scan("v")).names == ("name",)
+
+    def test_join_schema_matches_evaluation(self, db):
+        node = Join(Scan("People"), Scan("Pets"), on=(("name", "owner"),))
+        assert schema_of(db, node) == db.evaluate(node).schema
+
+    def test_event_join_schema(self, db):
+        node = Join(Scan("concept_A"), Scan("concept_B"), on=(("id", "id"),))
+        assert schema_of(db, node) == db.evaluate(node).schema
+
+    def test_rename_difference_union(self, db):
+        node = Rename(Union(Scan("concept_A"), Scan("concept_B")), (("id", "pid"),))
+        assert schema_of(db, node).names == ("pid", "event")
+        node = Difference(Scan("concept_A"), Scan("concept_B"))
+        assert schema_of(db, node).names == ("id", "event")
+
+
+class TestRewrites:
+    def test_merge_nested_selects(self, db):
+        node = Select(
+            Select(Scan("People"), Comparison("age", ">", 20)),
+            Comparison("name", "=", "bob"),
+        )
+        optimized = _assert_equivalent(db, node)
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.child, Scan)
+
+    def test_select_through_union(self, db):
+        node = Select(Union(Scan("concept_A"), Scan("concept_B")), Comparison("id", "=", "x"))
+        optimized = _assert_equivalent(db, node)
+        assert isinstance(optimized, Union)
+
+    def test_select_through_difference(self, db):
+        node = Select(
+            Difference(Scan("Individuals"), Scan("concept_B")),
+            Comparison("id", "!=", "y"),
+        )
+        optimized = _assert_equivalent(db, node)
+        assert isinstance(optimized, Difference)
+
+    def test_select_pushed_into_join_sides(self, db):
+        node = Select(
+            Join(Scan("People"), Scan("Pets"), on=(("name", "owner"),)),
+            AndPredicate((Comparison("age", ">", 35), Comparison("species", "=", "dog"))),
+        )
+        optimized = _assert_equivalent(db, node)
+        # Both conjuncts moved below the join: top node is the join itself.
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.left, Select)
+        assert isinstance(optimized.right, Select)
+
+    def test_cross_side_predicate_stays_above_join(self, db):
+        node = Select(
+            Join(Scan("People"), Scan("Pets"), on=(("name", "owner"),)),
+            ColumnComparison("name", "!=", "species"),
+        )
+        optimized = _assert_equivalent(db, node)
+        assert isinstance(optimized, Select)
+
+    def test_collapse_projections(self, db):
+        node = Project(Project(Scan("People"), ("name", "age")), ("name",))
+        optimized = _assert_equivalent(db, node)
+        assert isinstance(optimized, Project)
+        assert isinstance(optimized.child, Scan)
+
+    def test_identity_rename_dropped(self, db):
+        node = Rename(Scan("People"), (("name", "name"),))
+        optimized = _assert_equivalent(db, node)
+        assert isinstance(optimized, Scan)
+
+    def test_event_probabilities_preserved(self, db, space):
+        node = Select(
+            Union(Scan("concept_A"), Scan("concept_B")),
+            Comparison("id", "=", "x"),
+        )
+        original = db.evaluate(node)
+        optimized = db.evaluate(optimize(db, node))
+        assert probability(original.event_of(id="x"), space) == pytest.approx(
+            probability(optimized.event_of(id="x"), space)
+        )
+
+
+class TestExplainPlan:
+    def test_plan_rendering(self, db):
+        node = Select(
+            Join(Scan("People"), Scan("Pets"), on=(("name", "owner"),)),
+            Comparison("age", ">", 35),
+        )
+        text = explain_plan(node)
+        lines = text.splitlines()
+        assert lines[0].startswith("select")
+        assert any("join" in line for line in lines)
+        assert sum(1 for line in lines if "scan" in line) == 2
+
+    def test_unknown_node_rejected(self, db):
+        class Bogus:
+            pass
+
+        with pytest.raises(QueryError):
+            schema_of(db, Bogus())

@@ -1,0 +1,122 @@
+"""Unit tests for schemas and event-aware tables."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.events import ALWAYS, EventSpace, probability
+from repro.storage import Column, ColumnType, Schema, Table
+
+
+@pytest.fixture()
+def space():
+    return EventSpace()
+
+
+@pytest.fixture()
+def concept_like_schema():
+    return Schema([Column("id", ColumnType.TEXT), Column("event", ColumnType.EVENT)])
+
+
+class TestColumnTypes:
+    def test_int_accepts(self):
+        assert ColumnType.INT.accepts(3)
+        assert ColumnType.INT.accepts(None)
+        assert not ColumnType.INT.accepts(3.5)
+        assert not ColumnType.INT.accepts(True)
+
+    def test_real_accepts(self):
+        assert ColumnType.REAL.accepts(3.5)
+        assert ColumnType.REAL.accepts(3)
+        assert not ColumnType.REAL.accepts("3.5")
+
+    def test_text_accepts(self):
+        assert ColumnType.TEXT.accepts("abc")
+        assert not ColumnType.TEXT.accepts(3)
+
+    def test_event_accepts(self, space):
+        assert ColumnType.EVENT.accepts(ALWAYS)
+        assert ColumnType.EVENT.accepts(space.atom("e", 0.5))
+        assert not ColumnType.EVENT.accepts("T")
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a", ColumnType.INT), Column("a", ColumnType.TEXT)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_lookup(self, concept_like_schema):
+        assert concept_like_schema.index_of("id") == 0
+        assert "event" in concept_like_schema
+        with pytest.raises(SchemaError):
+            concept_like_schema.index_of("missing")
+
+    def test_event_column_detection(self, concept_like_schema):
+        assert concept_like_schema.has_event_column
+        assert concept_like_schema.data_names == ("id",)
+        plain = Schema([Column("name", ColumnType.TEXT)])
+        assert not plain.has_event_column
+
+    def test_project_and_rename(self, concept_like_schema):
+        projected = concept_like_schema.project(["event"])
+        assert projected.names == ("event",)
+        renamed = concept_like_schema.rename({"id": "source"})
+        assert renamed.names == ("source", "event")
+        with pytest.raises(SchemaError):
+            concept_like_schema.rename({"nope": "x"})
+
+    def test_validate_row(self, concept_like_schema):
+        concept_like_schema.validate_row(("x", ALWAYS))
+        with pytest.raises(SchemaError):
+            concept_like_schema.validate_row(("x",))
+        with pytest.raises(SchemaError):
+            concept_like_schema.validate_row(("x", "not an event"))
+
+
+class TestTable:
+    def test_insert_and_iterate(self, concept_like_schema):
+        table = Table("t", concept_like_schema)
+        table.insert(("a", ALWAYS))
+        table.insert(("b", ALWAYS))
+        assert len(table) == 2
+        assert {row[0] for row in table} == {"a", "b"}
+
+    def test_duplicate_data_rows_merge_events(self, concept_like_schema, space):
+        table = Table("t", concept_like_schema)
+        table.insert(("a", space.atom("e1", 0.5)))
+        table.insert(("a", space.atom("e2", 0.5)))
+        assert len(table) == 1
+        event = table.event_of(id="a")
+        assert probability(event, space) == pytest.approx(0.75)
+
+    def test_tables_without_event_column_keep_duplicates(self):
+        schema = Schema([Column("name", ColumnType.TEXT)])
+        table = Table("t", schema, [("x",), ("x",)])
+        assert len(table) == 2
+
+    def test_event_of_missing_row(self, concept_like_schema):
+        table = Table("t", concept_like_schema)
+        assert table.event_of(id="nope") is None
+
+    def test_event_of_requires_event_column(self):
+        table = Table("t", Schema([Column("name", ColumnType.TEXT)]))
+        with pytest.raises(SchemaError):
+            table.event_of(name="x")
+
+    def test_row_dict(self, concept_like_schema):
+        table = Table("t", concept_like_schema, [("a", ALWAYS)])
+        assert table.row_dict(table.rows[0]) == {"id": "a", "event": ALWAYS}
+
+    def test_renamed_copy_is_independent(self, concept_like_schema):
+        table = Table("t", concept_like_schema, [("a", ALWAYS)])
+        clone = table.renamed(name="u", columns={"id": "pid"})
+        assert clone.schema.names == ("pid", "event")
+        clone.insert(("b", ALWAYS))
+        assert len(table) == 1
+
+    def test_column_values(self, concept_like_schema):
+        table = Table("t", concept_like_schema, [("a", ALWAYS), ("b", ALWAYS)])
+        assert table.column_values("id") == ["a", "b"]

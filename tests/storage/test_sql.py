@@ -1,0 +1,153 @@
+"""Unit tests for the mini SQL front end."""
+
+import pytest
+
+from repro.errors import ParseError, QueryError
+from repro.storage import Column, ColumnType, Database, Schema, SqlSession, parse_sql
+
+
+@pytest.fixture()
+def db():
+    db = Database()
+    programs = db.create_table(
+        "Programs",
+        Schema(
+            [
+                Column("name", ColumnType.TEXT),
+                Column("channel", ColumnType.TEXT),
+                Column("minutes", ColumnType.INT),
+            ]
+        ),
+    )
+    programs.insert_many(
+        [
+            ("Oprah", "ch5", 60),
+            ("BBC news", "bbc", 30),
+            ("Channel 5 news", "ch5", 30),
+            ("Monty Python", "bbc", 45),
+        ]
+    )
+    return db
+
+
+@pytest.fixture()
+def session(db):
+    return SqlSession(db)
+
+
+class TestParser:
+    def test_parse_star(self):
+        statement = parse_sql("SELECT * FROM Programs")
+        assert statement.columns is None
+        assert statement.table == "Programs"
+
+    def test_parse_columns(self):
+        statement = parse_sql("SELECT name, channel FROM Programs")
+        assert statement.columns == ("name", "channel")
+
+    def test_parse_where_order_limit(self):
+        statement = parse_sql(
+            "SELECT name FROM Programs WHERE minutes >= 30 AND channel = 'bbc' "
+            "ORDER BY minutes DESC, name ASC LIMIT 2;"
+        )
+        assert statement.where is not None
+        assert statement.order_by == (("minutes", True), ("name", False))
+        assert statement.limit == 2
+
+    def test_keywords_case_insensitive(self):
+        statement = parse_sql("select name from Programs order by name desc")
+        assert statement.order_by == (("name", True),)
+
+    def test_string_escape(self):
+        statement = parse_sql("SELECT name FROM Programs WHERE name = 'it''s'")
+        condition = statement.where
+        assert condition is not None and condition.matches({"name": "it's"})
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "SELECT FROM Programs",
+            "SELECT name Programs",
+            "SELECT name FROM",
+            "SELECT name FROM Programs WHERE",
+            "SELECT name FROM Programs WHERE name ==",
+            "SELECT name FROM Programs LIMIT 2.5",
+            "SELECT name FROM Programs extra",
+            "SELECT name FROM Programs WHERE (name = 'x'",
+        ],
+    )
+    def test_malformed_sql_raises(self, text):
+        with pytest.raises(ParseError):
+            parse_sql(text)
+
+
+class TestExecution:
+    def test_star_returns_all_columns(self, session):
+        result = session.execute("SELECT * FROM Programs")
+        assert result.columns == ("name", "channel", "minutes")
+        assert len(result) == 4
+
+    def test_where_filters(self, session):
+        result = session.execute("SELECT name FROM Programs WHERE channel = 'bbc'")
+        assert set(result.column("name")) == {"BBC news", "Monty Python"}
+
+    def test_or_and_not(self, session):
+        result = session.execute(
+            "SELECT name FROM Programs WHERE channel = 'bbc' OR NOT minutes >= 45"
+        )
+        assert set(result.column("name")) == {"BBC news", "Monty Python", "Channel 5 news"}
+
+    def test_order_by_multiple_keys(self, session):
+        result = session.execute("SELECT name FROM Programs ORDER BY minutes ASC, name ASC")
+        assert result.column("name")[0] == "BBC news"
+        assert result.column("name")[-1] == "Oprah"
+
+    def test_limit(self, session):
+        result = session.execute("SELECT name FROM Programs ORDER BY name ASC LIMIT 2")
+        assert result.column("name") == ["BBC news", "Channel 5 news"]
+
+    def test_column_to_column_comparison(self, session):
+        result = session.execute("SELECT name FROM Programs WHERE name = channel")
+        assert len(result) == 0
+
+    def test_unknown_column_rejected(self, session):
+        with pytest.raises(QueryError):
+            session.execute("SELECT nope FROM Programs")
+
+    def test_unknown_table_rejected(self, session):
+        from repro.errors import UnknownTableError
+
+        with pytest.raises(UnknownTableError):
+            session.execute("SELECT x FROM Nope")
+
+
+class TestVirtualColumns:
+    def test_virtual_column_available_everywhere(self, session):
+        session.register_virtual_column(
+            "Programs", "preferencescore", lambda row: 0.9 if row["channel"] == "ch5" else 0.2
+        )
+        result = session.execute(
+            "SELECT name, preferencescore FROM Programs "
+            "WHERE preferencescore > 0.5 ORDER BY preferencescore DESC"
+        )
+        assert set(result.column("name")) == {"Oprah", "Channel 5 news"}
+        assert all(score > 0.5 for score in result.column("preferencescore"))
+
+    def test_paper_intro_query_shape(self, session):
+        """The query of the paper's introduction runs verbatim."""
+        session.register_virtual_column("Programs", "preferencescore", lambda row: 0.6)
+        result = session.execute(
+            "SELECT name, preferencescore\n"
+            "FROM Programs\n"
+            "WHERE preferencescore > 0.5\n"
+            "ORDER BY preferencescore DESC"
+        )
+        assert result.columns == ("name", "preferencescore")
+        assert len(result) == 4
+
+    def test_render_produces_aligned_text(self, session):
+        result = session.execute("SELECT name, minutes FROM Programs ORDER BY name LIMIT 2")
+        text = result.render()
+        assert "name" in text and "minutes" in text
+        assert len(text.splitlines()) == 4

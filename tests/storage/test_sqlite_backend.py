@@ -1,0 +1,132 @@
+"""Tests for the sqlite3 backend: real SQL views with event propagation."""
+
+import pytest
+
+from repro.events import EventSpace, probability
+from repro.dl import ABox, TBox, atomic, complement, parse_concept, retrieve, some
+from repro.storage import SqliteBackend
+
+
+@pytest.fixture()
+def space():
+    return EventSpace()
+
+
+@pytest.fixture()
+def tbox():
+    tbox = TBox()
+    tbox.add_subsumption("WeatherBulletinSubject", "NewsSubject")
+    return tbox
+
+
+@pytest.fixture()
+def abox(space):
+    box = ABox()
+    box.assert_concept("TvProgram", "oprah")
+    box.assert_concept("TvProgram", "bbc")
+    box.assert_concept("TvProgram", "ch5")
+    box.assert_role("hasGenre", "oprah", "HUMAN-INTEREST", space.atom("g:oprah", 0.85))
+    box.assert_role("hasGenre", "ch5", "HUMAN-INTEREST", space.atom("g:ch5", 0.95))
+    box.assert_role("hasSubject", "bbc", "weather_topic")
+    box.assert_role("hasSubject", "ch5", "weather_topic", space.atom("s:ch5", 0.85))
+    box.assert_concept("WeatherBulletinSubject", "weather_topic")
+    return box
+
+
+@pytest.fixture()
+def backend(space, abox):
+    backend = SqliteBackend(space)
+    backend.load_abox(abox)
+    yield backend
+    backend.close()
+
+
+CONCEPT_TEXTS = [
+    "TvProgram",
+    "NewsSubject",
+    "TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}",
+    "TvProgram AND EXISTS hasSubject.NewsSubject",
+    "EXISTS hasSubject.NewsSubject OR EXISTS hasGenre.{HUMAN-INTEREST}",
+    "NOT TvProgram",
+    "TvProgram AND NOT EXISTS hasGenre.{HUMAN-INTEREST}",
+    "{oprah, bbc}",
+    "hasSubject VALUE weather_topic",
+    "ALL hasGenre.{HUMAN-INTEREST}",
+]
+
+
+class TestSqlCompilation:
+    @pytest.mark.parametrize("text", CONCEPT_TEXTS)
+    def test_matches_reference_instance_checker(self, backend, abox, tbox, space, text):
+        concept = parse_concept(text)
+        via_sql = backend.concept_probabilities(concept, tbox)
+        reference = {
+            individual.name: probability(event, space)
+            for individual, event in retrieve(abox, tbox, concept).items()
+        }
+        positive_sql = {k: v for k, v in via_sql.items() if v > 1e-12}
+        positive_ref = {k: v for k, v in reference.items() if v > 1e-12}
+        assert positive_sql.keys() == positive_ref.keys()
+        for key, value in positive_sql.items():
+            assert value == pytest.approx(positive_ref[key], abs=1e-9)
+
+    def test_missing_concept_table_is_empty(self, backend, tbox):
+        assert backend.concept_probabilities(atomic("NoSuch"), tbox) == {}
+
+    def test_missing_role_table_is_empty(self, backend, tbox):
+        assert backend.concept_probabilities(some("noRole", atomic("TvProgram")), tbox) == {}
+
+
+class TestViews:
+    def test_create_and_query_view(self, backend, tbox):
+        backend.create_concept_view("v_programs", atomic("TvProgram"), tbox)
+        rows = backend.query_probabilities("SELECT id, event FROM v_programs")
+        assert set(rows) == {"oprah", "bbc", "ch5"}
+
+    def test_view_follows_base_table_updates(self, backend, tbox, space):
+        backend.create_concept_view("v_programs", atomic("TvProgram"), tbox)
+        backend.execute(
+            "INSERT INTO concept_TvProgram (id, event) VALUES (?, 'T')", ("late_show",)
+        )
+        rows = backend.query_probabilities("SELECT id, event FROM v_programs")
+        assert "late_show" in rows
+
+    def test_drop_view(self, backend, tbox):
+        backend.create_concept_view("v", atomic("TvProgram"), tbox)
+        backend.drop_view("v")
+        with pytest.raises(Exception):
+            backend.execute("SELECT * FROM v")
+
+    def test_query_events_parses_expressions(self, backend, tbox, space):
+        events = backend.query_events(
+            backend.concept_sql(parse_concept("EXISTS hasGenre.{HUMAN-INTEREST}"), tbox)
+        )
+        assert probability(events["oprah"], space) == pytest.approx(0.85)
+
+
+class TestEventFunctions:
+    def test_ev_prob_in_sql(self, backend):
+        cursor = backend.execute("SELECT ev_prob('(a x 0.25)')")
+        assert cursor.fetchone()[0] == pytest.approx(0.25)
+
+    def test_ev_and_or_not_in_sql(self, backend):
+        cursor = backend.execute(
+            "SELECT ev_prob(ev_and('(a x 0.5)', ev_not('(a y 0.5)')))"
+        )
+        assert cursor.fetchone()[0] == pytest.approx(0.25)
+
+    def test_mutex_respected_through_space(self, abox, tbox):
+        space = EventSpace()
+        space.atom("k", 0.6)
+        space.atom("l", 0.3)
+        space.declare_mutex("loc", ["k", "l"])
+        with SqliteBackend(space) as backend:
+            backend.load_abox(abox)
+            cursor = backend.execute("SELECT ev_prob(ev_and('(a k 0.6)', '(a l 0.3)'))")
+            assert cursor.fetchone()[0] == pytest.approx(0.0)
+
+    def test_context_manager_closes(self, space, abox):
+        with SqliteBackend(space) as backend:
+            backend.load_abox(abox)
+        with pytest.raises(Exception):
+            backend.execute("SELECT 1")

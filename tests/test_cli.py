@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads import sample_workday_mornings
+
+RULES_TEXT = (
+    "RULE r1: WHEN Weekend PREFER TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST} WITH 0.8\n"
+    "RULE r2: WHEN Breakfast PREFER TvProgram AND EXISTS hasSubject.NewsSubject WITH 0.9\n"
+)
+
+
+@pytest.fixture()
+def rules_file(tmp_path):
+    path = tmp_path / "rules.prefs"
+    path.write_text(RULES_TEXT, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def history_file(tmp_path):
+    log = sample_workday_mornings(episodes=200, seed=3)
+    path = tmp_path / "history.jsonl"
+    log.save(path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_example_command_parses(self):
+        args = build_parser().parse_args(["example"])
+        assert args.command == "example"
+
+    def test_rank_command_options(self):
+        args = build_parser().parse_args(["rank", "rules.prefs", "--context", "Weekend"])
+        assert args.context == ["Weekend"]
+
+
+class TestCommands:
+    def test_example(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "channel5_news" in out
+        assert "0.6006" in out
+
+    def test_rank_with_certain_context(self, rules_file, capsys):
+        assert main(["rank", rules_file, "--context", "Weekend", "--context", "Breakfast"]) == 0
+        out = capsys.readouterr().out
+        assert "0.6006" in out
+
+    def test_rank_with_uncertain_context(self, rules_file, capsys):
+        assert main(["rank", rules_file, "--context", "Weekend", "--context", "Breakfast:0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "channel5_news" in out
+
+    def test_rank_uncovered_context_warns(self, rules_file, capsys):
+        assert main(["rank", rules_file]) == 0
+        err = capsys.readouterr().err
+        assert "no rule applies" in err
+
+    def test_mine(self, history_file, capsys):
+        assert main(["mine", history_file, "--min-support", "5", "--min-lift", "0.0"]) == 0
+        out = capsys.readouterr().out
+        assert "WorkdayMorning" in out
+        assert "TrafficBulletin" in out
+
+    def test_mine_thresholds_too_strict(self, history_file, capsys):
+        assert main(["mine", history_file, "--min-support", "100000"]) == 1
+
+    def test_scaling(self, capsys):
+        assert main(["scaling", "--max-rules", "3", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "naive (s)" in out
+        assert "naive growth per extra rule" in out

@@ -1,0 +1,149 @@
+"""Tests for the synthetic workloads: census, determinism, semantics."""
+
+import pytest
+
+from repro.history import estimate_sigma
+from repro.workloads import (
+    ContextPattern,
+    PlantedRule,
+    Section5Counts,
+    build_tvtouch,
+    generate_population,
+    generate_rule_series,
+    generate_test_database,
+    install_context_series,
+    sample_history,
+    sample_workday_mornings,
+)
+from repro.history.episodes import Candidate
+
+
+class TestSection5Database:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return generate_test_database(seed=7)
+
+    def test_paper_census(self, world):
+        """~11,000 tuples: 1000 persons, 300 programs, 12/6/4/5 metadata."""
+        census = world.census()
+        assert census["concept Person"] == 1000
+        assert census["concept TvProgram"] == 300
+        assert census["concept Genre"] == 12
+        assert census["concept Subject"] == 6
+        assert census["concept Activity"] == 4
+        assert census["concept Room"] == 5
+        assert 10000 <= census["TOTAL"] <= 12500
+
+    def test_relations_present(self, world):
+        census = world.census()
+        for role in ("role hasGenre", "role likes", "role locatedIn", "role doing", "role watched"):
+            assert census[role] > 0
+        assert census["role locatedIn"] == 1000
+        assert census["role doing"] == 1000
+
+    def test_deterministic_by_seed(self):
+        small = Section5Counts().scaled(0.02)
+        first = generate_test_database(seed=3, counts=small)
+        second = generate_test_database(seed=3, counts=small)
+        assert first.census() == second.census()
+        third = generate_test_database(seed=4, counts=small)
+        assert first.census() != third.census() or len(first.abox) == len(third.abox)
+
+    def test_database_mirror_loaded(self, world):
+        assert world.database.total_rows() >= len(world.abox)
+
+    def test_scaled_counts(self):
+        scaled = Section5Counts().scaled(0.1)
+        assert scaled.persons == 100
+        assert scaled.programs == 30
+        assert scaled.rooms == 1  # floors at 1
+
+
+class TestRuleSeries:
+    @pytest.fixture()
+    def world(self):
+        return generate_test_database(seed=7, counts=Section5Counts().scaled(0.05))
+
+    def test_contexts_installed_with_probabilities(self, world):
+        probabilities = install_context_series(world, k=4, seed=1)
+        assert len(probabilities) == 4
+        assert all(0.55 <= p <= 0.95 for p in probabilities)
+
+    def test_rules_are_applicable(self, world):
+        install_context_series(world, k=3, seed=1)
+        repository = generate_rule_series(world, k=3, seed=2)
+        applicable = repository.applicable(world.abox, world.tbox, world.user, world.space)
+        assert len(applicable) == 3
+        assert all(0.0 < a.context_probability < 1.0 for a in applicable)
+
+    def test_rules_deterministic(self, world):
+        first = generate_rule_series(world, k=5, seed=2)
+        second = generate_rule_series(world, k=5, seed=2)
+        assert [r.sigma for r in first] == [r.sigma for r in second]
+
+
+class TestHistorySampling:
+    def test_workday_mornings_recover_figure1(self):
+        log = sample_workday_mornings(episodes=4000, seed=5)
+        traffic = estimate_sigma(log, "WorkdayMorning", "TrafficBulletin")
+        weather = estimate_sigma(log, "WorkdayMorning", "WeatherBulletin")
+        assert traffic.value == pytest.approx(0.8, abs=0.03)
+        assert weather.value == pytest.approx(0.6, abs=0.03)
+
+    def test_group_choices_occur(self):
+        log = sample_workday_mornings(episodes=500, seed=5)
+        assert any(len(episode.chosen) == 2 for episode in log)
+
+    def test_sampling_deterministic(self):
+        first = sample_workday_mornings(episodes=50, seed=9)
+        second = sample_workday_mornings(episodes=50, seed=9)
+        assert [e.chosen for e in first] == [e.chosen for e in second]
+
+    def test_sample_history_respects_patterns(self):
+        rules = [PlantedRule("Evening", "Movie", 0.9)]
+        catalogue = [Candidate.of("m", "Movie"), Candidate.of("n", "News")]
+        log = sample_history(
+            rules,
+            catalogue,
+            [ContextPattern(frozenset({"Morning"}))],
+            episodes=50,
+            seed=3,
+        )
+        # The rule's context never occurs, so nothing is ever chosen.
+        assert all(not episode.chosen for episode in log)
+
+    def test_sample_history_validation(self):
+        from repro.errors import HistoryError
+
+        with pytest.raises(HistoryError):
+            sample_history([], [], [ContextPattern(frozenset())], 1)
+        with pytest.raises(HistoryError):
+            sample_history([], [Candidate.of("x")], [], 1)
+
+
+class TestPopulation:
+    def test_population_shapes(self):
+        users = generate_population(
+            contexts=["Morning", "Evening", "Weekend"],
+            genres=["comedy", "news", "drama", "sports"],
+            size=5,
+            rules_per_user=2,
+            seed=1,
+        )
+        assert len(users) == 5
+        assert all(len(user.rules) == 2 for user in users)
+        assert len({user.name for user in users}) == 5
+
+    def test_population_deterministic(self):
+        kwargs = dict(contexts=["A", "B"], genres=["x", "y"], size=3, seed=2)
+        first = generate_population(**kwargs)
+        second = generate_population(**kwargs)
+        assert [u.rules[0].sigma for u in first] == [u.rules[0].sigma for u in second]
+
+
+class TestTvTouchWorkload:
+    def test_world_shape(self):
+        world = build_tvtouch()
+        assert len(world.program_ids) == 4
+        assert len(world.repository) == 2
+        assert world.database.has_base_table("Programs")
