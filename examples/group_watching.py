@@ -3,47 +3,42 @@
 
 Peter (human-interest at the weekend) and Mary (news at breakfast)
 share a couch on a Saturday morning.  Each keeps their own scored
-preference rules; the group ranker aggregates their per-program
-probabilities under four strategies and shows how the winner changes.
+preference rules as their own :class:`RankingEngine` over the shared
+world; a :class:`GroupRanker` aggregates their per-program
+probabilities under four strategies, and the group itself plugs into an
+engine as a :class:`GroupRelevance` backend — so group ranking answers
+the same one-call API as personal ranking.
 
 Run:  python examples/group_watching.py
 """
 
-from repro import ContextAwareScorer, GroupMember, GroupRanker
+from repro import GroupRanker, GroupRelevance, RankRequest, RankingEngine
 from repro.reporting import TextTable
 from repro.rules import RuleRepository, parse_rule
 from repro.workloads import build_tvtouch, set_breakfast_weekend_context
 
 
-def member(name: str, world, rule_lines: list[str]) -> GroupMember:
+def member_engine(world, rule_lines: list[str]) -> RankingEngine:
     repository = RuleRepository([parse_rule(line) for line in rule_lines])
-    scorer = ContextAwareScorer(
-        abox=world.abox,
-        tbox=world.tbox,
-        user=world.user,  # shared context: they are in the same room
-        repository=repository,
-        space=world.space,
-    )
-    return GroupMember(name, scorer)
+    # Shared context: they are in the same room (same ABox, same user).
+    return RankingEngine.from_world(world, rules=repository)
 
 
 def main() -> None:
     world = build_tvtouch()
     set_breakfast_weekend_context(world)
 
-    peter = member(
-        "peter",
+    peter = member_engine(
         world,
         ["RULE p1: WHEN Weekend PREFER TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST} WITH 0.9"],
     )
-    mary = member(
-        "mary",
+    mary = member_engine(
         world,
         ["RULE m1: WHEN Breakfast PREFER TvProgram AND EXISTS hasSubject.NewsSubject WITH 0.9"],
     )
 
     print("Per-member scores (Saturday breakfast):")
-    solo = GroupRanker([peter, mary])
+    solo = GroupRanker([peter.as_member("peter"), mary.as_member("mary")])
     table = TextTable(["program", "peter", "mary"])
     for score in solo.score(world.program_ids):
         table.add_row(
@@ -54,9 +49,13 @@ def main() -> None:
     print("\nGroup winner by aggregation strategy:")
     strategy_table = TextTable(["strategy", "winner", "group score"])
     for strategy in GroupRanker.available_strategies():
-        ranker = GroupRanker([peter, mary], strategy=strategy)
-        best = ranker.rank(world.program_ids)[0]
-        strategy_table.add_row([strategy, best.document, f"{best.value:.4f}"])
+        group = GroupRanker(
+            [peter.as_member("peter"), mary.as_member("mary")], strategy=strategy
+        )
+        engine = RankingEngine.builder().world(world).relevance(GroupRelevance(group)).build()
+        best = engine.rank(RankRequest(documents=world.program_ids)).top()
+        assert best is not None
+        strategy_table.add_row([strategy, best.document, f"{best.score:.4f}"])
     print(strategy_table.render())
 
     print(

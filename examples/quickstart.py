@@ -1,16 +1,16 @@
 #!/usr/bin/env python3
-"""Quickstart: the paper's worked example in ~40 lines.
+"""Quickstart: the paper's worked example through the engine facade.
 
 Builds the TVTouch world of Table 1, installs the Section 4.2 context
-(breakfast during the weekend, certain), scores the four programs, and
-runs the introduction's SQL query verbatim — reproducing the paper's
+(breakfast during the weekend, certain), and asks one
+:class:`RankingEngine` for both deliverables — the context-aware
+ranking and the introduction's SQL query — reproducing the paper's
 numbers: Channel 5 news 0.6006, BBC news 0.18, Oprah 0.071, MPFS 0.02.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import ContextAwareRanker, ContextAwareScorer, PreferenceView
-from repro.core import explain_ranking
+from repro import RankRequest, RankingEngine
 from repro.workloads import build_tvtouch, set_breakfast_weekend_context
 
 
@@ -24,22 +24,16 @@ def main() -> None:
     # 2. The context: breakfast during the weekend (certain, as in §4.2).
     set_breakfast_weekend_context(world)
 
-    # 3. Score and rank the programs.
-    scorer = ContextAwareScorer(
-        abox=world.abox,
-        tbox=world.tbox,
-        user=world.user,
-        repository=world.repository,
-        space=world.space,
-    )
-    ranked = scorer.rank(world.program_ids)
-    print("\nContext-aware ranking (P(D=d | U=u_sit)):")
-    print(explain_ranking(ranked, world.repository))
+    # 3. One engine owns the whole pipeline (scorer, view, SQL, cache).
+    engine = RankingEngine.from_world(world)
 
-    # 4. The paper's introduction query, verbatim.
-    view = PreferenceView(scorer, world.target, world.database)
-    ranker = ContextAwareRanker(view, world.database, "Programs", id_column="id")
-    result = ranker.execute(
+    # 4. Score and rank the programs, with per-rule motivations.
+    response = engine.rank(RankRequest(documents=world.program_ids, explain=True))
+    print("\nContext-aware ranking (P(D=d | U=u_sit)):")
+    print(response.explanation)
+
+    # 5. The paper's introduction query, verbatim — same engine, one call.
+    query = engine.rank(
         "SELECT name, preferencescore\n"
         "FROM Programs\n"
         "WHERE preferencescore > 0.5\n"
@@ -47,7 +41,11 @@ def main() -> None:
     )
     print("\nSELECT name, preferencescore FROM Programs")
     print("WHERE preferencescore > 0.5 ORDER BY preferencescore DESC;\n")
-    print(result.render())
+    print(query.result.render())
+
+    # The second call reused the memoized preference view:
+    info = engine.cache_info()
+    print(f"\n(preference view cache: {info.hits} hit(s), {info.misses} miss(es))")
 
 
 if __name__ == "__main__":

@@ -11,13 +11,14 @@ workstation ranks *reading material* (papers, dashboards, newsletters):
 * during **coffee breaks** anything light wins.
 
 The example also shows role hierarchies: ``hasMainTopic ⊑ hasTopic``,
-so a paper's main topic counts wherever topics are asked for.
+so a paper's main topic counts wherever topics are asked for.  The
+whole schedule runs through one :class:`RankingEngine` built directly
+from a hand-made knowledge base — no TVTouch world required.
 
 Run:  python examples/smart_office.py
 """
 
-from repro import ContextAwareScorer, EventSpace
-from repro.core import explain_score
+from repro import EventSpace, RankRequest, RankingEngine
 from repro.dl import ABox, Individual, TBox
 from repro.rules import parse_rules
 
@@ -69,11 +70,13 @@ def build_world():
 
 def main() -> None:
     space, abox, tbox, user = build_world()
-    repository = parse_rules(RULES)
-    scorer = ContextAwareScorer(
-        abox=abox, tbox=tbox, user=user, repository=repository, space=space
+    engine = (
+        RankingEngine.builder()
+        .knowledge(abox, tbox, user, space)
+        .preferences(parse_rules(RULES))
+        .target("Reading")
+        .build()
     )
-    doc_ids = [doc_id for doc_id, _ in DOCUMENTS]
     titles = dict(DOCUMENTS)
 
     schedule = [
@@ -82,24 +85,18 @@ def main() -> None:
         ("15:00 probably a break", "CoffeeBreak", 0.6),
     ]
     for label, context, certainty in schedule:
-        abox.clear_dynamic()
-        if certainty >= 1.0:
-            abox.assert_concept(context, user, dynamic=True)
-        else:
-            abox.assert_concept(
-                context, user, space.atom(f"ctx:{label}:{context}", certainty), dynamic=True
-            )
+        spec = context if certainty >= 1.0 else f"{context}:{certainty:g}"
+        engine.install_context(spec, tick=label)
         print(f"== {label} (P({context}) = {certainty:g}) ==")
-        for score in scorer.rank(doc_ids):
-            print(f"  {score.value:.4f}  {titles[score.document]}")
+        print(engine.rank().render(names=titles))
         print()
 
     # Why did the DL survey win the deep-work slot?
-    abox.clear_dynamic()
-    abox.assert_concept("DeepWork", user, dynamic=True)
-    winner = scorer.rank(doc_ids)[0]
+    engine.install_context("DeepWork")
+    winner = engine.rank(RankRequest(top_k=1)).top()
+    assert winner is not None
     print("Why the deep-work winner:")
-    print(explain_score(winner, repository))
+    print(engine.explain(winner.document))
     print(
         "\n(The survey's main topic counts through the role hierarchy, and the\n"
         " 0.7-certain 'ranking' tag makes 'at least two own topics' likely.)"

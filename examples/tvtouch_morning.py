@@ -9,14 +9,14 @@ Peter in a room with 85 % accuracy; the TBox defines
     Breakfast  ≡  InKitchen ⊓ Morning
 
 so rule R2's Breakfast context inherits the sensor's uncertainty, and
-the preference view follows Peter through the morning: scores shift as
-he moves from bedroom to kitchen to living room, with no change to the
-rules or the queries.
+the engine follows Peter through the morning: each sensor sweep changes
+the context signature, so the preference-view cache invalidates itself
+and scores shift — with no change to the rules or the queries.
 
 Run:  python examples/tvtouch_morning.py
 """
 
-from repro import ContextAwareScorer, PreferenceView
+from repro import RankingEngine, SensedContext
 from repro.context import (
     CalendarSensor,
     ContextManager,
@@ -52,14 +52,9 @@ def main() -> None:
     manager.add_sensor(CalendarSensor(world.user))
     manager.add_sensor(LocationSensor(world.user, rooms=ROOMS, accuracy=0.85))
 
-    scorer = ContextAwareScorer(
-        abox=world.abox,
-        tbox=world.tbox,
-        user=world.user,
-        repository=world.repository,
-        space=world.space,
-    )
-    view = PreferenceView(scorer, world.target, world.database)
+    # The engine's context backend is the sensor pipeline itself.
+    context = SensedContext.of(manager)
+    engine = RankingEngine.builder().world(world).context(context).build()
 
     itinerary = [
         ("07:30, waking up", GroundTruth(location="bedroom"), 0),
@@ -69,16 +64,21 @@ def main() -> None:
     for label, truth, advance_minutes in itinerary:
         if advance_minutes:
             clock.advance(minutes=advance_minutes)
-        snapshot = manager.refresh(truth)
+        context.observe(truth)
         breakfast = manager.context_probability(world.repository.get("r2").context)
         print(f"== {label} ({clock}) ==")
-        print(f"  sensed {len(snapshot)} measurements; P(Breakfast) = {breakfast:.3f}")
-        view.refresh()
-        for score in view.ranking():
-            print(f"    {score.document:<16} {score.value:.4f}")
+        print(f"  P(Breakfast) = {breakfast:.3f}")
+        response = engine.rank()
+        for line in response.render().splitlines():
+            print(f"    {line}")
         print()
 
-    print("The same rules, the same query — only the context moved.")
+    info = engine.cache_info()
+    print(
+        "The same rules, the same query — only the context moved\n"
+        f"(each sweep was a fresh signature: {info.misses} cache misses, "
+        f"{info.hits} hits)."
+    )
 
 
 if __name__ == "__main__":

@@ -9,37 +9,80 @@ sigma semantics, scored preference rules, the context-aware scorer and
 ranker, a language-model IR baseline, preference mining, and multi-user
 ranking.
 
+The canonical public API is the :class:`RankingEngine` facade: one
+object owning the paper's whole pipeline (context capture → preference
+view → ranked query results) over pluggable, protocol-typed backends,
+with frozen request/response values and a per-context-signature cache
+of the preference view.
+
 Quickstart::
 
-    from repro import (ContextAwareScorer, PreferenceView,
+    from repro import (RankRequest, RankingEngine,
                        build_tvtouch, set_breakfast_weekend_context)
 
     world = build_tvtouch()
     set_breakfast_weekend_context(world)
-    scorer = ContextAwareScorer(abox=world.abox, tbox=world.tbox,
-                                user=world.user, repository=world.repository,
-                                space=world.space)
-    for score in scorer.rank(world.program_ids):
-        print(score)   # channel5_news: 0.6006 ...
+    engine = RankingEngine.from_world(world)
+
+    # Rank candidates by P(D=d | U=u_sit) under the current context.
+    response = engine.rank(RankRequest(documents=world.program_ids))
+    for item in response:
+        print(item)          # channel5_news: 0.6006 ...
+
+    # Or run the paper's SQL pipeline in one call.
+    response = engine.rank(
+        "SELECT name, preferencescore FROM Programs "
+        "WHERE preferencescore > 0.5 ORDER BY preferencescore DESC")
+    print(response.result.render())
+
+Repeated requests under an unchanged context are served from the
+engine's preference-view cache (``engine.cache_info()`` shows the
+hits); changing the context or the rules invalidates it automatically.
+Engines are assembled by :class:`EngineBuilder` — swap the scoring
+method, the relevance strategy (naive union, smoothed mixture,
+log-linear IR mixture, multi-user group aggregation) or any backend
+without touching the call sites.  ``docs/API.md`` documents the facade
+and the migration from the deprecated ``ContextAwareScorer`` /
+``ContextAwareRanker`` entry points.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every reproduced table and figure.
 """
 
+import warnings as _warnings
+
 from repro.core import (
-    ContextAwareRanker,
-    ContextAwareScorer,
     DocumentScore,
     PreferenceView,
     explain_ranking,
     explain_score,
 )
 from repro.dl import ABox, Concept, Individual, TBox, parse_concept
+from repro.engine import (
+    AboxContext,
+    ContextBackend,
+    DatabaseStorage,
+    EngineBuilder,
+    GatedRelevance,
+    GroupRelevance,
+    LogLinearRelevance,
+    MixedRelevance,
+    PreferenceBackend,
+    RankedItem,
+    RankingEngine,
+    RankRequest,
+    RankResponse,
+    RelevanceBackend,
+    RepositoryPreferences,
+    SensedContext,
+    StorageBackend,
+)
 from repro.events import ALWAYS, NEVER, EventExpr, EventSpace, probability
 from repro.history import Candidate, Episode, HistoryLog, estimate_sigma
 from repro.ir import Corpus, LanguageModelRanker, combined_ranking
 from repro.mining import MiningConfig, mine_rules
 from repro.multiuser import GroupMember, GroupRanker
+from repro.reporting import ranking_table
 from repro.rules import PreferenceRule, RuleRepository, load_rules, parse_rules
 from repro.storage import Database, SqliteBackend, SqlSession
 from repro.workloads import (
@@ -49,33 +92,87 @@ from repro.workloads import (
     set_breakfast_weekend_context,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Deprecated top-level names: still importable, but shimmed through
+#: module ``__getattr__`` with a :class:`DeprecationWarning` pointing at
+#: the engine facade.  The classes themselves live on (the engine wraps
+#: them); only the top-level entry points are deprecated.
+_DEPRECATED_SHIMS = {
+    "ContextAwareScorer": (
+        "repro.core",
+        "assemble a repro.RankingEngine (EngineBuilder / RankingEngine.from_world) "
+        "instead of constructing scorers directly",
+    ),
+    "ContextAwareRanker": (
+        "repro.core",
+        "use repro.RankingEngine with a relevance backend "
+        "(gated / mixed / log_linear) instead",
+    ),
+}
+
+
+def __getattr__(name: str):
+    shim = _DEPRECATED_SHIMS.get(name)
+    if shim is not None:
+        module_name, hint = shim
+        _warnings.warn(
+            f"repro.{name} is deprecated; {hint}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module_name), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(set(__all__) | set(globals()))
+
 
 __all__ = [
     "ABox",
     "ALWAYS",
+    "AboxContext",
     "Candidate",
     "Concept",
     "ContextAwareRanker",
     "ContextAwareScorer",
+    "ContextBackend",
     "Corpus",
     "Database",
+    "DatabaseStorage",
     "DocumentScore",
+    "EngineBuilder",
     "Episode",
     "EventExpr",
     "EventSpace",
+    "GatedRelevance",
     "GroupMember",
     "GroupRanker",
+    "GroupRelevance",
     "HistoryLog",
     "Individual",
     "LanguageModelRanker",
+    "LogLinearRelevance",
     "MiningConfig",
+    "MixedRelevance",
     "NEVER",
+    "PreferenceBackend",
     "PreferenceRule",
     "PreferenceView",
+    "RankRequest",
+    "RankResponse",
+    "RankedItem",
+    "RankingEngine",
+    "RelevanceBackend",
+    "RepositoryPreferences",
     "RuleRepository",
+    "SensedContext",
     "SqlSession",
     "SqliteBackend",
+    "StorageBackend",
     "TBox",
     "__version__",
     "build_tvtouch",
@@ -89,6 +186,7 @@ __all__ = [
     "parse_concept",
     "parse_rules",
     "probability",
+    "ranking_table",
     "sample_workday_mornings",
     "set_breakfast_weekend_context",
 ]

@@ -7,8 +7,9 @@ Four commands cover the library's everyday workflows:
 * ``mine``     — mine scored preference rules from a JSON-lines history;
 * ``scaling``  — a quick naive-vs-factorised scaling measurement.
 
-The CLI is deliberately thin: each command is a few calls into the
-public API, so it doubles as executable documentation.
+The CLI is deliberately thin: every ranking path goes through the
+:class:`~repro.engine.RankingEngine` facade, so it doubles as
+executable documentation of the public API.
 """
 
 from __future__ import annotations
@@ -17,8 +18,8 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core import ContextAwareScorer, explain_ranking
-from repro.dl import parse_concept
+from repro.engine import RankingEngine, RankRequest
+from repro.errors import ReproError
 from repro.history import HistoryLog
 from repro.mining import MiningConfig, mine_rules
 from repro.reporting import TextTable, fit_growth, timed
@@ -69,35 +70,29 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_example(_args: argparse.Namespace) -> int:
     world = build_tvtouch()
     set_breakfast_weekend_context(world)
-    scorer = ContextAwareScorer(
-        abox=world.abox, tbox=world.tbox, user=world.user,
-        repository=world.repository, space=world.space,
-    )
-    print(explain_ranking(scorer.rank(world.program_ids), world.repository))
+    engine = RankingEngine.from_world(world)
+    response = engine.rank(RankRequest(documents=world.program_ids, explain=True))
+    print(response.explanation)
     return 0
 
 
 def _cmd_rank(args: argparse.Namespace) -> int:
     world = build_tvtouch()
-    repository = load_rules(args.rules)
-    world.abox.clear_dynamic()
-    for spec in args.context:
-        name, _, prob_text = spec.partition(":")
-        parse_concept(name)  # validate the syntax early
-        probability = float(prob_text) if prob_text else 1.0
-        if probability >= 1.0:
-            world.abox.assert_concept(name, world.user, dynamic=True)
-        else:
-            world.abox.assert_concept(
-                name, world.user, world.space.atom(f"cli:{name}", probability), dynamic=True
-            )
-    scorer = ContextAwareScorer(
-        abox=world.abox, tbox=world.tbox, user=world.user,
-        repository=repository, space=world.space,
-    )
-    if not scorer.context_covered():
+    try:
+        rules = load_rules(args.rules)
+    except (OSError, ReproError) as exc:
+        print(f"error: cannot load rule file: {exc}", file=sys.stderr)
+        return 2
+    engine = RankingEngine.from_world(world, rules=rules)
+    try:
+        engine.install_context(*args.context, tick="cli")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not engine.context_covered():
         print("warning: no rule applies in this context; all scores are 1", file=sys.stderr)
-    print(explain_ranking(scorer.rank(world.program_ids), repository))
+    response = engine.rank(RankRequest(documents=world.program_ids, explain=True))
+    print(response.explanation)
     return 0
 
 
@@ -135,11 +130,9 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
                 world.database, world.tbox, world.target, list(problem.bindings), world.space
             )
         )
-        scorer = ContextAwareScorer(
-            abox=world.abox, tbox=world.tbox, user=world.user,
-            repository=repository, space=world.space,
-        )
-        _scores2, factorised_seconds = timed(lambda: scorer.score_map(world.programs))
+        engine = RankingEngine.from_world(world, rules=repository)
+        request = RankRequest(documents=world.programs)
+        _response, factorised_seconds = timed(lambda: engine.rank(request))
         naive_times.append(naive_seconds)
         table.add_row([k, naive_seconds, factorised_seconds])
     print(table.render())

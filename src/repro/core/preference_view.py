@@ -72,7 +72,24 @@ class PreferenceView:
         else:
             self.database.add_table(table)
 
+    def load_scores(self, scores: dict[str, DocumentScore]) -> None:
+        """Install externally computed scores without rescoring.
+
+        Used by the engine's preference-view cache: on a context
+        signature the view has already been refreshed under, the cached
+        per-document scores are loaded back instead of recomputed.  The
+        database materialisation still runs so attached SQL sessions
+        stay consistent.
+        """
+        self._scores = dict(scores)
+        if self.database is not None:
+            self._materialise()
+
     # -- lookups ----------------------------------------------------------
+    def scores_map(self) -> dict[str, DocumentScore]:
+        """A copy of the last refreshed per-document scores."""
+        return dict(self._scores)
+
     def score_of(self, document: str) -> float | None:
         """Last refreshed score of one document (None if unknown)."""
         score = self._scores.get(document)

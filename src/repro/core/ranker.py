@@ -23,7 +23,33 @@ from repro.storage.database import Database
 from repro.storage.sql import ResultSet, SqlSession
 from repro.core.preference_view import PreferenceView
 
-__all__ = ["RankedDocument", "ContextAwareRanker"]
+__all__ = ["RankedDocument", "ContextAwareRanker", "mix_scores"]
+
+
+def mix_scores(query_dependent: float, preference: float, mixing_weight: float) -> float:
+    """The Section 6 log-linear mixture ``qd^λ · pref^(1-λ)``, with the
+    λ = 0 and λ = 1 boundaries defined explicitly.
+
+    * ``mixing_weight == 0.0`` is *pure context*: the combined score is
+      the preference score, and the query-dependent part is ignored
+      entirely — including for documents absent from the query result
+      (no gating, and no reliance on Python's ``0.0 ** 0.0 == 1.0``).
+    * ``mixing_weight == 1.0`` is *pure IR*: the combined score is the
+      query-dependent score, and the preference part is ignored — a
+      document the query missed scores 0 even with a perfect preference
+      score.
+    * For ``0 < λ < 1`` a zero in either part gates the document to 0
+      (both parts must hold, as in the naive union).
+    """
+    if not 0.0 <= mixing_weight <= 1.0:
+        raise ValueError(f"mixing weight must be in [0, 1], got {mixing_weight!r}")
+    if mixing_weight == 0.0:
+        return preference
+    if mixing_weight == 1.0:
+        return query_dependent
+    if query_dependent <= 0.0 or preference <= 0.0:
+        return 0.0
+    return (query_dependent ** mixing_weight) * (preference ** (1.0 - mixing_weight))
 
 
 @dataclass(frozen=True)
@@ -100,7 +126,10 @@ class ContextAwareRanker:
 
         ``combined = qd^lambda * pref^(1-lambda)`` (log-linear mixture);
         ``mixing_weight`` = lambda is the weight of the query-dependent
-        part.  ``mixing_weight=1`` is pure IR, ``0`` pure context.
+        part.  The boundaries are exact: ``mixing_weight=1`` is pure IR
+        (documents absent from ``query_scores`` score 0), ``0`` is pure
+        context (``query_scores`` is ignored entirely).  See
+        :func:`mix_scores` for the full boundary semantics.
         """
         if not 0.0 <= mixing_weight <= 1.0:
             raise ValueError(f"mixing weight must be in [0, 1], got {mixing_weight!r}")
@@ -109,12 +138,7 @@ class ContextAwareRanker:
         ranked = []
         for score in self.view.ranking():
             query_dependent = query_scores.get(score.document, 0.0)
-            if query_dependent <= 0.0 and mixing_weight > 0.0:
-                combined = 0.0
-            else:
-                combined = (query_dependent ** mixing_weight) * (
-                    score.value ** (1.0 - mixing_weight)
-                )
+            combined = mix_scores(query_dependent, score.value, mixing_weight)
             ranked.append(RankedDocument(score.document, combined, query_dependent, score.value))
         ranked.sort(key=lambda r: (-r.combined, r.document))
         return ranked

@@ -76,6 +76,30 @@ class ABox:
         self._concepts: dict[ConceptName, dict[Individual, ConceptAssertion]] = {}
         self._roles: dict[RoleName, dict[tuple[Individual, Individual], RoleAssertion]] = {}
         self._individuals: set[Individual] = set()
+        self._mutations = 0
+        self._static_mutations = 0
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic counter bumped on every assertion or retraction.
+
+        Cheap change detection for callers that cache derived state
+        (e.g. the engine's context signature): an unchanged counter
+        guarantees an unchanged ABox.
+        """
+        return self._mutations
+
+    @property
+    def static_mutation_count(self) -> int:
+        """Monotonic counter bumped only by *static* knowledge changes.
+
+        Dynamic (context) assertions come and go on every refresh
+        without touching this counter, so it distinguishes "the
+        catalogue changed" from "the context changed" — the engine's
+        cache key combines this epoch with a content rendering of the
+        dynamic assertions.
+        """
+        return self._static_mutations
 
     # -- assertion entry --------------------------------------------------
     def register_individual(self, individual: str | Individual) -> Individual:
@@ -103,6 +127,9 @@ class ABox:
             dynamic = dynamic or existing.dynamic
         assertion = ConceptAssertion(concept, individual, event, dynamic)
         table[individual] = assertion
+        self._mutations += 1
+        if not dynamic:
+            self._static_mutations += 1
         return assertion
 
     def assert_role(
@@ -127,6 +154,9 @@ class ABox:
             dynamic = dynamic or existing.dynamic
         assertion = RoleAssertion(role, source, target, event, dynamic)
         table[key] = assertion
+        self._mutations += 1
+        if not dynamic:
+            self._static_mutations += 1
         return assertion
 
     # -- retraction ----------------------------------------------------
@@ -147,6 +177,8 @@ class ABox:
             for key in stale_pairs:
                 del role_table[key]
             removed += len(stale_pairs)
+        if removed:
+            self._mutations += 1
         return removed
 
     # -- lookups ----------------------------------------------------------

@@ -1,0 +1,88 @@
+"""Per-context-signature memoization of the preference view.
+
+Section 5's observation — "as the current context develops, the
+probabilities of containment of tuples in the view changes accordingly"
+— cuts both ways: while the context does *not* develop, the view does
+not change either.  The engine therefore keys fully scored views by
+``(context signature, rule fingerprint, scorer configuration)`` and
+serves repeats from memory; any context or rule change produces a new
+key, which is invalidation by construction.
+
+A small LRU bound keeps memory flat under heavy traffic with many
+distinct contexts (e.g. per-user sensor snapshots).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.scoring import DocumentScore
+from repro.errors import EngineConfigError
+
+__all__ = ["ViewCache", "CacheInfo"]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Hit/miss counters plus occupancy, in the ``functools`` style."""
+
+    hits: int
+    misses: int
+    entries: int
+    max_entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ViewCache:
+    """An LRU map from engine signatures to scored preference views."""
+
+    def __init__(self, max_entries: int = 16):
+        if max_entries < 1:
+            raise EngineConfigError(
+                f"cache needs at least one entry, got max_entries={max_entries!r}"
+            )
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, dict[str, DocumentScore]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Hashable) -> dict[str, DocumentScore] | None:
+        """The cached scores for ``key`` (counts a hit or a miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry
+
+    def put(self, key: Hashable, scores: dict[str, DocumentScore]) -> None:
+        """Store scores for ``key``, evicting the least recent if full."""
+        self._entries[key] = dict(scores)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def invalidate(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            entries=len(self._entries),
+            max_entries=self.max_entries,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries

@@ -1,0 +1,431 @@
+"""The :class:`RankingEngine` facade: one-call context-aware ranking.
+
+The paper's pipeline — context capture → preference view → ranked query
+results (Section 5) — previously required wiring ABox/TBox, EventSpace,
+RuleRepository, Database and PreferenceView by hand.  The engine owns
+that wiring behind four protocol-typed backends and a cached
+request/response pipeline::
+
+    from repro import RankRequest, RankingEngine, build_tvtouch, \
+        set_breakfast_weekend_context
+
+    world = build_tvtouch()
+    set_breakfast_weekend_context(world)
+    engine = RankingEngine.from_world(world)
+    response = engine.rank(RankRequest(query=(
+        "SELECT name, preferencescore FROM Programs "
+        "WHERE preferencescore > 0.5 ORDER BY preferencescore DESC"
+    )))
+
+Repeated requests under an unchanged context are served from a
+per-context-signature memo of the preference view; any context or rule
+change invalidates it by construction (the signature changes).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Hashable, Iterable, Mapping, Sequence
+
+from repro.core.explain import explain_ranking, explain_score
+from repro.core.preference_view import PreferenceView
+from repro.core.scorer import ContextAwareScorer
+from repro.core.scoring import DocumentScore
+from repro.dl.abox import ABox
+from repro.dl.concepts import Concept
+from repro.dl.tbox import TBox
+from repro.dl.vocabulary import Individual
+from repro.errors import EngineConfigError, EngineError
+from repro.events.space import EventSpace
+from repro.engine.cache import CacheInfo, ViewCache
+from repro.engine.protocols import (
+    ContextBackend,
+    PreferenceBackend,
+    RelevanceBackend,
+    StorageBackend,
+)
+from repro.engine.requests import RankedItem, RankRequest, RankResponse, as_requests
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.engine.builder import EngineBuilder
+    from repro.multiuser.group import GroupMember
+
+__all__ = ["RankingEngine"]
+
+
+class RankingEngine:
+    """The canonical public entry point for context-aware ranking.
+
+    Engines are assembled by :class:`~repro.engine.EngineBuilder` (or
+    the :meth:`from_world` / :meth:`from_config` shortcuts) — construct
+    one per knowledge base and reuse it across requests; the
+    preference-view cache only pays off on a live engine.
+
+    Parameters (normally supplied by the builder)
+    ---------------------------------------------
+    abox / tbox / user / space:
+        The knowledge base and the situated user.
+    context / preferences / storage / relevance:
+        The four protocol backends.  ``storage`` may be ``None`` for
+        engines that never run SQL.
+    target:
+        The concept whose members the preference view scores.
+    method / rule_threshold / prune_documents:
+        Scoring configuration (see
+        :class:`~repro.core.scorer.ContextAwareScorer`).
+    cache_size:
+        LRU bound on remembered context signatures.
+    """
+
+    def __init__(
+        self,
+        *,
+        abox: ABox,
+        tbox: TBox,
+        user: Individual,
+        space: EventSpace | None,
+        context: ContextBackend,
+        preferences: PreferenceBackend,
+        relevance: RelevanceBackend,
+        target: Concept,
+        storage: StorageBackend | None = None,
+        method: str = "factorised",
+        rule_threshold: float = 0.0,
+        prune_documents: bool = True,
+        cache_size: int = 16,
+    ):
+        self.abox = abox
+        self.tbox = tbox
+        self.user = user
+        self.space = space
+        self.context = context
+        self.preferences = preferences
+        self.relevance = relevance
+        self.storage = storage
+        self.target = target
+        self.method = method
+        self.rule_threshold = rule_threshold
+        self.prune_documents = prune_documents
+        self._cache = ViewCache(max_entries=cache_size)
+        self._scorer = self._build_scorer(preferences.repository())
+        self._view = PreferenceView(
+            self._scorer, target, getattr(storage, "database", None)
+        )
+
+    # -- construction shortcuts ------------------------------------------
+    @staticmethod
+    def builder() -> "EngineBuilder":
+        """A fresh :class:`~repro.engine.EngineBuilder`."""
+        from repro.engine.builder import EngineBuilder
+
+        return EngineBuilder()
+
+    @classmethod
+    def from_world(cls, world: object, **options: object) -> "RankingEngine":
+        """An engine over a ready-made world (TVTouch, Section 5, ...).
+
+        ``world`` is duck-typed: it must carry ``abox``, ``tbox``,
+        ``user`` and ``target``, and may carry ``space``,
+        ``repository``, ``database`` and ``data_table`` /
+        ``id_column``.  Builder options (``method``, ``relevance``,
+        ``rules`` for worlds without a repository, ...) pass through as
+        keyword arguments.
+        """
+        return cls.builder().world(world).options(**options).build()
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, object] | str | Path) -> "RankingEngine":
+        """An engine from a declarative config (mapping or JSON file).
+
+        Recognised keys: ``workload`` (currently ``"tvtouch"``),
+        ``rules`` (path to a rule DSL file), ``context`` (list of
+        ``CONCEPT[:PROB]`` specs), ``method``, ``rule_threshold``,
+        ``prune_documents``, ``relevance``, ``mixing_weight``,
+        ``cache_size``.  Unknown keys are rejected.
+        """
+        if isinstance(config, (str, Path)):
+            try:
+                config = json.loads(Path(config).read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                raise EngineConfigError(f"cannot load engine config: {exc}") from exc
+        if not isinstance(config, Mapping):
+            raise EngineConfigError(
+                f"engine config must be a mapping or a JSON file path, got {config!r}"
+            )
+        known = {
+            "workload",
+            "rules",
+            "context",
+            "method",
+            "rule_threshold",
+            "prune_documents",
+            "relevance",
+            "mixing_weight",
+            "cache_size",
+        }
+        unknown = set(config) - known
+        if unknown:
+            raise EngineConfigError(
+                f"unknown engine config keys {sorted(unknown)}; known keys: {sorted(known)}"
+            )
+
+        workload = config.get("workload", "tvtouch")
+        if workload != "tvtouch":
+            raise EngineConfigError(
+                f"unknown workload {workload!r}; this release ships 'tvtouch'"
+            )
+        from repro.workloads import build_tvtouch
+
+        world = build_tvtouch()
+        builder = cls.builder().world(world)
+        if "rules" in config:
+            from repro.rules import load_rules
+
+            builder.preferences(load_rules(str(config["rules"])))
+        relevance_options = {}
+        if "mixing_weight" in config:
+            relevance_options["mixing_weight"] = config["mixing_weight"]
+        if "relevance" in config or relevance_options:
+            builder.relevance(config.get("relevance", "mixed"), **relevance_options)
+        builder.options(
+            **{
+                key: config[key]
+                for key in ("method", "rule_threshold", "prune_documents", "cache_size")
+                if key in config
+            }
+        )
+        engine = builder.build()
+        context_specs = config.get("context", ())
+        if context_specs:
+            if not isinstance(context_specs, (list, tuple)):
+                raise EngineConfigError(
+                    f"'context' must be a list of CONCEPT[:PROB] specs, got {context_specs!r}"
+                )
+            engine.install_context(*[str(spec) for spec in context_specs])
+        return engine
+
+    # -- scoring internals ------------------------------------------------
+    def _build_scorer(self, repository) -> ContextAwareScorer:
+        return ContextAwareScorer(
+            abox=self.abox,
+            tbox=self.tbox,
+            user=self.user,
+            repository=repository,
+            space=self.space,
+            method=self.method,
+            rule_threshold=self.rule_threshold,
+            prune_documents=self.prune_documents,
+        )
+
+    def _signature(self) -> Hashable:
+        return (
+            self.context.signature(),
+            self.preferences.fingerprint(),
+            self.method,
+            self.rule_threshold,
+            self.prune_documents,
+            str(self.target),
+        )
+
+    def _refresh_view(self) -> tuple[dict[str, DocumentScore], bool]:
+        """The scored view for the current signature: cached or computed."""
+        repository = self.preferences.repository()
+        if repository is not self._scorer.repository:
+            self._scorer = self._build_scorer(repository)
+            self._view.scorer = self._scorer
+        key = self._signature()
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._view.load_scores(cached)
+            return cached, True
+        self._view.refresh()
+        scores = self._view.scores_map()
+        self._cache.put(key, scores)
+        return scores, False
+
+    def _scores_for(
+        self, documents: Sequence[str], view_scores: Mapping[str, DocumentScore]
+    ) -> dict[str, DocumentScore]:
+        """View scores for ``documents``; non-members are scored ad hoc."""
+        missing = [doc for doc in documents if doc not in view_scores]
+        scores = {doc: view_scores[doc] for doc in documents if doc in view_scores}
+        if missing:
+            for score in self._scorer.score(missing):
+                scores[score.document] = score
+        return scores
+
+    # -- the request/response pipeline ------------------------------------
+    def rank(self, request: RankRequest | str | None = None) -> RankResponse:
+        """Answer one ranking request.
+
+        Accepts a :class:`RankRequest`, a bare SQL string (shorthand
+        for ``RankRequest(query=...)``), or nothing (rank every member
+        of the target concept by preference).
+
+        SQL requests gate the ranked items by the query answer when the
+        projection includes the storage backend's id column; without it
+        the response carries the raw ``result`` only (empty ``items``),
+        because the query's filter cannot be mapped back onto documents.
+        """
+        if request is None:
+            request = RankRequest()
+        elif isinstance(request, str):
+            request = RankRequest(query=request)
+        elif not isinstance(request, RankRequest):
+            raise EngineError(f"expected RankRequest or SQL string, got {request!r}")
+
+        self.context.refresh()
+        # A relevance backend that scores on its own (e.g. group
+        # aggregation) opts out of the engine's preference view for
+        # plain document-list requests; SQL and target-member requests
+        # still need the view (for `preferencescore` / the candidates).
+        needs_view = (
+            getattr(self.relevance, "uses_preference_view", True)
+            or request.query is not None
+            or request.documents is None
+        )
+        if needs_view:
+            view_scores, from_cache = self._refresh_view()
+        else:
+            view_scores, from_cache = {}, False
+
+        result = None
+        query_scores = request.query_score_map
+        id_less_query = False
+        if request.query is not None:
+            if self.storage is None:
+                raise EngineError(
+                    "this engine has no storage backend; build one with "
+                    ".storage(database, data_table) to run SQL requests"
+                )
+            result = self.storage.execute(request.query, self._view)
+            ids = self.storage.document_ids(result)
+            if ids is not None:
+                query_scores = {document: 1.0 for document in ids}
+            else:
+                # The projection carries no document ids (e.g. the
+                # paper's `SELECT name, preferencescore ...`), so the
+                # query's answer cannot be mapped back onto ranked
+                # items.  The response ships the raw result and an
+                # empty item list rather than a ranking the WHERE
+                # clause never filtered — select the id column to get
+                # gated items.
+                id_less_query = True
+
+        if id_less_query:
+            documents = []
+        elif request.documents is not None:
+            documents = list(dict.fromkeys(request.documents))
+        elif query_scores is not None:
+            documents = sorted(set(view_scores) | set(query_scores))
+        else:
+            documents = sorted(view_scores)
+        if needs_view:
+            document_scores = self._scores_for(documents, view_scores)
+        else:
+            document_scores = {}
+
+        preference_scores = {name: score.value for name, score in document_scores.items()}
+        items = self.relevance.combine(preference_scores, query_scores, documents)
+        if request.top_k is not None:
+            items = items[: request.top_k]
+
+        explanation = None
+        if request.explain:
+            explanation = self._explain_items(items, document_scores)
+
+        return RankResponse(
+            request=request,
+            items=tuple(items),
+            from_cache=from_cache,
+            explanation=explanation,
+            result=result,
+        )
+
+    def rank_many(self, requests: Iterable[RankRequest | str]) -> list[RankResponse]:
+        """Answer a batch of requests through the same pipeline as :meth:`rank`.
+
+        Each request consults the preference-view cache, so under an
+        unchanged context the whole batch costs one view computation.
+        """
+        return [self.rank(request) for request in as_requests(requests)]
+
+    def _explain_items(
+        self,
+        items: Sequence[RankedItem],
+        document_scores: Mapping[str, DocumentScore],
+    ) -> str:
+        """Per-rule motivations for the preference part, in item order."""
+        ordered = [
+            document_scores[item.document]
+            for item in items
+            if item.document in document_scores
+        ]
+        return explain_ranking(ordered, self.preferences.repository())
+
+    # -- conveniences ------------------------------------------------------
+    def preference_scores(self) -> dict[str, float]:
+        """The (cached) preference view as plain ``{document: score}``."""
+        self.context.refresh()
+        view_scores, _cached = self._refresh_view()
+        return {name: score.value for name, score in view_scores.items()}
+
+    def explain(self, document: str) -> str:
+        """One document's per-rule motivation under the current context."""
+        self.context.refresh()
+        view_scores, _cached = self._refresh_view()
+        scores = self._scores_for([document], view_scores)
+        return explain_score(scores[document], self.preferences.repository())
+
+    def context_covered(self) -> bool:
+        """Does any rule apply in the current context? (Section 4.1.)"""
+        return self.preferences.repository().covers_context(
+            self.abox, self.tbox, self.user
+        )
+
+    def install_context(self, *specs: str, tick: str = "ctx") -> None:
+        """Install ``CONCEPT[:PROB]`` specs through the context backend.
+
+        Only available when the context backend supports installation
+        (:class:`~repro.engine.backends.AboxContext` does).
+        """
+        install = getattr(self.context, "install", None)
+        if install is None:
+            raise EngineError(
+                f"context backend {type(self.context).__name__} does not support install()"
+            )
+        install(self.user, specs, tick=tick)
+
+    def as_member(self, name: str) -> "GroupMember":
+        """This engine's user as a :class:`~repro.multiuser.GroupMember`.
+
+        Plugs the engine into :class:`~repro.multiuser.GroupRanker` /
+        :class:`~repro.engine.relevance.GroupRelevance` for the
+        Section 6 multi-user extension.
+        """
+        from repro.multiuser.group import GroupMember
+
+        return GroupMember(name, self._scorer)
+
+    @property
+    def view(self) -> PreferenceView:
+        """The engine's preference view (attached to SQL sessions)."""
+        return self._view
+
+    # -- cache management --------------------------------------------------
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters of the preference-view cache."""
+        return self._cache.info()
+
+    def invalidate_cache(self) -> None:
+        """Drop every memoized view (the next request recomputes)."""
+        self._cache.invalidate()
+
+    def __repr__(self) -> str:
+        info = self._cache.info()
+        return (
+            f"RankingEngine(target={self.target}, method={self.method!r}, "
+            f"relevance={getattr(self.relevance, 'name', type(self.relevance).__name__)!r}, "
+            f"cache={info.hits}h/{info.misses}m)"
+        )

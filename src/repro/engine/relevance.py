@@ -1,0 +1,239 @@
+"""Relevance strategies: how the two relevance parts become one ranking.
+
+Equation (3) factors document relevance into a query-dependent part
+``P(Q=q | D=d, U=u_sit)`` and the context-aware, query-independent part
+``P(D=d | U=u_sit)``.  Each strategy here is a
+:class:`~repro.engine.protocols.RelevanceBackend` plugin combining the
+two:
+
+* :class:`GatedRelevance` — the paper's Section 5 naive union (binary
+  query relevance gates; preference orders);
+* :class:`MixedRelevance` — the Section 6 smoothed power mixture
+  (:func:`repro.core.ranker.mix_scores`, with exact λ boundaries);
+* :class:`LogLinearRelevance` — the IR log-linear mixture, porting
+  :func:`repro.ir.combined_ranking` into the engine;
+* :class:`GroupRelevance` — the Section 6 multi-user extension,
+  porting :class:`repro.multiuser.GroupRanker` into the engine: the
+  preference part becomes the group-aggregated score.
+
+Strategies resolve by name through :func:`resolve_relevance`, so
+builders and config files can say ``"mixed"`` and engines can swap
+strategies without touching the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.ranker import mix_scores
+from repro.errors import EngineConfigError
+from repro.ir.combine import combine_log_linear
+from repro.multiuser.group import GroupRanker
+from repro.engine.requests import RankedItem
+
+__all__ = [
+    "GatedRelevance",
+    "MixedRelevance",
+    "LogLinearRelevance",
+    "GroupRelevance",
+    "RELEVANCE_STRATEGIES",
+    "resolve_relevance",
+]
+
+
+def _ranked(entries: list[tuple[str, float, float, float | None]]) -> list[RankedItem]:
+    """Sort (document, score, preference, qd) best-first and number positions."""
+    entries.sort(key=lambda entry: (-entry[1], entry[0]))
+    return [
+        RankedItem(document, score, preference, query_dependent, position)
+        for position, (document, score, preference, query_dependent) in enumerate(
+            entries, start=1
+        )
+    ]
+
+
+@dataclass(frozen=True)
+class GatedRelevance:
+    """The paper's naive union: binary query relevance × preference.
+
+    Documents in the query result carry query-dependent probability 1
+    and are ordered by preference score; everything else scores 0 and
+    is omitted.  Without a query part, this is the pure preference
+    ranking.
+    """
+
+    name: str = field(default="gated", init=False)
+
+    def combine(
+        self,
+        preference_scores: Mapping[str, float],
+        query_scores: Mapping[str, float] | None,
+        documents: Sequence[str],
+    ) -> list[RankedItem]:
+        entries: list[tuple[str, float, float, float | None]] = []
+        for document in documents:
+            preference = preference_scores.get(document, 0.0)
+            if query_scores is None:
+                entries.append((document, preference, preference, None))
+                continue
+            if query_scores.get(document, 0.0) <= 0.0:
+                continue
+            entries.append((document, preference, preference, 1.0))
+        return _ranked(entries)
+
+
+@dataclass(frozen=True)
+class MixedRelevance:
+    """Section 6 smoothing: ``combined = qd^λ · pref^(1-λ)``.
+
+    Uses :func:`repro.core.ranker.mix_scores`, so the λ = 0 (pure
+    context) and λ = 1 (pure IR) boundaries are exact.  Query-less
+    requests fall back to the pure preference ranking.
+    """
+
+    mixing_weight: float = 0.5
+    name: str = field(default="mixed", init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mixing_weight <= 1.0:
+            raise EngineConfigError(
+                f"mixing weight must be in [0, 1], got {self.mixing_weight!r}"
+            )
+
+    def combine(
+        self,
+        preference_scores: Mapping[str, float],
+        query_scores: Mapping[str, float] | None,
+        documents: Sequence[str],
+    ) -> list[RankedItem]:
+        entries: list[tuple[str, float, float, float | None]] = []
+        for document in documents:
+            preference = preference_scores.get(document, 0.0)
+            if query_scores is None:
+                entries.append((document, preference, preference, None))
+            else:
+                query_dependent = query_scores.get(document, 0.0)
+                combined = mix_scores(query_dependent, preference, self.mixing_weight)
+                entries.append((document, combined, preference, query_dependent))
+        return _ranked(entries)
+
+
+@dataclass(frozen=True)
+class LogLinearRelevance:
+    """The IR combination, as an engine plugin.
+
+    ``score = λ·log qd + (1-λ)·log pref`` with an epsilon floor — the
+    semantics of :func:`repro.ir.combined_ranking`: documents missing
+    one part are penalised, not dropped.  Scores are log-space (≤ 0).
+    """
+
+    mixing_weight: float = 0.5
+    name: str = field(default="log_linear", init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mixing_weight <= 1.0:
+            raise EngineConfigError(
+                f"mixing weight must be in [0, 1], got {self.mixing_weight!r}"
+            )
+
+    def combine(
+        self,
+        preference_scores: Mapping[str, float],
+        query_scores: Mapping[str, float] | None,
+        documents: Sequence[str],
+    ) -> list[RankedItem]:
+        entries: list[tuple[str, float, float, float | None]] = []
+        for document in documents:
+            preference = preference_scores.get(document, 0.0)
+            if query_scores is None:
+                entries.append((document, preference, preference, None))
+            else:
+                query_dependent = query_scores.get(document, 0.0)
+                combined = combine_log_linear(
+                    query_dependent, preference, self.mixing_weight
+                )
+                entries.append((document, combined, preference, query_dependent))
+        return _ranked(entries)
+
+
+@dataclass
+class GroupRelevance:
+    """Multi-user ranking as an engine plugin.
+
+    The preference part is replaced by the group-aggregated score from
+    a :class:`~repro.multiuser.GroupRanker` (each member scoring the
+    candidates under their own rules and the shared context); query
+    results gate binarily, as in the naive union.
+
+    ``uses_preference_view = False`` tells the engine not to compute
+    its own single-user preference view for document-list requests —
+    the members' scorers do all the scoring.  Group scores are
+    recomputed per request (they span several rule sets, outside the
+    engine's single-signature cache); per-rule explanations are
+    likewise unavailable on the group path.
+    """
+
+    ranker: GroupRanker
+    name: str = field(default="group", init=False)
+    uses_preference_view: bool = field(default=False, init=False)
+
+    def combine(
+        self,
+        preference_scores: Mapping[str, float],
+        query_scores: Mapping[str, float] | None,
+        documents: Sequence[str],
+    ) -> list[RankedItem]:
+        group_scores = {
+            score.document: score.value for score in self.ranker.score(documents)
+        }
+        entries: list[tuple[str, float, float, float | None]] = []
+        for document in documents:
+            preference = group_scores.get(document, 0.0)
+            if query_scores is None:
+                entries.append((document, preference, preference, None))
+                continue
+            if query_scores.get(document, 0.0) <= 0.0:
+                continue
+            entries.append((document, preference, preference, 1.0))
+        return _ranked(entries)
+
+
+#: Name → zero-config strategy factory, for builders and config files.
+RELEVANCE_STRATEGIES = {
+    "gated": GatedRelevance,
+    "mixed": MixedRelevance,
+    "log_linear": LogLinearRelevance,
+}
+
+
+def resolve_relevance(spec: object, **options: object):
+    """Resolve a relevance backend from a name, class or instance.
+
+    ``options`` (e.g. ``mixing_weight``) are forwarded to named
+    strategies; passing options alongside a ready-made instance is an
+    error.
+    """
+    if isinstance(spec, str):
+        try:
+            factory = RELEVANCE_STRATEGIES[spec]
+        except KeyError:
+            raise EngineConfigError(
+                f"unknown relevance strategy {spec!r}; "
+                f"choose from {sorted(RELEVANCE_STRATEGIES)} or pass a RelevanceBackend"
+            ) from None
+        try:
+            return factory(**options)  # type: ignore[arg-type]
+        except TypeError as exc:
+            raise EngineConfigError(
+                f"invalid options for relevance strategy {spec!r}: {exc}"
+            ) from exc
+    if callable(getattr(spec, "combine", None)):
+        if options:
+            raise EngineConfigError(
+                "options are only valid with a named relevance strategy"
+            )
+        return spec
+    raise EngineConfigError(
+        f"relevance must be a strategy name or a RelevanceBackend, got {spec!r}"
+    )

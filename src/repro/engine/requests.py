@@ -1,0 +1,149 @@
+"""Frozen request/response dataclasses for the ranking pipeline.
+
+A :class:`RankRequest` names *what* to rank — a SQL query (the paper's
+Section 5 pipeline), an explicit candidate list, graded IR scores, or
+nothing at all (rank every member of the target concept) — plus
+response shaping (``top_k``, ``explain``).  A :class:`RankResponse`
+carries the ranked items, the raw SQL result when a query ran, the
+explanation when asked for, and whether the preference view came from
+the engine's cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import EngineError
+from repro.reporting.tables import TextTable, ranking_table
+from repro.storage.sql import ResultSet
+
+__all__ = ["RankRequest", "RankResponse", "RankedItem"]
+
+
+@dataclass(frozen=True)
+class RankedItem:
+    """One ranked document: headline score plus its two parts.
+
+    ``query_dependent`` is ``None`` for query-independent requests (no
+    query part existed, as opposed to it scoring zero).
+    """
+
+    document: str
+    score: float
+    preference: float
+    query_dependent: float | None = None
+    position: int = 0
+
+    def __str__(self) -> str:
+        parts = f"{self.document}: {self.score:.4f}"
+        if self.query_dependent is not None:
+            parts += f" (qd={self.query_dependent:.3f}, pref={self.preference:.3f})"
+        return parts
+
+
+@dataclass(frozen=True)
+class RankRequest:
+    """One ranking request against a :class:`RankingEngine`.
+
+    Parameters
+    ----------
+    query:
+        A SQL query to run through the storage backend with the
+        ``preferencescore`` column attached (the paper's pipeline).
+    documents:
+        Explicit candidate ids to rank (any iterable; stored as a
+        tuple).  Without ``query`` and ``documents`` the engine ranks
+        every member of its target concept.
+    query_scores:
+        Graded query-dependent scores (e.g. from an IR ranker), fed to
+        the engine's relevance backend.  Mutually exclusive with
+        ``query`` (a query *produces* its own scores).
+    top_k:
+        Truncate the response to the best ``top_k`` items.
+    explain:
+        Thread through to :mod:`repro.core.explain`: the response's
+        ``explanation`` carries per-rule motivations for every item.
+    """
+
+    query: str | None = None
+    documents: tuple[str, ...] | None = None
+    query_scores: tuple[tuple[str, float], ...] | None = None
+    top_k: int | None = None
+    explain: bool = False
+
+    def __post_init__(self) -> None:
+        if self.documents is not None and not isinstance(self.documents, tuple):
+            object.__setattr__(self, "documents", tuple(self.documents))
+        if self.query_scores is not None:
+            if isinstance(self.query_scores, Mapping):
+                pairs = self.query_scores.items()
+            else:
+                pairs = (tuple(pair) for pair in self.query_scores)
+            object.__setattr__(
+                self,
+                "query_scores",
+                tuple(sorted((str(doc), float(score)) for doc, score in pairs)),
+            )
+        if self.query is not None and self.query_scores is not None:
+            raise EngineError(
+                "a request cannot carry both a SQL query and explicit query_scores"
+            )
+        if self.top_k is not None and self.top_k < 1:
+            raise EngineError(f"top_k must be a positive integer, got {self.top_k!r}")
+
+    @property
+    def query_score_map(self) -> dict[str, float] | None:
+        """``query_scores`` as a dict (None when absent)."""
+        if self.query_scores is None:
+            return None
+        return dict(self.query_scores)
+
+
+@dataclass(frozen=True)
+class RankResponse:
+    """The ranked answer to one :class:`RankRequest`."""
+
+    request: RankRequest
+    items: tuple[RankedItem, ...]
+    from_cache: bool = False
+    explanation: str | None = None
+    result: ResultSet | None = field(default=None, compare=False)
+
+    def __iter__(self) -> Iterator[RankedItem]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def top(self) -> RankedItem | None:
+        """The best item (None for an empty ranking)."""
+        return self.items[0] if self.items else None
+
+    def scores(self) -> dict[str, float]:
+        """Headline scores keyed by document id."""
+        return {item.document: item.score for item in self.items}
+
+    def documents(self) -> list[str]:
+        """Document ids, best first."""
+        return [item.document for item in self.items]
+
+    def to_table(self, names: Mapping[str, str] | None = None) -> TextTable:
+        """Render through the shared :func:`repro.reporting.ranking_table`."""
+        return ranking_table(self.items, names=names)
+
+    def render(self, names: Mapping[str, str] | None = None) -> str:
+        """The ranking as aligned text (one code path with CLI/examples)."""
+        return self.to_table(names=names).render()
+
+
+def as_requests(requests: Iterable[RankRequest | str]) -> list[RankRequest]:
+    """Normalise a batch: bare SQL strings become query requests."""
+    normalised = []
+    for request in requests:
+        if isinstance(request, str):
+            request = RankRequest(query=request)
+        elif not isinstance(request, RankRequest):
+            raise EngineError(f"expected RankRequest or SQL string, got {request!r}")
+        normalised.append(request)
+    return normalised

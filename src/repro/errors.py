@@ -97,3 +97,18 @@ class ScoringError(ReproError):
 
 class MiningError(ReproError):
     """Raised when preference mining is given unusable inputs."""
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by the :class:`RankingEngine` facade."""
+
+
+class EngineConfigError(EngineError):
+    """Raised when an engine is built from an invalid configuration.
+
+    Every :class:`~repro.engine.EngineBuilder` validation failure —
+    missing knowledge base, no preference rules, unknown scoring method
+    or relevance strategy, malformed config mapping — raises this, so
+    misconfiguration is reported at build time rather than surfacing as
+    an attribute error mid-request.
+    """

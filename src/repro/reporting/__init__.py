@@ -1,7 +1,7 @@
 """Bench/report harness (S12): tables, budgeted timing, experiment records."""
 
 from repro.reporting.records import ExperimentRecord, render_records
-from repro.reporting.tables import TextTable
+from repro.reporting.tables import TextTable, ranking_table
 from repro.reporting.timing import GrowthFit, TimedRun, fit_growth, run_with_budget, timed
 
 __all__ = [
@@ -10,6 +10,7 @@ __all__ = [
     "TextTable",
     "TimedRun",
     "fit_growth",
+    "ranking_table",
     "render_records",
     "run_with_budget",
     "timed",

@@ -1,14 +1,16 @@
-"""Plain-text tables for benchmark output.
+"""Plain-text tables for benchmark and ranking output.
 
 Benchmarks print the same rows the paper reports; a tiny aligned-text
 renderer keeps that output readable in a terminal and diffable in CI.
+:func:`ranking_table` is the one code path through which the CLI,
+examples and :meth:`RankResponse.to_table` all render rankings.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Mapping, Sequence
 
-__all__ = ["TextTable"]
+__all__ = ["TextTable", "ranking_table"]
 
 
 class TextTable:
@@ -68,3 +70,50 @@ class TextTable:
 
     def __str__(self) -> str:
         return self.render()
+
+
+def _item_value(item: object) -> float:
+    """A ranked item's headline score: ``score`` or ``combined`` or ``value``."""
+    for attribute in ("score", "combined", "value"):
+        value = getattr(item, attribute, None)
+        if value is not None:
+            return float(value)
+    raise AttributeError(f"{item!r} has no score/combined/value attribute")
+
+
+def ranking_table(
+    items: Iterable[object],
+    names: Mapping[str, str] | None = None,
+    score_header: str = "score",
+) -> TextTable:
+    """Render any ranking as a :class:`TextTable`.
+
+    Accepts the library's scored-item shapes duck-typed: anything with
+    a ``document`` attribute plus a headline score (``score``,
+    ``combined`` or ``value``).  Items that also carry
+    ``query_dependent`` / ``preference`` parts (mixed rankings) get
+    those as extra columns.  ``names`` optionally maps document ids to
+    display names.
+    """
+    items = list(items)
+    with_parts = any(
+        getattr(item, "query_dependent", None) is not None
+        and getattr(item, "preference", None) is not None
+        for item in items
+    )
+    headers = ["rank", "document", score_header]
+    if with_parts:
+        headers += ["query_dep", "preference"]
+    table = TextTable(headers)
+    for position, item in enumerate(items, start=1):
+        document = str(getattr(item, "document"))
+        if names is not None:
+            document = str(names.get(document, document))
+        row: list[object] = [position, document, f"{_item_value(item):.4f}"]
+        if with_parts:
+            query_dependent = getattr(item, "query_dependent", None)
+            preference = getattr(item, "preference", None)
+            row.append("-" if query_dependent is None else f"{float(query_dependent):.4f}")
+            row.append("-" if preference is None else f"{float(preference):.4f}")
+        table.add_row(row)
+    return table

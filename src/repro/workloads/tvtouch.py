@@ -83,6 +83,10 @@ class TvTouchWorld:
     repository: RuleRepository
     database: Database
     target: Concept
+    #: The table user queries target and its document-id column — read
+    #: by ``RankingEngine.from_world`` to wire the storage backend.
+    data_table: str = "Programs"
+    id_column: str = "id"
 
     @property
     def program_ids(self) -> list[str]:

@@ -1,0 +1,94 @@
+"""The Section 6 mixture's λ = 0 and λ = 1 boundaries, defined exactly."""
+
+import pytest
+
+from repro.core import ContextAwareScorer, PreferenceView
+from repro.core.ranker import ContextAwareRanker, mix_scores
+from repro.workloads import build_tvtouch, set_breakfast_weekend_context
+
+
+class TestMixScores:
+    def test_lambda_zero_is_pure_context(self):
+        # the query part is ignored entirely — even a missing (0.0)
+        # query score does not gate, and no 0**0 accident applies
+        assert mix_scores(0.0, 0.42, 0.0) == pytest.approx(0.42)
+        assert mix_scores(0.9, 0.42, 0.0) == pytest.approx(0.42)
+        assert mix_scores(0.0, 0.0, 0.0) == 0.0
+
+    def test_lambda_one_is_pure_ir(self):
+        # the preference part is ignored entirely — a zero preference
+        # does not zero the document, a missing query score does
+        assert mix_scores(0.7, 0.0, 1.0) == pytest.approx(0.7)
+        assert mix_scores(0.7, 0.9, 1.0) == pytest.approx(0.7)
+        assert mix_scores(0.0, 0.9, 1.0) == 0.0
+
+    def test_interior_gates_on_either_zero(self):
+        assert mix_scores(0.0, 0.9, 0.5) == 0.0
+        assert mix_scores(0.9, 0.0, 0.5) == 0.0
+
+    def test_interior_is_the_power_mixture(self):
+        assert mix_scores(0.4, 0.9, 0.25) == pytest.approx(
+            (0.4 ** 0.25) * (0.9 ** 0.75)
+        )
+
+    def test_weight_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            mix_scores(0.5, 0.5, -0.1)
+        with pytest.raises(ValueError):
+            mix_scores(0.5, 0.5, 1.1)
+
+
+class TestRankMixedBoundaries:
+    @pytest.fixture()
+    def ranker(self):
+        world = build_tvtouch()
+        set_breakfast_weekend_context(world)
+        scorer = ContextAwareScorer(
+            abox=world.abox, tbox=world.tbox, user=world.user,
+            repository=world.repository, space=world.space,
+        )
+        view = PreferenceView(scorer, world.target, world.database)
+        return ContextAwareRanker(view, world.database, "Programs", id_column="id")
+
+    def test_lambda_zero_matches_preference_ranking(self, ranker):
+        # documents absent from query_scores keep their preference score
+        ranked = ranker.rank_mixed({"mpfs": 1.0}, mixing_weight=0.0)
+        by_doc = {r.document: r for r in ranked}
+        assert by_doc["channel5_news"].combined == pytest.approx(
+            by_doc["channel5_news"].preference
+        )
+        assert by_doc["channel5_news"].combined == pytest.approx(0.6006, abs=1e-9)
+        assert [r.document for r in ranked][0] == "channel5_news"
+
+    def test_lambda_one_matches_query_ranking(self, ranker):
+        ranked = ranker.rank_mixed(
+            {"mpfs": 0.9, "oprah": 0.4}, mixing_weight=1.0
+        )
+        by_doc = {r.document: r for r in ranked}
+        assert by_doc["mpfs"].combined == pytest.approx(0.9)
+        assert by_doc["oprah"].combined == pytest.approx(0.4)
+        # absent from the query: gated to zero at λ = 1
+        assert by_doc["channel5_news"].combined == 0.0
+        assert [r.document for r in ranked][:2] == ["mpfs", "oprah"]
+
+    def test_interior_gates_absent_documents(self, ranker):
+        ranked = ranker.rank_mixed({"mpfs": 1.0}, mixing_weight=0.5)
+        by_doc = {r.document: r for r in ranked}
+        assert by_doc["channel5_news"].combined == 0.0
+        assert by_doc["mpfs"].combined == pytest.approx(
+            by_doc["mpfs"].preference ** 0.5
+        )
+
+    def test_boundary_continuity_for_present_documents(self, ranker):
+        # for a document present in both parts the boundaries agree
+        # with the interior limits
+        scores = {"channel5_news": 0.8}
+        near_zero = ranker.rank_mixed(scores, mixing_weight=1e-9)
+        at_zero = ranker.rank_mixed(scores, mixing_weight=0.0)
+        c_near = next(r for r in near_zero if r.document == "channel5_news")
+        c_at = next(r for r in at_zero if r.document == "channel5_news")
+        assert c_near.combined == pytest.approx(c_at.combined, rel=1e-6)
+
+    def test_weight_validation(self, ranker):
+        with pytest.raises(ValueError):
+            ranker.rank_mixed({}, mixing_weight=1.5)

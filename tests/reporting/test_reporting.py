@@ -6,6 +6,7 @@ from repro.reporting import (
     ExperimentRecord,
     TextTable,
     fit_growth,
+    ranking_table,
     render_records,
     run_with_budget,
     timed,
@@ -73,6 +74,39 @@ class TestTiming:
     def test_run_with_budget_all_fast(self):
         runs = run_with_budget([1, 2, 3], lambda p: (lambda: None), budget_seconds=10.0)
         assert all(run.completed for run in runs)
+
+
+class TestRankingTable:
+    def test_renders_document_scores(self):
+        from repro.core.scoring import DocumentScore
+
+        table = ranking_table(
+            [DocumentScore("ch5", 0.6006), DocumentScore("bbc", 0.18)],
+            names={"ch5": "Channel 5 news"},
+        )
+        text = table.render()
+        assert text.splitlines()[0].split() == ["rank", "document", "score"]
+        assert "Channel 5 news" in text
+        assert "0.6006" in text
+
+    def test_renders_items_with_parts(self):
+        from repro.engine import RankedItem
+
+        table = ranking_table(
+            [
+                RankedItem("a", 0.5, preference=0.6, query_dependent=0.4, position=1),
+                RankedItem("b", 0.3, preference=0.3, position=2),
+            ]
+        )
+        text = table.render()
+        header = text.splitlines()[0].split()
+        assert header == ["rank", "document", "score", "query_dep", "preference"]
+        assert "0.4000" in text
+        assert "-" in text.splitlines()[3]  # b has no query part
+
+    def test_rejects_unscored_items(self):
+        with pytest.raises(AttributeError):
+            ranking_table([object()])
 
 
 class TestRecords:

@@ -62,6 +62,21 @@ class TestCommands:
         err = capsys.readouterr().err
         assert "no rule applies" in err
 
+    def test_rank_bad_context_spec_clean_error(self, rules_file, capsys):
+        assert main(["rank", rules_file, "--context", "Breakfast:abc"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "probability" in err
+
+    def test_rank_missing_rules_file_clean_error(self, tmp_path, capsys):
+        assert main(["rank", str(tmp_path / "nope.prefs")]) == 2
+        assert "error: cannot load rule file" in capsys.readouterr().err
+
+    def test_rank_malformed_rules_file_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.prefs"
+        path.write_text("RULE broken WHEN\n", encoding="utf-8")
+        assert main(["rank", str(path)]) == 2
+        assert "error: cannot load rule file" in capsys.readouterr().err
+
     def test_mine(self, history_file, capsys):
         assert main(["mine", history_file, "--min-support", "5", "--min-lift", "0.0"]) == 0
         out = capsys.readouterr().out

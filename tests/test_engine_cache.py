@@ -1,0 +1,150 @@
+"""Preference-view memoization: hits, invalidation, bounds."""
+
+import pytest
+
+from repro.engine import RankingEngine, RankRequest, ViewCache
+from repro.engine.cache import CacheInfo
+from repro.errors import EngineConfigError
+from repro.rules import PreferenceRule
+from repro.workloads import build_tvtouch, set_breakfast_weekend_context
+
+
+@pytest.fixture()
+def world():
+    world = build_tvtouch()
+    set_breakfast_weekend_context(world)
+    return world
+
+
+@pytest.fixture()
+def engine(world):
+    return RankingEngine.from_world(world)
+
+
+class TestCacheHits:
+    def test_repeat_request_hits(self, engine, world):
+        request = RankRequest(documents=world.program_ids)
+        first = engine.rank(request)
+        second = engine.rank(request)
+        assert not first.from_cache
+        assert second.from_cache
+        info = engine.cache_info()
+        assert (info.hits, info.misses) == (1, 1)
+        assert second.scores() == pytest.approx(first.scores())
+
+    def test_different_requests_share_the_view(self, engine, world):
+        engine.rank(RankRequest(documents=world.program_ids))
+        engine.rank("SELECT id FROM Programs WHERE preferencescore > 0.5")
+        engine.rank()
+        info = engine.cache_info()
+        assert info.misses == 1
+        assert info.hits == 2
+
+    def test_hit_rate(self, engine):
+        engine.rank()
+        engine.rank()
+        assert engine.cache_info().hit_rate == pytest.approx(0.5)
+
+
+class TestInvalidation:
+    def test_context_change_misses(self, engine, world):
+        engine.rank()
+        set_breakfast_weekend_context(world, weekend_probability=0.7, tick="t2")
+        response = engine.rank()
+        assert not response.from_cache
+        assert engine.cache_info().misses == 2
+
+    def test_context_flip_back_still_cached(self, engine, world):
+        baseline = engine.rank()
+        set_breakfast_weekend_context(world, weekend_probability=0.7, tick="t2")
+        engine.rank()
+        # restoring the original certain context restores the signature
+        set_breakfast_weekend_context(world)
+        restored = engine.rank()
+        assert restored.from_cache
+        assert restored.scores() == pytest.approx(baseline.scores())
+
+    def test_static_knowledge_change_misses(self, engine, world):
+        baseline = engine.rank()
+        # a new catalogue entry is a *static* assertion — the cached
+        # view must not survive it
+        world.abox.assert_concept("TvProgram", "late_night_show")
+        response = engine.rank()
+        assert not response.from_cache
+        assert "late_night_show" in response.scores()
+        assert "late_night_show" not in baseline.scores()
+
+    def test_rule_addition_misses(self, engine, world):
+        engine.rank()
+        world.repository.add(
+            PreferenceRule.parse("r3", "Weekend", "TvProgram", 0.5)
+        )
+        response = engine.rank()
+        assert not response.from_cache
+        assert engine.cache_info().misses == 2
+
+    def test_rule_removal_misses(self, engine, world):
+        baseline = engine.rank()
+        world.repository.remove("r1")
+        response = engine.rank()
+        assert not response.from_cache
+        assert response.scores() != pytest.approx(baseline.scores())
+
+    def test_explicit_invalidate(self, engine):
+        engine.rank()
+        engine.invalidate_cache()
+        assert not engine.rank().from_cache
+        assert engine.cache_info().misses == 2
+
+    def test_method_is_part_of_the_key(self, engine):
+        engine.rank()
+        engine.method = "exact"
+        assert not engine.rank().from_cache
+
+    def test_cached_scores_match_fresh(self, engine, world):
+        request = RankRequest(documents=world.program_ids)
+        cached = engine.rank(request)  # miss
+        cached2 = engine.rank(request)  # hit
+        engine.invalidate_cache()
+        fresh = engine.rank(request)  # recomputed
+        assert cached.scores() == pytest.approx(fresh.scores())
+        assert cached2.scores() == pytest.approx(fresh.scores())
+
+
+class TestViewCacheUnit:
+    def test_lru_eviction(self):
+        cache = ViewCache(max_entries=2)
+        cache.put("a", {})
+        cache.put("b", {})
+        assert cache.get("a") is not None  # refresh a
+        cache.put("c", {})  # evicts b
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert len(cache) == 2
+
+    def test_info_counters(self):
+        cache = ViewCache(max_entries=2)
+        cache.get("missing")
+        cache.put("a", {})
+        cache.get("a")
+        assert cache.info() == CacheInfo(hits=1, misses=1, entries=1, max_entries=2)
+
+    def test_invalidate_keeps_counters(self):
+        cache = ViewCache()
+        cache.put("a", {})
+        cache.get("a")
+        cache.invalidate()
+        info = cache.info()
+        assert info.entries == 0
+        assert info.hits == 1
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(EngineConfigError):
+            ViewCache(max_entries=0)
+
+    def test_engine_cache_is_bounded(self, world):
+        engine = RankingEngine.from_world(world, cache_size=2)
+        for tick in ("t1", "t2", "t3", "t4"):
+            set_breakfast_weekend_context(world, weekend_probability=0.9, tick=tick)
+            engine.rank()
+        assert engine.cache_info().entries == 2

@@ -1,0 +1,73 @@
+"""Deprecation shims: the old entry points stay importable, with a warning."""
+
+import warnings
+
+import pytest
+
+import repro
+
+
+class TestDeprecatedShims:
+    def test_scorer_shim_warns_and_resolves(self):
+        with pytest.warns(DeprecationWarning, match="RankingEngine"):
+            shimmed = repro.ContextAwareScorer
+        from repro.core import ContextAwareScorer
+
+        assert shimmed is ContextAwareScorer
+
+    def test_ranker_shim_warns_and_resolves(self):
+        with pytest.warns(DeprecationWarning, match="relevance backend"):
+            shimmed = repro.ContextAwareRanker
+        from repro.core import ContextAwareRanker
+
+        assert shimmed is ContextAwareRanker
+
+    def test_from_import_still_works(self):
+        with pytest.warns(DeprecationWarning):
+            from repro import ContextAwareScorer  # noqa: F401
+
+    def test_shimmed_scorer_still_scores(self):
+        from repro.workloads import build_tvtouch, set_breakfast_weekend_context
+
+        world = build_tvtouch()
+        set_breakfast_weekend_context(world)
+        with pytest.warns(DeprecationWarning):
+            scorer_class = repro.ContextAwareScorer
+        scorer = scorer_class(
+            abox=world.abox, tbox=world.tbox, user=world.user,
+            repository=world.repository, space=world.space,
+        )
+        assert scorer.score_map(world.program_ids)["channel5_news"] == pytest.approx(
+            0.6006, abs=1e-9
+        )
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.DefinitelyNotAThing
+
+
+class TestPublicSurface:
+    def test_new_api_importable_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            from repro import (  # noqa: F401
+                EngineBuilder,
+                RankRequest,
+                RankResponse,
+                RankingEngine,
+            )
+
+    def test_all_names_resolve(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for name in repro.__all__:
+                assert getattr(repro, name) is not None, name
+
+    def test_deprecated_names_stay_in_all(self):
+        assert "ContextAwareScorer" in repro.__all__
+        assert "ContextAwareRanker" in repro.__all__
+
+    def test_dir_lists_shims(self):
+        listing = dir(repro)
+        assert "ContextAwareScorer" in listing
+        assert "RankingEngine" in listing
