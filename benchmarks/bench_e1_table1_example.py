@@ -27,7 +27,7 @@ def _scorer(world, method: str) -> ContextAwareScorer:
 
 
 @pytest.mark.parametrize("method", ["factorised", "enumeration", "exact"])
-def test_e1_table1_scores(benchmark, tvtouch_world, method, save_result):
+def test_e1_table1_scores(benchmark, tvtouch_world, method, save_result, save_json):
     scorer = _scorer(tvtouch_world, method)
     scores = benchmark(lambda: scorer.score_map(tvtouch_world.program_ids))
 
@@ -39,6 +39,15 @@ def test_e1_table1_scores(benchmark, tvtouch_world, method, save_result):
     for program, value in sorted(scores.items(), key=lambda kv: -kv[1]):
         table.add_row([names[program], f"{value:.4f}", f"{EXPECTED_TABLE1_SCORES[program]:.4f}"])
     save_result(f"e1_table1_{method}", table.render())
+    save_json(
+        f"e1_table1_{method}",
+        {
+            "experiment": "e1_table1",
+            "variant": method,
+            "scores": scores,
+            "paper_scores": dict(EXPECTED_TABLE1_SCORES),
+        },
+    )
 
 
 def test_e1_ranking_order(benchmark, tvtouch_world):

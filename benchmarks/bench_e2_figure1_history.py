@@ -19,7 +19,7 @@ from repro.workloads import sample_workday_mornings
 EPISODES = 5000
 
 
-def test_e2_figure1_sigmas(benchmark, save_result):
+def test_e2_figure1_sigmas(benchmark, save_result, save_json):
     log = sample_workday_mornings(episodes=EPISODES, seed=42)
 
     def estimate():
@@ -39,6 +39,16 @@ def test_e2_figure1_sigmas(benchmark, save_result):
     table.add_row(["sigma(morning, weather bulletin)", f"{weather.value:.3f}", "0.600"])
     table.add_row(["P(neither-featured program ideal)", f"{neither:.4f}", "0.0800"])
     save_result("e2_figure1", f"{EPISODES} sampled workday mornings\n" + table.render())
+    save_json(
+        "e2_figure1",
+        {
+            "experiment": "e2_figure1",
+            "episodes": EPISODES,
+            "sigma_traffic": traffic.value,
+            "sigma_weather": weather.value,
+            "p_neither_featured_ideal": neither,
+        },
+    )
 
 
 def test_e2_group_choices_present(benchmark):

@@ -74,7 +74,7 @@ def _run_sweep(world):
     return rows
 
 
-def test_e3_scaling_table(benchmark, save_result, section5_world):
+def test_e3_scaling_table(benchmark, save_result, save_json, section5_world):
     sweep = benchmark.pedantic(lambda: _run_sweep(section5_world), rounds=1, iterations=1)
     table = TextTable(
         ["rules", "naive python (s)", "naive sqlite (s)", "factorised (s)", "paper (authors' testbed)"]
@@ -97,6 +97,24 @@ def test_e3_scaling_table(benchmark, save_result, section5_world):
         f"\n(database: {len(section5_world.abox)} tuples)"
     )
     save_result("e3_section5_scaling", table.render() + footer)
+    save_json(
+        "e3_section5_scaling",
+        {
+            "experiment": "e3_section5_scaling",
+            "rows": [
+                {
+                    "rules": row["k"],
+                    "naive_python_s": row["python"],
+                    "naive_sqlite_s": row["sqlite"],
+                    "factorised_s": row["factorised"],
+                }
+                for row in sweep
+            ],
+            "naive_growth_per_rule": python_fit.ratio,
+            "extrapolated_wall_rules": wall_k,
+            "database_tuples": len(section5_world.abox),
+        },
+    )
 
     # Shape assertions.
     assert python_fit.ratio > 1.6, "naive cost must grow near-geometrically per rule"

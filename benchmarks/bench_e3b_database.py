@@ -11,7 +11,7 @@ from repro.reporting import TextTable
 from repro.workloads import generate_test_database
 
 
-def test_e3b_census(benchmark, save_result):
+def test_e3b_census(benchmark, save_result, save_json):
     world = benchmark.pedantic(lambda: generate_test_database(seed=7), rounds=1, iterations=1)
     census = world.census()
 
@@ -29,6 +29,10 @@ def test_e3b_census(benchmark, save_result):
             table.add_row([key, census[key]])
     table.add_row(["TOTAL", census["TOTAL"]])
     save_result("e3b_database_census", table.render() + "\npaper: around 11000 tuples")
+    save_json(
+        "e3b_database_census",
+        {"experiment": "e3b_database_census", "census": census},
+    )
 
 
 def test_e3b_generation_deterministic(benchmark):

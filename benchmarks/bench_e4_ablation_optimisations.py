@@ -30,7 +30,7 @@ def _with_unmatched_rules(repository: RuleRepository, extra: int) -> RuleReposit
     return combined
 
 
-def test_e4_factorised_vs_enumeration(benchmark, section5_world, save_result):
+def test_e4_factorised_vs_enumeration(benchmark, section5_world, save_result, save_json):
     """The core fix: O(n) factorisation vs the paper's 4^n enumeration."""
     world = section5_world
     repository = generate_rule_series(world, 10, seed=13)
@@ -55,9 +55,20 @@ def test_e4_factorised_vs_enumeration(benchmark, section5_world, save_result):
     table.add_row(["enumeration (paper's math)", enumeration_seconds])
     table.add_row(["factorised (Section 6 fix)", factorised_seconds])
     save_result("e4_factorised_vs_enumeration", table.render())
+    save_json(
+        "e4_factorised_vs_enumeration",
+        {
+            "experiment": "e4_factorised_vs_enumeration",
+            "variants": [
+                {"variant": "enumeration", "best_s": enumeration_seconds},
+                {"variant": "factorised", "best_s": factorised_seconds},
+            ],
+            "speedup": enumeration_seconds / factorised_seconds,
+        },
+    )
 
 
-def test_e4_rule_pruning(benchmark, section5_world, save_result):
+def test_e4_rule_pruning(benchmark, section5_world, save_result, save_json):
     """Dead rules cost nothing once pruned, and pruning is lossless."""
     world = section5_world
     live = generate_rule_series(world, 4, seed=13)
@@ -82,9 +93,19 @@ def test_e4_rule_pruning(benchmark, section5_world, save_result):
     table.add_row(["live rules only", len(live), live_seconds])
     table.add_row(["with 12 dead rules (pruned)", len(padded), padded_seconds])
     save_result("e4_rule_pruning", table.render())
+    save_json(
+        "e4_rule_pruning",
+        {
+            "experiment": "e4_rule_pruning",
+            "variants": [
+                {"variant": "live rules only", "rules": len(live), "best_s": live_seconds},
+                {"variant": "with 12 dead rules (pruned)", "rules": len(padded), "best_s": padded_seconds},
+            ],
+        },
+    )
 
 
-def test_e4_document_pruning(benchmark, section5_world, save_result):
+def test_e4_document_pruning(benchmark, section5_world, save_result, save_json):
     """Sharing the all-miss score across non-matching candidates."""
     world = section5_world
     repository = generate_rule_series(world, 3, seed=13)
@@ -107,10 +128,22 @@ def test_e4_document_pruning(benchmark, section5_world, save_result):
     table.add_row(["off", unpruned_seconds, len(world.programs)])
     table.add_row(["on", pruned_seconds, report.scored_documents])
     save_result("e4_document_pruning", table.render())
+    save_json(
+        "e4_document_pruning",
+        {
+            "experiment": "e4_document_pruning",
+            "variants": [
+                {"variant": "off", "best_s": unpruned_seconds},
+                {"variant": "on", "best_s": pruned_seconds},
+            ],
+            "scored_documents": report.scored_documents,
+            "trivial_documents": report.trivial_documents,
+        },
+    )
     assert report.trivial_documents > 0, "some programs match no rule's genre"
 
 
-def test_e4_event_engines(benchmark, section5_world, save_result):
+def test_e4_event_engines(benchmark, section5_world, save_result, save_json):
     """Shannon vs BDD on the membership events the views produce.
 
     Program metadata is certain in this workload, so the uncertain
@@ -142,3 +175,14 @@ def test_e4_event_engines(benchmark, section5_world, save_result):
     table.add_row(["shannon", shannon_seconds])
     table.add_row(["bdd", bdd_seconds])
     save_result("e4_event_engines", table.render())
+    save_json(
+        "e4_event_engines",
+        {
+            "experiment": "e4_event_engines",
+            "events": len(events),
+            "variants": [
+                {"variant": "shannon", "best_s": shannon_seconds},
+                {"variant": "bdd", "best_s": bdd_seconds},
+            ],
+        },
+    )

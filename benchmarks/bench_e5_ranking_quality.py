@@ -110,7 +110,7 @@ def _mean(values):
     return sum(values) / len(values) if values else 0.0
 
 
-def test_e5_simulated_user_study(benchmark, save_result):
+def test_e5_simulated_user_study(benchmark, save_result, save_json):
     quality, mixed_quality = benchmark.pedantic(_run_study, rounds=1, iterations=1)
 
     context_ndcg = _mean(quality["context"])
@@ -135,6 +135,20 @@ def test_e5_simulated_user_study(benchmark, save_result):
         + table.render()
         + "\n\nSection 6 weighting sweep (genre query):\n"
         + sweep.render(),
+    )
+
+    save_json(
+        "e5_ranking_quality",
+        {
+            "experiment": "e5_ranking_quality",
+            "users": USERS,
+            "trials_per_user": TRIALS_PER_USER,
+            "context_ndcg5": context_ndcg,
+            "lm_ndcg5": lm_ndcg,
+            "context_mrr": _mean(quality["mrr_context"]),
+            "lm_mrr": _mean(quality["mrr_lm"]),
+            "lambda_sweep_ndcg5": {str(lam): _mean(mixed_quality[lam]) for lam in LAMBDAS},
+        },
     )
 
     # The context component must help even when a query is present:

@@ -47,7 +47,7 @@ def _truth_rules():
     ]
 
 
-def test_e6_sigma_recovery_curve(benchmark, save_result):
+def test_e6_sigma_recovery_curve(benchmark, save_result, save_json):
     def sweep():
         rows = []
         for episodes in EPISODE_COUNTS:
@@ -65,6 +65,22 @@ def test_e6_sigma_recovery_curve(benchmark, save_result):
             [episodes, report.mined, f"{report.recall:.2f}", f"{report.precision:.2f}", f"{report.sigma_mae:.4f}"]
         )
     save_result("e6_mining", table.render())
+    save_json(
+        "e6_mining",
+        {
+            "experiment": "e6_mining",
+            "rows": [
+                {
+                    "episodes": episodes,
+                    "mined": report.mined,
+                    "recall": report.recall,
+                    "precision": report.precision,
+                    "sigma_mae": report.sigma_mae,
+                }
+                for episodes, report in rows
+            ],
+        },
+    )
 
     final_report = rows[-1][1]
     assert final_report.recall == pytest.approx(1.0), "all planted rules recovered"

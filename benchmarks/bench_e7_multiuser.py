@@ -42,7 +42,7 @@ def group(tvtouch_world):
     return [peter, mary]
 
 
-def test_e7_group_strategies(benchmark, group, tvtouch_world, save_result):
+def test_e7_group_strategies(benchmark, group, tvtouch_world, save_result, save_json):
     def run():
         results = {}
         for strategy in GroupRanker.available_strategies():
@@ -60,6 +60,16 @@ def test_e7_group_strategies(benchmark, group, tvtouch_world, save_result):
     for strategy, ranking in sorted(results.items()):
         table.add_row([strategy, ranking[0].document, ranking[0].value])
     save_result("e7_multiuser", table.render())
+    save_json(
+        "e7_multiuser",
+        {
+            "experiment": "e7_multiuser",
+            "winners": {
+                strategy: {"document": ranking[0].document, "score": ranking[0].value}
+                for strategy, ranking in sorted(results.items())
+            },
+        },
+    )
 
 
 def test_e7_group_scoring_runtime(benchmark, group, tvtouch_world):

@@ -33,7 +33,7 @@ def _scores_at(world, probability_level, method):
     return scorer.score_map(world.program_ids)
 
 
-def test_e8_uncertain_breakfast_sweep(benchmark, save_result):
+def test_e8_uncertain_breakfast_sweep(benchmark, save_result, save_json):
     world = build_tvtouch()
 
     def sweep():
@@ -58,6 +58,15 @@ def test_e8_uncertain_breakfast_sweep(benchmark, save_result):
         scores = results[level]["factorised"]
         table.add_row([level] + [scores[program] for program in world.program_ids])
     save_result("e8_uncertain_context", table.render())
+    save_json(
+        "e8_uncertain_context",
+        {
+            "experiment": "e8_uncertain_context",
+            "levels": {
+                str(level): results[level]["factorised"] for level in LEVELS
+            },
+        },
+    )
 
     # Ranking flip: weekend-only vs full breakfast-and-weekend context.
     no_breakfast = results[0.0]["factorised"]

@@ -10,6 +10,7 @@ Measured on a Section 5 test database (scale 0.4, six rules), best of
 seven runs per variant to shed scheduler noise.
 """
 
+import os
 import time
 
 import pytest
@@ -24,7 +25,12 @@ from repro.workloads import (
     install_context_series,
 )
 
-RUNS = 7
+#: CI smoke mode: tiny workload, no perf assertions (see conftest).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+RUNS = 2 if SMOKE else 7
+SCALE = 0.1 if SMOKE else 0.4
+RULES = 3 if SMOKE else 6
 MAX_COLD_OVERHEAD = 0.05
 MIN_WARM_SPEEDUP = 10.0
 
@@ -40,10 +46,10 @@ def best_of(function, runs: int = RUNS) -> float:
 
 @pytest.fixture(scope="module")
 def setup():
-    counts = Section5Counts().scaled(0.4)
+    counts = Section5Counts().scaled(SCALE)
     world = generate_test_database(seed=7, counts=counts)
     install_context_series(world, k=7, seed=11)
-    repository = generate_rule_series(world, 6, seed=13)
+    repository = generate_rule_series(world, RULES, seed=13)
     scorer = ContextAwareScorer(
         abox=world.abox, tbox=world.tbox, user=world.user,
         repository=repository, space=world.space,
@@ -52,7 +58,7 @@ def setup():
     return world, scorer, engine
 
 
-def test_e9_engine_overhead(setup, save_result):
+def test_e9_engine_overhead(setup, save_result, save_json):
     world, scorer, engine = setup
 
     # The same artifact three ways: the direct scorer call the facade
@@ -87,7 +93,24 @@ def test_e9_engine_overhead(setup, save_result):
     table.add_row(["direct scorer (document list)", score_map_seconds * 1e3, "-"])
     table.add_row(["engine, cold (document list)", cold_documents_seconds * 1e3, "-"])
     save_result("e9_engine_overhead", table.render())
+    save_json(
+        "e9_engine_overhead",
+        {
+            "experiment": "e9_engine_overhead",
+            "variants": [
+                {"variant": "direct scorer (concept members)", "best_ms": direct_seconds * 1e3},
+                {"variant": "engine, cold cache", "best_ms": cold_seconds * 1e3},
+                {"variant": "engine, warm cache", "best_ms": warm_seconds * 1e3},
+                {"variant": "direct scorer (document list)", "best_ms": score_map_seconds * 1e3},
+                {"variant": "engine, cold (document list)", "best_ms": cold_documents_seconds * 1e3},
+            ],
+            "cold_overhead": overhead,
+            "warm_speedup": speedup,
+        },
+    )
 
+    if SMOKE:
+        return
     assert overhead < MAX_COLD_OVERHEAD, (
         f"facade overhead {overhead:.2%} exceeds {MAX_COLD_OVERHEAD:.0%} "
         f"(direct {direct_seconds * 1e3:.2f}ms vs cold {cold_seconds * 1e3:.2f}ms)"

@@ -2,26 +2,65 @@
 
 Every benchmark writes the table(s) it regenerates to
 ``benchmarks/results/<experiment>.txt`` — the same rows EXPERIMENTS.md
-quotes — in addition to asserting the claims.
+quotes — in addition to asserting the claims.  Alongside each table, a
+machine-readable ``benchmarks/results/<experiment>.json`` record
+(variant timings, speedups) makes the perf trajectory diffable across
+PRs.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the workloads and skips the
+performance assertions — the CI smoke job uses it to keep the scripts
+importable and runnable without paying full benchmark time.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Set by the CI smoke job: tiny sizes, no perf assertions.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
 
 @pytest.fixture(scope="session")
 def save_result():
-    """Persist a named result table under benchmarks/results/."""
+    """Persist a named result table under benchmarks/results/.
 
-    def _save(name: str, text: str) -> Path:
+    Smoke runs skip the write so tiny-size tables never clobber the
+    committed full-size artifacts.
+    """
+
+    def _save(name: str, text: str) -> Path | None:
+        if SMOKE:
+            return None
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_json():
+    """Persist a named machine-readable record under benchmarks/results/.
+
+    Smoke runs skip the write: tiny-size numbers would otherwise
+    clobber the committed full-size records.
+    """
+
+    def _save(name: str, record: dict) -> Path | None:
+        if SMOKE:
+            return None
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
         return path
 
     return _save

@@ -4,6 +4,8 @@
 * :mod:`~repro.core.scoring` — equation (4) and the Section 3.3
   expectation (naive enumeration, O(n) factorisation, correlation-aware
   exact scorer);
+* :mod:`~repro.core.kernel` — the compiled batch-scoring kernel
+  (vectorised one-pass ranking, top-k pruning, incremental rescoring);
 * :mod:`~repro.core.scorer` — the high-level :class:`ContextAwareScorer`;
 * :mod:`~repro.core.pruning` — Section 6 rule/document pruning;
 * :mod:`~repro.core.preference_view` — the "big preference view";
@@ -14,6 +16,12 @@
 """
 
 from repro.core.explain import explain_document_events, explain_ranking, explain_score
+from repro.core.kernel import (
+    CompiledCandidates,
+    LazyContributions,
+    ScoringKernel,
+    compile_candidates,
+)
 from repro.core.naive_view import (
     MAX_NAIVE_RULES,
     naive_scores_python,
@@ -21,7 +29,14 @@ from repro.core.naive_view import (
     subset_coefficient,
 )
 from repro.core.preference_view import PREFERENCE_VIEW_TABLE, PreferenceView
-from repro.core.problem import DocumentBinding, RuleBinding, ScoringProblem, bind_problem
+from repro.core.problem import (
+    DocumentBinding,
+    RuleBinding,
+    ScoringProblem,
+    bind_documents,
+    bind_problem,
+    bind_rules,
+)
 from repro.core.pruning import (
     PruneReport,
     all_miss_score,
@@ -42,10 +57,13 @@ from repro.core.scoring import (
 )
 
 __all__ = [
+    "CompiledCandidates",
     "ContextAwareRanker",
     "ContextAwareScorer",
     "DocumentBinding",
     "DocumentScore",
+    "LazyContributions",
+    "ScoringKernel",
     "MAX_NAIVE_RULES",
     "PREFERENCE_VIEW_TABLE",
     "PreferenceView",
@@ -56,7 +74,10 @@ __all__ = [
     "SCORING_METHODS",
     "ScoringProblem",
     "all_miss_score",
+    "bind_documents",
     "bind_problem",
+    "bind_rules",
+    "compile_candidates",
     "enumeration_score",
     "exact_event_score",
     "explain_document_events",

@@ -1,0 +1,431 @@
+"""The compiled batch-scoring kernel: one-pass vectorised ranking.
+
+Section 6 names scoring cost as the deployment bottleneck; the
+per-document path (:func:`repro.core.scoring.score_document`) re-walks
+dataclasses and rebuilds per-rule breakdowns for every candidate.  The
+kernel compiles a bound :class:`~repro.core.problem.ScoringProblem`
+once into flat numeric arrays:
+
+* per rule: ``sigma`` and the context probability ``P(g)``, folded into
+  the factor coefficients ``a = (1-P(g)) + P(g)(1-sigma)`` and
+  ``b = P(g)(2 sigma - 1)`` (each rule's eq.(4) factor is ``a + b P(f)``,
+  linear in the document's preference probability);
+* per document x rule: the ``P(f)`` matrix, plus a possibility bitmask
+  for Section 6 document pruning.
+
+Scoring the whole candidate set is then a single row-wise product —
+numpy when importable, the :mod:`repro.perf.flatops` loops otherwise —
+and per-rule :class:`~repro.core.scoring.RuleContribution` breakdowns
+are **lazy**: materialised only when an explanation actually reads
+them.
+
+On top of the compiled form:
+
+* :meth:`ScoringKernel.rank_top_k` — a heap-based top-k path using the
+  Section 6 upper bound (each rule's factor is at most
+  ``(1-P(g)) + P(g) max(sigma, 1-sigma)``, independent of the
+  document) to abandon candidates that cannot enter the current top k;
+* :meth:`ScoringKernel.with_context` — incremental rescoring: when only
+  the context changed, rebuild the per-rule coefficient vectors on the
+  *same* compiled ``P(f)`` matrix instead of re-binding every
+  document (wired into the engine through
+  :mod:`repro.engine.basis`).
+
+The three reference scorers in :mod:`repro.core.scoring` remain the
+correctness oracle; kernel-vs-reference agreement is property-tested.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import abc
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import ScoringError
+from repro.core.problem import RuleBinding, ScoringProblem
+from repro.core.pruning import all_miss_score
+from repro.core.scoring import DocumentScore, RuleContribution
+from repro.perf.backend import resolve_backend
+from repro.perf.flatops import TOPK_PRUNE_SLACK, row_scores, topk_survivors
+
+__all__ = [
+    "CompiledCandidates",
+    "LazyContributions",
+    "ScoringKernel",
+    "compile_candidates",
+]
+
+#: Rows per block on the numpy top-k path (prune checks run per block).
+TOPK_BLOCK = 512
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledCandidates:
+    """The context-independent half of a compiled problem.
+
+    ``matrix`` holds the documents x rules ``P(f)`` probabilities —
+    a float64 ndarray on the numpy backend, a row-major ``list`` on the
+    fallback.  ``possible_bits[d]`` has bit ``r`` set when document
+    ``d``'s preference event for rule ``r`` is not impossible (the
+    Section 6 document-pruning test).  This half is what incremental
+    rescoring reuses across context changes.
+    """
+
+    names: tuple[str, ...]
+    rule_count: int
+    backend: str
+    matrix: object
+    possible_bits: tuple[int, ...]
+
+    @property
+    def document_count(self) -> int:
+        return len(self.names)
+
+
+def compile_candidates(
+    problem: ScoringProblem, backend: Optional[str] = None
+) -> CompiledCandidates:
+    """Flatten a bound problem's documents into the kernel's arrays."""
+    np = resolve_backend(backend)
+    names = tuple(binding.document.name for binding in problem.documents)
+    rule_count = problem.rule_count
+    possible_bits = tuple(
+        sum(
+            1 << index
+            for index, event in enumerate(binding.preference_events)
+            if not event.is_impossible
+        )
+        for binding in problem.documents
+    )
+    if np is not None:
+        matrix = np.empty((len(names), rule_count), dtype=np.float64)
+        for row, binding in enumerate(problem.documents):
+            matrix[row, :] = binding.preference_probabilities
+        matrix.setflags(write=False)
+        return CompiledCandidates(names, rule_count, "numpy", matrix, possible_bits)
+    flat: list[float] = []
+    for binding in problem.documents:
+        flat.extend(binding.preference_probabilities)
+    return CompiledCandidates(names, rule_count, "python", flat, possible_bits)
+
+
+class LazyContributions(abc.Sequence):
+    """A document's per-rule breakdown, materialised on first access.
+
+    Behaves like the tuple of :class:`RuleContribution` the reference
+    :func:`~repro.core.scoring.score_document` builds eagerly, but the
+    tuple only exists once an explanation (or a test) reads it — the
+    batch-scoring hot path never pays for it.
+    """
+
+    __slots__ = ("_kernel", "_row", "_items")
+
+    def __init__(self, kernel: "ScoringKernel", row: int):
+        self._kernel = kernel
+        self._row = row
+        self._items: tuple[RuleContribution, ...] | None = None
+
+    def _materialised(self) -> tuple[RuleContribution, ...]:
+        if self._items is None:
+            self._items = self._kernel.contributions_for(self._row)
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self._kernel.kept_rules)
+
+    def __getitem__(self, index):
+        return self._materialised()[index]
+
+    def __iter__(self) -> Iterator[RuleContribution]:
+        return iter(self._materialised())
+
+    def __bool__(self) -> bool:
+        return bool(self._kernel.kept_rules)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LazyContributions):
+            return self._materialised() == other._materialised()
+        if isinstance(other, (tuple, list)):
+            return self._materialised() == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._materialised())
+
+    def __repr__(self) -> str:
+        if self._items is None:
+            return f"LazyContributions(<{len(self)} rules, unmaterialised>)"
+        return repr(self._items)
+
+
+class ScoringKernel:
+    """A compiled scoring problem, ready for one-pass batch evaluation.
+
+    Immutable: the candidate matrix and the per-rule coefficient
+    vectors are fixed at construction, so cached
+    :class:`DocumentScore` objects may lazily read contributions from
+    the kernel at any later time.  A context change produces a *new*
+    kernel via :meth:`with_context`, sharing the compiled matrix.
+    """
+
+    def __init__(
+        self,
+        candidates: CompiledCandidates,
+        bindings: Sequence[RuleBinding],
+        rule_threshold: float = 0.0,
+    ):
+        if len(bindings) != candidates.rule_count:
+            raise ScoringError(
+                f"kernel compiled for {candidates.rule_count} rules, "
+                f"got {len(bindings)} context bindings"
+            )
+        self.candidates = candidates
+        self.bindings = tuple(bindings)
+        self.rule_threshold = rule_threshold
+        self._np = resolve_backend(candidates.backend)
+
+        keep = [
+            index
+            for index, binding in enumerate(self.bindings)
+            if binding.context_probability > rule_threshold
+        ]
+        self._keep = tuple(keep)
+        self._kept_bits = sum(1 << index for index in keep)
+        coeffs = []
+        for index in keep:
+            binding = self.bindings[index]
+            p_g = binding.context_probability
+            sigma = binding.sigma
+            a = (1.0 - p_g) + p_g * (1.0 - sigma)
+            b = p_g * (2.0 * sigma - 1.0)
+            coeffs.append((index, a, b))
+        self._coeffs = tuple(coeffs)
+        # Section 6 upper bound: a rule's factor never exceeds
+        # (1-P(g)) + P(g)*max(sigma, 1-sigma) = max(a, a+b).
+        bounds = [max(a, a + b) for _index, a, b in coeffs]
+        suffix = [1.0] * (len(coeffs) + 1)
+        for j in range(len(coeffs) - 1, -1, -1):
+            suffix[j] = suffix[j + 1] * bounds[j]
+        self._suffix_bounds = suffix
+        self._all_miss = all_miss_score([self.bindings[i] for i in keep])
+        if self._np is not None:
+            np = self._np
+            self._keep_idx = np.array(keep, dtype=np.intp)
+            self._a = np.array([a for _i, a, _b in coeffs], dtype=np.float64)
+            self._b = np.array([b for _i, _a, b in coeffs], dtype=np.float64)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def compile(
+        cls,
+        problem: ScoringProblem,
+        rule_threshold: float = 0.0,
+        backend: Optional[str] = None,
+    ) -> "ScoringKernel":
+        """Compile a bound problem (threshold pruning applied as a mask)."""
+        return cls(compile_candidates(problem, backend), problem.bindings, rule_threshold)
+
+    def with_context(self, bindings: Sequence[RuleBinding]) -> "ScoringKernel":
+        """The incremental path: same ``P(f)`` matrix, fresh context.
+
+        ``bindings`` must carry the same rules in the same order (the
+        engine guarantees this through its rule fingerprint).
+        """
+        if len(bindings) != len(self.bindings):
+            raise ScoringError(
+                f"context rebind changed the rule count "
+                f"({len(self.bindings)} -> {len(bindings)})"
+            )
+        for old, new in zip(self.bindings, bindings):
+            if old.rule.rule_id != new.rule.rule_id:
+                raise ScoringError(
+                    f"context rebind changed the rule set "
+                    f"({old.rule.rule_id!r} -> {new.rule.rule_id!r})"
+                )
+        return ScoringKernel(self.candidates, bindings, self.rule_threshold)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self.candidates.names
+
+    @property
+    def document_count(self) -> int:
+        return self.candidates.document_count
+
+    @property
+    def backend(self) -> str:
+        return self.candidates.backend
+
+    @property
+    def kept_rules(self) -> tuple[int, ...]:
+        """Indices of rules surviving the context-probability threshold."""
+        return self._keep
+
+    @property
+    def dropped_rule_count(self) -> int:
+        return len(self.bindings) - len(self._keep)
+
+    @property
+    def all_miss(self) -> float:
+        """The shared score of documents matching no kept preference."""
+        return self._all_miss
+
+    def trivial_rows(self) -> list[int]:
+        """Rows whose preference events all miss every kept rule."""
+        kept_bits = self._kept_bits
+        return [
+            row
+            for row, bits in enumerate(self.candidates.possible_bits)
+            if bits & kept_bits == 0
+        ]
+
+    # -- batch scoring -----------------------------------------------------
+    def scores(self, prune_documents: bool = True) -> list[float]:
+        """Every document's eq.(4) score, in candidate order."""
+        if self._np is not None:
+            np = self._np
+            sub = self.candidates.matrix[:, self._keep_idx]
+            factors = self._a + self._b * sub
+            values = factors.prod(axis=1)
+            np.clip(values, 0.0, 1.0, out=values)
+            values = values.tolist()
+        else:
+            values = row_scores(
+                self.candidates.matrix,
+                self.document_count,
+                self.candidates.rule_count,
+                self._coeffs,
+            )
+        if prune_documents:
+            shared = self._all_miss
+            for row in self.trivial_rows():
+                values[row] = shared
+        return values
+
+    def score_documents(
+        self, prune_documents: bool = True, method: str = "factorised"
+    ) -> list[DocumentScore]:
+        """:class:`DocumentScore` per candidate, breakdowns lazy."""
+        values = self.scores(prune_documents)
+        trivial = set(self.trivial_rows()) if prune_documents else frozenset()
+        results = []
+        for row, (name, value) in enumerate(zip(self.names, values)):
+            contributions = () if row in trivial else LazyContributions(self, row)
+            results.append(DocumentScore(name, value, contributions, method))
+        return results
+
+    def contributions_for(self, row: int) -> tuple[RuleContribution, ...]:
+        """Materialise one document's per-rule breakdown (kept rules)."""
+        matrix = self.candidates.matrix
+        if self._np is not None:
+            row_values = matrix[row]
+        else:
+            base = row * self.candidates.rule_count
+            row_values = matrix[base : base + self.candidates.rule_count]
+        contributions = []
+        for index in self._keep:
+            binding = self.bindings[index]
+            p_f = float(row_values[index])
+            p_g = binding.context_probability
+            sigma = binding.sigma
+            inner = p_f * sigma + (1.0 - p_f) * (1.0 - sigma)
+            contributions.append(
+                RuleContribution(
+                    rule_id=binding.rule.rule_id,
+                    sigma=sigma,
+                    context_probability=p_g,
+                    preference_probability=p_f,
+                    factor=(1.0 - p_g) + p_g * inner,
+                )
+            )
+        return tuple(contributions)
+
+    # -- top-k -------------------------------------------------------------
+    def rank_top_k(
+        self, k: int, prune_documents: bool = True, method: str = "factorised"
+    ) -> list[DocumentScore]:
+        """The best ``k`` documents (score desc, ties by name asc).
+
+        Candidates whose Section 6 upper bound falls below the current
+        k-th best score (by more than a rounding-safe slack, so exact
+        ties survive for name tie-breaking) are abandoned mid-product;
+        the result is exactly the first ``k`` entries of the full
+        ranking.
+        """
+        if k < 1:
+            raise ScoringError(f"top-k needs a positive k, got {k!r}")
+        total = self.document_count
+        if k >= total or not self._coeffs:
+            ranked = sorted(
+                self.score_documents(prune_documents, method),
+                key=lambda score: (-score.value, score.document),
+            )
+            return ranked[:k]
+
+        trivial = set(self.trivial_rows()) if prune_documents else frozenset()
+        active = [row for row in range(total) if row not in trivial]
+        shared = self._all_miss
+        seeds = [shared] * min(len(trivial), k)
+        if self._np is not None:
+            survivors = self._topk_numpy(active, k, seeds)
+        else:
+            survivors = topk_survivors(
+                self.candidates.matrix,
+                self.candidates.rule_count,
+                self._coeffs,
+                self._suffix_bounds,
+                active,
+                k,
+                seeds,
+            )
+        pool = [(row, value) for row, value in survivors]
+        pool.extend((row, shared) for row in trivial)
+        pool.sort(key=lambda entry: (-entry[1], self.names[entry[0]]))
+        results = []
+        for row, value in pool[:k]:
+            contributions = () if row in trivial else LazyContributions(self, row)
+            results.append(DocumentScore(self.names[row], value, contributions, method))
+        return results
+
+    def _topk_numpy(
+        self, rows: list[int], k: int, seeds: list[float]
+    ) -> list[tuple[int, float]]:
+        """Blocked vectorised top-k with the suffix-bound prune."""
+        np = self._np
+        heap: list[float] = list(seeds)
+        heapq.heapify(heap)
+        suffix = self._suffix_bounds
+        a, b = self._a, self._b
+        survivors: list[tuple[int, float]] = []
+        row_array = np.array(rows, dtype=np.intp)
+        for start in range(0, len(row_array), TOPK_BLOCK):
+            block = row_array[start : start + TOPK_BLOCK]
+            sub = self.candidates.matrix[np.ix_(block, self._keep_idx)]
+            prefix = np.ones(len(block), dtype=np.float64)
+            alive = np.arange(len(block))
+            for j in range(len(self._coeffs)):
+                if len(heap) == k:
+                    # Same rounding-safe slack as flatops.topk_survivors:
+                    # exact ties must survive for name tie-breaking.
+                    threshold = heap[0] * (1.0 - TOPK_PRUNE_SLACK)
+                    still = prefix[alive] * suffix[j] >= threshold
+                    alive = alive[still]
+                    if alive.size == 0:
+                        break
+                prefix[alive] *= a[j] + b[j] * sub[alive, j]
+            for position in alive.tolist():
+                value = min(1.0, max(0.0, float(prefix[position])))
+                survivors.append((int(block[position]), value))
+                heapq.heappush(heap, value)
+                if len(heap) > k:
+                    heapq.heappop(heap)
+        return survivors
+
+    def __repr__(self) -> str:
+        return (
+            f"ScoringKernel({self.document_count} documents x "
+            f"{len(self.bindings)} rules, kept={len(self._keep)}, "
+            f"backend={self.backend!r})"
+        )

@@ -31,7 +31,14 @@ from repro.dl.vocabulary import Individual
 from repro.rules.repository import RuleRepository
 from repro.rules.rule import PreferenceRule
 
-__all__ = ["RuleBinding", "DocumentBinding", "ScoringProblem", "bind_problem"]
+__all__ = [
+    "RuleBinding",
+    "DocumentBinding",
+    "ScoringProblem",
+    "bind_problem",
+    "bind_rules",
+    "bind_documents",
+]
 
 
 @dataclass(frozen=True)
@@ -103,6 +110,52 @@ class ScoringProblem:
         raise ScoringError(f"document {individual} is not part of this problem")
 
 
+def bind_rules(
+    abox: ABox,
+    tbox: TBox,
+    user: Individual,
+    rules: Sequence[PreferenceRule],
+    space: EventSpace | None = None,
+    engine: str = "shannon",
+) -> tuple[RuleBinding, ...]:
+    """The context half of a binding: each rule's context event for ``user``.
+
+    This is the cheap half — one membership event per rule — and the
+    only half that changes when the situation develops; the incremental
+    rescoring path (:meth:`repro.core.kernel.ScoringKernel.with_context`)
+    recomputes just this vector on an unchanged candidate matrix.
+    """
+    bindings = []
+    for rule in rules:
+        event = membership_event(abox, tbox, user, rule.context)
+        bindings.append(RuleBinding(rule, event, probability(event, space, engine)))
+    return tuple(bindings)
+
+
+def bind_documents(
+    abox: ABox,
+    tbox: TBox,
+    rules: Sequence[PreferenceRule],
+    documents: Iterable[Individual | str],
+    space: EventSpace | None = None,
+    engine: str = "shannon",
+) -> tuple[DocumentBinding, ...]:
+    """The candidate half: per document, every rule's preference event.
+
+    The documents x rules sweep dominates binding cost; its result is
+    what the scoring kernel compiles into the ``P(f)`` matrix.
+    """
+    document_bindings = []
+    for document in documents:
+        individual = Individual(document) if isinstance(document, str) else document
+        events = tuple(
+            membership_event(abox, tbox, individual, rule.preference) for rule in rules
+        )
+        probabilities = tuple(probability(event, space, engine) for event in events)
+        document_bindings.append(DocumentBinding(individual, events, probabilities))
+    return tuple(document_bindings)
+
+
 def bind_problem(
     abox: ABox,
     tbox: TBox,
@@ -119,18 +172,6 @@ def bind_problem(
     >>> # See repro.workloads.tvtouch for a fully worked binding.
     """
     rules = list(repository)
-    bindings = []
-    for rule in rules:
-        event = membership_event(abox, tbox, user, rule.context)
-        bindings.append(RuleBinding(rule, event, probability(event, space, engine)))
-
-    document_bindings = []
-    for document in documents:
-        individual = Individual(document) if isinstance(document, str) else document
-        events = tuple(
-            membership_event(abox, tbox, individual, rule.preference) for rule in rules
-        )
-        probabilities = tuple(probability(event, space, engine) for event in events)
-        document_bindings.append(DocumentBinding(individual, events, probabilities))
-
-    return ScoringProblem(tuple(bindings), tuple(document_bindings), space)
+    bindings = bind_rules(abox, tbox, user, rules, space, engine)
+    document_bindings = bind_documents(abox, tbox, rules, documents, space, engine)
+    return ScoringProblem(bindings, document_bindings, space)

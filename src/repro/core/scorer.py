@@ -19,6 +19,7 @@ from repro.dl.tbox import TBox
 from repro.dl.vocabulary import Individual
 from repro.rules.repository import RuleRepository
 from repro.rules.rule import PreferenceRule
+from repro.core.kernel import ScoringKernel
 from repro.core.problem import ScoringProblem, bind_problem
 from repro.core.pruning import PruneReport, all_miss_score, prune_rules, split_trivial_documents
 from repro.core.scoring import SCORING_METHODS, DocumentScore, score_document
@@ -61,6 +62,7 @@ class ContextAwareScorer:
     rule_threshold: float = 0.0
     prune_documents: bool = True
     _last_report: PruneReport | None = field(default=None, repr=False)
+    _last_kernel: ScoringKernel | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.method not in SCORING_METHODS:
@@ -84,11 +86,64 @@ class ContextAwareScorer:
     def last_prune_report(self) -> PruneReport | None:
         return self._last_report
 
+    @property
+    def last_kernel(self) -> ScoringKernel | None:
+        """The kernel compiled by the last fast-path :meth:`score` call.
+
+        ``None`` when the last call went through a reference method
+        (``enumeration`` / ``exact``).  The engine's incremental
+        rescoring basis (:mod:`repro.engine.basis`) is built from this.
+        """
+        return self._last_kernel
+
     # -- scoring ----------------------------------------------------------
     def score(self, documents: Iterable[Individual | str]) -> list[DocumentScore]:
-        """Score candidates; order follows the input."""
-        documents = list(documents)
-        problem = self.bind(documents)
+        """Score candidates; order follows the input.
+
+        Repeated candidates are bound and scored once and share one
+        :class:`DocumentScore`.  The ``factorised`` method runs on the
+        compiled batch kernel (:class:`~repro.core.kernel.ScoringKernel`);
+        ``enumeration`` and ``exact`` keep the per-document reference
+        path.
+        """
+        names = [
+            document.name if isinstance(document, Individual) else document
+            for document in documents
+        ]
+        unique_names = list(dict.fromkeys(names))
+        if self.method == "factorised":
+            results = self._score_with_kernel(unique_names)
+        else:
+            results = self._score_with_reference(unique_names)
+        return [results[name] for name in names]
+
+    def _compile_kernel(self, unique_names: list[str]) -> ScoringKernel:
+        """Bind and compile ``unique_names``, recording report + kernel."""
+        problem = bind_problem(
+            self.abox, self.tbox, self.user, self.repository, unique_names, self.space
+        )
+        kernel = ScoringKernel.compile(problem, rule_threshold=self.rule_threshold)
+        trivial = len(kernel.trivial_rows()) if self.prune_documents else 0
+        self._last_report = PruneReport(
+            kept_rules=len(kernel.kept_rules),
+            dropped_rules=len(self.repository) - len(kernel.kept_rules),
+            trivial_documents=trivial,
+            scored_documents=len(unique_names) - trivial,
+        )
+        self._last_kernel = kernel
+        return kernel
+
+    def _score_with_kernel(self, unique_names: list[str]) -> dict[str, DocumentScore]:
+        """The batch path: compile once, score all rows in one pass."""
+        kernel = self._compile_kernel(unique_names)
+        scored = kernel.score_documents(
+            prune_documents=self.prune_documents, method=self.method
+        )
+        return {score.document: score for score in scored}
+
+    def _score_with_reference(self, unique_names: list[str]) -> dict[str, DocumentScore]:
+        """The per-document oracle path (enumeration / exact methods)."""
+        problem = self.bind(unique_names)
         dropped = len(self.repository) - problem.rule_count
 
         results: dict[str, DocumentScore] = {}
@@ -111,12 +166,8 @@ class ContextAwareScorer:
             trivial_documents=len(trivial),
             scored_documents=len(interesting),
         )
-
-        ordered = []
-        for document in documents:
-            name = document.name if isinstance(document, Individual) else document
-            ordered.append(results[name])
-        return ordered
+        self._last_kernel = None
+        return results
 
     def score_map(self, documents: Iterable[Individual | str]) -> dict[str, float]:
         """Scores keyed by document name."""
@@ -126,6 +177,27 @@ class ContextAwareScorer:
         """Scores sorted by decreasing probability (ties by name)."""
         scores = self.score(documents)
         return sorted(scores, key=lambda s: (-s.value, s.document))
+
+    def rank_top_k(self, documents: Iterable[Individual | str], k: int) -> list[DocumentScore]:
+        """The best ``k`` candidates without fully scoring every one.
+
+        On the kernel path the Section 6 upper bound abandons documents
+        that cannot enter the current top k; the result is exactly
+        ``self.rank(documents)[:k]``.  Reference methods fall back to
+        the full ranking.
+        """
+        if k < 1:
+            raise ScoringError(f"top-k needs a positive k, got {k!r}")
+        if self.method != "factorised":
+            return self.rank(documents)[:k]
+        names = [
+            document.name if isinstance(document, Individual) else document
+            for document in documents
+        ]
+        kernel = self._compile_kernel(list(dict.fromkeys(names)))
+        return kernel.rank_top_k(
+            k, prune_documents=self.prune_documents, method=self.method
+        )
 
     def score_concept_members(self, concept: Concept) -> list[DocumentScore]:
         """Rank every ABox individual that (possibly) satisfies ``concept``.

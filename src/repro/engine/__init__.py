@@ -26,6 +26,7 @@ from repro.engine.backends import (
     RepositoryPreferences,
     SensedContext,
 )
+from repro.engine.basis import ViewBasis, build_view_basis
 from repro.engine.builder import EngineBuilder
 from repro.engine.cache import CacheInfo, ViewCache
 from repro.engine.engine import RankingEngine
@@ -65,6 +66,8 @@ __all__ = [
     "RepositoryPreferences",
     "SensedContext",
     "StorageBackend",
+    "ViewBasis",
     "ViewCache",
+    "build_view_basis",
     "resolve_relevance",
 ]

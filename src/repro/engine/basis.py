@@ -1,0 +1,141 @@
+"""The incremental-rescoring basis: context deltas without re-binding.
+
+Binding cost is dominated by the documents x rules sweep that computes
+every candidate's preference events (:func:`repro.core.problem.bind_documents`).
+But those events read the *documents'* side of the knowledge base; a
+context change — dynamic assertions about the situated user — normally
+leaves them untouched.  A :class:`ViewBasis` therefore snapshots the
+kernel compiled on a cold refresh together with the dynamic assertions
+that held at compile time (the assertion objects themselves — frozen,
+hashable, structurally compared — so the snapshot is one cheap set
+build on the cold path).
+
+:meth:`ViewBasis.reusable_for` diffs the dynamic assertions, expands
+the touched individuals to everything that can *reach* them through
+role edges (their membership events may embed the changed facts), and
+reuses the matrix only when that affected set neither intersects the
+candidates' support closure (everything reachable *from* a candidate —
+the closed world its preference and target-membership events can read)
+nor (possibly) belongs to the target concept.  Anything else falls
+back to a cold re-bind; the guard is conservative, never unsound.
+
+Both closures run over the *current* role assertions, at reuse time
+rather than on the cold path.  That is sound under the basis key:
+static role edges cannot change without bumping the static mutation
+epoch (a different basis), and a dynamic edge that appeared or
+vanished since compile time is itself part of the snapshot delta — its
+endpoints are in the touched set, and every candidate is in its own
+support closure, so any delta that could rewire reachability around
+the candidates is caught before the closures are trusted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.kernel import ScoringKernel
+from repro.dl.abox import ABox, ConceptAssertion
+from repro.dl.concepts import Concept
+from repro.dl.instances import membership_event
+from repro.dl.tbox import TBox
+
+__all__ = ["ViewBasis", "build_view_basis", "dynamic_snapshot", "support_closure"]
+
+
+def dynamic_snapshot(abox: ABox) -> frozenset:
+    """The dynamic assertions as a diffable set (the objects themselves)."""
+    items = [
+        assertion for assertion in abox.concept_assertions() if assertion.dynamic
+    ]
+    items.extend(
+        assertion for assertion in abox.role_assertions() if assertion.dynamic
+    )
+    return frozenset(items)
+
+
+def support_closure(abox: ABox, names: Iterable[str]) -> frozenset[str]:
+    """``names`` plus everything reachable from them via role assertions.
+
+    Membership events recurse through role successors
+    (``EXISTS R.C`` / ``FORALL R.C``), so a document's events can only
+    read assertions about individuals in this closure.
+    """
+    adjacency: dict[str, list[str]] = {}
+    for assertion in abox.role_assertions():
+        adjacency.setdefault(str(assertion.source), []).append(str(assertion.target))
+    seen = set(names)
+    queue = deque(seen)
+    while queue:
+        for successor in adjacency.get(queue.popleft(), ()):
+            if successor not in seen:
+                seen.add(successor)
+                queue.append(successor)
+    return frozenset(seen)
+
+
+def _reverse_reachable(abox: ABox, targets: set[str]) -> set[str]:
+    """``targets`` plus every individual that can reach them via roles."""
+    reverse: dict[str, list[str]] = {}
+    for assertion in abox.role_assertions():
+        reverse.setdefault(str(assertion.target), []).append(str(assertion.source))
+    seen = set(targets)
+    queue = deque(seen)
+    while queue:
+        for predecessor in reverse.get(queue.popleft(), ()):
+            if predecessor not in seen:
+                seen.add(predecessor)
+                queue.append(predecessor)
+    return seen
+
+
+def _touched_names(delta: Iterable) -> set[str]:
+    """Individuals named by changed assertions."""
+    touched: set[str] = set()
+    for assertion in delta:
+        if isinstance(assertion, ConceptAssertion):
+            touched.add(assertion.individual.name)
+        else:
+            touched.add(assertion.source.name)
+            touched.add(assertion.target.name)
+    return touched
+
+
+@dataclass
+class ViewBasis:
+    """A compiled kernel plus the evidence needed to reuse it safely."""
+
+    kernel: ScoringKernel
+    snapshot: frozenset
+
+    def reusable_for(self, abox: ABox, tbox: TBox, target: Concept) -> bool:
+        """May the compiled matrix serve the ABox's *current* state?
+
+        True when the dynamic delta since compile time provably cannot
+        have changed any candidate's preference events or the target
+        concept's membership.
+        """
+        delta = self.snapshot ^ dynamic_snapshot(abox)
+        if not delta:
+            return True
+        affected = _reverse_reachable(abox, _touched_names(delta))
+        if affected & support_closure(abox, self.kernel.names):
+            return False
+        # An affected individual outside the support set was not a view
+        # member at compile time (members are in the support); it must
+        # also not have *become* a possible target member since.
+        for name in affected:
+            if not membership_event(abox, tbox, name, target).is_impossible:
+                return False
+        return True
+
+
+def build_view_basis(abox: ABox, kernel: ScoringKernel) -> ViewBasis:
+    """Snapshot a freshly compiled kernel as a reusable basis.
+
+    Deliberately cheap — it runs on every cold refresh; the closures
+    are deferred to :meth:`ViewBasis.reusable_for` on the (already
+    winning) incremental path.
+    """
+    return ViewBasis(kernel=kernel, snapshot=dynamic_snapshot(abox))

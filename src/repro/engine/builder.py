@@ -61,6 +61,7 @@ class EngineBuilder:
         self._rule_threshold: float = 0.0
         self._prune_documents: bool = True
         self._cache_size: int = 16
+        self._incremental: bool = True
 
     # -- knowledge base ----------------------------------------------------
     def knowledge(
@@ -183,6 +184,11 @@ class EngineBuilder:
         self._cache_size = max_entries
         return self
 
+    def incremental(self, enabled: bool) -> "EngineBuilder":
+        """Toggle basis reuse for context-only changes (default on)."""
+        self._incremental = bool(enabled)
+        return self
+
     def options(self, **options: object) -> "EngineBuilder":
         """Apply builder options by keyword (for config-driven callers).
 
@@ -247,4 +253,5 @@ class EngineBuilder:
             rule_threshold=self._rule_threshold,
             prune_documents=self._prune_documents,
             cache_size=self._cache_size,
+            incremental=self._incremental,
         )

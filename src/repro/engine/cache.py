@@ -10,6 +10,14 @@ key, which is invalidation by construction.
 
 A small LRU bound keeps memory flat under heavy traffic with many
 distinct contexts (e.g. per-user sensor snapshots).
+
+Besides fully scored views, the cache distinguishes a cheaper kind of
+reuse: a **basis** (:class:`repro.engine.basis.ViewBasis`) keyed by
+everything *except* the dynamic context — static-knowledge epoch, rule
+fingerprint, scorer configuration, target.  On a context-only change
+the signature misses but the basis hits, and the engine rescores on
+the compiled candidate matrix instead of re-binding every document
+(``context_refreshes`` counts these incremental refreshes).
 """
 
 from __future__ import annotations
@@ -26,12 +34,19 @@ __all__ = ["ViewCache", "CacheInfo"]
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """Hit/miss counters plus occupancy, in the ``functools`` style."""
+    """Hit/miss counters plus occupancy, in the ``functools`` style.
+
+    ``context_refreshes`` counts signature misses served incrementally
+    from a cached basis (context-delta rescoring); ``bases`` is the
+    number of compiled bases currently held.
+    """
 
     hits: int
     misses: int
     entries: int
     max_entries: int
+    context_refreshes: int = 0
+    bases: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -49,8 +64,10 @@ class ViewCache:
             )
         self.max_entries = max_entries
         self._entries: "OrderedDict[Hashable, dict[str, DocumentScore]]" = OrderedDict()
+        self._bases: "OrderedDict[Hashable, object]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._context_refreshes = 0
 
     def get(self, key: Hashable) -> dict[str, DocumentScore] | None:
         """The cached scores for ``key`` (counts a hit or a miss)."""
@@ -69,9 +86,29 @@ class ViewCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
 
+    # -- the incremental-rescoring basis ----------------------------------
+    def basis_get(self, key: Hashable):
+        """The cached basis for ``key`` (no hit/miss accounting)."""
+        basis = self._bases.get(key)
+        if basis is not None:
+            self._bases.move_to_end(key)
+        return basis
+
+    def basis_put(self, key: Hashable, basis: object) -> None:
+        """Store a compiled basis, evicting the least recent if full."""
+        self._bases[key] = basis
+        self._bases.move_to_end(key)
+        while len(self._bases) > self.max_entries:
+            self._bases.popitem(last=False)
+
+    def note_context_refresh(self) -> None:
+        """Count one signature miss served incrementally from a basis."""
+        self._context_refreshes += 1
+
     def invalidate(self) -> None:
-        """Drop every entry (counters are kept)."""
+        """Drop every entry and basis (counters are kept)."""
         self._entries.clear()
+        self._bases.clear()
 
     def info(self) -> CacheInfo:
         return CacheInfo(
@@ -79,6 +116,8 @@ class ViewCache:
             misses=self._misses,
             entries=len(self._entries),
             max_entries=self.max_entries,
+            context_refreshes=self._context_refreshes,
+            bases=len(self._bases),
         )
 
     def __len__(self) -> int:

@@ -30,14 +30,16 @@ from typing import TYPE_CHECKING, Hashable, Iterable, Mapping, Sequence
 
 from repro.core.explain import explain_ranking, explain_score
 from repro.core.preference_view import PreferenceView
+from repro.core.problem import bind_rules
 from repro.core.scorer import ContextAwareScorer
 from repro.core.scoring import DocumentScore
 from repro.dl.abox import ABox
 from repro.dl.concepts import Concept
 from repro.dl.tbox import TBox
 from repro.dl.vocabulary import Individual
-from repro.errors import EngineConfigError, EngineError
+from repro.errors import EngineConfigError, EngineError, ScoringError
 from repro.events.space import EventSpace
+from repro.engine.basis import build_view_basis
 from repro.engine.cache import CacheInfo, ViewCache
 from repro.engine.protocols import (
     ContextBackend,
@@ -75,7 +77,13 @@ class RankingEngine:
         Scoring configuration (see
         :class:`~repro.core.scorer.ContextAwareScorer`).
     cache_size:
-        LRU bound on remembered context signatures.
+        LRU bound on remembered context signatures (and on compiled
+        rescoring bases).
+    incremental:
+        Serve context-only changes by rescoring on the cached compiled
+        candidate matrix (:mod:`repro.engine.basis`) instead of
+        re-binding every document.  Safe to leave on: reuse is guarded
+        by a conservative ABox delta analysis.
     """
 
     def __init__(
@@ -94,6 +102,7 @@ class RankingEngine:
         rule_threshold: float = 0.0,
         prune_documents: bool = True,
         cache_size: int = 16,
+        incremental: bool = True,
     ):
         self.abox = abox
         self.tbox = tbox
@@ -107,6 +116,7 @@ class RankingEngine:
         self.method = method
         self.rule_threshold = rule_threshold
         self.prune_documents = prune_documents
+        self.incremental = incremental
         self._cache = ViewCache(max_entries=cache_size)
         self._scorer = self._build_scorer(preferences.repository())
         self._view = PreferenceView(
@@ -142,7 +152,7 @@ class RankingEngine:
         ``rules`` (path to a rule DSL file), ``context`` (list of
         ``CONCEPT[:PROB]`` specs), ``method``, ``rule_threshold``,
         ``prune_documents``, ``relevance``, ``mixing_weight``,
-        ``cache_size``.  Unknown keys are rejected.
+        ``cache_size``, ``incremental``.  Unknown keys are rejected.
         """
         if isinstance(config, (str, Path)):
             try:
@@ -163,6 +173,7 @@ class RankingEngine:
             "relevance",
             "mixing_weight",
             "cache_size",
+            "incremental",
         }
         unknown = set(config) - known
         if unknown:
@@ -191,7 +202,13 @@ class RankingEngine:
         builder.options(
             **{
                 key: config[key]
-                for key in ("method", "rule_threshold", "prune_documents", "cache_size")
+                for key in (
+                    "method",
+                    "rule_threshold",
+                    "prune_documents",
+                    "cache_size",
+                    "incremental",
+                )
                 if key in config
             }
         )
@@ -228,19 +245,70 @@ class RankingEngine:
             str(self.target),
         )
 
-    def _refresh_view(self) -> tuple[dict[str, DocumentScore], bool]:
-        """The scored view for the current signature: cached or computed."""
+    def _basis_key(self) -> Hashable:
+        """Everything the compiled candidate matrix depends on *except*
+        the dynamic context — the key of the incremental-rescoring basis."""
+        return (
+            self.abox.static_mutation_count,
+            self.preferences.fingerprint(),
+            self.method,
+            self.rule_threshold,
+            self.prune_documents,
+            str(self.target),
+        )
+
+    def _incremental_scores(self, repository) -> dict[str, DocumentScore] | None:
+        """Serve a signature miss from a compiled basis, if provably safe.
+
+        Only the rule-context vector is recomputed (one membership event
+        per rule); the documents x rules matrix is reused as compiled.
+        Returns ``None`` when no basis exists or the dynamic delta might
+        have touched document events or target membership.
+        """
+        if not self.incremental:
+            return None
+        basis = self._cache.basis_get(self._basis_key())
+        if basis is None or not basis.reusable_for(self.abox, self.tbox, self.target):
+            return None
+        bindings = bind_rules(
+            self.abox, self.tbox, self.user, [rule for rule in repository], self.space
+        )
+        try:
+            kernel = basis.kernel.with_context(bindings)
+        except ScoringError:  # pragma: no cover - fingerprint should prevent this
+            return None
+        scored = kernel.score_documents(prune_documents=self.prune_documents)
+        self._cache.note_context_refresh()
+        return {score.document: score for score in scored}
+
+    def _sync_scorer(self):
+        """Rebuild the scorer when the preference backend swapped repositories."""
         repository = self.preferences.repository()
         if repository is not self._scorer.repository:
             self._scorer = self._build_scorer(repository)
             self._view.scorer = self._scorer
+        return repository
+
+    def _refresh_view(self) -> tuple[dict[str, DocumentScore], bool]:
+        """The scored view for the current signature: cached, rescored
+        incrementally from a basis, or computed cold."""
+        repository = self._sync_scorer()
         key = self._signature()
         cached = self._cache.get(key)
         if cached is not None:
             self._view.load_scores(cached)
             return cached, True
-        self._view.refresh()
-        scores = self._view.scores_map()
+        scores = self._incremental_scores(repository)
+        if scores is not None:
+            self._view.load_scores(scores)
+        else:
+            self._view.refresh()
+            scores = self._view.scores_map()
+            kernel = self._scorer.last_kernel
+            if self.incremental and kernel is not None:
+                self._cache.basis_put(
+                    self._basis_key(), build_view_basis(self.abox, kernel)
+                )
         self._cache.put(key, scores)
         return scores, False
 
@@ -365,6 +433,22 @@ class RankingEngine:
         return explain_ranking(ordered, self.preferences.repository())
 
     # -- conveniences ------------------------------------------------------
+    def rank_top_k(self, k: int, documents: Sequence[str] | None = None) -> list[DocumentScore]:
+        """The best ``k`` documents by preference, on the kernel's top-k path.
+
+        Bypasses the preference-view cache: candidates are bound fresh
+        and ranked with the Section 6 upper-bound prune
+        (:meth:`repro.core.kernel.ScoringKernel.rank_top_k`), so
+        documents that cannot enter the top k are abandoned mid-score.
+        Use :meth:`rank` with ``RankRequest(top_k=...)`` instead when
+        repeated requests should share the cached view.
+        """
+        self.context.refresh()
+        self._sync_scorer()
+        if documents is None:
+            return self._view.rank_top_k(k)
+        return self._scorer.rank_top_k(documents, k)
+
     def preference_scores(self) -> dict[str, float]:
         """The (cached) preference view as plain ``{document: score}``."""
         self.context.refresh()

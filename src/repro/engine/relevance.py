@@ -28,8 +28,10 @@ from typing import Mapping, Sequence
 
 from repro.core.ranker import mix_scores
 from repro.errors import EngineConfigError
-from repro.ir.combine import combine_log_linear
+from repro.ir.combine import LOG_FLOOR, combine_log_linear
 from repro.multiuser.group import GroupRanker
+from repro.perf.backend import resolve_backend
+from repro.perf.flatops import log_linear_rows
 from repro.engine.requests import RankedItem
 
 __all__ = [
@@ -126,10 +128,17 @@ class LogLinearRelevance:
     ``score = λ·log qd + (1-λ)·log pref`` with an epsilon floor — the
     semantics of :func:`repro.ir.combined_ranking`: documents missing
     one part are penalised, not dropped.  Scores are log-space (≤ 0).
+
+    Large batches combine through the kernel's numeric backend
+    (vectorised logs when numpy is importable, the
+    :func:`repro.perf.flatops.log_linear_rows` loop otherwise).
     """
 
     mixing_weight: float = 0.5
     name: str = field(default="log_linear", init=False)
+
+    #: Below this many documents the per-pair reference call wins.
+    _BATCH_MIN = 64
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.mixing_weight <= 1.0:
@@ -143,18 +152,43 @@ class LogLinearRelevance:
         query_scores: Mapping[str, float] | None,
         documents: Sequence[str],
     ) -> list[RankedItem]:
-        entries: list[tuple[str, float, float, float | None]] = []
-        for document in documents:
-            preference = preference_scores.get(document, 0.0)
-            if query_scores is None:
-                entries.append((document, preference, preference, None))
-            else:
-                query_dependent = query_scores.get(document, 0.0)
-                combined = combine_log_linear(
-                    query_dependent, preference, self.mixing_weight
+        if query_scores is None:
+            entries = [
+                (document, preference_scores.get(document, 0.0))
+                for document in documents
+            ]
+            return _ranked(
+                [(document, value, value, None) for document, value in entries]
+            )
+        preferences = [preference_scores.get(document, 0.0) for document in documents]
+        dependents = [query_scores.get(document, 0.0) for document in documents]
+        combined = self._combine_rows(dependents, preferences)
+        return _ranked(
+            [
+                (document, score, preference, query_dependent)
+                for document, score, preference, query_dependent in zip(
+                    documents, combined, preferences, dependents
                 )
-                entries.append((document, combined, preference, query_dependent))
-        return _ranked(entries)
+            ]
+        )
+
+    def _combine_rows(
+        self, dependents: list[float], preferences: list[float]
+    ) -> list[float]:
+        if len(dependents) < self._BATCH_MIN:
+            return [
+                combine_log_linear(qd, qi, self.mixing_weight)
+                for qd, qi in zip(dependents, preferences)
+            ]
+        np = resolve_backend()
+        if np is None:
+            return log_linear_rows(
+                dependents, preferences, self.mixing_weight, LOG_FLOOR
+            )
+        qd = np.maximum(LOG_FLOOR, np.asarray(dependents, dtype=np.float64))
+        qi = np.maximum(LOG_FLOOR, np.asarray(preferences, dtype=np.float64))
+        mixed = self.mixing_weight * np.log(qd) + (1.0 - self.mixing_weight) * np.log(qi)
+        return mixed.tolist()
 
 
 @dataclass
@@ -164,7 +198,9 @@ class GroupRelevance:
     The preference part is replaced by the group-aggregated score from
     a :class:`~repro.multiuser.GroupRanker` (each member scoring the
     candidates under their own rules and the shared context); query
-    results gate binarily, as in the naive union.
+    results gate binarily, as in the naive union.  Each member's
+    scorer batches its candidates through the compiled scoring kernel,
+    so a group request costs one vectorised pass per member.
 
     ``uses_preference_view = False`` tells the engine not to compute
     its own single-user preference view for document-list requests —

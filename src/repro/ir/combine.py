@@ -20,11 +20,15 @@ from dataclasses import dataclass
 
 from repro.errors import ReproError
 
-__all__ = ["CombinedScore", "combine_log_linear", "combined_ranking"]
+__all__ = ["LOG_FLOOR", "CombinedScore", "combine_log_linear", "combined_ranking"]
 
 #: Floor applied inside logs so impossible parts don't produce -inf
-#: unless truly both-zero.
-_EPSILON = 1e-12
+#: unless truly both-zero.  Public because the engine's batched
+#: log-linear paths (repro.engine.relevance / repro.perf.flatops) must
+#: share the exact same clamping semantics.
+LOG_FLOOR = 1e-12
+
+_EPSILON = LOG_FLOOR  # backwards-compatible alias
 
 
 @dataclass(frozen=True)
@@ -45,8 +49,8 @@ def combine_log_linear(
     """Log-linear mixture of the two probabilities (returns log-space score)."""
     if not 0.0 <= mixing_weight <= 1.0:
         raise ReproError(f"mixing weight must be in [0, 1], got {mixing_weight!r}")
-    qd = max(_EPSILON, query_dependent)
-    qi = max(_EPSILON, query_independent)
+    qd = max(LOG_FLOOR, query_dependent)
+    qi = max(LOG_FLOOR, query_independent)
     return mixing_weight * math.log(qd) + (1.0 - mixing_weight) * math.log(qi)
 
 

@@ -1,0 +1,29 @@
+"""Low-level performance helpers behind the scoring kernel.
+
+:mod:`repro.perf.backend` picks the numeric backend — numpy when it is
+importable (and not overridden), a pure-python fallback otherwise — and
+:mod:`repro.perf.flatops` holds the flat-array loops that fallback runs
+on.  Nothing in here knows about rules, documents or events: the kernel
+(:mod:`repro.core.kernel`) compiles the scoring problem down to the
+coefficient arrays these helpers consume.
+"""
+
+from repro.perf.backend import (
+    BACKEND_ENV,
+    BACKENDS,
+    backend_name,
+    numpy_or_none,
+    resolve_backend,
+)
+from repro.perf.flatops import log_linear_rows, row_scores, topk_survivors
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "backend_name",
+    "log_linear_rows",
+    "numpy_or_none",
+    "resolve_backend",
+    "row_scores",
+    "topk_survivors",
+]

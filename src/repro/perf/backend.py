@@ -1,0 +1,64 @@
+"""Numeric backend selection: numpy when available, pure python otherwise.
+
+The kernel compiles scoring problems into flat numeric arrays; whether
+those arrays are numpy ``ndarray``s or plain ``list``s is decided here,
+once, at compile time.  The ``REPRO_KERNEL_BACKEND`` environment
+variable forces a backend (``"python"`` pins the fallback even when
+numpy is importable — used by the property tests and benchmark E10 to
+exercise both paths on the same machine).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import ScoringError
+
+__all__ = ["BACKEND_ENV", "BACKENDS", "backend_name", "numpy_or_none", "resolve_backend"]
+
+#: Environment override: "numpy" or "python".
+BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+#: The recognised backend names.
+BACKENDS = ("numpy", "python")
+
+_NUMPY_CACHE: list = []  # [module | None], filled on first use
+
+
+def numpy_or_none():
+    """The numpy module, or None when it is not importable."""
+    if not _NUMPY_CACHE:
+        try:
+            import numpy  # noqa: PLC0415 - optional dependency probe
+        except ImportError:  # pragma: no cover - depends on the environment
+            numpy = None
+        _NUMPY_CACHE.append(numpy)
+    return _NUMPY_CACHE[0]
+
+
+def resolve_backend(preferred: Optional[str] = None):
+    """The numpy module to compile against, or None for the fallback.
+
+    ``preferred`` (or the ``REPRO_KERNEL_BACKEND`` environment
+    variable) may name a backend explicitly; asking for numpy when it
+    is not importable is an error rather than a silent downgrade.
+    """
+    choice = preferred if preferred is not None else os.environ.get(BACKEND_ENV)
+    if choice is None:
+        return numpy_or_none()
+    if choice not in BACKENDS:
+        raise ScoringError(
+            f"unknown kernel backend {choice!r}; choose from {list(BACKENDS)}"
+        )
+    if choice == "python":
+        return None
+    module = numpy_or_none()
+    if module is None:
+        raise ScoringError("kernel backend 'numpy' requested but numpy is not importable")
+    return module
+
+
+def backend_name(preferred: Optional[str] = None) -> str:
+    """The name of the backend :func:`resolve_backend` would pick."""
+    return "numpy" if resolve_backend(preferred) is not None else "python"

@@ -1,0 +1,338 @@
+"""Unit tests for the compiled batch-scoring kernel."""
+
+import pytest
+
+from repro.errors import ScoringError
+from repro.events import ALWAYS, NEVER, EventSpace
+from repro.rules import PreferenceRule
+from repro.core import (
+    CompiledCandidates,
+    ContextAwareScorer,
+    DocumentBinding,
+    LazyContributions,
+    RuleBinding,
+    ScoringKernel,
+    ScoringProblem,
+    bind_problem,
+    compile_candidates,
+    factorised_score,
+    prune_rules,
+    score_document,
+)
+from repro.dl.vocabulary import Individual
+from repro.perf.backend import BACKEND_ENV, backend_name, numpy_or_none, resolve_backend
+from repro.workloads import build_tvtouch, set_breakfast_weekend_context
+
+BACKENDS = ["python"] + (["numpy"] if numpy_or_none() is not None else [])
+
+
+@pytest.fixture()
+def world():
+    world = build_tvtouch()
+    set_breakfast_weekend_context(world)
+    return world
+
+
+@pytest.fixture()
+def problem(world):
+    return bind_problem(
+        world.abox, world.tbox, world.user, world.repository,
+        world.program_ids, world.space,
+    )
+
+
+def synthetic_problem(sigmas, p_contexts, rows, space=None):
+    """A problem straight from probabilities (no DL binding)."""
+    space = space or EventSpace("kernel-test")
+    bindings = []
+    for index, (sigma, p_g) in enumerate(zip(sigmas, p_contexts)):
+        rule = PreferenceRule.parse(f"r{index}", "TOP", "TvProgram", sigma)
+        if p_g >= 1.0:
+            event = ALWAYS
+        elif p_g <= 0.0:
+            event = NEVER
+        else:
+            event = space.atom(f"g{index}", p_g)
+        bindings.append(RuleBinding(rule, event, p_g))
+    documents = []
+    for row_index, row in enumerate(rows):
+        events = []
+        for column, p_f in enumerate(row):
+            if p_f >= 1.0:
+                events.append(ALWAYS)
+            elif p_f <= 0.0:
+                events.append(NEVER)
+            else:
+                events.append(space.atom(f"f{row_index}:{column}", p_f))
+        documents.append(
+            DocumentBinding(Individual(f"d{row_index}"), tuple(events), tuple(row))
+        )
+    return ScoringProblem(tuple(bindings), tuple(documents), space)
+
+
+class TestCompile:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matrix_shape_and_bits(self, problem, backend):
+        candidates = compile_candidates(problem, backend)
+        assert isinstance(candidates, CompiledCandidates)
+        assert candidates.backend == backend
+        assert candidates.document_count == 4
+        assert candidates.rule_count == 2
+        # mpfs satisfies no preference -> empty bitmask
+        by_name = dict(zip(candidates.names, candidates.possible_bits))
+        assert by_name["mpfs"] == 0
+        assert by_name["channel5_news"] == 0b11
+
+    def test_env_override_forces_python(self, problem, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        assert backend_name() == "python"
+        assert compile_candidates(problem).backend == "python"
+
+    def test_bad_backend_rejected(self, problem):
+        with pytest.raises(ScoringError):
+            compile_candidates(problem, "fortran")
+
+    def test_resolve_backend_names(self):
+        assert resolve_backend("python") is None
+        if numpy_or_none() is not None:
+            assert resolve_backend("numpy") is not None
+
+    def test_rule_count_mismatch_rejected(self, problem):
+        candidates = compile_candidates(problem, "python")
+        with pytest.raises(ScoringError):
+            ScoringKernel(candidates, problem.bindings[:1])
+
+
+class TestScores:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_reference_scorer(self, world, problem, backend):
+        kernel = ScoringKernel.compile(problem, backend=backend)
+        values = dict(zip(kernel.names, kernel.scores()))
+        for document in problem.documents:
+            expected = score_document(problem, document, "factorised").value
+            assert values[document.document.name] == pytest.approx(expected, abs=1e-12)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_trivial_documents_share_all_miss(self, problem, backend):
+        kernel = ScoringKernel.compile(problem, backend=backend)
+        assert kernel.trivial_rows() == [kernel.names.index("mpfs")]
+        values = dict(zip(kernel.names, kernel.scores()))
+        assert values["mpfs"] == pytest.approx(kernel.all_miss, abs=0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_threshold_mask_matches_prune_rules(self, world, backend):
+        world.repository.add(PreferenceRule.parse("dead", "Holiday", "TvProgram", 0.7))
+        problem = bind_problem(
+            world.abox, world.tbox, world.user, world.repository,
+            world.program_ids, world.space,
+        )
+        kernel = ScoringKernel.compile(problem, rule_threshold=0.0, backend=backend)
+        assert kernel.kept_rules == (0, 1)
+        assert kernel.dropped_rule_count == 1
+        pruned = prune_rules(problem)
+        values = dict(zip(kernel.names, kernel.scores(prune_documents=False)))
+        for document in pruned.documents:
+            expected = factorised_score(list(pruned.bindings), document)
+            assert values[document.document.name] == pytest.approx(expected, abs=1e-12)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_no_rules_scores_one(self, backend):
+        problem = synthetic_problem([], [], [[], []])
+        kernel = ScoringKernel.compile(problem, backend=backend)
+        assert kernel.scores() == [1.0, 1.0]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_candidate_set(self, backend):
+        problem = synthetic_problem([0.8], [0.5], [])
+        kernel = ScoringKernel.compile(problem, backend=backend)
+        assert kernel.scores() == []
+        assert kernel.score_documents() == []
+
+
+class TestLazyContributions:
+    def test_materialises_to_reference_breakdown(self, problem):
+        kernel = ScoringKernel.compile(problem)
+        scored = {s.document: s for s in kernel.score_documents()}
+        reference = score_document(
+            problem, problem.document(Individual("channel5_news")), "factorised"
+        )
+        lazy = scored["channel5_news"].contributions
+        assert isinstance(lazy, LazyContributions)
+        assert lazy._items is None, "breakdown must not materialise eagerly"
+        assert tuple(lazy) == reference.contributions
+        assert lazy._items is not None
+
+    def test_sequence_protocol_and_equality(self, problem):
+        kernel = ScoringKernel.compile(problem)
+        scored = {s.document: s for s in kernel.score_documents()}
+        lazy = scored["bbc_news"].contributions
+        eager = score_document(
+            problem, problem.document(Individual("bbc_news")), "factorised"
+        ).contributions
+        assert len(lazy) == len(eager) == 2
+        assert lazy[0] == eager[0]
+        assert lazy == eager
+        assert eager == tuple(lazy)
+        assert hash(lazy) == hash(eager)
+        assert bool(lazy)
+
+    def test_trivial_document_has_empty_contributions(self, problem):
+        kernel = ScoringKernel.compile(problem)
+        scored = {s.document: s for s in kernel.score_documents()}
+        assert scored["mpfs"].contributions == ()
+
+
+class TestTopK:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 9])
+    def test_agrees_with_full_sort(self, problem, backend, k):
+        kernel = ScoringKernel.compile(problem, backend=backend)
+        full = sorted(
+            kernel.score_documents(), key=lambda s: (-s.value, s.document)
+        )
+        top = kernel.rank_top_k(k)
+        assert [(s.document, s.value) for s in top] == [
+            (s.document, s.value) for s in full[:k]
+        ]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_prunes_but_stays_exact_on_wide_problems(self, backend):
+        # Many similar rows with ties: the heap + strict bound must not
+        # drop a tied candidate that wins on name order.
+        rows = [[0.9, 0.1, 0.5], [0.1, 0.9, 0.5], [0.5, 0.5, 0.5]] * 20
+        problem = synthetic_problem([0.9, 0.7, 0.6], [0.8, 0.9, 1.0], rows)
+        kernel = ScoringKernel.compile(problem, backend=backend)
+        full = sorted(
+            kernel.score_documents(), key=lambda s: (-s.value, s.document)
+        )
+        for k in (1, 5, 17, 60):
+            top = kernel.rank_top_k(k)
+            assert [(s.document, s.value) for s in top] == [
+                (s.document, s.value) for s in full[:k]
+            ]
+
+    def test_invalid_k_rejected(self, problem):
+        kernel = ScoringKernel.compile(problem)
+        with pytest.raises(ScoringError):
+            kernel.rank_top_k(0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_exact_ties_survive_the_prune(self, backend):
+        # Identical rows at the per-rule upper bound: every score ties
+        # exactly, so the winner set is decided purely by name order.
+        # The prefix x suffix-bound product associates multiplications
+        # differently than the full score and can round a few ulps
+        # below the threshold — tied rows must still survive (this
+        # failed before the rounding slack on the prune threshold).
+        import random
+
+        rng = random.Random(0)
+        for trial in range(40):
+            n = rng.randint(3, 8)
+            sigmas = [round(rng.uniform(0.55, 0.95), 3) for _ in range(n)]
+            p_contexts = [round(rng.uniform(0.5, 1.0), 3) for _ in range(n)]
+            problem = synthetic_problem(sigmas, p_contexts, [[1.0] * n] * 50)
+            kernel = ScoringKernel.compile(problem, backend=backend)
+            full = sorted(
+                kernel.score_documents(), key=lambda s: (-s.value, s.document)
+            )
+            top = kernel.rank_top_k(7)
+            assert [(s.document, s.value) for s in top] == [
+                (s.document, s.value) for s in full[:7]
+            ], f"tie-break violated at trial {trial}"
+
+
+class TestWithContext:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_cold_recompile(self, world, problem, backend):
+        kernel = ScoringKernel.compile(problem, backend=backend)
+        # flip the context: weekend becomes uncertain
+        set_breakfast_weekend_context(world, weekend_probability=0.6, tick="flip")
+        fresh = bind_problem(
+            world.abox, world.tbox, world.user, world.repository,
+            world.program_ids, world.space,
+        )
+        incremental = kernel.with_context(fresh.bindings)
+        cold = ScoringKernel.compile(fresh, backend=backend)
+        assert incremental.scores() == cold.scores()
+        assert incremental.candidates is kernel.candidates, "matrix must be shared"
+
+    def test_rule_count_change_rejected(self, problem):
+        kernel = ScoringKernel.compile(problem)
+        with pytest.raises(ScoringError):
+            kernel.with_context(problem.bindings[:1])
+
+    def test_rule_identity_change_rejected(self, problem):
+        kernel = ScoringKernel.compile(problem)
+        swapped = (problem.bindings[1], problem.bindings[0])
+        with pytest.raises(ScoringError):
+            kernel.with_context(swapped)
+
+
+class TestScorerIntegration:
+    def test_duplicate_documents_scored_once_and_shared(self, world):
+        scorer = ContextAwareScorer(
+            abox=world.abox, tbox=world.tbox, user=world.user,
+            repository=world.repository, space=world.space,
+        )
+        scores = scorer.score(["oprah", "bbc_news", "oprah"])
+        assert [s.document for s in scores] == ["oprah", "bbc_news", "oprah"]
+        assert scores[0] is scores[2], "duplicates share one DocumentScore"
+
+    def test_scorer_rank_top_k_matches_rank(self, world):
+        scorer = ContextAwareScorer(
+            abox=world.abox, tbox=world.tbox, user=world.user,
+            repository=world.repository, space=world.space,
+        )
+        full = scorer.rank(world.program_ids)
+        top = scorer.rank_top_k(world.program_ids, 2)
+        assert [(s.document, s.value) for s in top] == [
+            (s.document, s.value) for s in full[:2]
+        ]
+
+    def test_reference_method_rank_top_k_falls_back(self, world):
+        scorer = ContextAwareScorer(
+            abox=world.abox, tbox=world.tbox, user=world.user,
+            repository=world.repository, space=world.space, method="exact",
+        )
+        full = scorer.rank(world.program_ids)
+        top = scorer.rank_top_k(world.program_ids, 3)
+        assert [(s.document, s.value) for s in top] == [
+            (s.document, s.value) for s in full[:3]
+        ]
+        assert scorer.last_kernel is None
+
+    def test_last_kernel_exposed_on_fast_path(self, world):
+        scorer = ContextAwareScorer(
+            abox=world.abox, tbox=world.tbox, user=world.user,
+            repository=world.repository, space=world.space,
+        )
+        scorer.score(world.program_ids)
+        kernel = scorer.last_kernel
+        assert kernel is not None
+        assert set(kernel.names) == set(world.program_ids)
+
+    def test_log_linear_rows_matches_reference(self):
+        import random
+
+        from repro.ir.combine import LOG_FLOOR, combine_log_linear
+        from repro.perf.flatops import log_linear_rows
+
+        rng = random.Random(5)
+        dependents = [rng.choice([0.0, rng.random()]) for _ in range(100)]
+        preferences = [rng.choice([0.0, rng.random()]) for _ in range(100)]
+        for weight in (0.0, 0.3, 1.0):
+            batched = log_linear_rows(dependents, preferences, weight, LOG_FLOOR)
+            for value, qd, qi in zip(batched, dependents, preferences):
+                assert value == combine_log_linear(qd, qi, weight)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_scorer_results_backend_independent(self, world, monkeypatch, backend):
+        monkeypatch.setenv(BACKEND_ENV, backend)
+        scorer = ContextAwareScorer(
+            abox=world.abox, tbox=world.tbox, user=world.user,
+            repository=world.repository, space=world.space,
+        )
+        scores = scorer.score_map(world.program_ids)
+        assert scores["channel5_news"] == pytest.approx(0.6006, abs=1e-9)
+        assert scores["mpfs"] == pytest.approx(0.02, abs=1e-9)

@@ -1,0 +1,161 @@
+"""Incremental context rescoring through the engine's basis cache."""
+
+import pytest
+
+from repro.engine import RankingEngine
+from repro.engine.basis import build_view_basis, dynamic_snapshot, support_closure
+from repro.rules import PreferenceRule
+from repro.workloads import build_tvtouch, set_breakfast_weekend_context
+
+
+@pytest.fixture()
+def world():
+    world = build_tvtouch()
+    set_breakfast_weekend_context(world)
+    return world
+
+
+@pytest.fixture()
+def engine(world):
+    return RankingEngine.from_world(world)
+
+
+def fresh_scores(world):
+    """The ground truth: a brand-new non-incremental engine."""
+    cold = RankingEngine.from_world(world, incremental=False)
+    return cold.rank().scores()
+
+
+class TestIncrementalRefresh:
+    def test_context_flip_served_from_basis(self, engine, world):
+        engine.rank()
+        assert engine.cache_info().bases == 1
+        set_breakfast_weekend_context(world, weekend_probability=0.7, tick="t2")
+        response = engine.rank()
+        assert not response.from_cache
+        info = engine.cache_info()
+        assert info.context_refreshes == 1
+        assert response.scores() == pytest.approx(fresh_scores(world))
+
+    def test_repeated_flips_keep_rescoring_incrementally(self, engine, world):
+        engine.rank()
+        for index, probability in enumerate((0.9, 0.5, 0.3)):
+            set_breakfast_weekend_context(
+                world, weekend_probability=probability, tick=f"t{index}"
+            )
+            response = engine.rank()
+            assert response.scores() == pytest.approx(fresh_scores(world))
+        assert engine.cache_info().context_refreshes == 3
+
+    def test_flip_back_is_a_plain_cache_hit(self, engine, world):
+        baseline = engine.rank()
+        set_breakfast_weekend_context(world, weekend_probability=0.7, tick="t2")
+        engine.rank()
+        set_breakfast_weekend_context(world)
+        restored = engine.rank()
+        assert restored.from_cache
+        assert restored.scores() == pytest.approx(baseline.scores())
+
+    def test_explanations_survive_the_incremental_path(self, engine, world):
+        engine.rank()
+        set_breakfast_weekend_context(world, weekend_probability=0.7, tick="t2")
+        text = engine.explain("channel5_news")
+        assert "r1" in text and "r2" in text
+
+    def test_disabled_incremental_never_uses_a_basis(self, world):
+        engine = RankingEngine.from_world(world, incremental=False)
+        engine.rank()
+        set_breakfast_weekend_context(world, weekend_probability=0.7, tick="t2")
+        engine.rank()
+        info = engine.cache_info()
+        assert info.context_refreshes == 0
+        assert info.bases == 0
+
+    def test_invalidate_drops_bases_too(self, engine):
+        engine.rank()
+        assert engine.cache_info().bases == 1
+        engine.invalidate_cache()
+        assert engine.cache_info().bases == 0
+
+
+class TestGuardFallsBackCold:
+    def test_rule_change_misses_the_basis(self, engine, world):
+        engine.rank()
+        world.repository.add(PreferenceRule.parse("r3", "Weekend", "TvProgram", 0.5))
+        response = engine.rank()
+        assert engine.cache_info().context_refreshes == 0
+        assert response.scores() == pytest.approx(fresh_scores(world))
+
+    def test_static_change_misses_the_basis(self, engine, world):
+        engine.rank()
+        world.abox.assert_concept("TvProgram", "late_night_show")
+        response = engine.rank()
+        assert engine.cache_info().context_refreshes == 0
+        assert "late_night_show" in response.scores()
+
+    def test_dynamic_assertion_on_a_document_forces_cold(self, engine, world):
+        engine.rank()
+        # Touching a candidate dynamically may change its events — the
+        # delta guard must refuse to reuse the compiled matrix.
+        world.abox.assert_concept("Promoted", "oprah", dynamic=True)
+        response = engine.rank()
+        assert engine.cache_info().context_refreshes == 0
+        assert response.scores() == pytest.approx(fresh_scores(world))
+
+    def test_dynamic_target_member_forces_cold(self, engine, world):
+        engine.rank()
+        # A dynamic assertion that *adds* a target member: the view
+        # gains a document, so the basis cannot be reused.
+        world.abox.assert_concept("TvProgram", "popup_show", dynamic=True)
+        response = engine.rank()
+        assert engine.cache_info().context_refreshes == 0
+        assert "popup_show" in response.scores()
+
+
+class TestBasisInternals:
+    def test_support_closure_follows_roles(self, world):
+        support = support_closure(world.abox, ["channel5_news"])
+        assert "channel5_news" in support
+        assert "HUMAN-INTEREST" in support  # via hasGenre
+        assert world.user.name not in support
+
+    def test_dynamic_snapshot_diffs_context_changes(self, world):
+        before = dynamic_snapshot(world.abox)
+        set_breakfast_weekend_context(world, weekend_probability=0.7, tick="t2")
+        after = dynamic_snapshot(world.abox)
+        delta = before ^ after
+        assert delta
+        touched = {
+            assertion.individual.name
+            for assertion in delta
+            if hasattr(assertion, "individual")
+        }
+        assert touched == {world.user.name}
+
+    def test_reusable_for_accepts_user_only_deltas(self, engine, world):
+        engine.rank()
+        kernel = engine._scorer.last_kernel
+        basis = build_view_basis(world.abox, kernel)
+        set_breakfast_weekend_context(world, weekend_probability=0.7, tick="t2")
+        assert basis.reusable_for(world.abox, world.tbox, engine.target)
+
+    def test_reusable_for_rejects_document_deltas(self, engine, world):
+        engine.rank()
+        basis = build_view_basis(world.abox, engine._scorer.last_kernel)
+        world.abox.assert_concept("Promoted", "bbc_news", dynamic=True)
+        assert not basis.reusable_for(world.abox, world.tbox, engine.target)
+
+
+class TestEngineTopK:
+    def test_engine_rank_top_k_matches_view_ranking(self, engine, world):
+        full = engine.rank()
+        top = engine.rank_top_k(2)
+        assert [score.document for score in top] == full.documents()[:2]
+
+    def test_engine_rank_top_k_with_explicit_documents(self, engine, world):
+        top = engine.rank_top_k(1, documents=world.program_ids)
+        assert [score.document for score in top] == ["channel5_news"]
+
+    def test_view_rank_top_k(self, engine):
+        top = engine.view.rank_top_k(2)
+        assert [score.document for score in top][:1] == ["channel5_news"]
