@@ -82,6 +82,7 @@ from repro.history import Candidate, Episode, HistoryLog, estimate_sigma
 from repro.ir import Corpus, LanguageModelRanker, combined_ranking
 from repro.mining import MiningConfig, mine_rules
 from repro.multiuser import GroupMember, GroupRanker
+from repro.reason import CompiledKB, ReasonerSession, compiled_kb
 from repro.reporting import ranking_table
 from repro.rules import PreferenceRule, RuleRepository, load_rules, parse_rules
 from repro.storage import Database, SqliteBackend, SqlSession
@@ -136,6 +137,7 @@ __all__ = [
     "ALWAYS",
     "AboxContext",
     "Candidate",
+    "CompiledKB",
     "Concept",
     "ContextAwareRanker",
     "ContextAwareScorer",
@@ -166,6 +168,7 @@ __all__ = [
     "RankResponse",
     "RankedItem",
     "RankingEngine",
+    "ReasonerSession",
     "RelevanceBackend",
     "RepositoryPreferences",
     "RuleRepository",
@@ -182,6 +185,7 @@ __all__ = [
     "explain_score",
     "generate_test_database",
     "load_rules",
+    "compiled_kb",
     "mine_rules",
     "parse_concept",
     "parse_rules",

@@ -10,9 +10,15 @@ space of a scoring problem is exactly the rule set:
 * per rule ``r`` and candidate document ``d``, the *document feature*
   is the event under which ``d`` satisfies ``r.preference``.
 
-:func:`bind_problem` computes all of these through the probabilistic
-instance checker and packages them for the scorers in
-:mod:`repro.core.scoring`.
+:func:`bind_problem` computes all of these through the *compiled*
+probabilistic instance checker (:mod:`repro.reason`): one reasoner
+session evaluates each concept across all candidates set-at-a-time, so
+role-successor walks, filler membership events and repeated
+probabilities are shared across the documents x rules sweep — and,
+through the shared KB registry, across requests, engines and group
+members over the same world.  Pass an explicit ``kb`` to control
+sharing; the uncached reference path remains
+:func:`repro.dl.instances.membership_event`.
 """
 
 from __future__ import annotations
@@ -22,12 +28,11 @@ from typing import Iterable, Sequence
 
 from repro.errors import ScoringError
 from repro.events.expr import EventExpr
-from repro.events.probability import probability
 from repro.events.space import EventSpace
 from repro.dl.abox import ABox
-from repro.dl.instances import membership_event
 from repro.dl.tbox import TBox
 from repro.dl.vocabulary import Individual
+from repro.reason import CompiledKB, compiled_kb
 from repro.rules.repository import RuleRepository
 from repro.rules.rule import PreferenceRule
 
@@ -117,6 +122,7 @@ def bind_rules(
     rules: Sequence[PreferenceRule],
     space: EventSpace | None = None,
     engine: str = "shannon",
+    kb: CompiledKB | None = None,
 ) -> tuple[RuleBinding, ...]:
     """The context half of a binding: each rule's context event for ``user``.
 
@@ -125,10 +131,12 @@ def bind_rules(
     rescoring path (:meth:`repro.core.kernel.ScoringKernel.with_context`)
     recomputes just this vector on an unchanged candidate matrix.
     """
+    user = Individual(user) if isinstance(user, str) else user
+    session = (kb if kb is not None else compiled_kb(abox, tbox, space)).session()
     bindings = []
     for rule in rules:
-        event = membership_event(abox, tbox, user, rule.context)
-        bindings.append(RuleBinding(rule, event, probability(event, space, engine)))
+        event = session.event(user, session.expand_concept(rule.context))
+        bindings.append(RuleBinding(rule, event, session.probability(event, engine)))
     return tuple(bindings)
 
 
@@ -139,19 +147,24 @@ def bind_documents(
     documents: Iterable[Individual | str],
     space: EventSpace | None = None,
     engine: str = "shannon",
+    kb: CompiledKB | None = None,
 ) -> tuple[DocumentBinding, ...]:
     """The candidate half: per document, every rule's preference event.
 
     The documents x rules sweep dominates binding cost; its result is
-    what the scoring kernel compiles into the ``P(f)`` matrix.
+    what the scoring kernel compiles into the ``P(f)`` matrix.  The
+    sweep is set-at-a-time: each preference concept is expanded once
+    and evaluated across all candidates inside one reasoner session, so
+    successor walks and shared filler events are paid once, not once
+    per document.
     """
+    session = (kb if kb is not None else compiled_kb(abox, tbox, space)).session()
+    expanded = [session.expand_concept(rule.preference) for rule in rules]
     document_bindings = []
     for document in documents:
         individual = Individual(document) if isinstance(document, str) else document
-        events = tuple(
-            membership_event(abox, tbox, individual, rule.preference) for rule in rules
-        )
-        probabilities = tuple(probability(event, space, engine) for event in events)
+        events = tuple(session.event(individual, concept) for concept in expanded)
+        probabilities = tuple(session.probability(event, engine) for event in events)
         document_bindings.append(DocumentBinding(individual, events, probabilities))
     return tuple(document_bindings)
 
@@ -164,6 +177,7 @@ def bind_problem(
     documents: Iterable[Individual | str],
     space: EventSpace | None = None,
     engine: str = "shannon",
+    kb: CompiledKB | None = None,
 ) -> ScoringProblem:
     """Bind a repository to the current context and candidate documents.
 
@@ -172,6 +186,8 @@ def bind_problem(
     >>> # See repro.workloads.tvtouch for a fully worked binding.
     """
     rules = list(repository)
-    bindings = bind_rules(abox, tbox, user, rules, space, engine)
-    document_bindings = bind_documents(abox, tbox, rules, documents, space, engine)
+    if kb is None:
+        kb = compiled_kb(abox, tbox, space)
+    bindings = bind_rules(abox, tbox, user, rules, space, engine, kb)
+    document_bindings = bind_documents(abox, tbox, rules, documents, space, engine, kb)
     return ScoringProblem(bindings, document_bindings, space)

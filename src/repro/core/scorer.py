@@ -14,9 +14,9 @@ from repro.errors import ScoringError
 from repro.events.space import EventSpace
 from repro.dl.abox import ABox
 from repro.dl.concepts import Concept
-from repro.dl.instances import retrieve
 from repro.dl.tbox import TBox
 from repro.dl.vocabulary import Individual
+from repro.reason import CompiledKB, compiled_kb
 from repro.rules.repository import RuleRepository
 from repro.rules.rule import PreferenceRule
 from repro.core.kernel import ScoringKernel
@@ -47,6 +47,11 @@ class ContextAwareScorer:
     prune_documents:
         Share the all-miss score across candidates that satisfy no
         preference instead of scoring them individually.
+    kb:
+        The compiled reasoner binding goes through.  Defaults to the
+        shared :func:`repro.reason.compiled_kb` for the knowledge base,
+        so scorers over the same world (including multi-user group
+        members) share one membership/probability memo per epoch.
 
     Examples
     --------
@@ -61,6 +66,7 @@ class ContextAwareScorer:
     method: str = "factorised"
     rule_threshold: float = 0.0
     prune_documents: bool = True
+    kb: CompiledKB | None = None
     _last_report: PruneReport | None = field(default=None, repr=False)
     _last_kernel: ScoringKernel | None = field(default=None, repr=False)
 
@@ -69,12 +75,15 @@ class ContextAwareScorer:
             raise ScoringError(
                 f"unknown scoring method {self.method!r}; choose from {sorted(SCORING_METHODS)}"
             )
+        if self.kb is None:
+            self.kb = compiled_kb(self.abox, self.tbox, self.space)
 
     # -- problem construction ---------------------------------------------
     def bind(self, documents: Iterable[Individual | str]) -> ScoringProblem:
         """Bind the repository and candidates to the current context."""
         problem = bind_problem(
-            self.abox, self.tbox, self.user, self.repository, documents, self.space
+            self.abox, self.tbox, self.user, self.repository, documents, self.space,
+            kb=self.kb,
         )
         return prune_rules(problem, self.rule_threshold)
 
@@ -120,7 +129,8 @@ class ContextAwareScorer:
     def _compile_kernel(self, unique_names: list[str]) -> ScoringKernel:
         """Bind and compile ``unique_names``, recording report + kernel."""
         problem = bind_problem(
-            self.abox, self.tbox, self.user, self.repository, unique_names, self.space
+            self.abox, self.tbox, self.user, self.repository, unique_names, self.space,
+            kb=self.kb,
         )
         kernel = ScoringKernel.compile(problem, rule_threshold=self.rule_threshold)
         trivial = len(kernel.trivial_rows()) if self.prune_documents else 0
@@ -203,9 +213,11 @@ class ContextAwareScorer:
         """Rank every ABox individual that (possibly) satisfies ``concept``.
 
         The common "rank all TvPrograms" call: candidates come from
-        instance retrieval over the target concept.
+        set-at-a-time instance retrieval over the target concept,
+        through the scorer's compiled reasoner.
         """
-        members = retrieve(self.abox, self.tbox, concept)
+        kb = self.kb if self.kb is not None else compiled_kb(self.abox, self.tbox, self.space)
+        members = kb.retrieve(concept)
         return self.rank(sorted(members, key=lambda individual: individual.name))
 
     # -- maintenance ------------------------------------------------------
@@ -223,6 +235,7 @@ class ContextAwareScorer:
             method=method,
             rule_threshold=self.rule_threshold,
             prune_documents=self.prune_documents,
+            kb=self.kb,
         )
 
 

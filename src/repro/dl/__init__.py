@@ -37,6 +37,7 @@ from repro.dl.concepts import (
     union,
 )
 from repro.dl.instances import (
+    MembershipEvaluator,
     membership_event,
     membership_probability,
     retrieve,
@@ -69,6 +70,7 @@ __all__ = [
     "ForAll",
     "HasValue",
     "Individual",
+    "MembershipEvaluator",
     "Not",
     "OneOf",
     "Or",

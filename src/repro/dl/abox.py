@@ -76,6 +76,7 @@ class ABox:
         self._concepts: dict[ConceptName, dict[Individual, ConceptAssertion]] = {}
         self._roles: dict[RoleName, dict[tuple[Individual, Individual], RoleAssertion]] = {}
         self._individuals: set[Individual] = set()
+        self._dynamic: set[ConceptAssertion | RoleAssertion] = set()
         self._mutations = 0
         self._static_mutations = 0
 
@@ -125,8 +126,11 @@ class ABox:
         if existing is not None:
             event = disj([existing.event, event])
             dynamic = dynamic or existing.dynamic
+            self._dynamic.discard(existing)
         assertion = ConceptAssertion(concept, individual, event, dynamic)
         table[individual] = assertion
+        if dynamic:
+            self._dynamic.add(assertion)
         self._mutations += 1
         if not dynamic:
             self._static_mutations += 1
@@ -152,8 +156,11 @@ class ABox:
         if existing is not None:
             event = disj([existing.event, event])
             dynamic = dynamic or existing.dynamic
+            self._dynamic.discard(existing)
         assertion = RoleAssertion(role, source, target, event, dynamic)
         table[key] = assertion
+        if dynamic:
+            self._dynamic.add(assertion)
         self._mutations += 1
         if not dynamic:
             self._static_mutations += 1
@@ -177,9 +184,20 @@ class ABox:
             for key in stale_pairs:
                 del role_table[key]
             removed += len(stale_pairs)
+        self._dynamic.clear()
         if removed:
             self._mutations += 1
         return removed
+
+    def dynamic_assertions(self) -> frozenset:
+        """The dynamic assertions as a set, maintained incrementally.
+
+        The content equals filtering :meth:`concept_assertions` /
+        :meth:`role_assertions` on ``dynamic``, without the full scan —
+        the incremental-rescoring snapshot (:mod:`repro.engine.basis`)
+        takes this on every cold refresh and reuse check.
+        """
+        return frozenset(self._dynamic)
 
     # -- lookups ----------------------------------------------------------
     @property
@@ -212,6 +230,25 @@ class ABox:
         for (src, _dst), assertion in self._roles.get(role, {}).items():
             if src == source:
                 yield assertion
+
+    def role_adjacency(self) -> dict[RoleName, dict[Individual, tuple[RoleAssertion, ...]]]:
+        """All role assertions grouped ``role -> source -> assertions``.
+
+        One pass over the role tables; the set-at-a-time reasoner
+        (:mod:`repro.reason`) builds this once per ABox epoch and then
+        answers every successor walk from the index, instead of paying
+        :meth:`role_successors`'s full-table scan per (individual, role)
+        — the naive per-call path stays as the uncached reference.
+        """
+        adjacency: dict[RoleName, dict[Individual, tuple[RoleAssertion, ...]]] = {}
+        for role, table in self._roles.items():
+            by_source: dict[Individual, list[RoleAssertion]] = {}
+            for (source, _target), assertion in table.items():
+                by_source.setdefault(source, []).append(assertion)
+            adjacency[role] = {
+                source: tuple(assertions) for source, assertions in by_source.items()
+            }
+        return adjacency
 
     def role_pairs(self, role: RoleName) -> Iterator[RoleAssertion]:
         """All assertions of one role."""

@@ -24,17 +24,26 @@ implementation, including the paper's):
   ``NOT event(R(i,j)) OR event(j ∈ C)`` (every potential successor is
   either absent or in ``C``).
 * ``R VALUE a``: the event of the assertion ``R(i, a)``.
+
+The semantics lives in :class:`MembershipEvaluator`, whose lookup
+methods (``expand_concept``, ``sorted_descendants``,
+``role_successors``, ``event``) are overridable hooks.  The base class
+caches *nothing* — it is the uncached reference the compiled reasoner
+(:class:`repro.reason.CompiledKB`) is benchmarked and property-tested
+against; the reasoner subclasses it with per-epoch memo tables, so both
+paths share one implementation of the semantics and can never drift.
 """
 
 from __future__ import annotations
 
 from itertools import combinations
+from typing import Iterable
 
 from repro.errors import ComplexityLimitError, DLError
 from repro.events.expr import ALWAYS, NEVER, EventExpr, conj, disj, neg
 from repro.events.probability import probability
 from repro.events.space import EventSpace
-from repro.dl.abox import ABox
+from repro.dl.abox import ABox, RoleAssertion
 from repro.dl.concepts import (
     And,
     AtLeast,
@@ -50,12 +59,150 @@ from repro.dl.concepts import (
     Top,
 )
 from repro.dl.tbox import TBox
-from repro.dl.vocabulary import Individual, RoleName
+from repro.dl.vocabulary import ConceptName, Individual, RoleName
 
 #: Guard for qualified number restrictions: C(successors, n) subsets.
 MAX_AT_LEAST_SUBSETS = 50000
 
-__all__ = ["membership_event", "membership_probability", "retrieve", "retrieve_probabilities"]
+__all__ = [
+    "MembershipEvaluator",
+    "membership_event",
+    "membership_probability",
+    "retrieve",
+    "retrieve_probabilities",
+]
+
+
+class MembershipEvaluator:
+    """Computes membership events; lookups are overridable hooks.
+
+    The base class recomputes everything on every call — the uncached
+    reference.  :class:`repro.reason.ReasonerSession` overrides the
+    hooks with per-epoch caches (concept expansion, sorted closures, a
+    role-successor index, a per-(individual, concept) event memo)
+    without touching the semantics below.
+    """
+
+    def __init__(self, abox: ABox, tbox: TBox):
+        self.abox = abox
+        self.tbox = tbox
+
+    # -- overridable lookups -------------------------------------------
+    def expand_concept(self, concept: Concept) -> Concept:
+        """Unfold the TBox definitions in ``concept``."""
+        return self.tbox.expand(concept)
+
+    def sorted_descendants(self, name: ConceptName) -> tuple[ConceptName, ...]:
+        """Sub-concepts of a name in deterministic (name) order."""
+        return tuple(sorted(self.tbox.descendants(name), key=lambda n: n.name))
+
+    def sorted_role_descendants(self, role: RoleName) -> tuple[RoleName, ...]:
+        """Sub-roles of a role in deterministic (name) order."""
+        return tuple(sorted(self.tbox.role_descendants(role), key=lambda r: r.name))
+
+    def role_successors(self, role: RoleName, individual: Individual) -> Iterable[RoleAssertion]:
+        """Role assertions leaving ``individual`` via exactly ``role``."""
+        return self.abox.role_successors(role, individual)
+
+    def event(self, individual: Individual, concept: Concept) -> EventExpr:
+        """Membership event of an already-expanded concept (memo hook)."""
+        return self._compute(individual, concept)
+
+    # -- entry point ----------------------------------------------------
+    def membership_event(self, individual: str | Individual, concept: Concept) -> EventExpr:
+        """Event under which ``individual`` is an instance of ``concept``."""
+        individual = Individual(individual) if isinstance(individual, str) else individual
+        return self.event(individual, self.expand_concept(concept))
+
+    # -- the semantics (shared by reference and compiled paths) ---------
+    def _compute(self, individual: Individual, concept: Concept) -> EventExpr:
+        if isinstance(concept, Top):
+            return ALWAYS
+        if isinstance(concept, Bottom):
+            return NEVER
+        if isinstance(concept, Atomic):
+            alternatives = []
+            for sub_name in self.sorted_descendants(concept.concept):
+                event = self.abox.concept_event(sub_name, individual)
+                if event is not None:
+                    alternatives.append(event)
+            return disj(alternatives)
+        if isinstance(concept, Not):
+            return neg(self.event(individual, concept.child))
+        if isinstance(concept, And):
+            return conj(self.event(individual, child) for child in concept.children)
+        if isinstance(concept, Or):
+            return disj(self.event(individual, child) for child in concept.children)
+        if isinstance(concept, OneOf):
+            return ALWAYS if individual in concept.members else NEVER
+        if isinstance(concept, HasValue):
+            alternatives = []
+            for sub_role in self.sorted_role_descendants(concept.role):
+                event = self.abox.role_event(sub_role, individual, concept.value)
+                if event is not None:
+                    alternatives.append(event)
+            return disj(alternatives)
+        if isinstance(concept, Exists):
+            alternatives = []
+            for _target, edge_event, filler_event in self._successors(
+                individual, concept.role, concept.filler
+            ):
+                alternatives.append(conj([edge_event, filler_event]))
+            return disj(alternatives)
+        if isinstance(concept, ForAll):
+            obligations = []
+            for _target, edge_event, filler_event in self._successors(
+                individual, concept.role, concept.filler
+            ):
+                obligations.append(disj([neg(edge_event), filler_event]))
+            return conj(obligations)
+        if isinstance(concept, AtLeast):
+            # "Has at least n distinct successors in C": the disjunction
+            # over n-subsets of distinct targets of the conjunction of their
+            # membership events.
+            per_target = [
+                conj([edge_event, filler_event])
+                for _target, edge_event, filler_event in self._successors(
+                    individual, concept.role, concept.filler
+                )
+                if not conj([edge_event, filler_event]).is_impossible
+            ]
+            if len(per_target) < concept.count:
+                return NEVER
+            subset_count = 1
+            for step in range(concept.count):
+                subset_count = subset_count * (len(per_target) - step) // (step + 1)
+            if subset_count > MAX_AT_LEAST_SUBSETS:
+                raise ComplexityLimitError(
+                    f"AtLeast({concept.count}) over {len(per_target)} successors needs "
+                    f"{subset_count} subsets (> limit {MAX_AT_LEAST_SUBSETS})"
+                )
+            return disj(
+                conj(subset) for subset in combinations(per_target, concept.count)
+            )
+        raise DLError(f"cannot evaluate unknown concept node {concept!r}")
+
+    def _successors(
+        self,
+        individual: Individual,
+        role: RoleName,
+        filler: Concept,
+    ) -> list[tuple[Individual, EventExpr, EventExpr]]:
+        """Distinct targets reachable via the role (or any sub-role).
+
+        Returns ``(target, edge event, filler membership event)`` with the
+        edge event OR-merged across the contributing sub-roles.
+        """
+        edges: dict[Individual, list[EventExpr]] = {}
+        for sub_role in self.sorted_role_descendants(role):
+            for assertion in self.role_successors(sub_role, individual):
+                edges.setdefault(assertion.target, []).append(assertion.event)
+        result = []
+        for target in sorted(edges, key=lambda t: t.name):
+            edge_event = disj(edges[target])
+            filler_event = self.event(target, filler)
+            result.append((target, edge_event, filler_event))
+        return result
 
 
 def membership_event(
@@ -65,6 +212,10 @@ def membership_event(
     concept: Concept,
 ) -> EventExpr:
     """Event expression under which ``individual`` is an instance of ``concept``.
+
+    This is the uncached reference path: a fresh
+    :class:`MembershipEvaluator` with no memo tables.  Hot paths
+    (binding, retrieval) go through :mod:`repro.reason` instead.
 
     Examples
     --------
@@ -79,97 +230,7 @@ def membership_event(
     >>> probability(event, space)
     0.85
     """
-    individual = Individual(individual) if isinstance(individual, str) else individual
-    expanded = tbox.expand(concept)
-    return _event(abox, tbox, individual, expanded)
-
-
-def _event(abox: ABox, tbox: TBox, individual: Individual, concept: Concept) -> EventExpr:
-    if isinstance(concept, Top):
-        return ALWAYS
-    if isinstance(concept, Bottom):
-        return NEVER
-    if isinstance(concept, Atomic):
-        alternatives = []
-        for sub_name in sorted(tbox.descendants(concept.concept), key=lambda n: n.name):
-            event = abox.concept_event(sub_name, individual)
-            if event is not None:
-                alternatives.append(event)
-        return disj(alternatives)
-    if isinstance(concept, Not):
-        return neg(_event(abox, tbox, individual, concept.child))
-    if isinstance(concept, And):
-        return conj(_event(abox, tbox, individual, child) for child in concept.children)
-    if isinstance(concept, Or):
-        return disj(_event(abox, tbox, individual, child) for child in concept.children)
-    if isinstance(concept, OneOf):
-        return ALWAYS if individual in concept.members else NEVER
-    if isinstance(concept, HasValue):
-        alternatives = []
-        for sub_role in sorted(tbox.role_descendants(concept.role), key=lambda r: r.name):
-            event = abox.role_event(sub_role, individual, concept.value)
-            if event is not None:
-                alternatives.append(event)
-        return disj(alternatives)
-    if isinstance(concept, Exists):
-        alternatives = []
-        for _target, edge_event, filler_event in _successors(abox, tbox, individual, concept.role, concept.filler):
-            alternatives.append(conj([edge_event, filler_event]))
-        return disj(alternatives)
-    if isinstance(concept, ForAll):
-        obligations = []
-        for _target, edge_event, filler_event in _successors(abox, tbox, individual, concept.role, concept.filler):
-            obligations.append(disj([neg(edge_event), filler_event]))
-        return conj(obligations)
-    if isinstance(concept, AtLeast):
-        # "Has at least n distinct successors in C": the disjunction
-        # over n-subsets of distinct targets of the conjunction of their
-        # membership events.
-        per_target = [
-            conj([edge_event, filler_event])
-            for _target, edge_event, filler_event in _successors(
-                abox, tbox, individual, concept.role, concept.filler
-            )
-            if not conj([edge_event, filler_event]).is_impossible
-        ]
-        if len(per_target) < concept.count:
-            return NEVER
-        subset_count = 1
-        for step in range(concept.count):
-            subset_count = subset_count * (len(per_target) - step) // (step + 1)
-        if subset_count > MAX_AT_LEAST_SUBSETS:
-            raise ComplexityLimitError(
-                f"AtLeast({concept.count}) over {len(per_target)} successors needs "
-                f"{subset_count} subsets (> limit {MAX_AT_LEAST_SUBSETS})"
-            )
-        return disj(
-            conj(subset) for subset in combinations(per_target, concept.count)
-        )
-    raise DLError(f"cannot evaluate unknown concept node {concept!r}")
-
-
-def _successors(
-    abox: ABox,
-    tbox: TBox,
-    individual: Individual,
-    role: RoleName,
-    filler: Concept,
-) -> list[tuple[Individual, EventExpr, EventExpr]]:
-    """Distinct targets reachable via the role (or any sub-role).
-
-    Returns ``(target, edge event, filler membership event)`` with the
-    edge event OR-merged across the contributing sub-roles.
-    """
-    edges: dict[Individual, list[EventExpr]] = {}
-    for sub_role in sorted(tbox.role_descendants(role), key=lambda r: r.name):
-        for assertion in abox.role_successors(sub_role, individual):
-            edges.setdefault(assertion.target, []).append(assertion.event)
-    result = []
-    for target in sorted(edges, key=lambda t: t.name):
-        edge_event = disj(edges[target])
-        filler_event = _event(abox, tbox, target, filler)
-        result.append((target, edge_event, filler_event))
-    return result
+    return MembershipEvaluator(abox, tbox).membership_event(individual, concept)
 
 
 def membership_probability(
@@ -187,16 +248,19 @@ def membership_probability(
 def retrieve(abox: ABox, tbox: TBox, concept: Concept) -> dict[Individual, EventExpr]:
     """Instance retrieval: every individual with a non-impossible event.
 
-    This is the set-at-a-time counterpart of :func:`membership_event`
-    and the reference semantics the relational view compiler
-    (:mod:`repro.storage.mapping`) is tested against.
+    Set-at-a-time: the concept is evaluated across all individuals in
+    one traversal through a compiled reasoner session
+    (:func:`repro.reason.query_session` — the warm shared one when the
+    world is registered, a transient one otherwise), so role-successor
+    walks and filler membership events are computed once, not once per
+    individual.  The result is structurally identical to calling
+    :func:`membership_event` per individual — the reference semantics
+    the relational view compiler (:mod:`repro.storage.mapping`) is
+    tested against.
     """
-    result: dict[Individual, EventExpr] = {}
-    for individual in sorted(abox.individuals, key=lambda ind: ind.name):
-        event = membership_event(abox, tbox, individual, concept)
-        if not event.is_impossible:
-            result[individual] = event
-    return result
+    from repro.reason import query_session  # deferred: repro.reason imports this module
+
+    return query_session(abox, tbox, events_only=True).retrieve(concept)
 
 
 def retrieve_probabilities(
@@ -207,7 +271,6 @@ def retrieve_probabilities(
     engine: str = "shannon",
 ) -> dict[Individual, float]:
     """Instance retrieval with probabilities instead of raw events."""
-    return {
-        individual: probability(event, space, engine)
-        for individual, event in retrieve(abox, tbox, concept).items()
-    }
+    from repro.reason import query_session  # deferred: repro.reason imports this module
+
+    return query_session(abox, tbox, space).retrieve_probabilities(concept, engine)

@@ -115,6 +115,18 @@ class TBox:
         self._closure: dict[ConceptName, frozenset[ConceptName]] | None = None
         self._role_supers: dict[RoleName, set[RoleName]] = {}
         self._role_closure: dict[RoleName, frozenset[RoleName]] | None = None
+        self._revision = 0
+
+    @property
+    def revision(self) -> int:
+        """Monotonic counter bumped on every axiom or definition change.
+
+        The terminological twin of :attr:`repro.dl.abox.ABox.mutation_count`:
+        caches of derived state (the compiled reasoner's membership and
+        probability memos) key on it, so a TBox edit invalidates them
+        by construction.
+        """
+        return self._revision
 
     # -- axiom entry ------------------------------------------------------
     def add_subsumption(self, sub: str | ConceptName, sup: str | ConceptName) -> SubsumptionAxiom:
@@ -126,6 +138,7 @@ class TBox:
         self._supers.setdefault(sub, set()).add(sup)
         self._supers.setdefault(sup, set())
         self._closure = None
+        self._revision += 1
         return SubsumptionAxiom(sub, sup)
 
     def define(self, name: str | ConceptName, concept: Concept) -> Definition:
@@ -139,6 +152,7 @@ class TBox:
         except TBoxError:
             del self._definitions[name]
             raise
+        self._revision += 1
         return Definition(name, concept)
 
     def add_role_subsumption(self, sub: str | RoleName, sup: str | RoleName) -> RoleSubsumptionAxiom:
@@ -155,6 +169,7 @@ class TBox:
         self._role_supers.setdefault(sub, set()).add(sup)
         self._role_supers.setdefault(sup, set())
         self._role_closure = None
+        self._revision += 1
         return RoleSubsumptionAxiom(sub, sup)
 
     def declare_disjoint(self, names: Iterable[str | ConceptName]) -> DisjointnessAxiom:
@@ -164,6 +179,7 @@ class TBox:
             raise TBoxError("disjointness needs at least two distinct concept names")
         axiom = DisjointnessAxiom(resolved)
         self._disjointness.append(axiom)
+        self._revision += 1
         return axiom
 
     # -- classification ---------------------------------------------------

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.core.kernel import ScoringKernel
 from repro.dl.abox import ABox, ConceptAssertion
@@ -41,52 +41,62 @@ from repro.dl.concepts import Concept
 from repro.dl.instances import membership_event
 from repro.dl.tbox import TBox
 
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.reason import CompiledKB
+
 __all__ = ["ViewBasis", "build_view_basis", "dynamic_snapshot", "support_closure"]
 
 
 def dynamic_snapshot(abox: ABox) -> frozenset:
-    """The dynamic assertions as a diffable set (the objects themselves)."""
-    items = [
-        assertion for assertion in abox.concept_assertions() if assertion.dynamic
-    ]
-    items.extend(
-        assertion for assertion in abox.role_assertions() if assertion.dynamic
-    )
-    return frozenset(items)
+    """The dynamic assertions as a diffable set (the objects themselves).
+
+    Served from the ABox's incrementally maintained dynamic set — O(of
+    the dynamic context), not a scan over the whole knowledge base.
+    """
+    return abox.dynamic_assertions()
 
 
-def support_closure(abox: ABox, names: Iterable[str]) -> frozenset[str]:
+def support_closure(
+    abox: ABox,
+    names: Iterable[str],
+    adjacency: dict[str, list[str]] | None = None,
+) -> frozenset[str]:
     """``names`` plus everything reachable from them via role assertions.
 
     Membership events recurse through role successors
     (``EXISTS R.C`` / ``FORALL R.C``), so a document's events can only
-    read assertions about individuals in this closure.
+    read assertions about individuals in this closure.  Pass a
+    prebuilt forward ``adjacency`` (the compiled reasoner caches one
+    per epoch) to skip the role-table scan.
     """
-    adjacency: dict[str, list[str]] = {}
-    for assertion in abox.role_assertions():
-        adjacency.setdefault(str(assertion.source), []).append(str(assertion.target))
+    if adjacency is None:
+        adjacency = {}
+        for assertion in abox.role_assertions():
+            adjacency.setdefault(assertion.source.name, []).append(assertion.target.name)
+    return frozenset(_reachable(adjacency, names))
+
+
+def _reverse_reachable(
+    abox: ABox,
+    targets: set[str],
+    reverse: dict[str, list[str]] | None = None,
+) -> set[str]:
+    """``targets`` plus every individual that can reach them via roles."""
+    if reverse is None:
+        reverse = {}
+        for assertion in abox.role_assertions():
+            reverse.setdefault(assertion.target.name, []).append(assertion.source.name)
+    return _reachable(reverse, targets)
+
+
+def _reachable(adjacency: dict[str, list[str]], names: Iterable[str]) -> set[str]:
     seen = set(names)
     queue = deque(seen)
     while queue:
-        for successor in adjacency.get(queue.popleft(), ()):
-            if successor not in seen:
-                seen.add(successor)
-                queue.append(successor)
-    return frozenset(seen)
-
-
-def _reverse_reachable(abox: ABox, targets: set[str]) -> set[str]:
-    """``targets`` plus every individual that can reach them via roles."""
-    reverse: dict[str, list[str]] = {}
-    for assertion in abox.role_assertions():
-        reverse.setdefault(str(assertion.target), []).append(str(assertion.source))
-    seen = set(targets)
-    queue = deque(seen)
-    while queue:
-        for predecessor in reverse.get(queue.popleft(), ()):
-            if predecessor not in seen:
-                seen.add(predecessor)
-                queue.append(predecessor)
+        for neighbour in adjacency.get(queue.popleft(), ()):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                queue.append(neighbour)
     return seen
 
 
@@ -109,24 +119,40 @@ class ViewBasis:
     kernel: ScoringKernel
     snapshot: frozenset
 
-    def reusable_for(self, abox: ABox, tbox: TBox, target: Concept) -> bool:
+    def reusable_for(
+        self,
+        abox: ABox,
+        tbox: TBox,
+        target: Concept,
+        kb: "CompiledKB | None" = None,
+    ) -> bool:
         """May the compiled matrix serve the ABox's *current* state?
 
         True when the dynamic delta since compile time provably cannot
         have changed any candidate's preference events or the target
-        concept's membership.
+        concept's membership.  With a ``kb`` the membership probes run
+        memoised on the compiled reasoner (correctly so: the probes ask
+        about the ABox's *current* state, which is exactly the KB's
+        current epoch).
         """
         delta = self.snapshot ^ dynamic_snapshot(abox)
         if not delta:
             return True
-        affected = _reverse_reachable(abox, _touched_names(delta))
-        if affected & support_closure(abox, self.kernel.names):
+        forward = reverse = None
+        if kb is not None:
+            forward, reverse = kb.session().reachability_maps()
+        affected = _reverse_reachable(abox, _touched_names(delta), reverse)
+        if affected & support_closure(abox, self.kernel.names, forward):
             return False
         # An affected individual outside the support set was not a view
         # member at compile time (members are in the support); it must
         # also not have *become* a possible target member since.
+        if kb is not None:
+            check = kb.membership_event
+        else:
+            check = lambda name, concept: membership_event(abox, tbox, name, concept)  # noqa: E731
         for name in affected:
-            if not membership_event(abox, tbox, name, target).is_impossible:
+            if not check(name, target).is_impossible:
                 return False
         return True
 

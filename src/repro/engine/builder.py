@@ -17,6 +17,7 @@ from repro.dl.tbox import TBox
 from repro.dl.vocabulary import Individual
 from repro.errors import EngineConfigError
 from repro.events.space import EventSpace
+from repro.reason import CompiledKB
 from repro.rules.repository import RuleRepository
 from repro.storage.database import Database
 from repro.engine.backends import AboxContext, DatabaseStorage, RepositoryPreferences
@@ -62,6 +63,7 @@ class EngineBuilder:
         self._prune_documents: bool = True
         self._cache_size: int = 16
         self._incremental: bool = True
+        self._kb: CompiledKB | None = None
 
     # -- knowledge base ----------------------------------------------------
     def knowledge(
@@ -189,6 +191,20 @@ class EngineBuilder:
         self._incremental = bool(enabled)
         return self
 
+    def reasoner(self, kb: CompiledKB) -> "EngineBuilder":
+        """An explicit compiled reasoner (:class:`repro.reason.CompiledKB`).
+
+        Defaults to the shared registry instance for the knowledge
+        base; pass one here to pin several engines to a privately
+        scoped KB (or a private KB to an engine).
+        """
+        if not isinstance(kb, CompiledKB):
+            raise EngineConfigError(
+                f"reasoner must be a repro.reason.CompiledKB, got {kb!r}"
+            )
+        self._kb = kb
+        return self
+
     def options(self, **options: object) -> "EngineBuilder":
         """Apply builder options by keyword (for config-driven callers).
 
@@ -237,6 +253,16 @@ class EngineBuilder:
             raise EngineConfigError(
                 f"cache_size must be a positive integer, got {self._cache_size!r}"
             )
+        if self._kb is not None and (
+            self._kb.abox is not self._abox
+            or self._kb.tbox is not self._tbox
+            or self._kb.space is not self._space
+        ):
+            raise EngineConfigError(
+                "the configured reasoner was compiled over a different "
+                "knowledge base (ABox, TBox and event space must be the "
+                "engine's own)"
+            )
         relevance = resolve_relevance(self._relevance_spec, **self._relevance_options)
         context = self._context or AboxContext(self._abox, self._space)
         return RankingEngine(
@@ -254,4 +280,5 @@ class EngineBuilder:
             prune_documents=self._prune_documents,
             cache_size=self._cache_size,
             incremental=self._incremental,
+            kb=self._kb,
         )

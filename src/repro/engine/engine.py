@@ -48,6 +48,7 @@ from repro.engine.protocols import (
     StorageBackend,
 )
 from repro.engine.requests import RankedItem, RankRequest, RankResponse, as_requests
+from repro.reason import CompiledKB, ReasonerInfo, compiled_kb
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.engine.builder import EngineBuilder
@@ -84,6 +85,12 @@ class RankingEngine:
         candidate matrix (:mod:`repro.engine.basis`) instead of
         re-binding every document.  Safe to leave on: reuse is guarded
         by a conservative ABox delta analysis.
+    kb:
+        The compiled reasoner (:class:`repro.reason.CompiledKB`) cold
+        binds run through.  Defaults to the shared registry instance
+        for the knowledge base, so several engines over one world — the
+        multi-user scenario — reason each membership event once per
+        knowledge epoch.
     """
 
     def __init__(
@@ -103,6 +110,7 @@ class RankingEngine:
         prune_documents: bool = True,
         cache_size: int = 16,
         incremental: bool = True,
+        kb: CompiledKB | None = None,
     ):
         self.abox = abox
         self.tbox = tbox
@@ -117,6 +125,7 @@ class RankingEngine:
         self.rule_threshold = rule_threshold
         self.prune_documents = prune_documents
         self.incremental = incremental
+        self.kb = kb if kb is not None else compiled_kb(abox, tbox, space)
         self._cache = ViewCache(max_entries=cache_size)
         self._scorer = self._build_scorer(preferences.repository())
         self._view = PreferenceView(
@@ -233,11 +242,14 @@ class RankingEngine:
             method=self.method,
             rule_threshold=self.rule_threshold,
             prune_documents=self.prune_documents,
+            kb=self.kb,
         )
 
     def _signature(self) -> Hashable:
         return (
             self.context.signature(),
+            self.tbox.revision,
+            self.space.revision if self.space is not None else -1,
             self.preferences.fingerprint(),
             self.method,
             self.rule_threshold,
@@ -250,6 +262,8 @@ class RankingEngine:
         the dynamic context — the key of the incremental-rescoring basis."""
         return (
             self.abox.static_mutation_count,
+            self.tbox.revision,
+            self.space.revision if self.space is not None else -1,
             self.preferences.fingerprint(),
             self.method,
             self.rule_threshold,
@@ -268,10 +282,13 @@ class RankingEngine:
         if not self.incremental:
             return None
         basis = self._cache.basis_get(self._basis_key())
-        if basis is None or not basis.reusable_for(self.abox, self.tbox, self.target):
+        if basis is None or not basis.reusable_for(
+            self.abox, self.tbox, self.target, kb=self.kb
+        ):
             return None
         bindings = bind_rules(
-            self.abox, self.tbox, self.user, [rule for rule in repository], self.space
+            self.abox, self.tbox, self.user, [rule for rule in repository], self.space,
+            kb=self.kb,
         )
         try:
             kernel = basis.kernel.with_context(bindings)
@@ -501,6 +518,10 @@ class RankingEngine:
     def cache_info(self) -> CacheInfo:
         """Hit/miss counters of the preference-view cache."""
         return self._cache.info()
+
+    def reasoner_info(self) -> ReasonerInfo:
+        """Cache counters of the compiled reasoner behind cold binds."""
+        return self.kb.info()
 
     def invalidate_cache(self) -> None:
         """Drop every memoized view (the next request recomputes)."""

@@ -56,6 +56,7 @@ class Bdd:
         self._level: dict[str, int] = {name: i for i, name in enumerate(order)}
         self._unique: dict[tuple[int, int, int], BddNode] = {}
         self._apply_cache: dict[tuple, "BddNode | int"] = {}
+        self._expr_cache: dict[EventExpr, "BddNode | int"] = {}
         self._nodes = 2  # the two terminals
 
     # -- node construction ----------------------------------------------
@@ -142,11 +143,23 @@ class Bdd:
 
     # -- compilation ------------------------------------------------------
     def compile(self, expr: EventExpr) -> "BddNode | int":
-        """Compile an event expression (over independent vars) to a node."""
+        """Compile an event expression (over independent vars) to a node.
+
+        Sub-expressions are cached per manager, so shared (interned)
+        subtrees across the expressions of one view compile once.
+        """
         if isinstance(expr, TrueEvent):
             return ONE
         if isinstance(expr, FalseEvent):
             return ZERO
+        cached = self._expr_cache.get(expr)
+        if cached is not None:
+            return cached
+        node = self._compile(expr)
+        self._expr_cache[expr] = node
+        return node
+
+    def _compile(self, expr: EventExpr) -> "BddNode | int":
         if isinstance(expr, Atom):
             return self.variable(expr.name)
         if isinstance(expr, Not):

@@ -6,14 +6,29 @@ derived tuple exists is a Boolean combination (``AND`` for joins,
 ``OR`` for duplicate-eliminating projections and unions, ``NOT`` for
 differences) of the basic events of the contributing base tuples.
 
-Expressions are immutable, hash-consed-by-value trees with light
-algebraic simplification applied at construction time:
+Expressions are immutable, hash-consed trees with light algebraic
+simplification applied at construction time:
 
 * ``AND``/``OR`` are flattened, sorted canonically and deduplicated;
 * identity and annihilator elements are removed (``x AND TRUE = x``,
   ``x AND FALSE = FALSE``, dually for ``OR``);
 * complementary literals collapse (``x AND NOT x = FALSE``);
 * double negation cancels.
+
+Hash-consing is literal: the public constructors intern every node in a
+process-wide weak table, so structurally identical expressions built
+through them are *pointer-equal*, not merely ``==``.  Memo tables in the
+probability engines (Shannon expansion, the BDD compiler, the compiled
+reasoner of :mod:`repro.reason`) therefore hit across calls — an event
+rebuilt for the same fact on a later request is the same object, with
+its hash already cached.  Interned composites key on child identity
+(sound because a live parent keeps its children alive, so a key match
+implies the exact same child objects); atoms key on ``(name,
+probability)`` so same-named events from different spaces never alias a
+different marginal.  Nodes built by instantiating the classes directly
+bypass the table — they remain structurally equal to their interned
+twins, just not identical (the property tests use this as the
+fresh-tree control).
 
 Simplification is deliberately *local* — expressions are not converted
 to a canonical normal form, because the probability engines (Shannon
@@ -27,6 +42,7 @@ operators ``&``, ``|`` and ``~`` are provided on every node.
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import EventError
@@ -46,6 +62,8 @@ __all__ = [
     "conj",
     "disj",
     "neg",
+    "intern_expr",
+    "interned_node_count",
 ]
 
 
@@ -57,7 +75,7 @@ class EventExpr:
     mention (:meth:`atoms`).
     """
 
-    __slots__ = ("_key", "_hash", "_atoms")
+    __slots__ = ("_key", "_hash", "_atoms", "__weakref__")
 
     _key: tuple
     _hash: int
@@ -284,9 +302,72 @@ class Or(_Nary):
         return disj(child.substitute(assignment) for child in self.children)
 
 
+#: The hash-consing table.  Values are weak: an expression no longer
+#: referenced anywhere else is collected, and its entry disappears with
+#: it.  Composite keys reference children by ``id`` — valid because the
+#: interned parent holds its children alive, so a live entry's key can
+#: only be re-produced by the very same child objects.
+_INTERN: "weakref.WeakValueDictionary[tuple, EventExpr]" = weakref.WeakValueDictionary()
+
+
+def _intern_atom(event: BasicEvent) -> Atom:
+    key = ("a", event.name, event.probability)
+    node = _INTERN.get(key)
+    if node is None:
+        node = Atom(event)
+        _INTERN[key] = node
+    return node  # type: ignore[return-value]
+
+
+def _intern_not(child: EventExpr) -> Not:
+    key = ("n", id(child))
+    node = _INTERN.get(key)
+    if node is None:
+        node = Not(child)
+        _INTERN[key] = node
+    return node  # type: ignore[return-value]
+
+
+def _intern_nary(tag: str, klass: type, children: tuple[EventExpr, ...]) -> EventExpr:
+    key = (tag,) + tuple(map(id, children))
+    node = _INTERN.get(key)
+    if node is None:
+        node = klass(children)
+        _INTERN[key] = node
+    return node
+
+
+def interned_node_count() -> int:
+    """Number of live interned nodes (diagnostics / tests)."""
+    return len(_INTERN)
+
+
+def intern_expr(expr: EventExpr) -> EventExpr:
+    """Return the interned twin of ``expr`` (rebuilding bottom-up).
+
+    Re-runs the public constructors, so an unsimplified hand-built tree
+    also gets their simplifications applied.
+    """
+    if isinstance(expr, TrueEvent):
+        return ALWAYS
+    if isinstance(expr, FalseEvent):
+        return NEVER
+    if isinstance(expr, Atom):
+        return _intern_atom(expr.event)
+    if isinstance(expr, Not):
+        return neg(intern_expr(expr.child))
+    if isinstance(expr, And):
+        return conj(intern_expr(child) for child in expr.children)
+    if isinstance(expr, Or):
+        return disj(intern_expr(child) for child in expr.children)
+    raise EventError(f"cannot intern unknown expression node {expr!r}")
+
+
 def atom(event: BasicEvent) -> Atom:
-    """Wrap a :class:`BasicEvent` in an expression node."""
-    return Atom(event)
+    """Wrap a :class:`BasicEvent` in an (interned) expression node."""
+    if not isinstance(event, BasicEvent):
+        raise EventError(f"atom() requires a BasicEvent, got {event!r}")
+    return _intern_atom(event)
 
 
 def neg(child: EventExpr) -> EventExpr:
@@ -299,7 +380,7 @@ def neg(child: EventExpr) -> EventExpr:
         return ALWAYS
     if isinstance(child, Not):
         return child.child
-    return Not(child)
+    return _intern_not(child)
 
 
 def _flatten(children: Iterable[EventExpr], klass: type) -> list[EventExpr]:
@@ -345,7 +426,7 @@ def conj(children: Iterable[EventExpr]) -> EventExpr:
         return ordered[0]
     if _has_complementary_pair(ordered):
         return NEVER
-    return And(ordered)
+    return _intern_nary("&", And, ordered)
 
 
 def disj(children: Iterable[EventExpr]) -> EventExpr:
@@ -364,4 +445,4 @@ def disj(children: Iterable[EventExpr]) -> EventExpr:
         return ordered[0]
     if _has_complementary_pair(ordered):
         return ALWAYS
-    return Or(ordered)
+    return _intern_nary("|", Or, ordered)

@@ -35,7 +35,7 @@ class ShannonEngine:
 
     def __init__(self, space: EventSpace | None = None):
         self._space = space
-        self._memo: dict[tuple, float] = {}
+        self._memo: dict[EventExpr, float] = {}
 
     def probability(self, expr: EventExpr) -> float:
         """Exact probability of ``expr``."""
@@ -51,15 +51,17 @@ class ShannonEngine:
             return 1.0
         if expr.is_impossible:
             return 0.0
-        key = expr.sort_key()
-        cached = self._memo.get(key)
+        # Expressions hash by their cached structural hash and compare
+        # identity-first, so with interned nodes (repro.events.expr) a
+        # memo lookup is one dict probe — no deep tuple rehash.
+        cached = self._memo.get(expr)
         if cached is not None:
             return cached
 
         branch_atom = self._pick_atom(expr)
         value = self._branch(expr, branch_atom)
         value = min(1.0, max(0.0, value))
-        self._memo[key] = value
+        self._memo[expr] = value
         return value
 
     def _pick_atom(self, expr: EventExpr) -> BasicEvent:

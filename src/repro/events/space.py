@@ -25,7 +25,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.errors import EventSpaceError, UnknownEventError
 from repro.events.atoms import BasicEvent, validate_probability
-from repro.events.expr import ALWAYS, Atom, EventExpr, conj, disj, neg
+from repro.events.expr import ALWAYS, Atom, EventExpr, atom as make_atom, conj, disj, neg
 
 __all__ = ["EventSpace", "MutexGroup", "chain_encode"]
 
@@ -83,6 +83,19 @@ class EventSpace:
         self._group_of: dict[str, str] = {}
         self._groups: dict[str, MutexGroup] = {}
         self._fresh_counter = 0
+        self._revision = 0
+
+    @property
+    def revision(self) -> int:
+        """Counter bumped when the *correlation structure* changes.
+
+        Registering a new independent event leaves probabilities of
+        existing expressions untouched; declaring a mutex group does
+        not.  Probability caches (the compiled reasoner's memo, a
+        long-lived :class:`~repro.events.shannon.ShannonEngine`) key on
+        this to invalidate when a group appears.
+        """
+        return self._revision
 
     # -- registration ----------------------------------------------------
     def event(self, name: str, probability: float) -> BasicEvent:
@@ -111,8 +124,8 @@ class EventSpace:
         When ``probability`` is omitted the event must already exist.
         """
         if probability is None:
-            return Atom(self.get(name))
-        return Atom(self.event(name, probability))
+            return make_atom(self.get(name))
+        return make_atom(self.event(name, probability))
 
     def fresh_atom(self, probability: float, prefix: str = "e") -> Atom:
         """Register a new basic event under a generated unique name."""
@@ -170,6 +183,7 @@ class EventSpace:
         self._groups[group_name] = group
         for event in members:
             self._group_of[event.name] = group_name
+        self._revision += 1
         return group
 
     def mutex_choice(self, group_name: str, outcomes: dict[str, float], prefix: str = "") -> dict[str, Atom]:
@@ -259,7 +273,7 @@ def chain_encode(expr: EventExpr, space: EventSpace | None) -> tuple[EventExpr, 
                 conditional = min(1.0, member.probability / remaining)
             chain_name = f"__chain:{group.name}:{index}:{member.name}"
             probabilities[chain_name] = conditional
-            chain_atom = Atom(BasicEvent(chain_name, conditional))
+            chain_atom = make_atom(BasicEvent(chain_name, conditional))
             substitution[member.name] = conj(prefix_not + [chain_atom])
             prefix_not.append(neg(chain_atom))
             remaining -= member.probability

@@ -9,6 +9,14 @@ The natural reading implemented here: each member has their own scorer
 (their own rules and, via the shared ABox, the shared context); a group
 score aggregates the members' per-document ideal-document probabilities
 under a chosen strategy.
+
+Scorers over the same world share one compiled reasoner
+(:func:`repro.reason.compiled_kb`), so group ranking reasons each
+context event and each document feature *once per group and epoch*, not
+once per member: the first member's binding fills the membership and
+probability memos the remaining members (and repeated rankings under an
+unchanged context) hit.  :meth:`GroupRanker.shared_kb` exposes that KB
+when the sharing actually holds.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from typing import Iterable, Sequence
 from repro.errors import ScoringError
 from repro.core.scorer import ContextAwareScorer
 from repro.multiuser.strategies import STRATEGIES, AggregationStrategy, resolve_strategy
+from repro.reason import CompiledKB
 
 __all__ = ["GroupMember", "GroupScore", "GroupRanker"]
 
@@ -74,8 +83,24 @@ class GroupRanker:
             raise ScoringError(f"duplicate member names in group: {names}")
         self.strategy = resolve_strategy(self.strategy)
 
+    def shared_kb(self) -> CompiledKB | None:
+        """The one compiled reasoner behind every member, if shared.
+
+        ``None`` when members were built over different worlds (or with
+        distinct private KBs) — each then reasons on its own memo.
+        """
+        first = self.members[0].scorer.kb
+        if all(member.scorer.kb is first for member in self.members[1:]):
+            return first
+        return None
+
     def score(self, documents: Iterable[str]) -> list[GroupScore]:
-        """Score documents for every member and aggregate."""
+        """Score documents for every member and aggregate.
+
+        Members run sequentially over the same candidate list; with a
+        shared KB the first member's cold bind warms the reasoner for
+        the rest (shared context events, shared document features).
+        """
         documents = list(documents)
         per_member_scores = {
             member.name: member.scorer.score_map(documents) for member in self.members

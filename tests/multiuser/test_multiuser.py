@@ -119,3 +119,25 @@ class TestGroupRanker:
             "least_misery",
             "most_pleasure",
         }
+
+    def test_members_share_one_compiled_kb(self, group, world):
+        """Scorers over one world share the registry KB, so group
+        ranking reasons each event once per group and epoch."""
+        shared = group.shared_kb()
+        assert shared is not None
+        assert all(member.scorer.kb is shared for member in group.members)
+        before = shared.info()
+        group.rank(world.program_ids)
+        group.rank(world.program_ids)
+        after = shared.info()
+        assert after.membership_hits > before.membership_hits
+
+    def test_private_kbs_disable_sharing(self, world):
+        from repro.reason import CompiledKB
+
+        members = [
+            _member("peter", world, ["RULE x: ALWAYS PREFER TvProgram WITH 0.5"]),
+            _member("mary", world, ["RULE y: ALWAYS PREFER TvProgram WITH 0.6"]),
+        ]
+        members[0].scorer.kb = CompiledKB(world.abox, world.tbox, world.space)
+        assert GroupRanker(members).shared_kb() is None

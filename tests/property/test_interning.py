@@ -1,0 +1,135 @@
+"""Property tests for the hash-consing invariants of event expressions.
+
+The public constructors intern every node, so structurally identical
+expressions must be *pointer-equal* regardless of construction order,
+with stable hashes — and interning must never change semantics: all
+four probability engines must agree between an interned tree and a
+structurally identical fresh (raw-class-built, uninterned) tree,
+including under mutex groups.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import EventSpace
+from repro.events.atoms import BasicEvent
+from repro.events.expr import (
+    ALWAYS,
+    And,
+    Atom,
+    FalseEvent,
+    Not,
+    Or,
+    TrueEvent,
+    atom,
+    conj,
+    disj,
+    intern_expr,
+    neg,
+)
+from repro.events.probability import ENGINES
+
+MAX_ATOMS = 5
+
+
+@st.composite
+def spaces_and_exprs(draw):
+    """Random (space, interned expression) pairs, sometimes with a mutex group."""
+    space = EventSpace("intern")
+    n_atoms = draw(st.integers(min_value=1, max_value=MAX_ATOMS))
+    probs = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=n_atoms,
+            max_size=n_atoms,
+        )
+    )
+    atoms = [space.atom(f"i{index}", p) for index, p in enumerate(probs)]
+
+    group_size = draw(st.integers(min_value=0, max_value=min(3, n_atoms)))
+    if group_size >= 2:
+        members = [a.name for a in atoms[:group_size]]
+        if sum(space.get(name).probability for name in members) <= 1.0:
+            space.declare_mutex("g", members)
+
+    def expr_strategy(depth: int):
+        leaf = st.sampled_from(atoms)
+        if depth <= 0:
+            return leaf
+        sub = expr_strategy(depth - 1)
+        return st.one_of(
+            leaf,
+            st.builds(lambda e: ~e, sub),
+            st.builds(lambda l, r: l & r, sub, sub),
+            st.builds(lambda l, r: l | r, sub, sub),
+        )
+
+    return space, draw(expr_strategy(3))
+
+
+def rebuild_raw(expr):
+    """A structurally identical tree built via the raw classes (uninterned)."""
+    if isinstance(expr, TrueEvent) or isinstance(expr, FalseEvent):
+        return expr
+    if isinstance(expr, Atom):
+        return Atom(BasicEvent(expr.event.name, expr.event.probability))
+    if isinstance(expr, Not):
+        return Not(rebuild_raw(expr.child))
+    if isinstance(expr, And):
+        return And(tuple(rebuild_raw(child) for child in expr.children))
+    if isinstance(expr, Or):
+        return Or(tuple(rebuild_raw(child) for child in expr.children))
+    raise AssertionError(f"unexpected node {expr!r}")
+
+
+@settings(max_examples=150, deadline=None)
+@given(spaces_and_exprs())
+def test_construction_order_irrelevant(space_expr):
+    """conj/disj over permuted children intern to the very same object."""
+    _space, expr = space_expr
+    flipped_and = conj([expr, ~expr & expr])  # exercises nesting too
+    assert conj([~expr & expr, expr]) is flipped_and
+    assert disj([expr, ~expr]) is disj([~expr, expr])
+    assert conj([expr, expr]) is conj([expr])
+    assert neg(neg(expr)) is expr
+
+
+@settings(max_examples=150, deadline=None)
+@given(spaces_and_exprs())
+def test_interned_twice_is_same_object_with_stable_hash(space_expr):
+    _space, expr = space_expr
+    twin = intern_expr(rebuild_raw(expr))
+    assert twin is expr
+    assert hash(twin) == hash(expr)
+    assert twin == rebuild_raw(expr)  # structural equality still holds
+
+
+@settings(max_examples=100, deadline=None)
+@given(spaces_and_exprs())
+def test_engines_agree_on_interned_vs_fresh(space_expr):
+    """All four engines: P(interned tree) == P(fresh uninterned tree)."""
+    space, expr = space_expr
+    fresh = rebuild_raw(expr)
+    assert fresh == expr
+    for name, engine in ENGINES.items():
+        interned_value = engine(expr, space)
+        fresh_value = engine(fresh, space)
+        assert math.isclose(interned_value, fresh_value, abs_tol=1e-9), name
+
+
+def test_atoms_intern_by_name_and_probability():
+    """Same name at a different marginal must NOT alias the same node."""
+    half = atom(BasicEvent("shared-name", 0.5))
+    also_half = atom(BasicEvent("shared-name", 0.5))
+    third = atom(BasicEvent("shared-name", 0.3))
+    assert half is also_half
+    assert third is not half
+    assert third.event.probability == 0.3
+    assert half.event.probability == 0.5
+
+
+def test_constants_are_singletons():
+    assert conj([]) is ALWAYS
+    assert neg(disj([])) is ALWAYS

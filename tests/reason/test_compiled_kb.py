@@ -1,0 +1,173 @@
+"""Unit tests for the compiled reasoner: memo correctness, epoch
+invalidation (ABox, TBox and mutex-structure changes), the shared
+registry, and agreement with the uncached reference path."""
+
+import pytest
+
+from repro.dl import ABox, TBox, membership_event, parse_concept, retrieve
+from repro.events import EventSpace
+from repro.events.probability import ENGINES, probability
+from repro.reason import CompiledKB, clear_registry, compiled_kb
+
+
+@pytest.fixture()
+def world():
+    """A small world with a hierarchy, roles and uncertain assertions."""
+    space = EventSpace("kbtest")
+    abox, tbox = ABox(), TBox()
+    tbox.add_subsumption("WeatherBulletin", "News")
+    for name in ("bbc", "c5"):
+        abox.assert_concept("TvProgram", name)
+    abox.assert_concept("WeatherBulletin", "bbc", space.atom("w:bbc", 0.55))
+    abox.assert_concept("News", "c5", space.atom("n:c5", 0.9))
+    abox.assert_role("hasGenre", "bbc", "HUMAN-INTEREST", space.atom("g:bbc", 0.4))
+    abox.assert_role("hasGenre", "c5", "HUMAN-INTEREST", space.atom("g:c5", 0.95))
+    return space, abox, tbox
+
+
+CONCEPTS = [
+    "TvProgram",
+    "News",
+    "TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}",
+    "TvProgram AND NOT News",
+    "ALL hasGenre.{HUMAN-INTEREST}",
+]
+
+
+def test_membership_matches_reference_for_all_engines(world):
+    space, abox, tbox = world
+    kb = CompiledKB(abox, tbox, space)
+    for text in CONCEPTS:
+        concept = parse_concept(text)
+        for individual in ("bbc", "c5"):
+            reference = membership_event(abox, tbox, individual, concept)
+            compiled = kb.membership_event(individual, concept)
+            assert compiled == reference
+            for engine in ENGINES:
+                assert kb.probability(compiled, engine) == pytest.approx(
+                    probability(reference, space, engine), abs=1e-9
+                )
+
+
+def test_memo_hits_within_epoch(world):
+    space, abox, tbox = world
+    kb = CompiledKB(abox, tbox, space)
+    concept = parse_concept("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}")
+    kb.membership_probability("bbc", concept)
+    first = kb.info()
+    kb.membership_probability("bbc", concept)
+    second = kb.info()
+    assert second.membership_hits > first.membership_hits
+    assert second.membership_misses == first.membership_misses
+    assert second.probability_hits > first.probability_hits
+    assert second.invalidations == 0
+
+
+def test_abox_mutation_invalidates(world):
+    """No stale P(f): an assertion after caching must be visible."""
+    space, abox, tbox = world
+    kb = CompiledKB(abox, tbox, space)
+    concept = parse_concept("TvProgram AND EXISTS hasSubject.{WEATHER}")
+    assert kb.membership_probability("bbc", concept) == 0.0
+    abox.assert_role("hasSubject", "bbc", "WEATHER", space.atom("s:bbc", 0.6))
+    assert kb.membership_probability("bbc", concept) == pytest.approx(0.6)
+    assert kb.info().invalidations == 1
+    # Dynamic assertions and their wholesale retraction invalidate too.
+    abox.assert_concept("Breakfast", "bbc", dynamic=True)
+    assert kb.membership_probability("bbc", parse_concept("Breakfast")) == 1.0
+    abox.clear_dynamic()
+    assert kb.membership_probability("bbc", parse_concept("Breakfast")) == 0.0
+
+
+def test_tbox_change_invalidates(world):
+    space, abox, tbox = world
+    kb = CompiledKB(abox, tbox, space)
+    concept = parse_concept("Bulletin")
+    assert kb.membership_probability("bbc", concept) == 0.0
+    tbox.add_subsumption("WeatherBulletin", "Bulletin")
+    assert kb.membership_probability("bbc", concept) == pytest.approx(0.55)
+    # A new definition invalidates as well.
+    tbox.define("HumanTv", parse_concept("TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}"))
+    reference = membership_event(abox, tbox, "c5", parse_concept("HumanTv"))
+    assert kb.membership_event("c5", parse_concept("HumanTv")) == reference
+
+
+def test_mutex_declaration_invalidates_probabilities(world):
+    space, abox, tbox = world
+    kb = CompiledKB(abox, tbox, space)
+    either = parse_concept(
+        "(TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST}) OR News"
+    )
+    before = kb.membership_probability("bbc", either)
+    assert before == pytest.approx(1.0 - (1.0 - 0.4) * (1.0 - 0.55))
+    space.declare_mutex("mx", ["g:bbc", "w:bbc"])
+    after = kb.membership_probability("bbc", either)
+    assert after == pytest.approx(0.4 + 0.55)
+    assert after == pytest.approx(
+        probability(membership_event(abox, tbox, "bbc", either), space)
+    )
+
+
+def test_retrieve_matches_per_individual_reference(world):
+    space, abox, tbox = world
+    concept = parse_concept("News")
+    members = retrieve(abox, tbox, concept)
+    assert {individual.name for individual in members} == {"bbc", "c5"}
+    for individual, event in members.items():
+        assert event == membership_event(abox, tbox, individual, concept)
+
+
+def test_registry_matches_spaces_exactly(world):
+    space, abox, tbox = world
+    clear_registry()
+    bare = compiled_kb(abox, tbox)
+    assert compiled_kb(abox, tbox) is bare
+    # A KB's space is fixed at creation: the independent-semantics KB
+    # (space=None) never aliases a mutex-honouring one, and vice versa.
+    spaced = compiled_kb(abox, tbox, space)
+    assert spaced is not bare and spaced.space is space
+    assert compiled_kb(abox, tbox, space) is spaced
+    assert compiled_kb(abox, tbox) is bare
+    other_space = EventSpace("other")
+    assert compiled_kb(abox, tbox, other_space) not in (bare, spaced)
+    # A different world never shares.
+    assert compiled_kb(ABox(), tbox, space) is not spaced
+    clear_registry()
+
+
+def test_query_session_never_registers(world):
+    from repro.reason import query_session
+    from repro.reason.kb import _REGISTRY
+
+    space, abox, tbox = world
+    clear_registry()
+    concept = parse_concept("News")
+    # Pure queries on an unregistered world leave the registry empty...
+    session = query_session(abox, tbox, space)
+    assert session.retrieve_probabilities(concept)
+    assert id(abox) not in _REGISTRY
+    # ...and piggyback on the shared KB once an engine registered one.
+    kb = compiled_kb(abox, tbox, space)
+    assert query_session(abox, tbox, space) is kb.session()
+    assert query_session(abox, tbox, events_only=True) is kb.session()
+    # Exact space semantics for probabilities: a None-space query does
+    # not reuse the mutex-honouring KB.
+    assert query_session(abox, tbox) is not kb.session()
+    clear_registry()
+
+
+def test_scorers_over_one_world_share_a_kb(world):
+    from repro.core import ContextAwareScorer
+    from repro.rules import RuleRepository, parse_rule
+
+    space, abox, tbox = world
+    rule = parse_rule(
+        "RULE r1: WHEN Breakfast PREFER TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST} WITH 0.8"
+    )
+    first = ContextAwareScorer(
+        abox=abox, tbox=tbox, user="bbc", repository=RuleRepository([rule]), space=space
+    )
+    second = ContextAwareScorer(
+        abox=abox, tbox=tbox, user="bbc", repository=RuleRepository([rule]), space=space
+    )
+    assert first.kb is second.kb

@@ -1,0 +1,124 @@
+"""Engine-level tests for the compiled reasoner: sharing, diagnostics,
+builder wiring, and cache invalidation composing with the PR 2
+incremental-basis guard (no stale P(f) after ABox/TBox changes)."""
+
+import pytest
+
+from repro.engine import EngineBuilder, RankingEngine
+from repro.errors import EngineConfigError
+from repro.reason import CompiledKB
+from repro.workloads import build_tvtouch, set_breakfast_weekend_context
+
+
+@pytest.fixture()
+def world():
+    world = build_tvtouch()
+    set_breakfast_weekend_context(world)
+    return world
+
+
+def test_engine_exposes_reasoner_info(world):
+    engine = RankingEngine.from_world(world)
+    engine.rank()
+    info = engine.reasoner_info()
+    assert info.membership_misses > 0
+    engine.invalidate_cache()
+    engine.rank()
+    # The second cold rank re-binds on the warm reasoner: hits accrue.
+    assert engine.reasoner_info().membership_hits > info.membership_hits
+
+
+def test_engines_over_one_world_share_their_kb(world):
+    first = RankingEngine.from_world(world)
+    second = RankingEngine.from_world(world)
+    assert first.kb is second.kb
+    assert first.as_member("a").scorer.kb is first.kb
+
+
+def test_builder_accepts_explicit_reasoner(world):
+    kb = CompiledKB(world.abox, world.tbox, world.space)
+    engine = EngineBuilder().world(world).reasoner(kb).build()
+    assert engine.kb is kb
+    engine.rank()
+    assert kb.info().membership_misses > 0
+
+
+def test_builder_rejects_foreign_reasoner(world):
+    other = build_tvtouch()
+    kb = CompiledKB(other.abox, other.tbox, other.space)
+    with pytest.raises(EngineConfigError, match="different"):
+        EngineBuilder().world(world).reasoner(kb).build()
+    with pytest.raises(EngineConfigError, match="CompiledKB"):
+        EngineBuilder().world(world).reasoner("nope")
+
+
+def test_static_mutation_invalidates_through_engine(world):
+    """A catalogue change after caching must change scores (stale P(f)
+    would keep the old ranking): reasoner epoch + view signature + the
+    incremental-basis guard all move together."""
+    engine = RankingEngine.from_world(world)
+    before = engine.preference_scores()
+    # MPFS gains the human-interest genre Peter's R1 prefers.
+    world.abox.assert_role("hasGenre", "mpfs", "HUMAN-INTEREST")
+    after = engine.preference_scores()
+    assert after["mpfs"] > before["mpfs"]
+
+
+def test_tbox_change_invalidates_through_engine(world):
+    """A TBox axiom change leaves every ABox counter untouched, but the
+    TBox revision is part of the reasoner epoch, the view signature and
+    the basis key — so the next request serves fresh, correct scores,
+    not a stale cached view over stale membership memos."""
+    world.abox.assert_concept("SportsBulletinSubject", "SPORTS-BULLETIN")
+    world.abox.assert_role("hasSubject", "mpfs", "SPORTS-BULLETIN")
+    engine = RankingEngine.from_world(world)
+    before = engine.preference_scores()
+    reasoner_epoch = engine.kb.epoch()
+    world.tbox.add_subsumption("SportsBulletinSubject", "NewsSubject")
+    assert engine.kb.epoch() != reasoner_epoch
+    after = engine.preference_scores()
+    # R2 (news subjects at breakfast) now also fires for MPFS's sport
+    # bulletin — stale membership memos would have kept the old score.
+    assert after["mpfs"] > before["mpfs"]
+
+
+def test_mutex_declaration_invalidates_through_engine(world):
+    """Declaring a mutex group changes joint probabilities without any
+    ABox mutation; EventSpace.revision is part of the view signature and
+    basis key, so the cached view must not be served stale."""
+    # MPFS has two independent reasons to carry the human-interest
+    # genre (merged disjunctively into one preference event)...
+    world.abox.assert_role(
+        "hasGenre", "mpfs", "HUMAN-INTEREST", world.space.atom("g:mpfs:a", 0.5)
+    )
+    world.abox.assert_role(
+        "hasGenre", "mpfs", "HUMAN-INTEREST", world.space.atom("g:mpfs:b", 0.4)
+    )
+    engine = RankingEngine.from_world(world)
+    before = engine.preference_scores()
+    # ...which become mutually exclusive: P(a OR b) rises from
+    # 0.5 + 0.4 - 0.2 = 0.7 to 0.5 + 0.4 = 0.9, so the weekend rule's
+    # factor — and the score — must move without any ABox mutation.
+    world.space.declare_mutex("mpfs-genres", ["g:mpfs:a", "g:mpfs:b"])
+    after = engine.preference_scores()
+    assert after["mpfs"] > before["mpfs"]
+    # Unaffected programs keep their scores.
+    assert after["bbc_news"] == pytest.approx(before["bbc_news"])
+
+
+def test_incremental_refresh_composes_with_reasoner(world):
+    """Context-only changes still take the PR 2 incremental path (basis
+    reuse) while the reasoner serves the rule re-bind from its memo —
+    and a document-touching dynamic change still falls back cold."""
+    engine = RankingEngine.from_world(world)
+    engine.rank()
+    set_breakfast_weekend_context(world, weekend_probability=0.6)
+    engine.rank()
+    info = engine.cache_info()
+    assert info.context_refreshes >= 1
+    # Dynamic assertion about a *document* must not reuse the basis.
+    world.abox.assert_concept("Breakfast", "channel5_news", dynamic=True)
+    refreshes = engine.cache_info().context_refreshes
+    scores = engine.preference_scores()
+    assert engine.cache_info().context_refreshes == refreshes
+    assert set(scores)  # still a valid view
