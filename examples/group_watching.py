@@ -2,43 +2,52 @@
 """Watching TV together: the Section 6 multi-user extension.
 
 Peter (human-interest at the weekend) and Mary (news at breakfast)
-share a couch on a Saturday morning.  Each keeps their own scored
-preference rules as their own :class:`RankingEngine` over the shared
-world; a :class:`GroupRanker` aggregates their per-program
-probabilities under four strategies, and the group itself plugs into an
-engine as a :class:`GroupRelevance` backend — so group ranking answers
-the same one-call API as personal ranking.
+share a couch on a Saturday morning.  The catalogue is *one* shared,
+frozen world; each viewer is a tenant of a :class:`TenantRegistry` —
+a copy-on-write overlay carrying only their own context and scored
+preference rules, while the static knowledge (and the reasoner's base
+tier) is shared by reference.  A :class:`GroupRanker` built straight
+from the tenant sessions aggregates their per-program probabilities
+under four strategies, and the group itself plugs into an engine as a
+:class:`GroupRelevance` backend — so group ranking answers the same
+one-call API as personal ranking.
 
 Run:  python examples/group_watching.py
 """
 
-from repro import GroupRanker, GroupRelevance, RankRequest, RankingEngine
+from repro import GroupRanker, GroupRelevance, RankRequest, RankingEngine, TenantRegistry
 from repro.reporting import TextTable
 from repro.rules import RuleRepository, parse_rule
-from repro.workloads import build_tvtouch, set_breakfast_weekend_context
-
-
-def member_engine(world, rule_lines: list[str]) -> RankingEngine:
-    repository = RuleRepository([parse_rule(line) for line in rule_lines])
-    # Shared context: they are in the same room (same ABox, same user).
-    return RankingEngine.from_world(world, rules=repository)
+from repro.workloads import build_tvtouch
 
 
 def main() -> None:
     world = build_tvtouch()
-    set_breakfast_weekend_context(world)
+    # One registry = one shared static world (frozen on construction);
+    # every viewer is a cheap overlay session over it.
+    registry = TenantRegistry(world)
 
-    peter = member_engine(
-        world,
-        ["RULE p1: WHEN Weekend PREFER TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST} WITH 0.9"],
+    peter = registry.session(
+        "peter",
+        rules=RuleRepository([parse_rule(
+            "RULE p1: WHEN Weekend PREFER TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST} WITH 0.9"
+        )]),
     )
-    mary = member_engine(
-        world,
-        ["RULE m1: WHEN Breakfast PREFER TvProgram AND EXISTS hasSubject.NewsSubject WITH 0.9"],
+    mary = registry.session(
+        "mary",
+        rules=RuleRepository([parse_rule(
+            "RULE m1: WHEN Breakfast PREFER TvProgram AND EXISTS hasSubject.NewsSubject WITH 0.9"
+        )]),
     )
+    # Same couch, same Saturday morning: each overlay gets the context
+    # (the shared base stays untouched — try registry.abox.assert_concept
+    # and watch it refuse).
+    for viewer in (peter, mary):
+        viewer.install_context("Weekend", "Breakfast")
 
     print("Per-member scores (Saturday breakfast):")
-    solo = GroupRanker([peter.as_member("peter"), mary.as_member("mary")])
+    solo = GroupRanker.from_sessions({"peter": peter, "mary": mary})
+    assert solo.shared_base() is registry.abox  # one world behind both
     table = TextTable(["program", "peter", "mary"])
     for score in solo.score(world.program_ids):
         table.add_row(
@@ -49,10 +58,15 @@ def main() -> None:
     print("\nGroup winner by aggregation strategy:")
     strategy_table = TextTable(["strategy", "winner", "group score"])
     for strategy in GroupRanker.available_strategies():
-        group = GroupRanker(
-            [peter.as_member("peter"), mary.as_member("mary")], strategy=strategy
+        group = GroupRanker.from_sessions(
+            {"peter": peter, "mary": mary}, strategy=strategy
         )
-        engine = RankingEngine.builder().world(world).relevance(GroupRelevance(group)).build()
+        engine = (
+            RankingEngine.builder()
+            .world(peter)  # any tenant session is a valid world
+            .relevance(GroupRelevance(group))
+            .build()
+        )
         best = engine.rank(RankRequest(documents=world.program_ids)).top()
         assert best is not None
         strategy_table.add_row([strategy, best.document, f"{best.score:.4f}"])

@@ -2,24 +2,30 @@
 """A context-aware reading list — the model beyond television.
 
 The paper's machinery is domain-agnostic: documents are whatever has
-features, context is whatever sensors can witness.  Here a researcher's
-workstation ranks *reading material* (papers, dashboards, newsletters):
+features, context is whatever sensors can witness.  Here a research
+group's workstation ranks *reading material* (papers, dashboards,
+newsletters) over **one shared office ontology** serving several
+researchers at once — a :class:`TenantRegistry` freezes the world and
+hands each researcher a copy-on-write overlay session:
 
-* in **deep work** she prefers papers on at least two of her topics
-  (a qualified number restriction, ``ATLEAST 2 hasTopic...``);
-* in **meetings** she prefers the project dashboard;
-* during **coffee breaks** anything light wins.
+* **Eva** in *deep work* prefers papers on at least two of her topics
+  (a qualified number restriction, ``ATLEAST 2 hasTopic...``); in
+  *meetings* the project dashboard; during *coffee breaks* anything
+  light;
+* **Li** only ever wants the dashboard when a meeting is on.
 
-The example also shows role hierarchies: ``hasMainTopic ⊑ hasTopic``,
-so a paper's main topic counts wherever topics are asked for.  The
-whole schedule runs through one :class:`RankingEngine` built directly
-from a hand-made knowledge base — no TVTouch world required.
+Their contexts never leak into each other — Eva can be mid-deep-work
+while Li sits in the stand-up — and the static knowledge (including the
+role hierarchy ``hasMainTopic ⊑ hasTopic``) is reasoned once in the
+shared base tier, not once per researcher.
 
 Run:  python examples/smart_office.py
 """
 
-from repro import EventSpace, RankRequest, RankingEngine
-from repro.dl import ABox, Individual, TBox
+from types import SimpleNamespace
+
+from repro import EventSpace, RankRequest, TenantRegistry
+from repro.dl import ABox, TBox
 from repro.rules import parse_rules
 
 DOCUMENTS = [
@@ -29,25 +35,28 @@ DOCUMENTS = [
     ("newsletter", "Weekly campus newsletter"),
 ]
 
-RULES = """
-# Reading preferences, mined from six months of desktop logs.
+EVA_RULES = """
+# Eva's reading preferences, mined from six months of desktop logs.
 RULE deep1: WHEN DeepWork PREFER Reading AND ATLEAST 2 hasTopic.OwnTopic WITH 0.85
 RULE meet1: WHEN InMeeting PREFER Reading AND Dashboard WITH 0.9
 RULE break1: WHEN CoffeeBreak PREFER Reading AND Light WITH 0.75
 """
 
+LI_RULES = """
+RULE meet1: WHEN InMeeting PREFER Reading AND Dashboard WITH 0.95
+"""
 
-def build_world():
+
+def build_office_world():
+    """The shared office ontology: documents, topics, role hierarchy."""
     space = EventSpace("office")
     abox = ABox()
     tbox = TBox()
-    user = Individual("eva")
-    abox.register_individual(user)
 
     # Role hierarchy: the main topic is, in particular, a topic.
     tbox.add_role_subsumption("hasMainTopic", "hasTopic")
 
-    # Eva's research topics.
+    # The group's research topics.
     for topic in ("dl", "prob", "ranking"):
         abox.assert_concept("OwnTopic", f"topic_{topic}")
     abox.assert_concept("Topic", "topic_campus")
@@ -65,18 +74,13 @@ def build_world():
     abox.assert_role("hasTopic", "paper_prob", "topic_dl", space.atom("t:prob:dl", 0.4))
     abox.assert_role("hasTopic", "newsletter", "topic_campus")
 
-    return space, abox, tbox, user
+    return SimpleNamespace(abox=abox, tbox=tbox, space=space, target="Reading")
 
 
 def main() -> None:
-    space, abox, tbox, user = build_world()
-    engine = (
-        RankingEngine.builder()
-        .knowledge(abox, tbox, user, space)
-        .preferences(parse_rules(RULES))
-        .target("Reading")
-        .build()
-    )
+    registry = TenantRegistry(build_office_world())
+    eva = registry.session("eva", rules=parse_rules(EVA_RULES))
+    li = registry.session("li", rules=parse_rules(LI_RULES))
     titles = dict(DOCUMENTS)
 
     schedule = [
@@ -86,20 +90,29 @@ def main() -> None:
     ]
     for label, context, certainty in schedule:
         spec = context if certainty >= 1.0 else f"{context}:{certainty:g}"
-        engine.install_context(spec, tick=label)
+        eva.install_context(spec, tick=label)
         print(f"== {label} (P({context}) = {certainty:g}) ==")
-        print(engine.rank().render(names=titles))
+        print(eva.rank().render(names=titles))
         print()
 
-    # Why did the DL survey win the deep-work slot?
-    engine.install_context("DeepWork")
-    winner = engine.rank(RankRequest(top_k=1)).top()
+    # Li has been in the stand-up the whole time: his overlay context is
+    # independent of whatever Eva's schedule says.
+    li.install_context("InMeeting")
+    best = li.rank(RankRequest(top_k=1)).top()
+    assert best is not None
+    print(f"Li (in the stand-up) gets: {titles[best.document]}\n")
+
+    # Why did the DL survey win Eva's deep-work slot?
+    eva.install_context("DeepWork")
+    winner = eva.rank(RankRequest(top_k=1)).top()
     assert winner is not None
-    print("Why the deep-work winner:")
-    print(engine.explain(winner.document))
+    print("Why Eva's deep-work winner:")
+    print(eva.explain(winner.document))
     print(
         "\n(The survey's main topic counts through the role hierarchy, and the\n"
-        " 0.7-certain 'ranking' tag makes 'at least two own topics' likely.)"
+        " 0.7-certain 'ranking' tag makes 'at least two own topics' likely.\n"
+        " Both researchers reasoned over one frozen world: "
+        f"{registry.info().active} overlay sessions, zero copies.)"
     )
 
 

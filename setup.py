@@ -12,5 +12,10 @@ setup(
     version="1.1.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    # PEP 561: ship the py.typed marker so downstream type-checkers
+    # pick up the inline annotations.
+    package_data={"repro": ["py.typed"]},
+    include_package_data=True,
+    zip_safe=False,
     python_requires=">=3.10",
 )

@@ -57,7 +57,7 @@ from repro.core import (
     explain_ranking,
     explain_score,
 )
-from repro.dl import ABox, Concept, Individual, TBox, parse_concept
+from repro.dl import ABox, Concept, Individual, LayeredABox, TBox, parse_concept
 from repro.engine import (
     AboxContext,
     ContextBackend,
@@ -86,6 +86,7 @@ from repro.reason import CompiledKB, ReasonerSession, compiled_kb
 from repro.reporting import ranking_table
 from repro.rules import PreferenceRule, RuleRepository, load_rules, parse_rules
 from repro.storage import Database, SqliteBackend, SqlSession
+from repro.tenants import TenantRegistry, UserSession
 from repro.workloads import (
     build_tvtouch,
     generate_test_database,
@@ -157,6 +158,7 @@ __all__ = [
     "HistoryLog",
     "Individual",
     "LanguageModelRanker",
+    "LayeredABox",
     "LogLinearRelevance",
     "MiningConfig",
     "MixedRelevance",
@@ -177,6 +179,8 @@ __all__ = [
     "SqliteBackend",
     "StorageBackend",
     "TBox",
+    "TenantRegistry",
+    "UserSession",
     "__version__",
     "build_tvtouch",
     "combined_ranking",

@@ -9,7 +9,7 @@ instance checking that maps an (individual, concept) pair to the event
 expression under which membership holds.
 """
 
-from repro.dl.abox import ABox, ConceptAssertion, RoleAssertion
+from repro.dl.abox import ABox, ConceptAssertion, LayeredABox, RoleAssertion
 from repro.dl.concepts import (
     BOTTOM,
     TOP,
@@ -70,6 +70,7 @@ __all__ = [
     "ForAll",
     "HasValue",
     "Individual",
+    "LayeredABox",
     "MembershipEvaluator",
     "Not",
     "OneOf",

@@ -12,18 +12,27 @@ expression under which it holds.  Certain facts carry :data:`ALWAYS`.
 Dynamic context (sensor-fed) assertions are ordinary assertions whose
 events come from fresh sensor measurements; they are replaced wholesale
 on every context refresh through the ``dynamic`` tag.
+
+Multi-tenant layering (the paper's tvtouch vision is one static domain
+ontology consulted by *many* users, each contributing only a small
+volatile slice): :meth:`ABox.freeze` seals a box as the immutable
+shared world, and :meth:`ABox.overlay` mints a :class:`LayeredABox` —
+a copy-on-write view that shares every static table of the base by
+reference and stores only the tenant's own assertions locally.  A
+thousand user sessions then cost a thousand overlays, not a thousand
+worlds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping
 
 from repro.errors import ABoxError
 from repro.events.expr import ALWAYS, EventExpr, disj
 from repro.dl.vocabulary import ConceptName, Individual, RoleName
 
-__all__ = ["ConceptAssertion", "RoleAssertion", "ABox"]
+__all__ = ["ConceptAssertion", "RoleAssertion", "ABox", "LayeredABox"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +88,45 @@ class ABox:
         self._dynamic: set[ConceptAssertion | RoleAssertion] = set()
         self._mutations = 0
         self._static_mutations = 0
+        self._frozen = False
+        self._adjacency_cache: (
+            dict[RoleName, dict[Individual, tuple[RoleAssertion, ...]]] | None
+        ) = None
+
+    # -- layering ---------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """Is this box sealed as an immutable shared base?"""
+        return self._frozen
+
+    def freeze(self) -> "ABox":
+        """Seal the box: every further mutation raises :class:`ABoxError`.
+
+        A frozen box is the safe *static base* of tenant overlays — its
+        epoch can never move underneath them, and derived indexes (the
+        role adjacency) are computed once and shared by reference.
+        Freezing is idempotent and returns the box for chaining.
+        """
+        self._frozen = True
+        return self
+
+    def overlay(self) -> "LayeredABox":
+        """A copy-on-write view over this box for one tenant's assertions.
+
+        The overlay shares every table of this base by reference and
+        stores only its own assertions; see :class:`LayeredABox`.
+        Freezing the base first (:meth:`freeze`) is recommended so no
+        tenant can mutate the shared world by accident.
+        """
+        return LayeredABox(self)
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise ABoxError(
+                "this ABox is frozen (a shared static base); per-user assertions "
+                "belong in an overlay — ABox.overlay(), or a repro.tenants."
+                "TenantRegistry session for a full per-user engine"
+            )
 
     @property
     def mutation_count(self) -> int:
@@ -105,6 +153,7 @@ class ABox:
     # -- assertion entry --------------------------------------------------
     def register_individual(self, individual: str | Individual) -> Individual:
         """Add an individual to the domain (idempotent)."""
+        self._check_mutable()
         individual = Individual(individual) if isinstance(individual, str) else individual
         self._individuals.add(individual)
         return individual
@@ -117,12 +166,13 @@ class ABox:
         dynamic: bool = False,
     ) -> ConceptAssertion:
         """Assert ``concept(individual)`` under ``event``."""
+        self._check_mutable()
         concept = ConceptName(concept) if isinstance(concept, str) else concept
         individual = self.register_individual(individual)
         if not isinstance(event, EventExpr):
             raise ABoxError(f"assertion event must be an EventExpr, got {event!r}")
         table = self._concepts.setdefault(concept, {})
-        existing = table.get(individual)
+        existing = table.get(individual) or self._inherited_concept(concept, individual)
         if existing is not None:
             event = disj([existing.event, event])
             dynamic = dynamic or existing.dynamic
@@ -145,6 +195,7 @@ class ABox:
         dynamic: bool = False,
     ) -> RoleAssertion:
         """Assert ``role(source, target)`` under ``event``."""
+        self._check_mutable()
         role = RoleName(role) if isinstance(role, str) else role
         source = self.register_individual(source)
         target = self.register_individual(target)
@@ -152,7 +203,7 @@ class ABox:
             raise ABoxError(f"assertion event must be an EventExpr, got {event!r}")
         table = self._roles.setdefault(role, {})
         key = (source, target)
-        existing = table.get(key)
+        existing = table.get(key) or self._inherited_role(role, key)
         if existing is not None:
             event = disj([existing.event, event])
             dynamic = dynamic or existing.dynamic
@@ -166,13 +217,45 @@ class ABox:
             self._static_mutations += 1
         return assertion
 
+    # -- layering hooks ---------------------------------------------------
+    def _inherited_concept(
+        self, concept: ConceptName, individual: Individual
+    ) -> ConceptAssertion | None:
+        """The assertion a lower layer contributes (none for a flat box).
+
+        :class:`LayeredABox` overrides this so re-asserting a base fact
+        OR-merges with the base event while the merged assertion lands
+        in the overlay.
+        """
+        return None
+
+    def _inherited_role(
+        self, role: RoleName, key: tuple[Individual, Individual]
+    ) -> RoleAssertion | None:
+        """Role counterpart of :meth:`_inherited_concept`."""
+        return None
+
+    def _concept_table(self, concept: ConceptName) -> Mapping[Individual, ConceptAssertion]:
+        """The effective (layer-merged) assertion table of one concept."""
+        return self._concepts.get(concept, {})
+
+    def _role_table(
+        self, role: RoleName
+    ) -> Mapping[tuple[Individual, Individual], RoleAssertion]:
+        """The effective (layer-merged) assertion table of one role."""
+        return self._roles.get(role, {})
+
     # -- retraction ----------------------------------------------------
     def clear_dynamic(self) -> int:
         """Drop every assertion tagged dynamic; returns how many.
 
         Called by the context refresh cycle before loading the new
-        snapshot's assertions.
+        snapshot's assertions.  On a :class:`LayeredABox` this drops
+        only the *overlay's* dynamic assertions — the base is never
+        touched (its dynamic facts, if any, shine through again once an
+        overlay shadow is removed).
         """
+        self._check_mutable()
         removed = 0
         for table in self._concepts.values():
             stale = [key for key, assertion in table.items() if assertion.dynamic]
@@ -215,19 +298,23 @@ class ABox:
     def concept_event(self, concept: ConceptName, individual: Individual) -> EventExpr | None:
         """Event of the direct assertion ``concept(individual)``, if any."""
         assertion = self._concepts.get(concept, {}).get(individual)
+        if assertion is None:
+            assertion = self._inherited_concept(concept, individual)
         return assertion.event if assertion is not None else None
 
     def concept_members(self, concept: ConceptName) -> Iterator[ConceptAssertion]:
         """All direct assertions of one concept name."""
-        return iter(self._concepts.get(concept, {}).values())
+        return iter(self._concept_table(concept).values())
 
     def role_event(self, role: RoleName, source: Individual, target: Individual) -> EventExpr | None:
         assertion = self._roles.get(role, {}).get((source, target))
+        if assertion is None:
+            assertion = self._inherited_role(role, (source, target))
         return assertion.event if assertion is not None else None
 
     def role_successors(self, role: RoleName, source: Individual) -> Iterator[RoleAssertion]:
         """All role assertions leaving ``source`` via ``role``."""
-        for (src, _dst), assertion in self._roles.get(role, {}).items():
+        for (src, _dst), assertion in self._role_table(role).items():
             if src == source:
                 yield assertion
 
@@ -239,7 +326,12 @@ class ABox:
         answers every successor walk from the index, instead of paying
         :meth:`role_successors`'s full-table scan per (individual, role)
         — the naive per-call path stays as the uncached reference.
+
+        On a frozen box the index is computed once and shared by
+        reference across every overlay and reasoner session over it.
         """
+        if self._adjacency_cache is not None:
+            return self._adjacency_cache
         adjacency: dict[RoleName, dict[Individual, tuple[RoleAssertion, ...]]] = {}
         for role, table in self._roles.items():
             by_source: dict[Individual, list[RoleAssertion]] = {}
@@ -248,11 +340,13 @@ class ABox:
             adjacency[role] = {
                 source: tuple(assertions) for source, assertions in by_source.items()
             }
+        if self._frozen:
+            self._adjacency_cache = adjacency
         return adjacency
 
     def role_pairs(self, role: RoleName) -> Iterator[RoleAssertion]:
         """All assertions of one role."""
-        return iter(self._roles.get(role, {}).values())
+        return iter(self._role_table(role).values())
 
     def concept_assertions(self) -> Iterator[ConceptAssertion]:
         """Every concept assertion in the ABox."""
@@ -286,3 +380,236 @@ class ABox:
                 self.assert_role(assertion.role, assertion.source, assertion.target, assertion.event, assertion.dynamic)
             else:
                 raise ABoxError(f"cannot load {assertion!r} into an ABox")
+
+
+class LayeredABox(ABox):
+    """A copy-on-write overlay over a shared static base ABox.
+
+    Reads see the union of base and overlay, with overlay assertions
+    shadowing base assertions about the same fact; writes, retractions
+    (:meth:`clear_dynamic`) and the dynamic set touch only the overlay.
+    Re-asserting a base fact OR-merges with the base event — exactly
+    the accumulation semantics of a flat box — but the merged assertion
+    lives in the overlay, so dropping it reveals the base fact again.
+
+    The base is shared *by reference*: a thousand overlays over one
+    world cost a thousand small dictionaries, not a thousand copies of
+    the catalogue.  Epoch counters combine both layers
+    (``mutation_count = base + overlay``), so every existing cache key
+    — the engine's context signature, the compiled reasoner's epoch —
+    keeps working unchanged; :attr:`overlay_mutation_count` exposes the
+    overlay's own epoch for base-tier sharing.
+
+    Overlays nest: ``base.overlay().overlay()`` builds a chain (e.g.
+    shared world → team context → user context), each layer shadowing
+    the ones below.
+
+    Examples
+    --------
+    >>> base = ABox()
+    >>> _ = base.assert_concept("TvProgram", "oprah")
+    >>> user_box = base.freeze().overlay()
+    >>> _ = user_box.assert_concept("Weekend", "peter", dynamic=True)
+    >>> len(base), len(user_box)
+    (1, 2)
+    >>> user_box.clear_dynamic()
+    1
+    >>> len(user_box)
+    1
+    """
+
+    def __init__(self, base: ABox) -> None:
+        super().__init__()
+        if not isinstance(base, ABox):
+            raise ABoxError(f"overlay base must be an ABox, got {base!r}")
+        self._base = base
+
+    @property
+    def base(self) -> ABox:
+        """The shared static base this overlay reads through to."""
+        return self._base
+
+    # -- epochs -----------------------------------------------------------
+    @property
+    def mutation_count(self) -> int:
+        return self._base.mutation_count + self._mutations
+
+    @property
+    def static_mutation_count(self) -> int:
+        return self._base.static_mutation_count + self._static_mutations
+
+    @property
+    def overlay_mutation_count(self) -> int:
+        """The overlay's own epoch (base changes excluded)."""
+        return self._mutations
+
+    # -- layering hooks ---------------------------------------------------
+    def _inherited_concept(
+        self, concept: ConceptName, individual: Individual
+    ) -> ConceptAssertion | None:
+        found = self._base._concepts.get(concept, {}).get(individual)
+        if found is None:
+            found = self._base._inherited_concept(concept, individual)
+        return found
+
+    def _inherited_role(
+        self, role: RoleName, key: tuple[Individual, Individual]
+    ) -> RoleAssertion | None:
+        found = self._base._roles.get(role, {}).get(key)
+        if found is None:
+            found = self._base._inherited_role(role, key)
+        return found
+
+    def _concept_table(self, concept: ConceptName) -> Mapping[Individual, ConceptAssertion]:
+        local = self._concepts.get(concept)
+        below = self._base._concept_table(concept)
+        if not local:
+            return below
+        if not below:
+            return local
+        merged = dict(below)
+        merged.update(local)
+        return merged
+
+    def _role_table(
+        self, role: RoleName
+    ) -> Mapping[tuple[Individual, Individual], RoleAssertion]:
+        local = self._roles.get(role)
+        below = self._base._role_table(role)
+        if not local:
+            return below
+        if not below:
+            return local
+        merged = dict(below)
+        merged.update(local)
+        return merged
+
+    # -- the overlay's own slice -----------------------------------------
+    def overlay_assertions(self) -> Iterator[ConceptAssertion | RoleAssertion]:
+        """Every assertion stored in this layer (static and dynamic)."""
+        for table in self._concepts.values():
+            yield from table.values()
+        for role_table in self._roles.values():
+            yield from role_table.values()
+
+    def overlay_snapshot(self) -> frozenset:
+        """This layer's assertions as a diffable set.
+
+        The engine's incremental-rescoring basis snapshots this instead
+        of just the dynamic assertions: two tenants over one base then
+        diff by their *entire* per-user slice, so a basis compiled for
+        one tenant is provably reusable by another.
+        """
+        return frozenset(self.overlay_assertions())
+
+    def overlay_names(self) -> frozenset[str]:
+        """Names of the individuals this layer asserts anything about."""
+        names: set[str] = set()
+        for table in self._concepts.values():
+            for assertion in table.values():
+                names.add(assertion.individual.name)
+        for role_table in self._roles.values():
+            for assertion in role_table.values():
+                names.add(assertion.source.name)
+                names.add(assertion.target.name)
+        return frozenset(names)
+
+    # -- merged reads -----------------------------------------------------
+    def dynamic_assertions(self) -> frozenset:
+        base_dynamic = self._base.dynamic_assertions()
+        if not base_dynamic:
+            return frozenset(self._dynamic)
+        live = {
+            assertion
+            for assertion in base_dynamic
+            if not self._shadows(assertion)
+        }
+        return frozenset(live | self._dynamic)
+
+    def _shadows(self, assertion: ConceptAssertion | RoleAssertion) -> bool:
+        if isinstance(assertion, ConceptAssertion):
+            return assertion.individual in self._concepts.get(assertion.concept, {})
+        return (assertion.source, assertion.target) in self._roles.get(assertion.role, {})
+
+    @property
+    def individuals(self) -> frozenset[Individual]:
+        return self._base.individuals | frozenset(self._individuals)
+
+    @property
+    def concept_names(self) -> frozenset[ConceptName]:
+        return self._base.concept_names | frozenset(self._concepts)
+
+    @property
+    def role_names(self) -> frozenset[RoleName]:
+        return self._base.role_names | frozenset(self._roles)
+
+    def role_successors(self, role: RoleName, source: Individual) -> Iterator[RoleAssertion]:
+        local = self._roles.get(role)
+        if not local:
+            yield from self._base.role_successors(role, source)
+            return
+        merged: dict[tuple[Individual, Individual], RoleAssertion] = {}
+        for assertion in self._base.role_successors(role, source):
+            merged[(assertion.source, assertion.target)] = assertion
+        for (src, dst), assertion in local.items():
+            if src == source:
+                merged[(src, dst)] = assertion
+        yield from merged.values()
+
+    def role_adjacency(self) -> dict[RoleName, dict[Individual, tuple[RoleAssertion, ...]]]:
+        """Base adjacency (cached once on a frozen base) plus the overlay.
+
+        Only the outer map and the (role, source) groups the overlay
+        touches are copied — O(roles + overlay), not O(world).
+        """
+        adjacency = dict(self._base.role_adjacency())
+        for role, local in self._roles.items():
+            role_map = dict(adjacency.get(role, {}))
+            touched_sources: dict[Individual, dict[tuple[Individual, Individual], RoleAssertion]] = {}
+            for (source, target), assertion in local.items():
+                touched_sources.setdefault(source, {})[(source, target)] = assertion
+            for source, entries in touched_sources.items():
+                merged = {
+                    (assertion.source, assertion.target): assertion
+                    for assertion in role_map.get(source, ())
+                }
+                merged.update(entries)
+                role_map[source] = tuple(merged.values())
+            adjacency[role] = role_map
+        return adjacency
+
+    def concept_assertions(self) -> Iterator[ConceptAssertion]:
+        for assertion in self._base.concept_assertions():
+            if assertion.individual not in self._concepts.get(assertion.concept, {}):
+                yield assertion
+        for table in self._concepts.values():
+            yield from table.values()
+
+    def role_assertions(self) -> Iterator[RoleAssertion]:
+        for assertion in self._base.role_assertions():
+            if (assertion.source, assertion.target) not in self._roles.get(assertion.role, {}):
+                yield assertion
+        for table in self._roles.values():
+            yield from table.values()
+
+    def __len__(self) -> int:
+        shadowed = 0
+        for concept, table in self._concepts.items():
+            shadowed += sum(
+                1 for individual in table
+                if self._inherited_concept(concept, individual) is not None
+            )
+        for role, role_table in self._roles.items():
+            shadowed += sum(
+                1 for key in role_table if self._inherited_role(role, key) is not None
+            )
+        local = sum(len(table) for table in self._concepts.values()) + sum(
+            len(table) for table in self._roles.values()
+        )
+        return len(self._base) + local - shadowed
+
+    def __repr__(self) -> str:
+        local = sum(len(table) for table in self._concepts.values()) + sum(
+            len(table) for table in self._roles.values()
+        )
+        return f"LayeredABox(base={self._base!r}, overlay_assertions={local})"

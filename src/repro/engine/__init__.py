@@ -26,7 +26,7 @@ from repro.engine.backends import (
     RepositoryPreferences,
     SensedContext,
 )
-from repro.engine.basis import ViewBasis, build_view_basis
+from repro.engine.basis import SharedBasisPool, ViewBasis, build_view_basis, shared_basis_pool
 from repro.engine.builder import EngineBuilder
 from repro.engine.cache import CacheInfo, ViewCache
 from repro.engine.engine import RankingEngine
@@ -68,6 +68,8 @@ __all__ = [
     "StorageBackend",
     "ViewBasis",
     "ViewCache",
+    "SharedBasisPool",
     "build_view_basis",
+    "shared_basis_pool",
     "resolve_relevance",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Hashable, Iterable
 
-from repro.dl.abox import ABox
+from repro.dl.abox import ABox, ConceptAssertion
 from repro.dl.parser import parse_concept
 from repro.dl.vocabulary import Individual
 from repro.errors import EngineConfigError
@@ -73,27 +73,27 @@ class AboxContext:
         return self._cached_signature
 
     def _render_signature(self) -> Hashable:
+        # Rendered from the incrementally maintained dynamic set —
+        # O(dynamic context), not a scan over the whole knowledge base
+        # (which, for tenant overlays, includes the shared world).
         static_epoch = self.abox.static_mutation_count
-        concepts = tuple(
-            sorted(
-                (str(assertion.concept), str(assertion.individual), str(assertion.event))
-                for assertion in self.abox.concept_assertions()
-                if assertion.dynamic
-            )
-        )
-        roles = tuple(
-            sorted(
-                (
-                    str(assertion.role),
-                    str(assertion.source),
-                    str(assertion.target),
-                    str(assertion.event),
+        concepts = []
+        roles = []
+        for assertion in self.abox.dynamic_assertions():
+            if isinstance(assertion, ConceptAssertion):
+                concepts.append(
+                    (str(assertion.concept), str(assertion.individual), str(assertion.event))
                 )
-                for assertion in self.abox.role_assertions()
-                if assertion.dynamic
-            )
-        )
-        return (static_epoch, concepts, roles)
+            else:
+                roles.append(
+                    (
+                        str(assertion.role),
+                        str(assertion.source),
+                        str(assertion.target),
+                        str(assertion.event),
+                    )
+                )
+        return (static_epoch, tuple(sorted(concepts)), tuple(sorted(roles)))
 
     def refresh(self) -> None:
         """Static context: nothing to pull."""

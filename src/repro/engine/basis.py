@@ -31,9 +31,10 @@ the candidates is caught before the closures are trusted.
 
 from __future__ import annotations
 
-from collections import deque
+import threading
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Hashable, Iterable
 
 from repro.core.kernel import ScoringKernel
 from repro.dl.abox import ABox, ConceptAssertion
@@ -44,7 +45,14 @@ from repro.dl.tbox import TBox
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.reason import CompiledKB
 
-__all__ = ["ViewBasis", "build_view_basis", "dynamic_snapshot", "support_closure"]
+__all__ = [
+    "ViewBasis",
+    "build_view_basis",
+    "dynamic_snapshot",
+    "support_closure",
+    "shared_basis_pool",
+    "SharedBasisPool",
+]
 
 
 def dynamic_snapshot(abox: ABox) -> frozenset:
@@ -52,7 +60,16 @@ def dynamic_snapshot(abox: ABox) -> frozenset:
 
     Served from the ABox's incrementally maintained dynamic set — O(of
     the dynamic context), not a scan over the whole knowledge base.
+
+    For a :class:`~repro.dl.abox.LayeredABox` the snapshot is the whole
+    overlay (static per-user facts included): the static epoch of the
+    basis key only covers the shared base, so everything per-user must
+    be part of the diffable delta — that is what lets one tenant's
+    compiled basis be (guardedly) reused by a sibling tenant.
     """
+    overlay_snapshot = getattr(abox, "overlay_snapshot", None)
+    if overlay_snapshot is not None:
+        return overlay_snapshot()
     return abox.dynamic_assertions()
 
 
@@ -165,3 +182,62 @@ def build_view_basis(abox: ABox, kernel: ScoringKernel) -> ViewBasis:
     winning) incremental path.
     """
     return ViewBasis(kernel=kernel, snapshot=dynamic_snapshot(abox))
+
+
+class SharedBasisPool:
+    """Cross-engine pool of compiled bases for overlay-backed tenants.
+
+    Engines over overlays of the same base world produce byte-identical
+    candidate matrices whenever their static epoch, rules and scorer
+    configuration agree — the per-user delta is exactly the snapshot
+    the reuse guard already diffs.  Pooling the bases process-wide
+    means tenant #2's first request rescans nothing: it rescores on
+    tenant #1's compiled matrix (after the guard proves the overlays
+    interchangeable).
+
+    Keys embed the base ``ABox`` object itself (identity-hashed), so a
+    pooled entry pins its world — the bounded LRU keeps that from
+    accumulating, and a live key can never collide with a recycled
+    ``id()``.
+    """
+
+    def __init__(self, max_entries: int = 32):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, ViewBasis]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> ViewBasis | None:
+        with self._lock:
+            basis = self._entries.get(key)
+            if basis is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return basis
+
+    def put(self, key: Hashable, basis: ViewBasis) -> None:
+        with self._lock:
+            self._entries[key] = basis
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: The process-wide pool every overlay-backed engine shares.
+_SHARED_POOL = SharedBasisPool()
+
+
+def shared_basis_pool() -> SharedBasisPool:
+    """The process-wide :class:`SharedBasisPool`."""
+    return _SHARED_POOL

@@ -86,26 +86,54 @@ class EngineBuilder:
         Reads ``abox``/``tbox``/``user`` (required), plus ``space``,
         ``target``, ``repository``, and — when the world carries a
         ``database`` with a ``data_table`` — the storage backend.
+
+        Overlay worlds are accepted too: an object exposing an
+        ``overlay``/``base`` pair (e.g. a :class:`repro.tenants.UserSession`,
+        or anything wrapping a :class:`~repro.dl.abox.LayeredABox`)
+        ranks over the overlay, with every attribute the wrapper does
+        not carry itself resolved from the base world.
         """
-        for attribute in ("abox", "tbox", "user"):
-            if not hasattr(world, attribute):
+        overlay = getattr(world, "overlay", None)
+        base = getattr(world, "base", None) if isinstance(overlay, ABox) else None
+
+        def pick(attribute: str):
+            value = getattr(world, attribute, None)
+            if value is None and base is not None:
+                value = getattr(base, attribute, None)
+            return value
+
+        if isinstance(overlay, ABox):
+            # An overlay/base pair: the overlay is the knowledge the
+            # engine ranks over; the base world fills in the rest.
+            abox, tbox, user = overlay, pick("tbox"), pick("user")
+            if tbox is None or user is None:
+                missing = "tbox" if tbox is None else "user"
                 raise EngineConfigError(
-                    f"world {type(world).__name__} has no {attribute!r}; "
-                    "pass the knowledge base with .knowledge(...) instead"
+                    f"overlay world {type(world).__name__} resolves no "
+                    f"{missing!r} (checked the object and its base); pass "
+                    "the knowledge base with .knowledge(...) instead"
                 )
-        self.knowledge(
-            world.abox, world.tbox, world.user, getattr(world, "space", None)
-        )
-        target = getattr(world, "target", None)
+        else:
+            for attribute in ("abox", "tbox", "user"):
+                if not hasattr(world, attribute):
+                    raise EngineConfigError(
+                        f"world {type(world).__name__} has no {attribute!r}; "
+                        "pass the knowledge base with .knowledge(...) instead — "
+                        "or, for per-user setups over one shared world, mint "
+                        "ready-made overlay sessions with repro.tenants.TenantRegistry"
+                    )
+            abox, tbox, user = world.abox, world.tbox, world.user
+
+        self.knowledge(abox, tbox, user, pick("space"))
+        target = pick("target")
         if target is not None:
             self.target(target)
-        repository = getattr(world, "repository", None)
+        repository = pick("repository")
         if repository is not None:
             self.preferences(repository)
-        database = getattr(world, "database", None)
-        data_table = getattr(world, "data_table", None)
+        database, data_table = pick("database"), pick("data_table")
         if database is not None and data_table is not None:
-            self.storage(database, data_table, getattr(world, "id_column", "id"))
+            self.storage(database, data_table, pick("id_column") or "id")
         return self
 
     # -- backends ----------------------------------------------------------

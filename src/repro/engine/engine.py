@@ -39,7 +39,7 @@ from repro.dl.tbox import TBox
 from repro.dl.vocabulary import Individual
 from repro.errors import EngineConfigError, EngineError, ScoringError
 from repro.events.space import EventSpace
-from repro.engine.basis import build_view_basis
+from repro.engine.basis import build_view_basis, shared_basis_pool
 from repro.engine.cache import CacheInfo, ViewCache
 from repro.engine.protocols import (
     ContextBackend,
@@ -126,6 +126,8 @@ class RankingEngine:
         self.prune_documents = prune_documents
         self.incremental = incremental
         self.kb = kb if kb is not None else compiled_kb(abox, tbox, space)
+        #: Overlay-backed engines exchange compiled bases process-wide.
+        self._shares_bases = isinstance(getattr(abox, "base", None), ABox)
         self._cache = ViewCache(max_entries=cache_size)
         self._scorer = self._build_scorer(preferences.repository())
         self._view = PreferenceView(
@@ -257,11 +259,29 @@ class RankingEngine:
             str(self.target),
         )
 
+    def _static_epoch(self) -> Hashable:
+        """The static-knowledge component of the basis key.
+
+        For an overlay world this is the *base* identity and epoch —
+        shared by every tenant over that base, so their bases land on
+        one pool key; the per-user slice is covered by the snapshot
+        diff in :meth:`ViewBasis.reusable_for`.  Because the pool spans
+        engines, the key must also carry the TBox and space *identity*
+        (two fresh TBoxes both sit at revision 0 — revisions alone
+        would alias engines over different ontologies).  The key holds
+        the objects themselves: identity-hashed and kept alive by the
+        pool, so recycled ``id()`` values can never alias.
+        """
+        base = getattr(self.abox, "base", None)
+        if isinstance(base, ABox):
+            return (base, base.mutation_count, self.tbox, self.space)
+        return self.abox.static_mutation_count
+
     def _basis_key(self) -> Hashable:
         """Everything the compiled candidate matrix depends on *except*
         the dynamic context — the key of the incremental-rescoring basis."""
         return (
-            self.abox.static_mutation_count,
+            self._static_epoch(),
             self.tbox.revision,
             self.space.revision if self.space is not None else -1,
             self.preferences.fingerprint(),
@@ -281,7 +301,12 @@ class RankingEngine:
         """
         if not self.incremental:
             return None
-        basis = self._cache.basis_get(self._basis_key())
+        key = self._basis_key()
+        basis = self._cache.basis_get(key)
+        if basis is None and self._shares_bases:
+            # Another tenant over the same base may have compiled the
+            # matrix already; the reuse guard below decides safety.
+            basis = shared_basis_pool().get(key)
         if basis is None or not basis.reusable_for(
             self.abox, self.tbox, self.target, kb=self.kb
         ):
@@ -323,9 +348,11 @@ class RankingEngine:
             scores = self._view.scores_map()
             kernel = self._scorer.last_kernel
             if self.incremental and kernel is not None:
-                self._cache.basis_put(
-                    self._basis_key(), build_view_basis(self.abox, kernel)
-                )
+                basis_key = self._basis_key()
+                basis = build_view_basis(self.abox, kernel)
+                self._cache.basis_put(basis_key, basis)
+                if self._shares_bases:
+                    shared_basis_pool().put(basis_key, basis)
         self._cache.put(key, scores)
         return scores, False
 

@@ -17,15 +17,24 @@ once per member: the first member's binding fills the membership and
 probability memos the remaining members (and repeated rankings under an
 unchanged context) hit.  :meth:`GroupRanker.shared_kb` exposes that KB
 when the sharing actually holds.
+
+Members need not share one literal ABox: tenants minted from a
+:class:`~repro.tenants.TenantRegistry` rank over copy-on-write
+*overlays* of one base world — each member keeps a private context and
+private rules, while the static knowledge is reasoned once in the
+shared base tier.  :meth:`GroupRanker.from_sessions` builds a group
+straight from such sessions and :meth:`GroupRanker.shared_base`
+reports the common base world when one exists.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.errors import ScoringError
 from repro.core.scorer import ContextAwareScorer
+from repro.dl.abox import ABox
 from repro.multiuser.strategies import STRATEGIES, AggregationStrategy, resolve_strategy
 from repro.reason import CompiledKB
 
@@ -83,14 +92,70 @@ class GroupRanker:
             raise ScoringError(f"duplicate member names in group: {names}")
         self.strategy = resolve_strategy(self.strategy)
 
+    @classmethod
+    def from_sessions(
+        cls,
+        sessions: Mapping[str, object] | Iterable[object],
+        strategy: AggregationStrategy | str = "average",
+    ) -> "GroupRanker":
+        """A group from tenant sessions (or anything with ``as_member``).
+
+        Accepts a ``{name: session}`` mapping (sessions *or* engines),
+        or an iterable of tenant sessions named by their ``tenant_id``
+        — bare engines carry no name, so pass them in a mapping.
+        Sessions from one :class:`~repro.tenants.TenantRegistry` are
+        overlays of one base world, so the group shares the base
+        reasoning tier while every member keeps a private context and
+        rule set.
+        """
+        if isinstance(sessions, Mapping):
+            named = list(sessions.items())
+        else:
+            named = [(getattr(session, "tenant_id", None), session) for session in sessions]
+        members = []
+        for name, session in named:
+            as_member = getattr(session, "as_member", None)
+            if as_member is None:
+                raise ScoringError(
+                    f"cannot build a group member from {session!r}; expected a "
+                    "repro.tenants.UserSession or RankingEngine (with as_member)"
+                )
+            if name is None:
+                raise ScoringError(
+                    f"no member name for {session!r}; pass a {{name: session}} "
+                    "mapping for objects without a tenant_id"
+                )
+            members.append(as_member(name))
+        return cls(members, strategy=strategy)
+
     def shared_kb(self) -> CompiledKB | None:
         """The one compiled reasoner behind every member, if shared.
 
         ``None`` when members were built over different worlds (or with
         distinct private KBs) — each then reasons on its own memo.
+        Overlay-backed members always have distinct KBs; their sharing
+        happens one level down, in the base tier
+        (:meth:`shared_base`).
         """
         first = self.members[0].scorer.kb
         if all(member.scorer.kb is first for member in self.members[1:]):
+            return first
+        return None
+
+    def shared_base(self) -> ABox | None:
+        """The common static world behind every member, if one exists.
+
+        For members over one literal ABox this is that ABox; for
+        tenant overlays it is the shared base they all read through to
+        (whose reasoning lands in one shared base tier).  ``None`` when
+        members span unrelated worlds.
+        """
+        def base_of(abox: ABox) -> ABox:
+            below = getattr(abox, "base", None)
+            return base_of(below) if isinstance(below, ABox) else abox
+
+        first = base_of(self.members[0].scorer.abox)
+        if all(base_of(member.scorer.abox) is first for member in self.members[1:]):
             return first
         return None
 

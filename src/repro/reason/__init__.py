@@ -13,6 +13,7 @@ from repro.reason.kb import (
     CompiledKB,
     ReasonerInfo,
     ReasonerSession,
+    base_tier,
     clear_registry,
     compiled_kb,
     query_session,
@@ -22,6 +23,7 @@ __all__ = [
     "CompiledKB",
     "ReasonerInfo",
     "ReasonerSession",
+    "base_tier",
     "clear_registry",
     "compiled_kb",
     "query_session",

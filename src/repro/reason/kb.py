@@ -38,15 +38,31 @@ shared with the uncached reference path and cannot drift.
 instance retrieval and multi-user group ranking over the same world all
 receive the *same* ``CompiledKB``, so a context event reasoned for one
 group member (or one request) is a memo hit for the next.
+
+**Multi-tenant split.**  When the knowledge base is a
+:class:`~repro.dl.abox.LayeredABox` — one shared static base plus a
+per-user copy-on-write overlay — the caches split into two tiers.  The
+**base tier** (:func:`base_tier`) is one ReasonerSession over the base
+world, shared read-only across *every* overlay of that base and keyed
+by the base epoch alone: concept expansions, closures, the
+role-successor index, static membership events and probabilities (one
+Shannon memo for the whole tenant fleet) are computed once, not once
+per user.  The **overlay tier** is the per-``CompiledKB`` session,
+keyed by the combined epoch as before, which answers locally only for
+individuals the overlay can actually affect — everything an overlay
+assertion touches, expanded to whatever can *reach* a touched
+individual through role edges — and delegates the rest to the base
+tier.  A new user session therefore costs O(overlay), not O(world).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import threading
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.dl.abox import ABox, RoleAssertion
+from repro.dl.abox import ABox, LayeredABox, RoleAssertion
 from repro.dl.concepts import Concept
 from repro.dl.instances import MembershipEvaluator
 from repro.dl.tbox import TBox
@@ -60,6 +76,7 @@ __all__ = [
     "CompiledKB",
     "ReasonerSession",
     "ReasonerInfo",
+    "base_tier",
     "compiled_kb",
     "query_session",
     "clear_registry",
@@ -67,6 +84,34 @@ __all__ = [
 
 #: Worlds kept alive by the shared registry (LRU beyond this bound).
 MAX_REGISTRY_WORLDS = 8
+
+#: Shared base-tier sessions kept alive (LRU beyond this bound).
+MAX_BASE_TIERS = 8
+
+
+class _ChainedMap:
+    """Two adjacency maps read as one, without copying the big one.
+
+    Base-tier reachability maps are O(world); an overlay adds a handful
+    of edges.  Chaining serves ``get`` from both in O(1) so building an
+    overlay session never copies the base maps.  Only the mapping
+    surface the reachability walkers use (``get``) is provided.
+    """
+
+    __slots__ = ("below", "extra")
+
+    def __init__(self, below, extra):
+        self.below = below
+        self.extra = extra
+
+    def get(self, key, default=()):
+        below = self.below.get(key)
+        extra = self.extra.get(key)
+        if extra is None:
+            return below if below is not None else default
+        if below is None:
+            return extra
+        return list(below) + list(extra)
 
 
 @dataclass(frozen=True)
@@ -85,6 +130,10 @@ class ReasonerInfo:
     memo_events: int
     memo_probabilities: int
     invalidations: int
+    #: Membership events answered by the shared base tier (overlay KBs).
+    base_events: int = 0
+    #: Does this KB delegate to a shared base tier?
+    shared_base: bool = False
 
     @property
     def membership_hit_rate(self) -> float:
@@ -102,25 +151,37 @@ class ReasonerSession(MembershipEvaluator):
     inherited untouched.
     """
 
-    def __init__(self, abox: ABox, tbox: TBox, space: EventSpace | None, epoch: tuple):
+    def __init__(
+        self,
+        abox: ABox,
+        tbox: TBox,
+        space: EventSpace | None,
+        epoch: tuple,
+        base: "ReasonerSession | None" = None,
+    ):
         super().__init__(abox, tbox)
         self.space = space
         self.epoch = epoch
+        self.base = base
         self._expansions: dict[Concept, Concept] = {}
         self._descendants: dict[ConceptName, tuple[ConceptName, ...]] = {}
         self._role_descendants: dict[RoleName, tuple[RoleName, ...]] = {}
         self._adjacency: dict[RoleName, dict[Individual, tuple[RoleAssertion, ...]]] | None = None
         self._reachability: tuple[dict[str, list[str]], dict[str, list[str]]] | None = None
+        self._affected: frozenset[str] | None = None
         self._events: dict[tuple[Individual, Concept], EventExpr] = {}
         self._probabilities: dict[tuple[str, EventExpr], float] = {}
-        self._shannon = ShannonEngine(space)
+        self._shannon = base._shannon if base is not None else ShannonEngine(space)
         self.membership_hits = 0
         self.membership_misses = 0
         self.probability_hits = 0
         self.probability_misses = 0
+        self.base_events = 0
 
     # -- cached lookup hooks --------------------------------------------
     def expand_concept(self, concept: Concept) -> Concept:
+        if self.base is not None:
+            return self.base.expand_concept(concept)
         expanded = self._expansions.get(concept)
         if expanded is None:
             expanded = self.tbox.expand(concept)
@@ -128,6 +189,8 @@ class ReasonerSession(MembershipEvaluator):
         return expanded
 
     def sorted_descendants(self, name: ConceptName) -> tuple[ConceptName, ...]:
+        if self.base is not None:
+            return self.base.sorted_descendants(name)
         names = self._descendants.get(name)
         if names is None:
             names = super().sorted_descendants(name)
@@ -135,6 +198,8 @@ class ReasonerSession(MembershipEvaluator):
         return names
 
     def sorted_role_descendants(self, role: RoleName) -> tuple[RoleName, ...]:
+        if self.base is not None:
+            return self.base.sorted_role_descendants(role)
         roles = self._role_descendants.get(role)
         if roles is None:
             roles = super().sorted_role_descendants(role)
@@ -143,6 +208,8 @@ class ReasonerSession(MembershipEvaluator):
 
     def role_successors(self, role: RoleName, individual: Individual) -> Iterable[RoleAssertion]:
         if self._adjacency is None:
+            # For a LayeredABox this merges the base's cached index with
+            # the overlay in O(roles + overlay) — see ABox.role_adjacency.
             self._adjacency = self.abox.role_adjacency()
         return self._adjacency.get(role, {}).get(individual, ())
 
@@ -153,19 +220,62 @@ class ReasonerSession(MembershipEvaluator):
         walks reachability closures on every context-change check;
         serving both directions from the session keeps that check
         O(touched region) instead of re-scanning every role assertion
-        per request.
+        per request.  Overlay sessions chain the base tier's maps with
+        the overlay's few edges instead of re-scanning the world.
         """
         if self._reachability is None:
-            forward: dict[str, list[str]] = {}
-            reverse: dict[str, list[str]] = {}
-            for assertion in self.abox.role_assertions():
-                source, target = assertion.source.name, assertion.target.name
-                forward.setdefault(source, []).append(target)
-                reverse.setdefault(target, []).append(source)
-            self._reachability = (forward, reverse)
+            if self.base is not None:
+                base_forward, base_reverse = self.base.reachability_maps()
+                forward_extra: dict[str, list[str]] = {}
+                reverse_extra: dict[str, list[str]] = {}
+                for assertion in self.abox.overlay_assertions():
+                    if isinstance(assertion, RoleAssertion):
+                        source, target = assertion.source.name, assertion.target.name
+                        forward_extra.setdefault(source, []).append(target)
+                        reverse_extra.setdefault(target, []).append(source)
+                self._reachability = (
+                    _ChainedMap(base_forward, forward_extra),
+                    _ChainedMap(base_reverse, reverse_extra),
+                )
+            else:
+                forward: dict[str, list[str]] = {}
+                reverse: dict[str, list[str]] = {}
+                for assertion in self.abox.role_assertions():
+                    source, target = assertion.source.name, assertion.target.name
+                    forward.setdefault(source, []).append(target)
+                    reverse.setdefault(target, []).append(source)
+                self._reachability = (forward, reverse)
         return self._reachability
 
+    def affected_names(self) -> frozenset[str]:
+        """Individuals whose membership events the overlay may change.
+
+        The overlay's touched individuals plus everything that can
+        *reach* one through role edges (their events can embed the
+        changed facts).  Everything outside this set is answered by the
+        shared base tier.  Empty for sessions without a base.
+        """
+        if self._affected is None:
+            if self.base is None:
+                self._affected = frozenset()
+            else:
+                touched = set(self.abox.overlay_names())
+                _forward, reverse = self.reachability_maps()
+                queue = deque(touched)
+                while queue:
+                    for neighbour in reverse.get(queue.popleft(), ()):
+                        if neighbour not in touched:
+                            touched.add(neighbour)
+                            queue.append(neighbour)
+                self._affected = frozenset(touched)
+        return self._affected
+
     def event(self, individual: Individual, concept: Concept) -> EventExpr:
+        if self.base is not None and individual.name not in self.affected_names():
+            # The overlay provably cannot change this individual's
+            # events: serve (and memoise) on the shared base tier.
+            self.base_events += 1
+            return self.base.event(individual, concept)
         key = (individual, concept)
         cached = self._events.get(key)
         if cached is not None:
@@ -188,6 +298,12 @@ class ReasonerSession(MembershipEvaluator):
             return 1.0
         if event.is_impossible:
             return 0.0
+        if self.base is not None:
+            # One probability memo (and one Shannon sub-expression memo)
+            # for the whole tenant fleet: probabilities depend only on
+            # the event structure and the shared space, both of which
+            # are pinned by the base tier's epoch.
+            return self.base.probability(event, engine)
         key = (engine, event)
         cached = self._probabilities.get(key)
         if cached is not None:
@@ -265,6 +381,7 @@ class CompiledKB:
         self._misses = 0
         self._probability_hits = 0
         self._probability_misses = 0
+        self._base_events = 0
 
     # -- epochs ----------------------------------------------------------
     def epoch(self) -> tuple:
@@ -285,7 +402,7 @@ class CompiledKB:
             if session is not None:
                 self._retire(session)
                 self._invalidations += 1
-            session = ReasonerSession(self.abox, self.tbox, self.space, epoch)
+            session = _make_session(self.abox, self.tbox, self.space, epoch)
             self._session = session
         return session
 
@@ -301,6 +418,7 @@ class CompiledKB:
         self._misses += session.membership_misses
         self._probability_hits += session.probability_hits
         self._probability_misses += session.probability_misses
+        self._base_events += session.base_events
 
     # -- delegating conveniences -----------------------------------------
     def membership_event(self, individual: str | Individual, concept: Concept) -> EventExpr:
@@ -345,6 +463,8 @@ class CompiledKB:
             memo_events=len(session._events) if session else 0,
             memo_probabilities=len(session._probabilities) if session else 0,
             invalidations=self._invalidations,
+            base_events=self._base_events + (session.base_events if session else 0),
+            shared_base=isinstance(self.abox, LayeredABox),
         )
 
     def __repr__(self) -> str:
@@ -353,6 +473,51 @@ class CompiledKB:
             f"CompiledKB(epoch={info.epoch}, events={info.memo_events}, "
             f"hits={info.membership_hits}, misses={info.membership_misses})"
         )
+
+
+#: Shared base-tier sessions: one per (base world, TBox, space), keyed
+#: by identity — valid while the entry lives, because the session holds
+#: all three strongly.  Every overlay KB over the same base delegates
+#: here, so the static world is reasoned once per base epoch for the
+#: whole tenant fleet.
+_BASE_TIERS: "OrderedDict[tuple, ReasonerSession]" = OrderedDict()
+_BASE_TIERS_LOCK = threading.Lock()
+
+
+def base_tier(
+    abox: ABox, tbox: TBox, space: EventSpace | None = None
+) -> ReasonerSession:
+    """The shared read-only reasoner session over one static base world.
+
+    Rebuilt only when the *base* epoch moves (which a frozen base never
+    does); overlay epochs never invalidate it — that is the whole
+    point.  Nested overlays chain: the base of a team overlay is itself
+    served through its own base tier.  Lookup is thread-safe (tenant
+    fleets check sessions out concurrently).
+    """
+    key = (id(abox), id(tbox), id(space))
+    space_revision = space.revision if space is not None else -1
+    epoch = (abox.mutation_count, tbox.revision, space_revision)
+    with _BASE_TIERS_LOCK:
+        session = _BASE_TIERS.get(key)
+        if session is not None and session.epoch == epoch:
+            _BASE_TIERS.move_to_end(key)
+            return session
+    session = _make_session(abox, tbox, space, epoch)
+    with _BASE_TIERS_LOCK:
+        _BASE_TIERS[key] = session
+        _BASE_TIERS.move_to_end(key)
+        while len(_BASE_TIERS) > MAX_BASE_TIERS:
+            _BASE_TIERS.popitem(last=False)
+    return session
+
+
+def _make_session(
+    abox: ABox, tbox: TBox, space: EventSpace | None, epoch: tuple
+) -> ReasonerSession:
+    """A session for ``abox``, wired to the shared base tier if layered."""
+    base = base_tier(abox.base, tbox, space) if isinstance(abox, LayeredABox) else None
+    return ReasonerSession(abox, tbox, space, epoch, base=base)
 
 
 #: The shared registry: world identity -> the KBs compiled over it.
@@ -418,5 +583,18 @@ def query_session(
 
 
 def clear_registry() -> None:
-    """Forget every shared KB (used by tests and long-lived processes)."""
+    """Forget every shared KB, base tier and pooled scoring basis
+    (used by tests and long-lived processes).
+
+    One documented cleanup entry point: the engine's cross-tenant
+    basis pool pins base worlds through its keys, so it must drain
+    together with the reasoning registries or a long-lived process
+    that rebuilds worlds would leak them.
+    """
     _REGISTRY.clear()
+    with _BASE_TIERS_LOCK:
+        _BASE_TIERS.clear()
+    # Imported lazily: repro.engine sits above this layer.
+    from repro.engine.basis import shared_basis_pool
+
+    shared_basis_pool().clear()

@@ -1,0 +1,13 @@
+"""Multi-tenant serving: shared static world, per-user overlay sessions.
+
+One frozen base world, a :class:`TenantRegistry` minting bounded,
+thread-safe :class:`UserSession` objects — each a copy-on-write
+knowledge overlay plus a ranking engine — so thousands of concurrent
+user profiles share the static knowledge, reasoner base tier and
+compiled scoring bases instead of each carrying a private copy of the
+world.
+"""
+
+from repro.tenants.registry import TenantRegistry, TenantRegistryInfo, UserSession
+
+__all__ = ["TenantRegistry", "TenantRegistryInfo", "UserSession"]

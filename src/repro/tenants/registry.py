@@ -1,0 +1,340 @@
+"""The multi-tenant serving layer: one world, thousands of user sessions.
+
+The paper's tvtouch vision (Section 2) is a single static domain
+ontology consulted by *many* users, each contributing only a small
+volatile slice — their context and situational assertions.  A
+:class:`TenantRegistry` is that shape made executable: it holds one
+shared base world (frozen so no tenant can mutate it), and mints a
+:class:`UserSession` per tenant — a copy-on-write
+:class:`~repro.dl.abox.LayeredABox` overlay for the tenant's own
+assertions, a situated user individual, their preference rules, and a
+:class:`~repro.engine.RankingEngine` wired over the overlay through
+:class:`~repro.engine.EngineBuilder`.
+
+What the layering buys (see :mod:`repro.reason` and
+:mod:`repro.engine.basis` for the mechanics):
+
+* a new session costs O(overlay), not O(world) — the static knowledge,
+  role indexes and the compiled reasoner's base tier are shared by
+  reference across the whole fleet;
+* tenants' engines exchange compiled scoring bases through the
+  process-wide pool, so even the first request of a fresh tenant can
+  rescore on a sibling's matrix instead of re-binding every document;
+* eviction is safe and cheap: a session is just its overlay and caches,
+  so the registry LRU-bounds live sessions and re-mints on demand.
+
+Checkout is thread-safe: concurrent ``session(tenant_id)`` calls for
+the same tenant return one session object, and minting never races the
+LRU bookkeeping.
+
+Examples
+--------
+>>> from repro.tenants import TenantRegistry
+>>> from repro.workloads import build_tvtouch
+>>> registry = TenantRegistry(build_tvtouch(), max_sessions=100)
+>>> alice = registry.session("alice")
+>>> alice.install_context("Weekend", "Breakfast")
+>>> alice.rank().top().document
+'channel5_news'
+>>> bob = registry.session("bob")       # no context installed
+>>> bob.overlay is not alice.overlay
+True
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping
+
+from repro.dl.abox import ABox, LayeredABox
+from repro.dl.vocabulary import Individual
+from repro.errors import EngineConfigError
+from repro.rules.repository import RuleRepository
+from repro.engine.builder import EngineBuilder
+from repro.engine.engine import RankingEngine
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.multiuser.group import GroupMember
+
+__all__ = ["TenantRegistry", "UserSession", "TenantRegistryInfo"]
+
+
+@dataclass(frozen=True)
+class TenantRegistryInfo:
+    """Checkout counters of a :class:`TenantRegistry`."""
+
+    active: int
+    max_sessions: int
+    minted: int
+    hits: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.minted
+        return self.hits / total if total else 0.0
+
+
+class UserSession:
+    """One tenant's live ranking session over the shared world.
+
+    Carries the tenant's overlay (:class:`~repro.dl.abox.LayeredABox`),
+    situated user individual and ranking engine.  The session is itself
+    a valid ``world`` argument for :meth:`EngineBuilder.world` — it
+    exposes the ``overlay``/``base`` pair, with everything else
+    resolved from the base world — so ad-hoc engines (say, a different
+    relevance strategy for one experiment) can be built over the same
+    overlay.
+    """
+
+    def __init__(
+        self,
+        tenant_id: str,
+        user: Individual,
+        overlay: LayeredABox,
+        base: object,
+        engine: RankingEngine,
+    ):
+        self.tenant_id = tenant_id
+        self.user = user
+        self.overlay = overlay
+        self.base = base
+        self.engine = engine
+
+    # -- the per-tenant slice ---------------------------------------------
+    @property
+    def repository(self) -> RuleRepository:
+        """The tenant's preference rules."""
+        return self.engine.preferences.repository()
+
+    def install_context(self, *specs: str, tick: str = "ctx") -> None:
+        """Replace this tenant's dynamic context (``CONCEPT[:PROB]`` specs).
+
+        Context lands in the overlay only — siblings and the shared
+        base never see it.
+        """
+        self.engine.install_context(*specs, tick=tick)
+
+    def clear_context(self) -> int:
+        """Drop this tenant's dynamic assertions (the base is untouched)."""
+        return self.overlay.clear_dynamic()
+
+    def assert_fact(self, concept: str, individual: str | Individual | None = None, **kwargs):
+        """Assert a per-tenant concept fact into the overlay.
+
+        Defaults to the session's own user as the individual — the
+        common "this user is currently X" shape.
+        """
+        return self.overlay.assert_concept(
+            concept, individual if individual is not None else self.user, **kwargs
+        )
+
+    # -- ranking ----------------------------------------------------------
+    def rank(self, request=None):
+        """Answer one ranking request (see :meth:`RankingEngine.rank`)."""
+        return self.engine.rank(request)
+
+    def rank_many(self, requests):
+        return self.engine.rank_many(requests)
+
+    def preference_scores(self) -> dict[str, float]:
+        return self.engine.preference_scores()
+
+    def explain(self, document: str) -> str:
+        return self.engine.explain(document)
+
+    def as_member(self, name: str | None = None) -> "GroupMember":
+        """This tenant as a :class:`~repro.multiuser.GroupMember`.
+
+        Members minted from one registry score over overlays of one
+        base, so group ranking shares the base reasoning tier while
+        each member keeps a private context.
+        """
+        return self.engine.as_member(name if name is not None else self.tenant_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"UserSession({self.tenant_id!r}, user={self.user}, "
+            f"overlay_assertions={len(list(self.overlay.overlay_assertions()))})"
+        )
+
+
+class TenantRegistry:
+    """Mints and pools per-tenant sessions over one shared base world.
+
+    Parameters
+    ----------
+    world:
+        The base world (duck-typed like :meth:`EngineBuilder.world`):
+        ``abox`` and ``tbox`` are required; ``space``, ``target``,
+        ``repository``, ``database``/``data_table`` are wired through
+        when present.
+    rules:
+        Default preference rules for minted sessions: a shared
+        :class:`RuleRepository`, or a ``tenant_id -> RuleRepository``
+        factory for per-tenant rules.  ``None`` falls back to the
+        world's repository.  A per-call ``rules=`` to :meth:`session`
+        overrides this at mint time.
+    max_sessions:
+        LRU bound on live sessions; the least recently checked-out
+        session is evicted when the bound is exceeded (its overlay and
+        caches are dropped — re-minting is cheap by design).
+    freeze:
+        Freeze the base ABox (default).  Strongly recommended: a frozen
+        base cannot be mutated by a stray tenant write, and its derived
+        indexes are computed once and shared.
+    engine_options:
+        Builder options applied to every minted engine
+        (``method=...``, ``relevance=...``, ``cache_size=...``, ...).
+    """
+
+    def __init__(
+        self,
+        world: object,
+        *,
+        rules: RuleRepository | Callable[[str], RuleRepository] | None = None,
+        max_sessions: int = 1024,
+        freeze: bool = True,
+        **engine_options: object,
+    ):
+        abox = getattr(world, "abox", None)
+        tbox = getattr(world, "tbox", None)
+        if not isinstance(abox, ABox) or tbox is None:
+            raise EngineConfigError(
+                f"TenantRegistry needs a base world with 'abox' and 'tbox', "
+                f"got {type(world).__name__}"
+            )
+        if not isinstance(max_sessions, int) or max_sessions < 1:
+            raise EngineConfigError(
+                f"max_sessions must be a positive integer, got {max_sessions!r}"
+            )
+        self.world = world
+        self.abox = abox
+        self.tbox = tbox
+        self.space = getattr(world, "space", None)
+        self._target = getattr(world, "target", None)
+        self._rules = rules
+        self._engine_options = dict(engine_options)
+        self.max_sessions = max_sessions
+        if freeze:
+            abox.freeze()
+        self._sessions: "OrderedDict[str, UserSession]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._minted = 0
+        self._hits = 0
+        self._evictions = 0
+
+    # -- checkout ----------------------------------------------------------
+    def session(
+        self,
+        tenant_id: str,
+        *,
+        user: str | Individual | None = None,
+        rules: RuleRepository | None = None,
+        **options: object,
+    ) -> UserSession:
+        """The live session for ``tenant_id`` (minted on first checkout).
+
+        ``user``, ``rules`` and builder ``options`` apply at *mint*
+        time only; a checkout of an existing session returns it as-is.
+        Thread-safe: concurrent checkouts of one tenant yield the same
+        session object.
+        """
+        tenant_id = str(tenant_id)
+        with self._lock:
+            existing = self._sessions.get(tenant_id)
+            if existing is not None:
+                self._sessions.move_to_end(tenant_id)
+                self._hits += 1
+                return existing
+            session = self._mint(tenant_id, user, rules, options)
+            self._sessions[tenant_id] = session
+            self._minted += 1
+            while len(self._sessions) > self.max_sessions:
+                self._sessions.popitem(last=False)
+                self._evictions += 1
+            return session
+
+    def _mint(
+        self,
+        tenant_id: str,
+        user: str | Individual | None,
+        rules: RuleRepository | None,
+        options: Mapping[str, object],
+    ) -> UserSession:
+        overlay = self.abox.overlay()
+        if user is None:
+            user = tenant_id
+        individual = Individual(user) if isinstance(user, str) else user
+        if individual not in self.abox.individuals:
+            overlay.register_individual(individual)
+        repository = rules if rules is not None else self._default_rules(tenant_id)
+        builder = EngineBuilder().knowledge(overlay, self.tbox, individual, self.space)
+        if self._target is not None:
+            builder.target(self._target)
+        if repository is not None:
+            builder.preferences(repository)
+        database = getattr(self.world, "database", None)
+        data_table = getattr(self.world, "data_table", None)
+        if database is not None and data_table is not None:
+            builder.storage(database, data_table, getattr(self.world, "id_column", "id"))
+        merged = dict(self._engine_options)
+        merged.update(options)
+        if merged:
+            builder.options(**merged)
+        return UserSession(tenant_id, individual, overlay, self.world, builder.build())
+
+    def _default_rules(self, tenant_id: str) -> RuleRepository | None:
+        if isinstance(self._rules, RuleRepository):
+            return self._rules
+        if callable(self._rules):
+            return self._rules(tenant_id)
+        return getattr(self.world, "repository", None)
+
+    # -- pool management ---------------------------------------------------
+    def evict(self, tenant_id: str) -> bool:
+        """Drop a session (returns whether one was live)."""
+        with self._lock:
+            session = self._sessions.pop(str(tenant_id), None)
+            if session is not None:
+                self._evictions += 1
+            return session is not None
+
+    def clear(self) -> int:
+        """Drop every live session; returns how many."""
+        with self._lock:
+            count = len(self._sessions)
+            self._sessions.clear()
+            self._evictions += count
+            return count
+
+    def info(self) -> TenantRegistryInfo:
+        with self._lock:
+            return TenantRegistryInfo(
+                active=len(self._sessions),
+                max_sessions=self.max_sessions,
+                minted=self._minted,
+                hits=self._hits,
+                evictions=self._evictions,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __contains__(self, tenant_id: object) -> bool:
+        with self._lock:
+            return str(tenant_id) in self._sessions
+
+    def __iter__(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self._sessions))
+
+    def __repr__(self) -> str:
+        info = self.info()
+        return (
+            f"TenantRegistry(active={info.active}/{info.max_sessions}, "
+            f"minted={info.minted}, hits={info.hits}, evictions={info.evictions})"
+        )

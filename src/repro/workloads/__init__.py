@@ -20,7 +20,12 @@ from repro.workloads.tvtouch import (
     build_tvtouch,
     set_breakfast_weekend_context,
 )
-from repro.workloads.users import SyntheticUser, generate_population, simulate_choice
+from repro.workloads.users import (
+    SyntheticUser,
+    generate_population,
+    sessions_for_population,
+    simulate_choice,
+)
 
 __all__ = [
     "ContextPattern",
@@ -38,6 +43,7 @@ __all__ = [
     "install_context_series",
     "sample_history",
     "sample_workday_mornings",
+    "sessions_for_population",
     "set_breakfast_weekend_context",
     "simulate_choice",
 ]

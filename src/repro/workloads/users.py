@@ -1,23 +1,38 @@
-"""Synthetic user populations for the simulated user studies (E5, E7).
+"""Synthetic user populations for the simulated user studies (E5, E7, E12).
 
 Each synthetic user owns planted preference rules over the TVTouch-style
 feature space.  For the ranking-quality experiment we simulate, per
 trial, which programs the user would actually pick in a context (via
 the generative sigma model) and measure how highly each ranker placed
 them.
+
+Populations are *profiles* (name + rules); to situate one over a world,
+:func:`sessions_for_population` checks every user out of a
+:class:`~repro.tenants.TenantRegistry` — each becomes a copy-on-write
+overlay of the one shared base world, instead of the deep-copied
+private world a naive per-user setup would pay for.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 from repro.dl.concepts import atomic, one_of, some
 from repro.history.episodes import Candidate
 from repro.rules.repository import RuleRepository
 from repro.rules.rule import PreferenceRule
 
-__all__ = ["SyntheticUser", "generate_population", "simulate_choice"]
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.tenants import TenantRegistry, UserSession
+
+__all__ = [
+    "SyntheticUser",
+    "generate_population",
+    "sessions_for_population",
+    "simulate_choice",
+]
 
 
 @dataclass(frozen=True)
@@ -62,6 +77,33 @@ def generate_population(
             )
         population.append(SyntheticUser(f"user_{index:03d}", repository))
     return population
+
+
+def sessions_for_population(
+    registry: "TenantRegistry",
+    population: Iterable[SyntheticUser],
+) -> dict[str, "UserSession"]:
+    """Situate a synthetic population as tenants of one shared world.
+
+    Every user is checked out of ``registry`` under their own name with
+    their own planted rules: one overlay per user over the registry's
+    frozen base — the multi-user experiments then cost O(population)
+    overlays, not O(population) copies of the world.
+
+    Examples
+    --------
+    >>> from repro.tenants import TenantRegistry
+    >>> from repro.workloads import build_tvtouch
+    >>> population = generate_population(["Weekend"], ["COMEDY"], size=2)
+    >>> sessions = sessions_for_population(
+    ...     TenantRegistry(build_tvtouch()), population)
+    >>> sorted(sessions)
+    ['user_000', 'user_001']
+    """
+    return {
+        user.name: registry.session(user.name, rules=user.repository)
+        for user in population
+    }
 
 
 def simulate_choice(

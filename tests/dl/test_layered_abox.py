@@ -1,0 +1,252 @@
+"""LayeredABox: copy-on-write overlays over a frozen shared base."""
+
+import pytest
+
+from repro.dl import (
+    ABox,
+    ConceptName,
+    Individual,
+    LayeredABox,
+    RoleName,
+    TBox,
+    membership_event,
+    parse_concept,
+)
+from repro.errors import ABoxError
+from repro.events import EventSpace
+
+
+@pytest.fixture()
+def base():
+    box = ABox()
+    space = EventSpace("layered")
+    box.assert_concept("TvProgram", "oprah")
+    box.assert_concept("TvProgram", "bbc_news")
+    box.assert_role("hasGenre", "oprah", "HUMAN-INTEREST", space.atom("g:oprah", 0.85))
+    box.assert_role("hasSubject", "bbc_news", "WEATHER", space.atom("s:bbc", 0.6))
+    box.space = space  # convenience for tests
+    return box
+
+
+def flatten(layered: LayeredABox) -> ABox:
+    """A flat ABox with the same effective content (reference model)."""
+    flat = ABox()
+    for individual in layered.individuals:
+        flat.register_individual(individual)
+    flat.update(layered.concept_assertions())
+    flat.update(layered.role_assertions())
+    return flat
+
+
+class TestFreeze:
+    def test_frozen_base_rejects_mutation(self, base):
+        base.freeze()
+        with pytest.raises(ABoxError, match="overlay"):
+            base.assert_concept("X", "y")
+        with pytest.raises(ABoxError):
+            base.assert_role("r", "a", "b")
+        with pytest.raises(ABoxError):
+            base.clear_dynamic()
+        with pytest.raises(ABoxError):
+            base.register_individual("z")
+
+    def test_freeze_is_idempotent_and_chains(self, base):
+        assert base.freeze() is base
+        assert base.freeze().frozen
+
+    def test_frozen_adjacency_is_computed_once(self, base):
+        base.freeze()
+        assert base.role_adjacency() is base.role_adjacency()
+
+    def test_unfrozen_adjacency_is_not_cached(self, base):
+        assert base.role_adjacency() is not base.role_adjacency()
+
+
+class TestOverlayReads:
+    def test_overlay_sees_base_facts(self, base):
+        overlay = base.freeze().overlay()
+        assert overlay.concept_event(ConceptName("TvProgram"), Individual("oprah"))
+        assert overlay.role_event(
+            RoleName("hasGenre"), Individual("oprah"), Individual("HUMAN-INTEREST")
+        )
+        assert len(overlay) == len(base)
+        assert Individual("oprah") in overlay.individuals
+
+    def test_overlay_additions_are_local(self, base):
+        overlay = base.freeze().overlay()
+        overlay.assert_concept("Favourite", "oprah")
+        assert overlay.concept_event(ConceptName("Favourite"), Individual("oprah"))
+        assert base.concept_event(ConceptName("Favourite"), Individual("oprah")) is None
+        assert len(overlay) == len(base) + 1
+        assert len(base) == 4
+
+    def test_reassertion_merges_with_base_event(self, base):
+        overlay = base.freeze().overlay()
+        extra = base.space.atom("g:oprah:2", 0.5)
+        overlay.assert_role("hasGenre", "oprah", "HUMAN-INTEREST", extra)
+        merged = overlay.role_event(
+            RoleName("hasGenre"), Individual("oprah"), Individual("HUMAN-INTEREST")
+        )
+        base_event = base.role_event(
+            RoleName("hasGenre"), Individual("oprah"), Individual("HUMAN-INTEREST")
+        )
+        assert merged is not base_event  # merged disjunction lives in the overlay
+        assert str(base_event) in str(merged) and "g:oprah:2" in str(merged)
+        # the fact is shadowed, not duplicated
+        assert len(overlay) == len(base)
+
+    def test_role_successors_merge_and_shadow(self, base):
+        overlay = base.freeze().overlay()
+        overlay.assert_role("hasGenre", "oprah", "COMEDY", base.space.atom("g:c", 0.3))
+        successors = {
+            assertion.target.name
+            for assertion in overlay.role_successors(RoleName("hasGenre"), Individual("oprah"))
+        }
+        assert successors == {"HUMAN-INTEREST", "COMEDY"}
+        base_successors = {
+            assertion.target.name
+            for assertion in base.role_successors(RoleName("hasGenre"), Individual("oprah"))
+        }
+        assert base_successors == {"HUMAN-INTEREST"}
+
+    def test_role_adjacency_equals_flat_reference(self, base):
+        overlay = base.freeze().overlay()
+        overlay.assert_role("hasGenre", "oprah", "COMEDY", base.space.atom("g:c", 0.3))
+        overlay.assert_role("hasGenre", "mpfs", "COMEDY", base.space.atom("g:m", 0.7))
+        flat = flatten(overlay)
+        layered_adjacency = {
+            role.name: {
+                source.name: sorted(str(a) for a in assertions)
+                for source, assertions in table.items()
+            }
+            for role, table in overlay.role_adjacency().items()
+        }
+        flat_adjacency = {
+            role.name: {
+                source.name: sorted(str(a) for a in assertions)
+                for source, assertions in table.items()
+            }
+            for role, table in flat.role_adjacency().items()
+        }
+        assert layered_adjacency == flat_adjacency
+
+    def test_iteration_matches_flat_reference(self, base):
+        overlay = base.freeze().overlay()
+        overlay.assert_concept("Favourite", "oprah")
+        overlay.assert_concept("TvProgram", "mpfs")
+        overlay.assert_role("hasGenre", "mpfs", "COMEDY")
+        flat = flatten(overlay)
+        assert sorted(str(a) for a in overlay.concept_assertions()) == sorted(
+            str(a) for a in flat.concept_assertions()
+        )
+        assert sorted(str(a) for a in overlay.role_assertions()) == sorted(
+            str(a) for a in flat.role_assertions()
+        )
+        assert len(overlay) == len(flat)
+        assert overlay.individuals == flat.individuals
+        assert overlay.concept_names == flat.concept_names
+        assert overlay.role_names == flat.role_names
+
+
+class TestOverlayIsolation:
+    def test_sibling_overlays_are_isolated(self, base):
+        base.freeze()
+        first, second = base.overlay(), base.overlay()
+        first.assert_concept("Weekend", "alice", dynamic=True)
+        assert second.concept_event(ConceptName("Weekend"), Individual("alice")) is None
+        assert base.concept_event(ConceptName("Weekend"), Individual("alice")) is None
+        assert first.dynamic_assertions() and not second.dynamic_assertions()
+
+    def test_clear_dynamic_touches_only_the_overlay(self, base):
+        # A base with its own dynamic fact, frozen mid-flight.
+        base.assert_concept("Lunch", "everyone", dynamic=True)
+        base.freeze()
+        overlay = base.overlay()
+        overlay.assert_concept("Weekend", "alice", dynamic=True)
+        assert len(overlay.dynamic_assertions()) == 2
+        assert overlay.clear_dynamic() == 1
+        # the base's own dynamic fact shines through untouched
+        remaining = overlay.dynamic_assertions()
+        assert {str(a) for a in remaining} == {"Lunch(everyone) [TRUE]"}
+        assert len(base.dynamic_assertions()) == 1
+
+    def test_shadowed_base_dynamic_fact_reappears_after_clear(self, base):
+        base.assert_concept("Lunch", "everyone", dynamic=True)
+        base.freeze()
+        overlay = base.overlay()
+        overlay.assert_concept("Lunch", "everyone", base.space.atom("l2", 0.5), dynamic=True)
+        assert len(overlay.dynamic_assertions()) == 1  # shadowing, not duplication
+        overlay.clear_dynamic()
+        assert {str(a) for a in overlay.dynamic_assertions()} == {"Lunch(everyone) [TRUE]"}
+
+
+class TestEpochs:
+    def test_mutation_counters_combine_layers(self, base):
+        overlay = base.freeze().overlay()
+        before = overlay.mutation_count
+        assert before == base.mutation_count
+        overlay.assert_concept("Weekend", "alice", dynamic=True)
+        assert overlay.mutation_count == before + 1
+        assert overlay.overlay_mutation_count == 1
+        assert overlay.static_mutation_count == base.static_mutation_count
+
+    def test_static_counter_moves_on_static_overlay_fact(self, base):
+        overlay = base.freeze().overlay()
+        before = overlay.static_mutation_count
+        overlay.assert_concept("Favourite", "oprah")
+        assert overlay.static_mutation_count == before + 1
+
+    def test_unfrozen_base_changes_show_in_overlay_epoch(self):
+        box = ABox()
+        box.assert_concept("A", "x")
+        overlay = box.overlay()
+        before = overlay.mutation_count
+        box.assert_concept("B", "y")
+        assert overlay.mutation_count == before + 1
+
+
+class TestChainedOverlays:
+    def test_three_layers_read_through(self, base):
+        team = base.freeze().overlay()
+        team.assert_concept("TeamMeeting", "room1", dynamic=True)
+        user = team.overlay()
+        user.assert_concept("Weekend", "alice", dynamic=True)
+        assert user.concept_event(ConceptName("TvProgram"), Individual("oprah"))
+        assert user.concept_event(ConceptName("TeamMeeting"), Individual("room1"))
+        assert {str(a) for a in user.dynamic_assertions()} == {
+            "TeamMeeting(room1) [TRUE]",
+            "Weekend(alice) [TRUE]",
+        }
+        assert user.base is team and team.base is base
+
+    def test_chained_membership_equals_flat(self, base):
+        tbox = TBox()
+        team = base.freeze().overlay()
+        team.assert_role("hasGenre", "bbc_news", "COMEDY", base.space.atom("g:b", 0.4))
+        user = team.overlay()
+        user.assert_concept("TvProgram", "mpfs")
+        concept = parse_concept("TvProgram AND EXISTS hasGenre.{COMEDY}")
+        flat = flatten(user)
+        for name in ("oprah", "bbc_news", "mpfs"):
+            assert str(membership_event(user, tbox, name, concept)) == str(
+                membership_event(flat, tbox, name, concept)
+            )
+
+
+class TestOverlaySlice:
+    def test_overlay_snapshot_and_names(self, base):
+        overlay = base.freeze().overlay()
+        assert overlay.overlay_snapshot() == frozenset()
+        assert overlay.overlay_names() == frozenset()
+        overlay.assert_concept("Weekend", "alice", dynamic=True)
+        overlay.assert_role("sitsNextTo", "alice", "bob")
+        assert len(overlay.overlay_snapshot()) == 2
+        assert overlay.overlay_names() == {"alice", "bob"}
+
+    def test_update_replays_into_overlay_only(self, base):
+        overlay = base.freeze().overlay()
+        other = ABox()
+        other.assert_concept("Weekend", "alice", dynamic=True)
+        overlay.update(other.concept_assertions())
+        assert overlay.concept_event(ConceptName("Weekend"), Individual("alice"))
+        assert len(base) == 4

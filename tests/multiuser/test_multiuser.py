@@ -91,6 +91,20 @@ class TestGroupRanker:
         with pytest.raises(ScoringError):
             GroupRanker([member, member])
 
+    def test_from_sessions_rejects_memberless_objects(self):
+        with pytest.raises(ScoringError, match="as_member"):
+            GroupRanker.from_sessions({"peter": object()})
+
+    def test_from_sessions_requires_names_for_bare_engines(self, world):
+        from repro.engine import RankingEngine
+
+        engine = RankingEngine.from_world(world)
+        with pytest.raises(ScoringError, match="mapping"):
+            GroupRanker.from_sessions([engine])
+        # named through a mapping, the same engine is fine
+        group = GroupRanker.from_sessions({"peter": engine, "mary": engine})
+        assert [member.name for member in group.members] == ["peter", "mary"]
+
     def test_scores_have_member_breakdown(self, group, world):
         scores = group.score(world.program_ids)
         for score in scores:

@@ -1,0 +1,343 @@
+"""TenantRegistry / UserSession: the multi-tenant serving layer."""
+
+import threading
+
+import pytest
+
+from repro.dl import ConceptName, Individual
+from repro.engine import EngineBuilder, RankingEngine
+from repro.errors import ABoxError, EngineConfigError
+from repro.reason import base_tier, clear_registry
+from repro.rules import RuleRepository, parse_rule
+from repro.tenants import TenantRegistry, UserSession
+from repro.workloads import (
+    EXPECTED_TABLE1_SCORES,
+    build_tvtouch,
+    generate_population,
+    sessions_for_population,
+    set_breakfast_weekend_context,
+)
+
+
+RULE_P = "RULE p1: WHEN Weekend PREFER TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST} WITH 0.8"
+RULE_M = "RULE m1: WHEN Breakfast PREFER TvProgram AND EXISTS hasSubject.NewsSubject WITH 0.9"
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    clear_registry()
+    yield
+    clear_registry()
+
+
+@pytest.fixture()
+def registry():
+    return TenantRegistry(build_tvtouch(), max_sessions=64)
+
+
+def repository(*lines):
+    return RuleRepository([parse_rule(line) for line in lines])
+
+
+class TestCheckout:
+    def test_checkout_is_stable_and_counted(self, registry):
+        alice = registry.session("alice")
+        assert registry.session("alice") is alice
+        info = registry.info()
+        assert (info.minted, info.hits, info.active) == (1, 1, 1)
+        assert "alice" in registry and len(registry) == 1
+
+    def test_base_is_frozen_by_default(self, registry):
+        with pytest.raises(ABoxError):
+            registry.abox.assert_concept("X", "y")
+
+    def test_lru_eviction_of_idle_sessions(self):
+        registry = TenantRegistry(build_tvtouch(), max_sessions=2)
+        registry.session("a")
+        registry.session("b")
+        registry.session("a")  # refresh a
+        registry.session("c")  # evicts b
+        assert "a" in registry and "c" in registry and "b" not in registry
+        assert registry.info().evictions == 1
+
+    def test_explicit_evict_and_clear(self, registry):
+        registry.session("a")
+        registry.session("b")
+        assert registry.evict("a") and not registry.evict("a")
+        assert registry.clear() == 1
+        assert len(registry) == 0
+
+    def test_session_carries_engine_and_overlay(self, registry):
+        alice = registry.session("alice")
+        assert isinstance(alice, UserSession)
+        assert isinstance(alice.engine, RankingEngine)
+        assert alice.overlay.base is registry.abox
+        assert alice.user == Individual("alice")
+
+    def test_rejects_worldless_base(self):
+        with pytest.raises(EngineConfigError, match="abox"):
+            TenantRegistry(object())
+
+    def test_engine_options_apply_at_mint(self):
+        registry = TenantRegistry(build_tvtouch(), method="enumeration")
+        assert registry.session("a").engine.method == "enumeration"
+        assert registry.session("b", method="exact").engine.method == "exact"
+
+    def test_rules_factory_per_tenant(self):
+        def factory(tenant_id):
+            return repository(RULE_P if tenant_id == "p" else RULE_M)
+
+        registry = TenantRegistry(build_tvtouch(), rules=factory)
+        assert registry.session("p").repository.rules[0].rule_id == "p1"
+        assert registry.session("m").repository.rules[0].rule_id == "m1"
+
+
+class TestIsolation:
+    def test_context_never_leaks_to_siblings_or_base(self, registry):
+        alice = registry.session("alice")
+        bob = registry.session("bob")
+        alice.install_context("Weekend", "Breakfast")
+        weekend = ConceptName("Weekend")
+        assert alice.overlay.concept_event(weekend, alice.user) is not None
+        assert bob.overlay.concept_event(weekend, alice.user) is None
+        assert registry.abox.concept_event(weekend, alice.user) is None
+        # and the scores differ accordingly
+        assert alice.preference_scores() != bob.preference_scores()
+
+    def test_clear_context_leaves_base_untouched(self, registry):
+        alice = registry.session("alice")
+        alice.install_context("Weekend")
+        base_len = len(registry.abox)
+        assert alice.clear_context() == 1
+        assert len(registry.abox) == base_len
+        assert not alice.overlay.dynamic_assertions()
+
+    def test_assert_fact_defaults_to_own_user(self, registry):
+        alice = registry.session("alice")
+        alice.assert_fact("Premium")
+        assert alice.overlay.concept_event(ConceptName("Premium"), alice.user)
+
+    def test_threaded_checkout_is_race_free(self):
+        registry = TenantRegistry(build_tvtouch(), max_sessions=256)
+        results: dict[int, list] = {}
+        errors = []
+
+        def worker(worker_id):
+            try:
+                local = []
+                for index in range(40):
+                    session = registry.session(f"tenant_{index % 8}")
+                    session.install_context("Weekend")
+                    local.append(session)
+                results[worker_id] = local
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # same tenant id -> same session object across all threads
+        by_tenant: dict[str, UserSession] = {}
+        for sessions in results.values():
+            for session in sessions:
+                seen = by_tenant.setdefault(session.tenant_id, session)
+                assert seen is session
+        info = registry.info()
+        assert info.minted == 8
+        assert info.hits == 8 * 40 - 8
+
+
+class TestSharing:
+    def test_sessions_share_one_base_tier(self, registry):
+        alice = registry.session("alice")
+        bob = registry.session("bob")
+        alice.install_context("Weekend")
+        alice.preference_scores()
+        bob.preference_scores()
+        tier = base_tier(registry.abox, registry.tbox, registry.space)
+        assert alice.engine.kb.session().base is tier
+        assert bob.engine.kb.session().base is tier
+        assert alice.engine.reasoner_info().shared_base
+        assert alice.engine.reasoner_info().base_events > 0
+
+    def test_context_change_keeps_base_tier_warm(self, registry):
+        alice = registry.session("alice")
+        alice.install_context("Weekend")
+        alice.preference_scores()
+        tier = base_tier(registry.abox, registry.tbox, registry.space)
+        warm = len(tier._events)
+        assert warm > 0
+        alice.install_context("Breakfast")
+        alice.preference_scores()
+        assert base_tier(registry.abox, registry.tbox, registry.space) is tier
+        assert len(tier._events) >= warm
+
+
+class TestScoreAgreement:
+    def test_overlay_scores_match_private_world_exactly(self):
+        # Private path: the classic single-user world with the paper's
+        # context installed directly into the (only) ABox.
+        private_world = build_tvtouch()
+        set_breakfast_weekend_context(private_world)
+        private = RankingEngine.from_world(private_world)
+        private_scores = private.preference_scores()
+
+        # Tenant path: same static world, same rules, but the context
+        # lives in alice's overlay over a frozen base.
+        registry = TenantRegistry(build_tvtouch())
+        alice = registry.session("alice", user="peter")
+        alice.install_context("Weekend", "Breakfast")
+        overlay_scores = alice.preference_scores()
+
+        assert set(private_scores) == set(overlay_scores)
+        for document, expected in private_scores.items():
+            assert overlay_scores[document] == pytest.approx(expected, abs=1e-9)
+        for document, expected in EXPECTED_TABLE1_SCORES.items():
+            assert overlay_scores[document] == pytest.approx(expected, abs=1e-9)
+
+    def test_population_sessions_rank_like_private_scorers(self):
+        contexts, genres = ["Weekend", "Breakfast"], ["HUMAN-INTEREST"]
+        population = generate_population(contexts, genres, size=3, rules_per_user=1)
+
+        registry = TenantRegistry(build_tvtouch())
+        sessions = sessions_for_population(registry, population)
+        assert sorted(sessions) == [user.name for user in population]
+        for user in population:
+            session = sessions[user.name]
+            session.install_context(*contexts)
+            private_world = build_tvtouch()
+            set_breakfast_weekend_context(private_world)
+            private = RankingEngine.from_world(private_world, rules=user.repository)
+            expected = private.preference_scores()
+            actual = session.preference_scores()
+            for document, value in expected.items():
+                assert actual[document] == pytest.approx(value, abs=1e-9)
+
+
+class TestSharedBasisPool:
+    def test_sibling_tenant_rescoring_reuses_the_compiled_basis(self):
+        from repro.engine import shared_basis_pool
+
+        registry = TenantRegistry(build_tvtouch())
+        pool = shared_basis_pool()
+        pool.clear()
+
+        alice = registry.session("alice")
+        alice.install_context("Weekend", "Breakfast")
+        alice_scores = alice.preference_scores()  # cold bind -> pool put
+        assert len(pool) == 1
+
+        bob = registry.session("bob")
+        bob.install_context("Weekend")  # different context, same statics
+        hits_before = pool.hits
+        bob_scores = bob.preference_scores()
+        # bob's very first request rescored on alice's compiled matrix
+        assert pool.hits == hits_before + 1
+        assert bob.engine.cache_info().context_refreshes == 1
+        assert bob.engine.cache_info().misses == 1
+
+        # and the pooled fast path is score-identical to a private world
+        private_world = build_tvtouch()
+        set_breakfast_weekend_context(private_world, breakfast_probability=0.0)
+        private_world.abox.clear_dynamic()
+        private_world.abox.assert_concept("Weekend", private_world.user, dynamic=True)
+        private = RankingEngine.from_world(private_world)
+        for document, value in private.preference_scores().items():
+            assert bob_scores[document] == pytest.approx(value, abs=1e-9)
+        assert alice_scores["channel5_news"] == pytest.approx(0.6006, abs=1e-9)
+
+    def test_pool_never_aliases_distinct_tboxes_at_equal_revision(self):
+        # Two registries share one frozen base ABox but carry different
+        # TBoxes, both at revision 0: the pool key must separate them.
+        from types import SimpleNamespace
+
+        from repro.dl import TBox
+        from repro.engine import shared_basis_pool
+        from repro.workloads import build_tvtouch as build
+
+        shared_basis_pool().clear()
+        world = build()
+        plain_tbox = TBox()  # no WeatherBulletin ⊑ NewsSubject axiom
+        plain_tbox.add_subsumption("Unrelated1", "UnrelatedTop")
+        plain_tbox.add_subsumption("Unrelated2", "UnrelatedTop")
+        assert plain_tbox.revision == world.tbox.revision
+        with_axioms = TenantRegistry(world)
+        without_axioms = TenantRegistry(
+            SimpleNamespace(
+                abox=world.abox,
+                tbox=plain_tbox,
+                space=world.space,
+                target=world.target,
+                repository=world.repository,
+            ),
+            freeze=False,
+        )
+        alice = with_axioms.session("alice")
+        alice.install_context("Weekend", "Breakfast")
+        taxonomic = alice.preference_scores()["bbc_news"]
+        bob = without_axioms.session("bob")
+        bob.install_context("Weekend", "Breakfast")
+        plain = bob.preference_scores()["bbc_news"]
+        # Without the subsumption, bbc_news' weather bulletin no longer
+        # counts as news: had bob reused alice's pooled basis the two
+        # values would wrongly coincide.
+        assert taxonomic == pytest.approx(0.18, abs=1e-9)
+        assert plain == pytest.approx(0.02, abs=1e-9)
+
+    def test_overlay_static_fact_blocks_unsafe_reuse(self):
+        from repro.engine import shared_basis_pool
+
+        registry = TenantRegistry(build_tvtouch())
+        pool = shared_basis_pool()
+        pool.clear()
+
+        alice = registry.session("alice")
+        alice.install_context("Weekend", "Breakfast")
+        alice.preference_scores()
+
+        # carol's overlay rewires a shared document: reuse must refuse.
+        carol = registry.session("carol")
+        carol.overlay.assert_role(
+            "hasGenre", "mpfs", "HUMAN-INTEREST", registry.space.atom("g:mpfs", 0.9)
+        )
+        carol.install_context("Weekend", "Breakfast")
+        carol_scores = carol.preference_scores()
+        assert carol.engine.cache_info().context_refreshes == 0  # cold bind
+        assert carol_scores["mpfs"] > alice.preference_scores()["mpfs"]
+
+
+class TestBuilderDuckTyping:
+    def test_builder_accepts_a_user_session(self, registry):
+        alice = registry.session("alice")
+        alice.install_context("Weekend", "Breakfast")
+        engine = EngineBuilder().world(alice).build()
+        scores = engine.preference_scores()
+        assert scores["channel5_news"] == pytest.approx(0.6006, abs=1e-9)
+
+    def test_builder_accepts_a_bare_overlay_pair(self, registry):
+        class OverlayWorld:
+            def __init__(self, overlay, base):
+                self.overlay = overlay
+                self.base = base
+
+        world = OverlayWorld(registry.abox.overlay(), registry.world)
+        engine = EngineBuilder().world(world).build()
+        assert engine.abox is world.overlay
+
+    def test_overlay_pair_missing_tbox_names_the_gap(self):
+        class Bare:
+            pass
+
+        base = build_tvtouch()
+        bare = Bare()
+        bare.overlay = base.abox.overlay()
+        bare.base = object()
+        with pytest.raises(EngineConfigError, match="tbox"):
+            EngineBuilder().world(bare)
+
+    def test_plain_world_error_hints_at_tenant_registry(self):
+        with pytest.raises(EngineConfigError, match="TenantRegistry"):
+            EngineBuilder().world(object())
