@@ -1,0 +1,44 @@
+# Dev ergonomics for the repro service (mirrors merino-py's make-driven
+# workflow: one verb per everyday task, no hidden state).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: help test test-fast bench-smoke bench serve smoke clean
+
+help:
+	@echo "make test         - run the full test suite"
+	@echo "make test-fast    - the suite minus the slow concurrency hammers"
+	@echo "make bench-smoke  - benchmark scripts at tiny sizes (REPRO_BENCH_SMOKE=1)"
+	@echo "make bench        - the full benchmark suite (slow; rewrites results/)"
+	@echo "make serve        - the HTTP ranking gateway on :8080"
+	@echo "make smoke        - start the gateway, hit /healthz + /rank, shut down"
+	@echo "make clean        - drop caches and compiled artifacts"
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-fast:
+	$(PYTHON) -m pytest -x -q --ignore=tests/service/test_concurrent_hammer.py
+
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest -q \
+		benchmarks/bench_e9_engine_overhead.py \
+		benchmarks/bench_e10_kernel.py \
+		benchmarks/bench_e11_reasoner.py \
+		benchmarks/bench_e12_tenants.py \
+		benchmarks/bench_e13_service.py \
+		benchmarks/bench_e7_multiuser.py
+
+bench:
+	$(PYTHON) -m pytest -q benchmarks
+
+serve:
+	$(PYTHON) -m repro serve --port 8080
+
+smoke:
+	$(PYTHON) scripts/service_smoke.py
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis build dist src/*.egg-info

@@ -1,0 +1,93 @@
+"""End-to-end smoke of the serving gateway, as CI runs it.
+
+Starts ``python -m repro serve`` as a real subprocess on an ephemeral
+port, waits for the announce line, hits ``/healthz`` and ``/rank``,
+asserts a ranked JSON body with the paper's Table 1 winner, then shuts
+the server down cleanly (SIGINT, bounded wait).  Exit code 0 only if
+every step held.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ANNOUNCE = "repro serve: listening on "
+
+
+def wait_for_announce(process: subprocess.Popen) -> str:
+    """The base URL from the server's announce line (bounded wait)."""
+    deadline = time.time() + 30
+    assert process.stdout is not None
+    while time.time() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"server exited before announcing (code {process.poll()})"
+            )
+        sys.stdout.write(line)
+        if ANNOUNCE in line:
+            return line.split(ANNOUNCE, 1)[1].split()[0]
+    raise SystemExit("timed out waiting for the server announce line")
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        assert response.status == 200, f"{url} answered {response.status}"
+        return json.loads(response.read())
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")])
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    try:
+        base_url = wait_for_announce(process)
+
+        health = get_json(f"{base_url}/healthz")
+        assert health["status"] == "ok", health
+        print(f"smoke: /healthz ok (shards={health['registry']['shards']})")
+
+        ranked = get_json(
+            f"{base_url}/rank?tenant=alice&context=Weekend&context=Breakfast&top_k=3"
+        )
+        assert ranked["tenant"] == "alice", ranked
+        assert ranked["items"], f"empty ranking: {ranked}"
+        top = ranked["items"][0]
+        assert top["document"] == "channel5_news", ranked
+        assert abs(top["score"] - 0.6006) <= 1e-9, ranked
+        print(f"smoke: /rank ok (top={top['document']} score={top['score']})")
+
+        metrics = get_json(f"{base_url}/metrics")
+        assert metrics["outcomes"].get("ok", 0) >= 1, metrics
+        print("smoke: /metrics ok")
+    finally:
+        process.send_signal(signal.SIGINT)
+        try:
+            code = process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            raise SystemExit("server did not shut down within 15s of SIGINT")
+    assert code == 0, f"server exited {code} on SIGINT"
+    print("smoke: clean shutdown ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

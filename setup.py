@@ -1,15 +1,18 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Setup shim for environments without PEP 517 editable-build support.
 
 The canonical project metadata lives in ``pyproject.toml``; this file
 only enables legacy editable installs (``pip install -e . --no-use-pep517``)
 on machines where PEP 517 editable builds are unavailable offline.
+Because those environments ship a setuptools too old to read the
+``[project]`` table, the minimum install metadata is repeated here —
+keep the version in sync with ``pyproject.toml``.
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.2.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     # PEP 561: ship the py.typed marker so downstream type-checkers
@@ -18,4 +21,6 @@ setup(
     include_package_data=True,
     zip_safe=False,
     python_requires=">=3.10",
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+    extras_require={"numpy": ["numpy"]},
 )

@@ -85,6 +85,7 @@ from repro.multiuser import GroupMember, GroupRanker
 from repro.reason import CompiledKB, ReasonerSession, compiled_kb
 from repro.reporting import ranking_table
 from repro.rules import PreferenceRule, RuleRepository, load_rules, parse_rules
+from repro.service import RankingService, ServiceConfig, ServiceRequest, ServiceResponse
 from repro.storage import Database, SqliteBackend, SqlSession
 from repro.tenants import TenantRegistry, UserSession
 from repro.workloads import (
@@ -94,7 +95,7 @@ from repro.workloads import (
     set_breakfast_weekend_context,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Deprecated top-level names: still importable, but shimmed through
 #: module ``__getattr__`` with a :class:`DeprecationWarning` pointing at
@@ -170,11 +171,15 @@ __all__ = [
     "RankResponse",
     "RankedItem",
     "RankingEngine",
+    "RankingService",
     "ReasonerSession",
     "RelevanceBackend",
     "RepositoryPreferences",
     "RuleRepository",
     "SensedContext",
+    "ServiceConfig",
+    "ServiceRequest",
+    "ServiceResponse",
     "SqlSession",
     "SqliteBackend",
     "StorageBackend",

@@ -1,15 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's everyday workflows:
+Five commands cover the library's everyday workflows:
 
 * ``example``  — run the paper's worked example (Table 1 + SQL query);
 * ``rank``     — score a rule file against a context description;
 * ``mine``     — mine scored preference rules from a JSON-lines history;
-* ``scaling``  — a quick naive-vs-factorised scaling measurement.
+* ``scaling``  — a quick naive-vs-factorised scaling measurement;
+* ``serve``    — the HTTP/JSON ranking gateway over a tenant fleet.
 
 The CLI is deliberately thin: every ranking path goes through the
-:class:`~repro.engine.RankingEngine` facade, so it doubles as
-executable documentation of the public API.
+:class:`~repro.engine.RankingEngine` facade (``serve`` through the
+:class:`~repro.service.RankingService` pipeline on top of it), so it
+doubles as executable documentation of the public API.
 """
 
 from __future__ import annotations
@@ -64,6 +66,25 @@ def build_parser() -> argparse.ArgumentParser:
     scaling = commands.add_parser("scaling", help="naive vs factorised query-time sweep")
     scaling.add_argument("--max-rules", type=int, default=6)
     scaling.add_argument("--scale", type=float, default=0.2, help="database scale factor")
+
+    serve = commands.add_parser(
+        "serve", help="run the HTTP/JSON ranking gateway over a tenant fleet"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    serve.add_argument(
+        "--rules", help="rule DSL file applied to every minted tenant (default: the paper's)"
+    )
+    serve.add_argument("--shards", type=int, default=8, help="tenant-registry shards")
+    serve.add_argument("--max-sessions", type=int, default=4096, help="live-session LRU bound")
+    serve.add_argument(
+        "--max-concurrency", type=int, default=8, help="admission bound on in-flight ranks"
+    )
+    serve.add_argument(
+        "--queue-timeout", type=float, default=0.25,
+        help="seconds a request may wait for admission before a 503",
+    )
+    serve.add_argument("--verbose", action="store_true", help="log each HTTP request")
     return parser
 
 
@@ -142,6 +163,51 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import RankingService, ServiceConfig
+    from repro.service.http import serve as run_gateway
+    from repro.tenants import TenantRegistry
+
+    world = build_tvtouch()
+    rules = None
+    if args.rules:
+        try:
+            rules = load_rules(args.rules)
+        except (OSError, ReproError) as exc:
+            print(f"error: cannot load rule file: {exc}", file=sys.stderr)
+            return 2
+    try:
+        registry = TenantRegistry(
+            world, rules=rules, shards=args.shards, max_sessions=args.max_sessions
+        )
+        service = RankingService(
+            registry,
+            ServiceConfig(
+                max_concurrency=args.max_concurrency, queue_timeout=args.queue_timeout
+            ),
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def announce(server) -> None:
+        print(
+            f"repro serve: listening on {server.url} "
+            f"(shards={args.shards}, max_sessions={args.max_sessions}, "
+            f"max_concurrency={args.max_concurrency})",
+            flush=True,
+        )
+        print(
+            f"  try: curl '{server.url}/rank?tenant=alice&context=Weekend"
+            f"&context=Breakfast&top_k=3'",
+            flush=True,
+        )
+
+    return run_gateway(
+        service, args.host, args.port, verbose=args.verbose, ready=announce
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -150,6 +216,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "rank": _cmd_rank,
         "mine": _cmd_mine,
         "scaling": _cmd_scaling,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -40,7 +40,33 @@ __all__ = [
     "SensedContext",
     "RepositoryPreferences",
     "DatabaseStorage",
+    "parse_context_spec",
 ]
+
+
+def parse_context_spec(spec: str) -> tuple[str, float]:
+    """Validate one ``CONCEPT[:PROB]`` spec into ``(concept, probability)``.
+
+    Raises :class:`EngineConfigError` on bad syntax or an out-of-range
+    probability.  Shared by :meth:`AboxContext.install` (which
+    validates *every* spec before touching the knowledge base, so a
+    bad spec can never leave a half-installed context) and the serving
+    pipeline's pre-flight check.
+    """
+    name, _, prob_text = spec.partition(":")
+    parse_concept(name)  # validate the syntax early
+    try:
+        probability = float(prob_text) if prob_text else 1.0
+    except ValueError:
+        raise EngineConfigError(
+            f"bad context spec {spec!r}: the part after ':' must be a "
+            "probability, e.g. 'Breakfast:0.7'"
+        ) from None
+    if not 0.0 <= probability <= 1.0:
+        raise EngineConfigError(
+            f"bad context spec {spec!r}: probability must be in [0, 1]"
+        )
+    return name, probability
 
 
 @dataclass
@@ -108,31 +134,21 @@ class AboxContext:
 
         The CLI's ``--context Weekend --context Breakfast:0.7`` syntax:
         each spec asserts the concept on ``user``, certainly or under a
-        fresh probabilistic atom.  Existing dynamic assertions are
-        cleared first.
+        fresh probabilistic atom.  All specs are validated *before* the
+        existing dynamic assertions are cleared, so a bad spec raises
+        with the previous context fully intact — never half-installed.
         """
-        self.abox.clear_dynamic()
-        for spec in specs:
-            name, _, prob_text = spec.partition(":")
-            parse_concept(name)  # validate the syntax early
-            try:
-                probability = float(prob_text) if prob_text else 1.0
-            except ValueError:
+        parsed = [parse_context_spec(spec) for spec in specs]
+        for (name, probability), spec in zip(parsed, specs):
+            if probability < 1.0 and self.space is None:
                 raise EngineConfigError(
-                    f"bad context spec {spec!r}: the part after ':' must be a "
-                    "probability, e.g. 'Breakfast:0.7'"
-                ) from None
-            if not 0.0 <= probability <= 1.0:
-                raise EngineConfigError(
-                    f"bad context spec {spec!r}: probability must be in [0, 1]"
+                    f"uncertain context {spec!r} needs an event space on the backend"
                 )
+        self.abox.clear_dynamic()
+        for name, probability in parsed:
             if probability >= 1.0:
                 self.abox.assert_concept(name, user, dynamic=True)
             else:
-                if self.space is None:
-                    raise EngineConfigError(
-                        f"uncertain context {spec!r} needs an event space on the backend"
-                    )
                 self.abox.assert_concept(
                     name, user, self._context_atom(tick, name, probability), dynamic=True
                 )

@@ -22,6 +22,7 @@ the compiled candidate matrix instead of re-binding every document
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable
@@ -55,7 +56,15 @@ class CacheInfo:
 
 
 class ViewCache:
-    """An LRU map from engine signatures to scored preference views."""
+    """An LRU map from engine signatures to scored preference views.
+
+    Thread-safe: every operation holds one internal lock, so the LRU
+    bookkeeping (``move_to_end`` racing ``popitem``) can never corrupt
+    under concurrent readers — the engine's own lock already serialises
+    one engine's requests, but diagnostic readers (``info()``, the
+    service's ``/metrics`` endpoint) observe the cache from other
+    threads.
+    """
 
     def __init__(self, max_entries: int = 16):
         if max_entries < 1:
@@ -63,6 +72,7 @@ class ViewCache:
                 f"cache needs at least one entry, got max_entries={max_entries!r}"
             )
         self.max_entries = max_entries
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, dict[str, DocumentScore]]" = OrderedDict()
         self._bases: "OrderedDict[Hashable, object]" = OrderedDict()
         self._hits = 0
@@ -71,57 +81,66 @@ class ViewCache:
 
     def get(self, key: Hashable) -> dict[str, DocumentScore] | None:
         """The cached scores for ``key`` (counts a hit or a miss)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
 
     def put(self, key: Hashable, scores: dict[str, DocumentScore]) -> None:
         """Store scores for ``key``, evicting the least recent if full."""
-        self._entries[key] = dict(scores)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = dict(scores)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     # -- the incremental-rescoring basis ----------------------------------
     def basis_get(self, key: Hashable):
         """The cached basis for ``key`` (no hit/miss accounting)."""
-        basis = self._bases.get(key)
-        if basis is not None:
-            self._bases.move_to_end(key)
-        return basis
+        with self._lock:
+            basis = self._bases.get(key)
+            if basis is not None:
+                self._bases.move_to_end(key)
+            return basis
 
     def basis_put(self, key: Hashable, basis: object) -> None:
         """Store a compiled basis, evicting the least recent if full."""
-        self._bases[key] = basis
-        self._bases.move_to_end(key)
-        while len(self._bases) > self.max_entries:
-            self._bases.popitem(last=False)
+        with self._lock:
+            self._bases[key] = basis
+            self._bases.move_to_end(key)
+            while len(self._bases) > self.max_entries:
+                self._bases.popitem(last=False)
 
     def note_context_refresh(self) -> None:
         """Count one signature miss served incrementally from a basis."""
-        self._context_refreshes += 1
+        with self._lock:
+            self._context_refreshes += 1
 
     def invalidate(self) -> None:
         """Drop every entry and basis (counters are kept)."""
-        self._entries.clear()
-        self._bases.clear()
+        with self._lock:
+            self._entries.clear()
+            self._bases.clear()
 
     def info(self) -> CacheInfo:
-        return CacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            entries=len(self._entries),
-            max_entries=self.max_entries,
-            context_refreshes=self._context_refreshes,
-            bases=len(self._bases),
-        )
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                entries=len(self._entries),
+                max_entries=self.max_entries,
+                context_refreshes=self._context_refreshes,
+                bases=len(self._bases),
+            )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries

@@ -20,11 +20,24 @@ request/response pipeline::
 Repeated requests under an unchanged context are served from a
 per-context-signature memo of the preference view; any context or rule
 change invalidates it by construction (the signature changes).
+
+**Thread safety.**  Every public entry point that reads or writes the
+engine's knowledge base (``rank``, ``rank_in_context``,
+``preference_scores``, ``explain``, ``rank_top_k``,
+``install_context``, ``context_covered``) serialises on one
+per-engine reentrant lock, so a
+context install can never interleave with a rank — the failure the
+serving hammer test reproduces on an unlocked engine is a half-cleared
+dynamic context being scored and memoized under a stale signature.
+Different engines never share the lock: sibling tenants rank fully in
+parallel, coordinating only through the internally synchronised shared
+structures (the basis pool, the compiled-KB base tier).
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Hashable, Iterable, Mapping, Sequence
 
@@ -128,6 +141,10 @@ class RankingEngine:
         self.kb = kb if kb is not None else compiled_kb(abox, tbox, space)
         #: Overlay-backed engines exchange compiled bases process-wide.
         self._shares_bases = isinstance(getattr(abox, "base", None), ABox)
+        #: One reentrant lock serialises every context write and rank on
+        #: *this* engine (see the module docstring); reentrant so that
+        #: ``rank_in_context`` can compose install + rank atomically.
+        self._lock = threading.RLock()
         self._cache = ViewCache(max_entries=cache_size)
         self._scorer = self._build_scorer(preferences.repository())
         self._view = PreferenceView(
@@ -386,7 +403,10 @@ class RankingEngine:
             request = RankRequest(query=request)
         elif not isinstance(request, RankRequest):
             raise EngineError(f"expected RankRequest or SQL string, got {request!r}")
+        with self._lock:
+            return self._rank_locked(request)
 
+    def _rank_locked(self, request: RankRequest) -> RankResponse:
         self.context.refresh()
         # A relevance backend that scores on its own (e.g. group
         # aggregation) opts out of the engine's preference view for
@@ -463,6 +483,26 @@ class RankingEngine:
         """
         return [self.rank(request) for request in as_requests(requests)]
 
+    def rank_in_context(
+        self,
+        specs: Iterable[str] | None = None,
+        request: RankRequest | str | None = None,
+        *,
+        tick: str = "ctx",
+    ) -> RankResponse:
+        """Atomically install a context delta, then rank.
+
+        The serving primitive: ``specs`` (``CONCEPT[:PROB]`` strings,
+        replacing the current dynamic context; ``None`` keeps it)
+        and the rank run under one hold of the engine lock, so no
+        concurrent request can observe — or score under — a
+        half-installed context.
+        """
+        with self._lock:
+            if specs is not None:
+                self.install_context(*specs, tick=tick)
+            return self.rank(request)
+
     def _explain_items(
         self,
         items: Sequence[RankedItem],
@@ -487,30 +527,34 @@ class RankingEngine:
         Use :meth:`rank` with ``RankRequest(top_k=...)`` instead when
         repeated requests should share the cached view.
         """
-        self.context.refresh()
-        self._sync_scorer()
-        if documents is None:
-            return self._view.rank_top_k(k)
-        return self._scorer.rank_top_k(documents, k)
+        with self._lock:
+            self.context.refresh()
+            self._sync_scorer()
+            if documents is None:
+                return self._view.rank_top_k(k)
+            return self._scorer.rank_top_k(documents, k)
 
     def preference_scores(self) -> dict[str, float]:
         """The (cached) preference view as plain ``{document: score}``."""
-        self.context.refresh()
-        view_scores, _cached = self._refresh_view()
-        return {name: score.value for name, score in view_scores.items()}
+        with self._lock:
+            self.context.refresh()
+            view_scores, _cached = self._refresh_view()
+            return {name: score.value for name, score in view_scores.items()}
 
     def explain(self, document: str) -> str:
         """One document's per-rule motivation under the current context."""
-        self.context.refresh()
-        view_scores, _cached = self._refresh_view()
-        scores = self._scores_for([document], view_scores)
-        return explain_score(scores[document], self.preferences.repository())
+        with self._lock:
+            self.context.refresh()
+            view_scores, _cached = self._refresh_view()
+            scores = self._scores_for([document], view_scores)
+            return explain_score(scores[document], self.preferences.repository())
 
     def context_covered(self) -> bool:
         """Does any rule apply in the current context? (Section 4.1.)"""
-        return self.preferences.repository().covers_context(
-            self.abox, self.tbox, self.user
-        )
+        with self._lock:
+            return self.preferences.repository().covers_context(
+                self.abox, self.tbox, self.user
+            )
 
     def install_context(self, *specs: str, tick: str = "ctx") -> None:
         """Install ``CONCEPT[:PROB]`` specs through the context backend.
@@ -523,7 +567,8 @@ class RankingEngine:
             raise EngineError(
                 f"context backend {type(self.context).__name__} does not support install()"
             )
-        install(self.user, specs, tick=tick)
+        with self._lock:
+            install(self.user, specs, tick=tick)
 
     def as_member(self, name: str) -> "GroupMember":
         """This engine's user as a :class:`~repro.multiuser.GroupMember`.
@@ -552,7 +597,8 @@ class RankingEngine:
 
     def invalidate_cache(self) -> None:
         """Drop every memoized view (the next request recomputes)."""
-        self._cache.invalidate()
+        with self._lock:
+            self._cache.invalidate()
 
     def __repr__(self) -> str:
         info = self._cache.info()

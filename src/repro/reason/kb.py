@@ -376,6 +376,10 @@ class CompiledKB:
         self.tbox = tbox
         self.space = space
         self._session: ReasonerSession | None = None
+        # session() is a check-then-swap on the live session; KBs for a
+        # flat world are shared across engines (compiled_kb), so two
+        # threads must not race the retire-and-replace sequence.
+        self._session_lock = threading.Lock()
         self._invalidations = 0
         self._hits = 0
         self._misses = 0
@@ -398,20 +402,25 @@ class CompiledKB:
         """
         epoch = self.epoch()
         session = self._session
-        if session is None or session.epoch != epoch:
-            if session is not None:
-                self._retire(session)
-                self._invalidations += 1
-            session = _make_session(self.abox, self.tbox, self.space, epoch)
-            self._session = session
-        return session
+        if session is not None and session.epoch == epoch:
+            return session
+        with self._session_lock:
+            session = self._session
+            if session is None or session.epoch != epoch:
+                if session is not None:
+                    self._retire(session)
+                    self._invalidations += 1
+                session = _make_session(self.abox, self.tbox, self.space, epoch)
+                self._session = session
+            return session
 
     def invalidate(self) -> None:
         """Drop the current session unconditionally (memos are rebuilt)."""
-        if self._session is not None:
-            self._retire(self._session)
-            self._invalidations += 1
-            self._session = None
+        with self._session_lock:
+            if self._session is not None:
+                self._retire(self._session)
+                self._invalidations += 1
+                self._session = None
 
     def _retire(self, session: ReasonerSession) -> None:
         self._hits += session.membership_hits
@@ -505,6 +514,12 @@ def base_tier(
             return session
     session = _make_session(abox, tbox, space, epoch)
     with _BASE_TIERS_LOCK:
+        # A losing racer adopts the winner's session: the whole fleet
+        # must share one base-tier memo, not one per racing thread.
+        existing = _BASE_TIERS.get(key)
+        if existing is not None and existing.epoch == epoch:
+            _BASE_TIERS.move_to_end(key)
+            return existing
         _BASE_TIERS[key] = session
         _BASE_TIERS.move_to_end(key)
         while len(_BASE_TIERS) > MAX_BASE_TIERS:
@@ -523,8 +538,11 @@ def _make_session(
 #: The shared registry: world identity -> the KBs compiled over it.
 #: Keyed by ``id(abox)`` — valid while the entry lives, because the KB
 #: holds the ABox strongly; a bounded LRU so long test runs with many
-#: transient worlds do not accumulate them.
+#: transient worlds do not accumulate them.  Guarded by a lock:
+#: concurrent tenant mints register distinct overlay worlds, and the
+#: multi-step get/insert/evict sequence must not interleave.
 _REGISTRY: "OrderedDict[int, list[CompiledKB]]" = OrderedDict()
+_REGISTRY_LOCK = threading.Lock()
 
 
 def compiled_kb(abox: ABox, tbox: TBox, space: EventSpace | None = None) -> CompiledKB:
@@ -535,15 +553,17 @@ def compiled_kb(abox: ABox, tbox: TBox, space: EventSpace | None = None) -> Comp
     creation and matched by identity — ``space=None`` means
     independent-atom probability semantics and never aliases a KB that
     honours mutex groups (nor vice versa); each distinct space gets its
-    own KB over the shared world entry.
+    own KB over the shared world entry.  Thread-safe: concurrent
+    lookups of one world return the same ``CompiledKB`` object.
     """
-    entries = _registry_entries(abox)
-    for kb in entries:
-        if kb.tbox is tbox and kb.space is space:
-            return kb
-    kb = CompiledKB(abox, tbox, space)
-    entries.append(kb)
-    return kb
+    with _REGISTRY_LOCK:
+        entries = _registry_entries(abox)
+        for kb in entries:
+            if kb.tbox is tbox and kb.space is space:
+                return kb
+        kb = CompiledKB(abox, tbox, space)
+        entries.append(kb)
+        return kb
 
 
 def _registry_entries(abox: ABox) -> list[CompiledKB]:
@@ -576,7 +596,9 @@ def query_session(
     relaxes the match to ignore the space (membership *events* are
     space-independent), so retrieval may piggyback on a spaced KB.
     """
-    for kb in _REGISTRY.get(id(abox), ()):
+    with _REGISTRY_LOCK:
+        registered = list(_REGISTRY.get(id(abox), ()))
+    for kb in registered:
         if kb.tbox is tbox and (events_only or kb.space is space):
             return kb.session()
     return CompiledKB(abox, tbox, space).session()
@@ -591,7 +613,8 @@ def clear_registry() -> None:
     together with the reasoning registries or a long-lived process
     that rebuilds worlds would leak them.
     """
-    _REGISTRY.clear()
+    with _REGISTRY_LOCK:
+        _REGISTRY.clear()
     with _BASE_TIERS_LOCK:
         _BASE_TIERS.clear()
     # Imported lazily: repro.engine sits above this layer.

@@ -1,0 +1,49 @@
+"""The serving runtime: concurrent request pipeline + HTTP/JSON gateway.
+
+Turns the tenant fleet (:mod:`repro.tenants`) into a traffic-handling
+system: a staged, admission-controlled :class:`RankingService`
+pipeline (parse → admit → resolve → context → rank → render) with
+per-stage latency metrics, fronted by a dependency-free
+:class:`ThreadingHTTPServer` gateway (``python -m repro serve``).
+
+Quickstart::
+
+    from repro.service import RankingService, ServiceConfig, make_server
+    from repro.tenants import TenantRegistry
+    from repro.workloads import build_tvtouch
+
+    registry = TenantRegistry(build_tvtouch(), shards=8, max_sessions=4096)
+    service = RankingService(registry, ServiceConfig(max_concurrency=8))
+
+    # in-process
+    reply = service.rank({"tenant": ["alice"], "context": ["Weekend"], "top_k": ["3"]})
+    print(reply.body["items"][0])
+
+    # over HTTP
+    server = make_server(service, port=0)   # 0 = pick a free port
+    # threading.Thread(target=server.serve_forever, daemon=True).start()
+"""
+
+from repro.service.metrics import LatencyRecorder, ServiceMetrics, percentile
+from repro.service.pipeline import (
+    STAGES,
+    RankingService,
+    ServiceConfig,
+    ServiceRequest,
+    ServiceResponse,
+)
+from repro.service.http import RankingHTTPServer, make_server, serve
+
+__all__ = [
+    "LatencyRecorder",
+    "RankingHTTPServer",
+    "RankingService",
+    "STAGES",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "ServiceRequest",
+    "ServiceResponse",
+    "make_server",
+    "percentile",
+    "serve",
+]

@@ -1,0 +1,191 @@
+"""The stdlib HTTP/JSON gateway over :class:`RankingService`.
+
+No third-party dependencies: a :class:`ThreadingHTTPServer` front
+(one thread per connection, daemon threads so shutdown never hangs)
+dispatching to the staged pipeline.  Endpoints:
+
+``GET /rank?tenant=…&context=…&top_k=…``
+    One ranking request.  ``context`` is repeatable
+    (``CONCEPT[:PROB]``) and *replaces* the tenant's dynamic context
+    for this and later requests; omit it to rank under the standing
+    context.  Optional ``documents`` (repeatable / comma-separated),
+    ``explain=1``.
+
+``POST /context``
+    JSON body ``{"tenant": "...", "context": ["Weekend", "Breakfast:0.7"]}`` —
+    install a standing context.
+
+``GET /healthz``
+    Liveness + registry occupancy.
+
+``GET /metrics``
+    Per-stage latency summaries, outcome counters, fleet counters.
+
+Start one with :func:`make_server` (ephemeral ``port=0`` supported —
+tests and benchmarks do) or the blocking :func:`serve` the CLI wraps::
+
+    python -m repro serve --port 8080
+    curl 'http://127.0.0.1:8080/rank?tenant=alice&context=Weekend&top_k=3'
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.pipeline import RankingService, ServiceResponse
+
+__all__ = ["RankingHTTPServer", "make_server", "serve"]
+
+#: Cap on accepted request bodies (context installs are tiny; anything
+#: bigger is a client error, not a reason to buffer unbounded bytes).
+MAX_BODY_BYTES = 1 << 20
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    """Routes gateway endpoints onto the service pipeline."""
+
+    server_version = "repro-serve/1.2"
+    protocol_version = "HTTP/1.1"
+    # A response leaves as header + body packets on one keep-alive
+    # connection; with Nagle on, the body packet waits out the client's
+    # delayed ACK (~40 ms p50 on loopback, measured in E13).
+    disable_nagle_algorithm = True
+
+    # The ThreadingHTTPServer subclass carries the service instance.
+    @property
+    def service(self) -> RankingService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- routing -----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlsplit(self.path)
+        if url.path == "/rank":
+            params = parse_qs(url.query, keep_blank_values=True)
+            self._send(self.service.rank(params))
+        elif url.path == "/healthz":
+            self._send_json(200, self.service.health())
+        elif url.path == "/metrics":
+            self._send_json(200, self.service.metrics_snapshot())
+        else:
+            self._send_json(404, {"error": f"unknown path {url.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        url = urlsplit(self.path)
+        if url.path != "/context":
+            self._send_json(404, {"error": f"unknown path {url.path!r}"})
+            return
+        try:
+            payload = self._read_json()
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        if not isinstance(payload, dict) or "tenant" not in payload:
+            self._send_json(400, {"error": "body must be {'tenant': ..., 'context': [...]}"})
+            return
+        context = payload.get("context", [])
+        if isinstance(context, str):
+            context = [context]
+        if not isinstance(context, list):
+            self._send_json(400, {"error": "'context' must be a list of CONCEPT[:PROB] strings"})
+            return
+        self._send(self.service.install_context(str(payload["tenant"]), context))
+
+    # -- plumbing ----------------------------------------------------------
+    def _read_json(self) -> object:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body over {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON body: {exc}") from exc
+
+    def _send(self, response: ServiceResponse) -> None:
+        self._send_json(response.status, response.body)
+
+    def _send_json(self, status: int, body: dict) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+
+class RankingHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP front bound to one :class:`RankingService`.
+
+    ``daemon_threads`` so in-flight handler threads never block
+    interpreter shutdown; ``allow_reuse_address`` so quick restarts do
+    not trip TIME_WAIT (Nagle is disabled on the handler).
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: RankingService,
+        *,
+        verbose: bool = False,
+    ):
+        super().__init__(address, _GatewayHandler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(
+    service: RankingService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    verbose: bool = False,
+) -> RankingHTTPServer:
+    """Bind (but do not run) a gateway; ``port=0`` picks a free port.
+
+    Callers own the lifecycle: ``serve_forever()`` on a thread of
+    their choosing, ``shutdown()`` + ``server_close()`` to stop.
+    """
+    return RankingHTTPServer((host, port), service, verbose=verbose)
+
+
+def serve(
+    service: RankingService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    verbose: bool = False,
+    ready=None,
+) -> int:
+    """Run the gateway until interrupted (the ``repro serve`` body).
+
+    ``ready`` (if given) is called with the bound server once it is
+    listening — tests and the CLI use it to learn the ephemeral port.
+    Returns a process exit code.
+    """
+    server = make_server(service, host, port, verbose=verbose)
+    if ready is not None:
+        ready(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0

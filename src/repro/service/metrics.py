@@ -1,0 +1,139 @@
+"""Structured latency metrics for the serving runtime.
+
+A :class:`LatencyRecorder` is a thread-safe accumulator: total count
+and time forever, plus a bounded ring of recent samples for percentile
+queries (p50/p95/p99 of the last ``capacity`` observations — the shape
+a live dashboard wants, without unbounded memory under heavy traffic).
+
+:class:`ServiceMetrics` groups one recorder per pipeline stage plus
+request-outcome counters; its :meth:`~ServiceMetrics.snapshot` is the
+JSON body of the gateway's ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Mapping
+
+__all__ = ["LatencyRecorder", "ServiceMetrics", "percentile"]
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``samples`` (nearest-rank, sorted input).
+
+    ``fraction`` is in [0, 1]; an empty sample list yields 0.0.
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"percentile fraction must be in [0, 1], got {fraction!r}")
+    rank = max(0, min(len(samples) - 1, round(fraction * (len(samples) - 1))))
+    return samples[rank]
+
+
+class LatencyRecorder:
+    """Thread-safe latency accumulator with percentile queries.
+
+    ``observe`` is O(1) under one small lock; ``summary`` sorts the
+    retained window (bounded by ``capacity``), so it is cheap enough
+    for a metrics endpoint but not meant for the per-request path.
+    """
+
+    def __init__(self, capacity: int = 16384):
+        if capacity < 1:
+            raise ValueError(f"recorder needs a positive capacity, got {capacity!r}")
+        self._lock = threading.Lock()
+        self._samples: "deque[float]" = deque(maxlen=capacity)
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self._count += 1
+            self._total += seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentiles(self, *fractions: float) -> tuple[float, ...]:
+        """Quantiles over the retained window, one per fraction."""
+        with self._lock:
+            window = sorted(self._samples)
+        return tuple(percentile(window, fraction) for fraction in fractions)
+
+    def summary(self) -> dict[str, float]:
+        """Count, mean and tail latencies in milliseconds (JSON-able)."""
+        with self._lock:
+            window = sorted(self._samples)
+            count, total, worst = self._count, self._total, self._max
+        p50, p95, p99 = (percentile(window, f) for f in (0.50, 0.95, 0.99))
+        return {
+            "count": count,
+            "mean_ms": (total / count * 1000.0) if count else 0.0,
+            "p50_ms": p50 * 1000.0,
+            "p95_ms": p95 * 1000.0,
+            "p99_ms": p99 * 1000.0,
+            "max_ms": worst * 1000.0,
+        }
+
+
+class ServiceMetrics:
+    """Per-stage latency recorders plus request-outcome counters.
+
+    Stages are created lazily on first observation, so the pipeline
+    and the load generator can share one class without agreeing on a
+    fixed stage list up front.
+    """
+
+    def __init__(self, capacity: int = 16384):
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._stages: dict[str, LatencyRecorder] = {}
+        self._outcomes: dict[str, int] = {}
+
+    def stage(self, name: str) -> LatencyRecorder:
+        """The recorder for one pipeline stage (created on demand)."""
+        with self._lock:
+            recorder = self._stages.get(name)
+            if recorder is None:
+                recorder = LatencyRecorder(self._capacity)
+                self._stages[name] = recorder
+            return recorder
+
+    def observe_stage(self, name: str, seconds: float) -> None:
+        self.stage(name).observe(seconds)
+
+    def count_outcome(self, outcome: str) -> None:
+        """Bump one request-outcome counter (``ok``/``rejected``/...)."""
+        with self._lock:
+            self._outcomes[outcome] = self._outcomes.get(outcome, 0) + 1
+
+    def outcomes(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._outcomes)
+
+    def snapshot(self) -> dict[str, object]:
+        """The whole metrics surface as one JSON-able mapping."""
+        with self._lock:
+            stages = dict(self._stages)
+            outcomes = dict(self._outcomes)
+        return {
+            "outcomes": outcomes,
+            "stages": {name: recorder.summary() for name, recorder in sorted(stages.items())},
+        }
+
+
+def render_summary(summary: Mapping[str, float]) -> str:
+    """One recorder summary as a compact human line (used by the CLI)."""
+    return (
+        f"n={summary['count']} mean={summary['mean_ms']:.2f}ms "
+        f"p50={summary['p50_ms']:.2f}ms p95={summary['p95_ms']:.2f}ms "
+        f"p99={summary['p99_ms']:.2f}ms max={summary['max_ms']:.2f}ms"
+    )

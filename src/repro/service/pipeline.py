@@ -1,0 +1,413 @@
+"""The :class:`RankingService` request pipeline.
+
+The paper's tvtouch scenario is an always-on service: one shared domain
+ontology, many users, volatile context arriving *with each request*.
+This module is that request path, staged and instrumented::
+
+    parse → admit → resolve → context → rank → render
+
+* **parse** — normalise raw parameters (query string or JSON body)
+  into a frozen :class:`ServiceRequest`; malformed input is a 400
+  before any shared resource is touched.
+* **admit** — admission control: a bounded semaphore caps in-flight
+  rank work; a request that cannot be admitted within
+  ``queue_timeout`` is rejected with a 503 instead of piling onto an
+  overloaded process (load shedding, not unbounded queueing).
+* **resolve** — a *pinned* checkout of the tenant's session from the
+  sharded :class:`~repro.tenants.TenantRegistry`; the pin guarantees
+  LRU eviction can never yank the overlay from an in-flight request.
+* **context** — validate every spec of the per-request context delta
+  (``None`` keeps the tenant's standing context); a bad spec is a 400
+  *here*, with the tenant's standing context untouched (and the
+  engine's own install validates-before-clearing too, so no error
+  path can leave a half-installed context).
+* **rank** — :meth:`UserSession.rank_in_context`: delta install and
+  rank under one hold of the engine lock, atomic per tenant.
+* **render** — the ranked items as a JSON-able body.
+
+Every stage's latency lands in :class:`~repro.service.metrics.ServiceMetrics`
+(the ``GET /metrics`` surface), plus an end-to-end ``total`` recorder.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.engine.backends import parse_context_spec
+from repro.engine.requests import RankRequest
+from repro.errors import EngineError, ReproError
+from repro.service.metrics import ServiceMetrics
+from repro.tenants.registry import TenantRegistry
+
+__all__ = [
+    "RankingService",
+    "ServiceConfig",
+    "ServiceRequest",
+    "ServiceResponse",
+    "STAGES",
+]
+
+#: Pipeline stages, in request order (``total`` is recorded on top).
+STAGES = ("parse", "admit", "resolve", "context", "rank", "render")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the serving pipeline.
+
+    ``max_concurrency`` bounds in-flight rank work (admission
+    semaphore); ``queue_timeout`` is how long a request may wait for
+    admission before being shed with a 503.  ``include_timings``
+    attaches per-stage latencies to every response body (handy for
+    tracing, off by default to keep payloads lean).
+    """
+
+    max_concurrency: int = 8
+    queue_timeout: float = 0.25
+    default_top_k: int | None = None
+    include_timings: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise EngineError(
+                f"max_concurrency must be positive, got {self.max_concurrency!r}"
+            )
+        if self.queue_timeout < 0:
+            raise EngineError(
+                f"queue_timeout must be non-negative, got {self.queue_timeout!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One parsed ranking request.
+
+    ``context=None`` keeps the tenant's standing context;
+    ``context=()`` explicitly clears it (rank context-free).
+    """
+
+    tenant: str
+    context: tuple[str, ...] | None = None
+    top_k: int | None = None
+    documents: tuple[str, ...] | None = None
+    explain: bool = False
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Sequence[str]]) -> "ServiceRequest":
+        """Build from query-string shaped parameters (``parse_qs`` output).
+
+        Recognised keys: ``tenant`` (required), ``context``
+        (repeatable, ``CONCEPT[:PROB]``), ``top_k``, ``documents``
+        (repeatable and/or comma-separated), ``explain``.
+        """
+        known = {"tenant", "context", "top_k", "documents", "explain"}
+        unknown = set(params) - known
+        if unknown:
+            raise EngineError(
+                f"unknown rank parameters {sorted(unknown)}; known: {sorted(known)}"
+            )
+        tenants = list(params.get("tenant", ()))
+        if len(tenants) != 1 or not str(tenants[0]).strip():
+            raise EngineError("exactly one non-empty 'tenant' parameter is required")
+        context: tuple[str, ...] | None = None
+        if "context" in params:
+            context = tuple(str(spec) for spec in params["context"])
+        top_k = None
+        if "top_k" in params:
+            values = list(params["top_k"])
+            try:
+                top_k = int(values[-1])
+            except (TypeError, ValueError):
+                raise EngineError(
+                    f"top_k must be an integer, got {values[-1]!r}"
+                ) from None
+        documents = None
+        if "documents" in params:
+            flattened = [
+                part.strip()
+                for value in params["documents"]
+                for part in str(value).split(",")
+                if part.strip()
+            ]
+            documents = tuple(flattened)
+        explain = False
+        if "explain" in params:
+            explain = str(list(params["explain"])[-1]).lower() in ("1", "true", "yes")
+        return cls(
+            tenant=str(tenants[0]),
+            context=context,
+            top_k=top_k,
+            documents=documents,
+            explain=explain,
+        )
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "ServiceRequest":
+        """Build from a JSON body (``POST``-shaped: plain values)."""
+        if not isinstance(payload, Mapping):
+            raise EngineError(f"request body must be a JSON object, got {payload!r}")
+        params: dict[str, list[str]] = {}
+        for key in ("tenant", "top_k", "explain"):
+            if key in payload:
+                params[key] = [str(payload[key])]
+        for key in ("context", "documents"):
+            if key in payload:
+                value = payload[key]
+                if isinstance(value, str):
+                    value = [value]
+                if not isinstance(value, Iterable):
+                    raise EngineError(f"'{key}' must be a list of strings, got {value!r}")
+                params[key] = [str(item) for item in value]
+        unknown = set(payload) - {"tenant", "context", "top_k", "documents", "explain"}
+        if unknown:
+            raise EngineError(f"unknown request keys {sorted(unknown)}")
+        return cls.from_params(params)
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One pipeline answer: an HTTP-ish status, a JSON-able body, timings."""
+
+    status: int
+    body: dict
+    timings: dict[str, float] = field(default_factory=dict, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class _Span:
+    """One timed stage of a :class:`_StageClock` (a context manager)."""
+
+    __slots__ = ("_clock", "_name", "_start")
+
+    def __init__(self, clock: "_StageClock", name: str):
+        self._clock = clock
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._clock.timings[self._name] = time.perf_counter() - self._start
+        return False
+
+
+class _StageClock:
+    """Accumulates per-stage wall time for one request."""
+
+    __slots__ = ("timings", "_started")
+
+    def __init__(self):
+        self.timings: dict[str, float] = {}
+        self._started = time.perf_counter()
+
+    def stage(self, name: str) -> _Span:
+        return _Span(self, name)
+
+    def total(self) -> float:
+        return time.perf_counter() - self._started
+
+
+class RankingService:
+    """The concurrent request pipeline over a tenant fleet.
+
+    One service fronts one :class:`~repro.tenants.TenantRegistry`;
+    requests for any number of tenants flow through the staged pipeline
+    concurrently, bounded by the admission semaphore.  The service
+    itself is stateless beyond metrics — all ranking state lives in the
+    registry's sessions — so it is safe to share one instance across
+    every gateway thread.
+    """
+
+    def __init__(
+        self,
+        registry: TenantRegistry,
+        config: ServiceConfig | None = None,
+        metrics: ServiceMetrics | None = None,
+    ):
+        self.registry = registry
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._admission = threading.BoundedSemaphore(self.config.max_concurrency)
+        self._started_at = time.time()
+
+    # -- the staged pipeline ----------------------------------------------
+    def rank(self, request: ServiceRequest | Mapping[str, Sequence[str]]) -> ServiceResponse:
+        """Answer one ranking request through the full pipeline.
+
+        Accepts a parsed :class:`ServiceRequest` or raw query-string
+        parameters (parsed as the ``parse`` stage).  Never raises for
+        request-shaped failures: malformed input is a 400 body,
+        admission overflow a 503, unexpected engine errors a 500 —
+        the gateway maps ``status`` straight onto HTTP.
+        """
+        clock = _StageClock()
+        try:
+            with clock.stage("parse"):
+                if not isinstance(request, ServiceRequest):
+                    request = ServiceRequest.from_params(request)
+                top_k = request.top_k if request.top_k is not None else self.config.default_top_k
+                rank_request = RankRequest(
+                    documents=request.documents,
+                    top_k=top_k,
+                    explain=request.explain,
+                )
+        except ReproError as exc:
+            return self._reply(clock, 400, {"error": str(exc)}, outcome="bad_request")
+
+        with clock.stage("admit"):
+            admitted = self._admission.acquire(timeout=self.config.queue_timeout)
+        if not admitted:
+            return self._reply(
+                clock,
+                503,
+                {
+                    "error": "service overloaded: admission queue timed out",
+                    "max_concurrency": self.config.max_concurrency,
+                },
+                outcome="rejected",
+            )
+        try:
+            with clock.stage("resolve"):
+                checkout = self.registry.checkout(request.tenant)
+                session = checkout.__enter__()
+            try:
+                with clock.stage("context"):
+                    # Pre-flight every spec: a bad one 400s here with
+                    # the tenant's standing context untouched.
+                    specs = request.context  # None keeps the standing context
+                    if specs is not None:
+                        for spec in specs:
+                            parse_context_spec(spec)
+                with clock.stage("rank"):
+                    response = session.rank_in_context(specs, rank_request, tick="svc")
+                with clock.stage("render"):
+                    body = self._render(request, response)
+            finally:
+                checkout.__exit__(None, None, None)
+        except ReproError as exc:
+            return self._reply(clock, 400, {"error": str(exc)}, outcome="bad_request")
+        except Exception as exc:  # noqa: BLE001 - the gateway must answer
+            return self._reply(
+                clock, 500, {"error": f"{type(exc).__name__}: {exc}"}, outcome="error"
+            )
+        finally:
+            self._admission.release()
+        return self._reply(clock, 200, body, outcome="ok")
+
+    def install_context(self, tenant: str, specs: Iterable[str]) -> ServiceResponse:
+        """Install a *standing* context for a tenant (``POST /context``).
+
+        Subsequent ``/rank`` requests without a ``context`` parameter
+        rank under this context until it is replaced.  Runs under the
+        same admission semaphore as :meth:`rank` — a context install
+        may mint a whole session, so overload sheds it with a 503 too.
+        """
+        clock = _StageClock()
+        specs = tuple(str(spec) for spec in specs)
+        with clock.stage("admit"):
+            admitted = self._admission.acquire(timeout=self.config.queue_timeout)
+        if not admitted:
+            return self._reply(
+                clock,
+                503,
+                {
+                    "error": "service overloaded: admission queue timed out",
+                    "max_concurrency": self.config.max_concurrency,
+                },
+                outcome="rejected",
+            )
+        try:
+            with clock.stage("resolve"):
+                checkout = self.registry.checkout(str(tenant))
+                session = checkout.__enter__()
+            try:
+                with clock.stage("context"):
+                    session.install_context(*specs, tick="svc")
+            finally:
+                checkout.__exit__(None, None, None)
+        except ReproError as exc:
+            return self._reply(clock, 400, {"error": str(exc)}, outcome="bad_request")
+        except Exception as exc:  # noqa: BLE001 - the gateway must answer
+            return self._reply(
+                clock, 500, {"error": f"{type(exc).__name__}: {exc}"}, outcome="error"
+            )
+        finally:
+            self._admission.release()
+        return self._reply(
+            clock,
+            200,
+            {"tenant": str(tenant), "installed": len(specs), "context": list(specs)},
+            outcome="ok",
+        )
+
+    # -- observability -----------------------------------------------------
+    def health(self) -> dict:
+        """The ``GET /healthz`` body: liveness plus fleet occupancy."""
+        info = self.registry.info()
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self._started_at,
+            "registry": {
+                "active_sessions": info.active,
+                "max_sessions": info.max_sessions,
+                "shards": info.shards,
+                "pinned": info.pinned,
+                "minted": info.minted,
+                "hits": info.hits,
+                "evictions": info.evictions,
+            },
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """The ``GET /metrics`` body: stage latencies, outcomes, fleet."""
+        snapshot = self.metrics.snapshot()
+        snapshot["config"] = {
+            "max_concurrency": self.config.max_concurrency,
+            "queue_timeout": self.config.queue_timeout,
+        }
+        snapshot["registry"] = self.health()["registry"]
+        return snapshot
+
+    # -- internals ---------------------------------------------------------
+    def _render(self, request: ServiceRequest, response) -> dict:
+        items = [
+            {
+                "position": item.position,
+                "document": item.document,
+                "score": item.score,
+                "preference": item.preference,
+            }
+            for item in response.items
+        ]
+        body: dict = {
+            "tenant": request.tenant,
+            "items": items,
+            "from_cache": response.from_cache,
+        }
+        if request.context is not None:
+            body["context"] = list(request.context)
+        if response.explanation is not None:
+            body["explanation"] = response.explanation
+        return body
+
+    def _reply(
+        self, clock: _StageClock, status: int, body: dict, *, outcome: str
+    ) -> ServiceResponse:
+        timings = dict(clock.timings)
+        timings["total"] = clock.total()
+        for stage_name, seconds in timings.items():
+            self.metrics.observe_stage(stage_name, seconds)
+        self.metrics.count_outcome(outcome)
+        if self.config.include_timings:
+            body = dict(body)
+            body["timings_ms"] = {
+                name: seconds * 1000.0 for name, seconds in timings.items()
+            }
+        return ServiceResponse(status=status, body=body, timings=timings)

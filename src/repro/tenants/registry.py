@@ -23,9 +23,31 @@ What the layering buys (see :mod:`repro.reason` and
 * eviction is safe and cheap: a session is just its overlay and caches,
   so the registry LRU-bounds live sessions and re-mints on demand.
 
-Checkout is thread-safe: concurrent ``session(tenant_id)`` calls for
-the same tenant return one session object, and minting never races the
-LRU bookkeeping.
+**Sharding & thread safety.**  The registry fronts ``shards``
+independent LRU segments hashed by tenant id, each with its own lock,
+so concurrent checkouts of *different* tenants never contend on one
+global lock.  The contract:
+
+* ``session(tenant_id)`` / ``checkout(tenant_id)`` are linearisable per
+  tenant: concurrent calls for one tenant return the same
+  :class:`UserSession` object, and minting never races the LRU
+  bookkeeping (both happen under the tenant's shard lock).
+* ``checkout`` additionally *pins* the session for the duration of the
+  ``with`` block: a pinned session is never chosen as an LRU victim,
+  and an explicit :meth:`evict` of a pinned session is *deferred* — the
+  tenant disappears from the table immediately (the next checkout mints
+  afresh) but the in-flight holder keeps a fully working session.  An
+  eviction can therefore never yank the overlay out from under a rank.
+* :meth:`info` and ``len``/``in``/iteration snapshot each shard under
+  its lock, so the counters are internally consistent per shard and the
+  aggregate is a sum of per-shard atomic snapshots (shards are read in
+  sequence, so the aggregate can straddle concurrent checkouts — it is
+  never a read of mutating dicts).
+* ``max_sessions`` bounds the whole registry exactly: capacity is
+  distributed ``floor(max_sessions / shards)`` per shard with the
+  remainder spread one-per-shard, and ``shards`` is clamped to
+  ``max_sessions`` so no shard has zero capacity.  With the default
+  ``shards=1`` the bound (and the LRU order) is exactly global.
 
 Examples
 --------
@@ -44,7 +66,9 @@ True
 from __future__ import annotations
 
 import threading
+import zlib
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterator, Mapping
 
@@ -54,6 +78,7 @@ from repro.errors import EngineConfigError
 from repro.rules.repository import RuleRepository
 from repro.engine.builder import EngineBuilder
 from repro.engine.engine import RankingEngine
+from repro.engine.requests import RankRequest, RankResponse
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.multiuser.group import GroupMember
@@ -63,13 +88,21 @@ __all__ = ["TenantRegistry", "UserSession", "TenantRegistryInfo"]
 
 @dataclass(frozen=True)
 class TenantRegistryInfo:
-    """Checkout counters of a :class:`TenantRegistry`."""
+    """Checkout counters of a :class:`TenantRegistry`.
+
+    Snapshotted shard-by-shard under each shard's lock: every counter
+    quadruple is internally consistent per shard, and the aggregate is
+    the sum of those atomic snapshots.  ``pinned`` counts sessions
+    currently checked out (in-flight requests holding them).
+    """
 
     active: int
     max_sessions: int
     minted: int
     hits: int
     evictions: int
+    shards: int = 1
+    pinned: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -87,6 +120,12 @@ class UserSession:
     resolved from the base world — so ad-hoc engines (say, a different
     relevance strategy for one experiment) can be built over the same
     overlay.
+
+    Lifecycle: the registry tracks a *pin count* (held checkouts) and a
+    *doomed* flag (evicted while pinned) on each session; both are
+    registry bookkeeping — a session object stays fully functional for
+    whoever holds it even after eviction, it is just no longer served
+    to new checkouts.
     """
 
     def __init__(
@@ -102,6 +141,11 @@ class UserSession:
         self.overlay = overlay
         self.base = base
         self.engine = engine
+        #: Checkouts currently holding this session (registry-managed,
+        #: mutated only under the owning shard's lock).
+        self.pins = 0
+        #: Evicted while pinned: drop for real once the pins release.
+        self.doomed = False
 
     # -- the per-tenant slice ---------------------------------------------
     @property
@@ -136,6 +180,22 @@ class UserSession:
         """Answer one ranking request (see :meth:`RankingEngine.rank`)."""
         return self.engine.rank(request)
 
+    def rank_in_context(
+        self,
+        specs=None,
+        request: RankRequest | str | None = None,
+        *,
+        tick: str = "ctx",
+    ) -> RankResponse:
+        """Atomically install a context delta, then rank.
+
+        The serving primitive (see
+        :meth:`RankingEngine.rank_in_context`): install + rank run
+        under one hold of the engine lock, so a concurrent request on
+        the same session can never score a half-installed context.
+        """
+        return self.engine.rank_in_context(specs, request, tick=tick)
+
     def rank_many(self, requests):
         return self.engine.rank_many(requests)
 
@@ -157,8 +217,46 @@ class UserSession:
     def __repr__(self) -> str:
         return (
             f"UserSession({self.tenant_id!r}, user={self.user}, "
-            f"overlay_assertions={len(list(self.overlay.overlay_assertions()))})"
+            f"overlay_assertions={len(self.overlay.overlay_snapshot())})"
         )
+
+
+class _Shard:
+    """One independently locked LRU segment of the session table."""
+
+    __slots__ = ("lock", "sessions", "max_sessions", "minted", "hits", "evictions")
+
+    def __init__(self, max_sessions: int):
+        self.lock = threading.RLock()
+        self.sessions: "OrderedDict[str, UserSession]" = OrderedDict()
+        self.max_sessions = max_sessions
+        self.minted = 0
+        self.hits = 0
+        self.evictions = 0
+
+    def evict_over_capacity(self, protect: "UserSession | None" = None) -> None:
+        """Evict least-recent *unpinned* sessions down to capacity.
+
+        Pinned sessions are skipped, and so is ``protect`` (the
+        session minted by the checkout currently running the sweep —
+        evicting it would hand the caller a session a concurrent
+        checkout of the same tenant cannot see, breaking per-tenant
+        linearisability).  A shard whose residents are all
+        pinned/protected temporarily overflows instead of yanking a
+        live session; the overflow is bounded by the service's
+        admission control and shrinks back as pins release.
+        """
+        over = len(self.sessions) - self.max_sessions
+        if over <= 0:
+            return
+        victims = [
+            tenant_id
+            for tenant_id, session in self.sessions.items()
+            if session.pins == 0 and session is not protect
+        ][:over]
+        for tenant_id in victims:
+            del self.sessions[tenant_id]
+            self.evictions += 1
 
 
 class TenantRegistry:
@@ -178,9 +276,17 @@ class TenantRegistry:
         world's repository.  A per-call ``rules=`` to :meth:`session`
         overrides this at mint time.
     max_sessions:
-        LRU bound on live sessions; the least recently checked-out
-        session is evicted when the bound is exceeded (its overlay and
-        caches are dropped — re-minting is cheap by design).
+        Bound on live sessions across the whole registry (distributed
+        over the shards); each shard LRU-evicts its least recently
+        checked-out *unpinned* session beyond its share (an evicted
+        tenant's overlay and caches are dropped — re-minting is cheap
+        by design).
+    shards:
+        Number of independently locked LRU segments, hashed by tenant
+        id (clamped to ``max_sessions``).  The default ``1`` preserves
+        a single global LRU order; serving deployments use 8+ so
+        concurrent checkouts of different tenants do not contend (see
+        the module docstring for the full thread-safety contract).
     freeze:
         Freeze the base ABox (default).  Strongly recommended: a frozen
         base cannot be mutated by a stray tenant write, and its derived
@@ -196,6 +302,7 @@ class TenantRegistry:
         *,
         rules: RuleRepository | Callable[[str], RuleRepository] | None = None,
         max_sessions: int = 1024,
+        shards: int = 1,
         freeze: bool = True,
         **engine_options: object,
     ):
@@ -210,6 +317,10 @@ class TenantRegistry:
             raise EngineConfigError(
                 f"max_sessions must be a positive integer, got {max_sessions!r}"
             )
+        if not isinstance(shards, int) or shards < 1:
+            raise EngineConfigError(
+                f"shards must be a positive integer, got {shards!r}"
+            )
         self.world = world
         self.abox = abox
         self.tbox = tbox
@@ -218,13 +329,22 @@ class TenantRegistry:
         self._rules = rules
         self._engine_options = dict(engine_options)
         self.max_sessions = max_sessions
+        # More shards than sessions would leave zero-capacity shards;
+        # clamp so every shard holds at least one session and the
+        # whole-registry bound stays exactly max_sessions.
+        self.shards = min(shards, max_sessions)
         if freeze:
             abox.freeze()
-        self._sessions: "OrderedDict[str, UserSession]" = OrderedDict()
-        self._lock = threading.RLock()
-        self._minted = 0
-        self._hits = 0
-        self._evictions = 0
+        base_capacity, extra = divmod(max_sessions, self.shards)
+        self._shards = tuple(
+            _Shard(base_capacity + (1 if index < extra else 0))
+            for index in range(self.shards)
+        )
+
+    def _shard_for(self, tenant_id: str) -> _Shard:
+        # A stable string hash (PYTHONHASHSEED-independent), so a
+        # tenant's shard survives restarts and is debuggable.
+        return self._shards[zlib.crc32(tenant_id.encode("utf-8")) % self.shards]
 
     # -- checkout ----------------------------------------------------------
     def session(
@@ -240,22 +360,73 @@ class TenantRegistry:
         ``user``, ``rules`` and builder ``options`` apply at *mint*
         time only; a checkout of an existing session returns it as-is.
         Thread-safe: concurrent checkouts of one tenant yield the same
-        session object.
+        session object.  For request-scoped access that must not race
+        eviction, prefer :meth:`checkout`.
         """
-        tenant_id = str(tenant_id)
-        with self._lock:
-            existing = self._sessions.get(tenant_id)
-            if existing is not None:
-                self._sessions.move_to_end(tenant_id)
-                self._hits += 1
-                return existing
-            session = self._mint(tenant_id, user, rules, options)
-            self._sessions[tenant_id] = session
-            self._minted += 1
-            while len(self._sessions) > self.max_sessions:
-                self._sessions.popitem(last=False)
-                self._evictions += 1
+        return self._checkout(str(tenant_id), user, rules, options, pin=False)
+
+    @contextmanager
+    def checkout(
+        self,
+        tenant_id: str,
+        *,
+        user: str | Individual | None = None,
+        rules: RuleRepository | None = None,
+        **options: object,
+    ) -> Iterator[UserSession]:
+        """A pinned, request-scoped checkout.
+
+        While the ``with`` block runs, the session cannot be chosen as
+        an LRU victim and an explicit :meth:`evict` is deferred until
+        the last pin releases — an in-flight rank can never lose its
+        overlay.  This is the checkout the serving pipeline uses.
+        """
+        session = self._checkout(str(tenant_id), user, rules, options, pin=True)
+        try:
+            yield session
+        finally:
+            self._release(session)
+
+    def _checkout(
+        self,
+        tenant_id: str,
+        user: str | Individual | None,
+        rules: RuleRepository | None,
+        options: Mapping[str, object],
+        *,
+        pin: bool,
+    ) -> UserSession:
+        shard = self._shard_for(tenant_id)
+        with shard.lock:
+            session = shard.sessions.get(tenant_id)
+            if session is not None:
+                shard.sessions.move_to_end(tenant_id)
+                shard.hits += 1
+                if pin:
+                    session.pins += 1
+            else:
+                session = self._mint(tenant_id, user, rules, options)
+                shard.sessions[tenant_id] = session
+                shard.minted += 1
+                if pin:
+                    session.pins += 1
+                # The sweep must never pick the just-minted session
+                # (pinned or not): evicting it would return a session
+                # no concurrent checkout of this tenant can see.
+                shard.evict_over_capacity(protect=session)
             return session
+
+    def _release(self, session: UserSession) -> None:
+        shard = self._shard_for(session.tenant_id)
+        with shard.lock:
+            session.pins = max(0, session.pins - 1)
+            if session.pins == 0 and session.doomed:
+                # Deferred explicit eviction: the table entry is long
+                # gone (or replaced); nothing left to drop here.
+                session.doomed = False
+            # A shard that overflowed while everything was pinned can
+            # shrink back now that a pin released.
+            shard.evict_over_capacity()
 
     def _mint(
         self,
@@ -295,46 +466,82 @@ class TenantRegistry:
 
     # -- pool management ---------------------------------------------------
     def evict(self, tenant_id: str) -> bool:
-        """Drop a session (returns whether one was live)."""
-        with self._lock:
-            session = self._sessions.pop(str(tenant_id), None)
-            if session is not None:
-                self._evictions += 1
-            return session is not None
+        """Drop a session (returns whether one was live).
+
+        A *pinned* session is evicted lazily: it leaves the table now —
+        the next checkout mints a fresh session — but in-flight holders
+        keep a working session object until their pins release.
+        """
+        tenant_id = str(tenant_id)
+        shard = self._shard_for(tenant_id)
+        with shard.lock:
+            session = shard.sessions.pop(tenant_id, None)
+            if session is None:
+                return False
+            if session.pins > 0:
+                session.doomed = True
+            shard.evictions += 1
+            return True
 
     def clear(self) -> int:
         """Drop every live session; returns how many."""
-        with self._lock:
-            count = len(self._sessions)
-            self._sessions.clear()
-            self._evictions += count
-            return count
+        count = 0
+        for shard in self._shards:
+            with shard.lock:
+                for session in shard.sessions.values():
+                    if session.pins > 0:
+                        session.doomed = True
+                count += len(shard.sessions)
+                shard.evictions += len(shard.sessions)
+                shard.sessions.clear()
+        return count
 
     def info(self) -> TenantRegistryInfo:
-        with self._lock:
-            return TenantRegistryInfo(
-                active=len(self._sessions),
-                max_sessions=self.max_sessions,
-                minted=self._minted,
-                hits=self._hits,
-                evictions=self._evictions,
-            )
+        """Aggregate counters, snapshotted shard-by-shard under each lock."""
+        active = minted = hits = evictions = pinned = 0
+        for shard in self._shards:
+            with shard.lock:
+                active += len(shard.sessions)
+                minted += shard.minted
+                hits += shard.hits
+                evictions += shard.evictions
+                pinned += sum(
+                    1 for session in shard.sessions.values() if session.pins > 0
+                )
+        return TenantRegistryInfo(
+            active=active,
+            max_sessions=self.max_sessions,
+            minted=minted,
+            hits=hits,
+            evictions=evictions,
+            shards=self.shards,
+            pinned=pinned,
+        )
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._sessions)
+        count = 0
+        for shard in self._shards:
+            with shard.lock:
+                count += len(shard.sessions)
+        return count
 
     def __contains__(self, tenant_id: object) -> bool:
-        with self._lock:
-            return str(tenant_id) in self._sessions
+        tenant_id = str(tenant_id)
+        shard = self._shard_for(tenant_id)
+        with shard.lock:
+            return tenant_id in shard.sessions
 
     def __iter__(self) -> Iterator[str]:
-        with self._lock:
-            return iter(list(self._sessions))
+        tenant_ids: list[str] = []
+        for shard in self._shards:
+            with shard.lock:
+                tenant_ids.extend(shard.sessions)
+        return iter(tenant_ids)
 
     def __repr__(self) -> str:
         info = self.info()
         return (
             f"TenantRegistry(active={info.active}/{info.max_sessions}, "
-            f"minted={info.minted}, hits={info.hits}, evictions={info.evictions})"
+            f"shards={info.shards}, minted={info.minted}, hits={info.hits}, "
+            f"evictions={info.evictions})"
         )

@@ -13,6 +13,15 @@ from repro.workloads.history_gen import (
     sample_workday_mornings,
 )
 from repro.workloads.rules_series import generate_rule_series, install_context_series
+from repro.workloads.traffic import (
+    CONTEXT_MENUS,
+    TrafficConfig,
+    TrafficReport,
+    TrafficRequest,
+    build_schedule,
+    run_traffic,
+    zipf_weights,
+)
 from repro.workloads.tvtouch import (
     EXPECTED_TABLE1_SCORES,
     PROGRAMS,
@@ -28,6 +37,7 @@ from repro.workloads.users import (
 )
 
 __all__ = [
+    "CONTEXT_MENUS",
     "ContextPattern",
     "EXPECTED_TABLE1_SCORES",
     "PROGRAMS",
@@ -35,15 +45,21 @@ __all__ = [
     "SyntheticUser",
     "Section5World",
     "Section5Counts",
+    "TrafficConfig",
+    "TrafficReport",
+    "TrafficRequest",
     "TvTouchWorld",
+    "build_schedule",
     "build_tvtouch",
     "generate_population",
     "generate_rule_series",
     "generate_test_database",
     "install_context_series",
+    "run_traffic",
     "sample_history",
     "sample_workday_mornings",
     "sessions_for_population",
     "set_breakfast_weekend_context",
     "simulate_choice",
+    "zipf_weights",
 ]

@@ -1,0 +1,203 @@
+"""Closed-loop traffic generation for the serving runtime (E13).
+
+Models the paper's always-on tvtouch service the way production
+suggestion services are load-tested (cf. merino-py's contract/load
+harness): a fixed fleet of tenants with **Zipf-distributed
+popularity** (a few hot users, a long cold tail — exactly what makes
+LRU session pools and shared compiled bases earn their keep), a
+**context-churn mix** (some requests carry a fresh context delta, the
+rest rank under the standing context and should hit the view cache),
+and **closed-loop workers**: each of ``concurrency`` workers issues
+its next request only when the previous one answered, so measured
+latency is real service latency, not queue-buildup artefacts.
+
+The generator is target-agnostic — it drives anything shaped
+``issue(TrafficRequest) -> object`` — so one schedule measures the
+in-process pipeline and the HTTP gateway byte-for-byte identically
+(``benchmarks/bench_e13_service.py`` does both).
+
+Determinism: the whole request schedule is precomputed from ``seed``
+and split across workers by stride, so two runs (or two targets) see
+the same requests in the same per-worker order.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import EngineConfigError
+from repro.service.metrics import percentile
+
+__all__ = [
+    "TrafficConfig",
+    "TrafficRequest",
+    "TrafficReport",
+    "build_schedule",
+    "run_traffic",
+    "zipf_weights",
+    "CONTEXT_MENUS",
+]
+
+#: Per-request context menus for the tvtouch fleet: certain, partial
+#: and probabilistic variants (the Section 3.3 uncertain-context sum).
+CONTEXT_MENUS: tuple[tuple[str, ...], ...] = (
+    ("Weekend", "Breakfast"),
+    ("Weekend",),
+    ("Breakfast",),
+    ("Weekend:0.7", "Breakfast:0.6"),
+)
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Shape of one synthetic traffic run.
+
+    ``context_churn`` is the probability a request carries a fresh
+    context delta (the rest rank under the tenant's standing context);
+    ``zipf_exponent`` skews tenant popularity (1.0–1.3 are typical
+    web-traffic shapes).
+    """
+
+    tenants: int = 100
+    requests: int = 1000
+    concurrency: int = 8
+    zipf_exponent: float = 1.1
+    context_churn: float = 0.5
+    top_k: int | None = 3
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1 or self.requests < 1 or self.concurrency < 1:
+            raise EngineConfigError(
+                "traffic needs positive tenants, requests and concurrency, got "
+                f"tenants={self.tenants!r} requests={self.requests!r} "
+                f"concurrency={self.concurrency!r}"
+            )
+        if not 0.0 <= self.context_churn <= 1.0:
+            raise EngineConfigError(
+                f"context_churn must be in [0, 1], got {self.context_churn!r}"
+            )
+
+
+@dataclass(frozen=True)
+class TrafficRequest:
+    """One scheduled request: who asks, under what context delta."""
+
+    tenant: str
+    context: tuple[str, ...] | None  # None = standing context (cache-friendly)
+    top_k: int | None
+
+
+@dataclass
+class TrafficReport:
+    """What a closed-loop run measured."""
+
+    requests: int
+    errors: int
+    seconds: float
+    concurrency: int
+    latencies: list[float] = field(repr=False, default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.seconds if self.seconds > 0 else float("inf")
+
+    def latency_ms(self, fraction: float) -> float:
+        return percentile(sorted(self.latencies), fraction) * 1000.0
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "seconds": self.seconds,
+            "concurrency": self.concurrency,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_ms": self.latency_ms(0.50),
+            "latency_p95_ms": self.latency_ms(0.95),
+            "latency_p99_ms": self.latency_ms(0.99),
+        }
+
+
+def zipf_weights(count: int, exponent: float) -> list[float]:
+    """Unnormalised Zipf popularity weights for ranks 1..count."""
+    return [1.0 / (rank**exponent) for rank in range(1, count + 1)]
+
+
+def build_schedule(
+    config: TrafficConfig,
+    menus: Sequence[tuple[str, ...]] = CONTEXT_MENUS,
+) -> list[TrafficRequest]:
+    """The deterministic request schedule for ``config``.
+
+    Tenant ids are drawn Zipf-weighted; each request flips a
+    ``context_churn`` coin for whether it carries one of ``menus`` as
+    its per-request context delta.
+    """
+    rng = random.Random(config.seed)
+    tenant_ids = [f"tenant_{index:05d}" for index in range(config.tenants)]
+    weights = zipf_weights(config.tenants, config.zipf_exponent)
+    chosen = rng.choices(tenant_ids, weights=weights, k=config.requests)
+    schedule = []
+    for tenant in chosen:
+        context: tuple[str, ...] | None = None
+        if rng.random() < config.context_churn:
+            context = menus[rng.randrange(len(menus))]
+        schedule.append(TrafficRequest(tenant=tenant, context=context, top_k=config.top_k))
+    return schedule
+
+
+def run_traffic(
+    issue: Callable[[TrafficRequest], object],
+    config: TrafficConfig,
+    schedule: Sequence[TrafficRequest] | None = None,
+) -> TrafficReport:
+    """Drive ``issue`` closed-loop from ``config.concurrency`` workers.
+
+    Worker ``w`` owns every ``schedule[w::concurrency]`` request and
+    issues them back-to-back; per-request wall latency is recorded, the
+    run's wall time spans the first start to the last answer.  An
+    ``issue`` call that raises counts as one error and the worker moves
+    on — a load test should report a flaky target, not die on it.
+    """
+    if schedule is None:
+        schedule = build_schedule(config)
+    latencies_per_worker: list[list[float]] = [[] for _ in range(config.concurrency)]
+    errors_per_worker = [0] * config.concurrency
+    barrier = threading.Barrier(config.concurrency + 1)
+
+    def worker(worker_id: int) -> None:
+        slice_ = schedule[worker_id :: config.concurrency]
+        latencies = latencies_per_worker[worker_id]
+        barrier.wait()
+        for request in slice_:
+            start = time.perf_counter()
+            try:
+                issue(request)
+            except Exception:  # noqa: BLE001 - count and continue
+                errors_per_worker[worker_id] += 1
+            latencies.append(time.perf_counter() - start)
+
+    threads = [
+        threading.Thread(target=worker, args=(worker_id,), daemon=True)
+        for worker_id in range(config.concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - started
+
+    latencies = [sample for worker in latencies_per_worker for sample in worker]
+    return TrafficReport(
+        requests=len(latencies),
+        errors=sum(errors_per_worker),
+        seconds=seconds,
+        concurrency=config.concurrency,
+        latencies=latencies,
+    )

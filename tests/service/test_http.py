@@ -1,0 +1,157 @@
+"""The HTTP/JSON gateway: endpoints, status codes, identity with the engine."""
+
+import json
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.engine import RankingEngine
+from repro.reason import clear_registry
+from repro.service import RankingService, ServiceConfig, make_server
+from repro.tenants import TenantRegistry
+from repro.workloads import build_tvtouch
+
+
+@pytest.fixture()
+def gateway():
+    clear_registry()
+    registry = TenantRegistry(build_tvtouch(), shards=4, max_sessions=64)
+    service = RankingService(registry, ServiceConfig(max_concurrency=4))
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+    clear_registry()
+
+
+def get_json(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def post_json(url: str, payload: dict):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestRankEndpoint:
+    def test_rank_matches_the_in_process_engine(self, gateway):
+        status, body = get_json(
+            f"{gateway.url}/rank?tenant=peter&context=Weekend&context=Breakfast"
+        )
+        assert status == 200
+        engine = RankingEngine.from_world(build_tvtouch())
+        engine.install_context("Weekend", "Breakfast")
+        expected = engine.preference_scores()
+        served = {item["document"]: item["score"] for item in body["items"]}
+        assert set(served) == set(expected)
+        for document, value in expected.items():
+            assert served[document] == pytest.approx(value, abs=1e-9)
+
+    def test_top_k_and_positions(self, gateway):
+        status, body = get_json(
+            f"{gateway.url}/rank?tenant=a&context=Weekend&top_k=2"
+        )
+        assert status == 200
+        assert [item["position"] for item in body["items"]] == [1, 2]
+
+    def test_missing_tenant_is_400(self, gateway):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(f"{gateway.url}/rank?context=Weekend")
+        assert excinfo.value.code == 400
+        assert "tenant" in json.loads(excinfo.value.read())["error"]
+
+    def test_unknown_path_is_404(self, gateway):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(f"{gateway.url}/nope")
+        assert excinfo.value.code == 404
+
+
+class TestContextEndpoint:
+    def test_post_context_sets_the_standing_context(self, gateway):
+        status, body = post_json(
+            f"{gateway.url}/context",
+            {"tenant": "alice", "context": ["Weekend", "Breakfast"]},
+        )
+        assert status == 200 and body["installed"] == 2
+        status, ranked = get_json(f"{gateway.url}/rank?tenant=alice")
+        assert status == 200
+        assert ranked["items"][0]["document"] == "channel5_news"
+
+    def test_post_without_body_is_400(self, gateway):
+        request = urllib.request.Request(f"{gateway.url}/context", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_post_invalid_json_is_400(self, gateway):
+        request = urllib.request.Request(
+            f"{gateway.url}/context", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_bad_context_spec_is_400(self, gateway):
+        request = urllib.request.Request(
+            f"{gateway.url}/context",
+            data=json.dumps({"tenant": "a", "context": ["Breakfast:2.0"]}).encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestObservability:
+    def test_healthz(self, gateway):
+        status, body = get_json(f"{gateway.url}/healthz")
+        assert status == 200 and body["status"] == "ok"
+        assert body["registry"]["shards"] == 4
+
+    def test_metrics_counts_requests(self, gateway):
+        get_json(f"{gateway.url}/rank?tenant=a&context=Weekend")
+        get_json(f"{gateway.url}/rank?tenant=a")
+        status, body = get_json(f"{gateway.url}/metrics")
+        assert status == 200
+        assert body["outcomes"]["ok"] == 2
+        assert body["stages"]["rank"]["count"] == 2
+        assert body["config"]["max_concurrency"] == 4
+
+    def test_concurrent_http_clients(self, gateway):
+        errors = []
+        winners = []
+
+        def client(tenant):
+            try:
+                status, body = get_json(
+                    f"{gateway.url}/rank?tenant={tenant}"
+                    "&context=Weekend&context=Breakfast&top_k=1"
+                )
+                assert status == 200
+                winners.append(body["items"][0]["document"])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(f"t{n}",)) for n in range(10)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert winners == ["channel5_news"] * 10

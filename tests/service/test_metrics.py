@@ -1,0 +1,81 @@
+"""LatencyRecorder / ServiceMetrics: the serving metrics surface."""
+
+import threading
+
+import pytest
+
+from repro.service import LatencyRecorder, ServiceMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_nearest_rank_on_known_samples(self):
+        samples = [float(value) for value in range(1, 102)]  # 1..101
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 101.0
+        assert percentile(samples, 0.50) == 51.0  # index round(0.5 * 100)
+        assert percentile(samples, 0.95) == 96.0
+
+    def test_rejects_out_of_range_fraction(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            percentile([1.0], 1.5)
+
+
+class TestLatencyRecorder:
+    def test_summary_reports_milliseconds(self):
+        recorder = LatencyRecorder()
+        for seconds in (0.001, 0.002, 0.003, 0.004):
+            recorder.observe(seconds)
+        summary = recorder.summary()
+        assert summary["count"] == 4
+        assert summary["mean_ms"] == pytest.approx(2.5)
+        assert summary["max_ms"] == pytest.approx(4.0)
+        assert summary["p50_ms"] == pytest.approx(3.0)  # nearest rank
+
+    def test_window_is_bounded_but_count_is_not(self):
+        recorder = LatencyRecorder(capacity=8)
+        for index in range(100):
+            recorder.observe(index / 1000.0)
+        assert recorder.count == 100
+        # Window keeps the most recent 8 samples: 92..99 ms.
+        assert recorder.summary()["p50_ms"] >= 92.0
+
+    def test_concurrent_observations_are_all_counted(self):
+        recorder = LatencyRecorder()
+
+        def hammer():
+            for _ in range(500):
+                recorder.observe(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert recorder.count == 8 * 500
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LatencyRecorder(capacity=0)
+
+
+class TestServiceMetrics:
+    def test_stages_created_on_demand_and_snapshotted(self):
+        metrics = ServiceMetrics()
+        metrics.observe_stage("rank", 0.002)
+        metrics.observe_stage("rank", 0.004)
+        metrics.observe_stage("parse", 0.001)
+        metrics.count_outcome("ok")
+        metrics.count_outcome("ok")
+        metrics.count_outcome("rejected")
+        snapshot = metrics.snapshot()
+        assert snapshot["outcomes"] == {"ok": 2, "rejected": 1}
+        assert set(snapshot["stages"]) == {"rank", "parse"}
+        assert snapshot["stages"]["rank"]["count"] == 2
+
+    def test_stage_returns_one_recorder_per_name(self):
+        metrics = ServiceMetrics()
+        assert metrics.stage("rank") is metrics.stage("rank")
+        assert metrics.stage("rank") is not metrics.stage("parse")

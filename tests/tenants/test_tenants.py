@@ -150,6 +150,145 @@ class TestIsolation:
         assert info.hits == 8 * 40 - 8
 
 
+class TestShardingAndPinning:
+    def test_shard_routing_is_stable_and_complete(self):
+        registry = TenantRegistry(build_tvtouch(), shards=4, max_sessions=64)
+        for index in range(24):
+            registry.session(f"tenant_{index}")
+        info = registry.info()
+        assert info.shards == 4
+        assert info.active == 24 and info.minted == 24
+        assert sorted(registry) == sorted(f"tenant_{index}" for index in range(24))
+        # Re-checkout lands on the same shard (same session object).
+        assert registry.session("tenant_3") is registry.session("tenant_3")
+
+    def test_per_shard_lru_eviction(self):
+        # One shard, capacity 2: the classic global LRU behaviour.
+        registry = TenantRegistry(build_tvtouch(), shards=1, max_sessions=2)
+        registry.session("a")
+        registry.session("b")
+        registry.session("a")  # refresh a
+        registry.session("c")  # evicts b
+        assert "a" in registry and "c" in registry and "b" not in registry
+        assert registry.info().evictions == 1
+
+    def test_pinned_session_is_never_an_lru_victim(self):
+        registry = TenantRegistry(build_tvtouch(), shards=1, max_sessions=1)
+        with registry.checkout("pinned") as session:
+            assert registry.info().pinned == 1
+            other = registry.session("other")  # over capacity
+            # The pinned session survived; the shard overflowed or
+            # evicted the unpinned newcomer — never the pinned one.
+            assert "pinned" in registry
+            assert session.pins == 1
+            assert other is not session
+        assert registry.info().pinned == 0
+        # After release the shard shrinks back to capacity.
+        assert len(registry) == 1
+
+    def test_unpinned_mint_survives_a_pinned_full_shard(self):
+        """An unpinned session() mint must not be the sweep's victim
+        either: evicting the newcomer would make every checkout of
+        that tenant a fresh mint (distinct objects, divergent state)."""
+        registry = TenantRegistry(build_tvtouch(), shards=1, max_sessions=1)
+        with registry.checkout("a"):
+            first = registry.session("b")
+            second = registry.session("b")
+            assert first is second  # linearisable despite the overflow
+            assert "b" in registry
+        assert len(registry) == 1  # shrinks back once the pin releases
+
+    def test_mint_under_pressure_pins_before_the_capacity_sweep(self):
+        """A just-minted pinned session must not be the sweep's victim:
+        on a shard full of pinned sessions it stays in the table, or a
+        concurrent checkout of the same tenant would mint a second
+        live session."""
+        registry = TenantRegistry(build_tvtouch(), shards=1, max_sessions=1)
+        with registry.checkout("a"):
+            with registry.checkout("b") as b:
+                assert "b" in registry  # pinned before eviction ran
+                assert registry.session("b") is b  # still linearisable
+        assert len(registry) == 1  # shrinks back once pins release
+
+    def test_explicit_evict_of_pinned_session_is_deferred(self):
+        registry = TenantRegistry(build_tvtouch(), max_sessions=8)
+        with registry.checkout("alice") as session:
+            session.install_context("Weekend", "Breakfast")
+            assert registry.evict("alice")
+            # Gone from the table: a new checkout mints a *fresh* session...
+            fresh = registry.session("alice")
+            assert fresh is not session
+            # ...but the in-flight holder still ranks on a live overlay.
+            assert session.doomed
+            scores = session.preference_scores()
+            assert scores["channel5_news"] == pytest.approx(0.6006, abs=1e-9)
+        assert not session.doomed  # released and settled
+
+    def test_checkout_mints_and_counts_like_session(self):
+        registry = TenantRegistry(build_tvtouch(), shards=2, max_sessions=16)
+        with registry.checkout("alice") as alice:
+            assert isinstance(alice, UserSession)
+        assert registry.session("alice") is alice
+        info = registry.info()
+        assert (info.minted, info.hits) == (1, 1)
+
+    def test_concurrent_checkout_across_shards_is_consistent(self):
+        registry = TenantRegistry(build_tvtouch(), shards=4, max_sessions=256)
+        errors = []
+        infos = []
+
+        def worker(worker_id):
+            try:
+                for index in range(50):
+                    with registry.checkout(f"tenant_{(worker_id + index) % 16}") as s:
+                        assert s.pins >= 1
+                    infos.append(registry.info())
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        final = registry.info()
+        assert final.minted == 16
+        assert final.hits == 8 * 50 - 16
+        assert final.pinned == 0
+        # Every mid-flight snapshot was arithmetically sane.
+        for info in infos:
+            assert info.active <= 16
+            assert info.minted + info.hits <= 8 * 50
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(EngineConfigError, match="shards"):
+            TenantRegistry(build_tvtouch(), shards=0)
+
+    def test_max_sessions_bounds_the_whole_registry_exactly(self):
+        # Shards must never multiply the bound: ceil-per-shard would
+        # hold up to shards sessions here.
+        registry = TenantRegistry(build_tvtouch(), shards=8, max_sessions=3)
+        assert registry.shards == 3  # clamped: no zero-capacity shards
+        for index in range(20):
+            registry.session(f"tenant_{index}")
+        assert len(registry) <= 3
+        # Uneven split distributes the remainder: 4 over 3 shards.
+        registry = TenantRegistry(build_tvtouch(), shards=3, max_sessions=4)
+        for index in range(20):
+            registry.session(f"tenant_{index}")
+        assert len(registry) <= 4
+
+    def test_shared_basis_pool_bound_is_exact_across_stripes(self):
+        from repro.engine.basis import SharedBasisPool, ViewBasis
+
+        pool = SharedBasisPool(max_entries=4, stripes=8)
+        assert pool.stripes == 4
+        for index in range(20):
+            pool.put(("key", index), ViewBasis(kernel=None, snapshot=frozenset()))
+        assert len(pool) <= 4
+
+
 class TestSharing:
     def test_sessions_share_one_base_tier(self, registry):
         alice = registry.session("alice")

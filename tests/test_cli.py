@@ -39,6 +39,15 @@ class TestParser:
         args = build_parser().parse_args(["rank", "rules.prefs", "--context", "Weekend"])
         assert args.context == ["Weekend"]
 
+    def test_serve_command_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--shards", "4", "--max-concurrency", "2"]
+        )
+        assert args.command == "serve"
+        assert (args.port, args.shards, args.max_concurrency) == (0, 4, 2)
+        assert args.host == "127.0.0.1"
+        assert args.max_sessions == 4096
+
 
 class TestCommands:
     def test_example(self, capsys):
@@ -85,6 +94,11 @@ class TestCommands:
 
     def test_mine_thresholds_too_strict(self, history_file, capsys):
         assert main(["mine", history_file, "--min-support", "100000"]) == 1
+
+    def test_serve_missing_rules_file_clean_error(self, tmp_path, capsys):
+        code = main(["serve", "--rules", str(tmp_path / "nope.prefs"), "--port", "0"])
+        assert code == 2
+        assert "cannot load rule file" in capsys.readouterr().err
 
     def test_scaling(self, capsys):
         assert main(["scaling", "--max-rules", "3", "--scale", "0.05"]) == 0
