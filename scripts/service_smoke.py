@@ -1,16 +1,26 @@
 """End-to-end smoke of the serving gateway, as CI runs it.
 
-Starts ``python -m repro serve`` as a real subprocess on an ephemeral
-port, waits for the announce line, hits ``/healthz`` and ``/rank``,
-asserts a ranked JSON body with the paper's Table 1 winner, then shuts
-the server down cleanly (SIGINT, bounded wait).  Exit code 0 only if
-every step held.
+Two phases, each a real ``python -m repro serve`` subprocess on an
+ephemeral port:
+
+1. **Single process** — waits for the announce line, hits ``/healthz``
+   and ``/rank``, asserts a ranked JSON body with the paper's Table 1
+   winner, asserts the repeated request is served from the response
+   cache with identical scores, then shuts down cleanly (SIGINT,
+   bounded wait).
+2. **Fleet** (``--workers 2``) — parses the per-worker pid announce
+   lines, asserts ranked JSON comes back from the shared port and that
+   ``/healthz`` identifies fleet workers, SIGINTs the parent, and
+   asserts exit 0 with **no orphaned child processes** left behind.
+
+Exit code 0 only if every step held.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 import signal
 import subprocess
 import sys
@@ -19,6 +29,23 @@ import urllib.request
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 ANNOUNCE = "repro serve: listening on "
+WORKER_LINE = re.compile(r"repro serve: fleet worker (\d+) pid (\d+)")
+
+
+def spawn(*extra_args: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")])
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
 
 
 def wait_for_announce(process: subprocess.Popen) -> str:
@@ -37,26 +64,53 @@ def wait_for_announce(process: subprocess.Popen) -> str:
     raise SystemExit("timed out waiting for the server announce line")
 
 
+def collect_worker_pids(process: subprocess.Popen, expected: int) -> list[int]:
+    """The pids from the fleet's per-worker announce lines."""
+    deadline = time.time() + 30
+    pids: list[int] = []
+    assert process.stdout is not None
+    while time.time() < deadline and len(pids) < expected:
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"server exited before announcing workers (code {process.poll()})"
+            )
+        sys.stdout.write(line)
+        match = WORKER_LINE.search(line)
+        if match:
+            pids.append(int(match.group(2)))
+    if len(pids) < expected:
+        raise SystemExit(f"only saw {len(pids)}/{expected} worker announce lines")
+    return pids
+
+
 def get_json(url: str) -> dict:
     with urllib.request.urlopen(url, timeout=10) as response:
         assert response.status == 200, f"{url} answered {response.status}"
         return json.loads(response.read())
 
 
-def main() -> int:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = os.pathsep.join(
-        filter(None, [os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")])
-    )
-    env["PYTHONUNBUFFERED"] = "1"
-    process = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0"],
-        stdout=subprocess.PIPE,
-        stderr=subprocess.STDOUT,
-        text=True,
-        env=env,
-        cwd=REPO_ROOT,
-    )
+def shutdown(process: subprocess.Popen, what: str) -> None:
+    process.send_signal(signal.SIGINT)
+    try:
+        code = process.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise SystemExit(f"{what} did not shut down within 15s of SIGINT")
+    assert code == 0, f"{what} exited {code} on SIGINT"
+
+
+def assert_table1_winner(ranked: dict) -> dict:
+    assert ranked["tenant"] == "alice", ranked
+    assert ranked["items"], f"empty ranking: {ranked}"
+    top = ranked["items"][0]
+    assert top["document"] == "channel5_news", ranked
+    assert abs(top["score"] - 0.6006) <= 1e-9, ranked
+    return top
+
+
+def smoke_single_process() -> None:
+    process = spawn()
     try:
         base_url = wait_for_announce(process)
 
@@ -64,28 +118,74 @@ def main() -> int:
         assert health["status"] == "ok", health
         print(f"smoke: /healthz ok (shards={health['registry']['shards']})")
 
-        ranked = get_json(
+        rank_url = (
             f"{base_url}/rank?tenant=alice&context=Weekend&context=Breakfast&top_k=3"
         )
-        assert ranked["tenant"] == "alice", ranked
-        assert ranked["items"], f"empty ranking: {ranked}"
-        top = ranked["items"][0]
-        assert top["document"] == "channel5_news", ranked
-        assert abs(top["score"] - 0.6006) <= 1e-9, ranked
+        ranked = get_json(rank_url)
+        top = assert_table1_winner(ranked)
         print(f"smoke: /rank ok (top={top['document']} score={top['score']})")
+
+        repeat = get_json(rank_url)
+        assert repeat.get("cached") is True, f"repeat not served from cache: {repeat}"
+        assert len(repeat["items"]) == len(ranked["items"])
+        for first, second in zip(ranked["items"], repeat["items"]):
+            assert first["document"] == second["document"], (ranked, repeat)
+            assert abs(first["score"] - second["score"]) <= 1e-9, (ranked, repeat)
+        print("smoke: repeated /rank served from the response cache, scores identical")
 
         metrics = get_json(f"{base_url}/metrics")
         assert metrics["outcomes"].get("ok", 0) >= 1, metrics
-        print("smoke: /metrics ok")
+        assert metrics["outcomes"].get("ok_cached", 0) >= 1, metrics
+        assert metrics["cache"]["hits"] >= 1, metrics
+        print(
+            "smoke: /metrics ok "
+            f"(cache hits={metrics['cache']['hits']} "
+            f"hit_ratio={metrics['cache']['hit_ratio']:.2f})"
+        )
     finally:
-        process.send_signal(signal.SIGINT)
-        try:
-            code = process.wait(timeout=15)
-        except subprocess.TimeoutExpired:
-            process.kill()
-            raise SystemExit("server did not shut down within 15s of SIGINT")
-    assert code == 0, f"server exited {code} on SIGINT"
+        shutdown(process, "server")
     print("smoke: clean shutdown ok")
+
+
+def smoke_fleet(workers: int = 2) -> None:
+    process = spawn("--workers", str(workers))
+    try:
+        base_url = wait_for_announce(process)
+        worker_pids = collect_worker_pids(process, workers)
+        print(f"smoke: fleet of {workers} announced (pids {worker_pids})")
+
+        ranked = get_json(
+            f"{base_url}/rank?tenant=alice&context=Weekend&context=Breakfast&top_k=3"
+        )
+        top = assert_table1_winner(ranked)
+        print(f"smoke: fleet /rank ok (top={top['document']} score={top['score']})")
+
+        health = get_json(f"{base_url}/healthz")
+        assert health["worker"]["workers"] == workers, health
+        assert health["worker"]["pid"] in worker_pids, (health, worker_pids)
+        print(f"smoke: fleet /healthz ok (answered by pid {health['worker']['pid']})")
+    finally:
+        shutdown(process, "fleet")
+
+    # No orphans: every announced worker must be gone shortly after the
+    # parent exits.
+    deadline = time.time() + 5
+    remaining = set(worker_pids)
+    while remaining and time.time() < deadline:
+        for pid in list(remaining):
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                remaining.discard(pid)
+        if remaining:
+            time.sleep(0.05)
+    assert not remaining, f"orphaned fleet workers after shutdown: {sorted(remaining)}"
+    print("smoke: fleet clean shutdown ok, no orphan workers")
+
+
+def main() -> int:
+    smoke_single_process()
+    smoke_fleet(workers=2)
     return 0
 
 

@@ -51,6 +51,7 @@ paper-versus-measured record of every reproduced table and figure.
 
 import warnings as _warnings
 
+from repro.cache import CacheAdapter, InMemoryCacheAdapter, NoCacheAdapter
 from repro.core import (
     DocumentScore,
     PreferenceView,
@@ -95,7 +96,7 @@ from repro.workloads import (
     set_breakfast_weekend_context,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Deprecated top-level names: still importable, but shimmed through
 #: module ``__getattr__`` with a :class:`DeprecationWarning` pointing at
@@ -138,6 +139,7 @@ __all__ = [
     "ABox",
     "ALWAYS",
     "AboxContext",
+    "CacheAdapter",
     "Candidate",
     "CompiledKB",
     "Concept",
@@ -157,6 +159,7 @@ __all__ = [
     "GroupRanker",
     "GroupRelevance",
     "HistoryLog",
+    "InMemoryCacheAdapter",
     "Individual",
     "LanguageModelRanker",
     "LayeredABox",
@@ -164,6 +167,7 @@ __all__ = [
     "MiningConfig",
     "MixedRelevance",
     "NEVER",
+    "NoCacheAdapter",
     "PreferenceBackend",
     "PreferenceRule",
     "PreferenceView",

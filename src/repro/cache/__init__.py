@@ -1,0 +1,40 @@
+"""The pluggable response-cache subsystem for the serving layer.
+
+Layout (the merino-py ``cache/`` shape):
+
+* :mod:`repro.cache.protocol` — the :class:`CacheAdapter` protocol and
+  its :class:`ResponseCacheInfo` counters;
+* :mod:`repro.cache.none` — the disabled backend;
+* :mod:`repro.cache.memory` — the sharded in-memory LRU + TTL backend;
+* :mod:`repro.cache.keys` — key derivation from engine view
+  fingerprints, and the :class:`ResponseKeyer` ledger the pipeline
+  uses to answer "which key would this request rank under?" before
+  the tenant's session is even resolved.
+
+This is the *response* cache (whole rendered bodies, service layer);
+the engine-level view/score memoisation lives in
+:mod:`repro.engine.cache` and is unrelated machinery.
+"""
+
+from repro.cache.keys import (
+    KeyLookup,
+    ResponseKeyer,
+    canonical_context,
+    response_key,
+    signature_digest,
+)
+from repro.cache.memory import InMemoryCacheAdapter
+from repro.cache.none import NoCacheAdapter
+from repro.cache.protocol import CacheAdapter, ResponseCacheInfo
+
+__all__ = [
+    "CacheAdapter",
+    "InMemoryCacheAdapter",
+    "KeyLookup",
+    "NoCacheAdapter",
+    "ResponseCacheInfo",
+    "ResponseKeyer",
+    "canonical_context",
+    "response_key",
+    "signature_digest",
+]

@@ -1,0 +1,269 @@
+"""Response-cache keys: stable digests of *what a ranked answer depends on*.
+
+The paper's premise is that a ranked answer is a pure function of the
+tenant's knowledge state and the query — between context changes there
+is nothing request-specific left to compute.  "Predicting Preference
+Flips in Commerce Search" (PAPERS.md) supplies the discipline: context
+can flip a preference, so the cache key must carry the **full context
+signature**, and a context mutation must make every previous key for
+that tenant unreachable.
+
+A response key is therefore::
+
+    key = tenant id | view digest | query digest
+
+* the **view digest** hashes the engine's view signature — context
+  rendering (including static-knowledge epoch), TBox/space revisions,
+  rule fingerprint, scoring configuration and target — exactly the key
+  the engine's own view cache proves sufficient for score identity;
+* the **query digest** hashes the canonicalised request shape
+  (explicit candidate list, effective ``top_k``, ``explain``).
+
+Invalidation is *by reachability*: any context flip changes the view
+signature, so stale entries cannot be addressed at all (and, being
+content-addressed, restoring an earlier context legitimately restores
+its still-valid entries).  TTL and LRU in the adapter reclaim the
+memory.
+
+The :class:`ResponseKeyer` is the per-service **ledger** that makes
+lookup possible *before* the tenant's session is resolved: it learns
+``tenant → standing view digest`` and ``(tenant, context delta) →
+view digest`` mappings from real engine fingerprints — the
+``(knowledge epoch, signature)`` pairs captured inside the rank/install
+critical sections — and applies them newest-epoch-wins, so thread
+scheduling can never publish an older engine state over a newer one.
+A lookup the ledger cannot answer is simply a miss; the fill after the
+rank teaches it the true digest.  Direct session mutation *outside*
+the service API (e.g. ``session.assert_fact`` on a handle you hold) is
+invisible to the ledger — pair it with
+:meth:`RankingService.invalidate_tenant`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.engine.backends import parse_context_spec
+from repro.errors import ReproError
+
+__all__ = [
+    "CanonicalContext",
+    "KeyLookup",
+    "ResponseKeyer",
+    "canonical_context",
+    "response_key",
+    "signature_digest",
+]
+
+#: A parsed, order-independent context delta: sorted (concept, prob).
+CanonicalContext = tuple
+
+#: Bound on remembered context-delta → digest mappings per tenant.
+_MAX_DELTAS = 64
+
+
+def canonical_context(specs: Iterable[str]) -> CanonicalContext:
+    """``CONCEPT[:PROB]`` specs as a canonical, order-independent value.
+
+    ``("Weekend", "Breakfast:1.0")`` and ``("Breakfast", "Weekend")``
+    canonicalise identically — installs of either produce the same
+    knowledge state, so they must share cache keys.  Raises the
+    underlying :class:`~repro.errors.EngineConfigError` on a bad spec.
+    """
+    return tuple(sorted(parse_context_spec(str(spec)) for spec in specs))
+
+
+def _digest(value: object) -> str:
+    return hashlib.sha256(repr(value).encode("utf-8")).hexdigest()[:24]
+
+
+def signature_digest(signature: Hashable) -> str:
+    """A short stable digest of an engine view signature."""
+    return _digest(signature)
+
+
+def response_key(
+    tenant: str,
+    view_digest: str,
+    documents: tuple[str, ...] | None,
+    top_k: int | None,
+    explain: bool,
+) -> str:
+    """The adapter key for one ``(tenant, view, query shape)`` triple."""
+    return f"{tenant}|{view_digest}|{_digest((documents, top_k, explain))}"
+
+
+@dataclass
+class KeyLookup:
+    """One resolved lookup attempt (everything the fill needs later).
+
+    ``view_digest`` is the ledger's prediction of the engine state the
+    request will rank under; when unlearned (None) the ``key`` falls
+    back to a sentinel digest no fill can ever produce — a guaranteed
+    miss, but one the adapter still *counts*, so the reported hit
+    ratio reflects every cacheable request, not just the answerable
+    ones.  ``needs_install`` marks a context-delta request whose
+    cached body may be served only *after* the delta is installed as
+    the tenant's standing context (the client-visible side effect of
+    ``/rank`` with ``context=``).
+    """
+
+    tenant: str
+    era: int
+    canon: CanonicalContext | None
+    canon_digest: str | None
+    view_digest: str | None
+    needs_install: bool
+    documents: tuple[str, ...] | None
+    top_k: int | None
+    explain: bool
+
+    @property
+    def key(self) -> str:
+        digest = self.view_digest if self.view_digest is not None else "unlearned"
+        return response_key(
+            self.tenant, digest, self.documents, self.top_k, self.explain
+        )
+
+
+class _TenantLedger:
+    __slots__ = ("era", "standing_epoch", "standing_digest", "deltas")
+
+    def __init__(self):
+        self.era = 0
+        self.standing_epoch = -1
+        self.standing_digest: str | None = None
+        self.deltas: dict[str, str] = {}
+
+
+class ResponseKeyer:
+    """The per-service ledger mapping tenants to learned view digests.
+
+    Thread-safe under one small lock (operations are dict reads and
+    writes).  ``max_tenants`` LRU-bounds remembered tenants; evicting a
+    ledger entry only costs future lookups a relearning miss — the
+    digests themselves are content-addressed, so a relearned mapping
+    reaching an old cache entry is *correct* (equal signature ⇒ equal
+    scores, the engine's own view-cache invariant).
+    """
+
+    def __init__(self, max_tenants: int = 16384):
+        self._lock = threading.Lock()
+        self._tenants: "OrderedDict[str, _TenantLedger]" = OrderedDict()
+        self.max_tenants = max_tenants
+
+    # -- the request path --------------------------------------------------
+    def lookup(
+        self,
+        tenant: str,
+        context: tuple[str, ...] | None,
+        documents: tuple[str, ...] | None,
+        top_k: int | None,
+        explain: bool,
+    ) -> KeyLookup | None:
+        """Resolve a request to a (possibly unanswerable) cache key.
+
+        Returns ``None`` when the context delta does not even parse —
+        the pipeline's own pre-flight will reject the request; the
+        cache stays out of error paths entirely.
+        """
+        canon: CanonicalContext | None = None
+        canon_digest: str | None = None
+        if context is not None:
+            try:
+                canon = canonical_context(context)
+            except ReproError:
+                return None
+            canon_digest = _digest(canon)
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is not None:
+                self._tenants.move_to_end(tenant)
+            era = state.era if state is not None else 0
+            standing = state.standing_digest if state is not None else None
+            if canon_digest is None:
+                view_digest = standing
+                needs_install = False
+            else:
+                view_digest = state.deltas.get(canon_digest) if state is not None else None
+                needs_install = view_digest is not None and view_digest != standing
+        return KeyLookup(
+            tenant=tenant,
+            era=era,
+            canon=canon,
+            canon_digest=canon_digest,
+            view_digest=view_digest,
+            needs_install=needs_install,
+            documents=documents,
+            top_k=top_k,
+            explain=explain,
+        )
+
+    def learn(self, lookup: KeyLookup, fingerprint: tuple) -> str | None:
+        """Teach the ledger a real engine fingerprint; returns its digest.
+
+        ``fingerprint`` is ``(knowledge epoch, view signature)`` captured
+        inside the engine's critical section.  The standing mapping is
+        applied newest-epoch-wins (concurrent rank/install learns for
+        one tenant may land in any order); a learn whose lookup predates
+        an invalidation (era mismatch) is discarded — returning ``None``
+        tells the caller to skip the cache fill too.
+        """
+        epoch, signature = fingerprint
+        view_digest = signature_digest(signature)
+        with self._lock:
+            state = self._tenants.get(tenant := lookup.tenant)
+            if state is None:
+                state = _TenantLedger()
+                # A recreated ledger entry forgets its era; the doomed
+                # in-flight learns era guards against are bounded by
+                # request latency, so a fresh entry is safe to trust.
+                state.era = lookup.era
+                self._tenants[tenant] = state
+                while len(self._tenants) > self.max_tenants:
+                    self._tenants.popitem(last=False)
+            else:
+                self._tenants.move_to_end(tenant)
+            if state.era != lookup.era:
+                return None
+            if epoch >= state.standing_epoch:
+                state.standing_epoch = epoch
+                state.standing_digest = view_digest
+            if lookup.canon_digest is not None:
+                if len(state.deltas) >= _MAX_DELTAS and lookup.canon_digest not in state.deltas:
+                    state.deltas.clear()
+                state.deltas[lookup.canon_digest] = view_digest
+        return view_digest
+
+    # -- invalidation ------------------------------------------------------
+    def forget(self, tenant: str) -> None:
+        """Drop everything learned about ``tenant`` (keeps the era fence).
+
+        Called on session eviction and explicit invalidation: the next
+        request relearns from a real fingerprint, and any learn still
+        in flight from before the forget is fenced off by the era bump.
+        """
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                return
+            state.era += 1
+            state.standing_epoch = -1
+            state.standing_digest = None
+            state.deltas.clear()
+
+    def clear(self) -> None:
+        with self._lock:
+            for state in self._tenants.values():
+                state.era += 1
+                state.standing_epoch = -1
+                state.standing_digest = None
+                state.deltas.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)

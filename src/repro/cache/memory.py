@@ -1,0 +1,226 @@
+"""The in-memory response cache: sharded LRU + TTL under per-shard locks.
+
+The serving fleet's default backend.  Entries are rendered response
+bodies keyed by the digests :mod:`repro.cache.keys` derives; each
+worker process owns one instance, so no cross-process coherence is
+needed — invalidation is per-worker and keys are content-addressed
+(see the package docstring).
+
+Design points:
+
+* **Sharding.**  Keys hash onto ``shards`` independent segments, each
+  an ``OrderedDict`` LRU under its own lock, so concurrent gateway
+  threads hitting different keys never contend on one global lock
+  (the same shape as the tenant registry's session table).  Capacity
+  is distributed across shards the way the registry distributes
+  ``max_sessions``, so the whole-cache bound is exact.
+* **TTL.**  Entries carry an absolute monotonic deadline; an expired
+  entry is removed (and counted) by the lookup that finds it, and a
+  sweep is never needed — LRU pressure reclaims cold expired entries.
+  ``ttl=None`` (or ``0``) disables expiry: correctness never depends
+  on TTL here (keys already die with the context signature), it only
+  bounds staleness against *external* knowledge mutations.
+* **Per-tenant purge.**  Each shard maintains a tenant → keys index,
+  so :meth:`invalidate_tenant` is O(tenant's entries), not a scan.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections import OrderedDict
+from typing import Callable
+
+from repro.cache.protocol import ResponseCacheInfo
+from repro.errors import EngineConfigError
+
+__all__ = ["InMemoryCacheAdapter"]
+
+
+class _Entry:
+    __slots__ = ("body", "tenant", "expires_at")
+
+    def __init__(self, body: dict, tenant: str | None, expires_at: float | None):
+        self.body = body
+        self.tenant = tenant
+        self.expires_at = expires_at
+
+
+class _CacheShard:
+    """One locked LRU segment with a tenant index."""
+
+    __slots__ = (
+        "lock",
+        "entries",
+        "by_tenant",
+        "max_entries",
+        "hits",
+        "misses",
+        "evictions",
+        "expiries",
+        "invalidations",
+    )
+
+    def __init__(self, max_entries: int):
+        self.lock = threading.Lock()
+        self.entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self.by_tenant: dict[str, set[str]] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expiries = 0
+        self.invalidations = 0
+
+    def _drop(self, key: str) -> None:
+        entry = self.entries.pop(key, None)
+        if entry is None:
+            return
+        if entry.tenant is not None:
+            keys = self.by_tenant.get(entry.tenant)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self.by_tenant[entry.tenant]
+
+
+class InMemoryCacheAdapter:
+    """A sharded LRU + TTL response cache (one per worker process).
+
+    Parameters
+    ----------
+    max_entries:
+        Bound on stored bodies across all shards (exact).
+    ttl:
+        Seconds an entry may live; ``None`` or ``0`` disables expiry.
+    shards:
+        Independently locked LRU segments (clamped to ``max_entries``).
+    clock:
+        Monotonic time source (injectable so tests age entries without
+        sleeping).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        ttl: float | None = 300.0,
+        shards: int = 8,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not isinstance(max_entries, int) or max_entries < 1:
+            raise EngineConfigError(
+                f"cache max_entries must be a positive integer, got {max_entries!r}"
+            )
+        if ttl is not None and ttl < 0:
+            raise EngineConfigError(f"cache ttl must be non-negative, got {ttl!r}")
+        if not isinstance(shards, int) or shards < 1:
+            raise EngineConfigError(
+                f"cache shards must be a positive integer, got {shards!r}"
+            )
+        self.max_entries = max_entries
+        self.ttl = ttl if ttl else None
+        self.shards = min(shards, max_entries)
+        self._clock = clock
+        base, extra = divmod(max_entries, self.shards)
+        self._shards = tuple(
+            _CacheShard(base + (1 if index < extra else 0))
+            for index in range(self.shards)
+        )
+
+    def _shard_for(self, key: str) -> _CacheShard:
+        return self._shards[zlib.crc32(key.encode("utf-8")) % self.shards]
+
+    # -- the per-request path ---------------------------------------------
+    def get(self, key: str) -> dict | None:
+        shard = self._shard_for(key)
+        with shard.lock:
+            entry = shard.entries.get(key)
+            if entry is None:
+                shard.misses += 1
+                return None
+            if entry.expires_at is not None and self._clock() >= entry.expires_at:
+                shard._drop(key)
+                shard.expiries += 1
+                shard.misses += 1
+                return None
+            shard.entries.move_to_end(key)
+            shard.hits += 1
+            return entry.body
+
+    def put(self, key: str, body: dict, *, tenant: str | None = None) -> None:
+        expires_at = self._clock() + self.ttl if self.ttl is not None else None
+        shard = self._shard_for(key)
+        with shard.lock:
+            if key in shard.entries:
+                shard._drop(key)
+            shard.entries[key] = _Entry(body, tenant, expires_at)
+            if tenant is not None:
+                shard.by_tenant.setdefault(tenant, set()).add(key)
+            while len(shard.entries) > shard.max_entries:
+                victim = next(iter(shard.entries))
+                shard._drop(victim)
+                shard.evictions += 1
+
+    # -- management --------------------------------------------------------
+    def invalidate_tenant(self, tenant: str) -> int:
+        purged = 0
+        for shard in self._shards:
+            with shard.lock:
+                keys = shard.by_tenant.get(tenant)
+                if not keys:
+                    continue
+                for key in list(keys):
+                    shard._drop(key)
+                    shard.invalidations += 1
+                    purged += 1
+        return purged
+
+    def clear(self) -> int:
+        dropped = 0
+        for shard in self._shards:
+            with shard.lock:
+                dropped += len(shard.entries)
+                shard.invalidations += len(shard.entries)
+                shard.entries.clear()
+                shard.by_tenant.clear()
+        return dropped
+
+    def info(self) -> ResponseCacheInfo:
+        hits = misses = evictions = expiries = invalidations = entries = 0
+        for shard in self._shards:
+            with shard.lock:
+                hits += shard.hits
+                misses += shard.misses
+                evictions += shard.evictions
+                expiries += shard.expiries
+                invalidations += shard.invalidations
+                entries += len(shard.entries)
+        return ResponseCacheInfo(
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+            expiries=expiries,
+            invalidations=invalidations,
+            entries=entries,
+            max_entries=self.max_entries,
+            shards=self.shards,
+            ttl=self.ttl,
+        )
+
+    def __len__(self) -> int:
+        count = 0
+        for shard in self._shards:
+            with shard.lock:
+                count += len(shard.entries)
+        return count
+
+    def __repr__(self) -> str:
+        info = self.info()
+        return (
+            f"InMemoryCacheAdapter(entries={info.entries}/{info.max_entries}, "
+            f"shards={info.shards}, ttl={info.ttl}, "
+            f"hits={info.hits}, misses={info.misses})"
+        )

@@ -1,0 +1,109 @@
+"""The response-cache adapter protocol.
+
+The serving pipeline treats its response cache as a pluggable backend
+behind one small protocol (the shape merino-py gives its suggestion
+cache: ``protocol.py`` / ``none.py`` / a real store), so deployments
+choose a policy, not an implementation detail:
+
+* :class:`~repro.cache.none.NoCacheAdapter` — the disabled backend;
+  every lookup misses, every fill is dropped.  The pipeline also skips
+  its cache stage entirely when ``adapter.enabled`` is false, so "no
+  cache" costs nothing.
+* :class:`~repro.cache.memory.InMemoryCacheAdapter` — a sharded
+  LRU + TTL map with per-shard locks; the per-worker default for the
+  serving fleet.
+
+An adapter stores **rendered response bodies** (plain JSON-able dicts)
+under opaque string keys derived by :mod:`repro.cache.keys` from
+``(tenant id, engine view fingerprint, canonicalised query, top_k)``.
+Because the fingerprint covers the tenant's whole context (plus rules,
+knowledge epochs and scoring configuration), a context change moves
+every affected request to a new key — stale entries become unreachable
+by construction, and :meth:`CacheAdapter.invalidate_tenant` exists for
+the explicit path (administrative purges, direct session mutation
+outside the service API).
+
+Stored bodies are shared between the filler and every later hit: they
+must be treated as immutable (the pipeline copies the top-level dict
+before decorating a hit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+__all__ = ["CacheAdapter", "ResponseCacheInfo"]
+
+
+@dataclass(frozen=True)
+class ResponseCacheInfo:
+    """Counters of one response-cache adapter (JSON-able via ``to_dict``).
+
+    ``evictions`` counts LRU displacements, ``expiries`` entries that
+    died of TTL on lookup, ``invalidations`` entries purged explicitly
+    (per-tenant or ``clear``).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expiries: int = 0
+    invalidations: int = 0
+    entries: int = 0
+    max_entries: int = 0
+    shards: int = 1
+    ttl: float | None = None
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """The ``GET /metrics`` rendering of these counters."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
+            "evictions": self.evictions,
+            "expiries": self.expiries,
+            "invalidations": self.invalidations,
+            "entries": self.entries,
+            "max_entries": self.max_entries,
+            "shards": self.shards,
+            "ttl_seconds": self.ttl,
+        }
+
+
+@runtime_checkable
+class CacheAdapter(Protocol):
+    """What the serving pipeline requires of a response cache."""
+
+    #: False for the no-op backend: the pipeline skips the cache stage
+    #: (no key derivation, no ledger bookkeeping) when disabled.
+    enabled: bool
+
+    def get(self, key: str) -> dict | None:
+        """The stored body for ``key`` (None on miss/expiry).
+
+        Implementations count a hit or a miss; the returned dict is
+        shared — callers must not mutate it.
+        """
+        ...
+
+    def put(self, key: str, body: dict, *, tenant: str | None = None) -> None:
+        """Store a rendered body, tagged with its tenant for purges."""
+        ...
+
+    def invalidate_tenant(self, tenant: str) -> int:
+        """Purge every entry stored for ``tenant``; returns the count."""
+        ...
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were live."""
+        ...
+
+    def info(self) -> ResponseCacheInfo:
+        """Aggregate hit/miss/eviction/expiry counters."""
+        ...

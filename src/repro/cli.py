@@ -84,6 +84,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-timeout", type=float, default=0.25,
         help="seconds a request may wait for admission before a 503",
     )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; > 1 runs the pre-fork fleet on one shared port",
+    )
+    serve.add_argument(
+        "--cache", choices=("memory", "none"), default="memory",
+        help="response-cache backend (per worker)",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=4096,
+        help="response-cache LRU bound (per worker)",
+    )
+    serve.add_argument(
+        "--cache-ttl", type=float, default=300.0,
+        help="response-cache TTL in seconds; 0 disables expiry",
+    )
     serve.add_argument("--verbose", action="store_true", help="log each HTTP request")
     return parser
 
@@ -164,11 +180,16 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.cache import InMemoryCacheAdapter, NoCacheAdapter
     from repro.service import RankingService, ServiceConfig
+    from repro.service.fleet import serve_fleet
     from repro.service.http import serve as run_gateway
     from repro.tenants import TenantRegistry
 
-    world = build_tvtouch()
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    world = build_tvtouch()  # built pre-fork; workers share it copy-on-write
     rules = None
     if args.rules:
         try:
@@ -176,36 +197,92 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except (OSError, ReproError) as exc:
             print(f"error: cannot load rule file: {exc}", file=sys.stderr)
             return 2
-    try:
+
+    def make_service(worker_info=None):
+        # Each fleet worker runs this after the fork: its own registry,
+        # its own response cache — workers share no mutable state.
+        if args.cache == "none":
+            cache = NoCacheAdapter()
+        else:
+            cache = InMemoryCacheAdapter(
+                max_entries=args.cache_entries, ttl=args.cache_ttl or None
+            )
         registry = TenantRegistry(
             world, rules=rules, shards=args.shards, max_sessions=args.max_sessions
         )
-        service = RankingService(
+        return RankingService(
             registry,
             ServiceConfig(
                 max_concurrency=args.max_concurrency, queue_timeout=args.queue_timeout
             ),
+            cache=cache,
+            worker_info=worker_info,
         )
+
+    settings = (
+        f"cache={args.cache}, shards={args.shards}, "
+        f"max_sessions={args.max_sessions}, max_concurrency={args.max_concurrency}"
+    )
+
+    if args.workers == 1:
+        try:
+            service = make_service({"index": 0, "workers": 1, "mode": "single"})
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+        def announce(server) -> None:
+            print(
+                f"repro serve: listening on {server.url} ({settings})",
+                flush=True,
+            )
+            print(
+                f"  try: curl '{server.url}/rank?tenant=alice&context=Weekend"
+                f"&context=Breakfast&top_k=3'",
+                flush=True,
+            )
+
+        return run_gateway(
+            service, args.host, args.port, verbose=args.verbose, ready=announce
+        )
+
+    try:
+        # Validate cache/registry settings in the parent before forking
+        # anything (a worker would only hit the error after the fork).
+        make_service({"index": -1, "workers": args.workers, "mode": "preflight"})
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    def announce(server) -> None:
+    def announce_fleet(supervisor) -> None:
         print(
-            f"repro serve: listening on {server.url} "
-            f"(shards={args.shards}, max_sessions={args.max_sessions}, "
-            f"max_concurrency={args.max_concurrency})",
+            f"repro serve: listening on {supervisor.url} "
+            f"(workers={args.workers}, mode={supervisor.mode}, {settings})",
             flush=True,
         )
+        for index, pid in enumerate(supervisor.worker_pids()):
+            print(f"repro serve: fleet worker {index} pid {pid}", flush=True)
         print(
-            f"  try: curl '{server.url}/rank?tenant=alice&context=Weekend"
+            f"  try: curl '{supervisor.url}/rank?tenant=alice&context=Weekend"
             f"&context=Breakfast&top_k=3'",
             flush=True,
         )
 
-    return run_gateway(
-        service, args.host, args.port, verbose=args.verbose, ready=announce
-    )
+    def factory(worker_info):
+        return make_service(dict(worker_info))
+
+    try:
+        return serve_fleet(
+            factory,
+            args.workers,
+            args.host,
+            args.port,
+            verbose=args.verbose,
+            announce=announce_fleet,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -455,8 +455,13 @@ class RankingEngine:
             documents = sorted(view_scores)
         if needs_view:
             document_scores = self._scores_for(documents, view_scores)
+            # Captured inside the lock, so the epoch/signature pair can
+            # never describe a state other than the one just scored —
+            # response caches (repro.cache) key and order on it.
+            fingerprint = (self.abox.mutation_count, self._signature())
         else:
             document_scores = {}
+            fingerprint = None
 
         preference_scores = {name: score.value for name, score in document_scores.items()}
         items = self.relevance.combine(preference_scores, query_scores, documents)
@@ -473,6 +478,7 @@ class RankingEngine:
             from_cache=from_cache,
             explanation=explanation,
             result=result,
+            fingerprint=fingerprint,
         )
 
     def rank_many(self, requests: Iterable[RankRequest | str]) -> list[RankResponse]:
@@ -548,6 +554,20 @@ class RankingEngine:
             view_scores, _cached = self._refresh_view()
             scores = self._scores_for([document], view_scores)
             return explain_score(scores[document], self.preferences.repository())
+
+    def view_fingerprint(self) -> tuple:
+        """The ``(knowledge epoch, view signature)`` pair, atomically.
+
+        The signature covers everything a scored view depends on —
+        context rendering, TBox/space revisions, rule fingerprint,
+        scoring configuration, target — and the epoch
+        (:attr:`ABox.mutation_count`) orders successive states of one
+        engine, so observers that learn fingerprints out of band (the
+        response-cache ledger in :mod:`repro.cache`) can apply them
+        newest-wins regardless of thread scheduling.
+        """
+        with self._lock:
+            return (self.abox.mutation_count, self._signature())
 
     def context_covered(self) -> bool:
         """Does any rule apply in the current context? (Section 4.1.)"""

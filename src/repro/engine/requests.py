@@ -102,13 +102,24 @@ class RankRequest:
 
 @dataclass(frozen=True)
 class RankResponse:
-    """The ranked answer to one :class:`RankRequest`."""
+    """The ranked answer to one :class:`RankRequest`.
+
+    ``fingerprint`` is the engine's ``(knowledge epoch, view signature)``
+    pair captured *inside* the rank critical section — the exact state
+    this response was scored under.  Response caches key on it: two
+    responses with equal fingerprints (same tenant engine) are
+    byte-identical by construction, and any context, rule or knowledge
+    change produces a new fingerprint.  ``None`` when the request
+    bypassed the preference view (e.g. group relevance over an explicit
+    candidate list) — such responses are not safely cacheable by state.
+    """
 
     request: RankRequest
     items: tuple[RankedItem, ...]
     from_cache: bool = False
     explanation: str | None = None
     result: ResultSet | None = field(default=None, compare=False)
+    fingerprint: tuple | None = field(default=None, compare=False, repr=False)
 
     def __iter__(self) -> Iterator[RankedItem]:
         return iter(self.items)

@@ -2,9 +2,12 @@
 
 Turns the tenant fleet (:mod:`repro.tenants`) into a traffic-handling
 system: a staged, admission-controlled :class:`RankingService`
-pipeline (parse → admit → resolve → context → rank → render) with
-per-stage latency metrics, fronted by a dependency-free
-:class:`ThreadingHTTPServer` gateway (``python -m repro serve``).
+pipeline (parse → cache → admit → resolve → context → rank → render)
+with per-stage latency metrics and a pluggable response cache
+(:mod:`repro.cache`), fronted by a dependency-free
+:class:`ThreadingHTTPServer` gateway (``python -m repro serve``) that
+scales past the GIL as a pre-fork worker fleet
+(``python -m repro serve --workers N``, :mod:`repro.service.fleet`).
 
 Quickstart::
 
@@ -24,6 +27,13 @@ Quickstart::
     # threading.Thread(target=server.serve_forever, daemon=True).start()
 """
 
+from repro.cache import CacheAdapter, InMemoryCacheAdapter, NoCacheAdapter
+from repro.service.fleet import (
+    FleetSupervisor,
+    serve_fleet,
+    supports_fleet,
+    supports_reuseport,
+)
 from repro.service.metrics import LatencyRecorder, ServiceMetrics, percentile
 from repro.service.pipeline import (
     STAGES,
@@ -35,7 +45,11 @@ from repro.service.pipeline import (
 from repro.service.http import RankingHTTPServer, make_server, serve
 
 __all__ = [
+    "CacheAdapter",
+    "FleetSupervisor",
+    "InMemoryCacheAdapter",
     "LatencyRecorder",
+    "NoCacheAdapter",
     "RankingHTTPServer",
     "RankingService",
     "STAGES",
@@ -46,4 +60,7 @@ __all__ = [
     "make_server",
     "percentile",
     "serve",
+    "serve_fleet",
+    "supports_fleet",
+    "supports_reuseport",
 ]

@@ -1,0 +1,384 @@
+"""The pre-fork serving fleet: N worker processes behind one port.
+
+The GIL caps a single Python process at one core of rank work; the
+fleet escapes it the classic pre-fork way (the shape gunicorn and
+nginx use):
+
+* the **parent** builds nothing heavy — it resolves the port, forks
+  ``workers`` children, then only supervises: respawn a worker that
+  dies unexpectedly, fan ``SIGTERM``/``SIGINT`` out on shutdown, and
+  answer parent-side aggregated health via :meth:`FleetSupervisor.health`;
+* each **worker** builds its own :class:`~repro.service.pipeline.
+  RankingService` (own registry, own response cache — processes share
+  nothing, so no cross-process coherence protocol is needed; the
+  world is rebuilt per worker from the same deterministic loaders)
+  and runs the threaded gateway loop on the shared port.
+
+Port sharing has two modes, picked automatically:
+
+* ``reuseport`` — every worker binds its *own* listening socket with
+  ``SO_REUSEPORT``; the kernel load-balances incoming connections
+  across workers.  The parent holds a bound (never listening)
+  *anchor* socket on the same port: it pins the port for the fleet's
+  lifetime (respawned workers rebind the same number, even with
+  ``--port 0``) and is how the parent learns the ephemeral port in
+  the first place.
+* ``inherit`` — platforms without ``SO_REUSEPORT``: the parent binds
+  and listens once, workers inherit the listener across ``fork`` and
+  accept from it concurrently (thundering-herd accept, the pre-2013
+  nginx shape — correct everywhere POSIX).
+
+Workers exit cleanly on ``SIGTERM``/``SIGINT`` (handler raises
+``SystemExit`` so ``serve_forever`` unwinds through its ``finally``);
+the parent's monitor thread distinguishes a supervised shutdown from
+an unexpected death and only respawns the latter.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import socket
+import threading
+import time
+from multiprocessing.connection import wait as _sentinel_wait
+from typing import Callable, Mapping
+
+from repro.errors import EngineError
+from repro.service.http import RankingHTTPServer
+from repro.service.pipeline import RankingService
+
+__all__ = ["FleetSupervisor", "serve_fleet", "supports_fleet", "supports_reuseport"]
+
+#: A worker factory: called *inside* the forked child with that
+#: worker's identity mapping; must return a fully wired service.
+ServiceFactory = Callable[[Mapping[str, object]], RankingService]
+
+
+def supports_fleet() -> bool:
+    """Fork-based fleets need a POSIX ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def supports_reuseport() -> bool:
+    """Whether kernel-level listener load-balancing is available."""
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return False
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        finally:
+            probe.close()
+    except OSError:  # pragma: no cover - platform-dependent
+        return False
+    return True
+
+
+def _adopt_socket(server: RankingHTTPServer, sock: socket.socket) -> None:
+    """Swap ``server``'s unbound socket for an already prepared one."""
+    server.socket.close()
+    server.socket = sock
+    server.server_address = sock.getsockname()[:2]
+    host, port = server.server_address
+    # What HTTPServer.server_bind would have derived:
+    server.server_name = socket.getfqdn(host)
+    server.server_port = port
+
+
+def _worker_main(
+    index: int,
+    host: str,
+    port: int,
+    mode: str,
+    inherited: socket.socket | None,
+    service_factory: ServiceFactory,
+    workers: int,
+    verbose: bool,
+    ready: "multiprocessing.synchronize.Event",
+) -> None:
+    """The forked child's whole life: build a service, serve the port."""
+
+    def _exit_cleanly(signum, frame):  # noqa: ARG001 - signal API
+        raise SystemExit(0)
+
+    # SIGTERM is the parent's fan-out; SIGINT arrives directly when the
+    # whole process group catches Ctrl-C.  Either way: unwind
+    # serve_forever through its finally, close sockets, exit 0.
+    signal.signal(signal.SIGTERM, _exit_cleanly)
+    signal.signal(signal.SIGINT, _exit_cleanly)
+
+    service = service_factory(
+        {"index": index, "workers": workers, "mode": mode}
+    )
+    server = RankingHTTPServer(
+        (host, port), service, verbose=verbose, bind_and_activate=False
+    )
+    if mode == "reuseport":
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        _adopt_socket(server, sock)
+        server.server_activate()
+    else:
+        # The parent's listener came through fork already listening.
+        assert inherited is not None
+        _adopt_socket(server, inherited)
+    try:
+        ready.set()
+        server.serve_forever()
+    finally:
+        server.server_close()
+
+
+class _Worker:
+    """Parent-side record of one child process."""
+
+    __slots__ = ("index", "process", "ready")
+
+    def __init__(self, index: int, process, ready):
+        self.index = index
+        self.process = process
+        self.ready = ready
+
+
+class FleetSupervisor:
+    """Owns a fleet of gateway workers on one shared port.
+
+    Parameters
+    ----------
+    service_factory:
+        Called inside each forked worker (fork start method, so plain
+        closures work — no pickling) with that worker's identity
+        mapping; returns the worker's service.
+    workers:
+        Child process count (≥ 1).
+    host / port:
+        Bind address; ``port=0`` picks a free port once, which every
+        worker (and every respawn) then shares.
+    start_timeout:
+        Seconds to wait for each worker's ready signal on start.
+    grace:
+        Seconds between ``SIGTERM`` and ``SIGKILL`` on stop.
+    """
+
+    def __init__(
+        self,
+        service_factory: ServiceFactory,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        verbose: bool = False,
+        start_timeout: float = 30.0,
+        grace: float = 5.0,
+    ):
+        if workers < 1:
+            raise EngineError(f"fleet needs at least one worker, got {workers!r}")
+        if not supports_fleet():
+            raise EngineError(
+                "the serving fleet requires the 'fork' start method "
+                "(POSIX); run single-process (--workers 1) instead"
+            )
+        self.service_factory = service_factory
+        self.workers = workers
+        self.host = host
+        self.verbose = verbose
+        self.start_timeout = start_timeout
+        self.grace = grace
+        self.mode = "reuseport" if supports_reuseport() else "inherit"
+        self._mp = multiprocessing.get_context("fork")
+        self._lock = threading.Lock()
+        self._fleet: list[_Worker] = []
+        self._stopping = False
+        self._started = False
+        self._monitor: threading.Thread | None = None
+        self._respawns = 0
+        # Resolve the port up front, in the parent, whatever the mode:
+        # an anchor (bound, never listening) under reuseport, the real
+        # listener under inherit.
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if self.mode == "reuseport":
+                self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            self._socket.bind((host, port))
+            if self.mode == "inherit":
+                self._socket.listen(128)
+        except BaseException:
+            self._socket.close()
+            raise
+        self.port = self._socket.getsockname()[1]
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Fork the fleet and wait until every worker is accepting."""
+        if self._started:
+            raise EngineError("fleet already started")
+        self._started = True
+        with self._lock:
+            for index in range(self.workers):
+                self._fleet.append(self._spawn(index))
+        for worker in list(self._fleet):
+            if not worker.ready.wait(self.start_timeout):
+                self.stop()
+                raise EngineError(
+                    f"fleet worker {worker.index} failed to become ready "
+                    f"within {self.start_timeout}s"
+                )
+        self._monitor = threading.Thread(
+            target=self._supervise, name="fleet-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    def _spawn(self, index: int) -> _Worker:
+        ready = self._mp.Event()
+        inherited = self._socket if self.mode == "inherit" else None
+        process = self._mp.Process(
+            target=_worker_main,
+            args=(
+                index,
+                self.host,
+                self.port,
+                self.mode,
+                inherited,
+                self.service_factory,
+                self.workers,
+                self.verbose,
+                ready,
+            ),
+            name=f"repro-serve-worker-{index}",
+        )
+        process.start()
+        return _Worker(index, process, ready)
+
+    def _supervise(self) -> None:
+        """Respawn workers that die without being asked to."""
+        while True:
+            with self._lock:
+                if self._stopping:
+                    return
+                sentinels = {
+                    worker.process.sentinel: worker for worker in self._fleet
+                }
+            if not sentinels:
+                return
+            dead = _sentinel_wait(list(sentinels), timeout=0.2)
+            if not dead:
+                continue
+            with self._lock:
+                if self._stopping:
+                    return
+                for sentinel in dead:
+                    worker = sentinels[sentinel]
+                    if worker not in self._fleet:
+                        continue
+                    self._fleet.remove(worker)
+                    replacement = self._spawn(worker.index)
+                    self._fleet.append(replacement)
+                    self._respawns += 1
+
+    def stop(self) -> None:
+        """SIGTERM fan-out, grace, SIGKILL stragglers, release the port."""
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+            fleet = list(self._fleet)
+        for worker in fleet:
+            if worker.process.is_alive():
+                worker.process.terminate()
+        deadline = time.monotonic() + self.grace
+        for worker in fleet:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+        for worker in fleet:
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.kill()
+                worker.process.join(self.grace)
+        if self._monitor is not None and self._monitor.is_alive():
+            self._monitor.join(self.grace)
+        self._socket.close()
+
+    def __enter__(self) -> "FleetSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.stop()
+        return False
+
+    # -- parent-side observability ------------------------------------------
+    def worker_pids(self) -> list[int]:
+        with self._lock:
+            return [
+                worker.process.pid
+                for worker in sorted(self._fleet, key=lambda w: w.index)
+                if worker.process.pid is not None
+            ]
+
+    def health(self) -> dict:
+        """The parent's aggregated fleet view (each worker's ``/healthz``
+        reports only itself — the kernel picks who answers)."""
+        with self._lock:
+            fleet = sorted(self._fleet, key=lambda w: w.index)
+            alive = sum(1 for worker in fleet if worker.process.is_alive())
+            body = {
+                "status": "ok" if alive == self.workers else "degraded",
+                "mode": self.mode,
+                "url": self.url,
+                "workers": self.workers,
+                "alive": alive,
+                "respawns": self._respawns,
+                "fleet": [
+                    {
+                        "index": worker.index,
+                        "pid": worker.process.pid,
+                        "alive": worker.process.is_alive(),
+                    }
+                    for worker in fleet
+                ],
+            }
+        return body
+
+
+def serve_fleet(
+    service_factory: ServiceFactory,
+    workers: int,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    verbose: bool = False,
+    announce: Callable[[FleetSupervisor], None] | None = None,
+) -> int:
+    """Run a fleet until interrupted (the ``repro serve --workers N`` body).
+
+    ``announce`` is called once the whole fleet is accepting — the CLI
+    prints the listening line (and per-worker pids) from it.  Returns
+    a process exit code.
+    """
+    supervisor = FleetSupervisor(
+        service_factory, workers=workers, host=host, port=port, verbose=verbose
+    )
+
+    def _interrupt(signum, frame):  # noqa: ARG001 - signal API
+        raise KeyboardInterrupt
+
+    previous_term = signal.signal(signal.SIGTERM, _interrupt)
+    try:
+        supervisor.start()
+        if announce is not None:
+            announce(supervisor)
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        supervisor.stop()
+    return 0

@@ -138,8 +138,12 @@ class RankingHTTPServer(ThreadingHTTPServer):
         service: RankingService,
         *,
         verbose: bool = False,
+        bind_and_activate: bool = True,
     ):
-        super().__init__(address, _GatewayHandler)
+        # ``bind_and_activate=False`` lets the fleet adopt an already
+        # bound socket (SO_REUSEPORT sibling or an inherited listener)
+        # instead of binding a fresh one.
+        super().__init__(address, _GatewayHandler, bind_and_activate=bind_and_activate)
         self.service = service
         self.verbose = verbose
 

@@ -107,8 +107,17 @@ class ServiceMetrics:
                 self._stages[name] = recorder
             return recorder
 
-    def observe_stage(self, name: str, seconds: float) -> None:
+    def observe_stage(self, name: str, seconds: float, *, tag: str | None = None) -> None:
+        """Record one stage latency, optionally under a tag as well.
+
+        A tagged observation lands in both the bare recorder (so
+        aggregate stage numbers keep counting everything) and a
+        ``"{name}.{tag}"`` recorder — the pipeline uses tags to split
+        latencies into ``cached`` vs ``uncached`` populations.
+        """
         self.stage(name).observe(seconds)
+        if tag is not None:
+            self.stage(f"{name}.{tag}").observe(seconds)
 
     def count_outcome(self, outcome: str) -> None:
         """Bump one request-outcome counter (``ok``/``rejected``/...)."""

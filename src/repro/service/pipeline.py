@@ -4,11 +4,25 @@ The paper's tvtouch scenario is an always-on service: one shared domain
 ontology, many users, volatile context arriving *with each request*.
 This module is that request path, staged and instrumented::
 
-    parse → admit → resolve → context → rank → render
+    parse → cache → admit → resolve → context → rank → render
 
 * **parse** — normalise raw parameters (query string or JSON body)
   into a frozen :class:`ServiceRequest`; malformed input is a 400
   before any shared resource is touched.
+* **cache** — the response-cache lookup (:mod:`repro.cache`): derive
+  the key this request would rank under from the tenant's learned
+  view digest and the canonicalised query, and probe the adapter.  A
+  *pure* hit (no context delta to install) is served here, before
+  admission — a hit is a dict copy, too cheap to shed.  A hit on a
+  delta request still passes through admit/resolve so the delta can
+  be installed as the tenant's standing context (the client-visible
+  side effect of ``/rank?context=...``) before the body is served —
+  and is served only if the ledger's prediction is confirmed against
+  the just-installed engine fingerprint.  Misses fall through and
+  fill the cache after **render**; invalidation is by reachability
+  (any context change moves the tenant to a new view digest — see
+  :mod:`repro.cache.keys`) plus eviction hooks and
+  :meth:`RankingService.invalidate_tenant`.
 * **admit** — admission control: a bounded semaphore caps in-flight
   rank work; a request that cannot be admitted within
   ``queue_timeout`` is rejected with a 503 instead of piling onto an
@@ -31,11 +45,15 @@ Every stage's latency lands in :class:`~repro.service.metrics.ServiceMetrics`
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from repro.cache.keys import KeyLookup, ResponseKeyer, response_key
+from repro.cache.none import NoCacheAdapter
+from repro.cache.protocol import CacheAdapter
 from repro.engine.backends import parse_context_spec
 from repro.engine.requests import RankRequest
 from repro.errors import EngineError, ReproError
@@ -51,7 +69,7 @@ __all__ = [
 ]
 
 #: Pipeline stages, in request order (``total`` is recorded on top).
-STAGES = ("parse", "admit", "resolve", "context", "rank", "render")
+STAGES = ("parse", "cache", "admit", "resolve", "context", "rank", "render")
 
 
 @dataclass(frozen=True)
@@ -230,10 +248,21 @@ class RankingService:
         registry: TenantRegistry,
         config: ServiceConfig | None = None,
         metrics: ServiceMetrics | None = None,
+        cache: CacheAdapter | None = None,
+        worker_info: Mapping[str, object] | None = None,
     ):
         self.registry = registry
         self.config = config if config is not None else ServiceConfig()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.cache: CacheAdapter = cache if cache is not None else NoCacheAdapter()
+        #: Extra identity reported under ``worker`` in health/metrics
+        #: (the fleet supervisor stamps worker index and bind mode).
+        self.worker_info = dict(worker_info) if worker_info else {}
+        self._keyer = ResponseKeyer()
+        if self.cache.enabled:
+            # A session eviction drops the tenant's standing context,
+            # so everything learned (and stored) for it must go too.
+            self.registry.add_evict_listener(self._tenant_evicted)
         self._admission = threading.BoundedSemaphore(self.config.max_concurrency)
         self._started_at = time.time()
 
@@ -261,6 +290,27 @@ class RankingService:
         except ReproError as exc:
             return self._reply(clock, 400, {"error": str(exc)}, outcome="bad_request")
 
+        lookup: KeyLookup | None = None
+        cached_body: dict | None = None
+        if self.cache.enabled:
+            with clock.stage("cache"):
+                lookup = self._keyer.lookup(
+                    request.tenant,
+                    request.context,
+                    request.documents,
+                    top_k,
+                    request.explain,
+                )
+                if lookup is not None:
+                    cached_body = self.cache.get(lookup.key)
+            if cached_body is not None and not lookup.needs_install:
+                # Pure hit: the tenant's standing context already *is*
+                # the state this body was ranked under — nothing to
+                # install, no session to touch, no admission needed.
+                with clock.stage("render"):
+                    body = self._serve_hit(request, cached_body)
+                return self._reply(clock, 200, body, outcome="ok_cached", cached=True)
+
         with clock.stage("admit"):
             admitted = self._admission.acquire(timeout=self.config.queue_timeout)
         if not admitted:
@@ -273,6 +323,7 @@ class RankingService:
                 },
                 outcome="rejected",
             )
+        served_hit = False
         try:
             with clock.stage("resolve"):
                 checkout = self.registry.checkout(request.tenant)
@@ -285,10 +336,32 @@ class RankingService:
                     if specs is not None:
                         for spec in specs:
                             parse_context_spec(spec)
-                with clock.stage("rank"):
-                    response = session.rank_in_context(specs, rank_request, tick="svc")
-                with clock.stage("render"):
-                    body = self._render(request, response)
+                if cached_body is not None:
+                    # Delta hit: install the delta (the client-visible
+                    # side effect of /rank?context=...), then serve the
+                    # body only if the ledger's prediction matches the
+                    # just-installed engine truth.
+                    with clock.stage("rank"):
+                        session.install_context(*specs, tick="svc")
+                        learned = self._keyer.learn(
+                            lookup, session.engine.view_fingerprint()
+                        )
+                    if learned == lookup.view_digest:
+                        served_hit = True
+                        with clock.stage("render"):
+                            body = self._serve_hit(request, cached_body)
+                if not served_hit:
+                    with clock.stage("rank"):
+                        # After a refuted delta hit the delta is already
+                        # installed and standing — rank under it as-is.
+                        rank_specs = None if cached_body is not None else specs
+                        response = session.rank_in_context(
+                            rank_specs, rank_request, tick="svc"
+                        )
+                    with clock.stage("render"):
+                        body = self._render(request, response)
+                    if lookup is not None:
+                        self._fill(lookup, response.fingerprint, body)
             finally:
                 checkout.__exit__(None, None, None)
         except ReproError as exc:
@@ -299,7 +372,13 @@ class RankingService:
             )
         finally:
             self._admission.release()
-        return self._reply(clock, 200, body, outcome="ok")
+        return self._reply(
+            clock,
+            200,
+            body,
+            outcome="ok_cached" if served_hit else "ok",
+            cached=served_hit,
+        )
 
     def install_context(self, tenant: str, specs: Iterable[str]) -> ServiceResponse:
         """Install a *standing* context for a tenant (``POST /context``).
@@ -311,6 +390,12 @@ class RankingService:
         """
         clock = _StageClock()
         specs = tuple(str(spec) for spec in specs)
+        lookup: KeyLookup | None = None
+        if self.cache.enabled:
+            with clock.stage("cache"):
+                # Era fence read *before* the install: if the tenant is
+                # invalidated mid-install, the learn below is discarded.
+                lookup = self._keyer.lookup(str(tenant), specs, None, None, False)
         with clock.stage("admit"):
             admitted = self._admission.acquire(timeout=self.config.queue_timeout)
         if not admitted:
@@ -330,6 +415,11 @@ class RankingService:
             try:
                 with clock.stage("context"):
                     session.install_context(*specs, tick="svc")
+                if lookup is not None:
+                    # Read-your-writes: the very next /rank without a
+                    # context parameter should already hit under the
+                    # new standing digest.
+                    self._keyer.learn(lookup, session.engine.view_fingerprint())
             finally:
                 checkout.__exit__(None, None, None)
         except ReproError as exc:
@@ -347,13 +437,44 @@ class RankingService:
             outcome="ok",
         )
 
+    # -- invalidation -------------------------------------------------------
+    def invalidate_tenant(self, tenant: str) -> int:
+        """Purge everything cached for one tenant; returns entries dropped.
+
+        The explicit invalidation path for knowledge changes the
+        service cannot see — direct session mutation
+        (``session.assert_fact`` on a handle you hold), administrative
+        rule edits, and so on.  Context changes flowing through the
+        service API never need this: they move the tenant to a new
+        view digest and strand the old entries (see
+        :mod:`repro.cache.keys`).
+        """
+        self._keyer.forget(str(tenant))
+        return self.cache.invalidate_tenant(str(tenant))
+
+    def _tenant_evicted(self, tenant_id: str) -> None:
+        # Registry eviction hook (fired outside shard locks): the
+        # session — and with it the standing context — is gone, so the
+        # ledger's learned digests and the stored bodies must go too.
+        self._keyer.forget(tenant_id)
+        self.cache.invalidate_tenant(tenant_id)
+
     # -- observability -----------------------------------------------------
+    def _worker_section(self) -> dict:
+        section: dict = {
+            "pid": os.getpid(),
+            "uptime_seconds": time.time() - self._started_at,
+        }
+        section.update(self.worker_info)
+        return section
+
     def health(self) -> dict:
         """The ``GET /healthz`` body: liveness plus fleet occupancy."""
         info = self.registry.info()
         return {
             "status": "ok",
             "uptime_seconds": time.time() - self._started_at,
+            "worker": self._worker_section(),
             "registry": {
                 "active_sessions": info.active,
                 "max_sessions": info.max_sessions,
@@ -373,6 +494,9 @@ class RankingService:
             "queue_timeout": self.config.queue_timeout,
         }
         snapshot["registry"] = self.health()["registry"]
+        snapshot["cache"] = self.cache.info().to_dict()
+        snapshot["cache"]["enabled"] = bool(self.cache.enabled)
+        snapshot["worker"] = self._worker_section()
         return snapshot
 
     # -- internals ---------------------------------------------------------
@@ -397,13 +521,46 @@ class RankingService:
             body["explanation"] = response.explanation
         return body
 
+    def _serve_hit(self, request: ServiceRequest, stored: dict) -> dict:
+        # Stored bodies are canonical and shared between hits: copy the
+        # top level, re-attach the per-request context echo, and mark
+        # the body as served from the response cache.
+        body = dict(stored)
+        if request.context is not None:
+            body["context"] = list(request.context)
+        body["cached"] = True
+        return body
+
+    def _fill(self, lookup: KeyLookup, fingerprint: tuple | None, body: dict) -> None:
+        if fingerprint is None:
+            # The engine bypassed its materialised view (explicit
+            # candidate ranking under prune settings, etc.) — there is
+            # no signature proving what this body depends on.
+            return
+        digest = self._keyer.learn(lookup, fingerprint)
+        if digest is None:
+            return  # invalidated while in flight: do not resurrect
+        canonical = dict(body)
+        canonical.pop("context", None)  # per-request echo, not content
+        key = response_key(
+            lookup.tenant, digest, lookup.documents, lookup.top_k, lookup.explain
+        )
+        self.cache.put(key, canonical, tenant=lookup.tenant)
+
     def _reply(
-        self, clock: _StageClock, status: int, body: dict, *, outcome: str
+        self,
+        clock: _StageClock,
+        status: int,
+        body: dict,
+        *,
+        outcome: str,
+        cached: bool | None = None,
     ) -> ServiceResponse:
         timings = dict(clock.timings)
         timings["total"] = clock.total()
+        tag = None if cached is None else ("cached" if cached else "uncached")
         for stage_name, seconds in timings.items():
-            self.metrics.observe_stage(stage_name, seconds)
+            self.metrics.observe_stage(stage_name, seconds, tag=tag)
         self.metrics.count_outcome(outcome)
         if self.config.include_timings:
             body = dict(body)

@@ -234,7 +234,7 @@ class _Shard:
         self.hits = 0
         self.evictions = 0
 
-    def evict_over_capacity(self, protect: "UserSession | None" = None) -> None:
+    def evict_over_capacity(self, protect: "UserSession | None" = None) -> list[str]:
         """Evict least-recent *unpinned* sessions down to capacity.
 
         Pinned sessions are skipped, and so is ``protect`` (the
@@ -245,10 +245,13 @@ class _Shard:
         pinned/protected temporarily overflows instead of yanking a
         live session; the overflow is bounded by the service's
         admission control and shrinks back as pins release.
+
+        Returns the evicted tenant ids so the caller can notify
+        eviction listeners *after* releasing the shard lock.
         """
         over = len(self.sessions) - self.max_sessions
         if over <= 0:
-            return
+            return []
         victims = [
             tenant_id
             for tenant_id, session in self.sessions.items()
@@ -257,6 +260,7 @@ class _Shard:
         for tenant_id in victims:
             del self.sessions[tenant_id]
             self.evictions += 1
+        return victims
 
 
 class TenantRegistry:
@@ -329,6 +333,14 @@ class TenantRegistry:
         self._rules = rules
         self._engine_options = dict(engine_options)
         self.max_sessions = max_sessions
+        #: Callbacks fired with a tenant id whenever that tenant's
+        #: session leaves the registry (LRU sweep, explicit evict,
+        #: clear) — after the owning shard lock is released, so a
+        #: listener may safely take its own locks.  The response-cache
+        #: ledger subscribes here: an evicted session loses its
+        #: standing context, so cached answers keyed on it must become
+        #: unreachable the moment the session is gone.
+        self._evict_listeners: list[Callable[[str], None]] = []
         # More shards than sessions would leave zero-capacity shards;
         # clamp so every shard holds at least one session and the
         # whole-registry bound stays exactly max_sessions.
@@ -397,6 +409,7 @@ class TenantRegistry:
         pin: bool,
     ) -> UserSession:
         shard = self._shard_for(tenant_id)
+        evicted: list[str] = []
         with shard.lock:
             session = shard.sessions.get(tenant_id)
             if session is not None:
@@ -413,8 +426,9 @@ class TenantRegistry:
                 # The sweep must never pick the just-minted session
                 # (pinned or not): evicting it would return a session
                 # no concurrent checkout of this tenant can see.
-                shard.evict_over_capacity(protect=session)
-            return session
+                evicted = shard.evict_over_capacity(protect=session)
+        self._notify_evicted(evicted)
+        return session
 
     def _release(self, session: UserSession) -> None:
         shard = self._shard_for(session.tenant_id)
@@ -426,7 +440,8 @@ class TenantRegistry:
                 session.doomed = False
             # A shard that overflowed while everything was pinned can
             # shrink back now that a pin released.
-            shard.evict_over_capacity()
+            evicted = shard.evict_over_capacity()
+        self._notify_evicted(evicted)
 
     def _mint(
         self,
@@ -465,6 +480,24 @@ class TenantRegistry:
         return getattr(self.world, "repository", None)
 
     # -- pool management ---------------------------------------------------
+    def add_evict_listener(self, listener: Callable[[str], None]) -> None:
+        """Subscribe to session evictions (called with the tenant id).
+
+        Listeners run after the owning shard lock is released, in
+        eviction order; they must not raise (an exception would
+        propagate into whichever checkout triggered the sweep).  The
+        serving layer uses this to drop response-cache state the moment
+        a session — and with it the tenant's standing context — dies.
+        """
+        self._evict_listeners.append(listener)
+
+    def _notify_evicted(self, tenant_ids: list[str]) -> None:
+        if not tenant_ids or not self._evict_listeners:
+            return
+        for tenant_id in tenant_ids:
+            for listener in self._evict_listeners:
+                listener(tenant_id)
+
     def evict(self, tenant_id: str) -> bool:
         """Drop a session (returns whether one was live).
 
@@ -481,19 +514,23 @@ class TenantRegistry:
             if session.pins > 0:
                 session.doomed = True
             shard.evictions += 1
-            return True
+        self._notify_evicted([tenant_id])
+        return True
 
     def clear(self) -> int:
         """Drop every live session; returns how many."""
         count = 0
+        cleared: list[str] = []
         for shard in self._shards:
             with shard.lock:
                 for session in shard.sessions.values():
                     if session.pins > 0:
                         session.doomed = True
+                cleared.extend(shard.sessions)
                 count += len(shard.sessions)
                 shard.evictions += len(shard.sessions)
                 shard.sessions.clear()
+        self._notify_evicted(cleared)
         return count
 
     def info(self) -> TenantRegistryInfo:

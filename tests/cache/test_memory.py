@@ -1,0 +1,162 @@
+"""The in-memory adapter: LRU bound, TTL, tenant purge, concurrency."""
+
+import threading
+
+import pytest
+
+from repro.cache import InMemoryCacheAdapter, NoCacheAdapter
+from repro.cache.protocol import CacheAdapter
+from repro.errors import EngineConfigError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestProtocol:
+    def test_both_backends_satisfy_the_protocol(self):
+        assert isinstance(InMemoryCacheAdapter(), CacheAdapter)
+        assert isinstance(NoCacheAdapter(), CacheAdapter)
+
+    def test_none_adapter_never_stores(self):
+        cache = NoCacheAdapter()
+        assert cache.enabled is False
+        cache.put("k", {"v": 1}, tenant="alice")
+        assert cache.get("k") is None
+        assert cache.invalidate_tenant("alice") == 0
+        assert cache.info().hits == 0
+
+
+class TestValidation:
+    def test_rejects_bad_settings(self):
+        with pytest.raises(EngineConfigError):
+            InMemoryCacheAdapter(max_entries=0)
+        with pytest.raises(EngineConfigError):
+            InMemoryCacheAdapter(ttl=-1.0)
+        with pytest.raises(EngineConfigError):
+            InMemoryCacheAdapter(shards=0)
+
+    def test_shards_clamped_to_capacity(self):
+        assert InMemoryCacheAdapter(max_entries=3, shards=16).shards == 3
+
+
+class TestBasics:
+    def test_round_trip_and_counters(self):
+        cache = InMemoryCacheAdapter(max_entries=8)
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1}, tenant="alice")
+        assert cache.get("k") == {"v": 1}
+        info = cache.info()
+        assert (info.hits, info.misses, info.entries) == (1, 1, 1)
+        assert info.hit_ratio == pytest.approx(0.5)
+
+    def test_replace_updates_in_place(self):
+        cache = InMemoryCacheAdapter(max_entries=8)
+        cache.put("k", {"v": 1}, tenant="alice")
+        cache.put("k", {"v": 2}, tenant="alice")
+        assert cache.get("k") == {"v": 2}
+        assert len(cache) == 1
+
+
+class TestTTL:
+    def test_entries_expire_on_lookup(self):
+        clock = FakeClock()
+        cache = InMemoryCacheAdapter(max_entries=8, ttl=30.0, clock=clock)
+        cache.put("k", {"v": 1}, tenant="alice")
+        clock.advance(29.9)
+        assert cache.get("k") == {"v": 1}
+        clock.advance(0.2)
+        assert cache.get("k") is None
+        info = cache.info()
+        assert info.expiries == 1
+        assert info.entries == 0
+        # Expiry is also a miss: the requester did not get a body.
+        assert info.misses == 1
+
+    def test_ttl_zero_means_no_expiry(self):
+        clock = FakeClock()
+        cache = InMemoryCacheAdapter(max_entries=8, ttl=0, clock=clock)
+        assert cache.ttl is None
+        cache.put("k", {"v": 1})
+        clock.advance(10_000_000)
+        assert cache.get("k") == {"v": 1}
+
+
+class TestLRU:
+    def test_capacity_is_exact_per_shard(self):
+        cache = InMemoryCacheAdapter(max_entries=4, shards=1, ttl=None)
+        for index in range(10):
+            cache.put(f"k{index}", {"v": index})
+        assert len(cache) == 4
+        assert cache.info().evictions == 6
+        assert cache.get("k9") == {"v": 9}
+        assert cache.get("k0") is None
+
+    def test_get_refreshes_recency(self):
+        cache = InMemoryCacheAdapter(max_entries=2, shards=1, ttl=None)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.get("a") == {"v": 1}  # refresh a
+        cache.put("c", {"v": 3})  # evicts b, not a
+        assert cache.get("a") == {"v": 1}
+        assert cache.get("b") is None
+
+    def test_bound_holds_under_concurrent_hammer(self):
+        cache = InMemoryCacheAdapter(max_entries=64, shards=8, ttl=None)
+        errors = []
+
+        def hammer(worker):
+            try:
+                for index in range(500):
+                    key = f"w{worker}-k{index % 90}"
+                    cache.put(key, {"v": index}, tenant=f"tenant-{worker}")
+                    cache.get(key)
+                    cache.get(f"w{(worker + 1) % 8}-k{index % 90}")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64
+        info = cache.info()
+        assert info.hits + info.misses == 8 * 500 * 2
+
+
+class TestTenantPurge:
+    def test_invalidate_tenant_is_targeted(self):
+        cache = InMemoryCacheAdapter(max_entries=64, ttl=None)
+        for index in range(6):
+            cache.put(f"a{index}", {"v": index}, tenant="alice")
+            cache.put(f"b{index}", {"v": index}, tenant="bob")
+        assert cache.invalidate_tenant("alice") == 6
+        assert len(cache) == 6
+        assert cache.get("a0") is None
+        assert cache.get("b0") == {"v": 0}
+        assert cache.info().invalidations == 6
+        assert cache.invalidate_tenant("alice") == 0
+
+    def test_eviction_and_replace_keep_the_index_clean(self):
+        cache = InMemoryCacheAdapter(max_entries=2, shards=1, ttl=None)
+        cache.put("a", {"v": 1}, tenant="alice")
+        cache.put("b", {"v": 2}, tenant="alice")
+        cache.put("c", {"v": 3}, tenant="alice")  # evicts a
+        assert cache.invalidate_tenant("alice") == 2
+
+    def test_clear_drops_everything(self):
+        cache = InMemoryCacheAdapter(max_entries=16, ttl=None)
+        for index in range(5):
+            cache.put(f"k{index}", {"v": index}, tenant="alice")
+        assert cache.clear() == 5
+        assert len(cache) == 0
+        assert cache.invalidate_tenant("alice") == 0

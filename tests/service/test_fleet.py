@@ -1,0 +1,123 @@
+"""The pre-fork serving fleet: shared port, supervision, clean shutdown."""
+
+import json
+import os
+import signal
+import time
+import urllib.request
+
+import pytest
+
+from repro.cache import InMemoryCacheAdapter
+from repro.errors import EngineError
+from repro.service import FleetSupervisor, RankingService, ServiceConfig, supports_fleet
+from repro.tenants import TenantRegistry
+from repro.workloads import build_tvtouch
+
+pytestmark = pytest.mark.skipif(
+    not supports_fleet(), reason="fleet requires the POSIX fork start method"
+)
+
+
+def factory(worker_info):
+    registry = TenantRegistry(build_tvtouch(), shards=2, max_sessions=64)
+    return RankingService(
+        registry,
+        ServiceConfig(max_concurrency=8),
+        cache=InMemoryCacheAdapter(),
+        worker_info=dict(worker_info),
+    )
+
+
+def get(url, path, timeout=10):
+    with urllib.request.urlopen(url + path, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def assert_gone(pids, patience=5.0):
+    deadline = time.monotonic() + patience
+    remaining = set(pids)
+    while remaining and time.monotonic() < deadline:
+        for pid in list(remaining):
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                remaining.discard(pid)
+        if remaining:
+            time.sleep(0.05)
+    assert not remaining, f"orphaned fleet workers: {sorted(remaining)}"
+
+
+@pytest.fixture()
+def fleet():
+    supervisor = FleetSupervisor(factory, workers=2, port=0, start_timeout=60.0)
+    supervisor.start()
+    try:
+        yield supervisor
+    finally:
+        supervisor.stop()
+
+
+class TestFleet:
+    def test_two_workers_share_one_port_and_rank(self, fleet):
+        assert len(fleet.worker_pids()) == 2
+        body = get(fleet.url, "/rank?tenant=alice&context=Weekend&top_k=3")
+        assert body["items"][0]["document"] == "channel5_news"
+        assert body["items"][0]["score"] == pytest.approx(0.77, abs=1e-9)
+        # Health answers come from whichever worker the kernel picks;
+        # each reports its own pid and fleet identity.
+        seen = set()
+        for _ in range(20):
+            worker = get(fleet.url, "/healthz")["worker"]
+            assert worker["workers"] == 2
+            seen.add(worker["pid"])
+        assert seen <= set(fleet.worker_pids())
+
+    def test_metrics_report_worker_and_cache(self, fleet):
+        for _ in range(8):
+            get(fleet.url, "/rank?tenant=alice&context=Weekend&top_k=3")
+        snapshot = get(fleet.url, "/metrics")
+        assert snapshot["worker"]["pid"] in fleet.worker_pids()
+        assert snapshot["worker"]["index"] in (0, 1)
+        assert snapshot["cache"]["enabled"] is True
+
+    def test_parent_health_aggregates(self, fleet):
+        health = fleet.health()
+        assert health["status"] == "ok"
+        assert health["alive"] == 2
+        assert [entry["index"] for entry in health["fleet"]] == [0, 1]
+
+    def test_dead_worker_is_respawned(self, fleet):
+        victim = fleet.worker_pids()[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            health = fleet.health()
+            if health["alive"] == 2 and health["respawns"] >= 1:
+                break
+            time.sleep(0.05)
+        else:  # pragma: no cover - diagnostic path
+            pytest.fail(f"worker never respawned: {fleet.health()}")
+        assert victim not in fleet.worker_pids()
+        # The respawned worker rebinds the same (ephemeral) port.
+        assert get(fleet.url, "/rank?tenant=bob&top_k=2")["items"]
+
+    def test_stop_leaves_no_orphans_and_frees_the_port(self):
+        supervisor = FleetSupervisor(factory, workers=2, port=0, start_timeout=60.0)
+        supervisor.start()
+        pids = supervisor.worker_pids()
+        assert get(supervisor.url, "/healthz")["status"] == "ok"
+        supervisor.stop()
+        assert_gone(pids)
+        with pytest.raises(Exception):
+            get(supervisor.url, "/healthz", timeout=2)
+
+    def test_stop_is_idempotent(self):
+        supervisor = FleetSupervisor(factory, workers=1, port=0, start_timeout=60.0)
+        with supervisor:
+            pass
+        supervisor.stop()
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(EngineError):
+            FleetSupervisor(factory, workers=0)
