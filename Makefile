@@ -29,6 +29,7 @@ bench-smoke:
 		benchmarks/bench_e12_tenants.py \
 		benchmarks/bench_e13_service.py \
 		benchmarks/bench_e14_cache.py \
+		benchmarks/bench_e15_resilience.py \
 		benchmarks/bench_e7_multiuser.py
 
 bench:

@@ -20,12 +20,8 @@ concurrency 8, zero request errors on both paths, and HTTP/in-process
 score identity.
 """
 
-import http.client
-import json
 import os
 import threading
-import urllib.parse
-import urllib.request
 
 import pytest
 
@@ -36,9 +32,11 @@ from repro.service import RankingService, ServiceConfig, ServiceRequest, make_se
 from repro.tenants import TenantRegistry
 from repro.workloads import (
     CONTEXT_MENUS,
+    RetryPolicy,
     TrafficConfig,
     build_schedule,
     build_tvtouch,
+    http_client,
     run_traffic,
 )
 
@@ -95,38 +93,22 @@ def in_process_issue(service):
 
 
 def http_issue(base_url: str):
-    """A keep-alive HTTP client: one persistent connection per worker
-    thread (the gateway speaks HTTP/1.1), so the measured latency is
-    request service time, not per-request TCP setup."""
-    host = urllib.parse.urlsplit(base_url).netloc
-    local = threading.local()
+    """A keep-alive HTTP client over :func:`repro.workloads.http_client`
+    (one persistent connection per worker thread, single retry for a
+    stale keep-alive), kept dict-returning for the identity checks and
+    for e14's import of this helper."""
+    client = http_client(
+        base_url,
+        policy=RetryPolicy(timeout=30.0, retries=1, backoff=0.001, backoff_max=0.001, jitter=0.0),
+    )
 
     def issue(request):
-        params = [("tenant", request.tenant)]
-        if request.context is not None:
-            params.extend(("context", spec) for spec in request.context)
-        if request.top_k is not None:
-            params.append(("top_k", str(request.top_k)))
-        path = f"/rank?{urllib.parse.urlencode(params)}"
-        for attempt in (0, 1):
-            connection = getattr(local, "connection", None)
-            if connection is None:
-                connection = http.client.HTTPConnection(host, timeout=30)
-                local.connection = connection
-            try:
-                connection.request("GET", path)
-                response = connection.getresponse()
-                body = response.read()
-            except (http.client.HTTPException, OSError):
-                # Stale keep-alive: drop the connection, retry once.
-                connection.close()
-                local.connection = None
-                if attempt:
-                    raise
-                continue
-            if response.status != 200:
-                raise RuntimeError(f"gateway answered {response.status}: {body[:200]}")
-            return json.loads(body)
+        outcome = client(request)
+        if not outcome.ok:
+            raise RuntimeError(
+                f"gateway answered {outcome.status}: {outcome.error!r}"
+            )
+        return outcome.body
 
     return issue
 

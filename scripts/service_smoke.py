@@ -12,12 +12,22 @@ ephemeral port:
    lines, asserts ranked JSON comes back from the shared port and that
    ``/healthz`` identifies fleet workers, SIGINTs the parent, and
    asserts exit 0 with **no orphaned child processes** left behind.
+3. **Chaos fleet** — a 2-worker fleet with ``REPRO_FAULT_KILL_EVERY``
+   injected so workers SIGKILL themselves every few responses; ranked
+   answers must keep flowing through the kill/respawn churn, ``/readyz``
+   must stay ready (respawned slots are not fenced), and shutdown must
+   again leave no orphans.
+
+Both long-lived phases also assert the liveness/readiness split:
+``/healthz`` says "the process is up", ``/readyz`` says "this worker
+is willing to take traffic".
 
 Exit code 0 only if every step held.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import os
 import re
@@ -32,8 +42,9 @@ ANNOUNCE = "repro serve: listening on "
 WORKER_LINE = re.compile(r"repro serve: fleet worker (\d+) pid (\d+)")
 
 
-def spawn(*extra_args: str) -> subprocess.Popen:
+def spawn(*extra_args: str, extra_env: dict | None = None) -> subprocess.Popen:
     env = dict(os.environ)
+    env.update(extra_env or {})
     env["PYTHONPATH"] = os.pathsep.join(
         filter(None, [os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")])
     )
@@ -118,6 +129,11 @@ def smoke_single_process() -> None:
         assert health["status"] == "ok", health
         print(f"smoke: /healthz ok (shards={health['registry']['shards']})")
 
+        ready = get_json(f"{base_url}/readyz")
+        assert ready["status"] == "ready", ready
+        assert ready["problems"] == [], ready
+        print("smoke: /readyz ready, no problems")
+
         rank_url = (
             f"{base_url}/rank?tenant=alice&context=Weekend&context=Breakfast&top_k=3"
         )
@@ -164,6 +180,11 @@ def smoke_fleet(workers: int = 2) -> None:
         assert health["worker"]["workers"] == workers, health
         assert health["worker"]["pid"] in worker_pids, (health, worker_pids)
         print(f"smoke: fleet /healthz ok (answered by pid {health['worker']['pid']})")
+
+        ready = get_json(f"{base_url}/readyz")
+        assert ready["status"] == "ready", ready
+        assert ready["failed_workers"] == 0, ready
+        print("smoke: fleet /readyz ready, no failed workers")
     finally:
         shutdown(process, "fleet")
 
@@ -183,11 +204,88 @@ def smoke_fleet(workers: int = 2) -> None:
     print("smoke: fleet clean shutdown ok, no orphan workers")
 
 
-def main() -> int:
-    smoke_single_process()
-    smoke_fleet(workers=2)
+def smoke_chaos_fleet(workers: int = 2) -> None:
+    """Workers SIGKILL themselves every few served responses; the fleet
+    must keep answering through the churn and still die clean."""
+    process = spawn(
+        "--workers",
+        str(workers),
+        extra_env={"REPRO_FAULT_KILL_EVERY": "5"},
+    )
+    survivors: set[int] = set()
+    try:
+        base_url = wait_for_announce(process)
+        worker_pids = collect_worker_pids(process, workers)
+        survivors.update(worker_pids)
+        print(f"smoke: chaos fleet of {workers} announced (pids {worker_pids})")
+
+        rank_url = (
+            f"{base_url}/rank?tenant=alice&context=Weekend&context=Breakfast&top_k=3"
+        )
+        answered = 0
+        deadline = time.time() + 60
+        # Enough requests that every worker self-kills at least once
+        # (kill-every-5 across 2 workers), tolerating the resets the
+        # kills cause mid-flight.
+        while answered < 25 and time.time() < deadline:
+            try:
+                ranked = get_json(rank_url)
+            except (OSError, http.client.HTTPException):
+                # A self-kill can land mid-response (another thread of
+                # the same worker trips the counter): connection reset
+                # or truncated body while the slot respawns. Retry.
+                time.sleep(0.1)
+                continue
+            assert_table1_winner(ranked)
+            answered += 1
+        assert answered >= 25, f"only {answered} ranked answers under chaos"
+        print(f"smoke: {answered} ranked answers through kill/respawn churn")
+
+        # Respawned slots are healthy slots: readiness must hold.
+        deadline = time.time() + 10
+        ready = None
+        while time.time() < deadline:
+            try:
+                ready = get_json(f"{base_url}/readyz")
+                break
+            except (OSError, http.client.HTTPException):
+                time.sleep(0.1)
+        assert ready is not None and ready["status"] == "ready", ready
+        assert ready["failed_workers"] == 0, ready
+        print("smoke: chaos fleet /readyz still ready (no slot fenced)")
+    finally:
+        shutdown(process, "chaos fleet")
+
+    deadline = time.time() + 5
+    while survivors and time.time() < deadline:
+        for pid in list(survivors):
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                survivors.discard(pid)
+        if survivors:
+            time.sleep(0.05)
+    assert not survivors, f"orphaned chaos workers after shutdown: {sorted(survivors)}"
+    print("smoke: chaos fleet clean shutdown ok, no orphan workers")
+
+
+PHASES = {
+    "single": smoke_single_process,
+    "fleet": smoke_fleet,
+    "chaos": smoke_chaos_fleet,
+}
+
+
+def main(argv: list[str]) -> int:
+    """Run the named phases (all of them with no arguments)."""
+    names = argv or list(PHASES)
+    unknown = [name for name in names if name not in PHASES]
+    if unknown:
+        raise SystemExit(f"unknown smoke phase(s) {unknown}; choose from {list(PHASES)}")
+    for name in names:
+        PHASES[name]()
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(sys.argv[1:]))

@@ -86,7 +86,16 @@ from repro.multiuser import GroupMember, GroupRanker
 from repro.reason import CompiledKB, ReasonerSession, compiled_kb
 from repro.reporting import ranking_table
 from repro.rules import PreferenceRule, RuleRepository, load_rules, parse_rules
-from repro.service import RankingService, ServiceConfig, ServiceRequest, ServiceResponse
+from repro.service import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    FaultInjector,
+    RankingService,
+    ServiceConfig,
+    ServiceRequest,
+    ServiceResponse,
+)
 from repro.storage import Database, SqliteBackend, SqlSession
 from repro.tenants import TenantRegistry, UserSession
 from repro.workloads import (
@@ -96,7 +105,7 @@ from repro.workloads import (
     set_breakfast_weekend_context,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Deprecated top-level names: still importable, but shimmed through
 #: module ``__getattr__`` with a :class:`DeprecationWarning` pointing at
@@ -175,6 +184,10 @@ __all__ = [
     "RankResponse",
     "RankedItem",
     "RankingEngine",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjector",
     "RankingService",
     "ReasonerSession",
     "RelevanceBackend",

@@ -20,12 +20,13 @@ from repro.cache.keys import (
     KeyLookup,
     ResponseKeyer,
     canonical_context,
+    family_key,
     response_key,
     signature_digest,
 )
 from repro.cache.memory import InMemoryCacheAdapter
 from repro.cache.none import NoCacheAdapter
-from repro.cache.protocol import CacheAdapter, ResponseCacheInfo
+from repro.cache.protocol import CacheAdapter, ResponseCacheInfo, StaleHit
 
 __all__ = [
     "CacheAdapter",
@@ -34,7 +35,9 @@ __all__ = [
     "NoCacheAdapter",
     "ResponseCacheInfo",
     "ResponseKeyer",
+    "StaleHit",
     "canonical_context",
+    "family_key",
     "response_key",
     "signature_digest",
 ]

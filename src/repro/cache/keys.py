@@ -55,6 +55,7 @@ __all__ = [
     "KeyLookup",
     "ResponseKeyer",
     "canonical_context",
+    "family_key",
     "response_key",
     "signature_digest",
 ]
@@ -97,6 +98,25 @@ def response_key(
     return f"{tenant}|{view_digest}|{_digest((documents, top_k, explain))}"
 
 
+def family_key(
+    tenant: str,
+    documents: tuple[str, ...] | None,
+    top_k: int | None,
+    explain: bool,
+) -> str:
+    """The view-digest-independent half of a response key.
+
+    Every response key for one ``(tenant, query shape)`` pair shares
+    this family whatever context the body was ranked under.  The
+    degraded-mode path uses it to find a *digest-stale* body — the
+    tenant's most recently filled answer to the same query — when the
+    exact key cannot be served (engine down, breaker open, deadline
+    blown).  Such a body may reflect an older context; the pipeline
+    flags it ``"stale": true`` and bounds its age.
+    """
+    return f"{tenant}|{_digest((documents, top_k, explain))}"
+
+
 @dataclass
 class KeyLookup:
     """One resolved lookup attempt (everything the fill needs later).
@@ -128,6 +148,10 @@ class KeyLookup:
         return response_key(
             self.tenant, digest, self.documents, self.top_k, self.explain
         )
+
+    @property
+    def family(self) -> str:
+        return family_key(self.tenant, self.documents, self.top_k, self.explain)
 
 
 class _TenantLedger:

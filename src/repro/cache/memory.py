@@ -14,14 +14,22 @@ Design points:
   (the same shape as the tenant registry's session table).  Capacity
   is distributed across shards the way the registry distributes
   ``max_sessions``, so the whole-cache bound is exact.
-* **TTL.**  Entries carry an absolute monotonic deadline; an expired
-  entry is removed (and counted) by the lookup that finds it, and a
-  sweep is never needed — LRU pressure reclaims cold expired entries.
+* **TTL with stale retention.**  Entries carry an absolute monotonic
+  deadline; an expired entry stops answering :meth:`get` (counted as
+  one expiry, the first time a lookup notices) but is *retained* for
+  ``stale_grace`` seconds past expiry so the degraded-mode
+  :meth:`get_stale` path can still serve it — a sweep is never
+  needed, LRU pressure and the grace window reclaim cold entries.
   ``ttl=None`` (or ``0``) disables expiry: correctness never depends
   on TTL here (keys already die with the context signature), it only
   bounds staleness against *external* knowledge mutations.
 * **Per-tenant purge.**  Each shard maintains a tenant → keys index,
   so :meth:`invalidate_tenant` is O(tenant's entries), not a scan.
+* **Family fallback.**  ``put`` records the most recent key per
+  response *family* (tenant + query shape, see
+  :func:`repro.cache.keys.family_key`); :meth:`get_stale` falls back
+  to it when the exact key has nothing — the digest-stale serve the
+  resilience layer uses while the breaker is open.
 """
 
 from __future__ import annotations
@@ -32,19 +40,29 @@ import zlib
 from collections import OrderedDict
 from typing import Callable
 
-from repro.cache.protocol import ResponseCacheInfo
+from repro.cache.protocol import ResponseCacheInfo, StaleHit
 from repro.errors import EngineConfigError
 
 __all__ = ["InMemoryCacheAdapter"]
 
 
 class _Entry:
-    __slots__ = ("body", "tenant", "expires_at")
+    __slots__ = ("body", "tenant", "expires_at", "stored_at", "family", "expiry_counted")
 
-    def __init__(self, body: dict, tenant: str | None, expires_at: float | None):
+    def __init__(
+        self,
+        body: dict,
+        tenant: str | None,
+        expires_at: float | None,
+        stored_at: float,
+        family: str | None,
+    ):
         self.body = body
         self.tenant = tenant
         self.expires_at = expires_at
+        self.stored_at = stored_at
+        self.family = family
+        self.expiry_counted = False
 
 
 class _CacheShard:
@@ -99,6 +117,9 @@ class InMemoryCacheAdapter:
     clock:
         Monotonic time source (injectable so tests age entries without
         sleeping).
+    stale_grace:
+        Seconds an *expired* entry is retained for :meth:`get_stale`
+        before lookups hard-drop it (``0`` restores drop-on-expiry).
     """
 
     enabled = True
@@ -109,6 +130,7 @@ class InMemoryCacheAdapter:
         ttl: float | None = 300.0,
         shards: int = 8,
         clock: Callable[[], float] = time.monotonic,
+        stale_grace: float = 300.0,
     ):
         if not isinstance(max_entries, int) or max_entries < 1:
             raise EngineConfigError(
@@ -120,15 +142,25 @@ class InMemoryCacheAdapter:
             raise EngineConfigError(
                 f"cache shards must be a positive integer, got {shards!r}"
             )
+        if stale_grace < 0:
+            raise EngineConfigError(
+                f"cache stale_grace must be non-negative, got {stale_grace!r}"
+            )
         self.max_entries = max_entries
         self.ttl = ttl if ttl else None
         self.shards = min(shards, max_entries)
+        self.stale_grace = stale_grace
         self._clock = clock
         base, extra = divmod(max_entries, self.shards)
         self._shards = tuple(
             _CacheShard(base + (1 if index < extra else 0))
             for index in range(self.shards)
         )
+        # Most recent key per family; the degraded-mode fallback index.
+        self._stats_lock = threading.Lock()
+        self._families: "OrderedDict[str, str]" = OrderedDict()
+        self._stale_hits = 0
+        self._stale_misses = 0
 
     def _shard_for(self, key: str) -> _CacheShard:
         return self._shards[zlib.crc32(key.encode("utf-8")) % self.shards]
@@ -136,33 +168,98 @@ class InMemoryCacheAdapter:
     # -- the per-request path ---------------------------------------------
     def get(self, key: str) -> dict | None:
         shard = self._shard_for(key)
+        now = self._clock()
         with shard.lock:
             entry = shard.entries.get(key)
             if entry is None:
                 shard.misses += 1
                 return None
-            if entry.expires_at is not None and self._clock() >= entry.expires_at:
-                shard._drop(key)
-                shard.expiries += 1
+            if entry.expires_at is not None and now >= entry.expires_at:
+                # A miss, but the body is kept for get_stale until the
+                # grace runs out; the expiry is counted exactly once.
+                if not entry.expiry_counted:
+                    entry.expiry_counted = True
+                    shard.expiries += 1
+                if now >= entry.expires_at + self.stale_grace:
+                    shard._drop(key)
                 shard.misses += 1
                 return None
             shard.entries.move_to_end(key)
             shard.hits += 1
             return entry.body
 
-    def put(self, key: str, body: dict, *, tenant: str | None = None) -> None:
-        expires_at = self._clock() + self.ttl if self.ttl is not None else None
+    def put(
+        self,
+        key: str,
+        body: dict,
+        *,
+        tenant: str | None = None,
+        family: str | None = None,
+    ) -> None:
+        now = self._clock()
+        expires_at = now + self.ttl if self.ttl is not None else None
         shard = self._shard_for(key)
         with shard.lock:
             if key in shard.entries:
                 shard._drop(key)
-            shard.entries[key] = _Entry(body, tenant, expires_at)
+            shard.entries[key] = _Entry(body, tenant, expires_at, now, family)
             if tenant is not None:
                 shard.by_tenant.setdefault(tenant, set()).add(key)
             while len(shard.entries) > shard.max_entries:
                 victim = next(iter(shard.entries))
                 shard._drop(victim)
                 shard.evictions += 1
+        if family is not None:
+            with self._stats_lock:
+                self._families[family] = key
+                self._families.move_to_end(family)
+                while len(self._families) > self.max_entries:
+                    self._families.popitem(last=False)
+
+    # -- degraded-mode serving ---------------------------------------------
+    def _stale_probe(
+        self, key: str, max_age: float, *, exact: bool, family: str | None = None
+    ) -> StaleHit | None:
+        shard = self._shard_for(key)
+        now = self._clock()
+        with shard.lock:
+            entry = shard.entries.get(key)
+            if entry is None:
+                return None
+            if family is not None and entry.family != family:
+                return None  # stale family pointer; never serve across families
+            expired = entry.expires_at is not None and now >= entry.expires_at
+            if expired:
+                if not entry.expiry_counted:
+                    entry.expiry_counted = True
+                    shard.expiries += 1
+                if now >= entry.expires_at + self.stale_grace:
+                    shard._drop(key)
+                    return None
+                age = now - entry.expires_at
+            else:
+                # A live body: fresh if it is the exact key, digest-stale
+                # (age = time since storage) on a family fallback.
+                age = 0.0 if exact else now - entry.stored_at
+            if age > max_age:
+                return None
+            return StaleHit(body=entry.body, age=age, expired=expired, exact=exact)
+
+    def get_stale(
+        self, key: str, *, family: str | None = None, max_age: float = 0.0
+    ) -> StaleHit | None:
+        hit = self._stale_probe(key, max_age, exact=True)
+        if hit is None and family is not None:
+            with self._stats_lock:
+                fallback = self._families.get(family)
+            if fallback is not None and fallback != key:
+                hit = self._stale_probe(fallback, max_age, exact=False, family=family)
+        with self._stats_lock:
+            if hit is None:
+                self._stale_misses += 1
+            else:
+                self._stale_hits += 1
+        return hit
 
     # -- management --------------------------------------------------------
     def invalidate_tenant(self, tenant: str) -> int:
@@ -186,10 +283,13 @@ class InMemoryCacheAdapter:
                 shard.invalidations += len(shard.entries)
                 shard.entries.clear()
                 shard.by_tenant.clear()
+        with self._stats_lock:
+            self._families.clear()
         return dropped
 
     def info(self) -> ResponseCacheInfo:
         hits = misses = evictions = expiries = invalidations = entries = 0
+        now = self._clock()
         for shard in self._shards:
             with shard.lock:
                 hits += shard.hits
@@ -197,7 +297,15 @@ class InMemoryCacheAdapter:
                 evictions += shard.evictions
                 expiries += shard.expiries
                 invalidations += shard.invalidations
-                entries += len(shard.entries)
+                # Live entries only: expired-but-retained bodies are
+                # degraded-mode inventory, not cache occupancy.
+                entries += sum(
+                    1
+                    for entry in shard.entries.values()
+                    if entry.expires_at is None or now < entry.expires_at
+                )
+        with self._stats_lock:
+            stale_hits, stale_misses = self._stale_hits, self._stale_misses
         return ResponseCacheInfo(
             hits=hits,
             misses=misses,
@@ -208,6 +316,8 @@ class InMemoryCacheAdapter:
             max_entries=self.max_entries,
             shards=self.shards,
             ttl=self.ttl,
+            stale_hits=stale_hits,
+            stale_misses=stale_misses,
         )
 
     def __len__(self) -> int:

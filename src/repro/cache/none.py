@@ -11,7 +11,7 @@ per-request cost.
 
 from __future__ import annotations
 
-from repro.cache.protocol import ResponseCacheInfo
+from repro.cache.protocol import ResponseCacheInfo, StaleHit
 
 __all__ = ["NoCacheAdapter"]
 
@@ -24,7 +24,19 @@ class NoCacheAdapter:
     def get(self, key: str) -> dict | None:
         return None
 
-    def put(self, key: str, body: dict, *, tenant: str | None = None) -> None:
+    def put(
+        self,
+        key: str,
+        body: dict,
+        *,
+        tenant: str | None = None,
+        family: str | None = None,
+    ) -> None:
+        return None
+
+    def get_stale(
+        self, key: str, *, family: str | None = None, max_age: float = 0.0
+    ) -> StaleHit | None:
         return None
 
     def invalidate_tenant(self, tenant: str) -> int:

@@ -33,7 +33,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
-__all__ = ["CacheAdapter", "ResponseCacheInfo"]
+__all__ = ["CacheAdapter", "ResponseCacheInfo", "StaleHit"]
+
+
+@dataclass(frozen=True)
+class StaleHit:
+    """One degraded-mode answer from :meth:`CacheAdapter.get_stale`.
+
+    ``age`` is how stale the body is, in seconds: time past TTL expiry
+    for an expired entry, time since storage for a digest-stale family
+    fallback (0.0 for a fresh exact body).  ``expired`` marks a body
+    past its TTL (as opposed to merely digest-stale); ``exact``
+    distinguishes the request's own key from a family fallback (same
+    tenant and query shape, different — older — context digest).
+    """
+
+    body: dict
+    age: float
+    expired: bool
+    exact: bool
 
 
 @dataclass(frozen=True)
@@ -42,7 +60,8 @@ class ResponseCacheInfo:
 
     ``evictions`` counts LRU displacements, ``expiries`` entries that
     died of TTL on lookup, ``invalidations`` entries purged explicitly
-    (per-tenant or ``clear``).
+    (per-tenant or ``clear``); ``stale_hits``/``stale_misses`` count
+    the degraded-mode :meth:`CacheAdapter.get_stale` probes.
     """
 
     hits: int = 0
@@ -54,6 +73,8 @@ class ResponseCacheInfo:
     max_entries: int = 0
     shards: int = 1
     ttl: float | None = None
+    stale_hits: int = 0
+    stale_misses: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -73,6 +94,8 @@ class ResponseCacheInfo:
             "max_entries": self.max_entries,
             "shards": self.shards,
             "ttl_seconds": self.ttl,
+            "stale_hits": self.stale_hits,
+            "stale_misses": self.stale_misses,
         }
 
 
@@ -92,8 +115,32 @@ class CacheAdapter(Protocol):
         """
         ...
 
-    def put(self, key: str, body: dict, *, tenant: str | None = None) -> None:
-        """Store a rendered body, tagged with its tenant for purges."""
+    def put(
+        self,
+        key: str,
+        body: dict,
+        *,
+        tenant: str | None = None,
+        family: str | None = None,
+    ) -> None:
+        """Store a rendered body, tagged with its tenant for purges.
+
+        ``family`` (see :func:`repro.cache.keys.family_key`) groups
+        every key for one tenant + query shape so :meth:`get_stale`
+        can fall back to the most recent family member.
+        """
+        ...
+
+    def get_stale(
+        self, key: str, *, family: str | None = None, max_age: float = 0.0
+    ) -> StaleHit | None:
+        """A degraded-mode body for ``key``: expired entries within
+        ``max_age`` seconds of storage are acceptable, and when the
+        exact key misses, the most recently stored body of ``family``
+        (same tenant + query shape, different context digest) may
+        answer instead.  Never counts toward ``hits``/``misses`` —
+        degraded serves must not inflate the healthy hit ratio.
+        """
         ...
 
     def invalidate_tenant(self, tenant: str) -> int:

@@ -85,8 +85,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds a request may wait for admission before a 503",
     )
     serve.add_argument(
+        "--request-timeout", type=float, default=2.0,
+        help="per-request deadline in seconds; 0 disables deadlines",
+    )
+    serve.add_argument(
+        "--stale-max-age", type=float, default=300.0,
+        help="oldest stale cache body servable in degraded mode (seconds)",
+    )
+    serve.add_argument(
+        "--no-stale", action="store_true",
+        help="never serve stale cache bodies on overload/error",
+    )
+    serve.add_argument(
+        "--no-breaker", action="store_true",
+        help="disable the per-tenant/global circuit breaker",
+    )
+    serve.add_argument(
         "--workers", type=int, default=1,
         help="worker processes; > 1 runs the pre-fork fleet on one shared port",
+    )
+    fault = serve.add_argument_group(
+        "fault injection", "chaos knobs (defaults from REPRO_FAULT_* env vars)"
+    )
+    fault.add_argument(
+        "--fault-rank-delay", type=float, default=None, metavar="SECONDS",
+        help="inject this sleep before every rank",
+    )
+    fault.add_argument(
+        "--fault-rank-error-rate", type=float, default=None, metavar="P",
+        help="inject a rank failure with this probability (0..1)",
+    )
+    fault.add_argument(
+        "--fault-kill-every", type=int, default=None, metavar="N",
+        help="SIGKILL the serving worker after every N responses",
+    )
+    fault.add_argument(
+        "--fault-worker-ttl", type=float, default=None, metavar="SECONDS",
+        help="SIGKILL each worker this long after boot (crash-loop drill)",
+    )
+    fault.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="fault-injection RNG seed",
+    )
+    fault.add_argument(
+        "--fault-tenants", default=None, metavar="NAMES",
+        help="comma-separated tenants the rank faults target (default: all)",
     )
     serve.add_argument(
         "--cache", choices=("memory", "none"), default="memory",
@@ -181,7 +224,7 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.cache import InMemoryCacheAdapter, NoCacheAdapter
-    from repro.service import RankingService, ServiceConfig
+    from repro.service import FaultInjector, RankingService, ServiceConfig
     from repro.service.fleet import serve_fleet
     from repro.service.http import serve as run_gateway
     from repro.tenants import TenantRegistry
@@ -198,6 +241,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"error: cannot load rule file: {exc}", file=sys.stderr)
             return 2
 
+    # CLI fault flags override the REPRO_FAULT_* environment defaults.
+    env_faults = FaultInjector.from_env()
+    try:
+        injector_spec = dict(
+            rank_delay=(
+                args.fault_rank_delay
+                if args.fault_rank_delay is not None
+                else env_faults.rank_delay
+            ),
+            rank_error_rate=(
+                args.fault_rank_error_rate
+                if args.fault_rank_error_rate is not None
+                else env_faults.rank_error_rate
+            ),
+            worker_kill_every=(
+                args.fault_kill_every
+                if args.fault_kill_every is not None
+                else env_faults.worker_kill_every
+            ),
+            worker_ttl=(
+                args.fault_worker_ttl
+                if args.fault_worker_ttl is not None
+                else env_faults.worker_ttl
+            ),
+            tenants=(
+                frozenset(
+                    part.strip()
+                    for part in args.fault_tenants.split(",")
+                    if part.strip()
+                )
+                or None
+                if args.fault_tenants is not None
+                else env_faults.tenants
+            ),
+            seed=args.fault_seed if args.fault_seed is not None else env_faults.seed,
+        )
+        FaultInjector(**injector_spec)  # validate in the parent, pre-fork
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     def make_service(worker_info=None):
         # Each fleet worker runs this after the fork: its own registry,
         # its own response cache — workers share no mutable state.
@@ -213,15 +297,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return RankingService(
             registry,
             ServiceConfig(
-                max_concurrency=args.max_concurrency, queue_timeout=args.queue_timeout
+                max_concurrency=args.max_concurrency,
+                queue_timeout=args.queue_timeout,
+                request_timeout=args.request_timeout or None,
+                stale_max_age=args.stale_max_age,
+                serve_stale=not args.no_stale,
+                breaker_enabled=not args.no_breaker,
             ),
             cache=cache,
             worker_info=worker_info,
+            fault_injector=FaultInjector(**injector_spec),
         )
 
     settings = (
         f"cache={args.cache}, shards={args.shards}, "
-        f"max_sessions={args.max_sessions}, max_concurrency={args.max_concurrency}"
+        f"max_sessions={args.max_sessions}, max_concurrency={args.max_concurrency}, "
+        f"request_timeout={args.request_timeout or None}"
     )
 
     if args.workers == 1:

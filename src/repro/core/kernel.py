@@ -38,6 +38,7 @@ correctness oracle; kernel-vs-reference agreement is property-tested.
 from __future__ import annotations
 
 import heapq
+import sys
 from collections import abc
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence
@@ -56,8 +57,25 @@ __all__ = [
     "compile_candidates",
 ]
 
-#: Rows per block on the numpy top-k path (prune checks run per block).
+#: Rows per block on the numpy top-k path (prune checks run per block,
+#: and so do the serving layer's cooperative deadline checks).
 TOPK_BLOCK = 512
+
+
+def _active_deadline():
+    """The serving layer's per-request deadline, when one is active.
+
+    Resolved through ``sys.modules`` so the core never imports the
+    service layer (no import cycle, no import cost): if
+    ``repro.service.resilience`` was never loaded there cannot be a
+    deadline, and the probe is one dict lookup.  Returns an object
+    with a ``check()`` raising the service's ``DeadlineExceeded``, or
+    ``None``.
+    """
+    resilience = sys.modules.get("repro.service.resilience")
+    if resilience is None:
+        return None
+    return resilience.current_deadline()
 
 
 @dataclass(frozen=True, eq=False)
@@ -284,6 +302,9 @@ class ScoringKernel:
     # -- batch scoring -----------------------------------------------------
     def scores(self, prune_documents: bool = True) -> list[float]:
         """Every document's eq.(4) score, in candidate order."""
+        deadline = _active_deadline()
+        if deadline is not None:
+            deadline.check()
         if self._np is not None:
             np = self._np
             sub = self.candidates.matrix[:, self._keep_idx]
@@ -371,15 +392,42 @@ class ScoringKernel:
         if self._np is not None:
             survivors = self._topk_numpy(active, k, seeds)
         else:
-            survivors = topk_survivors(
-                self.candidates.matrix,
-                self.candidates.rule_count,
-                self._coeffs,
-                self._suffix_bounds,
-                active,
-                k,
-                seeds,
-            )
+            deadline = _active_deadline()
+            if deadline is None:
+                survivors = topk_survivors(
+                    self.candidates.matrix,
+                    self.candidates.rule_count,
+                    self._coeffs,
+                    self._suffix_bounds,
+                    active,
+                    k,
+                    seeds,
+                )
+            else:
+                # Cooperative cancellation: run the scan in blocks,
+                # checking the deadline between them and carrying the
+                # top-k value heap forward as the next block's seeds —
+                # the survivor set stays a superset of the true top k,
+                # so the final sort+slice below is still exact.
+                survivors = []
+                heap = list(seeds)
+                heapq.heapify(heap)
+                for start in range(0, len(active), TOPK_BLOCK):
+                    deadline.check()
+                    found = topk_survivors(
+                        self.candidates.matrix,
+                        self.candidates.rule_count,
+                        self._coeffs,
+                        self._suffix_bounds,
+                        active[start : start + TOPK_BLOCK],
+                        k,
+                        tuple(heap),
+                    )
+                    for row, value in found:
+                        survivors.append((row, value))
+                        heapq.heappush(heap, value)
+                        if len(heap) > k:
+                            heapq.heappop(heap)
         pool = [(row, value) for row, value in survivors]
         pool.extend((row, shared) for row in trivial)
         pool.sort(key=lambda entry: (-entry[1], self.names[entry[0]]))
@@ -394,6 +442,7 @@ class ScoringKernel:
     ) -> list[tuple[int, float]]:
         """Blocked vectorised top-k with the suffix-bound prune."""
         np = self._np
+        deadline = _active_deadline()
         heap: list[float] = list(seeds)
         heapq.heapify(heap)
         suffix = self._suffix_bounds
@@ -401,6 +450,8 @@ class ScoringKernel:
         survivors: list[tuple[int, float]] = []
         row_array = np.array(rows, dtype=np.intp)
         for start in range(0, len(row_array), TOPK_BLOCK):
+            if deadline is not None:
+                deadline.check()
             block = row_array[start : start + TOPK_BLOCK]
             sub = self.candidates.matrix[np.ix_(block, self._keep_idx)]
             prefix = np.ones(len(block), dtype=np.float64)

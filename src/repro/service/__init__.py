@@ -2,9 +2,12 @@
 
 Turns the tenant fleet (:mod:`repro.tenants`) into a traffic-handling
 system: a staged, admission-controlled :class:`RankingService`
-pipeline (parse → cache → admit → resolve → context → rank → render)
-with per-stage latency metrics and a pluggable response cache
-(:mod:`repro.cache`), fronted by a dependency-free
+pipeline (parse → cache → breaker → admit → resolve → context → rank →
+render) with per-stage latency metrics, a pluggable response cache
+(:mod:`repro.cache`), and a resilience layer
+(:mod:`repro.service.resilience`: per-request deadlines, serve-stale
+degradation, circuit breaking, fault injection), fronted by a
+dependency-free
 :class:`ThreadingHTTPServer` gateway (``python -m repro serve``) that
 scales past the GIL as a pre-fork worker fleet
 (``python -m repro serve --workers N``, :mod:`repro.service.fleet`).
@@ -43,11 +46,27 @@ from repro.service.pipeline import (
     ServiceResponse,
 )
 from repro.service.http import RankingHTTPServer, make_server, serve
+from repro.service.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    FaultInjector,
+    InjectedFault,
+    SharedFleetState,
+    clamp_timeout,
+    current_deadline,
+    deadline_scope,
+)
 
 __all__ = [
     "CacheAdapter",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjector",
     "FleetSupervisor",
     "InMemoryCacheAdapter",
+    "InjectedFault",
     "LatencyRecorder",
     "NoCacheAdapter",
     "RankingHTTPServer",
@@ -57,6 +76,10 @@ __all__ = [
     "ServiceMetrics",
     "ServiceRequest",
     "ServiceResponse",
+    "SharedFleetState",
+    "clamp_timeout",
+    "current_deadline",
+    "deadline_scope",
     "make_server",
     "percentile",
     "serve",

@@ -6,8 +6,10 @@ nginx use):
 
 * the **parent** builds nothing heavy — it resolves the port, forks
   ``workers`` children, then only supervises: respawn a worker that
-  dies unexpectedly, fan ``SIGTERM``/``SIGINT`` out on shutdown, and
-  answer parent-side aggregated health via :meth:`FleetSupervisor.health`;
+  dies unexpectedly (with exponential backoff, and a crash-loop
+  detector that *stops* respawning a worker dying repeatedly), fan
+  ``SIGTERM``/``SIGINT`` out on shutdown, and answer parent-side
+  aggregated health via :meth:`FleetSupervisor.health`;
 * each **worker** builds its own :class:`~repro.service.pipeline.
   RankingService` (own registry, own response cache — processes share
   nothing, so no cross-process coherence protocol is needed; the
@@ -28,25 +30,37 @@ Port sharing has two modes, picked automatically:
   accept from it concurrently (thundering-herd accept, the pre-2013
   nginx shape — correct everywhere POSIX).
 
-Workers exit cleanly on ``SIGTERM``/``SIGINT`` (handler raises
-``SystemExit`` so ``serve_forever`` unwinds through its ``finally``);
-the parent's monitor thread distinguishes a supervised shutdown from
-an unexpected death and only respawns the latter.
+Shutdown is graceful end to end: a worker's first ``SIGTERM`` stops
+the accept loop, drains in-flight requests for the grace period, then
+exits 0 (a second signal exits immediately); the parent's monitor
+thread distinguishes a supervised shutdown from an unexpected death
+and only respawns the latter.
+
+Crash-loop containment: ``crash_loop_threshold`` deaths of the same
+worker slot within ``crash_loop_window`` seconds marks the slot
+*failed* — no further respawns (a worker dying that fast is broken,
+not unlucky; respawning it forever burns CPU and masks the problem).
+The failure is published to every surviving worker through
+:class:`~repro.service.resilience.SharedFleetState`, so their
+``/readyz`` flips to degraded and load balancers can react.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import signal
 import socket
 import threading
 import time
+from collections import deque
 from multiprocessing.connection import wait as _sentinel_wait
 from typing import Callable, Mapping
 
 from repro.errors import EngineError
 from repro.service.http import RankingHTTPServer
 from repro.service.pipeline import RankingService
+from repro.service.resilience import SharedFleetState
 
 __all__ = ["FleetSupervisor", "serve_fleet", "supports_fleet", "supports_reuseport"]
 
@@ -95,25 +109,42 @@ def _worker_main(
     service_factory: ServiceFactory,
     workers: int,
     verbose: bool,
+    grace: float,
+    fleet_state: SharedFleetState | None,
     ready: "multiprocessing.synchronize.Event",
 ) -> None:
     """The forked child's whole life: build a service, serve the port."""
-
-    def _exit_cleanly(signum, frame):  # noqa: ARG001 - signal API
-        raise SystemExit(0)
-
-    # SIGTERM is the parent's fan-out; SIGINT arrives directly when the
-    # whole process group catches Ctrl-C.  Either way: unwind
-    # serve_forever through its finally, close sockets, exit 0.
-    signal.signal(signal.SIGTERM, _exit_cleanly)
-    signal.signal(signal.SIGINT, _exit_cleanly)
-
     service = service_factory(
         {"index": index, "workers": workers, "mode": mode}
     )
+    if fleet_state is not None:
+        # Fork-shared: lets this worker's /readyz report siblings the
+        # supervisor has marked failed.
+        service.fleet_state = fleet_state
     server = RankingHTTPServer(
         (host, port), service, verbose=verbose, bind_and_activate=False
     )
+
+    signalled = threading.Event()
+
+    def _graceful(signum, frame):  # noqa: ARG001 - signal API
+        if signalled.is_set():
+            # Second signal: the operator means it.  Daemon threads and
+            # kernel socket cleanup make the hard exit safe.
+            os._exit(0)
+        signalled.set()
+        # shutdown() must not run on the serve_forever thread (it joins
+        # the loop) — and a signal handler runs exactly there.
+        threading.Thread(
+            target=server.shutdown, name="worker-shutdown", daemon=True
+        ).start()
+
+    # SIGTERM is the parent's fan-out; SIGINT arrives directly when the
+    # whole process group catches Ctrl-C.  Either way: stop accepting,
+    # drain, exit 0.
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+
     if mode == "reuseport":
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -125,10 +156,21 @@ def _worker_main(
         # The parent's listener came through fork already listening.
         assert inherited is not None
         _adopt_socket(server, inherited)
+
+    ttl = service.fault_injector.worker_ttl
+    if ttl > 0:
+        # Chaos hook: die hard (SIGKILL, no graceful path) this long
+        # after boot — the crash-loop detector's test vector.
+        timer = threading.Timer(ttl, os.kill, args=(os.getpid(), signal.SIGKILL))
+        timer.daemon = True
+        timer.start()
+
     try:
         ready.set()
         server.serve_forever()
+        server.drain(grace)
     finally:
+        service.close()
         server.server_close()
 
 
@@ -160,7 +202,16 @@ class FleetSupervisor:
     start_timeout:
         Seconds to wait for each worker's ready signal on start.
     grace:
-        Seconds between ``SIGTERM`` and ``SIGKILL`` on stop.
+        Seconds between ``SIGTERM`` and ``SIGKILL`` on stop (also each
+        worker's in-flight drain budget).
+    respawn_backoff / respawn_backoff_max:
+        Delay before respawning a dead worker: ``respawn_backoff``
+        after the first death in the window, doubling per further
+        death, capped at ``respawn_backoff_max``.
+    crash_loop_threshold / crash_loop_window:
+        ``threshold`` deaths of one worker slot within ``window``
+        seconds marks the slot failed — no further respawns, and
+        :meth:`health` degrades.
     """
 
     def __init__(
@@ -173,6 +224,10 @@ class FleetSupervisor:
         verbose: bool = False,
         start_timeout: float = 30.0,
         grace: float = 5.0,
+        respawn_backoff: float = 0.1,
+        respawn_backoff_max: float = 2.0,
+        crash_loop_threshold: int = 3,
+        crash_loop_window: float = 5.0,
     ):
         if workers < 1:
             raise EngineError(f"fleet needs at least one worker, got {workers!r}")
@@ -181,20 +236,41 @@ class FleetSupervisor:
                 "the serving fleet requires the 'fork' start method "
                 "(POSIX); run single-process (--workers 1) instead"
             )
+        if respawn_backoff <= 0 or respawn_backoff_max < respawn_backoff:
+            raise EngineError(
+                "respawn backoff must be positive and no greater than its cap, "
+                f"got {respawn_backoff!r}/{respawn_backoff_max!r}"
+            )
+        if crash_loop_threshold < 2 or crash_loop_window <= 0:
+            raise EngineError(
+                "crash loop detection needs threshold >= 2 and a positive "
+                f"window, got {crash_loop_threshold!r}/{crash_loop_window!r}"
+            )
         self.service_factory = service_factory
         self.workers = workers
         self.host = host
         self.verbose = verbose
         self.start_timeout = start_timeout
         self.grace = grace
+        self.respawn_backoff = respawn_backoff
+        self.respawn_backoff_max = respawn_backoff_max
+        self.crash_loop_threshold = crash_loop_threshold
+        self.crash_loop_window = crash_loop_window
         self.mode = "reuseport" if supports_reuseport() else "inherit"
         self._mp = multiprocessing.get_context("fork")
+        self.fleet_state = SharedFleetState(self._mp)
         self._lock = threading.Lock()
         self._fleet: list[_Worker] = []
         self._stopping = False
         self._started = False
         self._monitor: threading.Thread | None = None
         self._respawns = 0
+        #: Per-slot death timestamps within the crash-loop window.
+        self._deaths: dict[int, deque] = {}
+        #: (respawn_at, index) — deaths waiting out their backoff.
+        self._pending: list[tuple[float, int]] = []
+        #: Slots the crash-loop detector has given up on.
+        self._failed: dict[int, dict] = {}
         # Resolve the port up front, in the parent, whatever the mode:
         # an anchor (bound, never listening) under reuseport, the real
         # listener under inherit.
@@ -250,6 +326,8 @@ class FleetSupervisor:
                 self.service_factory,
                 self.workers,
                 self.verbose,
+                self.grace,
+                self.fleet_state,
                 ready,
             ),
             name=f"repro-serve-worker-{index}",
@@ -257,31 +335,67 @@ class FleetSupervisor:
         process.start()
         return _Worker(index, process, ready)
 
+    def _note_death(self, index: int, now: float) -> None:
+        """Record one unexpected death; schedule a respawn or give up."""
+        deaths = self._deaths.setdefault(index, deque())
+        deaths.append(now)
+        while deaths and now - deaths[0] > self.crash_loop_window:
+            deaths.popleft()
+        if len(deaths) >= self.crash_loop_threshold:
+            # Crash loop: this slot dies faster than it can serve.
+            # Stop feeding it processes and tell the fleet.
+            self._failed[index] = {
+                "index": index,
+                "deaths_in_window": len(deaths),
+                "window_seconds": self.crash_loop_window,
+                "failed_at": time.time(),
+            }
+            self.fleet_state.mark_failed()
+            return
+        backoff = min(
+            self.respawn_backoff * (2 ** (len(deaths) - 1)),
+            self.respawn_backoff_max,
+        )
+        self._pending.append((now + backoff, index))
+
     def _supervise(self) -> None:
         """Respawn workers that die without being asked to."""
         while True:
             with self._lock:
                 if self._stopping:
                     return
+                now = time.monotonic()
+                due = [index for (at, index) in self._pending if at <= now]
+                if due:
+                    self._pending = [
+                        (at, index) for (at, index) in self._pending if at > now
+                    ]
+                    for index in due:
+                        self._fleet.append(self._spawn(index))
+                        self._respawns += 1
                 sentinels = {
                     worker.process.sentinel: worker for worker in self._fleet
                 }
-            if not sentinels:
+                pending = bool(self._pending)
+            if not sentinels and not pending:
                 return
-            dead = _sentinel_wait(list(sentinels), timeout=0.2)
+            if sentinels:
+                dead = _sentinel_wait(list(sentinels), timeout=0.1)
+            else:
+                time.sleep(0.05)
+                dead = []
             if not dead:
                 continue
             with self._lock:
                 if self._stopping:
                     return
+                now = time.monotonic()
                 for sentinel in dead:
                     worker = sentinels[sentinel]
                     if worker not in self._fleet:
                         continue
                     self._fleet.remove(worker)
-                    replacement = self._spawn(worker.index)
-                    self._fleet.append(replacement)
-                    self._respawns += 1
+                    self._note_death(worker.index, now)
 
     def stop(self) -> None:
         """SIGTERM fan-out, grace, SIGKILL stragglers, release the port."""
@@ -289,6 +403,7 @@ class FleetSupervisor:
             if self._stopping:
                 return
             self._stopping = True
+            self._pending.clear()
             fleet = list(self._fleet)
         for worker in fleet:
             if worker.process.is_alive():
@@ -327,13 +442,18 @@ class FleetSupervisor:
         with self._lock:
             fleet = sorted(self._fleet, key=lambda w: w.index)
             alive = sum(1 for worker in fleet if worker.process.is_alive())
+            healthy = alive == self.workers and not self._failed
             body = {
-                "status": "ok" if alive == self.workers else "degraded",
+                "status": "ok" if healthy else "degraded",
                 "mode": self.mode,
                 "url": self.url,
                 "workers": self.workers,
                 "alive": alive,
                 "respawns": self._respawns,
+                "pending_respawns": len(self._pending),
+                "failed": [
+                    dict(self._failed[index]) for index in sorted(self._failed)
+                ],
                 "fleet": [
                     {
                         "index": worker.index,

@@ -9,17 +9,29 @@ dispatching to the staged pipeline.  Endpoints:
     (``CONCEPT[:PROB]``) and *replaces* the tenant's dynamic context
     for this and later requests; omit it to rank under the standing
     context.  Optional ``documents`` (repeatable / comma-separated),
-    ``explain=1``.
+    ``explain=1``, ``timeout`` (seconds; the ``X-Request-Timeout``
+    header works too and the query parameter wins).
 
 ``POST /context``
     JSON body ``{"tenant": "...", "context": ["Weekend", "Breakfast:0.7"]}`` —
     install a standing context.
 
 ``GET /healthz``
-    Liveness + registry occupancy.
+    Liveness + registry occupancy ("this process runs").
+
+``GET /readyz``
+    Readiness ("send me traffic"): 503 + ``degraded`` while the
+    global circuit breaker is open or a fleet sibling has been marked
+    failed by the crash-loop detector.
 
 ``GET /metrics``
-    Per-stage latency summaries, outcome counters, fleet counters.
+    Per-stage latency summaries, outcome counters, fleet counters,
+    resilience counters + breaker state.
+
+Degraded answers carry their HTTP contract in headers: overload and
+breaker sheds send ``Retry-After``; stale serves send
+``Warning: 110`` (response is stale) — both flow out of
+``ServiceResponse.headers`` untouched.
 
 Start one with :func:`make_server` (ephemeral ``port=0`` supported —
 tests and benchmarks do) or the blocking :func:`serve` the CLI wraps::
@@ -31,6 +43,7 @@ tests and benchmarks do) or the blocking :func:`serve` the CLI wraps::
 from __future__ import annotations
 
 import json
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
@@ -46,7 +59,7 @@ MAX_BODY_BYTES = 1 << 20
 class _GatewayHandler(BaseHTTPRequestHandler):
     """Routes gateway endpoints onto the service pipeline."""
 
-    server_version = "repro-serve/1.2"
+    server_version = "repro-serve/1.4"
     protocol_version = "HTTP/1.1"
     # A response leaves as header + body packets on one keep-alive
     # connection; with Nagle on, the body packet waits out the client's
@@ -60,18 +73,42 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     # -- routing -----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self.server.request_begun()  # type: ignore[attr-defined]
+        try:
+            self._route_get()
+        finally:
+            self.server.request_done()  # type: ignore[attr-defined]
+
+    def _route_get(self) -> None:
         url = urlsplit(self.path)
         if url.path == "/rank":
             params = parse_qs(url.query, keep_blank_values=True)
+            header_timeout = self.headers.get("X-Request-Timeout")
+            if header_timeout is not None and "timeout" not in params:
+                params["timeout"] = [header_timeout]
             self._send(self.service.rank(params))
+            # After the response is on the wire: the chaos hook that
+            # periodically SIGKILLs this worker mid-traffic (noop when
+            # fault injection is inactive).
+            self.service.fault_injector.maybe_kill_worker()
         elif url.path == "/healthz":
             self._send_json(200, self.service.health())
+        elif url.path == "/readyz":
+            status, body = self.service.readiness()
+            self._send_json(status, body)
         elif url.path == "/metrics":
             self._send_json(200, self.service.metrics_snapshot())
         else:
             self._send_json(404, {"error": f"unknown path {url.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self.server.request_begun()  # type: ignore[attr-defined]
+        try:
+            self._route_post()
+        finally:
+            self.server.request_done()  # type: ignore[attr-defined]
+
+    def _route_post(self) -> None:
         url = urlsplit(self.path)
         if url.path != "/context":
             self._send_json(404, {"error": f"unknown path {url.path!r}"})
@@ -106,13 +143,18 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             raise ValueError(f"invalid JSON body: {exc}") from exc
 
     def _send(self, response: ServiceResponse) -> None:
-        self._send_json(response.status, response.body)
+        self._send_json(response.status, response.body, headers=response.headers)
 
-    def _send_json(self, status: int, body: dict) -> None:
+    def _send_json(
+        self, status: int, body: dict, headers: dict[str, str] | None = None
+    ) -> None:
         payload = json.dumps(body).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        if headers:
+            for name, value in headers.items():
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
@@ -126,7 +168,8 @@ class RankingHTTPServer(ThreadingHTTPServer):
 
     ``daemon_threads`` so in-flight handler threads never block
     interpreter shutdown; ``allow_reuse_address`` so quick restarts do
-    not trip TIME_WAIT (Nagle is disabled on the handler).
+    not trip TIME_WAIT (Nagle is disabled on the handler).  Tracks
+    in-flight requests so :meth:`drain` can bound a graceful stop.
     """
 
     daemon_threads = True
@@ -146,6 +189,37 @@ class RankingHTTPServer(ThreadingHTTPServer):
         super().__init__(address, _GatewayHandler, bind_and_activate=bind_and_activate)
         self.service = service
         self.verbose = verbose
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+
+    # -- graceful drain ----------------------------------------------------
+    def request_begun(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+            self._idle.clear()
+
+    def request_done(self) -> None:
+        with self._inflight_lock:
+            self._inflight = max(0, self._inflight - 1)
+            if self._inflight == 0:
+                self._idle.set()
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def drain(self, grace: float) -> bool:
+        """Wait up to ``grace`` seconds for in-flight requests to finish.
+
+        Call after ``shutdown()`` (no new requests are being accepted)
+        and before ``server_close()``.  Returns True when the server
+        went idle within the grace, False when stragglers remain (they
+        are daemon threads; closing anyway is safe).
+        """
+        return self._idle.wait(timeout=max(0.0, grace))
 
     @property
     def url(self) -> str:
@@ -174,13 +248,16 @@ def serve(
     port: int = 8080,
     *,
     verbose: bool = False,
+    grace: float = 5.0,
     ready=None,
 ) -> int:
     """Run the gateway until interrupted (the ``repro serve`` body).
 
     ``ready`` (if given) is called with the bound server once it is
     listening — tests and the CLI use it to learn the ephemeral port.
-    Returns a process exit code.
+    On interrupt the gateway stops accepting, drains in-flight
+    requests for up to ``grace`` seconds, then closes.  Returns a
+    process exit code.
     """
     server = make_server(service, host, port, verbose=verbose)
     if ready is not None:
@@ -191,5 +268,7 @@ def serve(
         pass
     finally:
         server.shutdown()
+        server.drain(grace)
+        service.close()
         server.server_close()
     return 0

@@ -97,6 +97,7 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self._stages: dict[str, LatencyRecorder] = {}
         self._outcomes: dict[str, int] = {}
+        self._counters: dict[str, dict[str, int]] = {}
 
     def stage(self, name: str) -> LatencyRecorder:
         """The recorder for one pipeline stage (created on demand)."""
@@ -128,14 +129,34 @@ class ServiceMetrics:
         with self._lock:
             return dict(self._outcomes)
 
+    def count(self, group: str, name: str, amount: int = 1) -> None:
+        """Bump one counter in a named group (``resilience`` etc.).
+
+        Groups keep subsystem counters (timeouts, stale serves,
+        breaker transitions…) out of the request-outcome dict, whose
+        keys are one-per-request by contract.
+        """
+        with self._lock:
+            counters = self._counters.setdefault(group, {})
+            counters[name] = counters.get(name, 0) + amount
+
+    def counters(self, group: str | None = None) -> dict:
+        """One group's counters, or every group keyed by name."""
+        with self._lock:
+            if group is not None:
+                return dict(self._counters.get(group, {}))
+            return {name: dict(values) for name, values in self._counters.items()}
+
     def snapshot(self) -> dict[str, object]:
         """The whole metrics surface as one JSON-able mapping."""
         with self._lock:
             stages = dict(self._stages)
             outcomes = dict(self._outcomes)
+            counters = {name: dict(values) for name, values in self._counters.items()}
         return {
             "outcomes": outcomes,
             "stages": {name: recorder.summary() for name, recorder in sorted(stages.items())},
+            "counters": counters,
         }
 
 

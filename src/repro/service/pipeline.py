@@ -4,11 +4,13 @@ The paper's tvtouch scenario is an always-on service: one shared domain
 ontology, many users, volatile context arriving *with each request*.
 This module is that request path, staged and instrumented::
 
-    parse → cache → admit → resolve → context → rank → render
+    parse → cache → breaker → admit → resolve → context → rank → render
 
 * **parse** — normalise raw parameters (query string or JSON body)
   into a frozen :class:`ServiceRequest`; malformed input is a 400
-  before any shared resource is touched.
+  before any shared resource is touched.  The request's deadline is
+  derived here too (``ServiceConfig.request_timeout``, client override
+  clamped by ``max_request_timeout``).
 * **cache** — the response-cache lookup (:mod:`repro.cache`): derive
   the key this request would rank under from the tenant's learned
   view digest and the canonicalised query, and probe the adapter.  A
@@ -23,10 +25,16 @@ This module is that request path, staged and instrumented::
   (any context change moves the tenant to a new view digest — see
   :mod:`repro.cache.keys`) plus eviction hooks and
   :meth:`RankingService.invalidate_tenant`.
+* **breaker** — the circuit breaker (:mod:`repro.service.resilience`):
+  when rank failures or timeouts have spiked for this tenant (or
+  globally), the request is shed *before* admission — answered from
+  stale cache when possible, a 503 with ``Retry-After`` otherwise.
 * **admit** — admission control: a bounded semaphore caps in-flight
   rank work; a request that cannot be admitted within
-  ``queue_timeout`` is rejected with a 503 instead of piling onto an
-  overloaded process (load shedding, not unbounded queueing).
+  ``queue_timeout`` (or its remaining deadline, whichever is shorter)
+  is rejected with a 503 instead of piling onto an overloaded process
+  (load shedding, not unbounded queueing) — again serving stale when
+  the cache has a recent enough body.
 * **resolve** — a *pinned* checkout of the tenant's session from the
   sharded :class:`~repro.tenants.TenantRegistry`; the pin guarantees
   LRU eviction can never yank the overlay from an in-flight request.
@@ -36,7 +44,14 @@ This module is that request path, staged and instrumented::
   engine's own install validates-before-clearing too, so no error
   path can leave a half-installed context).
 * **rank** — :meth:`UserSession.rank_in_context`: delta install and
-  rank under one hold of the engine lock, atomic per tenant.
+  rank under one hold of the engine lock, atomic per tenant.  With a
+  deadline, the whole unit runs on a bounded executor: the gateway
+  thread waits at most the remaining budget and answers 504 (or
+  stale) on expiry, while ownership of the admission slot and the
+  session pin transfers to the work unit — a wedged rank can *never*
+  leak either, and the scoring kernel checks the deadline
+  cooperatively between candidate blocks so abandoned work unwinds
+  quickly instead of running to completion.
 * **render** — the ranked items as a JSON-able body.
 
 Every stage's latency lands in :class:`~repro.service.metrics.ServiceMetrics`
@@ -45,9 +60,12 @@ Every stage's latency lands in :class:`~repro.service.metrics.ServiceMetrics`
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -58,6 +76,15 @@ from repro.engine.backends import parse_context_spec
 from repro.engine.requests import RankRequest
 from repro.errors import EngineError, ReproError
 from repro.service.metrics import ServiceMetrics
+from repro.service.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    FaultInjector,
+    SharedFleetState,
+    clamp_timeout,
+    deadline_scope,
+)
 from repro.tenants.registry import TenantRegistry
 
 __all__ = [
@@ -69,7 +96,7 @@ __all__ = [
 ]
 
 #: Pipeline stages, in request order (``total`` is recorded on top).
-STAGES = ("parse", "cache", "admit", "resolve", "context", "rank", "render")
+STAGES = ("parse", "cache", "breaker", "admit", "resolve", "context", "rank", "render")
 
 
 @dataclass(frozen=True)
@@ -81,12 +108,32 @@ class ServiceConfig:
     admission before being shed with a 503.  ``include_timings``
     attaches per-stage latencies to every response body (handy for
     tracing, off by default to keep payloads lean).
+
+    Resilience tunables: ``request_timeout`` is the default per-request
+    deadline (``None`` disables deadlines and the rank executor
+    entirely); a client's ``timeout`` parameter / ``X-Request-Timeout``
+    header is clamped to ``max_request_timeout``.  ``serve_stale``
+    allows degraded-mode answers from the response cache (recently
+    expired or digest-stale bodies no older than ``stale_max_age``
+    seconds) on overload, breaker-open, engine error or deadline
+    expiry.  The ``breaker_*`` knobs shape the per-tenant + global
+    circuit breaker (see :class:`~repro.service.resilience.CircuitBreaker`).
     """
 
     max_concurrency: int = 8
     queue_timeout: float = 0.25
     default_top_k: int | None = None
     include_timings: bool = False
+    request_timeout: float | None = 2.0
+    max_request_timeout: float = 30.0
+    serve_stale: bool = True
+    stale_max_age: float = 300.0
+    breaker_enabled: bool = True
+    breaker_window: float = 10.0
+    breaker_min_requests: int = 10
+    breaker_failure_threshold: float = 0.5
+    breaker_cooldown: float = 5.0
+    breaker_jitter: float = 0.2
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
@@ -97,6 +144,18 @@ class ServiceConfig:
             raise EngineError(
                 f"queue_timeout must be non-negative, got {self.queue_timeout!r}"
             )
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise EngineError(
+                f"request_timeout must be positive or None, got {self.request_timeout!r}"
+            )
+        if self.max_request_timeout <= 0:
+            raise EngineError(
+                f"max_request_timeout must be positive, got {self.max_request_timeout!r}"
+            )
+        if self.stale_max_age < 0:
+            raise EngineError(
+                f"stale_max_age must be non-negative, got {self.stale_max_age!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -105,6 +164,9 @@ class ServiceRequest:
 
     ``context=None`` keeps the tenant's standing context;
     ``context=()`` explicitly clears it (rank context-free).
+    ``timeout`` is the client's per-request deadline override in
+    seconds (clamped to ``ServiceConfig.max_request_timeout``; ignored
+    when the deployment disabled deadlines).
     """
 
     tenant: str
@@ -112,6 +174,7 @@ class ServiceRequest:
     top_k: int | None = None
     documents: tuple[str, ...] | None = None
     explain: bool = False
+    timeout: float | None = None
 
     @classmethod
     def from_params(cls, params: Mapping[str, Sequence[str]]) -> "ServiceRequest":
@@ -119,9 +182,10 @@ class ServiceRequest:
 
         Recognised keys: ``tenant`` (required), ``context``
         (repeatable, ``CONCEPT[:PROB]``), ``top_k``, ``documents``
-        (repeatable and/or comma-separated), ``explain``.
+        (repeatable and/or comma-separated), ``explain``, ``timeout``
+        (seconds, positive).
         """
-        known = {"tenant", "context", "top_k", "documents", "explain"}
+        known = {"tenant", "context", "top_k", "documents", "explain", "timeout"}
         unknown = set(params) - known
         if unknown:
             raise EngineError(
@@ -154,12 +218,26 @@ class ServiceRequest:
         explain = False
         if "explain" in params:
             explain = str(list(params["explain"])[-1]).lower() in ("1", "true", "yes")
+        timeout = None
+        if "timeout" in params:
+            raw = list(params["timeout"])[-1]
+            try:
+                timeout = float(raw)
+            except (TypeError, ValueError):
+                raise EngineError(
+                    f"timeout must be a number of seconds, got {raw!r}"
+                ) from None
+            if not timeout > 0 or not math.isfinite(timeout):
+                raise EngineError(
+                    f"timeout must be a positive finite number, got {raw!r}"
+                )
         return cls(
             tenant=str(tenants[0]),
             context=context,
             top_k=top_k,
             documents=documents,
             explain=explain,
+            timeout=timeout,
         )
 
     @classmethod
@@ -168,7 +246,7 @@ class ServiceRequest:
         if not isinstance(payload, Mapping):
             raise EngineError(f"request body must be a JSON object, got {payload!r}")
         params: dict[str, list[str]] = {}
-        for key in ("tenant", "top_k", "explain"):
+        for key in ("tenant", "top_k", "explain", "timeout"):
             if key in payload:
                 params[key] = [str(payload[key])]
         for key in ("context", "documents"):
@@ -179,7 +257,9 @@ class ServiceRequest:
                 if not isinstance(value, Iterable):
                     raise EngineError(f"'{key}' must be a list of strings, got {value!r}")
                 params[key] = [str(item) for item in value]
-        unknown = set(payload) - {"tenant", "context", "top_k", "documents", "explain"}
+        unknown = set(payload) - {
+            "tenant", "context", "top_k", "documents", "explain", "timeout"
+        }
         if unknown:
             raise EngineError(f"unknown request keys {sorted(unknown)}")
         return cls.from_params(params)
@@ -187,11 +267,16 @@ class ServiceRequest:
 
 @dataclass(frozen=True)
 class ServiceResponse:
-    """One pipeline answer: an HTTP-ish status, a JSON-able body, timings."""
+    """One pipeline answer: an HTTP-ish status, a JSON-able body, timings.
+
+    ``headers`` carries response headers the gateway must forward
+    (``Retry-After`` on sheds, ``Warning: 110`` on stale serves).
+    """
 
     status: int
     body: dict
     timings: dict[str, float] = field(default_factory=dict, compare=False)
+    headers: dict[str, str] = field(default_factory=dict, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -212,24 +297,81 @@ class _Span:
         return self
 
     def __exit__(self, *exc_info) -> bool:
-        self._clock.timings[self._name] = time.perf_counter() - self._start
+        self._clock.record(self._name, time.perf_counter() - self._start)
         return False
 
 
 class _StageClock:
-    """Accumulates per-stage wall time for one request."""
+    """Accumulates per-stage wall time for one request.
 
-    __slots__ = ("timings", "_started")
+    Locked: with a deadline, the work unit keeps timing stages on the
+    executor thread after the gateway thread has timed out and gone to
+    build the 504 — both sides touch the dict.
+    """
+
+    __slots__ = ("_timings", "_lock", "_started")
 
     def __init__(self):
-        self.timings: dict[str, float] = {}
+        self._timings: dict[str, float] = {}
+        self._lock = threading.Lock()
         self._started = time.perf_counter()
 
     def stage(self, name: str) -> _Span:
         return _Span(self, name)
 
+    def record(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._timings[name] = seconds
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._timings)
+
     def total(self) -> float:
         return time.perf_counter() - self._started
+
+
+class _ReleaseOnce:
+    """Owns one admission slot (and, once attached, one session pin).
+
+    Whoever finishes last — the work unit on the executor, or the
+    gateway thread on a pre-submission error path — calls it; the
+    first call releases, every later call is a no-op.  This is what
+    makes slot accounting leak-proof under timeouts: ownership
+    *transfers* to the submitted work instead of being released by a
+    gateway thread that may already have abandoned the request.
+    """
+
+    __slots__ = ("_semaphore", "_checkout", "_lock", "_done")
+
+    def __init__(self, semaphore: threading.Semaphore):
+        self._semaphore = semaphore
+        self._checkout = None
+        self._lock = threading.Lock()
+        self._done = False
+
+    def attach_checkout(self, checkout) -> None:
+        self._checkout = checkout
+
+    def __call__(self) -> None:
+        with self._lock:
+            if self._done:
+                return
+            self._done = True
+            checkout, self._checkout = self._checkout, None
+        try:
+            if checkout is not None:
+                checkout.__exit__(None, None, None)
+        finally:
+            self._semaphore.release()
+
+
+def _retry_after(seconds: float) -> dict[str, str]:
+    return {"Retry-After": str(max(1, math.ceil(seconds)))}
+
+
+#: The RFC 7234 stale-response warning attached to degraded serves.
+_STALE_WARNING = '110 repro "Response is stale"'
 
 
 class RankingService:
@@ -250,6 +392,8 @@ class RankingService:
         metrics: ServiceMetrics | None = None,
         cache: CacheAdapter | None = None,
         worker_info: Mapping[str, object] | None = None,
+        fault_injector: FaultInjector | None = None,
+        breaker: CircuitBreaker | None = None,
     ):
         self.registry = registry
         self.config = config if config is not None else ServiceConfig()
@@ -258,12 +402,42 @@ class RankingService:
         #: Extra identity reported under ``worker`` in health/metrics
         #: (the fleet supervisor stamps worker index and bind mode).
         self.worker_info = dict(worker_info) if worker_info else {}
+        self.fault_injector = (
+            fault_injector if fault_injector is not None else FaultInjector()
+        )
+        if breaker is not None:
+            self.breaker: CircuitBreaker | None = breaker
+        elif self.config.breaker_enabled:
+            self.breaker = CircuitBreaker(
+                window=self.config.breaker_window,
+                min_requests=self.config.breaker_min_requests,
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown=self.config.breaker_cooldown,
+                jitter=self.config.breaker_jitter,
+                on_transition=self._breaker_transition,
+            )
+        else:
+            self.breaker = None
+        #: The fleet supervisor wires its cross-process state in after
+        #: the fork; single-process deployments leave it None.
+        self.fleet_state: SharedFleetState | None = None
         self._keyer = ResponseKeyer()
         if self.cache.enabled:
             # A session eviction drops the tenant's standing context,
             # so everything learned (and stored) for it must go too.
             self.registry.add_evict_listener(self._tenant_evicted)
         self._admission = threading.BoundedSemaphore(self.config.max_concurrency)
+        # Rank work runs here when deadlines are on: sized to the
+        # admission bound, so the executor can never be the narrower
+        # throttle; threads spawn lazily on first use.
+        self._rank_pool = (
+            ThreadPoolExecutor(
+                max_workers=self.config.max_concurrency,
+                thread_name_prefix="repro-rank",
+            )
+            if self.config.request_timeout is not None
+            else None
+        )
         self._started_at = time.time()
 
     # -- the staged pipeline ----------------------------------------------
@@ -273,8 +447,9 @@ class RankingService:
         Accepts a parsed :class:`ServiceRequest` or raw query-string
         parameters (parsed as the ``parse`` stage).  Never raises for
         request-shaped failures: malformed input is a 400 body,
-        admission overflow a 503, unexpected engine errors a 500 —
-        the gateway maps ``status`` straight onto HTTP.
+        admission overflow and breaker sheds a 503 (stale-served when
+        possible), a blown deadline a 504, unexpected engine errors a
+        500 — the gateway maps ``status`` straight onto HTTP.
         """
         clock = _StageClock()
         try:
@@ -286,6 +461,16 @@ class RankingService:
                     documents=request.documents,
                     top_k=top_k,
                     explain=request.explain,
+                )
+                effective_timeout = clamp_timeout(
+                    request.timeout,
+                    self.config.request_timeout,
+                    self.config.max_request_timeout,
+                )
+                deadline = (
+                    Deadline.after(effective_timeout)
+                    if effective_timeout is not None and self._rank_pool is not None
+                    else None
                 )
         except ReproError as exc:
             return self._reply(clock, 400, {"error": str(exc)}, outcome="bad_request")
@@ -307,13 +492,48 @@ class RankingService:
                 # Pure hit: the tenant's standing context already *is*
                 # the state this body was ranked under — nothing to
                 # install, no session to touch, no admission needed.
+                # Served even while the breaker is open: a hit touches
+                # nothing the breaker protects.
                 with clock.stage("render"):
                     body = self._serve_hit(request, cached_body)
                 return self._reply(clock, 200, body, outcome="ok_cached", cached=True)
 
+        if self.breaker is not None:
+            with clock.stage("breaker"):
+                decision = self.breaker.allow(request.tenant)
+            if not decision.allowed:
+                self.metrics.count("resilience", "shed")
+                self.metrics.count("resilience", "shed.breaker")
+                stale = self._try_stale(clock, request, lookup, reason="breaker_open")
+                if stale is not None:
+                    return stale
+                retry = max(0.1, decision.retry_after)
+                return self._reply(
+                    clock,
+                    503,
+                    {
+                        "error": (
+                            f"circuit breaker open ({decision.scope}): "
+                            f"recent rank failures; request shed"
+                        ),
+                        "breaker_scope": decision.scope,
+                        "retry_after_seconds": retry,
+                    },
+                    outcome="shed_breaker",
+                    headers=_retry_after(retry),
+                )
+
         with clock.stage("admit"):
-            admitted = self._admission.acquire(timeout=self.config.queue_timeout)
+            admit_timeout = self.config.queue_timeout
+            if deadline is not None:
+                admit_timeout = min(admit_timeout, max(0.0, deadline.remaining()))
+            admitted = self._admission.acquire(timeout=admit_timeout)
         if not admitted:
+            self.metrics.count("resilience", "shed")
+            self.metrics.count("resilience", "shed.overload")
+            stale = self._try_stale(clock, request, lookup, reason="overload")
+            if stale is not None:
+                return stale
             return self._reply(
                 clock,
                 503,
@@ -322,20 +542,28 @@ class RankingService:
                     "max_concurrency": self.config.max_concurrency,
                 },
                 outcome="rejected",
+                headers=_retry_after(max(0.1, self.config.queue_timeout)),
             )
+        release = _ReleaseOnce(self._admission)
+        submitted = False
         served_hit = False
         try:
             with clock.stage("resolve"):
                 checkout = self.registry.checkout(request.tenant)
                 session = checkout.__enter__()
-            try:
-                with clock.stage("context"):
-                    # Pre-flight every spec: a bad one 400s here with
-                    # the tenant's standing context untouched.
-                    specs = request.context  # None keeps the standing context
-                    if specs is not None:
-                        for spec in specs:
-                            parse_context_spec(spec)
+                release.attach_checkout(checkout)
+            with clock.stage("context"):
+                # Pre-flight every spec: a bad one 400s here with
+                # the tenant's standing context untouched.
+                specs = request.context  # None keeps the standing context
+                if specs is not None:
+                    for spec in specs:
+                        parse_context_spec(spec)
+
+            def work() -> tuple[dict, bool]:
+                self.fault_injector.before_rank(request.tenant)
+                hit = False
+                body: dict
                 if cached_body is not None:
                     # Delta hit: install the delta (the client-visible
                     # side effect of /rank?context=...), then serve the
@@ -347,10 +575,10 @@ class RankingService:
                             lookup, session.engine.view_fingerprint()
                         )
                     if learned == lookup.view_digest:
-                        served_hit = True
+                        hit = True
                         with clock.stage("render"):
                             body = self._serve_hit(request, cached_body)
-                if not served_hit:
+                if not hit:
                     with clock.stage("rank"):
                         # After a refuted delta hit the delta is already
                         # installed and standing — rank under it as-is.
@@ -362,16 +590,54 @@ class RankingService:
                         body = self._render(request, response)
                     if lookup is not None:
                         self._fill(lookup, response.fingerprint, body)
-            finally:
-                checkout.__exit__(None, None, None)
+                return body, hit
+
+            if deadline is not None:
+                # Ownership of the slot + pin moves to the work unit;
+                # this thread only waits out the remaining budget.
+                future = self._rank_pool.submit(self._execute, work, deadline, release)
+                submitted = True
+                body, served_hit = future.result(
+                    timeout=max(0.0, deadline.remaining())
+                )
+            else:
+                body, served_hit = self._execute(work, None, release)
+        except (_FutureTimeout, DeadlineExceeded):
+            self.metrics.count("resilience", "timeouts")
+            if self.breaker is not None:
+                self.breaker.record_failure(request.tenant)
+            stale = self._try_stale(clock, request, lookup, reason="deadline")
+            if stale is not None:
+                return stale
+            return self._reply(
+                clock,
+                504,
+                {
+                    "error": (
+                        f"deadline exceeded: rank did not finish within "
+                        f"{effective_timeout:.3f}s"
+                    ),
+                    "timeout_seconds": effective_timeout,
+                },
+                outcome="timeout",
+            )
         except ReproError as exc:
             return self._reply(clock, 400, {"error": str(exc)}, outcome="bad_request")
         except Exception as exc:  # noqa: BLE001 - the gateway must answer
+            self.metrics.count("resilience", "rank_errors")
+            if self.breaker is not None:
+                self.breaker.record_failure(request.tenant)
+            stale = self._try_stale(clock, request, lookup, reason="error")
+            if stale is not None:
+                return stale
             return self._reply(
                 clock, 500, {"error": f"{type(exc).__name__}: {exc}"}, outcome="error"
             )
         finally:
-            self._admission.release()
+            if not submitted:
+                release()
+        if self.breaker is not None:
+            self.breaker.record_success(request.tenant)
         return self._reply(
             clock,
             200,
@@ -379,6 +645,18 @@ class RankingService:
             outcome="ok_cached" if served_hit else "ok",
             cached=served_hit,
         )
+
+    @staticmethod
+    def _execute(work, deadline: Deadline | None, release: _ReleaseOnce):
+        """Run one work unit under its deadline; always release after."""
+        try:
+            if deadline is None:
+                return work()
+            with deadline_scope(deadline):
+                deadline.check()
+                return work()
+        finally:
+            release()
 
     def install_context(self, tenant: str, specs: Iterable[str]) -> ServiceResponse:
         """Install a *standing* context for a tenant (``POST /context``).
@@ -399,6 +677,8 @@ class RankingService:
         with clock.stage("admit"):
             admitted = self._admission.acquire(timeout=self.config.queue_timeout)
         if not admitted:
+            self.metrics.count("resilience", "shed")
+            self.metrics.count("resilience", "shed.overload")
             return self._reply(
                 clock,
                 503,
@@ -407,6 +687,7 @@ class RankingService:
                     "max_concurrency": self.config.max_concurrency,
                 },
                 outcome="rejected",
+                headers=_retry_after(max(0.1, self.config.queue_timeout)),
             )
         try:
             with clock.stage("resolve"):
@@ -437,6 +718,51 @@ class RankingService:
             outcome="ok",
         )
 
+    # -- degraded-mode serving ----------------------------------------------
+    def _try_stale(
+        self,
+        clock: _StageClock,
+        request: ServiceRequest,
+        lookup: KeyLookup | None,
+        *,
+        reason: str,
+    ) -> ServiceResponse | None:
+        """A stale cache body for a request the healthy path failed.
+
+        Probes the exact key first (a recently expired body for this
+        precise context), then the family fallback (the tenant's most
+        recent answer to the same query shape under *some* context) —
+        bounded by ``stale_max_age`` either way.  ``None`` means the
+        caller must fail the request for real.
+        """
+        if not self.config.serve_stale or lookup is None or not self.cache.enabled:
+            return None
+        hit = self.cache.get_stale(
+            lookup.key, family=lookup.family, max_age=self.config.stale_max_age
+        )
+        if hit is None:
+            self.metrics.count("resilience", "stale_miss")
+            return None
+        self.metrics.count("resilience", "stale_served")
+        self.metrics.count("resilience", f"stale_served.{reason}")
+        body = dict(hit.body)
+        if request.context is not None:
+            body["context"] = list(request.context)
+        body["cached"] = True
+        body["stale"] = True
+        body["stale_reason"] = reason
+        body["stale_age_seconds"] = round(hit.age, 3)
+        if not hit.exact:
+            body["stale_context_digest"] = True  # ranked under an older context
+        return self._reply(
+            clock,
+            200,
+            body,
+            outcome="ok_stale",
+            tag="stale",
+            headers={"Warning": _STALE_WARNING},
+        )
+
     # -- invalidation -------------------------------------------------------
     def invalidate_tenant(self, tenant: str) -> int:
         """Purge everything cached for one tenant; returns entries dropped.
@@ -459,7 +785,27 @@ class RankingService:
         self._keyer.forget(tenant_id)
         self.cache.invalidate_tenant(tenant_id)
 
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Shut the rank executor down (in-flight work is not waited on)."""
+        if self._rank_pool is not None:
+            self._rank_pool.shutdown(wait=False)
+
+    def available_slots(self) -> int:
+        """Admission slots currently free (== ``max_concurrency`` at rest).
+
+        The post-storm invariant the chaos tests assert: whatever mix
+        of timeouts, sheds and errors just happened, every slot must
+        come back.
+        """
+        return self._admission._value  # noqa: SLF001 - the semaphore's own counter
+
     # -- observability -----------------------------------------------------
+    def _breaker_transition(self, scope: str, old: str, new: str) -> None:
+        self.metrics.count("resilience", f"breaker_{new}")
+        kind = "global" if scope == "global" else "tenant"
+        self.metrics.count("resilience", f"breaker_{new}.{kind}")
+
     def _worker_section(self) -> dict:
         section: dict = {
             "pid": os.getpid(),
@@ -486,16 +832,57 @@ class RankingService:
             },
         }
 
+    def readiness(self) -> tuple[int, dict]:
+        """The ``GET /readyz`` answer: ``(status_code, body)``.
+
+        Liveness (:meth:`health`) says "this process runs"; readiness
+        says "send me traffic".  Degraded — 503, so load balancers
+        rotate the worker out — when the global breaker is open or the
+        fleet supervisor has marked a crash-looping sibling failed.
+        """
+        problems: list[str] = []
+        if self.breaker is not None and self.breaker.state() == "open":
+            problems.append("breaker_open")
+        failed = self.fleet_state.failed_workers if self.fleet_state is not None else 0
+        if failed > 0:
+            problems.append("fleet_workers_failed")
+        body = {
+            "status": "ready" if not problems else "degraded",
+            "problems": problems,
+            "failed_workers": failed,
+            "breaker": (
+                self.breaker.snapshot()
+                if self.breaker is not None
+                else {"enabled": False}
+            ),
+            "worker": self._worker_section(),
+        }
+        return (200 if not problems else 503), body
+
     def metrics_snapshot(self) -> dict:
         """The ``GET /metrics`` body: stage latencies, outcomes, fleet."""
         snapshot = self.metrics.snapshot()
         snapshot["config"] = {
             "max_concurrency": self.config.max_concurrency,
             "queue_timeout": self.config.queue_timeout,
+            "request_timeout": self.config.request_timeout,
+            "max_request_timeout": self.config.max_request_timeout,
+            "serve_stale": self.config.serve_stale,
+            "stale_max_age": self.config.stale_max_age,
         }
         snapshot["registry"] = self.health()["registry"]
         snapshot["cache"] = self.cache.info().to_dict()
         snapshot["cache"]["enabled"] = bool(self.cache.enabled)
+        snapshot["resilience"] = {
+            "counters": self.metrics.counters("resilience"),
+            "breaker": (
+                self.breaker.snapshot()
+                if self.breaker is not None
+                else {"enabled": False}
+            ),
+            "fault_injection": self.fault_injector.info(),
+            "available_slots": self.available_slots(),
+        }
         snapshot["worker"] = self._worker_section()
         return snapshot
 
@@ -545,7 +932,7 @@ class RankingService:
         key = response_key(
             lookup.tenant, digest, lookup.documents, lookup.top_k, lookup.explain
         )
-        self.cache.put(key, canonical, tenant=lookup.tenant)
+        self.cache.put(key, canonical, tenant=lookup.tenant, family=lookup.family)
 
     def _reply(
         self,
@@ -555,10 +942,13 @@ class RankingService:
         *,
         outcome: str,
         cached: bool | None = None,
+        tag: str | None = None,
+        headers: Mapping[str, str] | None = None,
     ) -> ServiceResponse:
-        timings = dict(clock.timings)
+        timings = clock.snapshot()
         timings["total"] = clock.total()
-        tag = None if cached is None else ("cached" if cached else "uncached")
+        if tag is None:
+            tag = None if cached is None else ("cached" if cached else "uncached")
         for stage_name, seconds in timings.items():
             self.metrics.observe_stage(stage_name, seconds, tag=tag)
         self.metrics.count_outcome(outcome)
@@ -567,4 +957,9 @@ class RankingService:
             body["timings_ms"] = {
                 name: seconds * 1000.0 for name, seconds in timings.items()
             }
-        return ServiceResponse(status=status, body=body, timings=timings)
+        return ServiceResponse(
+            status=status,
+            body=body,
+            timings=timings,
+            headers=dict(headers) if headers else {},
+        )

@@ -15,10 +15,13 @@ from repro.workloads.history_gen import (
 from repro.workloads.rules_series import generate_rule_series, install_context_series
 from repro.workloads.traffic import (
     CONTEXT_MENUS,
+    RetryPolicy,
     TrafficConfig,
+    TrafficOutcome,
     TrafficReport,
     TrafficRequest,
     build_schedule,
+    http_client,
     run_traffic,
     zipf_weights,
 )
@@ -45,7 +48,9 @@ __all__ = [
     "SyntheticUser",
     "Section5World",
     "Section5Counts",
+    "RetryPolicy",
     "TrafficConfig",
+    "TrafficOutcome",
     "TrafficReport",
     "TrafficRequest",
     "TvTouchWorld",
@@ -55,6 +60,7 @@ __all__ = [
     "generate_rule_series",
     "generate_test_database",
     "install_context_series",
+    "http_client",
     "run_traffic",
     "sample_history",
     "sample_workday_mornings",

@@ -23,11 +23,15 @@ the same requests in the same per-worker order.
 
 from __future__ import annotations
 
+import json
 import random
+import socket
 import threading
 import time
 from dataclasses import dataclass, field
+from http.client import HTTPConnection, HTTPException
 from typing import Callable, Sequence
+from urllib.parse import urlencode, urlsplit
 
 from repro.errors import EngineConfigError
 from repro.service.metrics import percentile
@@ -36,7 +40,10 @@ __all__ = [
     "TrafficConfig",
     "TrafficRequest",
     "TrafficReport",
+    "TrafficOutcome",
+    "RetryPolicy",
     "build_schedule",
+    "http_client",
     "run_traffic",
     "zipf_weights",
     "CONTEXT_MENUS",
@@ -92,6 +99,57 @@ class TrafficRequest:
     top_k: int | None
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side fault handling for :func:`http_client`.
+
+    ``timeout`` bounds each HTTP attempt (socket-level, so a dead
+    worker never hangs a load-test thread); transport errors and 5xx
+    answers are retried up to ``retries`` times with exponential
+    backoff (``backoff`` doubling, capped at ``backoff_max``) plus a
+    proportional random jitter so retry storms decorrelate.  4xx
+    answers are never retried — the request itself is wrong.
+    """
+
+    timeout: float = 5.0
+    retries: int = 2
+    backoff: float = 0.05
+    backoff_max: float = 0.5
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0 or self.retries < 0:
+            raise EngineConfigError(
+                f"retry policy needs a positive timeout and retries >= 0, got "
+                f"timeout={self.timeout!r} retries={self.retries!r}"
+            )
+        if self.backoff <= 0 or self.backoff_max < self.backoff or self.jitter < 0:
+            raise EngineConfigError(
+                "retry backoff must be positive, capped above itself, with "
+                f"non-negative jitter, got {self.backoff!r}/"
+                f"{self.backoff_max!r}/{self.jitter!r}"
+            )
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before retry ``attempt`` (1-based), jittered."""
+        base = min(self.backoff * (2 ** (attempt - 1)), self.backoff_max)
+        return base * (1.0 + self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class TrafficOutcome:
+    """What one :func:`http_client` request experienced, after retries."""
+
+    ok: bool
+    status: int = 200
+    stale: bool = False
+    cached: bool = False
+    retries: int = 0
+    timed_out: bool = False
+    error: str | None = None
+    body: dict | None = field(default=None, repr=False, compare=False)
+
+
 @dataclass
 class TrafficReport:
     """What a closed-loop run measured."""
@@ -101,10 +159,20 @@ class TrafficReport:
     seconds: float
     concurrency: int
     latencies: list[float] = field(repr=False, default_factory=list)
+    retries: int = 0
+    stale: int = 0
+    timeouts: int = 0
 
     @property
     def throughput_rps(self) -> float:
         return self.requests / self.seconds if self.seconds > 0 else float("inf")
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests answered successfully (stale included —
+        a degraded answer is still an answer; ``stale`` counts them
+        separately)."""
+        return (self.requests - self.errors) / self.requests if self.requests else 1.0
 
     def latency_ms(self, fraction: float) -> float:
         return percentile(sorted(self.latencies), fraction) * 1000.0
@@ -113,6 +181,10 @@ class TrafficReport:
         return {
             "requests": self.requests,
             "errors": self.errors,
+            "retries": self.retries,
+            "stale": self.stale,
+            "timeouts": self.timeouts,
+            "availability": self.availability,
             "seconds": self.seconds,
             "concurrency": self.concurrency,
             "throughput_rps": self.throughput_rps,
@@ -150,6 +222,107 @@ def build_schedule(
     return schedule
 
 
+def http_client(
+    base_url: str,
+    *,
+    policy: RetryPolicy | None = None,
+    seed: int = 0,
+    extra_params: Sequence[tuple[str, str]] = (),
+) -> Callable[[TrafficRequest], TrafficOutcome]:
+    """A fault-tolerant ``issue`` callable driving a gateway over HTTP.
+
+    Per *worker thread*: one keep-alive :class:`HTTPConnection` with a
+    socket timeout (a SIGKILLed worker costs one timed-out attempt,
+    never a hung load test) and one jittered-backoff RNG.  Transport
+    errors and 5xx answers (overload 503, deadline 504, breaker sheds)
+    are retried per ``policy``; the returned :class:`TrafficOutcome`
+    records status, retries, timeout and the body's ``stale``/
+    ``cached`` flags so :func:`run_traffic` can report client-side
+    failure modes instead of hiding them in a single error count.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    split = urlsplit(base_url)
+    host, port = split.hostname, split.port
+    local = threading.local()
+
+    def _connection() -> HTTPConnection:
+        conn = getattr(local, "conn", None)
+        if conn is None:
+            conn = HTTPConnection(host, port, timeout=policy.timeout)
+            local.conn = conn
+        return conn
+
+    def _reset_connection() -> None:
+        conn = getattr(local, "conn", None)
+        if conn is not None:
+            conn.close()
+        local.conn = None
+
+    def _rng() -> random.Random:
+        rng = getattr(local, "rng", None)
+        if rng is None:
+            rng = random.Random(hash((seed, threading.get_ident())))
+            local.rng = rng
+        return rng
+
+    def issue(request: TrafficRequest) -> TrafficOutcome:
+        params: list[tuple[str, str]] = [("tenant", request.tenant)]
+        if request.top_k is not None:
+            params.append(("top_k", str(request.top_k)))
+        if request.context is not None:
+            params.extend(("context", spec) for spec in request.context)
+        params.extend(extra_params)
+        path = "/rank?" + urlencode(params)
+        retries = 0
+        timed_out = False
+        last_error: str | None = None
+        last_status = 0
+        for attempt in range(policy.retries + 1):
+            if attempt:
+                retries += 1
+                time.sleep(policy.delay(attempt, _rng()))
+            try:
+                conn = _connection()
+                conn.request("GET", path)
+                response = conn.getresponse()
+                payload = response.read()
+                last_status = response.status
+            except (OSError, HTTPException) as exc:
+                # Transport failure: the keep-alive connection may be
+                # wedged mid-stream — drop it, reconnect on retry.
+                _reset_connection()
+                timed_out = timed_out or isinstance(exc, (socket.timeout, TimeoutError))
+                last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            if last_status >= 500:
+                last_error = f"HTTP {last_status}"
+                timed_out = timed_out or last_status == 504
+                continue
+            try:
+                body = json.loads(payload) if payload else {}
+            except ValueError:
+                body = {}
+            return TrafficOutcome(
+                ok=last_status < 400,
+                status=last_status,
+                stale=bool(body.get("stale")),
+                cached=bool(body.get("cached")),
+                retries=retries,
+                timed_out=timed_out,
+                error=None if last_status < 400 else f"HTTP {last_status}",
+                body=body,
+            )
+        return TrafficOutcome(
+            ok=False,
+            status=last_status,
+            retries=retries,
+            timed_out=timed_out,
+            error=last_error,
+        )
+
+    return issue
+
+
 def run_traffic(
     issue: Callable[[TrafficRequest], object],
     config: TrafficConfig,
@@ -166,19 +339,30 @@ def run_traffic(
     if schedule is None:
         schedule = build_schedule(config)
     latencies_per_worker: list[list[float]] = [[] for _ in range(config.concurrency)]
-    errors_per_worker = [0] * config.concurrency
+    # errors / retries / stale / timeouts per worker, no cross-thread
+    # contention; a TrafficOutcome return feeds all four, any other
+    # return value only the error count (exception = one error).
+    tallies = [[0, 0, 0, 0] for _ in range(config.concurrency)]
     barrier = threading.Barrier(config.concurrency + 1)
 
     def worker(worker_id: int) -> None:
         slice_ = schedule[worker_id :: config.concurrency]
         latencies = latencies_per_worker[worker_id]
+        tally = tallies[worker_id]
         barrier.wait()
         for request in slice_:
             start = time.perf_counter()
             try:
-                issue(request)
+                result = issue(request)
             except Exception:  # noqa: BLE001 - count and continue
-                errors_per_worker[worker_id] += 1
+                tally[0] += 1
+            else:
+                if isinstance(result, TrafficOutcome):
+                    if not result.ok:
+                        tally[0] += 1
+                    tally[1] += result.retries
+                    tally[2] += 1 if result.stale else 0
+                    tally[3] += 1 if result.timed_out else 0
             latencies.append(time.perf_counter() - start)
 
     threads = [
@@ -196,8 +380,11 @@ def run_traffic(
     latencies = [sample for worker in latencies_per_worker for sample in worker]
     return TrafficReport(
         requests=len(latencies),
-        errors=sum(errors_per_worker),
+        errors=sum(tally[0] for tally in tallies),
         seconds=seconds,
         concurrency=config.concurrency,
         latencies=latencies,
+        retries=sum(tally[1] for tally in tallies),
+        stale=sum(tally[2] for tally in tallies),
+        timeouts=sum(tally[3] for tally in tallies),
     )

@@ -121,3 +121,87 @@ class TestFleet:
     def test_rejects_zero_workers(self):
         with pytest.raises(EngineError):
             FleetSupervisor(factory, workers=0)
+
+
+def ttl_factory(worker_info):
+    """A fleet whose worker 0 SIGKILLs itself shortly after boot —
+    the crash-loop detector's drill vector."""
+    from repro.service import FaultInjector
+
+    registry = TenantRegistry(build_tvtouch(), shards=2, max_sessions=64)
+    injector = (
+        FaultInjector(worker_ttl=0.3)
+        if worker_info.get("index") == 0
+        else FaultInjector()
+    )
+    return RankingService(
+        registry,
+        ServiceConfig(max_concurrency=8),
+        cache=InMemoryCacheAdapter(),
+        worker_info=dict(worker_info),
+        fault_injector=injector,
+    )
+
+
+class TestCrashLoopDetection:
+    def test_crash_looping_worker_is_marked_failed(self):
+        supervisor = FleetSupervisor(
+            ttl_factory,
+            workers=2,
+            port=0,
+            start_timeout=60.0,
+            respawn_backoff=0.05,
+            respawn_backoff_max=0.2,
+            crash_loop_threshold=3,
+            crash_loop_window=10.0,
+        )
+        supervisor.start()
+        try:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                health = supervisor.health()
+                if health["failed"]:
+                    break
+                time.sleep(0.1)
+            else:  # pragma: no cover - diagnostic path
+                pytest.fail(f"crash loop never detected: {supervisor.health()}")
+            health = supervisor.health()
+            assert health["status"] == "degraded"
+            assert [entry["index"] for entry in health["failed"]] == [0]
+            assert health["failed"][0]["deaths_in_window"] >= 3
+            assert supervisor.fleet_state.failed_workers == 1
+            respawns_at_detection = health["respawns"]
+            # The detector must stop feeding the slot: no further
+            # respawns accumulate once it is marked failed.
+            time.sleep(1.0)
+            later = supervisor.health()
+            assert later["respawns"] == respawns_at_detection
+            assert not later["pending_respawns"]
+            # The healthy sibling keeps serving...
+            assert get(supervisor.url, "/rank?tenant=alice&top_k=2")["items"]
+            # ...but reports the fleet degraded via /readyz.
+            import urllib.error
+
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(supervisor.url, "/readyz")
+            assert excinfo.value.code == 503
+            body = json.loads(excinfo.value.read())
+            assert "fleet_workers_failed" in body["problems"]
+        finally:
+            supervisor.stop()
+        assert_gone(supervisor.worker_pids())
+
+    def test_spaced_deaths_keep_respawning(self, fleet):
+        """Deaths spaced wider than the crash-loop window are bad luck,
+        not a crash loop: the supervisor must keep respawning."""
+        victim = fleet.worker_pids()[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            health = fleet.health()
+            if health["alive"] == 2 and health["respawns"] >= 1:
+                break
+            time.sleep(0.05)
+        health = fleet.health()
+        assert health["alive"] == 2
+        assert not health["failed"]

@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
@@ -155,3 +156,78 @@ class TestObservability:
             thread.join()
         assert not errors
         assert winners == ["channel5_news"] * 10
+
+
+class TestResilienceSurface:
+    def test_readyz_is_ready_on_a_healthy_gateway(self, gateway):
+        status, body = get_json(f"{gateway.url}/readyz")
+        assert status == 200
+        assert body["status"] == "ready"
+        assert body["problems"] == []
+        assert body["breaker"]["enabled"] is True
+
+    def test_readyz_degrades_while_the_breaker_is_open(self, gateway):
+        service = gateway.service
+        for _ in range(service.config.breaker_min_requests):
+            service.breaker.record_failure("anyone")
+        try:
+            get_json(f"{gateway.url}/readyz")
+        except urllib.error.HTTPError as error:
+            assert error.code == 503
+            body = json.loads(error.read())
+            assert body["status"] == "degraded"
+            assert "breaker_open" in body["problems"]
+        else:  # pragma: no cover - failure path
+            pytest.fail("/readyz answered 200 with the breaker open")
+
+    def test_shed_carries_retry_after_header(self, gateway):
+        service = gateway.service
+        for _ in range(service.config.breaker_min_requests):
+            service.breaker.record_failure("anyone")
+        try:
+            get_json(f"{gateway.url}/rank?tenant=anyone")
+        except urllib.error.HTTPError as error:
+            assert error.code == 503
+            assert int(error.headers["Retry-After"]) >= 1
+        else:  # pragma: no cover - failure path
+            pytest.fail("breaker-open rank was not shed")
+
+    def test_x_request_timeout_header_maps_to_the_timeout_param(self, gateway):
+        request = urllib.request.Request(
+            f"{gateway.url}/rank?tenant=alice&top_k=2",
+            headers={"X-Request-Timeout": "nonsense"},
+        )
+        try:
+            urllib.request.urlopen(request, timeout=10)
+        except urllib.error.HTTPError as error:
+            # The header reached the parse stage: a malformed value is
+            # a 400, proving the mapping (a good value just works).
+            assert error.code == 400
+            assert "timeout" in json.loads(error.read())["error"]
+        else:  # pragma: no cover - failure path
+            pytest.fail("malformed X-Request-Timeout was not rejected")
+        request = urllib.request.Request(
+            f"{gateway.url}/rank?tenant=alice&top_k=2",
+            headers={"X-Request-Timeout": "5"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 200
+
+    def test_metrics_exposes_resilience_section(self, gateway):
+        get_json(f"{gateway.url}/rank?tenant=a&context=Weekend")
+        status, body = get_json(f"{gateway.url}/metrics")
+        assert status == 200
+        resilience = body["resilience"]
+        assert resilience["breaker"]["enabled"] is True
+        assert resilience["breaker"]["state"] == "closed"
+        assert resilience["fault_injection"]["active"] is False
+        assert resilience["available_slots"] == 4
+        assert body["config"]["request_timeout"] == 2.0
+
+    def test_inflight_tracking_returns_to_idle(self, gateway):
+        get_json(f"{gateway.url}/rank?tenant=a&top_k=1")
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and gateway.inflight:
+            time.sleep(0.01)
+        assert gateway.inflight == 0
+        assert gateway.drain(0.5) is True

@@ -1,0 +1,142 @@
+"""The retrying HTTP load-test client (``repro.workloads.http_client``)."""
+
+import json
+import random
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.errors import EngineConfigError
+from repro.workloads import RetryPolicy, TrafficRequest, http_client
+
+
+def make_request(tenant="alice"):
+    return TrafficRequest(tenant=tenant, context=None, top_k=3)
+
+
+@pytest.fixture()
+def flaky_server():
+    """A gateway stand-in that fails each path N times, then answers.
+
+    ``server.failures_left[path]`` holds the number of 5xx answers
+    still owed before the 200.
+    """
+
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self):
+            with server.lock:
+                owed = server.failures_left.get(self.path, 0)
+                if owed > 0:
+                    server.failures_left[self.path] = owed - 1
+                server.requests_seen += 1
+            forced = server.status_for.get(self.path)
+            if forced is not None:
+                payload = json.dumps({"error": "forced"}).encode()
+                self.send_response(forced)
+            elif owed > 0:
+                payload = json.dumps({"error": "induced"}).encode()
+                self.send_response(503)
+            else:
+                payload = json.dumps(
+                    {"tenant": "alice", "items": [], "stale": False}
+                ).encode()
+                self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def log_message(self, *args):  # quiet
+            pass
+
+    server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    server.lock = threading.Lock()
+    server.failures_left = {}
+    server.status_for = {}
+    server.requests_seen = 0
+    server.url = f"http://127.0.0.1:{server.server_address[1]}"
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+FAST = RetryPolicy(timeout=5.0, retries=3, backoff=0.001, backoff_max=0.002)
+
+
+class TestRetries:
+    def test_5xx_is_retried_until_it_succeeds(self, flaky_server):
+        flaky_server.failures_left["/rank?tenant=alice&top_k=3"] = 2
+        outcome = http_client(flaky_server.url, policy=FAST)(make_request())
+        assert outcome.ok
+        assert outcome.status == 200
+        assert outcome.retries == 2
+        assert flaky_server.requests_seen == 3
+
+    def test_exhausted_retries_report_the_last_error(self, flaky_server):
+        flaky_server.failures_left["/rank?tenant=alice&top_k=3"] = 10
+        outcome = http_client(flaky_server.url, policy=FAST)(make_request())
+        assert not outcome.ok
+        assert outcome.retries == FAST.retries
+        assert outcome.error == "HTTP 503"
+        assert flaky_server.requests_seen == FAST.retries + 1
+
+    def test_4xx_is_never_retried(self, flaky_server):
+        flaky_server.status_for["/rank?tenant=alice&top_k=3"] = 400
+        outcome = http_client(flaky_server.url, policy=FAST)(make_request())
+        assert not outcome.ok
+        assert outcome.status == 400
+        assert outcome.retries == 0
+        assert flaky_server.requests_seen == 1  # the request is wrong; one try
+
+    def test_dead_server_times_out_without_hanging(self):
+        # A bound-but-never-accepting socket would block; a closed port
+        # refuses instantly — either way every attempt must come back
+        # as a transport error, not an exception.
+        import socket
+
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()  # now nothing listens on `port`
+        outcome = http_client(f"http://127.0.0.1:{port}", policy=FAST)(make_request())
+        assert not outcome.ok
+        assert outcome.retries == FAST.retries
+        assert outcome.error is not None
+
+    def test_body_flags_flow_into_the_outcome(self, flaky_server):
+        outcome = http_client(flaky_server.url, policy=FAST)(make_request())
+        assert outcome.stale is False and outcome.cached is False
+        assert outcome.body == {"tenant": "alice", "items": [], "stale": False}
+
+
+class TestRetryPolicy:
+    def test_delay_grows_and_caps(self):
+        policy = RetryPolicy(backoff=0.1, backoff_max=0.3, jitter=0.0)
+        rng = random.Random(0)
+        assert policy.delay(1, rng) == pytest.approx(0.1)
+        assert policy.delay(2, rng) == pytest.approx(0.2)
+        assert policy.delay(3, rng) == pytest.approx(0.3)
+        assert policy.delay(10, rng) == pytest.approx(0.3)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(backoff=0.1, backoff_max=0.1, jitter=0.5)
+        rng = random.Random(7)
+        for _ in range(50):
+            delay = policy.delay(1, rng)
+            assert 0.1 <= delay <= 0.15
+
+    def test_validation(self):
+        with pytest.raises(EngineConfigError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(EngineConfigError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(EngineConfigError):
+            RetryPolicy(backoff=0.0)
+        with pytest.raises(EngineConfigError):
+            RetryPolicy(backoff=0.2, backoff_max=0.1)
+        with pytest.raises(EngineConfigError):
+            RetryPolicy(jitter=-0.1)
