@@ -211,7 +211,9 @@ class FleetSupervisor:
     crash_loop_threshold / crash_loop_window:
         ``threshold`` deaths of one worker slot within ``window``
         seconds marks the slot failed — no further respawns, and
-        :meth:`health` degrades.
+        :meth:`health` degrades.  Clean exits (exitcode 0 — a worker
+        SIGTERMed directly that drained and left gracefully) are
+        respawned without counting toward the window.
     """
 
     def __init__(
@@ -335,8 +337,16 @@ class FleetSupervisor:
         process.start()
         return _Worker(index, process, ready)
 
-    def _note_death(self, index: int, now: float) -> None:
-        """Record one unexpected death; schedule a respawn or give up."""
+    def _note_death(self, index: int, now: float, exitcode: int | None) -> None:
+        """Record one worker death; schedule a respawn or give up."""
+        if exitcode == 0:
+            # A clean exit — the worker's own graceful handler drained
+            # and returned 0 (an operator or orchestrator SIGTERMed it
+            # directly).  That is a *cycle*, not a crash: respawn after
+            # the base backoff without feeding the crash-loop window,
+            # or a few routine cycles would fence the slot for good.
+            self._pending.append((now + self.respawn_backoff, index))
+            return
         deaths = self._deaths.setdefault(index, deque())
         deaths.append(now)
         while deaths and now - deaths[0] > self.crash_loop_window:
@@ -386,6 +396,11 @@ class FleetSupervisor:
                 dead = []
             if not dead:
                 continue
+            for sentinel in dead:
+                # The sentinel (an fd closing) fires a beat before the
+                # child is reapable: join briefly — outside the lock —
+                # so ``exitcode`` below is the real code, not None.
+                sentinels[sentinel].process.join(timeout=1.0)
             with self._lock:
                 if self._stopping:
                     return
@@ -395,7 +410,7 @@ class FleetSupervisor:
                     if worker not in self._fleet:
                         continue
                     self._fleet.remove(worker)
-                    self._note_death(worker.index, now)
+                    self._note_death(worker.index, now, worker.process.exitcode)
 
     def stop(self) -> None:
         """SIGTERM fan-out, grace, SIGKILL stragglers, release the port."""

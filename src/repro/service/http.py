@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
@@ -211,15 +212,25 @@ class RankingHTTPServer(ThreadingHTTPServer):
         with self._inflight_lock:
             return self._inflight
 
-    def drain(self, grace: float) -> bool:
+    def drain(self, grace: float, settle: float = 0.05) -> bool:
         """Wait up to ``grace`` seconds for in-flight requests to finish.
 
-        Call after ``shutdown()`` (no new requests are being accepted)
-        and before ``server_close()``.  Returns True when the server
-        went idle within the grace, False when stragglers remain (they
-        are daemon threads; closing anyway is safe).
+        Call after ``shutdown()`` (no new connections are being
+        accepted) and before ``server_close()``.  Idle alone is not
+        proof: a connection accepted just before shutdown whose handler
+        thread has not reached its method yet is invisible to the
+        counter, so idle must still hold after a ``settle`` interval
+        before it is believed.  Returns True when the server went idle
+        within the grace, False when stragglers remain (they are daemon
+        threads; closing anyway is safe).
         """
-        return self._idle.wait(timeout=max(0.0, grace))
+        deadline = time.monotonic() + max(0.0, grace)
+        while True:
+            if not self._idle.wait(timeout=max(0.0, deadline - time.monotonic())):
+                return False
+            time.sleep(min(settle, max(0.0, deadline - time.monotonic())))
+            if self.inflight == 0:
+                return True
 
     @property
     def url(self) -> str:

@@ -77,6 +77,7 @@ from repro.engine.requests import RankRequest
 from repro.errors import EngineError, ReproError
 from repro.service.metrics import ServiceMetrics
 from repro.service.resilience import (
+    BreakerDecision,
     CircuitBreaker,
     Deadline,
     DeadlineExceeded,
@@ -112,7 +113,9 @@ class ServiceConfig:
     Resilience tunables: ``request_timeout`` is the default per-request
     deadline (``None`` disables deadlines and the rank executor
     entirely); a client's ``timeout`` parameter / ``X-Request-Timeout``
-    header is clamped to ``max_request_timeout``.  ``serve_stale``
+    header is clamped into ``[min_request_timeout, max_request_timeout]``
+    (the floor keeps a near-zero client timeout from manufacturing
+    guaranteed 504s).  ``serve_stale``
     allows degraded-mode answers from the response cache (recently
     expired or digest-stale bodies no older than ``stale_max_age``
     seconds) on overload, breaker-open, engine error or deadline
@@ -125,6 +128,7 @@ class ServiceConfig:
     default_top_k: int | None = None
     include_timings: bool = False
     request_timeout: float | None = 2.0
+    min_request_timeout: float = 0.05
     max_request_timeout: float = 30.0
     serve_stale: bool = True
     stale_max_age: float = 300.0
@@ -151,6 +155,11 @@ class ServiceConfig:
         if self.max_request_timeout <= 0:
             raise EngineError(
                 f"max_request_timeout must be positive, got {self.max_request_timeout!r}"
+            )
+        if not 0 <= self.min_request_timeout <= self.max_request_timeout:
+            raise EngineError(
+                f"min_request_timeout must be in [0, max_request_timeout], got "
+                f"{self.min_request_timeout!r} (max {self.max_request_timeout!r})"
             )
         if self.stale_max_age < 0:
             raise EngineError(
@@ -466,6 +475,7 @@ class RankingService:
                     request.timeout,
                     self.config.request_timeout,
                     self.config.max_request_timeout,
+                    self.config.min_request_timeout,
                 )
                 deadline = (
                     Deadline.after(effective_timeout)
@@ -498,9 +508,16 @@ class RankingService:
                     body = self._serve_hit(request, cached_body)
                 return self._reply(clock, 200, body, outcome="ok_cached", cached=True)
 
+        # While a breaker core is half-open, this request may *be* its
+        # single probe; every termination path below must then settle
+        # it — record an outcome, or cancel via _settle_probe — or the
+        # probe slot leaks and the breaker never recovers.
+        breaker_probe: BreakerDecision | None = None
         if self.breaker is not None:
             with clock.stage("breaker"):
                 decision = self.breaker.allow(request.tenant)
+            if decision.allowed and decision.probes:
+                breaker_probe = decision
             if not decision.allowed:
                 self.metrics.count("resilience", "shed")
                 self.metrics.count("resilience", "shed.breaker")
@@ -529,6 +546,7 @@ class RankingService:
                 admit_timeout = min(admit_timeout, max(0.0, deadline.remaining()))
             admitted = self._admission.acquire(timeout=admit_timeout)
         if not admitted:
+            self._settle_probe(breaker_probe)  # shed: no outcome will follow
             self.metrics.count("resilience", "shed")
             self.metrics.count("resilience", "shed.overload")
             stale = self._try_stale(clock, request, lookup, reason="overload")
@@ -604,8 +622,21 @@ class RankingService:
                 body, served_hit = self._execute(work, None, release)
         except (_FutureTimeout, DeadlineExceeded):
             self.metrics.count("resilience", "timeouts")
+            # A deadline the client shrank below the server default says
+            # nothing about engine health: counting those 504s as breaker
+            # failures would let one misconfigured (or hostile) client
+            # open the *global* circuit and shed every tenant's traffic.
+            client_shortened = (
+                request.timeout is not None
+                and self.config.request_timeout is not None
+                and effective_timeout < self.config.request_timeout
+            )
             if self.breaker is not None:
-                self.breaker.record_failure(request.tenant)
+                if client_shortened:
+                    self.metrics.count("resilience", "timeouts.client")
+                    self._settle_probe(breaker_probe)
+                else:
+                    self.breaker.record_failure(request.tenant)
             stale = self._try_stale(clock, request, lookup, reason="deadline")
             if stale is not None:
                 return stale
@@ -622,6 +653,7 @@ class RankingService:
                 outcome="timeout",
             )
         except ReproError as exc:
+            self._settle_probe(breaker_probe)  # a 400 records no outcome
             return self._reply(clock, 400, {"error": str(exc)}, outcome="bad_request")
         except Exception as exc:  # noqa: BLE001 - the gateway must answer
             self.metrics.count("resilience", "rank_errors")
@@ -645,6 +677,17 @@ class RankingService:
             outcome="ok_cached" if served_hit else "ok",
             cached=served_hit,
         )
+
+    def _settle_probe(self, decision: BreakerDecision | None) -> None:
+        """Hand back a half-open probe this request held but cannot settle.
+
+        Called on termination paths that record no engine outcome
+        (admission shed, client-error 400, client-shortened timeout) —
+        otherwise the breaker's single probe slot leaks and it wedges
+        in half-open, denying every request, forever.
+        """
+        if self.breaker is not None and decision is not None:
+            self.breaker.cancel_probe(decision)
 
     @staticmethod
     def _execute(work, deadline: Deadline | None, release: _ReleaseOnce):
@@ -866,6 +909,7 @@ class RankingService:
             "max_concurrency": self.config.max_concurrency,
             "queue_timeout": self.config.queue_timeout,
             "request_timeout": self.config.request_timeout,
+            "min_request_timeout": self.config.min_request_timeout,
             "max_request_timeout": self.config.max_request_timeout,
             "serve_stale": self.config.serve_stale,
             "stale_max_age": self.config.stale_max_age,

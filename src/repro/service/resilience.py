@@ -146,19 +146,26 @@ def deadline_scope(deadline: Deadline | None) -> Iterator[Deadline | None]:
 
 
 def clamp_timeout(
-    requested: float | None, default: float | None, maximum: float
+    requested: float | None,
+    default: float | None,
+    maximum: float,
+    minimum: float = 0.0,
 ) -> float | None:
-    """The effective request timeout: client override clamped to ``maximum``.
+    """The effective request timeout: client override clamped into
+    ``[minimum, maximum]``.
 
     ``None`` requested means "use the service default"; a ``None``
     default disables deadlines entirely (overrides included — a client
-    cannot re-enable a feature the deployment turned off).
+    cannot re-enable a feature the deployment turned off).  The floor
+    exists because near-zero client timeouts guarantee 504s whatever
+    the engine's health — unclamped they are free ammunition against
+    any failure accounting downstream.
     """
     if default is None:
         return None
     if requested is None:
         return default
-    return min(requested, maximum)
+    return min(max(requested, minimum), maximum)
 
 
 # ---------------------------------------------------------------------------
@@ -166,24 +173,34 @@ def clamp_timeout(
 # ---------------------------------------------------------------------------
 
 class BreakerDecision(NamedTuple):
-    """One admission verdict from :meth:`CircuitBreaker.allow`."""
+    """One admission verdict from :meth:`CircuitBreaker.allow`.
+
+    ``probes`` names the scopes where this request *is* the half-open
+    probe.  Holding a probe is a debt: exactly one of
+    :meth:`CircuitBreaker.record_success`,
+    :meth:`CircuitBreaker.record_failure` or
+    :meth:`CircuitBreaker.cancel_probe` must follow, or the core wedges
+    in half-open with its single probe slot taken forever.
+    """
 
     allowed: bool
     state: str
     retry_after: float
     scope: str  # "global", "tenant", or "" when allowed
+    probes: tuple[str, ...] = ()
 
 
 class _BreakerCore:
     """One rolling-window breaker state machine (no locking here)."""
 
-    __slots__ = ("state", "events", "probe_at", "probe_inflight")
+    __slots__ = ("state", "events", "probe_at", "probe_inflight", "probe_started_at")
 
     def __init__(self):
         self.state = "closed"
         self.events: deque[tuple[float, bool]] = deque()
         self.probe_at = 0.0
         self.probe_inflight = False
+        self.probe_started_at = 0.0
 
 
 class CircuitBreaker:
@@ -275,9 +292,15 @@ class CircuitBreaker:
             self._transition(core, scope, "half_open")
         # half-open: exactly one probe in flight at a time.
         if core.probe_inflight:
-            return BreakerDecision(False, "half_open", self.cooldown * 0.1, scope)
+            if now - core.probe_started_at < self.cooldown:
+                return BreakerDecision(False, "half_open", self.cooldown * 0.1, scope)
+            # The probe's outcome never arrived (its owner died, or a
+            # termination path failed to settle it): reclaim the slot
+            # rather than wedging in half-open forever.
+            core.probe_inflight = False
         core.probe_inflight = True
-        return BreakerDecision(True, "half_open", 0.0, "")
+        core.probe_started_at = now
+        return BreakerDecision(True, "half_open", 0.0, "", probes=(scope,))
 
     def _record_core(self, core: _BreakerCore, scope: str, ok: bool, now: float) -> None:
         if core.state == "half_open":
@@ -310,6 +333,15 @@ class CircuitBreaker:
             self._tenants.popitem(last=False)
         return core
 
+    def _cancel_probes(self, probes: tuple[str, ...]) -> None:
+        for scope in probes:
+            if scope == "global":
+                core: _BreakerCore | None = self._global
+            else:
+                core = self._tenants.get(scope.partition(":")[2])
+            if core is not None and core.state == "half_open" and core.probe_inflight:
+                core.probe_inflight = False
+
     # -- the pipeline surface ----------------------------------------------
     def allow(self, tenant: str) -> BreakerDecision:
         """May a request for ``tenant`` reach the engine right now?"""
@@ -322,7 +354,32 @@ class CircuitBreaker:
             if core is None:
                 return decision
             tenant_decision = self._allow_core(core, f"tenant:{tenant}", now)
-            return tenant_decision if not tenant_decision.allowed else decision
+            if not tenant_decision.allowed:
+                # The global core may just have made this request its
+                # half-open probe; the tenant denial means no outcome
+                # will ever be recorded for it, so hand the slot back
+                # now or the global breaker can never recover.
+                self._cancel_probes(decision.probes)
+                return tenant_decision
+            if tenant_decision.probes:
+                decision = decision._replace(
+                    probes=decision.probes + tenant_decision.probes
+                )
+            return decision
+
+    def cancel_probe(self, decision: BreakerDecision) -> None:
+        """Return half-open probe slots a request could not settle.
+
+        The pipeline calls this on every termination path that records
+        no engine outcome — admission shed, client-error 400,
+        client-shortened timeout.  Without it a probe admitted by
+        :meth:`allow` leaks, every later request is denied, and the
+        breaker never leaves half-open.
+        """
+        if not decision.probes:
+            return
+        with self._lock:
+            self._cancel_probes(decision.probes)
 
     def record_success(self, tenant: str) -> None:
         with self._lock:

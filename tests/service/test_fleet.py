@@ -191,6 +191,70 @@ class TestCrashLoopDetection:
             supervisor.stop()
         assert_gone(supervisor.worker_pids())
 
+    def test_clean_exits_do_not_count_toward_the_crash_loop(self):
+        """Exitcode 0 is a graceful cycle (direct SIGTERM, drained,
+        returned 0), not a crash: it must be respawned without feeding
+        the crash-loop window — an operator cycling one worker a few
+        times must never fence the slot."""
+        supervisor = FleetSupervisor(factory, workers=1, port=0)
+        try:
+            now = time.monotonic()
+            for _ in range(5):
+                supervisor._note_death(0, now, 0)
+            assert not supervisor._failed  # clean exits: never fenced
+            assert len(supervisor._pending) == 5  # but always respawned
+            supervisor._pending.clear()
+            for _ in range(3):
+                supervisor._note_death(0, now, -signal.SIGKILL)
+            assert 0 in supervisor._failed  # real crashes still fence
+        finally:
+            supervisor.stop()
+
+    def test_graceful_sigterm_cycles_are_respawned_not_fenced(self):
+        supervisor = FleetSupervisor(
+            factory,
+            workers=2,
+            port=0,
+            start_timeout=60.0,
+            respawn_backoff=0.05,
+            respawn_backoff_max=0.2,
+            crash_loop_threshold=3,
+            crash_loop_window=60.0,
+        )
+        supervisor.start()
+        try:
+            for cycle in range(3):
+                victim = next(
+                    entry["pid"]
+                    for entry in supervisor.health()["fleet"]
+                    if entry["index"] == 0 and entry["alive"]
+                )
+                os.kill(victim, signal.SIGTERM)  # worker drains, exits 0
+                deadline = time.monotonic() + 20.0
+                while time.monotonic() < deadline:
+                    health = supervisor.health()
+                    pids = [
+                        entry["pid"]
+                        for entry in health["fleet"]
+                        if entry["index"] == 0 and entry["alive"]
+                    ]
+                    if health["alive"] == 2 and pids and victim not in pids:
+                        break
+                    time.sleep(0.05)
+                else:  # pragma: no cover - diagnostic path
+                    pytest.fail(
+                        f"worker 0 not respawned after graceful cycle "
+                        f"{cycle}: {supervisor.health()}"
+                    )
+            # Three clean exits inside one window: cycling, not crashing.
+            health = supervisor.health()
+            assert not health["failed"]
+            assert health["status"] == "ok"
+            assert supervisor.fleet_state.failed_workers == 0
+        finally:
+            supervisor.stop()
+        assert_gone(supervisor.worker_pids())
+
     def test_spaced_deaths_keep_respawning(self, fleet):
         """Deaths spaced wider than the crash-loop window are bad luck,
         not a crash loop: the supervisor must keep respawning."""

@@ -110,6 +110,16 @@ class TestDeadline:
         assert clamp_timeout(99.0, 2.0, 30.0) == 30.0  # clamped to max
         assert clamp_timeout(5.0, None, 30.0) is None  # deadlines disabled
         assert clamp_timeout(None, None, 30.0) is None
+        # The floor: a near-zero client timeout cannot manufacture
+        # guaranteed 504s (which would poison the breaker's accounting).
+        assert clamp_timeout(0.001, 2.0, 30.0, minimum=0.05) == 0.05
+        assert clamp_timeout(None, 2.0, 30.0, minimum=5.0) == 2.0  # default wins
+
+    def test_min_timeout_floor_config_validated(self):
+        with pytest.raises(EngineError):
+            ServiceConfig(min_request_timeout=-1.0)
+        with pytest.raises(EngineError):
+            ServiceConfig(min_request_timeout=5.0, max_request_timeout=1.0)
 
     def test_timeout_request_parameter(self):
         request = ServiceRequest.from_params(
@@ -302,6 +312,55 @@ class TestCircuitBreaker:
             breaker.record_failure(f"tenant_{index}")
         assert breaker.snapshot()["tracked_tenants"] <= 8
 
+    def test_probe_decision_names_its_scopes(self):
+        breaker, clock = make_breaker()
+        for _ in range(4):
+            breaker.record_failure("t")
+        clock.advance(5.1)
+        probe = breaker.allow("t")
+        assert probe.allowed
+        assert "global" in probe.probes and "tenant:t" in probe.probes
+        assert breaker.allow("fresh").probes == ()  # closed path: no debt
+
+    def test_cancelled_probe_frees_the_slot(self):
+        breaker, clock = make_breaker()
+        for _ in range(4):
+            breaker.record_failure("t")
+        clock.advance(5.1)
+        probe = breaker.allow("t")
+        assert probe.allowed
+        assert not breaker.allow("t").allowed  # single probe out
+        # The probe's request terminated without an engine outcome
+        # (admission shed, 400): unless cancelled, no record_* call
+        # ever settles it and the breaker wedges half-open forever.
+        breaker.cancel_probe(probe)
+        next_probe = breaker.allow("t")
+        assert next_probe.allowed and next_probe.probes
+
+    def test_lost_probe_is_reclaimed_after_cooldown(self):
+        breaker, clock = make_breaker()
+        for _ in range(4):
+            breaker.record_failure("t")
+        clock.advance(5.1)
+        assert breaker.allow("t").allowed  # probe admitted, owner dies
+        assert not breaker.allow("t").allowed
+        clock.advance(5.1)  # a whole cooldown with no outcome: presumed lost
+        assert breaker.allow("t").allowed  # the backstop reclaims the slot
+
+    def test_tenant_denial_cancels_the_global_probe(self):
+        breaker, clock = make_breaker(min_requests=2)
+        breaker.record_failure("other")
+        breaker.record_failure("other")  # opens global (and tenant 'other')
+        clock.advance(3.0)
+        breaker.record_failure("bad")  # tenant 'bad' opens 3s later
+        breaker.record_failure("bad")
+        clock.advance(2.1)  # global cooldown over; 'bad' still open
+        denied = breaker.allow("bad")  # global grants its probe, tenant denies
+        assert not denied.allowed and denied.scope == "tenant:bad"
+        # The global probe the denied request briefly held must have
+        # been handed back, or the whole service is blacked out.
+        assert breaker.allow("fresh").allowed
+
 
 # ---------------------------------------------------------------------------
 # Breaker in the pipeline + stale serving
@@ -368,6 +427,75 @@ class TestBreakerInPipeline:
         assert status == 503
         assert "fleet_workers_failed" in body["problems"]
         assert body["failed_workers"] == 1
+        service.close()
+
+    def make_half_open_service(self, **config_overrides):
+        """A service whose breaker just finished its cooldown for
+        'alice': the next request through is the half-open probe."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            min_requests=2,
+            cooldown=5.0,
+            jitter=0.0,
+            clock=clock,
+            rng=FixedRng(0.0),
+        )
+        service = make_service(breaker_config(**config_overrides), breaker=breaker)
+        breaker.record_failure("alice")
+        breaker.record_failure("alice")
+        assert breaker.state() == "open"
+        clock.advance(5.1)
+        return service, breaker
+
+    def test_shed_probe_request_cannot_wedge_the_breaker(self):
+        service, breaker = self.make_half_open_service()
+        # Saturate admission so the half-open probe request is shed.
+        for _ in range(4):
+            assert service._admission.acquire(timeout=1.0)
+        try:
+            reply = service.rank({"tenant": ["alice"], "top_k": ["3"]})
+            assert reply.status == 503
+        finally:
+            for _ in range(4):
+                service._admission.release()
+        # The shed request held the probe but could never record an
+        # outcome; unless the probe was handed back, the breaker is
+        # wedged half-open and every request from now on is denied —
+        # a permanent outage.
+        assert breaker.allow("alice").allowed
+        service.close()
+
+    def test_bad_request_probe_cannot_wedge_the_breaker(self):
+        service, breaker = self.make_half_open_service()
+        reply = service.rank({"tenant": ["alice"], "context": ["Breakfast:nope"]})
+        assert reply.status == 400  # the probe request died as a client error
+        assert breaker.allow("alice").allowed
+        service.close()
+
+    def test_client_shortened_timeout_does_not_feed_the_breaker(self):
+        # One hostile/misconfigured client spamming tiny timeouts must
+        # not open the global circuit for every tenant.
+        service = make_service(
+            ServiceConfig(
+                max_concurrency=4,
+                request_timeout=5.0,
+                min_request_timeout=0.05,
+                breaker_min_requests=2,
+                breaker_window=60.0,
+                breaker_cooldown=60.0,
+            ),
+            fault_injector=FaultInjector(
+                rank_delay=1.0, tenants=frozenset({"alice"})
+            ),
+        )
+        for _ in range(3):
+            reply = service.rank({"tenant": ["alice"], "timeout": ["0.08"]})
+            assert reply.status == 504
+        assert service.breaker.state() == "closed"
+        assert service.rank({"tenant": ["bob"], "context": ["Weekend"]}).ok
+        counters = service.metrics.counters("resilience")
+        assert counters.get("timeouts") == 3
+        assert counters.get("timeouts.client") == 3
         service.close()
 
     def test_overload_503_carries_retry_after(self):
