@@ -17,6 +17,12 @@ ephemeral port:
    answers must keep flowing through the kill/respawn churn, ``/readyz``
    must stay ready (respawned slots are not fenced), and shutdown must
    again leave no orphans.
+4. **Snapshot boot** — ``repro snapshot build`` writes a world snapshot,
+   ``snapshot inspect`` verifies it, then a 2-worker fleet boots with
+   ``--snapshot``: ``/healthz`` must report a snapshot-loaded world
+   (never a rebuild), ranked answers must match Table 1 exactly, and
+   after SIGKILLing a worker the respawned slot must answer again —
+   still snapshot-loaded.
 
 Both long-lived phases also assert the liveness/readiness split:
 ``/healthz`` says "the process is up", ``/readyz`` says "this worker
@@ -269,10 +275,79 @@ def smoke_chaos_fleet(workers: int = 2) -> None:
     print("smoke: chaos fleet clean shutdown ok, no orphan workers")
 
 
+def smoke_snapshot_boot(workers: int = 2) -> None:
+    """Build a snapshot, boot the fleet from it, survive a worker kill."""
+    import tempfile
+
+    snapshot_dir = tempfile.mkdtemp(prefix="repro-smoke-snap-")
+    snapshot_path = os.path.join(snapshot_dir, "world.snap")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")])
+    )
+    for sub in (["build", snapshot_path], ["inspect", snapshot_path]):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "snapshot", *sub],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, (sub, result.stdout, result.stderr)
+    assert "digest" in result.stdout, result.stdout
+    print(f"smoke: snapshot built and verified at {snapshot_path}")
+
+    process = spawn("--workers", str(workers), "--snapshot", snapshot_path)
+    try:
+        base_url = wait_for_announce(process)
+        worker_pids = collect_worker_pids(process, workers)
+        print(f"smoke: snapshot fleet of {workers} announced (pids {worker_pids})")
+
+        health = get_json(f"{base_url}/healthz")
+        source = health["worker"].get("world_source")
+        assert source in ("snapshot", "snapshot+shm", "attach"), health
+        print(f"smoke: snapshot fleet world_source={source} (no rebuild)")
+
+        ranked = get_json(
+            f"{base_url}/rank?tenant=alice&context=Weekend&context=Breakfast&top_k=3"
+        )
+        top = assert_table1_winner(ranked)
+        print(f"smoke: snapshot fleet /rank ok (top={top['document']} score={top['score']})")
+
+        # Kill one worker hard; the respawned slot must come back
+        # serving from the same pre-loaded snapshot, never a rebuild.
+        os.kill(worker_pids[0], signal.SIGKILL)
+        deadline = time.time() + 30
+        recovered = None
+        while time.time() < deadline:
+            try:
+                recovered = get_json(
+                    f"{base_url}/rank?tenant=alice&context=Weekend"
+                    "&context=Breakfast&top_k=3"
+                )
+                health = get_json(f"{base_url}/healthz")
+                if health["worker"]["pid"] != worker_pids[0]:
+                    break
+            except (OSError, http.client.HTTPException):
+                time.sleep(0.1)
+        assert recovered is not None, "no ranked answer after worker kill"
+        assert_table1_winner(recovered)
+        assert health["worker"].get("world_source") in (
+            "snapshot",
+            "snapshot+shm",
+            "attach",
+        ), health
+        print("smoke: killed worker respawned, still snapshot-loaded, Table 1 holds")
+    finally:
+        shutdown(process, "snapshot fleet")
+    print("smoke: snapshot fleet clean shutdown ok")
+
+
 PHASES = {
     "single": smoke_single_process,
     "fleet": smoke_fleet,
     "chaos": smoke_chaos_fleet,
+    "snapshot": smoke_snapshot_boot,
 }
 
 

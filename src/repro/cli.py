@@ -1,12 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the library's everyday workflows:
+Six commands cover the library's everyday workflows:
 
 * ``example``  — run the paper's worked example (Table 1 + SQL query);
 * ``rank``     — score a rule file against a context description;
 * ``mine``     — mine scored preference rules from a JSON-lines history;
 * ``scaling``  — a quick naive-vs-factorised scaling measurement;
-* ``serve``    — the HTTP/JSON ranking gateway over a tenant fleet.
+* ``serve``    — the HTTP/JSON ranking gateway over a tenant fleet;
+* ``snapshot`` — build or inspect a persistent world snapshot
+  (``serve --snapshot`` boots the fleet from one instead of rebuilding).
 
 The CLI is deliberately thin: every ranking path goes through the
 :class:`~repro.engine.RankingEngine` facade (``serve`` through the
@@ -104,6 +106,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes; > 1 runs the pre-fork fleet on one shared port",
     )
+    serve.add_argument(
+        "--snapshot", metavar="PATH",
+        help="boot the world from this snapshot (see 'repro snapshot build'); "
+        "a missing or stale snapshot falls back to a source rebuild",
+    )
+    serve.add_argument(
+        "--journal", metavar="PATH",
+        help="persist per-tenant context overlays to this append-only journal "
+        "(sessions survive restarts)",
+    )
+    serve.add_argument(
+        "--start-method", choices=("auto", "fork", "spawn"), default="auto",
+        help="fleet worker start method (auto prefers fork; spawn needs "
+        "SO_REUSEPORT and re-loads the world per worker from --snapshot)",
+    )
     fault = serve.add_argument_group(
         "fault injection", "chaos knobs (defaults from REPRO_FAULT_* env vars)"
     )
@@ -144,6 +161,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="response-cache TTL in seconds; 0 disables expiry",
     )
     serve.add_argument("--verbose", action="store_true", help="log each HTTP request")
+
+    snapshot = commands.add_parser(
+        "snapshot", help="build or inspect a persistent world snapshot"
+    )
+    snapshot_commands = snapshot.add_subparsers(dest="snapshot_command", required=True)
+    snapshot_build = snapshot_commands.add_parser(
+        "build", help="serialise a world (plus derived caches) to a snapshot file"
+    )
+    snapshot_build.add_argument("output", help="snapshot file to write")
+    snapshot_build.add_argument(
+        "--world", choices=("tvtouch",), default="tvtouch",
+        help="which built-in world to snapshot",
+    )
+    snapshot_build.add_argument(
+        "--no-basis", action="store_true",
+        help="omit the compiled documents-by-rules basis matrix",
+    )
+    snapshot_inspect = snapshot_commands.add_parser(
+        "inspect", help="verify a snapshot and print its header and sections"
+    )
+    snapshot_inspect.add_argument("path", help="snapshot file to inspect")
     return parser
 
 
@@ -222,17 +260,117 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _preload_world(snapshot_path: str | None):
+    """The parent's world: snapshot-loaded when possible, else built.
+
+    Returns ``(world, source, segment_name)`` — ``segment_name`` is the
+    shared-memory segment spawned workers attach to for a zero-copy
+    view of the basis matrix.
+    """
+    if not snapshot_path:
+        return build_tvtouch(), "built", None
+    from repro.store import load_or_build
+
+    loaded = load_or_build(
+        snapshot_path,
+        build_tvtouch,
+        on_fallback=lambda reason: print(
+            f"repro serve: snapshot fallback ({reason}); rebuilding from source",
+            file=sys.stderr,
+            flush=True,
+        ),
+    )
+    return loaded, loaded.source, loaded.segment_name
+
+
+class _ServeFactory:
+    """The per-worker service factory behind ``repro serve``.
+
+    Module-level and built from a plain-primitive ``config`` dict so it
+    pickles, which the ``spawn`` start method requires.  Fork workers
+    (and the single-process path) receive the parent's pre-loaded
+    ``world`` by reference — a respawned fork worker never rebuilds;
+    spawn workers start with ``world=None`` and restore it themselves
+    from ``config["snapshot"]``, attaching to the parent's shared
+    matrix segment when one exists.
+    """
+
+    def __init__(self, config, world=None, world_source=None, rules=None):
+        self.config = config
+        self.world = world
+        self.world_source = world_source
+        self.rules = rules
+
+    def _world(self):
+        if self.world is not None:
+            return self.world, self.world_source
+        config = self.config
+        if config.get("snapshot"):
+            from repro.store import load_or_build, load_world
+
+            segment = config.get("segment")
+            if segment:
+                try:
+                    loaded = load_world(config["snapshot"], attach=segment)
+                    return loaded, loaded.source
+                except (ReproError, OSError):
+                    pass  # segment died with the parent; load privately
+            loaded = load_or_build(config["snapshot"], build_tvtouch)
+            return loaded, loaded.source
+        return build_tvtouch(), "built"
+
+    def __call__(self, worker_info=None):
+        from repro.cache import InMemoryCacheAdapter, NoCacheAdapter
+        from repro.service import FaultInjector, RankingService, ServiceConfig
+        from repro.tenants import TenantRegistry
+
+        config = self.config
+        world, source = self._world()
+        rules = self.rules
+        if rules is None and config.get("rules_path"):
+            rules = load_rules(config["rules_path"])
+        if config["cache"] == "none":
+            cache = NoCacheAdapter()
+        else:
+            cache = InMemoryCacheAdapter(
+                max_entries=config["cache_entries"], ttl=config["cache_ttl"] or None
+            )
+        registry = TenantRegistry(
+            world,
+            rules=rules,
+            shards=config["shards"],
+            max_sessions=config["max_sessions"],
+            journal=config.get("journal"),
+        )
+        info = dict(worker_info or {})
+        info["world_source"] = source
+        return RankingService(
+            registry,
+            ServiceConfig(
+                max_concurrency=config["max_concurrency"],
+                queue_timeout=config["queue_timeout"],
+                request_timeout=config["request_timeout"] or None,
+                stale_max_age=config["stale_max_age"],
+                serve_stale=config["serve_stale"],
+                breaker_enabled=config["breaker_enabled"],
+            ),
+            cache=cache,
+            worker_info=info,
+            fault_injector=FaultInjector(**config["injector"]),
+        )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.cache import InMemoryCacheAdapter, NoCacheAdapter
-    from repro.service import FaultInjector, RankingService, ServiceConfig
-    from repro.service.fleet import serve_fleet
+    from repro.service import FaultInjector
+    from repro.service.fleet import serve_fleet, supports_fleet
     from repro.service.http import serve as run_gateway
-    from repro.tenants import TenantRegistry
 
     if args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
-    world = build_tvtouch()  # built pre-fork; workers share it copy-on-write
+    # Built (or snapshot-loaded) pre-fork; fork workers share it
+    # copy-on-write, spawn workers re-load it from the snapshot.
+    world, world_source, segment_name = _preload_world(args.snapshot)
     rules = None
     if args.rules:
         try:
@@ -282,37 +420,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    def make_service(worker_info=None):
-        # Each fleet worker runs this after the fork: its own registry,
-        # its own response cache — workers share no mutable state.
-        if args.cache == "none":
-            cache = NoCacheAdapter()
-        else:
-            cache = InMemoryCacheAdapter(
-                max_entries=args.cache_entries, ttl=args.cache_ttl or None
-            )
-        registry = TenantRegistry(
-            world, rules=rules, shards=args.shards, max_sessions=args.max_sessions
-        )
-        return RankingService(
-            registry,
-            ServiceConfig(
-                max_concurrency=args.max_concurrency,
-                queue_timeout=args.queue_timeout,
-                request_timeout=args.request_timeout or None,
-                stale_max_age=args.stale_max_age,
-                serve_stale=not args.no_stale,
-                breaker_enabled=not args.no_breaker,
-            ),
-            cache=cache,
-            worker_info=worker_info,
-            fault_injector=FaultInjector(**injector_spec),
-        )
+    config = dict(
+        cache=args.cache,
+        cache_entries=args.cache_entries,
+        cache_ttl=args.cache_ttl,
+        shards=args.shards,
+        max_sessions=args.max_sessions,
+        max_concurrency=args.max_concurrency,
+        queue_timeout=args.queue_timeout,
+        request_timeout=args.request_timeout,
+        stale_max_age=args.stale_max_age,
+        serve_stale=not args.no_stale,
+        breaker_enabled=not args.no_breaker,
+        rules_path=args.rules,
+        snapshot=args.snapshot,
+        segment=segment_name,
+        journal=args.journal,
+        injector=injector_spec,
+    )
+    # Each fleet worker runs the factory in its own process: its own
+    # registry, its own response cache — workers share no mutable state
+    # (the frozen world and its matrix are the shared read-only part).
+    make_service = _ServeFactory(
+        config, world=world, world_source=world_source, rules=rules
+    )
 
     settings = (
         f"cache={args.cache}, shards={args.shards}, "
         f"max_sessions={args.max_sessions}, max_concurrency={args.max_concurrency}, "
-        f"request_timeout={args.request_timeout or None}"
+        f"request_timeout={args.request_timeout or None}, world={world_source}"
     )
 
     if args.workers == 1:
@@ -348,7 +484,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     def announce_fleet(supervisor) -> None:
         print(
             f"repro serve: listening on {supervisor.url} "
-            f"(workers={args.workers}, mode={supervisor.mode}, {settings})",
+            f"(workers={args.workers}, mode={supervisor.mode}, "
+            f"start_method={supervisor.start_method}, {settings})",
             flush=True,
         )
         for index, pid in enumerate(supervisor.worker_pids()):
@@ -359,8 +496,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
 
-    def factory(worker_info):
-        return make_service(dict(worker_info))
+    start_method = None if args.start_method == "auto" else args.start_method
+    resolved = start_method or ("fork" if supports_fleet("fork") else "spawn")
+    if resolved == "spawn":
+        # A spawned worker starts from a fresh interpreter: strip the
+        # unpicklable by-reference world/rules so the factory crosses
+        # the pickle boundary; the worker restores from the snapshot.
+        factory = _ServeFactory(config)
+    else:
+        factory = make_service
 
     try:
         return serve_fleet(
@@ -370,10 +514,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.port,
             verbose=args.verbose,
             announce=announce_fleet,
+            start_method=start_method,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.store import inspect_snapshot, write_world_snapshot
+
+    if args.snapshot_command == "build":
+        world = build_tvtouch()  # --world tvtouch is the only builder today
+        try:
+            digest = write_world_snapshot(
+                args.output, world, include_basis=not args.no_basis
+            )
+        except (OSError, ReproError) as exc:
+            print(f"error: cannot write snapshot: {exc}", file=sys.stderr)
+            return 2
+        info = inspect_snapshot(args.output)
+        print(f"wrote {args.output} ({info.total_bytes} payload bytes)")
+        print(f"  format version {info.version}, digest {digest}")
+        for name, kind, length in info.sections:
+            print(f"  section {name:<16} {kind:<5} {length} bytes")
+        return 0
+
+    try:
+        info = inspect_snapshot(args.path)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{info.path}: format version {info.version}, digest {info.digest}")
+    meta = {key: value for key, value in info.meta.items() if not key.startswith("_")}
+    for key in sorted(meta):
+        print(f"  meta {key} = {meta[key]}")
+    for name, kind, length in info.sections:
+        print(f"  section {name:<16} {kind:<5} {length} bytes")
+    print(f"  total payload {info.total_bytes} bytes")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -385,6 +564,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "mine": _cmd_mine,
         "scaling": _cmd_scaling,
         "serve": _cmd_serve,
+        "snapshot": _cmd_snapshot,
     }
     return handlers[args.command](args)
 

@@ -92,6 +92,7 @@ class ABox:
         self._adjacency_cache: (
             dict[RoleName, dict[Individual, tuple[RoleAssertion, ...]]] | None
         ) = None
+        self._signature_cache: tuple[int, tuple] | None = None
 
     # -- layering ---------------------------------------------------------
     @property
@@ -282,6 +283,43 @@ class ABox:
         """
         return frozenset(self._dynamic)
 
+    def dynamic_signature(self) -> tuple[tuple, tuple]:
+        """Canonical string rendering of this box's own dynamic set.
+
+        Returns ``(concepts, roles)`` as sorted tuples of stringified
+        assertion rows — the content half of the engine's context
+        signature.  Cached per mutation epoch, so a frozen shared base
+        renders its (possibly large) sensed-context set exactly once
+        per process; every tenant overlay then reuses the tuple
+        instead of re-walking tens of thousands of base assertions.
+        """
+        cached = self._signature_cache
+        if cached is not None and cached[0] == self._mutations:
+            return cached[1]
+        concepts = []
+        roles = []
+        for assertion in self._dynamic:
+            if isinstance(assertion, ConceptAssertion):
+                concepts.append(
+                    (
+                        str(assertion.concept),
+                        str(assertion.individual),
+                        str(assertion.event),
+                    )
+                )
+            else:
+                roles.append(
+                    (
+                        str(assertion.role),
+                        str(assertion.source),
+                        str(assertion.target),
+                        str(assertion.event),
+                    )
+                )
+        signature = (tuple(sorted(concepts)), tuple(sorted(roles)))
+        self._signature_cache = (self._mutations, signature)
+        return signature
+
     # -- lookups ----------------------------------------------------------
     @property
     def individuals(self) -> frozenset[Individual]:
@@ -371,6 +409,89 @@ class ABox:
         )
 
     # -- bulk load ------------------------------------------------------
+    def adopt(
+        self,
+        concepts: Iterable[ConceptAssertion],
+        roles: Iterable[RoleAssertion],
+        individuals: Iterable[Individual] = (),
+        *,
+        individuals_complete: bool = False,
+    ) -> None:
+        """Install pre-merged assertion rows directly, skipping merge work.
+
+        The snapshot loader's fast path: the rows come from a box that
+        already OR-merged duplicate facts, so each ``(concept,
+        individual)`` / ``(role, source, target)`` key appears exactly
+        once and the per-assertion :func:`~repro.events.expr.disj`
+        merge of :meth:`assert_concept` would only burn time proving
+        there is nothing to merge.  Epoch counters advance exactly as
+        if each row had been asserted individually, so every downstream
+        cache key sees the same epochs either way.  Keys already
+        present raise :class:`ABoxError` — adopt restores into a fresh
+        (or disjoint) box, it does not merge.
+
+        ``individuals_complete=True`` promises that ``individuals``
+        already names every individual appearing in the rows, so the
+        per-row domain registration is skipped.
+        """
+        self._check_mutable()
+        for individual in individuals:
+            self.register_individual(individual)
+        # This is the snapshot-restore hot loop over ~10^5 rows, so the
+        # per-row attribute dereferences are hoisted into locals and the
+        # epoch counters are applied once at the end (same final values
+        # as per-row increments — downstream cache keys only ever see
+        # the post-adopt epochs).
+        known = self._individuals
+        dynamic_set = self._dynamic
+        concept_tables = self._concepts
+        role_tables = self._roles
+        total = 0
+        dynamic_total = 0
+        # Snapshot rows arrive sorted, so consecutive assertions share
+        # a predicate; caching the current inner table turns ~10^5
+        # setdefault probes into one per distinct name.
+        last_concept = last_role = None
+        table: dict = {}
+        role_table: dict = {}
+        for assertion in concepts:
+            if assertion.concept is not last_concept:
+                table = concept_tables.setdefault(assertion.concept, {})
+                last_concept = assertion.concept
+            individual = assertion.individual
+            if individual in table:
+                raise ABoxError(
+                    f"adopt collision on {assertion.concept}({individual}); "
+                    "adopt() requires pre-merged rows over fresh keys"
+                )
+            table[individual] = assertion
+            if not individuals_complete:
+                known.add(individual)
+            if assertion.dynamic:
+                dynamic_set.add(assertion)
+                dynamic_total += 1
+            total += 1
+        for assertion in roles:
+            if assertion.role is not last_role:
+                role_table = role_tables.setdefault(assertion.role, {})
+                last_role = assertion.role
+            key = (assertion.source, assertion.target)
+            if key in role_table:
+                raise ABoxError(
+                    f"adopt collision on {assertion.role}{key}; "
+                    "adopt() requires pre-merged rows over fresh keys"
+                )
+            role_table[key] = assertion
+            if not individuals_complete:
+                known.add(assertion.source)
+                known.add(assertion.target)
+            if assertion.dynamic:
+                dynamic_set.add(assertion)
+                dynamic_total += 1
+            total += 1
+        self._mutations += total
+        self._static_mutations += total - dynamic_total
+
     def update(self, assertions: Iterable[ConceptAssertion | RoleAssertion]) -> None:
         """Re-play a stream of assertions into this ABox."""
         for assertion in assertions:
@@ -525,6 +646,51 @@ class LayeredABox(ABox):
             if not self._shadows(assertion)
         }
         return frozenset(live | self._dynamic)
+
+    def dynamic_signature(self) -> tuple[tuple, tuple]:
+        """Layered rendering: the base's cached tuples + the overlay's.
+
+        Equals rendering :meth:`dynamic_assertions` directly (base
+        dynamic facts minus shadowed, plus overlay dynamic facts), but
+        the base's — usually dominant — share comes from its per-epoch
+        cache, so a thousand overlays over one frozen world render the
+        shared sensed context once instead of a thousand times.
+        """
+        from heapq import merge as _sorted_merge
+
+        base_concepts, base_roles = self._base.dynamic_signature()
+        own_concepts, own_roles = ABox.dynamic_signature(self)
+        if base_concepts and self._concepts:
+            shadowed = {
+                (str(concept), str(individual))
+                for concept, table in self._concepts.items()
+                for individual in table
+            }
+            base_concepts = tuple(
+                entry
+                for entry in base_concepts
+                if (entry[0], entry[1]) not in shadowed
+            )
+        if base_roles and self._roles:
+            shadowed_roles = {
+                (str(role), str(source), str(target))
+                for role, table in self._roles.items()
+                for source, target in table
+            }
+            base_roles = tuple(
+                entry
+                for entry in base_roles
+                if (entry[0], entry[1], entry[2]) not in shadowed_roles
+            )
+        concepts = (
+            tuple(_sorted_merge(base_concepts, own_concepts))
+            if own_concepts
+            else base_concepts
+        )
+        roles = (
+            tuple(_sorted_merge(base_roles, own_roles)) if own_roles else base_roles
+        )
+        return (concepts, roles)
 
     def _shadows(self, assertion: ConceptAssertion | RoleAssertion) -> bool:
         if isinstance(assertion, ConceptAssertion):

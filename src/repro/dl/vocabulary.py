@@ -37,11 +37,40 @@ def _validate_name(name: str, kind: str) -> str:
     return name
 
 
+class _CachedNameHash:
+    """Hash caching for the name value objects.
+
+    Names are hashed millions of times as set members and dict keys
+    (ABox tables, reasoner memos, snapshot restore), so each instance
+    caches ``hash(self.name)`` on first use.  The cache is dropped on
+    pickling — ``str`` hashes are salted per process, so a cached value
+    must never cross an interpreter boundary.
+    """
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash(self.name)
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __getstate__(self):
+        return self.name
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "name", state)
+
+
 @dataclass(frozen=True)
-class ConceptName:
+class ConceptName(_CachedNameHash):
     """The name of an atomic concept (a unary predicate)."""
 
     name: str
+
+    # In the class body (not only inherited) so @dataclass sees an
+    # explicit __hash__ and keeps it instead of generating one.
+    __hash__ = _CachedNameHash.__hash__
 
     def __post_init__(self) -> None:
         _validate_name(self.name, "concept")
@@ -51,10 +80,12 @@ class ConceptName:
 
 
 @dataclass(frozen=True)
-class RoleName:
+class RoleName(_CachedNameHash):
     """The name of a role (a binary predicate)."""
 
     name: str
+
+    __hash__ = _CachedNameHash.__hash__
 
     def __post_init__(self) -> None:
         _validate_name(self.name, "role")
@@ -64,10 +95,12 @@ class RoleName:
 
 
 @dataclass(frozen=True)
-class Individual:
+class Individual(_CachedNameHash):
     """A named individual (a constant in the domain)."""
 
     name: str
+
+    __hash__ = _CachedNameHash.__hash__
 
     def __post_init__(self) -> None:
         _validate_name(self.name, "individual")

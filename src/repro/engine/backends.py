@@ -100,26 +100,13 @@ class AboxContext:
 
     def _render_signature(self) -> Hashable:
         # Rendered from the incrementally maintained dynamic set —
-        # O(dynamic context), not a scan over the whole knowledge base
-        # (which, for tenant overlays, includes the shared world).
+        # O(dynamic context), not a scan over the whole knowledge base.
+        # The rendering itself is delegated to the ABox's per-layer
+        # cache, so a frozen shared world stringifies its sensed
+        # context once per process, not once per tenant overlay.
         static_epoch = self.abox.static_mutation_count
-        concepts = []
-        roles = []
-        for assertion in self.abox.dynamic_assertions():
-            if isinstance(assertion, ConceptAssertion):
-                concepts.append(
-                    (str(assertion.concept), str(assertion.individual), str(assertion.event))
-                )
-            else:
-                roles.append(
-                    (
-                        str(assertion.role),
-                        str(assertion.source),
-                        str(assertion.target),
-                        str(assertion.event),
-                    )
-                )
-        return (static_epoch, tuple(sorted(concepts)), tuple(sorted(roles)))
+        concepts, roles = self.abox.dynamic_signature()
+        return (static_epoch, concepts, roles)
 
     def refresh(self) -> None:
         """Static context: nothing to pull."""

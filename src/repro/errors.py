@@ -79,6 +79,15 @@ class QueryError(StorageError):
     """Raised when a relational-algebra or SQL query is invalid."""
 
 
+class SnapshotError(StorageError):
+    """Raised when a world snapshot cannot be read, verified or applied.
+
+    Covers a truncated or corrupted container (magic/digest mismatch),
+    an incompatible format version, and malformed section payloads.
+    Loaders treat it as "rebuild from source", never "serve garbage".
+    """
+
+
 class ContextError(ReproError):
     """Raised for invalid context measurements or snapshots."""
 

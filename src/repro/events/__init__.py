@@ -35,7 +35,7 @@ from repro.events.expr import (
 from repro.events.lineage import Derivation, derivations, explain_probability, render_tree
 from repro.events.montecarlo import MonteCarloEstimate, probability_by_sampling
 from repro.events.probability import DEFAULT_ENGINE, ENGINES, conditional_probability, probability
-from repro.events.serialize import dumps, loads
+from repro.events.serialize import dump_lines, dumps, load_lines, loads
 from repro.events.shannon import ShannonEngine, probability_by_shannon
 from repro.events.space import EventSpace, MutexGroup, chain_encode
 from repro.events.worlds import enumerate_worlds, probability_by_enumeration
@@ -67,9 +67,11 @@ __all__ = [
     "conj",
     "derivations",
     "disj",
+    "dump_lines",
     "dumps",
     "enumerate_worlds",
     "explain_probability",
+    "load_lines",
     "loads",
     "neg",
     "probability",

@@ -19,9 +19,9 @@ from urllib.parse import quote, unquote
 
 from repro.errors import ParseError
 from repro.events.atoms import BasicEvent
-from repro.events.expr import ALWAYS, NEVER, And, Atom, EventExpr, FalseEvent, Not, Or, TrueEvent, conj, disj, neg
+from repro.events.expr import ALWAYS, NEVER, And, Atom, EventExpr, FalseEvent, Not, Or, TrueEvent, atom, conj, disj, neg
 
-__all__ = ["dumps", "loads"]
+__all__ = ["dumps", "loads", "dump_lines", "load_lines"]
 
 
 def dumps(expr: EventExpr) -> str:
@@ -31,7 +31,10 @@ def dumps(expr: EventExpr) -> str:
     if isinstance(expr, FalseEvent):
         return "F"
     if isinstance(expr, Atom):
-        return f"(a {quote(expr.event.name, safe='')} {expr.event.probability!r})"
+        # ``:`` stays raw — it is the namespace separator in nearly
+        # every generated event name, and an unescaped colon keeps the
+        # decoder on its no-percent fast path (and the text greppable).
+        return f"(a {quote(expr.event.name, safe=':')} {expr.event.probability!r})"
     if isinstance(expr, Not):
         return f"(n {dumps(expr.child)})"
     if isinstance(expr, And):
@@ -44,15 +47,64 @@ def dumps(expr: EventExpr) -> str:
 def loads(text: str) -> EventExpr:
     """Parse s-expression text back into an event expression.
 
-    The inverse of :func:`dumps`; reconstruction re-applies the
-    constructor simplifications, so ``loads(dumps(e)) == e`` for every
-    expression ``e`` built through the public constructors.
+    The inverse of :func:`dumps`; reconstruction goes through the
+    interning constructors and re-applies their simplifications, so
+    ``loads(dumps(e)) is e`` for every expression ``e`` built through
+    the public constructors (hash-consing makes the round trip land on
+    the identical node).
     """
+    stripped = text.strip()
+    # Fast path for the two overwhelmingly common shapes in bulk
+    # streams (snapshot sections, sqlite columns): constants and flat
+    # atoms.  Anything that does not match exactly falls through to
+    # the full tokenizer, so error behaviour is unchanged.
+    if stripped == "T":
+        return ALWAYS
+    if stripped == "F":
+        return NEVER
+    if (
+        stripped.startswith("(a ")
+        and stripped.endswith(")")
+        and stripped.count("(") == 1
+        and stripped.count(")") == 1
+    ):
+        parts = stripped[1:-1].split()
+        if len(parts) == 3:
+            try:
+                prob = float(parts[2])
+            except ValueError as exc:
+                raise ParseError(
+                    f"bad probability literal {parts[2]!r}", text, 0
+                ) from exc
+            name = parts[1]
+            if "%" in name:
+                name = unquote(name)
+            return atom(BasicEvent(name, prob))
     tokens = _tokenize(text)
     expr, rest = _parse(tokens, 0, text)
     if rest != len(tokens):
         raise ParseError("trailing tokens after event expression", text, rest)
     return expr
+
+
+def dump_lines(exprs) -> str:
+    """Serialise an iterable of expressions, one s-expression per line.
+
+    The multi-expression form the snapshot store uses: each line is a
+    complete :func:`dumps` rendering, so the stream stays greppable and
+    a truncated tail is detected as a parse failure rather than a
+    silently shorter list.
+    """
+    return "\n".join(dumps(expr) for expr in exprs)
+
+
+def load_lines(text: str) -> list[EventExpr]:
+    """Parse a :func:`dump_lines` stream back into a list of expressions.
+
+    Blank lines are skipped; any malformed line raises
+    :class:`~repro.errors.ParseError`.
+    """
+    return [loads(line) for line in text.splitlines() if line.strip()]
 
 
 def _tokenize(text: str) -> list[str]:
@@ -95,7 +147,10 @@ def _parse(tokens: list[str], pos: int, text: str) -> tuple[EventExpr, int]:
             prob = float(tokens[pos + 3])
         except ValueError as exc:
             raise ParseError(f"bad probability literal {tokens[pos + 3]!r}", text, pos) from exc
-        return Atom(BasicEvent(name, prob)), pos + 5
+        # The interning constructor, not a bare ``Atom``: a parsed
+        # expression lands on the same node as its live twin, so
+        # ``loads(dumps(e)) is e`` under hash-consing.
+        return atom(BasicEvent(name, prob)), pos + 5
     if head == "n":
         child, next_pos = _parse(tokens, pos + 2, text)
         if next_pos >= len(tokens) or tokens[next_pos] != ")":

@@ -69,9 +69,22 @@ __all__ = ["FleetSupervisor", "serve_fleet", "supports_fleet", "supports_reusepo
 ServiceFactory = Callable[[Mapping[str, object]], RankingService]
 
 
-def supports_fleet() -> bool:
-    """Fork-based fleets need a POSIX ``fork`` start method."""
-    return "fork" in multiprocessing.get_all_start_methods()
+def supports_fleet(start_method: str | None = None) -> bool:
+    """Whether this platform can run a fleet (optionally, a given way).
+
+    ``fork`` fleets need the POSIX ``fork`` start method; ``spawn``
+    fleets work anywhere ``SO_REUSEPORT`` does (a spawned worker cannot
+    inherit the parent's listener, so the kernel must balance separate
+    per-worker listeners instead).  With no argument: any viable path.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if start_method is None:
+        return "fork" in methods or ("spawn" in methods and supports_reuseport())
+    if start_method == "fork":
+        return "fork" in methods
+    if start_method == "spawn":
+        return "spawn" in methods and supports_reuseport()
+    return False
 
 
 def supports_reuseport() -> bool:
@@ -191,9 +204,10 @@ class FleetSupervisor:
     Parameters
     ----------
     service_factory:
-        Called inside each forked worker (fork start method, so plain
-        closures work — no pickling) with that worker's identity
-        mapping; returns the worker's service.
+        Called inside each worker child with that worker's identity
+        mapping; returns the worker's service.  Under the ``fork``
+        start method plain closures work (no pickling); under
+        ``spawn`` it must be a picklable module-level callable.
     workers:
         Child process count (≥ 1).
     host / port:
@@ -214,6 +228,12 @@ class FleetSupervisor:
         :meth:`health` degrades.  Clean exits (exitcode 0 — a worker
         SIGTERMed directly that drained and left gracefully) are
         respawned without counting toward the window.
+    start_method:
+        ``"fork"`` (closures and pre-loaded worlds pass by reference;
+        POSIX only), ``"spawn"`` (fresh interpreter per worker — the
+        factory must pickle, and ``SO_REUSEPORT`` is required since a
+        spawned child cannot inherit the parent's listener), or
+        ``None`` to prefer ``fork`` where available.
     """
 
     def __init__(
@@ -230,14 +250,36 @@ class FleetSupervisor:
         respawn_backoff_max: float = 2.0,
         crash_loop_threshold: int = 3,
         crash_loop_window: float = 5.0,
+        start_method: str | None = None,
     ):
         if workers < 1:
             raise EngineError(f"fleet needs at least one worker, got {workers!r}")
-        if not supports_fleet():
+        if start_method not in (None, "fork", "spawn"):
             raise EngineError(
-                "the serving fleet requires the 'fork' start method "
-                "(POSIX); run single-process (--workers 1) instead"
+                f"start_method must be 'fork', 'spawn' or None, got {start_method!r}"
             )
+        if start_method is None:
+            start_method = "fork" if supports_fleet("fork") else "spawn"
+        if not supports_fleet(start_method):
+            raise EngineError(
+                f"the serving fleet cannot use the {start_method!r} start "
+                "method here ('fork' needs POSIX, 'spawn' needs "
+                "SO_REUSEPORT); run single-process (--workers 1) instead"
+            )
+        if start_method == "spawn":
+            # Fail at configuration time, not inside the first child:
+            # everything a spawned worker receives crosses a pickle
+            # boundary, and the factory is the piece users supply.
+            import pickle
+
+            try:
+                pickle.dumps(service_factory)
+            except Exception as exc:
+                raise EngineError(
+                    "the 'spawn' start method needs a picklable service "
+                    f"factory (module-level callable), got one that fails "
+                    f"to pickle: {exc}"
+                ) from exc
         if respawn_backoff <= 0 or respawn_backoff_max < respawn_backoff:
             raise EngineError(
                 "respawn backoff must be positive and no greater than its cap, "
@@ -258,8 +300,12 @@ class FleetSupervisor:
         self.respawn_backoff_max = respawn_backoff_max
         self.crash_loop_threshold = crash_loop_threshold
         self.crash_loop_window = crash_loop_window
+        self.start_method = start_method
+        # A spawned worker cannot inherit a listening socket, so spawn
+        # always runs per-worker listeners under SO_REUSEPORT (already
+        # validated above); fork picks the best mode the kernel offers.
         self.mode = "reuseport" if supports_reuseport() else "inherit"
-        self._mp = multiprocessing.get_context("fork")
+        self._mp = multiprocessing.get_context(start_method)
         self.fleet_state = SharedFleetState(self._mp)
         self._lock = threading.Lock()
         self._fleet: list[_Worker] = []
@@ -299,6 +345,16 @@ class FleetSupervisor:
         if self._started:
             raise EngineError("fleet already started")
         self._started = True
+        if self.start_method == "fork":
+            # A preloaded world (serve --snapshot) is inherited
+            # copy-on-write; freeze the heap so the workers' cyclic
+            # collector never traverses it — those header writes would
+            # privatize every shared page.  Respawned workers fork off
+            # this same frozen image.
+            import gc
+
+            gc.collect()
+            gc.freeze()
         with self._lock:
             for index in range(self.workers):
                 self._fleet.append(self._spawn(index))
@@ -433,6 +489,12 @@ class FleetSupervisor:
         if self._monitor is not None and self._monitor.is_alive():
             self._monitor.join(self.grace)
         self._socket.close()
+        if self._started and self.start_method == "fork":
+            # Undo the pre-fork freeze: no more workers will fork off
+            # this image, so the heap can be collected normally again.
+            import gc
+
+            gc.unfreeze()
 
     def __enter__(self) -> "FleetSupervisor":
         self.start()
@@ -489,6 +551,7 @@ def serve_fleet(
     *,
     verbose: bool = False,
     announce: Callable[[FleetSupervisor], None] | None = None,
+    start_method: str | None = None,
 ) -> int:
     """Run a fleet until interrupted (the ``repro serve --workers N`` body).
 
@@ -497,7 +560,12 @@ def serve_fleet(
     a process exit code.
     """
     supervisor = FleetSupervisor(
-        service_factory, workers=workers, host=host, port=port, verbose=verbose
+        service_factory,
+        workers=workers,
+        host=host,
+        port=port,
+        verbose=verbose,
+        start_method=start_method,
     )
 
     def _interrupt(signum, frame):  # noqa: ARG001 - signal API

@@ -1,0 +1,361 @@
+"""Snapshot loading: verify, restore, map, and re-seed derived caches.
+
+:func:`load_world` is the cold-start fast path the fleet uses:
+
+1. read and digest-verify the container (:mod:`repro.store.format`),
+2. restore the live world objects (:mod:`repro.store.codec`),
+3. publish the numeric basis matrix through
+   ``multiprocessing.shared_memory`` — a numpy view over the segment
+   when numpy imports, a ``memoryview('d')`` flat view otherwise — so
+   sibling workers attach to **one** physical copy,
+4. seed the compiled-KB base tier's memo tables and the process-wide
+   shared basis pool, so the first rank of every tenant takes the
+   incremental path instead of re-reasoning the world.
+
+:func:`load_or_build` wraps it with the fallback discipline: any
+snapshot problem (missing file, version mismatch, digest failure,
+malformed section) degrades to the caller's rebuild-from-source
+builder — a stale snapshot can cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.dl.vocabulary import ConceptName, RoleName
+from repro.dl.parser import parse_concept
+from repro.errors import SnapshotError
+from repro.store.codec import restore_world
+from repro.store.format import read_snapshot
+
+__all__ = ["LoadedWorld", "load_world", "load_or_build"]
+
+
+@dataclass
+class LoadedWorld:
+    """A restored world plus the shared-memory handle keeping it mapped.
+
+    Duck-compatible with ``EngineBuilder.world`` /
+    ``TenantRegistry(world)``.  ``source`` says how the world came to
+    be (``"snapshot"``, ``"snapshot+shm"``, ``"attach"`` or
+    ``"rebuild"``); ``segment_name`` is what sibling (spawned) workers
+    pass as ``attach=`` to map the same physical matrix.
+    """
+
+    space: object
+    abox: object
+    tbox: object
+    user: object
+    repository: object
+    database: object
+    target: object
+    data_table: object
+    id_column: object
+    source: str = "snapshot"
+    digest: str | None = None
+    segment_name: str | None = None
+    _segment: object = field(default=None, repr=False)
+    _owns_segment: bool = False
+
+    def release(self) -> None:
+        """Unlink (for the creator) and defuse the shared segment handle.
+
+        The zero-copy views handed to the kernel keep exported pointers
+        into the mapping, so ``close()`` would raise ``BufferError``
+        for as long as any engine lives; instead the handle is defused
+        (its finalizer made a no-op) and the OS unmaps at process exit,
+        while ``unlink`` removes the name immediately so no segment
+        outlives the fleet.
+        """
+        segment = self._segment
+        self._segment = None
+        if segment is None:
+            return
+        if self._owns_segment:
+            try:
+                segment.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+        try:
+            segment.close()
+        except BufferError:
+            # Views are still exported: neuter the handle so its
+            # __del__ stays silent and leave the unmap to process exit.
+            segment._buf = None
+            segment._mmap = None
+        except OSError:  # pragma: no cover - platform specific
+            pass
+
+
+def _attach_segment(name: str):
+    """Attach to an existing segment without adopting its lifetime.
+
+    Python 3.11's resource tracker unlinks any attached segment when
+    the attaching process exits; an attaching worker must not destroy
+    the fleet's shared mapping, so the registration is undone.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    segment = shared_memory.SharedMemory(name=name, create=False)
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker API is private
+        pass
+    return segment
+
+
+def _matrix_view(buffer, rows: int, cols: int, nbytes: int):
+    """A read-only documents×rules view over ``buffer``: numpy or flat."""
+    from repro.perf.backend import resolve_backend
+
+    np = resolve_backend(None)
+    if np is not None:
+        matrix = np.frombuffer(buffer, dtype="<f8", count=rows * cols).reshape(
+            rows, cols
+        )
+        matrix.setflags(write=False)
+        return "numpy", matrix
+    view = memoryview(buffer)[:nbytes]
+    return "python", view.cast("d")
+
+
+def _seed_reasoner(world, sections) -> None:
+    """Fill the base tier's memo tables from the reasoner section."""
+    import json
+
+    from repro.reason import base_tier
+
+    entry = sections.get("reasoner")
+    if entry is None:
+        return
+    try:
+        data = json.loads(bytes(entry[1]).decode("utf-8"))
+        session = base_tier(world.abox, world.tbox, world.space)
+        for concept_text, expanded_text in data.get("expansions", ()):
+            session._expansions[parse_concept(concept_text)] = parse_concept(
+                expanded_text
+            )
+        for name, names in data.get("descendants", ()):
+            session._descendants[ConceptName(name)] = tuple(
+                ConceptName(n) for n in names
+            )
+        for role, roles in data.get("role_descendants", ()):
+            session._role_descendants[RoleName(role)] = tuple(
+                RoleName(r) for r in roles
+            )
+        # The successor index, reachability maps and dynamic-context
+        # signature are linear passes over the restored tables; derive
+        # them now so the first rank pays none of it (and forked
+        # workers inherit the results instead of re-walking the base).
+        world.abox.role_adjacency()
+        session.reachability_maps()
+        world.abox.dynamic_signature()
+    except SnapshotError:
+        raise
+    except Exception as exc:
+        raise SnapshotError(f"reasoner section is malformed: {exc}") from exc
+
+
+def _seed_basis_pool(world, candidates, basis: dict) -> None:
+    """Publish a neutral-context kernel under the engine's basis key.
+
+    The key mirrors ``RankingEngine._basis_key()`` for an overlay
+    engine over this base world; the bindings are placeholders (the
+    incremental path rebinds the context on first use and only checks
+    rule identity), and the empty snapshot equals a fresh tenant's
+    overlay, so the reuse guard sees exactly the state the matrix was
+    compiled for.
+    """
+    from repro.core.kernel import ScoringKernel
+    from repro.core.problem import RuleBinding
+    from repro.engine.backends import RepositoryPreferences
+    from repro.engine.basis import ViewBasis, shared_basis_pool
+    from repro.events.expr import NEVER
+
+    rules = list(world.repository)
+    if [rule.rule_id for rule in rules] != list(basis["rule_ids"]):
+        return  # rules and matrix disagree; let the cold path rebuild
+    neutral = tuple(RuleBinding(rule, NEVER, 0.0) for rule in rules)
+    kernel = ScoringKernel(candidates, neutral, float(basis["rule_threshold"]))
+    key = (
+        (world.abox, world.abox.mutation_count, world.tbox, world.space),
+        world.tbox.revision,
+        world.space.revision if world.space is not None else -1,
+        RepositoryPreferences(world.repository).fingerprint(),
+        str(basis["method"]),
+        float(basis["rule_threshold"]),
+        bool(basis["prune_documents"]),
+        str(world.target),
+    )
+    shared_basis_pool().put(key, ViewBasis(kernel=kernel, snapshot=frozenset()))
+
+
+def load_world(
+    path: str | Path,
+    *,
+    share_memory: bool = True,
+    attach: str | None = None,
+    seed_caches: bool = True,
+) -> LoadedWorld:
+    """Load a verified snapshot into a ready-to-serve world.
+
+    ``attach`` names an existing shared segment (a sibling worker's
+    ``segment_name``) to map instead of creating one; ``share_memory=
+    False`` keeps the matrix as a private in-process copy.  Raises
+    :class:`~repro.errors.SnapshotError` on any verification or
+    restore failure — use :func:`load_or_build` to degrade to a
+    rebuild instead.
+    """
+    import gc
+    import json
+
+    # Restore allocates ~10^6 long-lived objects in one burst; the
+    # cyclic collector would re-scan that growing heap dozens of times
+    # for nothing (the world graph is acyclic), so pause it.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        meta, sections = read_snapshot(path)
+        world = restore_world(meta, sections)
+        if seed_caches:
+            _seed_reasoner(world, sections)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    source = "snapshot"
+    digest = meta.get("_digest")
+    segment = None
+    segment_name = None
+    owns = False
+
+    basis_entry = sections.get("basis")
+    matrix_entry = sections.get("matrix")
+    if basis_entry is not None and matrix_entry is not None:
+        try:
+            basis = json.loads(bytes(basis_entry[1]).decode("utf-8"))
+            rows, cols = int(basis["rows"]), int(basis["cols"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise SnapshotError(f"basis section is malformed: {exc}") from exc
+        nbytes = rows * cols * 8
+        matrix_bytes = matrix_entry[1]
+        if len(matrix_bytes) != nbytes:
+            raise SnapshotError(
+                f"matrix section holds {len(matrix_bytes)} bytes for a "
+                f"{rows}x{cols} float64 matrix ({nbytes} expected)"
+            )
+        if attach is not None:
+            segment = _attach_segment(attach)
+            if segment.size < nbytes:
+                raise SnapshotError(
+                    f"shared segment {attach!r} is smaller than the matrix"
+                )
+            buffer = segment.buf
+            segment_name = attach
+            source = "attach"
+        elif share_memory and nbytes:
+            from multiprocessing import shared_memory
+
+            name = f"repro-{(digest or 'snap')[:8]}-{os.getpid()}"
+            try:
+                segment = shared_memory.SharedMemory(
+                    name=name, create=True, size=nbytes
+                )
+            except FileExistsError:
+                segment = shared_memory.SharedMemory(name=name, create=False)
+            else:
+                owns = True
+            segment.buf[:nbytes] = bytes(matrix_bytes)
+            buffer = segment.buf
+            segment_name = name
+            source = "snapshot+shm"
+        else:
+            buffer = bytes(matrix_bytes)
+        backend, matrix = _matrix_view(buffer, rows, cols, nbytes)
+        from repro.core.kernel import CompiledCandidates
+
+        candidates = CompiledCandidates(
+            names=tuple(basis["names"]),
+            rule_count=cols,
+            backend=backend,
+            matrix=matrix,
+            possible_bits=tuple(int(bits) for bits in basis["possible_bits"]),
+        )
+        loaded = LoadedWorld(
+            space=world.space,
+            abox=world.abox,
+            tbox=world.tbox,
+            user=world.user,
+            repository=world.repository,
+            database=world.database,
+            target=world.target,
+            data_table=world.data_table,
+            id_column=world.id_column,
+            source=source,
+            digest=digest,
+            segment_name=segment_name,
+            _segment=segment,
+            _owns_segment=owns,
+        )
+        if segment is not None:
+            # Idempotent: an explicit release() leaves this a no-op.
+            import atexit
+
+            atexit.register(loaded.release)
+        if seed_caches and world.repository is not None:
+            _seed_basis_pool(loaded, candidates, basis)
+        return loaded
+
+    return LoadedWorld(
+        space=world.space,
+        abox=world.abox,
+        tbox=world.tbox,
+        user=world.user,
+        repository=world.repository,
+        database=world.database,
+        target=world.target,
+        data_table=world.data_table,
+        id_column=world.id_column,
+        source=source,
+        digest=digest,
+    )
+
+
+def load_or_build(
+    path: str | Path | None,
+    builder: Callable[[], object],
+    *,
+    on_fallback: Callable[[str], None] | None = None,
+    **load_options,
+) -> LoadedWorld:
+    """Load ``path`` if possible, else rebuild from source via ``builder``.
+
+    Every snapshot failure mode — missing file, wrong magic or format
+    version, digest mismatch, malformed section — lands in the same
+    place: ``builder()`` runs and its world is wrapped with
+    ``source="rebuild"``.  ``on_fallback`` (if given) receives the
+    reason string, so servers can log why they paid a rebuild.
+    """
+    if path is not None:
+        try:
+            return load_world(path, **load_options)
+        except (SnapshotError, OSError) as exc:
+            if on_fallback is not None:
+                on_fallback(str(exc))
+    world = builder()
+    target = getattr(world, "target", None)
+    return LoadedWorld(
+        space=getattr(world, "space", None),
+        abox=world.abox,
+        tbox=world.tbox,
+        user=getattr(world, "user", None),
+        repository=getattr(world, "repository", None),
+        database=getattr(world, "database", None),
+        target=parse_concept(target) if isinstance(target, str) else target,
+        data_table=getattr(world, "data_table", None),
+        id_column=getattr(world, "id_column", None),
+        source="rebuild",
+    )

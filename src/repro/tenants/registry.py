@@ -74,7 +74,7 @@ from typing import TYPE_CHECKING, Callable, Iterator, Mapping
 
 from repro.dl.abox import ABox, LayeredABox
 from repro.dl.vocabulary import Individual
-from repro.errors import EngineConfigError
+from repro.errors import EngineConfigError, SnapshotError
 from repro.rules.repository import RuleRepository
 from repro.engine.builder import EngineBuilder
 from repro.engine.engine import RankingEngine
@@ -82,6 +82,7 @@ from repro.engine.requests import RankRequest, RankResponse
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.multiuser.group import GroupMember
+    from repro.store.journal import OverlayJournal
 
 __all__ = ["TenantRegistry", "UserSession", "TenantRegistryInfo"]
 
@@ -135,17 +136,33 @@ class UserSession:
         overlay: LayeredABox,
         base: object,
         engine: RankingEngine,
+        journal: "OverlayJournal | None" = None,
     ):
         self.tenant_id = tenant_id
         self.user = user
         self.overlay = overlay
         self.base = base
         self.engine = engine
+        self.journal = journal
         #: Checkouts currently holding this session (registry-managed,
         #: mutated only under the owning shard's lock).
         self.pins = 0
         #: Evicted while pinned: drop for real once the pins release.
         self.doomed = False
+
+    def _persist(self) -> None:
+        """Journal the overlay after a mutation (best effort).
+
+        Durability must never fail a rank: a full disk or unwritable
+        journal degrades to in-memory-only sessions, exactly the
+        pre-journal behaviour.
+        """
+        if self.journal is None:
+            return
+        try:
+            self.journal.record(self.tenant_id, self.overlay)
+        except OSError:
+            pass
 
     # -- the per-tenant slice ---------------------------------------------
     @property
@@ -157,13 +174,17 @@ class UserSession:
         """Replace this tenant's dynamic context (``CONCEPT[:PROB]`` specs).
 
         Context lands in the overlay only — siblings and the shared
-        base never see it.
+        base never see it.  With a registry journal attached, the new
+        overlay state is persisted so the context survives a restart.
         """
         self.engine.install_context(*specs, tick=tick)
+        self._persist()
 
     def clear_context(self) -> int:
         """Drop this tenant's dynamic assertions (the base is untouched)."""
-        return self.overlay.clear_dynamic()
+        dropped = self.overlay.clear_dynamic()
+        self._persist()
+        return dropped
 
     def assert_fact(self, concept: str, individual: str | Individual | None = None, **kwargs):
         """Assert a per-tenant concept fact into the overlay.
@@ -171,9 +192,11 @@ class UserSession:
         Defaults to the session's own user as the individual — the
         common "this user is currently X" shape.
         """
-        return self.overlay.assert_concept(
+        assertion = self.overlay.assert_concept(
             concept, individual if individual is not None else self.user, **kwargs
         )
+        self._persist()
+        return assertion
 
     # -- ranking ----------------------------------------------------------
     def rank(self, request=None):
@@ -194,7 +217,10 @@ class UserSession:
         under one hold of the engine lock, so a concurrent request on
         the same session can never score a half-installed context.
         """
-        return self.engine.rank_in_context(specs, request, tick=tick)
+        response = self.engine.rank_in_context(specs, request, tick=tick)
+        if specs:
+            self._persist()
+        return response
 
     def rank_many(self, requests):
         return self.engine.rank_many(requests)
@@ -295,6 +321,13 @@ class TenantRegistry:
         Freeze the base ABox (default).  Strongly recommended: a frozen
         base cannot be mutated by a stray tenant write, and its derived
         indexes are computed once and shared.
+    journal:
+        An :class:`~repro.store.OverlayJournal` (or a path to one) for
+        per-tenant overlay durability.  Minting replays the tenant's
+        journalled overlay before the engine builds, so a tenant's
+        standing context survives eviction and fleet restarts; session
+        mutations (context installs, fact assertions) append their new
+        overlay state back to the journal, best-effort.
     engine_options:
         Builder options applied to every minted engine
         (``method=...``, ``relevance=...``, ``cache_size=...``, ...).
@@ -308,6 +341,7 @@ class TenantRegistry:
         max_sessions: int = 1024,
         shards: int = 1,
         freeze: bool = True,
+        journal: "OverlayJournal | str | None" = None,
         **engine_options: object,
     ):
         abox = getattr(world, "abox", None)
@@ -331,6 +365,11 @@ class TenantRegistry:
         self.space = getattr(world, "space", None)
         self._target = getattr(world, "target", None)
         self._rules = rules
+        if isinstance(journal, (str, bytes)) or hasattr(journal, "__fspath__"):
+            from repro.store.journal import OverlayJournal
+
+            journal = OverlayJournal(journal)
+        self.journal = journal
         self._engine_options = dict(engine_options)
         self.max_sessions = max_sessions
         #: Callbacks fired with a tenant id whenever that tenant's
@@ -456,6 +495,16 @@ class TenantRegistry:
         individual = Individual(user) if isinstance(user, str) else user
         if individual not in self.abox.individuals:
             overlay.register_individual(individual)
+        if self.journal is not None:
+            # Rehydrate the tenant's journalled overlay before the
+            # engine builds over it, so the first rank after a restart
+            # already sees the persisted context.  A malformed record
+            # degrades to a fresh overlay — durability is best-effort,
+            # availability is not.
+            try:
+                self.journal.replay_into(tenant_id, overlay, space=self.space)
+            except (SnapshotError, OSError):
+                pass
         repository = rules if rules is not None else self._default_rules(tenant_id)
         builder = EngineBuilder().knowledge(overlay, self.tbox, individual, self.space)
         if self._target is not None:
@@ -470,7 +519,9 @@ class TenantRegistry:
         merged.update(options)
         if merged:
             builder.options(**merged)
-        return UserSession(tenant_id, individual, overlay, self.world, builder.build())
+        return UserSession(
+            tenant_id, individual, overlay, self.world, builder.build(), self.journal
+        )
 
     def _default_rules(self, tenant_id: str) -> RuleRepository | None:
         if isinstance(self._rules, RuleRepository):

@@ -1,0 +1,153 @@
+"""Property tests for the event-expression s-expression codec.
+
+Random expression trees — hostile atom names (spaces, parens, quotes,
+unicode, the escape character itself) and edge probabilities (0.0, 1.0)
+included — must round-trip through ``loads(dumps(e))`` onto the *same
+interned node* (pointer equality under hash-consing), and malformed
+input must always fail as :class:`~repro.errors.ParseError`, never an
+``IndexError`` or other internal escape.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.events import BasicEvent, atom, conj, disj, dumps, loads, neg
+
+# Names chosen to stress the URL-quoting: whitespace, both parens,
+# percent signs (the escape character), quotes, newlines and unicode.
+HOSTILE_NAMES = st.one_of(
+    st.sampled_from(
+        [
+            "plain",
+            "with space",
+            "(open",
+            "close)",
+            "(both)",
+            "100%",
+            "%41",  # quoted 'A' — must not double-decode
+            'quo"te',
+            "new\nline",
+            "tab\tstop",
+            "ünïcodé☃",
+            "sensor:loc a/b",
+            "a",  # single char, same as the atom tag
+            "n",
+            "T",  # the constant tokens as *names*
+            "F",
+        ]
+    ),
+    st.text(min_size=1, max_size=12),
+)
+
+# 0.0 and 1.0 are the edge cases: the constructors simplify around
+# certainty, and ``repr(float)`` must survive the float() re-parse.
+PROBABILITIES = st.one_of(
+    st.just(0.0),
+    st.just(1.0),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+@st.composite
+def expressions(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        name = draw(HOSTILE_NAMES)
+        prob = draw(PROBABILITIES)
+        return atom(BasicEvent(name, prob))
+    kind = draw(st.sampled_from(["neg", "conj", "disj"]))
+    if kind == "neg":
+        return neg(draw(expressions(depth=depth - 1)))
+    children = draw(st.lists(expressions(depth=depth - 1), min_size=1, max_size=3))
+    return (conj if kind == "conj" else disj)(children)
+
+
+class TestRoundTripProperty:
+    @given(expressions())
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_is_pointer_equal(self, expr):
+        # Hash-consing: parsing must land on the identical interned
+        # node, not merely an equal one.
+        assert loads(dumps(expr)) is expr
+
+    @given(expressions())
+    @settings(max_examples=100, deadline=None)
+    def test_serialisation_is_deterministic(self, expr):
+        assert dumps(expr) == dumps(loads(dumps(expr)))
+
+    @given(HOSTILE_NAMES, PROBABILITIES)
+    @settings(max_examples=200, deadline=None)
+    def test_atom_name_and_probability_survive(self, name, prob):
+        expr = atom(BasicEvent(name, prob))
+        parsed = loads(dumps(expr))
+        assert parsed is expr
+        # Even through simplification the payload is preserved
+        # wherever an Atom node survives.
+        for parsed_atom in parsed.atoms():
+            if parsed_atom.name == name:
+                assert parsed_atom.probability == prob
+
+
+class TestMalformedInputs:
+    """Garbage in, ParseError out — never an internal IndexError."""
+
+    MALFORMED = [
+        "",
+        "(",
+        ")",
+        "(a",
+        "(a name",
+        "(a name 0.5",
+        "(a name 0.5 extra)",
+        "(a name notafloat)",
+        "(n)",
+        "(n T",
+        "(&)",
+        "(|)",
+        "(& T",
+        "(z T)",
+        "T T",
+        "((a x 0.5))",
+        "(a x 0.5) trailing",
+        "(n (a x 0.5)",
+        "(& (a x 0.5) (|)",
+        "(((((",
+        ")))))",
+        "(n (n (n",
+    ]
+
+    @pytest.mark.parametrize("text", MALFORMED)
+    def test_malformed_raises_parse_error(self, text):
+        with pytest.raises(ParseError):
+            loads(text)
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_never_escapes_parse_error(self, text):
+        try:
+            loads(text)
+        except ParseError:
+            pass  # the contract: malformed input fails loudly but typed
+
+
+class TestLineStream:
+    def test_dump_load_lines_round_trip(self):
+        exprs = [
+            atom(BasicEvent("with space", 0.25)),
+            neg(atom(BasicEvent("(p)", 1.0))),
+            conj([atom(BasicEvent("x", 0.5)), atom(BasicEvent("y", 0.0))]),
+        ]
+        from repro.events import dump_lines, load_lines
+
+        restored = load_lines(dump_lines(exprs))
+        assert len(restored) == len(exprs)
+        for original, parsed in zip(exprs, restored):
+            assert parsed is original
+
+    def test_load_lines_skips_blanks_and_rejects_garbage(self):
+        from repro.events import load_lines
+
+        assert load_lines("\n\nT\n\nF\n") == [loads("T"), loads("F")]
+        with pytest.raises(ParseError):
+            load_lines("T\n(a broken\nF")

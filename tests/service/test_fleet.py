@@ -269,3 +269,46 @@ class TestCrashLoopDetection:
         health = fleet.health()
         assert health["alive"] == 2
         assert not health["failed"]
+
+
+class TestStartMethods:
+    """The spawn path: picklable factories, per-worker listeners."""
+
+    def test_spawn_fleet_serves_and_respawns(self):
+        """The spawn path end to end: fresh-interpreter workers behind
+        one SO_REUSEPORT-balanced port, surviving a worker kill."""
+        if not supports_fleet("spawn"):
+            pytest.skip("spawn fleet needs the spawn start method and SO_REUSEPORT")
+        supervisor = FleetSupervisor(
+            factory, workers=2, port=0, start_timeout=120.0, start_method="spawn"
+        )
+        supervisor.start()
+        try:
+            assert supervisor.start_method == "spawn"
+            assert supervisor.mode == "reuseport"
+            body = get(supervisor.url, "/rank?tenant=alice&context=Weekend&top_k=3")
+            assert body["items"][0]["document"] == "channel5_news"
+            victim = supervisor.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                health = supervisor.health()
+                if health["alive"] == 2 and health["respawns"] >= 1:
+                    break
+                time.sleep(0.1)
+            else:  # pragma: no cover - diagnostic path
+                pytest.fail(f"spawned worker never respawned: {supervisor.health()}")
+            assert get(supervisor.url, "/rank?tenant=bob&top_k=2")["items"]
+        finally:
+            supervisor.stop()
+        assert_gone(supervisor.worker_pids())
+
+    def test_spawn_rejects_unpicklable_factory(self):
+        if not supports_fleet("spawn"):
+            pytest.skip("spawn fleet needs the spawn start method and SO_REUSEPORT")
+        with pytest.raises(EngineError, match="picklable"):
+            FleetSupervisor(lambda info: None, workers=1, start_method="spawn")
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(EngineError, match="start_method"):
+            FleetSupervisor(factory, workers=1, start_method="threads")
