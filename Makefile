@@ -31,6 +31,7 @@ bench-smoke:
 		benchmarks/bench_e14_cache.py \
 		benchmarks/bench_e15_resilience.py \
 		benchmarks/bench_e16_coldstart.py \
+		benchmarks/bench_e17_batching.py \
 		benchmarks/bench_e7_multiuser.py
 
 bench:

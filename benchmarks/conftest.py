@@ -45,17 +45,40 @@ def save_result():
     return _save
 
 
+def _git_revision() -> str | None:
+    """The repo's HEAD commit, or None outside a usable git checkout."""
+    try:
+        import subprocess
+
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    revision = proc.stdout.strip()
+    return revision if proc.returncode == 0 and revision else None
+
+
 @pytest.fixture(scope="session")
 def save_json():
     """Persist a named machine-readable record under benchmarks/results/.
 
     Smoke runs skip the write: tiny-size numbers would otherwise
-    clobber the committed full-size records.
+    clobber the committed full-size records.  Every record is stamped
+    with the machine's ``cpu_count`` and the ``git_revision`` it was
+    measured at, so committed numbers stay comparable across boxes.
     """
 
     def _save(name: str, record: dict) -> Path | None:
         if SMOKE:
             return None
+        record = dict(record)
+        record.setdefault("cpu_count", os.cpu_count())
+        record.setdefault("git_revision", _git_revision())
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.json"
         path.write_text(

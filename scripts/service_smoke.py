@@ -1,6 +1,6 @@
 """End-to-end smoke of the serving gateway, as CI runs it.
 
-Two phases, each a real ``python -m repro serve`` subprocess on an
+Five phases, each a real ``python -m repro serve`` subprocess on an
 ephemeral port:
 
 1. **Single process** — waits for the announce line, hits ``/healthz``
@@ -23,6 +23,11 @@ ephemeral port:
    (never a rebuild), ranked answers must match Table 1 exactly, and
    after SIGKILLing a worker the respawned slot must answer again —
    still snapshot-loaded.
+5. **Batching** — boots with ``--batch-max-size 8``, drives herd
+   rounds of 8 concurrent cross-tenant requests sharing one novel
+   context each, asserts identical scores within every round, a
+   positive ``/metrics`` coalesce ratio, and a clean SIGTERM drain
+   with a herd still queued in the batching window.
 
 Both long-lived phases also assert the liveness/readiness split:
 ``/healthz`` says "the process is up", ``/readyz`` says "this worker
@@ -40,6 +45,7 @@ import re
 import signal
 import subprocess
 import sys
+import threading
 import time
 import urllib.request
 
@@ -107,14 +113,16 @@ def get_json(url: str) -> dict:
         return json.loads(response.read())
 
 
-def shutdown(process: subprocess.Popen, what: str) -> None:
-    process.send_signal(signal.SIGINT)
+def shutdown(
+    process: subprocess.Popen, what: str, sig: signal.Signals = signal.SIGINT
+) -> None:
+    process.send_signal(sig)
     try:
         code = process.wait(timeout=15)
     except subprocess.TimeoutExpired:
         process.kill()
-        raise SystemExit(f"{what} did not shut down within 15s of SIGINT")
-    assert code == 0, f"{what} exited {code} on SIGINT"
+        raise SystemExit(f"{what} did not shut down within 15s of {sig.name}")
+    assert code == 0, f"{what} exited {code} on {sig.name}"
 
 
 def assert_table1_winner(ranked: dict) -> dict:
@@ -343,11 +351,109 @@ def smoke_snapshot_boot(workers: int = 2) -> None:
     print("smoke: snapshot fleet clean shutdown ok")
 
 
+def smoke_batching() -> None:
+    """Boot with micro-batching on, drive cross-tenant herds so
+    concurrent requests coalesce, then drain cleanly on SIGTERM with
+    a herd still in flight."""
+    process = spawn(
+        "--batch-max-size",
+        "8",
+        # Wide window so the final mid-flight herd is provably queued
+        # when SIGTERM lands; full batches still flush immediately.
+        "--batch-max-wait-us",
+        "300000",
+        "--cache",
+        "none",
+    )
+    try:
+        base_url = wait_for_announce(process)
+
+        ranked = get_json(
+            f"{base_url}/rank?tenant=alice&context=Weekend&context=Breakfast&top_k=3"
+        )
+        assert_table1_winner(ranked)
+        print("smoke: batching server /rank ok (Table 1 winner holds)")
+
+        def herd(tenants: list[str], context: str) -> list[dict]:
+            bodies: list[dict | None] = [None] * len(tenants)
+
+            def hit(index: int, tenant: str) -> None:
+                bodies[index] = get_json(
+                    f"{base_url}/rank?tenant={tenant}&context={context}&top_k=3"
+                )
+
+            threads = [
+                threading.Thread(target=hit, args=(index, tenant))
+                for index, tenant in enumerate(tenants)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+                assert not thread.is_alive(), "herd request never returned"
+            assert all(body is not None for body in bodies), bodies
+            return bodies  # type: ignore[return-value]
+
+        # Three herd rounds: 8 distinct tenants share one novel context
+        # per round, so every request misses the view caches but its
+        # in-flight mates coalesce.  Coalescing must not change answers:
+        # identical scores across the round's tenants.
+        tenants = [f"herd_{index}" for index in range(8)]
+        for round_no in range(3):
+            bodies = herd(tenants, f"Weekend:0.{31 + round_no}")
+            reference = [(item["document"], item["score"]) for item in bodies[0]["items"]]
+            assert reference, bodies[0]
+            for body in bodies[1:]:
+                got = [(item["document"], item["score"]) for item in body["items"]]
+                assert got == reference, (reference, got)
+        print("smoke: 3 herd rounds of 8 concurrent tenants, scores identical per round")
+
+        metrics = get_json(f"{base_url}/metrics")
+        batching = metrics["batching"]
+        assert batching["enabled"] is True, batching
+        assert batching["batched_requests"] >= 8, batching
+        assert batching["coalesce_ratio"] > 0.0, batching
+        print(
+            "smoke: /metrics batching on "
+            f"(batched_requests={batching['batched_requests']} "
+            f"coalesce_ratio={batching['coalesce_ratio']:.2f})"
+        )
+
+        # Clean SIGTERM drain: launch one more herd, give the threads a
+        # beat to connect (the wide window keeps them queued), then
+        # signal.  Every in-flight request must still get its answer
+        # and the process must exit 0.
+        drain_bodies: list[dict | None] = [None] * 4
+
+        def drain_hit(index: int) -> None:
+            drain_bodies[index] = get_json(
+                f"{base_url}/rank?tenant=drain_{index}&context=Weekend:0.97&top_k=3"
+            )
+
+        drain_threads = [
+            threading.Thread(target=drain_hit, args=(index,)) for index in range(4)
+        ]
+        for thread in drain_threads:
+            thread.start()
+        time.sleep(0.1)
+        shutdown(process, "batching server", sig=signal.SIGTERM)
+        for thread in drain_threads:
+            thread.join(timeout=10)
+            assert not thread.is_alive(), "drain request never returned"
+        assert all(body is not None for body in drain_bodies), drain_bodies
+        assert all(body["items"] for body in drain_bodies), drain_bodies
+        print("smoke: SIGTERM drained 4 in-flight herd requests, clean exit")
+    finally:
+        if process.poll() is None:
+            shutdown(process, "batching server")
+
+
 PHASES = {
     "single": smoke_single_process,
     "fleet": smoke_fleet,
     "chaos": smoke_chaos_fleet,
     "snapshot": smoke_snapshot_boot,
+    "batch": smoke_batching,
 }
 
 

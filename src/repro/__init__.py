@@ -105,7 +105,7 @@ from repro.workloads import (
     set_breakfast_weekend_context,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: Deprecated top-level names: still importable, but shimmed through
 #: module ``__getattr__`` with a :class:`DeprecationWarning` pointing at

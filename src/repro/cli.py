@@ -103,6 +103,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the per-tenant/global circuit breaker",
     )
     serve.add_argument(
+        "--batch-max-size", type=int, default=0,
+        help="cross-request micro-batching: max concurrent ranks fused into "
+        "one kernel pass (0 or 1 disables batching)",
+    )
+    serve.add_argument(
+        "--batch-max-wait-us", type=float, default=1000.0,
+        help="microseconds a batch leader waits for mates before flushing",
+    )
+    serve.add_argument(
+        "--batch-queue-limit", type=int, default=256,
+        help="max requests waiting in open batches; overflow scores sequentially",
+    )
+    serve.add_argument(
         "--workers", type=int, default=1,
         help="worker processes; > 1 runs the pre-fork fleet on one shared port",
     )
@@ -353,6 +366,9 @@ class _ServeFactory:
                 stale_max_age=config["stale_max_age"],
                 serve_stale=config["serve_stale"],
                 breaker_enabled=config["breaker_enabled"],
+                batch_max_size=config.get("batch_max_size", 0),
+                batch_max_wait_us=config.get("batch_max_wait_us", 1000.0),
+                batch_queue_limit=config.get("batch_queue_limit", 256),
             ),
             cache=cache,
             worker_info=info,
@@ -432,6 +448,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         stale_max_age=args.stale_max_age,
         serve_stale=not args.no_stale,
         breaker_enabled=not args.no_breaker,
+        batch_max_size=args.batch_max_size,
+        batch_max_wait_us=args.batch_max_wait_us,
+        batch_queue_limit=args.batch_queue_limit,
         rules_path=args.rules,
         snapshot=args.snapshot,
         segment=segment_name,

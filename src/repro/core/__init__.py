@@ -21,6 +21,9 @@ from repro.core.kernel import (
     LazyContributions,
     ScoringKernel,
     compile_candidates,
+    rank_top_k_batch,
+    score_batch,
+    score_documents_batch,
 )
 from repro.core.naive_view import (
     MAX_NAIVE_RULES,
@@ -87,7 +90,10 @@ __all__ = [
     "naive_scores_python",
     "naive_scores_sqlite",
     "prune_rules",
+    "rank_top_k_batch",
+    "score_batch",
     "score_certain",
+    "score_documents_batch",
     "score_document",
     "split_trivial_documents",
     "subset_coefficient",

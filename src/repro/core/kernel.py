@@ -48,13 +48,22 @@ from repro.core.problem import RuleBinding, ScoringProblem
 from repro.core.pruning import all_miss_score
 from repro.core.scoring import DocumentScore, RuleContribution
 from repro.perf.backend import resolve_backend
-from repro.perf.flatops import TOPK_PRUNE_SLACK, row_scores, topk_survivors
+from repro.perf.flatops import (
+    TOPK_PRUNE_SLACK,
+    batch_row_scores,
+    batch_topk_survivors,
+    row_scores,
+    topk_survivors,
+)
 
 __all__ = [
     "CompiledCandidates",
     "LazyContributions",
     "ScoringKernel",
     "compile_candidates",
+    "rank_top_k_batch",
+    "score_batch",
+    "score_documents_batch",
 ]
 
 #: Rows per block on the numpy top-k path (prune checks run per block,
@@ -290,6 +299,19 @@ class ScoringKernel:
         """The shared score of documents matching no kept preference."""
         return self._all_miss
 
+    @property
+    def coalesce_key(self) -> tuple[tuple[int, float, float], ...]:
+        """Value identity of the context binding: the ``(rule, a, b)`` triples.
+
+        Two kernels over the *same* compiled candidate matrix with equal
+        coalesce keys produce identical scored views by construction —
+        every per-document factor is ``a + b * P(f)`` and ``(a, b)``
+        uniquely determine the binding's ``(P(g), sigma)`` pair.  Batch
+        schedulers use this to share one scored row between concurrent
+        requests even when their view signatures differ (e.g. the same
+        context installed for two different tenants)."""
+        return self._coeffs
+
     def trivial_rows(self) -> list[int]:
         """Rows whose preference events all miss every kept rule."""
         kept_bits = self._kept_bits
@@ -480,3 +502,271 @@ class ScoringKernel:
             f"{len(self.bindings)} rules, kept={len(self._keep)}, "
             f"backend={self.backend!r})"
         )
+
+
+# -- cross-request batching ------------------------------------------------
+#
+# Many concurrent requests routinely share one compiled candidate
+# matrix (the SharedBasisPool hands the same ``CompiledCandidates`` to
+# every tenant over a frozen base world) while differing only in their
+# per-request factor coefficients.  The batch entry points below score
+# N such "batch mates" in one fused pass over the shared matrix: numpy
+# stacks the coefficient vectors into (batch x rules) arrays and walks
+# the matrix columns once; the python fallback walks each matrix row
+# once and advances every mate's factor chain against it.
+#
+# Identity guarantee: a mate's multiplication chain visits exactly its
+# own kept rules in index order — the same order the sequential path
+# uses — and rules a mate dropped contribute the exact factor 1.0, so
+# batched scores match ``ScoringKernel.scores()`` to within a few ulps
+# (bit-identical on the python backend).
+
+
+def _shared_candidates(kernels: Sequence[ScoringKernel]) -> CompiledCandidates:
+    if not kernels:
+        raise ScoringError("batched scoring needs at least one kernel")
+    candidates = kernels[0].candidates
+    for kernel in kernels[1:]:
+        if kernel.candidates is not candidates:
+            raise ScoringError(
+                "batched kernels must share one compiled candidate matrix; "
+                "group by basis identity before batching"
+            )
+    return candidates
+
+
+def _union_coefficients(kernels: Sequence[ScoringKernel], np):
+    """Full-width ``(batch, union-rules)`` coefficient arrays.
+
+    The union holds every rule kept by at least one mate; a mate that
+    dropped a union rule gets ``a=1, b=0`` there, multiplying its
+    running product by exactly 1.0.
+    """
+    union = sorted({index for kernel in kernels for index in kernel._keep})
+    position = {rule: j for j, rule in enumerate(union)}
+    a = np.ones((len(kernels), len(union)), dtype=np.float64)
+    b = np.zeros((len(kernels), len(union)), dtype=np.float64)
+    for row, kernel in enumerate(kernels):
+        for index, a_value, b_value in kernel._coeffs:
+            a[row, position[index]] = a_value
+            b[row, position[index]] = b_value
+    return union, a, b
+
+
+def score_batch(
+    kernels: Sequence[ScoringKernel], prune_documents: bool = True
+) -> list[list[float]]:
+    """Every mate's eq.(4) scores, one fused pass over the shared matrix.
+
+    All ``kernels`` must share one :class:`CompiledCandidates` (by
+    identity — group by basis before batching); each result list is in
+    candidate order and matches that kernel's sequential
+    :meth:`ScoringKernel.scores` to well under 1e-9.
+    """
+    candidates = _shared_candidates(kernels)
+    if len(kernels) == 1:
+        return [kernels[0].scores(prune_documents)]
+    deadline = _active_deadline()
+    if deadline is not None:
+        deadline.check()
+    np = kernels[0]._np
+    if np is not None:
+        matrix = candidates.matrix
+        union, a, b = _union_coefficients(kernels, np)
+        values = np.ones((len(kernels), candidates.document_count), dtype=np.float64)
+        for j, rule in enumerate(union):
+            column = matrix[:, rule]
+            values *= a[:, j, None] + b[:, j, None] * column[None, :]
+        np.clip(values, 0.0, 1.0, out=values)
+        results = [row.tolist() for row in values]
+    else:
+        results = batch_row_scores(
+            candidates.matrix,
+            candidates.document_count,
+            candidates.rule_count,
+            [kernel._coeffs for kernel in kernels],
+        )
+    if prune_documents:
+        for kernel, row_values in zip(kernels, results):
+            shared = kernel._all_miss
+            for row in kernel.trivial_rows():
+                row_values[row] = shared
+    return results
+
+
+def score_documents_batch(
+    kernels: Sequence[ScoringKernel],
+    prune_documents: bool = True,
+    method: str = "factorised",
+) -> list[list[DocumentScore]]:
+    """:meth:`ScoringKernel.score_documents` for a whole batch at once."""
+    batch_values = score_batch(kernels, prune_documents)
+    results = []
+    for kernel, values in zip(kernels, batch_values):
+        trivial = set(kernel.trivial_rows()) if prune_documents else frozenset()
+        scores = []
+        for row, (name, value) in enumerate(zip(kernel.names, values)):
+            contributions = () if row in trivial else LazyContributions(kernel, row)
+            scores.append(DocumentScore(name, value, contributions, method))
+        results.append(scores)
+    return results
+
+
+def rank_top_k_batch(
+    kernels: Sequence[ScoringKernel],
+    ks: Sequence[int],
+    prune_documents: bool = True,
+    method: str = "factorised",
+) -> list[list[DocumentScore]]:
+    """:meth:`ScoringKernel.rank_top_k` for a whole batch at once.
+
+    One blocked pass over the shared matrix serves every mate; each
+    mate keeps its own Section-6 upper bound and threshold heap, so the
+    per-request result is exactly that mate's sequential top ``k``
+    (score desc, ties by name asc).
+    """
+    candidates = _shared_candidates(kernels)
+    if len(kernels) != len(ks):
+        raise ScoringError(
+            f"rank_top_k_batch got {len(kernels)} kernels but {len(ks)} k values"
+        )
+    for k in ks:
+        if k < 1:
+            raise ScoringError(f"top-k needs a positive k, got {k!r}")
+    if len(kernels) == 1:
+        return [kernels[0].rank_top_k(ks[0], prune_documents, method)]
+    total = candidates.document_count
+    if any(k >= total or not kernel._coeffs for kernel, k in zip(kernels, ks)):
+        # Some mate needs every score anyway — share one full pass and
+        # sort per mate instead of running a crippled pruning scan.
+        ranked_sets = score_documents_batch(kernels, prune_documents, method)
+        return [
+            sorted(scores, key=lambda score: (-score.value, score.document))[:k]
+            for scores, k in zip(ranked_sets, ks)
+        ]
+
+    trivials = [
+        set(kernel.trivial_rows()) if prune_documents else set() for kernel in kernels
+    ]
+    # Scan every row some mate still needs; a row trivial for *every*
+    # mate is reintroduced from the shared all-miss score below.  Rows
+    # trivial for only one mate score to exactly that mate's all-miss
+    # inside the scan (their kept P(f) entries are 0), so each document
+    # feeds a mate's threshold heap at most once — no over-pruning.
+    skip = set(trivials[0]).intersection(*trivials[1:])
+    active = [row for row in range(total) if row not in skip]
+    np = kernels[0]._np
+    if np is not None:
+        survivor_sets = _topk_numpy_batch(kernels, active, ks, np)
+    else:
+        survivor_sets = _topk_python_batch(kernels, active, ks)
+    results = []
+    for kernel, k, trivial, survivors in zip(kernels, ks, trivials, survivor_sets):
+        shared = kernel._all_miss
+        pool = [(row, value) for row, value in survivors if row not in trivial]
+        pool.extend((row, shared) for row in trivial)
+        pool.sort(key=lambda entry: (-entry[1], kernel.names[entry[0]]))
+        ranked = []
+        for row, value in pool[:k]:
+            contributions = () if row in trivial else LazyContributions(kernel, row)
+            ranked.append(DocumentScore(kernel.names[row], value, contributions, method))
+        results.append(ranked)
+    return results
+
+
+def _topk_python_batch(
+    kernels: Sequence[ScoringKernel], active: list[int], ks: Sequence[int]
+) -> list[list[tuple[int, float]]]:
+    """Batched fallback top-k: blocked when a deadline is active."""
+    candidates = kernels[0].candidates
+    coeff_sets = [kernel._coeffs for kernel in kernels]
+    suffix_sets = [kernel._suffix_bounds for kernel in kernels]
+    deadline = _active_deadline()
+    if deadline is None:
+        return batch_topk_survivors(
+            candidates.matrix, candidates.rule_count, coeff_sets, suffix_sets, active, ks
+        )
+    survivor_sets: list[list[tuple[int, float]]] = [[] for _ in kernels]
+    heaps: list[list[float]] = [[] for _ in kernels]
+    for start in range(0, len(active), TOPK_BLOCK):
+        deadline.check()
+        found = batch_topk_survivors(
+            candidates.matrix,
+            candidates.rule_count,
+            coeff_sets,
+            suffix_sets,
+            active[start : start + TOPK_BLOCK],
+            ks,
+            [tuple(heap) for heap in heaps],
+        )
+        for index, block_survivors in enumerate(found):
+            heap, k = heaps[index], ks[index]
+            for row, value in block_survivors:
+                survivor_sets[index].append((row, value))
+                heapq.heappush(heap, value)
+                if len(heap) > k:
+                    heapq.heappop(heap)
+    return survivor_sets
+
+
+def _topk_numpy_batch(
+    kernels: Sequence[ScoringKernel], rows: list[int], ks: Sequence[int], np
+) -> list[list[tuple[int, float]]]:
+    """Blocked vectorised batch top-k.
+
+    Each block's matrix rows are read once for the whole batch; the
+    Section-6 upper bound is applied per mate at block granularity (a
+    mate whose best possible block score falls below its k-th best
+    drops out of the remaining rule products for that block).
+    """
+    batch = len(kernels)
+    union, a, b = _union_coefficients(kernels, np)
+    bounds = np.maximum(a, a + b)  # (batch, union) — dropped rules bound 1.0
+    suffix = np.ones((batch, len(union) + 1), dtype=np.float64)
+    for j in range(len(union) - 1, -1, -1):
+        suffix[:, j] = suffix[:, j + 1] * bounds[:, j]
+    matrix = kernels[0].candidates.matrix
+    deadline = _active_deadline()
+    keep_factor = 1.0 - TOPK_PRUNE_SLACK
+    heaps: list[list[float]] = [[] for _ in kernels]
+    survivor_sets: list[list[tuple[int, float]]] = [[] for _ in kernels]
+    row_array = np.array(rows, dtype=np.intp)
+    for start in range(0, len(row_array), TOPK_BLOCK):
+        if deadline is not None:
+            deadline.check()
+        block = row_array[start : start + TOPK_BLOCK]
+        length = len(block)
+        prefix = np.ones((batch, length), dtype=np.float64)
+        # Per-mate abandon thresholds are fixed for the block (heaps
+        # only change between blocks).
+        thresholds = np.array(
+            [
+                heaps[m][0] * keep_factor if len(heaps[m]) == ks[m] else -np.inf
+                for m in range(batch)
+            ],
+            dtype=np.float64,
+        )
+        alive = np.arange(batch)
+        for j, rule in enumerate(union):
+            best = prefix[alive].max(axis=1) * suffix[alive, j]
+            alive = alive[best >= thresholds[alive]]
+            if alive.size == 0:
+                break
+            column = matrix[block, rule]
+            prefix[alive] = prefix[alive] * (
+                a[alive, j, None] + b[alive, j, None] * column[None, :]
+            )
+        for mate in alive.tolist():
+            heap, k = heaps[mate], ks[mate]
+            values = np.clip(prefix[mate], 0.0, 1.0)
+            if len(heap) == k:
+                keep = np.nonzero(values >= heap[0] * keep_factor)[0].tolist()
+            else:
+                keep = range(length)
+            for position in keep:
+                value = float(values[position])
+                survivor_sets[mate].append((int(block[position]), value))
+                heapq.heappush(heap, value)
+                if len(heap) > k:
+                    heapq.heappop(heap)
+    return survivor_sets

@@ -29,7 +29,7 @@ from repro.engine.backends import (
 from repro.engine.basis import SharedBasisPool, ViewBasis, build_view_basis, shared_basis_pool
 from repro.engine.builder import EngineBuilder
 from repro.engine.cache import CacheInfo, ViewCache
-from repro.engine.engine import RankingEngine
+from repro.engine.engine import PreparedRank, RankingEngine, score_prepared_batch
 from repro.engine.protocols import (
     ContextBackend,
     PreferenceBackend,
@@ -57,6 +57,7 @@ __all__ = [
     "LogLinearRelevance",
     "MixedRelevance",
     "PreferenceBackend",
+    "PreparedRank",
     "RELEVANCE_STRATEGIES",
     "RankRequest",
     "RankResponse",
@@ -70,6 +71,7 @@ __all__ = [
     "ViewCache",
     "SharedBasisPool",
     "build_view_basis",
+    "score_prepared_batch",
     "shared_basis_pool",
     "resolve_relevance",
 ]

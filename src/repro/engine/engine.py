@@ -38,10 +38,12 @@ from __future__ import annotations
 
 import json
 import threading
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Hashable, Iterable, Mapping, Sequence
 
 from repro.core.explain import explain_ranking, explain_score
+from repro.core.kernel import ScoringKernel, score_documents_batch
 from repro.core.preference_view import PreferenceView
 from repro.core.problem import bind_rules
 from repro.core.scorer import ContextAwareScorer
@@ -67,7 +69,90 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.engine.builder import EngineBuilder
     from repro.multiuser.group import GroupMember
 
-__all__ = ["RankingEngine"]
+__all__ = ["PreparedRank", "RankingEngine", "score_prepared_batch"]
+
+
+@dataclass
+class PreparedRank:
+    """A rank request snapshotted under the engine lock, scorable outside it.
+
+    :meth:`RankingEngine.prepare_rank` either answers the request on the
+    spot (``response`` set — cache hit, cold path, or a shape the
+    batched scorer cannot serve) or captures everything a kernel pass
+    needs: the context-bound ``kernel`` (sharing the compiled candidate
+    matrix with every other request over the same basis), the view
+    ``signature``, the ``group_key`` batch-mates are matched on, and
+    the ``fingerprint`` response caches key on.  Scoring the kernel and
+    calling :meth:`complete` never touches the engine lock, so
+    batch-mates from different tenants don't serialise on each other.
+    """
+
+    engine: "RankingEngine"
+    request: RankRequest
+    kernel: ScoringKernel | None = None
+    signature: Hashable = None
+    group_key: Hashable = None
+    fingerprint: tuple | None = field(default=None)
+    prune_documents: bool = True
+    response: RankResponse | None = None
+
+    def complete(
+        self, scores_map: Mapping[str, DocumentScore] | None = None
+    ) -> RankResponse:
+        """The response: immediate if prepare already answered, else
+        assembled lock-free from the batched scores for this kernel."""
+        if self.response is not None:
+            return self.response
+        if scores_map is None:
+            raise EngineError("a batchable PreparedRank needs its scored view")
+        return self.engine._complete_prepared(self, scores_map)
+
+
+def score_prepared_batch(
+    prepared: Sequence[PreparedRank],
+) -> tuple[list[dict[str, DocumentScore] | None], int]:
+    """Score every batchable :class:`PreparedRank` in fused kernel passes.
+
+    Kernels are grouped by compiled-candidates identity (only those may
+    share a pass) and, within a group, requests whose kernels carry an
+    equal :attr:`~repro.core.kernel.ScoringKernel.coalesce_key` — the
+    value identity of the context-bound coefficient vector — coalesce
+    onto one scored row.  The key is tenant-blind: the same context
+    installed for two different tenants over a shared basis produces
+    distinct view signatures but equal coefficients, so a thundering
+    herd of identical contexts costs one row.  Returns the per-request
+    scores maps (``None`` where ``prepare_rank`` already answered) and
+    the number of kernel rows actually scored — the coalescing win is
+    ``batchable_requests - rows``.
+    """
+    results: list[dict[str, DocumentScore] | None] = [None] * len(prepared)
+    groups: dict[tuple[int, bool], list[int]] = {}
+    rows = 0
+    for index, item in enumerate(prepared):
+        if item.kernel is not None:
+            groups.setdefault(
+                (id(item.kernel.candidates), item.prune_documents), []
+            ).append(index)
+    for indices in groups.values():
+        unique: dict[Hashable, int] = {}
+        kernels: list[ScoringKernel] = []
+        slots: list[tuple[int, int]] = []
+        for index in indices:
+            item = prepared[index]
+            position = unique.get(item.kernel.coalesce_key)
+            if position is None:
+                position = len(kernels)
+                unique[item.kernel.coalesce_key] = position
+                kernels.append(item.kernel)
+            slots.append((index, position))
+        scored = score_documents_batch(
+            kernels, prune_documents=prepared[indices[0]].prune_documents
+        )
+        rows += len(kernels)
+        maps = [{score.document: score for score in scores} for scores in scored]
+        for index, position in slots:
+            results[index] = maps[position]
+    return results, rows
 
 
 class RankingEngine:
@@ -374,9 +459,16 @@ class RankingEngine:
         return scores, False
 
     def _scores_for(
-        self, documents: Sequence[str], view_scores: Mapping[str, DocumentScore]
-    ) -> dict[str, DocumentScore]:
-        """View scores for ``documents``; non-members are scored ad hoc."""
+        self, documents: Iterable[str], view_scores: Mapping[str, DocumentScore]
+    ) -> Mapping[str, DocumentScore]:
+        """View scores for ``documents``; non-members are scored ad hoc.
+
+        When ``documents`` *is* the view (the whole-target request
+        shape), the view map itself is returned — downstream consumers
+        only read it, and the copy would cost O(candidates) per
+        request."""
+        if documents is view_scores:
+            return view_scores
         missing = [doc for doc in documents if doc not in view_scores]
         scores = {doc: view_scores[doc] for doc in documents if doc in view_scores}
         if missing:
@@ -452,7 +544,10 @@ class RankingEngine:
         elif query_scores is not None:
             documents = sorted(set(view_scores) | set(query_scores))
         else:
-            documents = sorted(view_scores)
+            # The whole-target shape: the ranking key is a total order,
+            # so the combine step re-orders regardless — iterate the
+            # view directly instead of sorting O(n log n) names.
+            documents = view_scores
         if needs_view:
             document_scores = self._scores_for(documents, view_scores)
             # Captured inside the lock, so the epoch/signature pair can
@@ -464,9 +559,7 @@ class RankingEngine:
             fingerprint = None
 
         preference_scores = {name: score.value for name, score in document_scores.items()}
-        items = self.relevance.combine(preference_scores, query_scores, documents)
-        if request.top_k is not None:
-            items = items[: request.top_k]
+        items = self._combine_items(preference_scores, query_scores, documents, request)
 
         explanation = None
         if request.explain:
@@ -481,13 +574,205 @@ class RankingEngine:
             fingerprint=fingerprint,
         )
 
-    def rank_many(self, requests: Iterable[RankRequest | str]) -> list[RankResponse]:
-        """Answer a batch of requests through the same pipeline as :meth:`rank`.
+    def rank_many(
+        self,
+        requests: Iterable[RankRequest | str],
+        contexts: Sequence[Iterable[str] | None] | None = None,
+    ) -> list[RankResponse]:
+        """Answer a batch of requests through one fused kernel pass.
 
-        Each request consults the preference-view cache, so under an
-        unchanged context the whole batch costs one view computation.
+        Each request is :meth:`prepare_rank`-snapshotted in order (so
+        per-request ``contexts`` deltas interleave exactly as a
+        sequential install+rank loop would), then every snapshot
+        sharing a compiled candidate matrix is scored in a single
+        batched pass and completed in order.  Under an unchanged
+        context the whole batch still costs one view computation (the
+        signature cache absorbs repeats); with per-request contexts the
+        batch pays one matrix pass instead of N.
         """
-        return [self.rank(request) for request in as_requests(requests)]
+        request_list = as_requests(requests)
+        if contexts is None:
+            specs_list: list[Iterable[str] | None] = [None] * len(request_list)
+        else:
+            specs_list = list(contexts)
+            if len(specs_list) != len(request_list):
+                raise EngineError(
+                    f"rank_many got {len(request_list)} requests but "
+                    f"{len(specs_list)} context deltas"
+                )
+        prepared = [
+            self.prepare_rank(specs, request)
+            for specs, request in zip(specs_list, request_list)
+        ]
+        scored, _rows = score_prepared_batch(prepared)
+        return [item.complete(scores) for item, scores in zip(prepared, scored)]
+
+    def prepare_rank(
+        self,
+        specs: Iterable[str] | None = None,
+        request: RankRequest | str | None = None,
+        *,
+        tick: str = "ctx",
+    ) -> PreparedRank:
+        """Snapshot a request under the lock; score it outside.
+
+        Installs ``specs`` (when given) and captures the context-bound
+        kernel plus view signature atomically, then releases the lock —
+        the expensive matrix pass happens in :func:`score_prepared_batch`
+        / :meth:`PreparedRank.complete` without serialising batch-mates
+        on this engine.  Falls back to answering immediately (inside
+        the lock, ``response`` set) whenever the batched path cannot
+        reproduce the sequential result exactly: SQL requests,
+        relevance backends that bypass the preference view, view-cache
+        hits, cold starts with no reusable basis, or requests naming
+        documents outside the compiled candidate set.
+        """
+        if request is None:
+            request = RankRequest()
+        elif isinstance(request, str):
+            request = RankRequest(query=request)
+        elif not isinstance(request, RankRequest):
+            raise EngineError(f"expected RankRequest or SQL string, got {request!r}")
+        with self._lock:
+            if specs is not None:
+                self.install_context(*specs, tick=tick)
+            batchable = (
+                self.incremental
+                and request.query is None
+                and getattr(self.relevance, "uses_preference_view", True)
+            )
+            if not batchable:
+                return PreparedRank(
+                    engine=self, request=request, response=self._rank_locked(request)
+                )
+            self.context.refresh()
+            repository = self._sync_scorer()
+            key = self._signature()
+            if key in self._cache:
+                # Uncounted probe: _rank_locked re-reads the entry and
+                # records the one hit the sequential path would.
+                return PreparedRank(
+                    engine=self, request=request, response=self._rank_locked(request)
+                )
+            basis_key = self._basis_key()
+            basis = self._cache.basis_get(basis_key)
+            if basis is None and self._shares_bases:
+                basis = shared_basis_pool().get(basis_key)
+            if basis is None or not basis.reusable_for(
+                self.abox, self.tbox, self.target, kb=self.kb
+            ):
+                # Cold (or knowledge-delta) path: compute under the
+                # lock like a plain rank, which also compiles and
+                # publishes the basis later batch-mates will share.
+                return PreparedRank(
+                    engine=self, request=request, response=self._rank_locked(request)
+                )
+            bindings = bind_rules(
+                self.abox, self.tbox, self.user, [rule for rule in repository],
+                self.space, kb=self.kb,
+            )
+            try:
+                kernel = basis.kernel.with_context(bindings)
+            except ScoringError:  # pragma: no cover - fingerprint should prevent this
+                return PreparedRank(
+                    engine=self, request=request, response=self._rank_locked(request)
+                )
+            named = []
+            if request.documents is not None:
+                named.extend(request.documents)
+            if request.query_score_map is not None:
+                named.extend(request.query_score_map)
+            if named:
+                names = set(kernel.names)
+                if any(document not in names for document in named):
+                    # The sequential path would score these ad hoc
+                    # through the engine's scorer — lock-bound work the
+                    # batched completion must not do.
+                    return PreparedRank(
+                        engine=self, request=request, response=self._rank_locked(request)
+                    )
+            return PreparedRank(
+                engine=self,
+                request=request,
+                kernel=kernel,
+                signature=key,
+                group_key=basis_key,
+                fingerprint=(self.abox.mutation_count, key),
+                prune_documents=self.prune_documents,
+            )
+
+    def _combine_items(
+        self,
+        preference_scores: Mapping[str, float],
+        query_scores: Mapping[str, float] | None,
+        documents: Sequence[str],
+        request: RankRequest,
+    ) -> list[RankedItem]:
+        """The relevance tail shared by the sequential and batched paths.
+
+        A top-k request takes the backend's ``combine_top_k`` shortcut
+        when it offers one — heap selection under the same total order
+        as the full ranking, so items, positions and tie-breaks are
+        identical to ``combine(...)[:k]`` without sorting (or
+        constructing) the candidates the response never includes.
+        """
+        if request.top_k is not None:
+            fast = getattr(self.relevance, "combine_top_k", None)
+            if fast is not None:
+                return fast(preference_scores, query_scores, documents, request.top_k)
+        items = self.relevance.combine(preference_scores, query_scores, documents)
+        if request.top_k is not None:
+            items = items[: request.top_k]
+        return items
+
+    def _complete_prepared(
+        self, prepared: PreparedRank, scores_map: Mapping[str, DocumentScore]
+    ) -> RankResponse:
+        """Assemble a prepared request's response from batched scores.
+
+        Runs without the engine lock: the view cache is internally
+        locked, the kernel and scores are immutable, and the relevance
+        backends on this path are pure functions of their inputs.
+        Mirrors the tail of :meth:`_rank_locked` for the shapes
+        :meth:`prepare_rank` admits (no SQL, view-backed relevance,
+        documents within the compiled candidate set).
+        """
+        request = prepared.request
+        self._cache.note_context_refresh()
+        self._cache.put(prepared.signature, scores_map)
+        query_scores = request.query_score_map
+        if request.documents is not None:
+            documents = list(dict.fromkeys(request.documents))
+        elif query_scores is not None:
+            documents = sorted(set(scores_map) | set(query_scores))
+        else:
+            # Whole-target shape: combine re-orders under a total-order
+            # key, so the batched view is iterated as-is — no name sort
+            # and no O(candidates) map copy per coalesced mate.
+            documents = scores_map
+        if documents is scores_map:
+            document_scores: Mapping[str, DocumentScore] = scores_map
+        else:
+            document_scores = {
+                document: scores_map[document]
+                for document in documents
+                if document in scores_map
+            }
+        preference_scores = {
+            name: score.value for name, score in document_scores.items()
+        }
+        items = self._combine_items(preference_scores, query_scores, documents, request)
+        explanation = None
+        if request.explain:
+            explanation = self._explain_items(items, document_scores)
+        return RankResponse(
+            request=request,
+            items=tuple(items),
+            from_cache=False,
+            explanation=explanation,
+            result=None,
+            fingerprint=prepared.fingerprint,
+        )
 
     def rank_in_context(
         self,

@@ -104,5 +104,13 @@ class RelevanceBackend(Protocol):
         ``query_scores`` is ``None`` for query-independent requests
         (rank purely by context).  Implementations return items sorted
         best-first.
+
+        Backends may additionally implement the optional
+        ``combine_top_k(preference_scores, query_scores, documents, k)``
+        shortcut.  When present, the engine calls it for top-k requests
+        instead of slicing ``combine``'s full ranking; it must return
+        exactly ``combine(...)[:k]`` (same order, positions and
+        tie-breaks) — typically via heap selection that skips sorting
+        the candidates the response never includes.
         """
         ...

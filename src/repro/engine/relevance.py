@@ -23,6 +23,7 @@ strategies without touching the pipeline.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -55,6 +56,26 @@ def _ranked(entries: list[tuple[str, float, float, float | None]]) -> list[Ranke
     ]
 
 
+def _ranked_top_k(
+    entries: list[tuple[str, float, float, float | None]], k: int
+) -> list[RankedItem]:
+    """The first ``k`` items of :func:`_ranked` without the full sort.
+
+    ``heapq.nsmallest`` under the same ``(-score, document)`` key is
+    documented equivalent to ``sorted(...)[:k]``, so positions, order
+    and tie-breaks match the full ranking exactly — a top-k request
+    over thousands of candidates just stops paying O(n log n) sorting
+    and n item constructions for the n - k documents it never returns.
+    """
+    best = heapq.nsmallest(k, entries, key=lambda entry: (-entry[1], entry[0]))
+    return [
+        RankedItem(document, score, preference, query_dependent, position)
+        for position, (document, score, preference, query_dependent) in enumerate(
+            best, start=1
+        )
+    ]
+
+
 @dataclass(frozen=True)
 class GatedRelevance:
     """The paper's naive union: binary query relevance × preference.
@@ -67,12 +88,12 @@ class GatedRelevance:
 
     name: str = field(default="gated", init=False)
 
-    def combine(
+    def _entries(
         self,
         preference_scores: Mapping[str, float],
         query_scores: Mapping[str, float] | None,
         documents: Sequence[str],
-    ) -> list[RankedItem]:
+    ) -> list[tuple[str, float, float, float | None]]:
         entries: list[tuple[str, float, float, float | None]] = []
         for document in documents:
             preference = preference_scores.get(document, 0.0)
@@ -82,7 +103,27 @@ class GatedRelevance:
             if query_scores.get(document, 0.0) <= 0.0:
                 continue
             entries.append((document, preference, preference, 1.0))
-        return _ranked(entries)
+        return entries
+
+    def combine(
+        self,
+        preference_scores: Mapping[str, float],
+        query_scores: Mapping[str, float] | None,
+        documents: Sequence[str],
+    ) -> list[RankedItem]:
+        return _ranked(self._entries(preference_scores, query_scores, documents))
+
+    def combine_top_k(
+        self,
+        preference_scores: Mapping[str, float],
+        query_scores: Mapping[str, float] | None,
+        documents: Sequence[str],
+        k: int,
+    ) -> list[RankedItem]:
+        """``combine(...)[:k]``, via a heap instead of a full sort."""
+        return _ranked_top_k(
+            self._entries(preference_scores, query_scores, documents), k
+        )
 
 
 @dataclass(frozen=True)
@@ -103,12 +144,12 @@ class MixedRelevance:
                 f"mixing weight must be in [0, 1], got {self.mixing_weight!r}"
             )
 
-    def combine(
+    def _entries(
         self,
         preference_scores: Mapping[str, float],
         query_scores: Mapping[str, float] | None,
         documents: Sequence[str],
-    ) -> list[RankedItem]:
+    ) -> list[tuple[str, float, float, float | None]]:
         entries: list[tuple[str, float, float, float | None]] = []
         for document in documents:
             preference = preference_scores.get(document, 0.0)
@@ -118,7 +159,27 @@ class MixedRelevance:
                 query_dependent = query_scores.get(document, 0.0)
                 combined = mix_scores(query_dependent, preference, self.mixing_weight)
                 entries.append((document, combined, preference, query_dependent))
-        return _ranked(entries)
+        return entries
+
+    def combine(
+        self,
+        preference_scores: Mapping[str, float],
+        query_scores: Mapping[str, float] | None,
+        documents: Sequence[str],
+    ) -> list[RankedItem]:
+        return _ranked(self._entries(preference_scores, query_scores, documents))
+
+    def combine_top_k(
+        self,
+        preference_scores: Mapping[str, float],
+        query_scores: Mapping[str, float] | None,
+        documents: Sequence[str],
+        k: int,
+    ) -> list[RankedItem]:
+        """``combine(...)[:k]``, via a heap instead of a full sort."""
+        return _ranked_top_k(
+            self._entries(preference_scores, query_scores, documents), k
+        )
 
 
 @dataclass(frozen=True)
@@ -146,30 +207,48 @@ class LogLinearRelevance:
                 f"mixing weight must be in [0, 1], got {self.mixing_weight!r}"
             )
 
+    def _entries(
+        self,
+        preference_scores: Mapping[str, float],
+        query_scores: Mapping[str, float] | None,
+        documents: Sequence[str],
+    ) -> list[tuple[str, float, float, float | None]]:
+        if query_scores is None:
+            return [
+                (document, value, value, None)
+                for document, value in (
+                    (document, preference_scores.get(document, 0.0))
+                    for document in documents
+                )
+            ]
+        preferences = [preference_scores.get(document, 0.0) for document in documents]
+        dependents = [query_scores.get(document, 0.0) for document in documents]
+        combined = self._combine_rows(dependents, preferences)
+        return [
+            (document, score, preference, query_dependent)
+            for document, score, preference, query_dependent in zip(
+                documents, combined, preferences, dependents
+            )
+        ]
+
     def combine(
         self,
         preference_scores: Mapping[str, float],
         query_scores: Mapping[str, float] | None,
         documents: Sequence[str],
     ) -> list[RankedItem]:
-        if query_scores is None:
-            entries = [
-                (document, preference_scores.get(document, 0.0))
-                for document in documents
-            ]
-            return _ranked(
-                [(document, value, value, None) for document, value in entries]
-            )
-        preferences = [preference_scores.get(document, 0.0) for document in documents]
-        dependents = [query_scores.get(document, 0.0) for document in documents]
-        combined = self._combine_rows(dependents, preferences)
-        return _ranked(
-            [
-                (document, score, preference, query_dependent)
-                for document, score, preference, query_dependent in zip(
-                    documents, combined, preferences, dependents
-                )
-            ]
+        return _ranked(self._entries(preference_scores, query_scores, documents))
+
+    def combine_top_k(
+        self,
+        preference_scores: Mapping[str, float],
+        query_scores: Mapping[str, float] | None,
+        documents: Sequence[str],
+        k: int,
+    ) -> list[RankedItem]:
+        """``combine(...)[:k]``, via a heap instead of a full sort."""
+        return _ranked_top_k(
+            self._entries(preference_scores, query_scores, documents), k
         )
 
     def _combine_rows(
@@ -214,12 +293,11 @@ class GroupRelevance:
     name: str = field(default="group", init=False)
     uses_preference_view: bool = field(default=False, init=False)
 
-    def combine(
+    def _entries(
         self,
-        preference_scores: Mapping[str, float],
         query_scores: Mapping[str, float] | None,
         documents: Sequence[str],
-    ) -> list[RankedItem]:
+    ) -> list[tuple[str, float, float, float | None]]:
         group_scores = {
             score.document: score.value for score in self.ranker.score(documents)
         }
@@ -232,7 +310,25 @@ class GroupRelevance:
             if query_scores.get(document, 0.0) <= 0.0:
                 continue
             entries.append((document, preference, preference, 1.0))
-        return _ranked(entries)
+        return entries
+
+    def combine(
+        self,
+        preference_scores: Mapping[str, float],
+        query_scores: Mapping[str, float] | None,
+        documents: Sequence[str],
+    ) -> list[RankedItem]:
+        return _ranked(self._entries(query_scores, documents))
+
+    def combine_top_k(
+        self,
+        preference_scores: Mapping[str, float],
+        query_scores: Mapping[str, float] | None,
+        documents: Sequence[str],
+        k: int,
+    ) -> list[RankedItem]:
+        """``combine(...)[:k]``, via a heap instead of a full sort."""
+        return _ranked_top_k(self._entries(query_scores, documents), k)
 
 
 #: Name → zero-config strategy factory, for builders and config files.

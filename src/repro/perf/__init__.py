@@ -13,16 +13,26 @@ from repro.perf.backend import (
     BACKENDS,
     backend_name,
     numpy_or_none,
+    reset_backend,
     resolve_backend,
 )
-from repro.perf.flatops import log_linear_rows, row_scores, topk_survivors
+from repro.perf.flatops import (
+    batch_row_scores,
+    batch_topk_survivors,
+    log_linear_rows,
+    row_scores,
+    topk_survivors,
+)
 
 __all__ = [
     "BACKEND_ENV",
     "BACKENDS",
     "backend_name",
+    "batch_row_scores",
+    "batch_topk_survivors",
     "log_linear_rows",
     "numpy_or_none",
+    "reset_backend",
     "resolve_backend",
     "row_scores",
     "topk_survivors",

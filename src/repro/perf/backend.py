@@ -6,6 +6,12 @@ once, at compile time.  The ``REPRO_KERNEL_BACKEND`` environment
 variable forces a backend (``"python"`` pins the fallback even when
 numpy is importable — used by the property tests and benchmark E10 to
 exercise both paths on the same machine).
+
+The environment is consulted **once per process**: the first default
+resolution caches its answer, so hot-path callers (`compile`, the
+relevance combiners, batch scoring) never pay an ``os.environ`` read
+per request.  Tests that flip ``REPRO_KERNEL_BACKEND`` mid-process
+must call :func:`reset_backend` to drop the cached choice.
 """
 
 from __future__ import annotations
@@ -15,7 +21,14 @@ from typing import Optional
 
 from repro.errors import ScoringError
 
-__all__ = ["BACKEND_ENV", "BACKENDS", "backend_name", "numpy_or_none", "resolve_backend"]
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "backend_name",
+    "numpy_or_none",
+    "reset_backend",
+    "resolve_backend",
+]
 
 #: Environment override: "numpy" or "python".
 BACKEND_ENV = "REPRO_KERNEL_BACKEND"
@@ -24,6 +37,8 @@ BACKEND_ENV = "REPRO_KERNEL_BACKEND"
 BACKENDS = ("numpy", "python")
 
 _NUMPY_CACHE: list = []  # [module | None], filled on first use
+
+_DEFAULT_CACHE: list = []  # [module | None], the env-derived default
 
 
 def numpy_or_none():
@@ -37,14 +52,13 @@ def numpy_or_none():
     return _NUMPY_CACHE[0]
 
 
-def resolve_backend(preferred: Optional[str] = None):
-    """The numpy module to compile against, or None for the fallback.
+def reset_backend() -> None:
+    """Drop the cached default so the next resolution re-reads the
+    environment (test hook; never needed in production processes)."""
+    _DEFAULT_CACHE.clear()
 
-    ``preferred`` (or the ``REPRO_KERNEL_BACKEND`` environment
-    variable) may name a backend explicitly; asking for numpy when it
-    is not importable is an error rather than a silent downgrade.
-    """
-    choice = preferred if preferred is not None else os.environ.get(BACKEND_ENV)
+
+def _resolve_choice(choice: Optional[str]):
     if choice is None:
         return numpy_or_none()
     if choice not in BACKENDS:
@@ -57,6 +71,22 @@ def resolve_backend(preferred: Optional[str] = None):
     if module is None:
         raise ScoringError("kernel backend 'numpy' requested but numpy is not importable")
     return module
+
+
+def resolve_backend(preferred: Optional[str] = None):
+    """The numpy module to compile against, or None for the fallback.
+
+    ``preferred`` (or the ``REPRO_KERNEL_BACKEND`` environment
+    variable) may name a backend explicitly; asking for numpy when it
+    is not importable is an error rather than a silent downgrade.
+    """
+    if preferred is not None:
+        return _resolve_choice(preferred)
+    if not _DEFAULT_CACHE:
+        # Cache only a successful resolution: a bad env value keeps
+        # raising on every call instead of poisoning the process.
+        _DEFAULT_CACHE.append(_resolve_choice(os.environ.get(BACKEND_ENV)))
+    return _DEFAULT_CACHE[0]
 
 
 def backend_name(preferred: Optional[str] = None) -> str:

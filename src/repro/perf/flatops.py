@@ -20,7 +20,14 @@ import heapq
 import math
 from typing import Iterable, Sequence
 
-__all__ = ["TOPK_PRUNE_SLACK", "row_scores", "topk_survivors", "log_linear_rows"]
+__all__ = [
+    "TOPK_PRUNE_SLACK",
+    "batch_row_scores",
+    "batch_topk_survivors",
+    "row_scores",
+    "topk_survivors",
+    "log_linear_rows",
+]
 
 #: Relative slack on the top-k prune threshold.  The running prefix
 #: product and the precomputed suffix bounds associate multiplications
@@ -103,6 +110,83 @@ def topk_survivors(
         if len(heap) > k:
             pop(heap)
     return survivors
+
+
+def batch_row_scores(
+    data: Sequence[float],
+    row_count: int,
+    rule_count: int,
+    coeff_sets: Sequence[Sequence[tuple[int, float, float]]],
+) -> list[list[float]]:
+    """:func:`row_scores` for many coefficient sets over one matrix.
+
+    The batched shape of the fused loop: each matrix row is walked
+    *once* and every batch-mate's factor chain is advanced against it,
+    so N concurrent requests sharing a compiled ``P(f)`` matrix pay one
+    pass of row reads instead of N.  Each mate's multiplication order
+    is identical to the sequential :func:`row_scores` (its own kept
+    columns, in index order), so per-mate results are bit-identical to
+    scoring alone.
+    """
+    values: list[list[float]] = [[] for _ in coeff_sets]
+    appends = [column.append for column in values]
+    mates = list(zip(appends, coeff_sets))
+    for row in range(row_count):
+        base = row * rule_count
+        for append, coeffs in mates:
+            score = 1.0
+            for column, a, b in coeffs:
+                score *= a + b * data[base + column]
+            append(min(1.0, max(0.0, score)))
+    return values
+
+
+def batch_topk_survivors(
+    data: Sequence[float],
+    rule_count: int,
+    coeff_sets: Sequence[Sequence[tuple[int, float, float]]],
+    suffix_bound_sets: Sequence[Sequence[float]],
+    rows: Iterable[int],
+    ks: Sequence[int],
+    seed_sets: Sequence[Iterable[float]] = (),
+) -> list[list[tuple[int, float]]]:
+    """:func:`topk_survivors` for many requests over one matrix.
+
+    Rows are walked once; each batch-mate keeps its own threshold heap
+    and Section-6 early abandon, so pruning power per mate matches the
+    sequential pass while the row reads are shared.  Returns one
+    ``(row, score)`` survivor list per mate.
+    """
+    heaps: list[list[float]] = [[] for _ in coeff_sets]
+    push, pop = heapq.heappush, heapq.heappop
+    for index, seeds in enumerate(seed_sets):
+        heap, k = heaps[index], ks[index]
+        for value in seeds:
+            push(heap, value)
+            if len(heap) > k:
+                pop(heap)
+    survivor_sets: list[list[tuple[int, float]]] = [[] for _ in coeff_sets]
+    keep_factor = 1.0 - TOPK_PRUNE_SLACK
+    mates = list(zip(coeff_sets, suffix_bound_sets, heaps, ks, survivor_sets))
+    for row in rows:
+        base = row * rule_count
+        for coeffs, suffix_bounds, heap, k, survivors in mates:
+            score = 1.0
+            full = len(heap) == k
+            abandoned = False
+            for j, (column, a, b) in enumerate(coeffs):
+                if full and score * suffix_bounds[j] < heap[0] * keep_factor:
+                    abandoned = True
+                    break
+                score *= a + b * data[base + column]
+            if abandoned:
+                continue
+            score = min(1.0, max(0.0, score))
+            survivors.append((row, score))
+            push(heap, score)
+            if len(heap) > k:
+                pop(heap)
+    return survivor_sets
 
 
 def log_linear_rows(

@@ -31,6 +31,7 @@ Quickstart::
 """
 
 from repro.cache import CacheAdapter, InMemoryCacheAdapter, NoCacheAdapter
+from repro.service.batching import BatchScheduler
 from repro.service.fleet import (
     FleetSupervisor,
     serve_fleet,
@@ -59,6 +60,7 @@ from repro.service.resilience import (
 )
 
 __all__ = [
+    "BatchScheduler",
     "CacheAdapter",
     "CircuitBreaker",
     "Deadline",

@@ -43,6 +43,7 @@ tests and benchmarks do) or the blocking :func:`serve` the CLI wraps::
 from __future__ import annotations
 
 import json
+import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -273,11 +274,23 @@ def serve(
     server = make_server(service, host, port, verbose=verbose)
     if ready is not None:
         ready(server)
+
+    def _interrupt(signum, frame):  # noqa: ARG001 - signal API
+        raise KeyboardInterrupt
+
+    # SIGTERM (the supervisor/orchestrator stop signal) drains the same
+    # way Ctrl-C does, matching the fleet parent's handler.
+    try:
+        previous_term = signal.signal(signal.SIGTERM, _interrupt)
+    except ValueError:  # not on the main thread (embedded use)
+        previous_term = None
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         pass
     finally:
+        if previous_term is not None:
+            signal.signal(signal.SIGTERM, previous_term)
         server.shutdown()
         server.drain(grace)
         service.close()

@@ -75,6 +75,7 @@ from repro.cache.protocol import CacheAdapter
 from repro.engine.backends import parse_context_spec
 from repro.engine.requests import RankRequest
 from repro.errors import EngineError, ReproError
+from repro.service.batching import BatchScheduler
 from repro.service.metrics import ServiceMetrics
 from repro.service.resilience import (
     BreakerDecision,
@@ -84,6 +85,7 @@ from repro.service.resilience import (
     FaultInjector,
     SharedFleetState,
     clamp_timeout,
+    current_deadline,
     deadline_scope,
 )
 from repro.tenants.registry import TenantRegistry
@@ -121,6 +123,14 @@ class ServiceConfig:
     seconds) on overload, breaker-open, engine error or deadline
     expiry.  The ``breaker_*`` knobs shape the per-tenant + global
     circuit breaker (see :class:`~repro.service.resilience.CircuitBreaker`).
+
+    Batching tunables: ``batch_max_size >= 2`` enables cross-request
+    micro-batching (see :class:`~repro.service.batching.BatchScheduler`)
+    — concurrent ranks sharing a compiled candidate matrix coalesce
+    into one fused kernel pass, flushed at ``batch_max_size`` members
+    or after ``batch_max_wait_us`` microseconds, whichever first (and
+    never past a member's deadline).  ``batch_queue_limit`` bounds the
+    total entries waiting in open batches; overflow scores sequentially.
     """
 
     max_concurrency: int = 8
@@ -138,6 +148,9 @@ class ServiceConfig:
     breaker_failure_threshold: float = 0.5
     breaker_cooldown: float = 5.0
     breaker_jitter: float = 0.2
+    batch_max_size: int = 0
+    batch_max_wait_us: float = 1000.0
+    batch_queue_limit: int = 256
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
@@ -164,6 +177,18 @@ class ServiceConfig:
         if self.stale_max_age < 0:
             raise EngineError(
                 f"stale_max_age must be non-negative, got {self.stale_max_age!r}"
+            )
+        if self.batch_max_size < 0:
+            raise EngineError(
+                f"batch_max_size must be non-negative, got {self.batch_max_size!r}"
+            )
+        if self.batch_max_wait_us < 0:
+            raise EngineError(
+                f"batch_max_wait_us must be non-negative, got {self.batch_max_wait_us!r}"
+            )
+        if self.batch_queue_limit < 1:
+            raise EngineError(
+                f"batch_queue_limit must be positive, got {self.batch_queue_limit!r}"
             )
 
 
@@ -447,6 +472,17 @@ class RankingService:
             if self.config.request_timeout is not None
             else None
         )
+        # Cross-request micro-batching (enabled with batch_max_size >= 2):
+        # concurrent ranks sharing a candidate matrix fuse into one pass.
+        self.batcher: BatchScheduler | None = (
+            BatchScheduler(
+                max_batch_size=self.config.batch_max_size,
+                max_wait_us=self.config.batch_max_wait_us,
+                queue_limit=self.config.batch_queue_limit,
+            )
+            if self.config.batch_max_size >= 2
+            else None
+        )
         self._started_at = time.time()
 
     # -- the staged pipeline ----------------------------------------------
@@ -601,8 +637,8 @@ class RankingService:
                         # After a refuted delta hit the delta is already
                         # installed and standing — rank under it as-is.
                         rank_specs = None if cached_body is not None else specs
-                        response = session.rank_in_context(
-                            rank_specs, rank_request, tick="svc"
+                        response = self._rank_session(
+                            session, rank_specs, rank_request
                         )
                     with clock.stage("render"):
                         body = self._render(request, response)
@@ -688,6 +724,23 @@ class RankingService:
         """
         if self.breaker is not None and decision is not None:
             self.breaker.cancel_probe(decision)
+
+    def _rank_session(self, session, specs, rank_request):
+        """Rank one session request, through the batcher when enabled.
+
+        ``prepare_rank`` snapshots the bound problem under the engine
+        lock; the kernel pass then runs outside it — batched with
+        whatever concurrent mates share the same compiled candidates.
+        Requests the engine cannot snapshot (SQL, cache hits, cold
+        basis, ...) come back pre-answered and skip the batcher.
+        """
+        if self.batcher is None:
+            return session.rank_in_context(specs, rank_request, tick="svc")
+        prepared = session.prepare_rank(specs, rank_request, tick="svc")
+        if prepared.response is not None:
+            return prepared.response
+        scores_map = self.batcher.execute(prepared, current_deadline())
+        return prepared.complete(scores_map)
 
     @staticmethod
     def _execute(work, deadline: Deadline | None, release: _ReleaseOnce):
@@ -830,7 +883,14 @@ class RankingService:
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
-        """Shut the rank executor down (in-flight work is not waited on)."""
+        """Shut the rank executor down (in-flight work is not waited on).
+
+        The batch scheduler is drained first: open groups flush on
+        their leaders' threads, so no queued request is orphaned even
+        when the queue is non-empty at shutdown.
+        """
+        if self.batcher is not None:
+            self.batcher.close()
         if self._rank_pool is not None:
             self._rank_pool.shutdown(wait=False)
 
@@ -913,7 +973,13 @@ class RankingService:
             "max_request_timeout": self.config.max_request_timeout,
             "serve_stale": self.config.serve_stale,
             "stale_max_age": self.config.stale_max_age,
+            "batch_max_size": self.config.batch_max_size,
+            "batch_max_wait_us": self.config.batch_max_wait_us,
+            "batch_queue_limit": self.config.batch_queue_limit,
         }
+        snapshot["batching"] = (
+            self.batcher.snapshot() if self.batcher is not None else {"enabled": False}
+        )
         snapshot["registry"] = self.health()["registry"]
         snapshot["cache"] = self.cache.info().to_dict()
         snapshot["cache"]["enabled"] = bool(self.cache.enabled)

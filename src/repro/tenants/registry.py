@@ -222,8 +222,24 @@ class UserSession:
             self._persist()
         return response
 
-    def rank_many(self, requests):
-        return self.engine.rank_many(requests)
+    def rank_many(self, requests, contexts=None):
+        return self.engine.rank_many(requests, contexts)
+
+    def prepare_rank(
+        self,
+        specs=None,
+        request: RankRequest | str | None = None,
+        *,
+        tick: str = "ctx",
+    ):
+        """Snapshot install + rank for batched scoring (see
+        :meth:`RankingEngine.prepare_rank`): the context delta lands
+        under the engine lock (and is journaled), the kernel pass runs
+        outside it so batch-mates from other tenants never wait here."""
+        prepared = self.engine.prepare_rank(specs, request, tick=tick)
+        if specs:
+            self._persist()
+        return prepared
 
     def preference_scores(self) -> dict[str, float]:
         return self.engine.preference_scores()

@@ -20,10 +20,29 @@ from repro.core import (
     score_document,
 )
 from repro.dl.vocabulary import Individual
-from repro.perf.backend import BACKEND_ENV, backend_name, numpy_or_none, resolve_backend
+from repro.perf.backend import (
+    BACKEND_ENV,
+    backend_name,
+    numpy_or_none,
+    reset_backend,
+    resolve_backend,
+)
 from repro.workloads import build_tvtouch, set_breakfast_weekend_context
 
 BACKENDS = ["python"] + (["numpy"] if numpy_or_none() is not None else [])
+
+
+@pytest.fixture()
+def force_backend(monkeypatch):
+    """Flip ``REPRO_KERNEL_BACKEND`` and drop the per-process cache so
+    the override is actually seen (and cleaned up afterwards)."""
+
+    def _force(name: str) -> None:
+        monkeypatch.setenv(BACKEND_ENV, name)
+        reset_backend()
+
+    yield _force
+    reset_backend()
 
 
 @pytest.fixture()
@@ -83,10 +102,24 @@ class TestCompile:
         assert by_name["mpfs"] == 0
         assert by_name["channel5_news"] == 0b11
 
-    def test_env_override_forces_python(self, problem, monkeypatch):
-        monkeypatch.setenv(BACKEND_ENV, "python")
+    def test_env_override_forces_python(self, problem, force_backend):
+        force_backend("python")
         assert backend_name() == "python"
         assert compile_candidates(problem).backend == "python"
+
+    def test_env_override_cached_until_reset(self, monkeypatch):
+        # The default resolution reads the environment once per process:
+        # flipping the variable without reset_backend() has no effect.
+        reset_backend()
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        before = backend_name()
+        monkeypatch.setenv(
+            BACKEND_ENV, "python" if before == "numpy" else "numpy"
+        )
+        try:
+            assert backend_name() == before
+        finally:
+            reset_backend()
 
     def test_bad_backend_rejected(self, problem):
         with pytest.raises(ScoringError):
@@ -327,8 +360,8 @@ class TestScorerIntegration:
                 assert value == combine_log_linear(qd, qi, weight)
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_scorer_results_backend_independent(self, world, monkeypatch, backend):
-        monkeypatch.setenv(BACKEND_ENV, backend)
+    def test_scorer_results_backend_independent(self, world, force_backend, backend):
+        force_backend(backend)
         scorer = ContextAwareScorer(
             abox=world.abox, tbox=world.tbox, user=world.user,
             repository=world.repository, space=world.space,

@@ -1,0 +1,199 @@
+"""The prepare/complete split and batched engine scoring.
+
+`rank_many` must be indistinguishable from the sequential
+install+rank loop — same items, same scores (≤1e-9), same
+fingerprints — while paying one fused kernel pass for the batch.
+"""
+
+import pytest
+
+from repro.engine import (
+    RankingEngine,
+    RankRequest,
+    score_prepared_batch,
+)
+from repro.errors import EngineError
+from repro.workloads import build_tvtouch, set_breakfast_weekend_context
+
+QUERY = (
+    "SELECT name, preferencescore FROM Programs "
+    "WHERE preferencescore > 0.5 ORDER BY preferencescore DESC"
+)
+
+CONTEXTS = [
+    ("Weekend:0.2",),
+    ("Weekend:0.45", "Breakfast:0.8"),
+    ("Breakfast",),
+    ("Weekend:0.7",),
+    ("Weekend", "Breakfast"),
+]
+
+
+@pytest.fixture()
+def world():
+    world = build_tvtouch()
+    set_breakfast_weekend_context(world)
+    return world
+
+
+def warmed_engine(world):
+    engine = RankingEngine.from_world(world)
+    engine.rank()  # cold pass: compiles and publishes the basis
+    return engine
+
+
+class TestRankManyIdentity:
+    def test_matches_sequential_loop_across_contexts(self):
+        def fresh():
+            world = build_tvtouch()
+            set_breakfast_weekend_context(world)
+            return warmed_engine(world)
+
+        # Two identical worlds so mutation counters march in lockstep:
+        # fingerprints must match element-for-element, not just scores.
+        batched_engine = fresh()
+        sequential_engine = fresh()
+        request = RankRequest(top_k=3)
+        batched = batched_engine.rank_many([request] * len(CONTEXTS), CONTEXTS)
+        sequential = [
+            sequential_engine.rank_in_context(specs, request)
+            for specs in CONTEXTS
+        ]
+        for left, right in zip(batched, sequential):
+            assert left.documents() == right.documents()
+            assert left.scores() == pytest.approx(right.scores(), abs=1e-9)
+            assert left.fingerprint == right.fingerprint
+
+    def test_mixed_shapes_fall_back_transparently(self, world):
+        engine = warmed_engine(world)
+        requests = [
+            RankRequest(documents=world.program_ids),
+            QUERY,  # SQL: answered under the lock, skips the batch
+            RankRequest(top_k=2),
+        ]
+        reference = warmed_engine(world)
+        batched = engine.rank_many(requests)
+        singles = [reference.rank(request) for request in requests]
+        for left, right in zip(batched, singles):
+            assert left.scores() == pytest.approx(right.scores(), abs=1e-9)
+            assert left.documents() == right.documents()
+
+    def test_context_count_mismatch_rejected(self, world):
+        engine = warmed_engine(world)
+        with pytest.raises(EngineError):
+            engine.rank_many([RankRequest()], [("Weekend",), ("Breakfast",)])
+
+
+class TestPrepareRank:
+    def test_batchable_snapshot_shape(self, world):
+        engine = warmed_engine(world)
+        prepared = engine.prepare_rank(("Weekend:0.37",), RankRequest(top_k=2))
+        assert prepared.response is None
+        assert prepared.kernel is not None
+        assert prepared.signature is not None
+        assert prepared.group_key is not None
+        response = prepared.complete(
+            {s.document: s for s in prepared.kernel.score_documents()}
+        )
+        assert [item.document for item in response.items] == (
+            engine.rank(RankRequest(top_k=2)).documents()
+        )
+
+    def test_sql_answers_immediately(self, world):
+        engine = warmed_engine(world)
+        prepared = engine.prepare_rank(None, QUERY)
+        assert prepared.response is not None
+        assert prepared.kernel is None
+        assert prepared.complete() is prepared.response
+
+    def test_view_cache_hit_answers_immediately(self, world):
+        engine = warmed_engine(world)
+        engine.rank()  # populate the signature cache for the standing context
+        prepared = engine.prepare_rank(None, RankRequest())
+        assert prepared.response is not None
+        assert prepared.response.from_cache
+
+    def test_cold_engine_answers_immediately(self):
+        world = build_tvtouch()
+        set_breakfast_weekend_context(world)
+        engine = RankingEngine.from_world(world)
+        # No cached basis yet and no overlay base to share one through:
+        # the first rank must compute under the lock, not batch.
+        prepared = engine.prepare_rank(None, RankRequest())
+        assert prepared.response is not None
+
+    def test_unknown_document_answers_immediately(self, world):
+        engine = warmed_engine(world)
+        prepared = engine.prepare_rank(
+            ("Weekend:0.9",), RankRequest(documents=("channel5_news", "ghost"))
+        )
+        assert prepared.response is not None
+
+    def test_complete_without_scores_rejected(self, world):
+        engine = warmed_engine(world)
+        prepared = engine.prepare_rank(("Weekend:0.41",), RankRequest())
+        with pytest.raises(EngineError):
+            prepared.complete()
+
+    def test_complete_populates_view_cache(self, world):
+        engine = warmed_engine(world)
+        prepared = engine.prepare_rank(("Weekend:0.63",), RankRequest())
+        scored, rows = score_prepared_batch([prepared])
+        assert rows == 1
+        prepared.complete(scored[0])
+        again = engine.rank()
+        assert again.from_cache
+
+
+class TestScorePreparedBatch:
+    def test_coalesces_identical_signatures(self, world):
+        engine = warmed_engine(world)
+        engine.install_context("Weekend:0.52")
+        prepared = [
+            engine.prepare_rank(None, RankRequest(top_k=k)) for k in (1, 2, 3)
+        ]
+        assert all(item.response is None for item in prepared)
+        assert len({item.signature for item in prepared}) == 1
+        scored, rows = score_prepared_batch(prepared)
+        assert rows == 1, "identical signatures must share one scored row"
+        assert scored[0] is scored[1] is scored[2]
+        responses = [item.complete(s) for item, s in zip(prepared, scored)]
+        assert [len(r.items) for r in responses] == [1, 2, 3]
+
+    def test_coalesces_across_tenants_on_equal_coefficients(self):
+        # The same context installed for two different tenants over a
+        # shared basis: distinct view signatures (the signature names
+        # the tenant's individual) but equal coefficient vectors, so
+        # the batch shares one scored row across tenants.
+        from repro.engine import RankRequest
+        from repro.tenants import TenantRegistry
+        from repro.workloads import build_tvtouch
+
+        registry = TenantRegistry(build_tvtouch(), shards=2, max_sessions=8)
+        prepared = []
+        for tenant in ("alice", "bob"):
+            with registry.checkout(tenant) as session:
+                session.rank_in_context(("Weekend:0.5",), RankRequest(top_k=2))
+                item = session.prepare_rank(("Weekend:0.37",), RankRequest(top_k=2))
+            assert item.response is None
+            prepared.append(item)
+        first, second = prepared
+        assert first.signature != second.signature
+        assert first.kernel.coalesce_key == second.kernel.coalesce_key
+        assert first.kernel.candidates is second.kernel.candidates
+        scored, rows = score_prepared_batch(prepared)
+        assert rows == 1, "equal coefficients must share one scored row"
+        assert scored[0] is scored[1]
+        left, right = (item.complete(s) for item, s in zip(prepared, scored))
+        assert [i.document for i in left.items] == [i.document for i in right.items]
+
+    def test_prepared_share_candidate_matrix(self, world):
+        engine = warmed_engine(world)
+        first = engine.prepare_rank(("Weekend:0.11",), RankRequest())
+        second = engine.prepare_rank(("Weekend:0.86",), RankRequest())
+        assert first.kernel.candidates is second.kernel.candidates
+        assert first.group_key == second.group_key
+        assert first.signature != second.signature
+        scored, rows = score_prepared_batch([first, second])
+        assert rows == 2
+        assert scored[0] is not scored[1]
