@@ -62,7 +62,12 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
 STORM_REQUESTS = 120 if SMOKE else 2000
 STORM_WORKERS = 4
-KILL_PERIOD = 0.5 if SMOKE else 1.0
+# The event-loop gateway clears the smoke-sized storm in well under
+# 0.5s, so the smoke killer must tick fast enough to land ≥ 1 kill —
+# but capped at 2 kills total so rapid ticks can never put 3 deaths
+# on one slot inside the crash-loop window and fence it.
+KILL_PERIOD = 0.05 if SMOKE else 1.0
+MAX_KILLS = 2 if SMOKE else None
 RANK_ERROR_RATE = 0.05
 CONCURRENCY = 8
 MIN_AVAILABILITY = 0.99
@@ -112,6 +117,8 @@ def rotating_killer(fleet, stop: threading.Event, kills: list[int]):
     single slot dies often enough to trip the crash-loop fence."""
     turn = 0
     while not stop.wait(KILL_PERIOD):
+        if MAX_KILLS is not None and len(kills) >= MAX_KILLS:
+            return
         pids = fleet.worker_pids()
         if not pids:
             continue

@@ -51,6 +51,11 @@ paper-versus-measured record of every reproduced table and figure.
 
 import warnings as _warnings
 
+# Defined before any submodule import: the service gateway derives its
+# Server header from this, and importing it back from a partially
+# initialised ``repro`` only works if it is already bound.
+__version__ = "1.6.0"
+
 from repro.cache import CacheAdapter, InMemoryCacheAdapter, NoCacheAdapter
 from repro.core import (
     DocumentScore,
@@ -104,8 +109,6 @@ from repro.workloads import (
     sample_workday_mornings,
     set_breakfast_weekend_context,
 )
-
-__version__ = "1.5.0"
 
 #: Deprecated top-level names: still importable, but shimmed through
 #: module ``__getattr__`` with a :class:`DeprecationWarning` pointing at

@@ -120,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes; > 1 runs the pre-fork fleet on one shared port",
     )
     serve.add_argument(
+        "--gateway", choices=("aio", "threads"), default="aio",
+        help="HTTP front per worker: the event-loop gateway (default) or "
+        "the thread-per-connection fallback",
+    )
+    serve.add_argument(
         "--snapshot", metavar="PATH",
         help="boot the world from this snapshot (see 'repro snapshot build'); "
         "a missing or stale snapshot falls back to a source rebuild",
@@ -379,7 +384,11 @@ class _ServeFactory:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import FaultInjector
     from repro.service.fleet import serve_fleet, supports_fleet
-    from repro.service.http import serve as run_gateway
+
+    if args.gateway == "aio":
+        from repro.service.aio import serve as run_gateway
+    else:
+        from repro.service.http import serve as run_gateway
 
     if args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
@@ -465,7 +474,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     settings = (
-        f"cache={args.cache}, shards={args.shards}, "
+        f"gateway={args.gateway}, cache={args.cache}, shards={args.shards}, "
         f"max_sessions={args.max_sessions}, max_concurrency={args.max_concurrency}, "
         f"request_timeout={args.request_timeout or None}, world={world_source}"
     )
@@ -534,6 +543,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             verbose=args.verbose,
             announce=announce_fleet,
             start_method=start_method,
+            gateway=args.gateway,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

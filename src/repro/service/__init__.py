@@ -38,15 +38,22 @@ from repro.service.fleet import (
     supports_fleet,
     supports_reuseport,
 )
-from repro.service.metrics import LatencyRecorder, ServiceMetrics, percentile
+from repro.service.metrics import (
+    GatewayMetrics,
+    LatencyRecorder,
+    ServiceMetrics,
+    percentile,
+)
 from repro.service.pipeline import (
     STAGES,
+    RankAttempt,
     RankingService,
     ServiceConfig,
     ServiceRequest,
     ServiceResponse,
 )
 from repro.service.http import RankingHTTPServer, make_server, serve
+from repro.service.aio import AioRankingServer, make_aio_server
 from repro.service.resilience import (
     CircuitBreaker,
     Deadline,
@@ -60,6 +67,7 @@ from repro.service.resilience import (
 )
 
 __all__ = [
+    "AioRankingServer",
     "BatchScheduler",
     "CacheAdapter",
     "CircuitBreaker",
@@ -67,10 +75,12 @@ __all__ = [
     "DeadlineExceeded",
     "FaultInjector",
     "FleetSupervisor",
+    "GatewayMetrics",
     "InMemoryCacheAdapter",
     "InjectedFault",
     "LatencyRecorder",
     "NoCacheAdapter",
+    "RankAttempt",
     "RankingHTTPServer",
     "RankingService",
     "STAGES",
@@ -82,6 +92,7 @@ __all__ = [
     "clamp_timeout",
     "current_deadline",
     "deadline_scope",
+    "make_aio_server",
     "make_server",
     "percentile",
     "serve",

@@ -58,6 +58,7 @@ from multiprocessing.connection import wait as _sentinel_wait
 from typing import Callable, Mapping
 
 from repro.errors import EngineError
+from repro.service.aio import AioRankingServer
 from repro.service.http import RankingHTTPServer
 from repro.service.pipeline import RankingService
 from repro.service.resilience import SharedFleetState
@@ -102,8 +103,15 @@ def supports_reuseport() -> bool:
     return True
 
 
-def _adopt_socket(server: RankingHTTPServer, sock: socket.socket) -> None:
-    """Swap ``server``'s unbound socket for an already prepared one."""
+def _adopt_socket(
+    server: "RankingHTTPServer | AioRankingServer", sock: socket.socket
+) -> None:
+    """Swap ``server``'s unbound socket for an already prepared one.
+
+    Both gateways expose the same socket surface (``socket``,
+    ``server_address``, ``server_name``, ``server_port``,
+    ``server_activate``), so the fleet adopts either identically.
+    """
     server.socket.close()
     server.socket = sock
     server.server_address = sock.getsockname()[:2]
@@ -124,19 +132,26 @@ def _worker_main(
     verbose: bool,
     grace: float,
     fleet_state: SharedFleetState | None,
+    gateway: str,
     ready: "multiprocessing.synchronize.Event",
 ) -> None:
     """The forked child's whole life: build a service, serve the port."""
     service = service_factory(
-        {"index": index, "workers": workers, "mode": mode}
+        {"index": index, "workers": workers, "mode": mode, "gateway": gateway}
     )
     if fleet_state is not None:
         # Fork-shared: lets this worker's /readyz report siblings the
         # supervisor has marked failed.
         service.fleet_state = fleet_state
-    server = RankingHTTPServer(
-        (host, port), service, verbose=verbose, bind_and_activate=False
-    )
+    if gateway == "aio":
+        server: RankingHTTPServer | AioRankingServer = AioRankingServer(
+            (host, port), service, verbose=verbose, bind_and_activate=False
+        )
+        server.drain_grace = grace
+    else:
+        server = RankingHTTPServer(
+            (host, port), service, verbose=verbose, bind_and_activate=False
+        )
 
     signalled = threading.Event()
 
@@ -234,6 +249,10 @@ class FleetSupervisor:
         factory must pickle, and ``SO_REUSEPORT`` is required since a
         spawned child cannot inherit the parent's listener), or
         ``None`` to prefer ``fork`` where available.
+    gateway:
+        ``"aio"`` (default) runs each worker on the event-loop gateway
+        (:mod:`repro.service.aio`); ``"threads"`` keeps the
+        thread-per-connection :class:`RankingHTTPServer`.
     """
 
     def __init__(
@@ -251,9 +270,14 @@ class FleetSupervisor:
         crash_loop_threshold: int = 3,
         crash_loop_window: float = 5.0,
         start_method: str | None = None,
+        gateway: str = "aio",
     ):
         if workers < 1:
             raise EngineError(f"fleet needs at least one worker, got {workers!r}")
+        if gateway not in ("aio", "threads"):
+            raise EngineError(
+                f"gateway must be 'aio' or 'threads', got {gateway!r}"
+            )
         if start_method not in (None, "fork", "spawn"):
             raise EngineError(
                 f"start_method must be 'fork', 'spawn' or None, got {start_method!r}"
@@ -301,6 +325,7 @@ class FleetSupervisor:
         self.crash_loop_threshold = crash_loop_threshold
         self.crash_loop_window = crash_loop_window
         self.start_method = start_method
+        self.gateway = gateway
         # A spawned worker cannot inherit a listening socket, so spawn
         # always runs per-worker listeners under SO_REUSEPORT (already
         # validated above); fork picks the best mode the kernel offers.
@@ -386,6 +411,7 @@ class FleetSupervisor:
                 self.verbose,
                 self.grace,
                 self.fleet_state,
+                self.gateway,
                 ready,
             ),
             name=f"repro-serve-worker-{index}",
@@ -523,6 +549,7 @@ class FleetSupervisor:
             body = {
                 "status": "ok" if healthy else "degraded",
                 "mode": self.mode,
+                "gateway": self.gateway,
                 "url": self.url,
                 "workers": self.workers,
                 "alive": alive,
@@ -552,6 +579,7 @@ def serve_fleet(
     verbose: bool = False,
     announce: Callable[[FleetSupervisor], None] | None = None,
     start_method: str | None = None,
+    gateway: str = "aio",
 ) -> int:
     """Run a fleet until interrupted (the ``repro serve --workers N`` body).
 
@@ -566,6 +594,7 @@ def serve_fleet(
         port=port,
         verbose=verbose,
         start_method=start_method,
+        gateway=gateway,
     )
 
     def _interrupt(signum, frame):  # noqa: ARG001 - signal API

@@ -49,6 +49,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from repro import __version__ as _repro_version
 from repro.service.pipeline import RankingService, ServiceResponse
 
 __all__ = ["RankingHTTPServer", "make_server", "serve"]
@@ -57,11 +58,23 @@ __all__ = ["RankingHTTPServer", "make_server", "serve"]
 #: bigger is a client error, not a reason to buffer unbounded bytes).
 MAX_BODY_BYTES = 1 << 20
 
+#: The Server header both gateways send — derived from the package
+#: version so it can never drift from a release again.
+SERVER_VERSION = f"repro-serve/{_repro_version}"
+
+
+class _BodyTooLarge(ValueError):
+    """Declared request body over :data:`MAX_BODY_BYTES` (a 413)."""
+
+
+class _MalformedLength(ValueError):
+    """Unparseable Content-Length: framing is unknown, close after 400."""
+
 
 class _GatewayHandler(BaseHTTPRequestHandler):
     """Routes gateway endpoints onto the service pipeline."""
 
-    server_version = "repro-serve/1.4"
+    server_version = SERVER_VERSION
     protocol_version = "HTTP/1.1"
     # A response leaves as header + body packets on one keep-alive
     # connection; with Nagle on, the body packet waits out the client's
@@ -117,6 +130,16 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             return
         try:
             payload = self._read_json()
+        except _BodyTooLarge as exc:
+            # The unread body is still on the wire: the connection
+            # cannot be reused for a next request.
+            self.close_connection = True
+            self._send_json(413, {"error": str(exc)})
+            return
+        except _MalformedLength as exc:
+            self.close_connection = True
+            self._send_json(400, {"error": str(exc)})
+            return
         except ValueError as exc:
             self._send_json(400, {"error": str(exc)})
             return
@@ -133,11 +156,19 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ----------------------------------------------------------
     def _read_json(self) -> object:
-        length = int(self.headers.get("Content-Length", 0))
+        raw_length = self.headers.get("Content-Length", "0")
+        try:
+            length = int(raw_length)
+        except (TypeError, ValueError):
+            # int() on header garbage must be a clean 400, not an
+            # uncaught ValueError resetting the connection.
+            raise _MalformedLength(
+                f"malformed Content-Length header: {raw_length!r}"
+            ) from None
         if length <= 0:
             raise ValueError("request body required")
         if length > MAX_BODY_BYTES:
-            raise ValueError(f"request body over {MAX_BODY_BYTES} bytes")
+            raise _BodyTooLarge(f"request body over {MAX_BODY_BYTES} bytes")
         raw = self.rfile.read(length)
         try:
             return json.loads(raw)
@@ -145,12 +176,18 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             raise ValueError(f"invalid JSON body: {exc}") from exc
 
     def _send(self, response: ServiceResponse) -> None:
-        self._send_json(response.status, response.body, headers=response.headers)
+        # encoded() memoises: a cache hit ships its stored bytes, and
+        # nothing ever json.dumps the same response body twice.
+        self._send_payload(response.status, response.encoded(), response.headers)
 
     def _send_json(
         self, status: int, body: dict, headers: dict[str, str] | None = None
     ) -> None:
-        payload = json.dumps(body).encode("utf-8")
+        self._send_payload(status, json.dumps(body).encode("utf-8"), headers)
+
+    def _send_payload(
+        self, status: int, payload: bytes, headers: dict[str, str] | None = None
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))

@@ -16,7 +16,7 @@ import threading
 from collections import deque
 from typing import Mapping
 
-__all__ = ["LatencyRecorder", "ServiceMetrics", "percentile"]
+__all__ = ["GatewayMetrics", "LatencyRecorder", "ServiceMetrics", "percentile"]
 
 
 def percentile(samples: list[float], fraction: float) -> float:
@@ -157,6 +157,76 @@ class ServiceMetrics:
             "outcomes": outcomes,
             "stages": {name: recorder.summary() for name, recorder in sorted(stages.items())},
             "counters": counters,
+        }
+
+
+class GatewayMetrics:
+    """Wire-side counters and stage latencies for an event-loop gateway.
+
+    Tracks what the pipeline's stage recorders cannot see because it
+    happens before/after the pipeline runs: socket-level **read** time
+    (first byte of a request to its last), **parse** time (bytes to a
+    routed request), **write** time (response bytes onto the
+    transport), connection churn, and **event-loop lag** (how late the
+    loop's timers fire — the single best health signal for a loop that
+    must never block).  :meth:`snapshot` is the ``gateway`` section of
+    ``GET /metrics`` (see :meth:`RankingService.attach_gateway`).
+    """
+
+    def __init__(self, capacity: int = 8192):
+        self._lock = threading.Lock()
+        self._open = 0
+        self._accepted = 0
+        self._requests = 0
+        self._bad_requests = 0
+        self._read_timeouts = 0
+        self.read = LatencyRecorder(capacity)
+        self.parse = LatencyRecorder(capacity)
+        self.write = LatencyRecorder(capacity)
+        self.loop_lag = LatencyRecorder(capacity)
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self._open += 1
+            self._accepted += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self._open = max(0, self._open - 1)
+
+    def count_request(self) -> None:
+        with self._lock:
+            self._requests += 1
+
+    def count_bad_request(self) -> None:
+        with self._lock:
+            self._bad_requests += 1
+
+    def count_read_timeout(self) -> None:
+        with self._lock:
+            self._read_timeouts += 1
+
+    @property
+    def open_connections(self) -> int:
+        with self._lock:
+            return self._open
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            open_now, accepted = self._open, self._accepted
+            requests, bad, timeouts = self._requests, self._bad_requests, self._read_timeouts
+        return {
+            "attached": True,
+            "connections": {"open": open_now, "accepted": accepted},
+            "requests": requests,
+            "bad_requests": bad,
+            "read_timeouts": timeouts,
+            "stages": {
+                "read": self.read.summary(),
+                "parse": self.parse.summary(),
+                "write": self.write.summary(),
+            },
+            "loop_lag": self.loop_lag.summary(),
         }
 
 

@@ -60,6 +60,7 @@ Every stage's latency lands in :class:`~repro.service.metrics.ServiceMetrics`
 
 from __future__ import annotations
 
+import json
 import math
 import os
 import threading
@@ -67,7 +68,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.cache.keys import KeyLookup, ResponseKeyer, response_key
 from repro.cache.none import NoCacheAdapter
@@ -91,6 +92,7 @@ from repro.service.resilience import (
 from repro.tenants.registry import TenantRegistry
 
 __all__ = [
+    "RankAttempt",
     "RankingService",
     "ServiceConfig",
     "ServiceRequest",
@@ -305,16 +307,76 @@ class ServiceResponse:
 
     ``headers`` carries response headers the gateway must forward
     (``Retry-After`` on sheds, ``Warning: 110`` on stale serves).
+
+    Gateways send :meth:`encoded` rather than ``json.dumps(body)``:
+    the UTF-8 JSON encoding is computed at most once per response, and
+    responses born from a cache hit arrive with ``precoded`` bytes the
+    cache entry already carried — a repeat hit costs a dict copy and a
+    socket write, never an encode.
     """
 
     status: int
     body: dict
     timings: dict[str, float] = field(default_factory=dict, compare=False)
     headers: dict[str, str] = field(default_factory=dict, compare=False)
+    #: Pre-computed UTF-8 JSON of ``body``, when a cheaper path already
+    #: had it (cache-hit serves).  Must match ``body`` exactly; anything
+    #: that rewrites the body (``include_timings``) must drop it.
+    precoded: bytes | None = field(default=None, compare=False, repr=False)
 
     @property
     def ok(self) -> bool:
         return 200 <= self.status < 300
+
+    def encoded(self) -> bytes:
+        """The body as UTF-8 JSON, encoded at most once and then cached."""
+        data = self.precoded
+        if data is None:
+            data = json.dumps(self.body).encode("utf-8")
+            # Frozen dataclass: memoise through object.__setattr__ (a
+            # benign race — concurrent encoders produce equal bytes).
+            object.__setattr__(self, "precoded", data)
+        return data
+
+
+class _CanonicalBody(dict):
+    """A cache-stored canonical body that memoises its hit-serve bytes.
+
+    ``hit_bytes`` is the UTF-8 JSON of this body decorated exactly as a
+    standing-context hit serves it (``cached: true``, no per-request
+    context echo) — computed on the first such hit and shared by every
+    later one.  A plain ``dict`` to every consumer (the cache adapters
+    treat stored bodies as opaque mappings); the slot rides along.
+    """
+
+    __slots__ = ("hit_bytes",)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.hit_bytes: bytes | None = None
+
+
+@dataclass
+class RankAttempt:
+    """The inline-safe prefix of one ranking request.
+
+    :meth:`RankingService.begin_rank` runs the non-blocking stages —
+    parse and the cache probe — and parks their results here.  When
+    ``response`` is already set the request was answered without
+    touching any contended resource (a parse 400, a pure cache hit)
+    and an event-loop gateway may send it directly from the loop;
+    otherwise the attempt must go to :meth:`RankingService.finish_rank`
+    on a thread that may block (breaker / admission / rank).
+    """
+
+    clock: _StageClock
+    request: ServiceRequest | None = None
+    rank_request: RankRequest | None = None
+    deadline: Deadline | None = None
+    effective_timeout: float | None = None
+    lookup: KeyLookup | None = None
+    cached_body: dict | None = None
+    response: ServiceResponse | None = None
 
 
 class _Span:
@@ -483,6 +545,8 @@ class RankingService:
             if self.config.batch_max_size >= 2
             else None
         )
+        #: The serving front's stats provider (see :meth:`attach_gateway`).
+        self._gateway_stats: Callable[[], Mapping[str, object]] | None = None
         self._started_at = time.time()
 
     # -- the staged pipeline ----------------------------------------------
@@ -495,54 +559,134 @@ class RankingService:
         admission overflow and breaker sheds a 503 (stale-served when
         possible), a blown deadline a 504, unexpected engine errors a
         500 — the gateway maps ``status`` straight onto HTTP.
+
+        Thread-per-connection gateways call this; the event-loop
+        gateway calls the same two halves itself — :meth:`begin_rank`
+        inline on the loop, :meth:`finish_rank` on a worker thread.
+        """
+        attempt = self.begin_rank(request)
+        if attempt.response is not None:
+            return attempt.response
+        return self.finish_rank(attempt)
+
+    def begin_rank(
+        self, request: ServiceRequest | Mapping[str, Sequence[str]]
+    ) -> RankAttempt:
+        """Run the inline-safe prefix: parse and the cache probe.
+
+        Never blocks and never raises for request-shaped failures.
+        Returns a :class:`RankAttempt`; when its ``response`` is set
+        (parse 400, pure cache hit) the request is fully answered and
+        :meth:`finish_rank` must *not* be called.  Both stages run
+        exactly once per request regardless of which entry point the
+        gateway used, so cache hit/miss accounting never double-counts.
         """
         clock = _StageClock()
+        attempt = RankAttempt(clock=clock)
         try:
             with clock.stage("parse"):
                 if not isinstance(request, ServiceRequest):
                     request = ServiceRequest.from_params(request)
+                attempt.request = request
                 top_k = request.top_k if request.top_k is not None else self.config.default_top_k
-                rank_request = RankRequest(
+                attempt.rank_request = RankRequest(
                     documents=request.documents,
                     top_k=top_k,
                     explain=request.explain,
                 )
-                effective_timeout = clamp_timeout(
+                attempt.effective_timeout = clamp_timeout(
                     request.timeout,
                     self.config.request_timeout,
                     self.config.max_request_timeout,
                     self.config.min_request_timeout,
                 )
-                deadline = (
-                    Deadline.after(effective_timeout)
-                    if effective_timeout is not None and self._rank_pool is not None
+                attempt.deadline = (
+                    Deadline.after(attempt.effective_timeout)
+                    if attempt.effective_timeout is not None and self._rank_pool is not None
                     else None
                 )
         except ReproError as exc:
-            return self._reply(clock, 400, {"error": str(exc)}, outcome="bad_request")
+            attempt.response = self._reply(
+                clock, 400, {"error": str(exc)}, outcome="bad_request"
+            )
+            return attempt
 
-        lookup: KeyLookup | None = None
-        cached_body: dict | None = None
         if self.cache.enabled:
             with clock.stage("cache"):
-                lookup = self._keyer.lookup(
+                attempt.lookup = self._keyer.lookup(
                     request.tenant,
                     request.context,
                     request.documents,
                     top_k,
                     request.explain,
                 )
-                if lookup is not None:
-                    cached_body = self.cache.get(lookup.key)
-            if cached_body is not None and not lookup.needs_install:
+                if attempt.lookup is not None:
+                    attempt.cached_body = self.cache.get(attempt.lookup.key)
+            if attempt.cached_body is not None and not attempt.lookup.needs_install:
                 # Pure hit: the tenant's standing context already *is*
                 # the state this body was ranked under — nothing to
                 # install, no session to touch, no admission needed.
                 # Served even while the breaker is open: a hit touches
                 # nothing the breaker protects.
                 with clock.stage("render"):
-                    body = self._serve_hit(request, cached_body)
-                return self._reply(clock, 200, body, outcome="ok_cached", cached=True)
+                    body, precoded = self._serve_hit(request, attempt.cached_body)
+                attempt.response = self._reply(
+                    clock, 200, body, outcome="ok_cached", cached=True, precoded=precoded
+                )
+        return attempt
+
+    def shed_inline(self, attempt: RankAttempt) -> ServiceResponse:
+        """Shed one begun request without touching any blocking stage.
+
+        The event-loop gateway's overload valve: when its dispatch
+        queue is saturated, queueing more work onto the rank executor
+        only builds latency debt, so the request is answered on the
+        loop — from stale cache when the policy allows it, a 503 with
+        ``Retry-After`` otherwise — with the same counters the
+        admission-shed path feeds, so dashboards need no new queries.
+        """
+        self.metrics.count("resilience", "shed")
+        self.metrics.count("resilience", "shed.overload")
+        stale = self._try_stale(
+            attempt.clock, attempt.request, attempt.lookup, reason="overload"
+        )
+        if stale is not None:
+            return stale
+        return self._reply(
+            attempt.clock,
+            503,
+            {
+                "error": "service overloaded: gateway dispatch queue full",
+                "max_concurrency": self.config.max_concurrency,
+            },
+            outcome="rejected",
+            headers=_retry_after(max(0.1, self.config.queue_timeout)),
+        )
+
+    def finish_rank(
+        self, attempt: RankAttempt, *, queue_budget: float | None = None
+    ) -> ServiceResponse:
+        """Run the blocking stages of a begun request to an answer.
+
+        Breaker, admission, resolve, context, rank, render — may block
+        on the admission semaphore and the rank executor, so an
+        event-loop gateway calls it off-loop.  ``attempt`` must come
+        from :meth:`begin_rank` with ``response`` unset.
+
+        ``queue_budget`` replaces ``config.queue_timeout`` as the
+        admission wait for this request: a gateway that already queued
+        the attempt (the event loop's dispatch queue) passes the
+        *remaining* budget, so total queueing before an overload shed
+        matches the thread-per-connection gateway's semantics instead
+        of paying the timeout twice.
+        """
+        clock = attempt.clock
+        request = attempt.request
+        rank_request = attempt.rank_request
+        deadline = attempt.deadline
+        effective_timeout = attempt.effective_timeout
+        lookup = attempt.lookup
+        cached_body = attempt.cached_body
 
         # While a breaker core is half-open, this request may *be* its
         # single probe; every termination path below must then settle
@@ -577,7 +721,9 @@ class RankingService:
                 )
 
         with clock.stage("admit"):
-            admit_timeout = self.config.queue_timeout
+            admit_timeout = (
+                self.config.queue_timeout if queue_budget is None else queue_budget
+            )
             if deadline is not None:
                 admit_timeout = min(admit_timeout, max(0.0, deadline.remaining()))
             admitted = self._admission.acquire(timeout=admit_timeout)
@@ -631,7 +777,7 @@ class RankingService:
                     if learned == lookup.view_digest:
                         hit = True
                         with clock.stage("render"):
-                            body = self._serve_hit(request, cached_body)
+                            body, _ = self._serve_hit(request, cached_body)
                 if not hit:
                     with clock.stage("rank"):
                         # After a refuted delta hit the delta is already
@@ -993,8 +1139,22 @@ class RankingService:
             "fault_injection": self.fault_injector.info(),
             "available_slots": self.available_slots(),
         }
+        provider = self._gateway_stats
+        snapshot["gateway"] = (
+            dict(provider()) if provider is not None else {"attached": False}
+        )
         snapshot["worker"] = self._worker_section()
         return snapshot
+
+    def attach_gateway(self, provider: Callable[[], Mapping[str, object]] | None) -> None:
+        """Register the serving front's stats provider.
+
+        The gateway that owns the sockets (the event loop, or nothing
+        for the plain threading server) contributes its own section to
+        ``GET /metrics`` — open connections, wire-stage latencies, loop
+        lag.  ``None`` detaches.
+        """
+        self._gateway_stats = provider
 
     # -- internals ---------------------------------------------------------
     def _render(self, request: ServiceRequest, response) -> dict:
@@ -1018,15 +1178,27 @@ class RankingService:
             body["explanation"] = response.explanation
         return body
 
-    def _serve_hit(self, request: ServiceRequest, stored: dict) -> dict:
+    def _serve_hit(
+        self, request: ServiceRequest, stored: dict
+    ) -> tuple[dict, bytes | None]:
         # Stored bodies are canonical and shared between hits: copy the
         # top level, re-attach the per-request context echo, and mark
-        # the body as served from the response cache.
+        # the body as served from the response cache.  A hit with no
+        # per-request context echo is byte-identical between serves, so
+        # its encoding memoises on the cache entry — the second return
+        # value is those bytes (None when this serve must encode).
         body = dict(stored)
+        body["cached"] = True
         if request.context is not None:
             body["context"] = list(request.context)
-        body["cached"] = True
-        return body
+            return body, None
+        if isinstance(stored, _CanonicalBody):
+            precoded = stored.hit_bytes
+            if precoded is None:
+                precoded = json.dumps(body).encode("utf-8")
+                stored.hit_bytes = precoded  # benign race: equal bytes
+            return body, precoded
+        return body, None
 
     def _fill(self, lookup: KeyLookup, fingerprint: tuple | None, body: dict) -> None:
         if fingerprint is None:
@@ -1037,7 +1209,7 @@ class RankingService:
         digest = self._keyer.learn(lookup, fingerprint)
         if digest is None:
             return  # invalidated while in flight: do not resurrect
-        canonical = dict(body)
+        canonical = _CanonicalBody(body)
         canonical.pop("context", None)  # per-request echo, not content
         key = response_key(
             lookup.tenant, digest, lookup.documents, lookup.top_k, lookup.explain
@@ -1054,6 +1226,7 @@ class RankingService:
         cached: bool | None = None,
         tag: str | None = None,
         headers: Mapping[str, str] | None = None,
+        precoded: bytes | None = None,
     ) -> ServiceResponse:
         timings = clock.snapshot()
         timings["total"] = clock.total()
@@ -1067,9 +1240,11 @@ class RankingService:
             body["timings_ms"] = {
                 name: seconds * 1000.0 for name, seconds in timings.items()
             }
+            precoded = None  # the body just changed; stored bytes no longer match
         return ServiceResponse(
             status=status,
             body=body,
             timings=timings,
             headers=dict(headers) if headers else {},
+            precoded=precoded,
         )

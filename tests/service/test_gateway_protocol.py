@@ -1,0 +1,319 @@
+"""Wire-level protocol behaviour of both HTTP gateways.
+
+Raw-socket tests (no ``urllib`` smoothing) against the
+thread-per-connection and the event-loop gateway: pipelined keep-alive
+requests, slow/partial header delivery, oversized bodies, malformed
+request lines and Content-Length headers, and mid-response client
+disconnects.  Each case asserts the right status code *and* that the
+gateway is still healthy afterwards — no wedged worker thread, no
+wedged loop, in-flight accounting back to zero.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.reason import clear_registry
+from repro.service import RankingService, ServiceConfig
+from repro.service.aio import AioRankingServer
+from repro.service.http import RankingHTTPServer
+from repro.tenants import TenantRegistry
+from repro.workloads import build_tvtouch
+
+#: Short slow-client deadline so the 408 path is testable in wall time.
+READ_DEADLINE = 0.5
+
+
+@pytest.fixture(params=["threads", "aio"])
+def gateway(request):
+    clear_registry()
+    registry = TenantRegistry(build_tvtouch(), shards=4, max_sessions=64)
+    service = RankingService(registry, ServiceConfig(max_concurrency=4))
+    if request.param == "aio":
+        server = AioRankingServer(
+            ("127.0.0.1", 0), service, read_deadline=READ_DEADLINE
+        )
+    else:
+        server = RankingHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    server.kind = request.param
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+    clear_registry()
+
+
+class Wire:
+    """A raw client connection with a buffered response reader.
+
+    Pipelined servers may deliver several responses in one segment;
+    the buffer keeps the surplus for the next :meth:`read_response`.
+    """
+
+    def __init__(self, server):
+        host, port = server.server_address[:2]
+        self.sock = socket.create_connection((host, port), timeout=10)
+        self.sock.settimeout(10)
+        self.buffer = b""
+
+    def send(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def close(self) -> None:
+        self.sock.close()
+
+    def _fill(self) -> None:
+        chunk = self.sock.recv(65536)
+        if not chunk:
+            raise ConnectionError(f"connection closed: buffer={self.buffer!r}")
+        self.buffer += chunk
+
+    def read_response(self) -> tuple[int, dict, bytes]:
+        """One HTTP response off the wire: (status, headers, body)."""
+        while b"\r\n\r\n" not in self.buffer:
+            self._fill()
+        head, _, self.buffer = self.buffer.partition(b"\r\n\r\n")
+        lines = head.split(b"\r\n")
+        status = int(lines[0].split()[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(b":")
+            headers[name.decode().strip().lower()] = value.decode().strip()
+        length = int(headers.get("content-length", 0))
+        while len(self.buffer) < length:
+            self._fill()
+        body, self.buffer = self.buffer[:length], self.buffer[length:]
+        return status, headers, body
+
+    def assert_closed(self) -> None:
+        """The server hangs up: EOF (never a fresh response)."""
+        assert self.sock.recv(65536) == b""
+
+
+def assert_still_serving(server) -> None:
+    """The gateway answers a fresh connection and drains to idle."""
+    wire = Wire(server)
+    try:
+        wire.send(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        status, _, body = wire.read_response()
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+    finally:
+        wire.close()
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline and server.inflight:
+        time.sleep(0.01)
+    assert server.inflight == 0
+
+
+class TestKeepAliveAndPipelining:
+    def test_sequential_requests_reuse_one_connection(self, gateway):
+        wire = Wire(gateway)
+        try:
+            for _ in range(3):
+                wire.send(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                status, headers, _ = wire.read_response()
+                assert status == 200
+                assert headers.get("connection") != "close"
+        finally:
+            wire.close()
+        assert_still_serving(gateway)
+
+    def test_pipelined_requests_answer_in_order(self, gateway):
+        wire = Wire(gateway)
+        try:
+            wire.send(
+                b"GET /rank?tenant=pipe&context=Weekend&top_k=1 HTTP/1.1\r\nHost: t\r\n\r\n"
+                b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+                b"GET /readyz HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+            first = json.loads(wire.read_response()[2])
+            assert first["items"][0]["position"] == 1  # /rank answered first
+            assert json.loads(wire.read_response()[2])["status"] == "ok"
+            assert json.loads(wire.read_response()[2])["status"] == "ready"
+        finally:
+            wire.close()
+        assert_still_serving(gateway)
+
+    def test_request_split_across_many_packets_still_parses(self, gateway):
+        wire = Wire(gateway)
+        try:
+            for piece in (
+                b"GET /health",
+                b"z HTTP/1.1\r\n",
+                b"Host: t\r\n",
+                b"\r\n",
+            ):
+                wire.send(piece)
+                time.sleep(0.02)
+            assert wire.read_response()[0] == 200
+        finally:
+            wire.close()
+        assert_still_serving(gateway)
+
+
+class TestSlowClients:
+    def test_partial_head_hits_the_read_deadline(self, gateway):
+        wire = Wire(gateway)
+        try:
+            wire.send(b"GET /healthz HTTP/1.1\r\nHost: t\r\n")  # never finished
+            if gateway.kind == "aio":
+                # The loop answers 408 and closes once the deadline passes.
+                status, headers, _ = wire.read_response()
+                assert status == 408
+                assert headers.get("connection") == "close"
+                section = gateway.service.metrics_snapshot()["gateway"]
+                assert section["read_timeouts"] >= 1
+            else:
+                # The threading gateway has no read deadline: finishing
+                # the request late must still be answered (no wedge).
+                time.sleep(READ_DEADLINE + 0.2)
+                wire.send(b"\r\n")
+                assert wire.read_response()[0] == 200
+        finally:
+            wire.close()
+        assert_still_serving(gateway)
+
+    def test_idle_keep_alive_connection_is_not_timed_out(self, gateway):
+        # No bytes at all: the connection is idle, not slow — it must
+        # survive past the read deadline and then serve normally.
+        wire = Wire(gateway)
+        try:
+            time.sleep(READ_DEADLINE + 0.2)
+            wire.send(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            assert wire.read_response()[0] == 200
+        finally:
+            wire.close()
+        assert_still_serving(gateway)
+
+
+class TestMalformedRequests:
+    def test_malformed_request_line_is_400(self, gateway):
+        # Four words: both gateways reject with a parseable 400 status
+        # line (the stdlib handler needs a valid HTTP-version token to
+        # emit one at all).
+        wire = Wire(gateway)
+        try:
+            wire.send(b"GET / extra HTTP/1.1\r\n\r\n")
+            assert wire.read_response()[0] == 400
+        finally:
+            wire.close()
+        assert_still_serving(gateway)
+
+    def test_garbage_request_line_does_not_wedge(self, gateway):
+        wire = Wire(gateway)
+        try:
+            wire.send(b"NOT-EVEN-HTTP\r\n\r\n")
+            if gateway.kind == "aio":
+                assert wire.read_response()[0] == 400
+            # The stdlib handler treats this as HTTP/0.9 and answers
+            # without a status line; either way the connection dies.
+            with pytest.raises(ConnectionError):
+                while True:
+                    wire.read_response()
+        finally:
+            wire.close()
+        assert_still_serving(gateway)
+
+    def test_malformed_content_length_is_400(self, gateway):
+        wire = Wire(gateway)
+        try:
+            wire.send(
+                b"POST /context HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: banana\r\n\r\n"
+            )
+            status, _, body = wire.read_response()
+            assert status == 400
+            assert "Content-Length" in json.loads(body)["error"]
+        finally:
+            wire.close()
+        assert_still_serving(gateway)
+
+    def test_oversized_body_is_413(self, gateway):
+        wire = Wire(gateway)
+        try:
+            wire.send(
+                b"POST /context HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 9999999\r\n\r\n"
+            )
+            status, headers, body = wire.read_response()
+            assert status == 413
+            assert "bytes" in json.loads(body)["error"]
+            if gateway.kind == "aio":
+                assert headers.get("connection") == "close"
+            # The unread body poisons the connection: both must hang up.
+            wire.assert_closed()
+        finally:
+            wire.close()
+        assert_still_serving(gateway)
+
+    def test_missing_body_is_400_and_keeps_the_connection(self, gateway):
+        wire = Wire(gateway)
+        try:
+            wire.send(b"POST /context HTTP/1.1\r\nHost: t\r\n\r\n")
+            status, _, body = wire.read_response()
+            assert status == 400
+            assert "body" in json.loads(body)["error"]
+            # Framing was intact (zero-length body): reuse is safe.
+            wire.send(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            assert wire.read_response()[0] == 200
+        finally:
+            wire.close()
+        assert_still_serving(gateway)
+
+
+class TestClientDisconnects:
+    def test_disconnect_before_the_response_does_not_wedge(self, gateway):
+        # Fire a real rank (still in flight), then vanish without
+        # reading the response.
+        for _ in range(3):
+            wire = Wire(gateway)
+            wire.send(
+                b"GET /rank?tenant=gone&context=Weekend&top_k=1 HTTP/1.1\r\n"
+                b"Host: t\r\n\r\n"
+            )
+            wire.close()
+        assert_still_serving(gateway)
+
+    def test_disconnect_mid_request_head_does_not_wedge(self, gateway):
+        wire = Wire(gateway)
+        wire.send(b"GET /rank?tenant=gone HTTP/1.1\r\nHost")
+        wire.close()
+        assert_still_serving(gateway)
+
+
+class TestGatewayMetricsSection:
+    def test_aio_gateway_reports_wire_metrics(self, gateway):
+        if gateway.kind != "aio":
+            pytest.skip("gateway section is the event-loop gateway's")
+        wire = Wire(gateway)
+        try:
+            wire.send(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            assert wire.read_response()[0] == 200
+        finally:
+            wire.close()
+        # The loop counts the request just *after* writing the response,
+        # so give it a beat to run that line.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            section = gateway.service.metrics_snapshot()["gateway"]
+            if section["requests"] >= 1:
+                break
+            time.sleep(0.01)
+        assert section["kind"] == "aio"
+        assert section["requests"] >= 1
+        assert section["connections"]["accepted"] >= 1
+        assert set(section["stages"]) == {"read", "parse", "write"}
+        assert "p95_ms" in section["loop_lag"]
+
+    def test_threading_gateway_has_no_attached_section(self, gateway):
+        if gateway.kind != "threads":
+            pytest.skip("covers the threading gateway's default")
+        section = gateway.service.metrics_snapshot()["gateway"]
+        assert section == {"attached": False}

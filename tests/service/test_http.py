@@ -1,4 +1,10 @@
-"""The HTTP/JSON gateway: endpoints, status codes, identity with the engine."""
+"""The HTTP/JSON gateway: endpoints, status codes, identity with the engine.
+
+Every test runs against *both* gateway implementations — the
+thread-per-connection :class:`RankingHTTPServer` and the event-loop
+:class:`AioRankingServer` — through the parametrised ``gateway``
+fixture: the HTTP surface is one contract with two transports.
+"""
 
 import json
 import threading
@@ -11,17 +17,23 @@ import pytest
 
 from repro.engine import RankingEngine
 from repro.reason import clear_registry
-from repro.service import RankingService, ServiceConfig, make_server
+from repro.service import (
+    RankingService,
+    ServiceConfig,
+    make_aio_server,
+    make_server,
+)
 from repro.tenants import TenantRegistry
 from repro.workloads import build_tvtouch
 
 
-@pytest.fixture()
-def gateway():
+@pytest.fixture(params=["threads", "aio"])
+def gateway(request):
     clear_registry()
     registry = TenantRegistry(build_tvtouch(), shards=4, max_sessions=64)
     service = RankingService(registry, ServiceConfig(max_concurrency=4))
-    server = make_server(service, port=0)
+    factory = make_server if request.param == "threads" else make_aio_server
+    server = factory(service, port=0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     yield server
